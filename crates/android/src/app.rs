@@ -1,0 +1,241 @@
+//! The application environment and small reusable actors.
+
+use crate::libs::LibMix;
+use crate::services::{AMS_START_ACTIVITY, WMS_CREATE_SURFACE};
+use agave_binder::{BinderProxy, Parcel, ServiceDirectory};
+use agave_gfx::{DisplayConfig, SurfaceHandle, SurfaceStore};
+use agave_kernel::{Actor, Ctx, Message, Pid, RefKind};
+use agave_media::{AudioBus, MediaPlayer};
+
+/// Everything a launched application needs to talk to the platform.
+///
+/// Handed out by [`crate::Android::launch_app`]; cheap to clone into the
+/// app's actors.
+#[derive(Clone)]
+pub struct AppEnv {
+    /// The benchmark process.
+    pub pid: Pid,
+    /// The application package name.
+    pub package: String,
+    /// The input focus router.
+    pub input: crate::input::InputRouter,
+    /// The zygote (for forking helper `app_process` children).
+    pub zygote: Pid,
+    /// Service name directory.
+    pub directory: ServiceDirectory,
+    /// The global window list.
+    pub surfaces: SurfaceStore,
+    /// The audio bus.
+    pub audio: AudioBus,
+    /// Panel geometry.
+    pub display: DisplayConfig,
+    /// The app's library mix (framework tail charging).
+    pub mix: LibMix,
+}
+
+impl std::fmt::Debug for AppEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppEnv").field("pid", &self.pid).finish()
+    }
+}
+
+impl AppEnv {
+    /// The app's main (UI) thread name: Linux truncates the thread comm
+    /// to 15 characters of the process name, so each app's UI thread shows
+    /// up under its own distinct name in per-thread accounting (keeping
+    /// Table I's top entries to the shared service thread families).
+    pub fn main_thread_name(&self) -> String {
+        let n = &self.package;
+        if n.len() <= 15 {
+            n.clone()
+        } else {
+            n[n.len() - 15..].to_string()
+        }
+    }
+
+    /// Takes input focus: subsequent touch gestures from the synthetic
+    /// user are delivered to `tid` as [`crate::MSG_INPUT_EVENT`] messages.
+    pub fn focus_input(&self, tid: agave_kernel::Tid) {
+        self.input.set_focus(tid);
+    }
+
+    /// Announces the app's main activity to the ActivityManager (the
+    /// launch transaction every app run starts with).
+    pub fn start_activity(&self, cx: &mut Ctx<'_>, component: &str) {
+        let ams = self.directory.expect("activity");
+        let mut p = Parcel::new();
+        p.write_str(component);
+        let mut reply = ams.transact(cx, AMS_START_ACTIVITY, &p);
+        assert_eq!(reply.read_u32(), 0, "startActivity failed");
+    }
+
+    /// Creates a window via the WindowManager and returns its surface.
+    pub fn create_window(
+        &self,
+        cx: &mut Ctx<'_>,
+        name: &str,
+        x: u32,
+        y: u32,
+        w: u32,
+        h: u32,
+    ) -> SurfaceHandle {
+        let wms = self.directory.expect("window");
+        let mut p = Parcel::new();
+        p.write_str(name);
+        p.write_u32(x);
+        p.write_u32(y);
+        p.write_u32(w);
+        p.write_u32(h);
+        let mut reply = wms.transact(cx, WMS_CREATE_SURFACE, &p);
+        assert_eq!(reply.read_u32(), 0, "createSurface failed");
+        let index = reply.read_u32() as usize;
+        self.surfaces.handle(index)
+    }
+
+    /// A full-screen window.
+    pub fn create_fullscreen_window(&self, cx: &mut Ctx<'_>, name: &str) -> SurfaceHandle {
+        self.create_window(cx, name, 0, 0, self.display.width, self.display.height)
+    }
+
+    /// The `media.player` client.
+    pub fn media_player(&self) -> MediaPlayer {
+        MediaPlayer::new(self.directory.expect("media.player"))
+    }
+
+    /// Resolves a service proxy without charging (boot-path resolution).
+    pub fn service(&self, name: &str) -> BinderProxy {
+        self.directory.expect(name)
+    }
+
+    /// Forks an `app_process` helper child from zygote — the paper notes
+    /// one is forked for every extra process an application spawns.
+    pub fn fork_app_process(&self, cx: &mut Ctx<'_>) -> Pid {
+        cx.fork_process(self.zygote, "app_process")
+    }
+
+    /// Charges a slice of framework-tail work (layout, resources, IPC glue)
+    /// against the app's library mix.
+    pub fn framework_tail(&self, cx: &mut Ctx<'_>, fetches: u64) {
+        self.mix.charge(cx, fetches);
+        // Resource/asset lookups read the framework jar and the app heap.
+        let fw_dex = cx.intern_region("/system/framework/framework.jar@classes.dex");
+        cx.charge(fw_dex, RefKind::DataRead, fetches / 24 + 1);
+        // Every app run also touches its own persistence: the sqlite
+        // database, shared preferences, a CursorWindow ashmem segment, and
+        // the logger — each a distinct named mapping, feeding the paper's
+        // ~170-region data tail.
+        let db = cx.intern_region(&format!("/data/data/{}/databases/main.db", self.package));
+        cx.charge(db, RefKind::DataRead, fetches / 96 + 2);
+        cx.charge(db, RefKind::DataWrite, fetches / 384 + 1);
+        let prefs =
+            cx.intern_region(&format!("/data/data/{}/shared_prefs/prefs.xml", self.package));
+        cx.charge(prefs, RefKind::DataRead, 2);
+        let cursor = cx.intern_region(&format!("ashmem/CursorWindow ({})", self.package));
+        cx.charge(cursor, RefKind::DataRead, fetches / 128 + 1);
+        cx.charge(cursor, RefKind::DataWrite, fetches / 256 + 1);
+        let log = cx.intern_region("/dev/log/main");
+        cx.charge(log, RefKind::DataWrite, 2);
+        let cache = cx.intern_region(&format!("/data/data/{}/cache", self.package));
+        cx.charge(cache, RefKind::DataWrite, 1);
+    }
+}
+
+/// An actor that runs a closure every `period` ticks, forever.
+///
+/// The workhorse for system-service background activity (ServerThread
+/// ticks, input polling, status-bar clock updates).
+pub struct Periodic<F> {
+    period: u64,
+    action: F,
+}
+
+impl<F: FnMut(&mut Ctx<'_>)> Periodic<F> {
+    /// Creates a periodic actor.
+    pub fn new(period: u64, action: F) -> Self {
+        Periodic { period, action }
+    }
+}
+
+impl<F: FnMut(&mut Ctx<'_>)> Actor for Periodic<F> {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        cx.post_self_after(self.period, Message::new(0));
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, _msg: Message) {
+        (self.action)(cx);
+        cx.post_self_after(self.period, Message::new(0));
+    }
+}
+
+/// An actor that runs a closure once (on its start notification) and then
+/// stays inert.
+pub struct OneShot<F> {
+    action: Option<F>,
+}
+
+impl<F: FnOnce(&mut Ctx<'_>)> OneShot<F> {
+    /// Creates a one-shot actor.
+    pub fn new(action: F) -> Self {
+        OneShot {
+            action: Some(action),
+        }
+    }
+}
+
+impl<F: FnOnce(&mut Ctx<'_>)> Actor for OneShot<F> {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        if let Some(f) = self.action.take() {
+            f(cx);
+        }
+    }
+
+    fn on_message(&mut self, _cx: &mut Ctx<'_>, _msg: Message) {}
+}
+
+/// The `dexopt` worker: verifies + optimizes an APK's dex at install time,
+/// then exits — which is exactly how `dexopt` shows up (briefly) in the
+/// paper's process figures.
+pub struct DexoptWorker {
+    apk_path: String,
+    package: String,
+}
+
+impl DexoptWorker {
+    /// Creates a worker for `package`'s APK at `apk_path` (must exist in
+    /// the VFS).
+    pub fn new(apk_path: &str, package: &str) -> Self {
+        DexoptWorker {
+            apk_path: apk_path.to_owned(),
+            package: package.to_owned(),
+        }
+    }
+}
+
+impl Actor for DexoptWorker {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        let wk = cx.well_known();
+        let len = cx.fs_len(&self.apk_path).unwrap_or(64 * 1024);
+        // Only the classes.dex portion (~1/5 of the APK) is verified and
+        // rewritten, in 16 KiB chunks.
+        let dex_len = (len / 5).min(96 * 1024);
+        let mut buf = vec![0u8; 16 * 1024];
+        let mut offset = 0u64;
+        while offset < dex_len {
+            let n = cx.fs_read(&self.apk_path, offset, &mut buf);
+            if n == 0 {
+                break;
+            }
+            offset += n as u64;
+            // Verifier + optimizer: ~1 op/byte, writes the odex image.
+            cx.call_lib(wk.libdvm, n as u64);
+            cx.charge(wk.heap, RefKind::DataWrite, n as u64 / 8);
+        }
+        let odex =
+            cx.intern_region(&format!("/data/dalvik-cache/{}@classes.dex", self.package));
+        cx.charge(odex, RefKind::DataWrite, dex_len / 8);
+        let pid = cx.pid();
+        cx.exit_process(pid);
+    }
+
+    fn on_message(&mut self, _cx: &mut Ctx<'_>, _msg: Message) {}
+}

@@ -1,0 +1,527 @@
+//! Booting the Gingerbread world.
+
+use crate::app::{AppEnv, DexoptWorker, OneShot, Periodic};
+use crate::libs::{LibMix, LibSet};
+use crate::services::{ActivityManagerService, PackageManagerService, WindowManagerService};
+use agave_binder::{BinderHost, ServiceDirectory, ServiceManager};
+use agave_gfx::{
+    Bitmap, Canvas, DisplayConfig, PixelFormat, Rect, SurfaceFlinger, SurfaceStore,
+};
+use agave_kernel::{Kernel, Message, Pid, RefKind, Tid, TICKS_PER_MS};
+use agave_media::{AudioBus, AudioFlingerThread, MediaPlayerService};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Number of synthetic packages PackageManager knows about.
+const INSTALLED_PACKAGES: u32 = 96;
+
+/// A booted Android system: the full Gingerbread process population plus
+/// the shared plumbing applications attach to.
+///
+/// See the [crate docs](crate) for an example.
+pub struct Android {
+    /// The simulated kernel (and tracer) everything runs on.
+    pub kernel: Kernel,
+    /// Binder service directory.
+    pub directory: ServiceDirectory,
+    /// Global window list.
+    pub surfaces: SurfaceStore,
+    /// Audio bus.
+    pub audio: AudioBus,
+    /// Panel geometry.
+    pub display: DisplayConfig,
+    zygote: Pid,
+    system_server: Pid,
+    mediaserver: Pid,
+    system_mix: LibMix,
+    input: crate::input::InputRouter,
+    sf_frames: Rc<Cell<u64>>,
+    launched: u32,
+}
+
+impl std::fmt::Debug for Android {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Android")
+            .field("processes", &self.kernel.process_count())
+            .field("threads", &self.kernel.thread_count())
+            .field("display", &self.display)
+            .finish()
+    }
+}
+
+impl Android {
+    /// Boots the world: kernel threads, daemons, servicemanager, zygote
+    /// (with class preloading), system_server, mediaserver, launcher,
+    /// systemui and the standard zygote children.
+    pub fn boot(display: DisplayConfig) -> Android {
+        let mut kernel = Kernel::new();
+        let directory = ServiceDirectory::new();
+        let surfaces = SurfaceStore::new();
+        let audio = AudioBus::new();
+
+        boot_kernel_threads(&mut kernel);
+        boot_daemons(&mut kernel);
+
+        // servicemanager.
+        let sm_pid = kernel.spawn_process("servicemanager");
+        let sm_tid = kernel.spawn_thread(
+            sm_pid,
+            "servicemanager",
+            Box::new(BinderHost::new(ServiceManager::new(directory.clone()))),
+        );
+        directory.register("servicemanager", sm_tid);
+
+        // zygote: the Dalvik template every app forks from.
+        let zygote = kernel.spawn_process("zygote");
+        let _zygote_mix = LibMix::map_into(
+            &mut kernel,
+            zygote,
+            &[LibSet::Core, LibSet::Dalvik, LibSet::Graphics],
+        );
+        let libdvm = kernel.well_known().libdvm;
+        let zygote_main = kernel.spawn_thread_in(zygote, "zygote", libdvm, inert());
+        for name in ["GC", "Compiler", "Signal Catcher", "HeapWorker", "JDWP"] {
+            kernel.spawn_thread_in(zygote, name, libdvm, inert());
+        }
+        charge_zygote_preload(&mut kernel, zygote, zygote_main);
+
+        // system_server.
+        let system_server = kernel.fork_process(zygote, "system_server");
+        let mut system_mix = LibMix::map_into(
+            &mut kernel,
+            system_server,
+            &[LibSet::Net, LibSet::SystemMisc],
+        );
+        let services_dex = kernel.intern_region("/system/framework/services.jar@classes.dex");
+        kernel.map_lib(system_server, "/system/framework/services.jar@classes.dex", 2_200 * 1024, 4096);
+        kernel.map_lib(system_server, "libsurfaceflinger.so", 240 * 1024, 16 * 1024);
+        kernel.map_lib(system_server, "libpixelflinger.so", 110 * 1024, 8 * 1024);
+        system_mix.push(services_dex, 2);
+
+        let sf_lib = kernel.intern_region("libsurfaceflinger.so");
+        let wk = kernel.well_known();
+        let fb = kernel.shm_create(wk.fb0, display.fb_bytes());
+        let flinger = SurfaceFlinger::new(display, surfaces.clone(), fb);
+        let sf_frames = flinger.frame_counter();
+        kernel.spawn_thread_in(system_server, "SurfaceFlinger", sf_lib, Box::new(flinger));
+
+        // ServerThread: periodic service housekeeping.
+        {
+            let mix = system_mix.clone();
+            let dvm = kernel.well_known().libdvm;
+            kernel.spawn_thread_in(
+                system_server,
+                "android.server.ServerThread",
+                dvm,
+                Box::new(Periodic::new(250 * TICKS_PER_MS, move |cx| {
+                    cx.call_lib(dvm, 12_000);
+                    let sj = cx.intern_region("/system/framework/services.jar@classes.dex");
+                    cx.charge(sj, RefKind::DataRead, 900);
+                    let stats = cx.intern_region("/data/system/batterystats.bin");
+                    cx.charge(stats, RefKind::DataWrite, 24);
+                    mix.charge(cx, 4_000);
+                })),
+            );
+        }
+        // Input pipeline: a synthetic user drives touch gestures through
+        // the real InputReader → InputDispatcher path.
+        let input_router = crate::input::InputRouter::new();
+        let ui = kernel.intern_region("libui.so");
+        let dispatcher_tid = kernel.spawn_thread_in(
+            system_server,
+            "InputDispatcher",
+            ui,
+            Box::new(crate::input::InputDispatcher {
+                router: input_router.clone(),
+            }),
+        );
+        kernel.spawn_thread_in(
+            system_server,
+            "InputReader",
+            ui,
+            Box::new(crate::input::InputReader::new(
+                dispatcher_tid,
+                display.width,
+                display.height,
+            )),
+        );
+        // Binder pool hosting the core services.
+        let ams_tid = kernel.spawn_thread(
+            system_server,
+            "Binder Thread #1",
+            Box::new(BinderHost::new(ActivityManagerService::new(
+                system_mix.clone(),
+            ))),
+        );
+        let wms_tid = kernel.spawn_thread(
+            system_server,
+            "Binder Thread #2",
+            Box::new(BinderHost::new(WindowManagerService::new(
+                system_mix.clone(),
+                surfaces.clone(),
+            ))),
+        );
+        let pms_tid = kernel.spawn_thread(
+            system_server,
+            "Binder Thread #3",
+            Box::new(BinderHost::new(PackageManagerService::new(
+                system_mix.clone(),
+                INSTALLED_PACKAGES,
+            ))),
+        );
+        kernel.spawn_thread(system_server, "Binder Thread #4", inert());
+        directory.register("activity", ams_tid);
+        directory.register("window", wms_tid);
+        directory.register("package", pms_tid);
+        for name in [
+            "PowerManagerSer",
+            "BatteryService",
+            "AlarmManager",
+            "WifiService",
+            "AudioService",
+            "SensorService",
+            "WindowManagerPo",
+        ] {
+            kernel.spawn_thread(system_server, name, inert());
+        }
+
+        // mediaserver.
+        let mediaserver = kernel.spawn_process("mediaserver");
+        let _media_mix = LibMix::map_into(
+            &mut kernel,
+            mediaserver,
+            &[LibSet::Core, LibSet::Media, LibSet::Graphics],
+        );
+        let media_main = kernel.spawn_thread(mediaserver, "mediaserver", inert());
+        let _ = media_main;
+        let mps_tid = kernel.spawn_thread(
+            mediaserver,
+            "Binder Thread #1",
+            Box::new(BinderHost::new(MediaPlayerService::new(
+                audio.clone(),
+                surfaces.clone(),
+            ))),
+        );
+        kernel.spawn_thread(mediaserver, "Binder Thread #2", inert());
+        AudioFlingerThread::spawn(&mut kernel, mediaserver, audio.clone());
+        directory.register("media.player", mps_tid);
+
+        let mut android = Android {
+            kernel,
+            directory,
+            surfaces,
+            audio,
+            display,
+            input: input_router,
+            zygote,
+            system_server,
+            mediaserver,
+            system_mix,
+            sf_frames,
+            launched: 0,
+        };
+        android.boot_zygote_children();
+        android
+    }
+
+    /// Standard zygote children: launcher, systemui, acore, phone, media
+    /// provider.
+    fn boot_zygote_children(&mut self) {
+        let display = self.display;
+
+        // Launcher: draws the wallpaper + icon grid once.
+        let launcher = self.fork_dalvik_child("ndroid.launcher");
+        let surfaces = self.surfaces.clone();
+        let dvm = self.kernel.well_known().libdvm;
+        self.kernel.spawn_thread_in(
+            launcher,
+            "ndroid.launcher",
+            dvm,
+            Box::new(OneShot::new(move |cx| {
+                let handle = surfaces.create_surface(
+                    cx,
+                    "launcher",
+                    0,
+                    0,
+                    display.width,
+                    display.height,
+                    PixelFormat::Rgb565,
+                );
+                let mut canvas = Canvas::new(Bitmap::new(
+                    display.width,
+                    display.height,
+                    PixelFormat::Rgb565,
+                ));
+                canvas.draw_gradient(cx, canvas.bitmap().bounds(), 0x001f, 0x07e0);
+                // Icon grid.
+                let cell = (display.width / 6).max(4);
+                for row in 0..4u32 {
+                    for col in 0..4u32 {
+                        canvas.fill_rect(
+                            cx,
+                            Rect::new(col * cell + 2, row * cell + 2, cell - 4, cell - 4),
+                            0xffe0 ^ (row * 7 + col),
+                        );
+                    }
+                }
+                let frame = canvas.into_bitmap();
+                handle.post_buffer(cx, &frame);
+                // The launcher then sits behind the app; hide it so the
+                // foreground app owns composition.
+                handle.set_visible(false);
+            })),
+        );
+
+        // SystemUI: the status bar clock ticks every second.
+        let systemui = self.fork_dalvik_child("ndroid.systemui");
+        let surfaces = self.surfaces.clone();
+        let bar_h = (display.height / 25).max(4);
+        self.kernel.spawn_thread_in(
+            systemui,
+            "ndroid.systemui",
+            dvm,
+            Box::new(StatusBar::new(surfaces, display.width, bar_h)),
+        );
+
+        for name in ["android.process.acore", "com.android.phone", "android.process.media"] {
+            let pid = self.fork_dalvik_child(name);
+            let dvm = self.kernel.well_known().libdvm;
+            let mix = self.system_mix.clone();
+            self.kernel.spawn_thread_in(
+                pid,
+                name,
+                dvm,
+                Box::new(Periodic::new(2_000 * TICKS_PER_MS, move |cx| {
+                    cx.call_lib(dvm, 3_000);
+                    mix.charge(cx, 1_200);
+                })),
+            );
+        }
+    }
+
+    /// Forks a Dalvik child from zygote with the standard VM thread set.
+    fn fork_dalvik_child(&mut self, name: &str) -> Pid {
+        let pid = self.kernel.fork_process(self.zygote, name);
+        let dvm = self.kernel.well_known().libdvm;
+        for t in ["GC", "Compiler", "Signal Catcher", "HeapWorker", "Binder Thread #1"] {
+            self.kernel.spawn_thread_in(pid, t, dvm, inert());
+        }
+        pid
+    }
+
+    /// Launches the benchmark application: registers the APK, runs
+    /// `dexopt` and `id.defcontainer`, forks the app from zygote and maps
+    /// its libraries. Returns the app's environment; the caller spawns the
+    /// app's threads.
+    pub fn launch_app(&mut self, package: &str, apk_path: &str) -> AppEnv {
+        self.launched += 1;
+        if self.kernel.vfs().file_len(apk_path).is_none() {
+            self.kernel.vfs_mut().add_file(apk_path, 900 * 1024, 0x41);
+        }
+
+        // dexopt verifies/optimizes the package, then exits.
+        let dexopt = self.kernel.spawn_process("dexopt");
+        let dvm = self.kernel.well_known().libdvm;
+        self.kernel
+            .spawn_thread_in(dexopt, "dexopt", dvm, Box::new(DexoptWorker::new(apk_path, package)));
+
+        // The DefaultContainerService inspects the package.
+        let defcontainer = self.fork_dalvik_child("id.defcontainer");
+        let apk = apk_path.to_owned();
+        self.kernel.spawn_thread_in(
+            defcontainer,
+            "id.defcontainer",
+            dvm,
+            Box::new(OneShot::new(move |cx| {
+                let mut buf = vec![0u8; 8 * 1024];
+                let n = cx.fs_read(&apk, 0, &mut buf);
+                cx.call_lib(dvm, 3 * n as u64);
+            })),
+        );
+
+        // The benchmark process itself (named as the paper's figures
+        // label it).
+        let pid = self.kernel.fork_process(self.zygote, "benchmark");
+        let mut mix = LibMix::map_into(
+            &mut self.kernel,
+            pid,
+            &[LibSet::Core, LibSet::Dalvik, LibSet::Graphics],
+        );
+        let apk_region = self.kernel.intern_region(&format!("{apk_path} (apk)"));
+        self.kernel
+            .map_lib(pid, &format!("{apk_path} (apk)"), 512 * 1024, 4096);
+        mix.push(apk_region, 1);
+
+        AppEnv {
+            pid,
+            package: package.to_owned(),
+            input: self.input.clone(),
+            zygote: self.zygote,
+            directory: self.directory.clone(),
+            surfaces: self.surfaces.clone(),
+            audio: self.audio.clone(),
+            display: self.display,
+            mix,
+        }
+    }
+
+    /// The input focus router (see [`crate::InputRouter`]).
+    pub fn input(&self) -> &crate::input::InputRouter {
+        &self.input
+    }
+
+    /// Runs the world for `ms` simulated milliseconds.
+    ///
+    /// Note a booted Android never goes idle (vsync, audio and service
+    /// timers re-arm forever), so use this rather than `run_to_idle`.
+    pub fn run_ms(&mut self, ms: u64) {
+        self.kernel.run_for(ms * TICKS_PER_MS);
+    }
+
+    /// Frames composed by SurfaceFlinger so far.
+    pub fn frames_composed(&self) -> u64 {
+        self.sf_frames.get()
+    }
+
+    /// The zygote pid.
+    pub fn zygote(&self) -> Pid {
+        self.zygote
+    }
+
+    /// The system_server pid.
+    pub fn system_server(&self) -> Pid {
+        self.system_server
+    }
+
+    /// The mediaserver pid.
+    pub fn mediaserver(&self) -> Pid {
+        self.mediaserver
+    }
+
+    /// system_server's library mix (for service-side modeling).
+    pub fn system_mix(&self) -> &LibMix {
+        &self.system_mix
+    }
+}
+
+/// The systemui status bar: redraws the clock strip every second.
+struct StatusBar {
+    surfaces: SurfaceStore,
+    width: u32,
+    height: u32,
+    handle: Option<agave_gfx::SurfaceHandle>,
+    ticks: u64,
+}
+
+impl StatusBar {
+    fn new(surfaces: SurfaceStore, width: u32, height: u32) -> Self {
+        StatusBar {
+            surfaces,
+            width,
+            height,
+            handle: None,
+            ticks: 0,
+        }
+    }
+
+    fn redraw(&mut self, cx: &mut agave_kernel::Ctx<'_>) {
+        let handle = match &self.handle {
+            Some(h) => h.clone(),
+            None => {
+                let h = self.surfaces.create_surface(
+                    cx,
+                    "StatusBar",
+                    0,
+                    0,
+                    self.width,
+                    self.height,
+                    PixelFormat::Rgb565,
+                );
+                self.handle = Some(h.clone());
+                h
+            }
+        };
+        let mut canvas = Canvas::new(Bitmap::new(self.width, self.height, PixelFormat::Rgb565));
+        canvas.clear(cx, 0x0000);
+        let clock = format!("{:02}:{:02}", (self.ticks / 60) % 24, self.ticks % 60);
+        canvas.draw_text(cx, &clock, 2, 2, 0xffff);
+        handle.post_buffer(cx, &canvas.into_bitmap());
+        self.ticks += 1;
+    }
+}
+
+impl agave_kernel::Actor for StatusBar {
+    fn on_start(&mut self, cx: &mut agave_kernel::Ctx<'_>) {
+        cx.post_self_after(1_000 * TICKS_PER_MS, Message::new(0));
+    }
+
+    fn on_message(&mut self, cx: &mut agave_kernel::Ctx<'_>, _msg: Message) {
+        self.redraw(cx);
+        cx.post_self_after(1_000 * TICKS_PER_MS, Message::new(0));
+    }
+}
+
+fn inert() -> Box<dyn agave_kernel::Actor> {
+    struct I;
+    impl agave_kernel::Actor for I {
+        fn on_message(&mut self, _cx: &mut agave_kernel::Ctx<'_>, _msg: Message) {}
+    }
+    Box::new(I)
+}
+
+/// The standard Linux kernel worker threads.
+fn boot_kernel_threads(kernel: &mut Kernel) {
+    for name in [
+        "kthreadd",
+        "ksoftirqd/0",
+        "events/0",
+        "khelper",
+        "kblockd/0",
+        "suspend",
+        "flush-179:0",
+        "mmcqd/0",
+    ] {
+        kernel.spawn_kernel_thread(name);
+    }
+    // A couple of them do visible periodic work.
+    let (events_pid, _) = kernel.spawn_kernel_thread("kondemand/0");
+    let osk = kernel.well_known().os_kernel;
+    kernel.spawn_thread_in(
+        events_pid,
+        "kondemand-worker/0",
+        osk,
+        Box::new(Periodic::new(500 * TICKS_PER_MS, move |cx| {
+            cx.syscall(900);
+        })),
+    );
+}
+
+/// Native userspace daemons.
+fn boot_daemons(kernel: &mut Kernel) {
+    for name in [
+        "init", "ueventd", "vold", "netd", "debuggerd", "rild", "keystore", "installd",
+    ] {
+        let pid = kernel.spawn_process(name);
+        kernel.spawn_thread(pid, name, inert());
+    }
+}
+
+/// Zygote's framework class preloading (~1,800 classes on Gingerbread).
+fn charge_zygote_preload(kernel: &mut Kernel, zygote: Pid, zygote_main: Tid) {
+    let wk = kernel.well_known();
+    let core_dex = kernel.intern_region("/system/framework/core.jar@classes.dex");
+    let fw_dex = kernel.intern_region("/system/framework/framework.jar@classes.dex");
+    let tracer = kernel.tracer_mut();
+    tracer.charge(zygote, zygote_main, wk.libdvm, RefKind::InstrFetch, 48_000);
+    tracer.charge(zygote, zygote_main, core_dex, RefKind::DataRead, 8_000);
+    tracer.charge(zygote, zygote_main, fw_dex, RefKind::DataRead, 5_500);
+    tracer.charge(zygote, zygote_main, wk.dalvik_heap, RefKind::DataWrite, 7_000);
+    tracer.charge(zygote, zygote_main, wk.dalvik_heap, RefKind::DataRead, 3_000);
+    tracer.charge(
+        zygote,
+        zygote_main,
+        wk.dalvik_linear_alloc,
+        RefKind::DataWrite,
+        4_000,
+    );
+}

@@ -1,0 +1,210 @@
+//! Reusable "framework" bytecode: the Java-library workhorses apps call.
+//!
+//! Real Agave applications spend much of their Dalvik time in framework
+//! classes (`ArrayList`, `String`, layout code) whose bytecode lives in
+//! `/system/framework/core.jar@classes.dex` rather than the app's own dex.
+//! [`add_framework_methods`] appends a set of such utility methods to an
+//! app's [`DexFile`]; [`FrameworkMethods::mark`] then attributes their
+//! bytecode reads to the core-jar region, splitting dex-file traffic
+//! between app and framework exactly as the paper's VMA accounting would.
+
+use agave_dalvik::Vm;
+use agave_dex::{BinOp, ClassId, Cond, DexFile, MethodBuilder, MethodId, Reg};
+use agave_kernel::Ctx;
+
+/// Handles to the shared framework methods.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameworkMethods {
+    /// The framework utility class.
+    pub class: ClassId,
+    /// `mix(x, rounds) -> i64`: an arithmetic churn loop (hashing,
+    /// measure passes).
+    pub mix: MethodId,
+    /// `fill(arr, n, seed)`: fills an array from a seeded LCG.
+    pub fill: MethodId,
+    /// `sum(arr) -> i64`: sums an array.
+    pub sum: MethodId,
+    /// `copy(dst, src, n)`: element-wise array copy.
+    pub copy: MethodId,
+}
+
+/// Appends the framework utility methods to `dex`.
+pub fn add_framework_methods(dex: &mut DexFile) -> FrameworkMethods {
+    let class = dex.add_class("Ljava/lang/FrameworkUtil;", 0, 0);
+
+    // mix(x, rounds): acc = x; for i in 0..rounds { acc = acc*K + (acc>>13) + i }
+    let mix = {
+        let mut m = MethodBuilder::new(8, 2);
+        let (x, rounds) = (Reg(6), Reg(7));
+        let (i, one, k, acc, tmp, sh) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4), Reg(5));
+        m.konst(i, 0).konst(one, 1).konst(k, 6364136223846793005);
+        m.konst(sh, 13);
+        m.mov(acc, x);
+        let head = m.new_label();
+        m.bind(head);
+        m.binop(BinOp::Mul, acc, acc, k);
+        m.binop(BinOp::Shr, tmp, acc, sh);
+        m.binop(BinOp::Add, acc, acc, tmp);
+        m.binop(BinOp::Add, acc, acc, i);
+        m.binop(BinOp::Add, i, i, one);
+        m.if_cmp(Cond::Lt, i, rounds, head);
+        m.ret(Some(acc));
+        dex.add_method(class, "mix", m)
+    };
+
+    // fill(arr, n, seed)
+    let fill = {
+        let mut m = MethodBuilder::new(10, 3);
+        let (arr, n, seed) = (Reg(7), Reg(8), Reg(9));
+        let (i, one, a, c, x) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4));
+        m.konst(i, 0).konst(one, 1);
+        m.konst(a, 1103515245).konst(c, 12345);
+        m.mov(x, seed);
+        let head = m.new_label();
+        let done = m.new_label();
+        m.bind(head);
+        m.if_cmp(Cond::Ge, i, n, done);
+        m.binop(BinOp::Mul, x, x, a);
+        m.binop(BinOp::Add, x, x, c);
+        m.aput(x, arr, i);
+        m.binop(BinOp::Add, i, i, one);
+        m.goto(head);
+        m.bind(done);
+        m.ret(None);
+        dex.add_method(class, "fill", m)
+    };
+
+    // sum(arr)
+    let sum = {
+        let mut m = MethodBuilder::new(7, 1);
+        let arr = Reg(6);
+        let (i, acc, one, len, v) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4));
+        m.konst(i, 0).konst(acc, 0).konst(one, 1);
+        m.array_len(len, arr);
+        let head = m.new_label();
+        let done = m.new_label();
+        m.bind(head);
+        m.if_cmp(Cond::Ge, i, len, done);
+        m.aget(v, arr, i);
+        m.binop(BinOp::Add, acc, acc, v);
+        m.binop(BinOp::Add, i, i, one);
+        m.goto(head);
+        m.bind(done);
+        m.ret(Some(acc));
+        dex.add_method(class, "sum", m)
+    };
+
+    // copy(dst, src, n)
+    let copy = {
+        let mut m = MethodBuilder::new(9, 3);
+        let (dst, src, n) = (Reg(6), Reg(7), Reg(8));
+        let (i, one, v) = (Reg(0), Reg(1), Reg(2));
+        m.konst(i, 0).konst(one, 1);
+        let head = m.new_label();
+        let done = m.new_label();
+        m.bind(head);
+        m.if_cmp(Cond::Ge, i, n, done);
+        m.aget(v, src, i);
+        m.aput(v, dst, i);
+        m.binop(BinOp::Add, i, i, one);
+        m.goto(head);
+        m.bind(done);
+        m.ret(None);
+        dex.add_method(class, "copy", m)
+    };
+
+    FrameworkMethods {
+        class,
+        mix,
+        fill,
+        sum,
+        copy,
+    }
+}
+
+impl FrameworkMethods {
+    /// Attributes these methods' bytecode reads to the core framework jar
+    /// instead of the app's own dex.
+    pub fn mark(&self, cx: &mut Ctx<'_>, vm: &mut Vm) {
+        let core = cx.intern_region("/system/framework/core.jar@classes.dex");
+        for id in [self.mix, self.fill, self.sum, self.copy] {
+            vm.set_method_region(id, core);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agave_dalvik::Value;
+    use agave_kernel::{Actor, Kernel, Message};
+
+    fn run(f: impl FnOnce(&mut Ctx<'_>) + 'static) -> agave_trace::RunSummary {
+        struct R<F>(Option<F>);
+        impl<F: FnOnce(&mut Ctx<'_>) + 'static> Actor for R<F> {
+            fn on_message(&mut self, cx: &mut Ctx<'_>, _m: Message) {
+                (self.0.take().unwrap())(cx);
+            }
+        }
+        let mut kernel = Kernel::new();
+        let pid = kernel.spawn_process("app");
+        let tid = kernel.spawn_thread(pid, "main", Box::new(R(Some(f))));
+        kernel.send(tid, Message::new(0));
+        kernel.run_to_idle();
+        kernel.tracer().summarize("t")
+    }
+
+    #[test]
+    fn framework_methods_compute_correctly() {
+        run(|cx| {
+            let mut dex = DexFile::new();
+            let fw = add_framework_methods(&mut dex);
+            let mut vm = Vm::new(cx, dex, "app.apk@classes.dex");
+            // fill then sum a 10-element array with the same LCG in Rust.
+            let arr = vm.heap.alloc_array(10);
+            vm.invoke(
+                cx,
+                fw.fill,
+                &[Value::Ref(arr), Value::Int(10), Value::Int(7)],
+            );
+            let got = vm.invoke(cx, fw.sum, &[Value::Ref(arr)]).unwrap().as_int();
+            let mut x: i64 = 7;
+            let mut expect: i64 = 0;
+            for _ in 0..10 {
+                x = x.wrapping_mul(1103515245).wrapping_add(12345);
+                expect = expect.wrapping_add(x);
+            }
+            assert_eq!(got, expect);
+            // copy duplicates contents.
+            let dst = vm.heap.alloc_array(10);
+            vm.invoke(
+                cx,
+                fw.copy,
+                &[Value::Ref(dst), Value::Ref(arr), Value::Int(10)],
+            );
+            let got2 = vm.invoke(cx, fw.sum, &[Value::Ref(dst)]).unwrap().as_int();
+            assert_eq!(got2, expect);
+            // mix is deterministic and sensitive to rounds.
+            let a = vm
+                .invoke(cx, fw.mix, &[Value::Int(42), Value::Int(100)])
+                .unwrap();
+            let b = vm
+                .invoke(cx, fw.mix, &[Value::Int(42), Value::Int(101)])
+                .unwrap();
+            assert_ne!(a, b);
+        });
+    }
+
+    #[test]
+    fn marking_moves_dex_reads_to_core_jar() {
+        let s = run(|cx| {
+            let mut dex = DexFile::new();
+            let fw = add_framework_methods(&mut dex);
+            let mut vm = Vm::new(cx, dex, "app.apk@classes.dex");
+            fw.mark(cx, &mut vm);
+            vm.invoke(cx, fw.mix, &[Value::Int(1), Value::Int(5_000)]);
+        });
+        let core = s.data_by_region["/system/framework/core.jar@classes.dex"];
+        assert!(core > 5_000, "core jar reads missing: {core}");
+    }
+}

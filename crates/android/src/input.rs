@@ -1,0 +1,228 @@
+//! The input pipeline: `InputReader` → `InputDispatcher` → focused app.
+//!
+//! Gingerbread's input stack polls the kernel event devices on the
+//! `InputReader` thread, hands events to `InputDispatcher`, which delivers
+//! them to the focused window's process. The model drives a deterministic
+//! synthetic "user" (a gesture every ~800 ms) through the same two
+//! `system_server` threads, so interactive workloads receive real touch
+//! traffic and input-side references land where the paper saw them.
+
+use agave_kernel::{Actor, Ctx, Message, RefKind, Tid, TICKS_PER_MS};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Message code of a touch event delivered to the focused thread.
+/// `arg1` = `(x << 16) | y`, `arg2` = [`TouchAction`] discriminant.
+pub const MSG_INPUT_EVENT: u32 = 0x696e;
+
+/// What the finger did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TouchAction {
+    /// Finger down.
+    Down,
+    /// Finger drag.
+    Move,
+    /// Finger up.
+    Up,
+}
+
+impl TouchAction {
+    fn from_i64(v: i64) -> TouchAction {
+        match v {
+            0 => TouchAction::Down,
+            1 => TouchAction::Move,
+            _ => TouchAction::Up,
+        }
+    }
+
+    fn as_i64(self) -> i64 {
+        match self {
+            TouchAction::Down => 0,
+            TouchAction::Move => 1,
+            TouchAction::Up => 2,
+        }
+    }
+}
+
+/// A decoded touch event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TouchEvent {
+    /// Panel x.
+    pub x: u32,
+    /// Panel y.
+    pub y: u32,
+    /// Gesture phase.
+    pub action: TouchAction,
+}
+
+impl TouchEvent {
+    /// Packs the event into a mailbox message.
+    pub fn into_message(self) -> Message {
+        Message::new(MSG_INPUT_EVENT)
+            .arg1(i64::from(self.x) << 16 | i64::from(self.y))
+            .arg2(self.action.as_i64())
+    }
+
+    /// Decodes an event from a [`MSG_INPUT_EVENT`] message.
+    ///
+    /// Returns `None` for other message codes.
+    pub fn from_message(msg: &Message) -> Option<TouchEvent> {
+        if msg.what != MSG_INPUT_EVENT {
+            return None;
+        }
+        Some(TouchEvent {
+            x: (msg.arg1 >> 16) as u32,
+            y: (msg.arg1 & 0xffff) as u32,
+            action: TouchAction::from_i64(msg.arg2),
+        })
+    }
+}
+
+/// The shared focus registry: which thread currently receives input.
+#[derive(Debug, Clone, Default)]
+pub struct InputRouter {
+    focused: Rc<RefCell<Option<Tid>>>,
+}
+
+impl InputRouter {
+    /// Creates a router with nothing focused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Focuses input on `tid` (usually the app's main thread).
+    pub fn set_focus(&self, tid: Tid) {
+        *self.focused.borrow_mut() = Some(tid);
+    }
+
+    /// Clears focus (events are dropped, as with no focused window).
+    pub fn clear_focus(&self) {
+        *self.focused.borrow_mut() = None;
+    }
+
+    /// Currently focused thread.
+    pub fn focused(&self) -> Option<Tid> {
+        *self.focused.borrow()
+    }
+}
+
+/// The `InputReader` thread: polls `/dev/input/event0` and synthesizes a
+/// deterministic gesture stream for the dispatcher.
+pub(crate) struct InputReader {
+    pub dispatcher: Tid,
+    pub width: u32,
+    pub height: u32,
+    seq: u64,
+}
+
+impl InputReader {
+    pub fn new(dispatcher: Tid, width: u32, height: u32) -> Self {
+        InputReader {
+            dispatcher,
+            width,
+            height,
+            seq: 0,
+        }
+    }
+}
+
+const READER_PERIOD: u64 = 50 * TICKS_PER_MS;
+/// One gesture (down, 2 moves, up) every 16 polls ≈ 800 ms.
+const POLLS_PER_GESTURE: u64 = 16;
+
+impl Actor for InputReader {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        cx.post_self_after(READER_PERIOD, Message::new(0));
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, _msg: Message) {
+        self.seq += 1;
+        // Poll the event device.
+        let ui = cx.intern_region("libui.so");
+        cx.call_lib(ui, 500);
+        cx.syscall(120);
+        let evdev = cx.intern_region("/dev/input/event0");
+        cx.charge(evdev, RefKind::DataRead, 4);
+
+        let phase = self.seq % POLLS_PER_GESTURE;
+        if phase < 4 {
+            // Deterministic gesture position from the sequence number.
+            let g = self.seq / POLLS_PER_GESTURE + 1;
+            let x = (g.wrapping_mul(2654435761) % u64::from(self.width.max(1))) as u32;
+            let y = (g.wrapping_mul(40503) % u64::from(self.height.max(1))) as u32;
+            let action = match phase {
+                0 => TouchAction::Down,
+                3 => TouchAction::Up,
+                _ => TouchAction::Move,
+            };
+            let event = TouchEvent {
+                x,
+                y: y + (phase as u32 * 2),
+                action,
+            };
+            cx.charge(evdev, RefKind::DataRead, 16);
+            cx.send(self.dispatcher, event.into_message());
+        }
+        cx.post_self_after(READER_PERIOD, Message::new(0));
+    }
+}
+
+/// The `InputDispatcher` thread: routes reader events to the focused
+/// window's thread.
+pub(crate) struct InputDispatcher {
+    pub router: InputRouter,
+}
+
+impl Actor for InputDispatcher {
+    fn on_message(&mut self, cx: &mut Ctx<'_>, msg: Message) {
+        let Some(event) = TouchEvent::from_message(&msg) else {
+            return;
+        };
+        // Window lookup + motion-event bookkeeping in services.jar code.
+        let dvm = cx.well_known().libdvm;
+        cx.call_lib(dvm, 2_000);
+        let sj = cx.intern_region("/system/framework/services.jar@classes.dex");
+        cx.charge(sj, RefKind::DataRead, 160);
+        if let Some(target) = self.router.focused() {
+            cx.send(target, event.into_message());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_message_round_trips() {
+        let e = TouchEvent {
+            x: 123,
+            y: 456,
+            action: TouchAction::Move,
+        };
+        let msg = e.into_message();
+        assert_eq!(TouchEvent::from_message(&msg), Some(e));
+        assert_eq!(TouchEvent::from_message(&Message::new(1)), None);
+    }
+
+    #[test]
+    fn actions_encode_densely() {
+        for a in [TouchAction::Down, TouchAction::Move, TouchAction::Up] {
+            assert_eq!(TouchAction::from_i64(a.as_i64()), a);
+        }
+    }
+
+    #[test]
+    fn router_focus_is_shared() {
+        let r1 = InputRouter::new();
+        let r2 = r1.clone();
+        assert!(r1.focused().is_none());
+        let mut tracer = agave_trace::Tracer::new();
+        let p = tracer.register_process("x");
+        let t = tracer.register_thread(p, "main");
+        r2.set_focus(t);
+        assert_eq!(r1.focused(), Some(t));
+        r1.clear_focus();
+        assert_eq!(r2.focused(), None);
+    }
+}

@@ -1,0 +1,55 @@
+//! The Android framework model: boot, zygote, system services, and the
+//! application environment the 19 Agave workloads run on.
+//!
+//! [`Android::boot`] constructs the full Gingerbread process population —
+//! kernel threads, `init`, `servicemanager`, `zygote` (with framework
+//! class preloading), `system_server` (hosting SurfaceFlinger, the
+//! Activity/Window/Package managers and a binder pool), `mediaserver`
+//! (MediaPlayerService + AudioFlinger), the launcher, systemui, and the
+//! usual zygote children — roughly the 20–34 processes the paper observes
+//! behind every benchmark.
+//!
+//! [`Android::launch_app`] forks the benchmark process from zygote (running
+//! `dexopt` on the way, as a first install would), and hands back an
+//! [`AppEnv`] with which workload code opens windows, resolves services,
+//! plays media and runs Dalvik bytecode.
+//!
+//! # Example
+//!
+//! ```
+//! use agave_android::{Android, DisplayConfig};
+//!
+//! let mut android = Android::boot(DisplayConfig::wvga().scaled(8));
+//! let app = android.launch_app("demo.app", "/data/app/demo.apk");
+//! assert!(android.kernel.process_count() >= 20);
+//! # let _ = app;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod app;
+mod boot;
+mod fwdex;
+mod input;
+mod libs;
+mod services;
+
+pub use app::AppEnv;
+pub use input::{InputRouter, TouchAction, TouchEvent, MSG_INPUT_EVENT};
+pub use boot::Android;
+pub use fwdex::{add_framework_methods, FrameworkMethods};
+pub use libs::{LibMix, LibSet};
+pub use services::{
+    ActivityManagerService, PackageManagerService, WindowManagerService, AMS_BIND_SERVICE,
+    AMS_START_ACTIVITY, PMS_GET_PACKAGE_INFO, PMS_QUERY_ACTIVITIES, WMS_CREATE_SURFACE,
+    WMS_RELAYOUT,
+};
+
+// Re-exports forming the one-stop app-building surface.
+pub use agave_binder::{BinderHost, BinderProxy, BinderService, Parcel, ServiceDirectory};
+pub use agave_gfx::{
+    Bitmap, Canvas, DisplayConfig, PixelFormat, Rect, SurfaceHandle, SurfaceStore, VSYNC_PERIOD,
+};
+pub use agave_kernel::{Actor, Ctx, Kernel, Message, NameId, Pid, RefKind, Tid, TICKS_PER_MS};
+pub use agave_media::{AudioBus, MediaPlayer, MediaSession, SessionOutput};

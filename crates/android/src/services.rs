@@ -1,0 +1,247 @@
+//! The core system services hosted in `system_server`.
+
+use crate::libs::LibMix;
+use agave_binder::{BinderService, Parcel};
+use agave_gfx::{PixelFormat, SurfaceStore};
+use agave_kernel::{Ctx, RefKind};
+
+/// `activity` transaction: start an activity. Parcel: component name.
+pub const AMS_START_ACTIVITY: u32 = 1;
+/// `activity` transaction: bind a service. Parcel: component name.
+pub const AMS_BIND_SERVICE: u32 = 2;
+
+/// `window` transaction: create a surface. Parcel: name, x, y, w, h.
+/// Reply: status, surface index.
+pub const WMS_CREATE_SURFACE: u32 = 1;
+/// `window` transaction: relayout (cheap bookkeeping).
+pub const WMS_RELAYOUT: u32 = 2;
+
+/// `package` transaction: fetch package info. Parcel: package name.
+pub const PMS_GET_PACKAGE_INFO: u32 = 1;
+/// `package` transaction: query activities (heavier scan).
+pub const PMS_QUERY_ACTIVITIES: u32 = 2;
+
+fn services_dex_cost(cx: &mut Ctx<'_>, mix: &LibMix, dex_reads: u64, fetches: u64) {
+    // System services are Dalvik code in services.jar running on libdvm.
+    let wk = cx.well_known();
+    let services_dex = cx.intern_region("/system/framework/services.jar@classes.dex");
+    cx.call_lib(wk.libdvm, fetches);
+    cx.charge(services_dex, RefKind::DataRead, dex_reads);
+    let heap = wk.dalvik_heap;
+    cx.data_rw(heap, dex_reads / 2, dex_reads / 4);
+    mix.charge(cx, fetches / 4);
+}
+
+/// The ActivityManager: lifecycle bookkeeping for activities/services.
+pub struct ActivityManagerService {
+    mix: LibMix,
+    activities_started: u64,
+}
+
+impl ActivityManagerService {
+    /// Creates the service; `mix` is `system_server`'s library mix.
+    pub fn new(mix: LibMix) -> Self {
+        ActivityManagerService {
+            mix,
+            activities_started: 0,
+        }
+    }
+}
+
+impl BinderService for ActivityManagerService {
+    fn transact(&mut self, cx: &mut Ctx<'_>, code: u32, data: &mut Parcel) -> Parcel {
+        let mut reply = Parcel::new();
+        match code {
+            AMS_START_ACTIVITY => {
+                let _component = data.read_str();
+                // Resolve intent, update task stack, schedule lifecycle.
+                services_dex_cost(cx, &self.mix, 6_000, 45_000);
+                self.activities_started += 1;
+                reply.write_u32(0);
+            }
+            AMS_BIND_SERVICE => {
+                let _component = data.read_str();
+                services_dex_cost(cx, &self.mix, 3_000, 22_000);
+                reply.write_u32(0);
+            }
+            other => panic!("activity: unknown transaction {other}"),
+        }
+        reply
+    }
+}
+
+/// The WindowManager: owns surface creation on behalf of clients.
+pub struct WindowManagerService {
+    mix: LibMix,
+    surfaces: SurfaceStore,
+}
+
+impl WindowManagerService {
+    /// Creates the service over the global surface store.
+    pub fn new(mix: LibMix, surfaces: SurfaceStore) -> Self {
+        WindowManagerService { mix, surfaces }
+    }
+}
+
+impl BinderService for WindowManagerService {
+    fn transact(&mut self, cx: &mut Ctx<'_>, code: u32, data: &mut Parcel) -> Parcel {
+        let mut reply = Parcel::new();
+        match code {
+            WMS_CREATE_SURFACE => {
+                let name = data.read_str();
+                let x = data.read_u32();
+                let y = data.read_u32();
+                let w = data.read_u32();
+                let h = data.read_u32();
+                services_dex_cost(cx, &self.mix, 2_500, 18_000);
+                // Gralloc allocation happens here, in system_server.
+                let handle =
+                    self.surfaces
+                        .create_surface(cx, &name, x, y, w, h, PixelFormat::Rgb565);
+                let _ = handle;
+                reply.write_u32(0);
+                reply.write_u32(self.surfaces.len() as u32 - 1);
+            }
+            WMS_RELAYOUT => {
+                services_dex_cost(cx, &self.mix, 800, 6_000);
+                reply.write_u32(0);
+            }
+            other => panic!("window: unknown transaction {other}"),
+        }
+        reply
+    }
+}
+
+/// The PackageManager: package metadata queries (hammered by the
+/// `pm.apk.view` workload).
+pub struct PackageManagerService {
+    mix: LibMix,
+    packages: u32,
+}
+
+impl PackageManagerService {
+    /// Creates the service with a synthetic installed-package count.
+    pub fn new(mix: LibMix, packages: u32) -> Self {
+        PackageManagerService { mix, packages }
+    }
+}
+
+impl BinderService for PackageManagerService {
+    fn transact(&mut self, cx: &mut Ctx<'_>, code: u32, data: &mut Parcel) -> Parcel {
+        let mut reply = Parcel::new();
+        match code {
+            PMS_GET_PACKAGE_INFO => {
+                let _pkg = data.read_str();
+                services_dex_cost(cx, &self.mix, 1_500, 12_000);
+                let pkgs_xml = cx.intern_region("/data/system/packages.xml");
+                cx.charge(pkgs_xml, RefKind::DataRead, 48);
+                reply.write_u32(0);
+                reply.write_u32(self.packages);
+            }
+            PMS_QUERY_ACTIVITIES => {
+                // Linear scan over installed packages.
+                let per_pkg = 400u64;
+                services_dex_cost(
+                    cx,
+                    &self.mix,
+                    per_pkg * u64::from(self.packages) / 4,
+                    per_pkg * u64::from(self.packages),
+                );
+                reply.write_u32(0);
+                reply.write_u32(self.packages);
+            }
+            other => panic!("package: unknown transaction {other}"),
+        }
+        reply
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agave_binder::{BinderHost, BinderProxy};
+    use agave_kernel::{Actor, Kernel, Message};
+
+    fn client_runs(code: u32, parcel: Parcel, service: impl BinderService + 'static) -> agave_trace::RunSummary {
+        struct Client {
+            proxy: BinderProxy,
+            code: u32,
+            parcel: Option<Parcel>,
+        }
+        impl Actor for Client {
+            fn on_message(&mut self, cx: &mut Ctx<'_>, _msg: Message) {
+                let p = self.parcel.take().unwrap();
+                let mut reply = self.proxy.transact(cx, self.code, &p);
+                assert_eq!(reply.read_u32(), 0);
+            }
+        }
+        let mut kernel = Kernel::new();
+        let ss = kernel.spawn_process("system_server");
+        let tid = kernel.spawn_thread(ss, "Binder Thread #1", Box::new(BinderHost::new(service)));
+        let app = kernel.spawn_process("benchmark");
+        let main = kernel.spawn_thread(
+            app,
+            "main",
+            Box::new(Client {
+                proxy: BinderProxy::new(tid),
+                code,
+                parcel: Some(parcel),
+            }),
+        );
+        kernel.send(main, Message::new(0));
+        kernel.run_to_idle();
+        kernel.tracer().summarize("t")
+    }
+
+    #[test]
+    fn start_activity_charges_system_server_dalvik() {
+        let mut p = Parcel::new();
+        p.write_str("com.example/.Main");
+        let s = client_runs(
+            AMS_START_ACTIVITY,
+            p,
+            ActivityManagerService::new(LibMix::default()),
+        );
+        assert!(s.instr_by_process["system_server"] > 40_000);
+        assert!(s.data_by_region["/system/framework/services.jar@classes.dex"] >= 6_000);
+        assert!(s.instr_by_region["libdvm.so"] >= 45_000);
+    }
+
+    #[test]
+    fn create_surface_allocates_gralloc_in_system_server() {
+        let mut p = Parcel::new();
+        p.write_str("win");
+        for v in [0u32, 0, 64, 64] {
+            p.write_u32(v);
+        }
+        let store = SurfaceStore::new();
+        let s = client_runs(
+            WMS_CREATE_SURFACE,
+            p,
+            WindowManagerService::new(LibMix::default(), store.clone()),
+        );
+        assert_eq!(store.len(), 1);
+        let _ = s;
+    }
+
+    #[test]
+    fn package_scan_scales_with_package_count() {
+        let mut p1 = Parcel::new();
+        p1.write_str("q");
+        let small = client_runs(
+            PMS_QUERY_ACTIVITIES,
+            p1,
+            PackageManagerService::new(LibMix::default(), 10),
+        );
+        let mut p2 = Parcel::new();
+        p2.write_str("q");
+        let large = client_runs(
+            PMS_QUERY_ACTIVITIES,
+            p2,
+            PackageManagerService::new(LibMix::default(), 200),
+        );
+        assert!(
+            large.instr_by_process["system_server"] > small.instr_by_process["system_server"] * 5
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! `aard.main` — the Aard offline dictionary.
+//!
+//! An `AsyncTask` loads the dictionary index from `/sdcard/aard/dict.aar`
+//! into a Dalvik array; simulated keystrokes then run a bytecode prefix
+//! scan over it and redraw the results list. Dalvik- and text-heavy, with
+//! bursts of file I/O during index loading.
+
+use crate::common::{app_dex, AppBase, MSG_FRAME};
+use agave_android::{Actor, Android, AppEnv, Ctx, Message, Rect, TICKS_PER_MS};
+use agave_dalvik::{HeapRef, Value};
+use agave_dex::MethodId;
+
+const KEYSTROKE_MS: u64 = 700;
+const INDEX_WORDS: usize = 4_000;
+const MSG_LOADED: u32 = 7;
+
+pub(crate) fn install(android: &mut Android, env: AppEnv) {
+    let pid = env.pid;
+    android
+        .kernel
+        .spawn_thread(pid, &env.main_thread_name(), Box::new(Aard::new(env)));
+}
+
+struct Aard {
+    base: AppBase,
+    search: Option<MethodId>,
+    index: Option<HeapRef>,
+    keystrokes: u64,
+}
+
+impl Aard {
+    fn new(env: AppEnv) -> Self {
+        Aard {
+            base: AppBase::new(env),
+            search: None,
+            index: None,
+            keystrokes: 0,
+        }
+    }
+}
+
+/// The index-loading AsyncTask: reads the dictionary file and fills the
+/// Dalvik word array via bytecode.
+struct IndexLoader {
+    vm: agave_dalvik::VmRef,
+    fill: MethodId,
+    index: HeapRef,
+    notify: agave_android::Tid,
+}
+
+impl Actor for IndexLoader {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        let mut buf = vec![0u8; 32 * 1024];
+        let mut offset = 0u64;
+        let mut chunk = 0i64;
+        // Load the first megabyte of index blocks.
+        while offset < (256 << 10) {
+            let n = cx.fs_read("/sdcard/aard/dict.aar", offset, &mut buf);
+            if n == 0 {
+                break;
+            }
+            offset += n as u64;
+            // Parse a slice of words from the chunk into the array.
+            let words_per_chunk = (INDEX_WORDS / 32) as i64;
+            self.vm.borrow_mut().invoke(
+                cx,
+                self.fill,
+                &[
+                    Value::Ref(self.index),
+                    Value::Int(words_per_chunk),
+                    Value::Int(chunk * 31 + 7),
+                ],
+            );
+            chunk += 1;
+        }
+        cx.send(self.notify, Message::new(MSG_LOADED));
+        cx.exit_thread();
+    }
+
+    fn on_message(&mut self, _cx: &mut Ctx<'_>, _msg: Message) {}
+}
+
+/// The per-keystroke search AsyncTask: scans the index in bytecode and
+/// reports the hit count to the UI thread.
+struct SearchTask {
+    vm: agave_dalvik::VmRef,
+    search: MethodId,
+    index: HeapRef,
+    notify: agave_android::Tid,
+    keystrokes: u64,
+}
+
+impl Actor for SearchTask {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        cx.post_self_after(KEYSTROKE_MS * TICKS_PER_MS, Message::new(0));
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, _msg: Message) {
+        self.keystrokes += 1;
+        let needle = (self.keystrokes % 251) as i64;
+        let hits = self
+            .vm
+            .borrow_mut()
+            .invoke(
+                cx,
+                self.search,
+                &[Value::Ref(self.index), Value::Int(needle)],
+            )
+            .expect("search returns")
+            .as_int();
+        cx.send(self.notify, Message::new(MSG_FRAME).arg1(hits));
+        cx.post_self_after(KEYSTROKE_MS * TICKS_PER_MS, Message::new(0));
+    }
+}
+
+impl Actor for Aard {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        let mut dex = app_dex("Laarddict/Main;", 4, 1);
+        let search = dex.add_search_method();
+        let fw = dex.fw;
+        self.base
+            .init_vm(cx, dex.dex, fw, "aarddict.android.apk");
+        self.search = Some(search);
+        self.base.open_window(cx, "aarddict.android/.Main");
+
+        // Allocate and root the index array, then load it asynchronously.
+        let vm = self.base.vm.as_ref().expect("vm").clone();
+        let index = {
+            let mut vm = vm.borrow_mut();
+            let arr = vm.heap.alloc_array(INDEX_WORDS);
+            vm.add_root(arr);
+            arr
+        };
+        self.index = Some(index);
+        let me = cx.tid();
+        let pid = cx.pid();
+        let dvm = cx.well_known().libdvm;
+        cx.spawn_thread_in(
+            pid,
+            "AsyncTask #1",
+            dvm,
+            Box::new(IndexLoader {
+                vm,
+                fill: self.base.fw().fill,
+                index,
+                notify: me,
+            }),
+        );
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, msg: Message) {
+        match msg.what {
+            MSG_LOADED => {
+                // Index ready: hand the search loop to an AsyncTask.
+                let vm = self.base.vm.as_ref().expect("vm").clone();
+                let me = cx.tid();
+                let pid = cx.pid();
+                let dvm = cx.well_known().libdvm;
+                cx.spawn_thread_in(
+                    pid,
+                    "AsyncTask #2",
+                    dvm,
+                    Box::new(SearchTask {
+                        vm,
+                        search: self.search.expect("dex built"),
+                        index: self.index.expect("index"),
+                        notify: me,
+                        keystrokes: 0,
+                    }),
+                );
+            }
+            MSG_FRAME => self.redraw(cx, msg.arg1),
+            _ => {}
+        }
+    }
+}
+
+impl Aard {
+    fn redraw(&mut self, cx: &mut Ctx<'_>, hits: i64) {
+        self.keystrokes += 1;
+        // Framework overhead: list adapter, layout.
+        self.base.env.framework_tail(cx, 9_000);
+        // Redraw the result list.
+        let mut canvas = self.base.new_canvas();
+        canvas.clear(cx, 0xffff);
+        let row_h = (canvas.bitmap().height() / 14).max(6);
+        for row in 0..12u32 {
+            let y = row * row_h + 2;
+            canvas.fill_rect(
+                cx,
+                Rect::new(0, y + row_h - 2, canvas.bitmap().width(), 1),
+                0xc618,
+            );
+            canvas.draw_text(cx, "definition entry", 4, y, 0x0000);
+        }
+        canvas.draw_text(cx, &format!("matches: {hits}"), 4, 0, 0x001f);
+        self.base.post(cx, canvas);
+    }
+}

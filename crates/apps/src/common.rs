@@ -1,0 +1,235 @@
+//! Shared app plumbing: the Dalvik app base and dex construction helpers.
+
+use agave_android::{
+    add_framework_methods, AppEnv, Bitmap, Canvas, Ctx, FrameworkMethods, PixelFormat,
+    SurfaceHandle,
+};
+use agave_dalvik::{spawn_vm_service_threads, Value, Vm, VmRef};
+use agave_dex::{BinOp, ClassId, Cond, DexFile, MethodBuilder, MethodId, Reg};
+
+/// Frame/tick message code shared by the app actors.
+pub(crate) const MSG_FRAME: u32 = 1;
+
+/// Everything a Dalvik UI app keeps between frames.
+pub(crate) struct AppBase {
+    pub env: AppEnv,
+    pub vm: Option<VmRef>,
+    pub fw: Option<FrameworkMethods>,
+    pub window: Option<SurfaceHandle>,
+    pub frame: u64,
+}
+
+impl AppBase {
+    pub fn new(env: AppEnv) -> Self {
+        AppBase {
+            env,
+            vm: None,
+            fw: None,
+            window: None,
+            frame: 0,
+        }
+    }
+
+    /// Creates the app's VM (with GC/Compiler/… service threads), marking
+    /// the framework methods' bytecode as core-jar resident.
+    pub fn init_vm(&mut self, cx: &mut Ctx<'_>, dex: DexFile, fw: FrameworkMethods, apk: &str) {
+        let mut vm = Vm::new(cx, dex, &format!("{apk}@classes.dex"));
+        fw.mark(cx, &mut vm);
+        let vm = vm.into_shared();
+        let pid = cx.pid();
+        spawn_vm_service_threads(cx.kernel(), pid, &vm);
+        self.vm = Some(vm);
+        self.fw = Some(fw);
+    }
+
+    /// Announces the activity and opens the app's full-screen window.
+    pub fn open_window(&mut self, cx: &mut Ctx<'_>, component: &str) -> SurfaceHandle {
+        self.env.start_activity(cx, component);
+        let win = self.env.create_fullscreen_window(cx, component);
+        self.window = Some(win.clone());
+        win
+    }
+
+    /// A canvas matching the window geometry.
+    pub fn new_canvas(&self) -> Canvas {
+        let win = self.window.as_ref().expect("window opened");
+        Canvas::new(Bitmap::new(win.width(), win.height(), PixelFormat::Rgb565))
+    }
+
+    /// Posts a finished frame.
+    ///
+    /// Every UI pass on a real device churns short-lived framework objects
+    /// (measure specs, temporaries, iterator boxes); model that garbage so
+    /// the `GC` thread sees realistic pressure.
+    pub fn post(&mut self, cx: &mut Ctx<'_>, canvas: Canvas) {
+        let win = self.window.as_ref().expect("window opened");
+        win.post_buffer(cx, &canvas.into_bitmap());
+        self.frame += 1;
+        if let Some(vm) = &self.vm {
+            let mut vm = vm.borrow_mut();
+            let _garbage = vm.heap.alloc_array(200);
+            vm.request_gc_if_needed(cx);
+        }
+    }
+
+    /// Runs a VM method (panics if the VM is not initialized).
+    pub fn invoke(&mut self, cx: &mut Ctx<'_>, method: MethodId, args: &[Value]) -> Option<Value> {
+        let vm = self.vm.as_ref().expect("vm initialized").clone();
+        let out = vm.borrow_mut().invoke(cx, method, args);
+        out
+    }
+
+    /// The framework method handles.
+    pub fn fw(&self) -> FrameworkMethods {
+        self.fw.expect("vm initialized")
+    }
+}
+
+/// A dex file seeded with the framework methods plus one app class.
+pub(crate) struct AppDex {
+    pub dex: DexFile,
+    pub fw: FrameworkMethods,
+    pub class: ClassId,
+}
+
+/// Starts an app dex: framework methods + an app class with
+/// `fields`/`statics` slots.
+pub(crate) fn app_dex(class_name: &str, fields: u16, statics: u16) -> AppDex {
+    let mut dex = DexFile::new();
+    let fw = add_framework_methods(&mut dex);
+    let class = dex.add_class(class_name, fields, statics);
+    AppDex { dex, fw, class }
+}
+
+impl AppDex {
+    /// Adds `update(state, work) -> i64`: the classic per-frame app loop —
+    /// allocate a scratch array, fill it, mix it, and fold into `state`.
+    /// Exercises allocation (GC pressure), array traffic and arithmetic.
+    pub fn add_update_method(&mut self) -> MethodId {
+        let fw = self.fw;
+        let mut m = MethodBuilder::new(12, 2);
+        let (state, work) = (Reg(10), Reg(11));
+        let (arr, len, acc, t) = (Reg(0), Reg(1), Reg(2), Reg(3));
+        // len = work; arr = new long[len]; fill(arr, len, state)
+        m.mov(len, work);
+        m.new_array(arr, len);
+        m.invoke_static(fw.fill, &[arr, len, state], None);
+        // acc = sum(arr)
+        m.invoke_static(fw.sum, &[arr], Some(acc));
+        // t = mix(acc ^ state, 64)
+        m.binop(BinOp::Xor, t, acc, state);
+        m.konst(Reg(4), 64);
+        m.invoke_static(fw.mix, &[t, Reg(4)], Some(t));
+        m.ret(Some(t));
+        self.dex.add_method(self.class, "update", m)
+    }
+
+    /// Adds `search(hay, needle) -> count`: a scan loop over an array,
+    /// counting elements congruent to `needle` — the dictionary-lookup /
+    /// filter shape.
+    pub fn add_search_method(&mut self) -> MethodId {
+        let mut m = MethodBuilder::new(10, 2);
+        let (hay, needle) = (Reg(8), Reg(9));
+        let (i, one, len, v, count, k) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4), Reg(5));
+        m.konst(i, 0).konst(one, 1).konst(count, 0).konst(k, 257);
+        m.array_len(len, hay);
+        let head = m.new_label();
+        let done = m.new_label();
+        let skip = m.new_label();
+        m.bind(head);
+        m.if_cmp(Cond::Ge, i, len, done);
+        m.aget(v, hay, i);
+        m.binop(BinOp::Rem, v, v, k);
+        m.if_cmp(Cond::Ne, v, needle, skip);
+        m.binop(BinOp::Add, count, count, one);
+        m.bind(skip);
+        m.binop(BinOp::Add, i, i, one);
+        m.goto(head);
+        m.bind(done);
+        m.ret(Some(count));
+        self.dex.add_method(self.class, "search", m)
+    }
+
+    /// Adds `relax(dist, edges, rounds) -> i64`: Bellman-Ford-style
+    /// relaxation over flat arrays — the route-planning shape used by
+    /// `osmand.nav.view`.
+    pub fn add_relax_method(&mut self) -> MethodId {
+        let mut m = MethodBuilder::new(14, 3);
+        let (dist, edges, rounds) = (Reg(11), Reg(12), Reg(13));
+        let (r, i, one, three, elen, u, v, w, du, dv) = (
+            Reg(0),
+            Reg(1),
+            Reg(2),
+            Reg(3),
+            Reg(4),
+            Reg(5),
+            Reg(6),
+            Reg(7),
+            Reg(8),
+            Reg(9),
+        );
+        m.konst(r, 0).konst(one, 1).konst(three, 3);
+        m.array_len(elen, edges);
+        m.binop(BinOp::Div, elen, elen, three);
+        let outer = m.new_label();
+        let outer_done = m.new_label();
+        m.bind(outer);
+        m.if_cmp(Cond::Ge, r, rounds, outer_done);
+        m.konst(i, 0);
+        let inner = m.new_label();
+        let inner_done = m.new_label();
+        let no_update = m.new_label();
+        m.bind(inner);
+        m.if_cmp(Cond::Ge, i, elen, inner_done);
+        // u = edges[3i]; v = edges[3i+1]; w = edges[3i+2]
+        m.binop(BinOp::Mul, u, i, three);
+        m.aget(v, edges, u); // v register temporarily holds edges[3i] (u node)
+        m.binop(BinOp::Add, u, u, one);
+        m.aget(w, edges, u); // w register holds v node
+        m.binop(BinOp::Add, u, u, one);
+        m.aget(du, edges, u); // du holds weight
+        // dv = dist[v-node]; cand = dist[u-node] + weight
+        m.aget(Reg(10), dist, v); // dist[u]
+        m.binop(BinOp::Add, Reg(10), Reg(10), du); // cand
+        m.aget(dv, dist, w); // dist[v]
+        m.if_cmp(Cond::Ge, Reg(10), dv, no_update);
+        m.aput(Reg(10), dist, w);
+        m.bind(no_update);
+        m.binop(BinOp::Add, i, i, one);
+        m.goto(inner);
+        m.bind(inner_done);
+        m.binop(BinOp::Add, r, r, one);
+        m.goto(outer);
+        m.bind(outer_done);
+        m.konst(i, 0);
+        m.aget(v, dist, i);
+        m.ret(Some(v));
+        self.dex.add_method(self.class, "relax", m)
+    }
+}
+
+/// Fills a Dalvik array with graph edges `(u, v, w)` for the relax method.
+pub(crate) fn seed_edges(vm: &VmRef, nodes: i64, edges: usize) -> (agave_dalvik::HeapRef, agave_dalvik::HeapRef) {
+    let mut vm = vm.borrow_mut();
+    let dist = vm.heap.alloc_array(nodes as usize);
+    for i in 0..nodes as usize {
+        vm.heap.array_set(dist, i, if i == 0 { 0 } else { 1 << 30 });
+    }
+    let earr = vm.heap.alloc_array(edges * 3);
+    let mut s = 0x5bd1e995u64;
+    for e in 0..edges {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let u = (s >> 33) as i64 % nodes;
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let v = (s >> 33) as i64 % nodes;
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let w = 1 + (s >> 33) as i64 % 64;
+        vm.heap.array_set(earr, e * 3, u);
+        vm.heap.array_set(earr, e * 3 + 1, v);
+        vm.heap.array_set(earr, e * 3 + 2, w);
+    }
+    // Keep both alive across GCs.
+    vm.add_root(dist);
+    vm.add_root(earr);
+    (dist, earr)
+}

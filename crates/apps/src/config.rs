@@ -1,0 +1,52 @@
+//! Run-size knobs.
+
+/// How long and at what display resolution a workload runs.
+///
+/// The display scale divides the WVGA (480×800) panel linearly. Pixel
+/// work (canvas, gralloc, composition, fb0) scales with panel area while
+/// bytecode/decode/audio work does not, so the charging constants are
+/// calibrated at the 1/8-panel operating point — both stock configurations
+/// use it, differing only in duration. Changing the scale changes the
+/// pixel-vs-compute balance and should be accompanied by recalibration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Simulated milliseconds of execution after launch.
+    pub duration_ms: u64,
+    /// Linear display downscale (1 = full WVGA).
+    pub display_scale: u32,
+}
+
+impl RunConfig {
+    /// The reference configuration used for EXPERIMENTS.md numbers.
+    pub const fn reference() -> Self {
+        RunConfig {
+            duration_ms: 4_000,
+            display_scale: 8,
+        }
+    }
+
+    /// A fast configuration for tests and Criterion benches.
+    pub const fn quick() -> Self {
+        RunConfig {
+            duration_ms: 1_200,
+            display_scale: 8,
+        }
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        assert_eq!(RunConfig::default(), RunConfig::reference());
+        assert!(RunConfig::quick().duration_ms < RunConfig::reference().duration_ms);
+    }
+}

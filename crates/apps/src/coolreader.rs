@@ -1,0 +1,110 @@
+//! `coolreader.epub.view` — Cool Reader displaying an EPUB.
+//!
+//! Cool Reader's layout/rendering engine is native
+//! (`libcr3engine-3-1-1.so` — visible by name in the paper's Figure 1
+//! legend). Page turns read the book, run the native layout pass, and
+//! paint a text-heavy page.
+
+use crate::common::{app_dex, AppBase, MSG_FRAME};
+use agave_android::{Actor, Android, AppEnv, Ctx, Message, Rect, RefKind, TICKS_PER_MS};
+use agave_dalvik::Value;
+use agave_dex::MethodId;
+
+const PAGE_TURN_MS: u64 = 1_500;
+const CR3_LIB: &str = "libcr3engine-3-1-1.so";
+
+pub(crate) fn install(android: &mut Android, env: AppEnv) {
+    let pid = env.pid;
+    android.kernel.map_lib(pid, CR3_LIB, 2_100 * 1024, 96 * 1024);
+    android
+        .kernel
+        .spawn_thread(pid, &env.main_thread_name(), Box::new(CoolReader::new(env)));
+}
+
+struct CoolReader {
+    base: AppBase,
+    update: Option<MethodId>,
+    offset: u64,
+    page: u64,
+}
+
+impl CoolReader {
+    fn new(env: AppEnv) -> Self {
+        CoolReader {
+            base: AppBase::new(env),
+            update: None,
+            offset: 0,
+            page: 0,
+        }
+    }
+
+    fn turn_page(&mut self, cx: &mut Ctx<'_>) {
+        self.page += 1;
+        let cr3 = cx.intern_region(CR3_LIB);
+        let wk = cx.well_known();
+
+        // Read the next chunk of the book (looping at EOF).
+        let mut chunk = vec![0u8; 24 * 1024];
+        let n = cx.fs_read("/sdcard/books/book.epub", self.offset, &mut chunk);
+        if n == 0 {
+            self.offset = 0;
+        } else {
+            self.offset += n as u64;
+        }
+
+        // Native layout: inflate (epubs are zipped), DOM walk, line
+        // breaking, hyphenation — all inside the cr3 engine.
+        let libz = cx.intern_region("libz.so");
+        cx.call_lib(libz, 2 * n as u64);
+        cx.in_lib(cr3, |cx| {
+            cx.op(22 * n as u64 + 60_000);
+            cx.charge(wk.heap, RefKind::DataRead, 2 * n as u64);
+            cx.charge(wk.heap, RefKind::DataWrite, n as u64);
+            cx.stack_rw(n as u64 / 2, n as u64 / 4);
+        });
+
+        // A little Java-side bookkeeping (position, battery overlay).
+        let update = self.update.expect("dex built");
+        self.base
+            .invoke(cx, update, &[Value::Int(self.page as i64), Value::Int(96)]);
+        self.base.env.framework_tail(cx, 9_000);
+
+        // Paint the page: background + ~26 text lines + header rule.
+        let mut canvas = self.base.new_canvas();
+        canvas.clear(cx, 0xf79e);
+        let w = canvas.bitmap().width();
+        let h = canvas.bitmap().height();
+        let line_h = (h / 28).max(4);
+        canvas.fill_rect(cx, Rect::new(0, line_h, w, 1), 0x8410);
+        for line in 1..27u32 {
+            let y = line * line_h + 1;
+            if y + line_h >= h {
+                break;
+            }
+            canvas.draw_text(cx, "the quick brown fox jumps over it", 3, y, 0x0000);
+        }
+        self.base.post(cx, canvas);
+    }
+}
+
+impl Actor for CoolReader {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        let mut dex = app_dex("Lorg/coolreader/Main;", 3, 0);
+        let update = dex.add_update_method();
+        let fw = dex.fw;
+        self.base.init_vm(cx, dex.dex, fw, "org.coolreader.apk");
+        self.update = Some(update);
+        self.base.open_window(cx, "org.coolreader/.Main");
+        // Parse the container/manifest up front.
+        let cr3 = cx.intern_region(CR3_LIB);
+        cx.call_lib(cr3, 120_000);
+        cx.post_self(Message::new(MSG_FRAME));
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, msg: Message) {
+        if msg.what == MSG_FRAME {
+            self.turn_page(cx);
+            cx.post_self_after(PAGE_TURN_MS * TICKS_PER_MS, Message::new(MSG_FRAME));
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! `countdown.main` — a countdown timer.
+//!
+//! The lightest workload in the suite: a 1 Hz tick updates a little Dalvik
+//! state and redraws large digits. Most of the system's references come
+//! from the platform around it (SurfaceFlinger, systemui, services), which
+//! is exactly the point of including it.
+
+use crate::common::{app_dex, AppBase, MSG_FRAME};
+use agave_android::{Actor, Android, AppEnv, Ctx, Message, Rect, TICKS_PER_MS};
+use agave_dalvik::Value;
+use agave_dex::MethodId;
+
+pub(crate) fn install(android: &mut Android, env: AppEnv) {
+    let pid = env.pid;
+    android
+        .kernel
+        .spawn_thread(pid, &env.main_thread_name(), Box::new(Countdown::new(env)));
+}
+
+struct Countdown {
+    base: AppBase,
+    update: Option<MethodId>,
+    remaining: i64,
+}
+
+impl Countdown {
+    fn new(env: AppEnv) -> Self {
+        Countdown {
+            base: AppBase::new(env),
+            update: None,
+            remaining: 3_600,
+        }
+    }
+}
+
+impl Actor for Countdown {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        let mut dex = app_dex("Lorg/codechimp/Countdown;", 2, 0);
+        let update = dex.add_update_method();
+        let fw = dex.fw;
+        self.base.init_vm(cx, dex.dex, fw, "org.codechimp.countdown.apk");
+        self.update = Some(update);
+        self.base.open_window(cx, "org.codechimp.countdown/.Main");
+        cx.post_self(Message::new(MSG_FRAME));
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, msg: Message) {
+        if msg.what != MSG_FRAME {
+            return;
+        }
+        self.remaining -= 1;
+        let update = self.update.expect("dex built");
+        self.base
+            .invoke(cx, update, &[Value::Int(self.remaining), Value::Int(96)]);
+        self.base.env.framework_tail(cx, 4_000);
+
+        let mut canvas = self.base.new_canvas();
+        canvas.clear(cx, 0x0000);
+        let w = canvas.bitmap().width();
+        let h = canvas.bitmap().height();
+        // Four big seven-segment-ish digits.
+        let dw = w / 5;
+        for d in 0..4u32 {
+            let lit = (self.remaining >> d) & 1 == 0;
+            canvas.fill_rect(
+                cx,
+                Rect::new(d * (dw + 2) + 2, h / 3, dw, h / 4),
+                if lit { 0x07e0 } else { 0x0280 },
+            );
+        }
+        canvas.draw_text(cx, "remaining", 4, h / 8, 0xffff);
+        self.base.post(cx, canvas);
+        cx.post_self_after(1_000 * TICKS_PER_MS, Message::new(MSG_FRAME));
+    }
+}

@@ -1,0 +1,155 @@
+//! `doom.main` — the prboom Doom port.
+//!
+//! An NDK game: the engine (`libprboom.so`) runs the tic + renderer
+//! natively at ~35 fps, streams lumps from the WAD, mixes its own sound
+//! effects into an in-process `AudioTrack`, and leaves only input/glue to
+//! Dalvik. The heaviest native-code workload in the suite.
+
+use crate::common::{app_dex, AppBase, MSG_FRAME};
+use agave_android::{Actor, Android, AppEnv, Ctx, Message, Rect, RefKind, TouchEvent, TICKS_PER_MS};
+use agave_dalvik::Value;
+use agave_dex::MethodId;
+use agave_media::AudioBus;
+
+const FRAME_MS: u64 = 28; // ~35 fps
+const PRBOOM: &str = "libprboom.so";
+
+pub(crate) fn install(android: &mut Android, env: AppEnv) {
+    let pid = env.pid;
+    android.kernel.map_lib(pid, PRBOOM, 1_700 * 1024, 380 * 1024);
+    android.kernel.map_lib(pid, "libSDL.so", 420 * 1024, 40 * 1024);
+    android
+        .kernel
+        .spawn_thread(pid, &env.main_thread_name(), Box::new(Doom::new(env)));
+}
+
+struct Doom {
+    base: AppBase,
+    glue: Option<MethodId>,
+    audio: Option<agave_media::AudioTrack>,
+    wad_offset: u64,
+    tic: u64,
+}
+
+impl Doom {
+    fn new(env: AppEnv) -> Self {
+        Doom {
+            base: AppBase::new(env),
+            glue: None,
+            audio: None,
+            wad_offset: 0,
+            tic: 0,
+        }
+    }
+
+    fn frame(&mut self, cx: &mut Ctx<'_>) {
+        self.tic += 1;
+        let prboom = cx.intern_region(PRBOOM);
+        let sdl = cx.intern_region("libSDL.so");
+        let wk = cx.well_known();
+
+        // Stream a lump from the WAD every few tics.
+        if self.tic % 8 == 1 {
+            let mut lump = vec![0u8; 32 * 1024];
+            let n = cx.fs_read("/sdcard/doom/doom1.wad", self.wad_offset, &mut lump);
+            if n == 0 {
+                self.wad_offset = 0;
+            } else {
+                self.wad_offset += n as u64;
+            }
+            cx.call_lib(prboom, 2 * n as u64); // lump decode
+        }
+
+        // Game tic: thinkers, physics, BSP traversal.
+        cx.in_lib(prboom, |cx| {
+            cx.op(20_000);
+            cx.charge(wk.heap, RefKind::DataRead, 6_000);
+            cx.charge(wk.heap, RefKind::DataWrite, 2_400);
+            cx.stack_rw(2_800, 1_400);
+        });
+
+        // Software renderer: column/span drawing into the frame.
+        let mut canvas = self.base.new_canvas();
+        let w = canvas.bitmap().width();
+        let h = canvas.bitmap().height();
+        canvas.draw_gradient(cx, Rect::new(0, 0, w, h / 2), 0x4208, 0x630c); // ceiling
+        canvas.draw_gradient(cx, Rect::new(0, h / 2, w, h / 2), 0x3186, 0x18c3); // floor
+        // Wall columns.
+        let cols = (w / 4).max(1);
+        for c in 0..cols {
+            let height = (h / 3) + ((self.tic as u32 * 7 + c * 13) % (h / 3).max(1));
+            canvas.fill_rect(
+                cx,
+                Rect::new(c * 4, (h - height) / 2, 4, height),
+                0x8000 | (c * 37) & 0x7ff,
+            );
+        }
+        // A couple of sprites.
+        for s in 0..3u32 {
+            let x = (self.tic as u32 * (9 + s * 5)) % w.max(1);
+            canvas.fill_rect(cx, Rect::new(x, h / 2, w / 16 + 1, h / 8 + 1), 0xfbe0);
+        }
+        cx.call_lib(sdl, 4_000); // blit glue
+        self.base.post(cx, canvas);
+
+        // Sound effects: mix a tic's worth of PCM in the engine.
+        if let Some(track) = &self.audio {
+            let track = track.clone();
+            cx.call_lib(prboom, 8_000);
+            let pcm: Vec<i16> = (0..882) // 20 ms at 22.05 kHz stereo
+                .map(|i| ((self.tic as i64 * 31 + i) % 8_191) as i16)
+                .collect();
+            track.write_pcm(cx, &pcm);
+        }
+
+        // Dalvik glue: input poll + lifecycle check.
+        let glue = self.glue.expect("dex built");
+        self.base
+            .invoke(cx, glue, &[Value::Int(self.tic as i64), Value::Int(24)]);
+        if self.tic % 16 == 0 {
+            self.base.env.framework_tail(cx, 6_000);
+        }
+    }
+}
+
+impl Actor for Doom {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        let mut dex = app_dex("Lcom/prboom/Main;", 2, 0);
+        let glue = dex.add_update_method();
+        let fw = dex.fw;
+        self.base.init_vm(cx, dex.dex, fw, "com.prboom.apk");
+        self.glue = Some(glue);
+        self.base.open_window(cx, "com.prboom/.Main");
+
+        // WAD indexing at startup.
+        let prboom = cx.intern_region(PRBOOM);
+        let mut header = vec![0u8; 64 * 1024];
+        let n = cx.fs_read("/sdcard/doom/doom1.wad", 0, &mut header);
+        cx.call_lib(prboom, 3 * n as u64);
+
+        // In-process audio: Doom owns its AudioTrack.
+        let bus: AudioBus = self.base.env.audio.clone();
+        let track = bus.create_track(cx);
+        let pid = cx.pid();
+        track.spawn_thread(cx.kernel(), pid);
+        self.audio = Some(track);
+
+        self.base.env.focus_input(cx.tid());
+        cx.post_self(Message::new(MSG_FRAME));
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, msg: Message) {
+        if TouchEvent::from_message(&msg).is_some() {
+            // SDL translates the touch into engine input (turn/fire).
+            let prboom = cx.intern_region(PRBOOM);
+            let sdl = cx.intern_region("libSDL.so");
+            cx.call_lib(sdl, 800);
+            cx.call_lib(prboom, 2_500);
+            return;
+        }
+        if msg.what == MSG_FRAME {
+            self.frame(cx);
+            cx.post_self_after(FRAME_MS * TICKS_PER_MS, Message::new(MSG_FRAME));
+        }
+    }
+}

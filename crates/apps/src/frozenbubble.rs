@@ -1,0 +1,134 @@
+//! `frozenbubble.main` — the Frozen Bubble puzzle game.
+//!
+//! A pure-Java (Dalvik) game: a dedicated `Thread-N` game thread runs the
+//! physics/update bytecode at 30 fps and the main thread paints the
+//! bubbles — the canonical dalvik-heavy interactive workload, and a steady
+//! source of JIT (`Compiler`) and `GC` activity.
+
+use crate::common::{app_dex, AppBase, MSG_FRAME};
+use agave_android::{Actor, Android, AppEnv, Ctx, Message, Rect, TouchAction, TouchEvent, TICKS_PER_MS};
+use agave_dalvik::{Value, VmRef};
+use agave_dex::MethodId;
+
+const FRAME_MS: u64 = 33; // 30 fps
+
+pub(crate) fn install(android: &mut Android, env: AppEnv) {
+    let pid = env.pid;
+    android
+        .kernel
+        .spawn_thread(pid, &env.main_thread_name(), Box::new(FrozenBubble::new(env)));
+}
+
+struct FrozenBubble {
+    base: AppBase,
+    frame_no: u64,
+}
+
+impl FrozenBubble {
+    fn new(env: AppEnv) -> Self {
+        FrozenBubble {
+            base: AppBase::new(env),
+            frame_no: 0,
+        }
+    }
+}
+
+/// The game thread: runs the physics step as bytecode every frame.
+struct GameThread {
+    vm: VmRef,
+    update: MethodId,
+    state: i64,
+}
+
+impl Actor for GameThread {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        cx.post_self_after(FRAME_MS * TICKS_PER_MS, Message::new(MSG_FRAME));
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, _msg: Message) {
+        // Physics + collision grid: a meaty allocation-and-scan step.
+        let out = self.vm.borrow_mut().invoke(
+            cx,
+            self.update,
+            &[Value::Int(self.state), Value::Int(220)],
+        );
+        self.state = out.expect("update returns").as_int();
+        cx.post_self_after(FRAME_MS * TICKS_PER_MS, Message::new(MSG_FRAME));
+    }
+}
+
+impl Actor for FrozenBubble {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        let mut dex = app_dex("Lorg/jfedor/frozenbubble/Game;", 6, 2);
+        let update = dex.add_update_method();
+        let fw = dex.fw;
+        self.base
+            .init_vm(cx, dex.dex, fw, "org.jfedor.frozenbubble.apk");
+        self.base.open_window(cx, "org.jfedor.frozenbubble/.Main");
+
+        let vm = self.base.vm.as_ref().expect("vm").clone();
+        let pid = cx.pid();
+        let dvm = cx.well_known().libdvm;
+        cx.spawn_thread_in(
+            pid,
+            "Thread-10", // the game loop thread, as the app names it
+            dvm,
+            Box::new(GameThread {
+                vm,
+                update,
+                state: 0x5eed,
+            }),
+        );
+        self.base.env.focus_input(cx.tid());
+        cx.post_self(Message::new(MSG_FRAME));
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, msg: Message) {
+        if let Some(touch) = TouchEvent::from_message(&msg) {
+            // Aim/fire the launcher: a burst of game logic on release.
+            if touch.action == TouchAction::Up {
+                let vm = self.base.vm.as_ref().expect("vm").clone();
+                let fw = self.base.fw();
+                vm.borrow_mut().invoke(
+                    cx,
+                    fw.mix,
+                    &[
+                        agave_dalvik::Value::Int(i64::from(touch.x) * 31 + i64::from(touch.y)),
+                        agave_dalvik::Value::Int(180),
+                    ],
+                );
+            }
+            return;
+        }
+        if msg.what != MSG_FRAME {
+            return;
+        }
+        self.frame_no += 1;
+        // Paint: background + bubble grid + launcher.
+        let mut canvas = self.base.new_canvas();
+        canvas.clear(cx, 0x19f6);
+        let w = canvas.bitmap().width();
+        let h = canvas.bitmap().height();
+        let bubble = (w / 9).max(2);
+        for row in 0..6u32 {
+            for col in 0..8u32 {
+                if (row * 8 + col + self.frame_no as u32) % 5 == 0 {
+                    continue; // popped
+                }
+                let color = [0xf800u32, 0x07e0, 0x001f, 0xffe0][((row + col) % 4) as usize];
+                canvas.fill_rect(
+                    cx,
+                    Rect::new(col * bubble + 1, row * bubble + 1, bubble - 2, bubble - 2),
+                    color,
+                );
+            }
+        }
+        // The flying bubble.
+        let fx = (self.frame_no as u32 * 11) % w.max(1);
+        let fy = h - ((self.frame_no as u32 * 17) % (h * 2 / 3).max(1));
+        canvas.fill_rect(cx, Rect::new(fx, fy.min(h - 2), bubble, bubble.min(2)), 0xffff);
+        self.base.env.framework_tail(cx, 2_500);
+        self.base.post(cx, canvas);
+        cx.post_self_after(FRAME_MS * TICKS_PER_MS, Message::new(MSG_FRAME));
+    }
+}

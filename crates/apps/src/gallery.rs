@@ -1,0 +1,69 @@
+//! `gallery.mp4.view` — Gingerbread's stock video player.
+//!
+//! The app itself does almost nothing: it opens a window, hands the
+//! surface to `MediaPlayer`, and fades its controls. Stagefright decodes
+//! **inside mediaserver** and posts frames straight to the surface, which
+//! is why the paper measures mediaserver at 81 % of this benchmark's
+//! instruction references (77 % of data references).
+
+use crate::common::{app_dex, AppBase, MSG_FRAME};
+use agave_android::{Actor, Android, AppEnv, Ctx, Message, Rect, TICKS_PER_MS};
+
+const CONTROLS_MS: u64 = 700;
+/// 500 kbps at 15 fps.
+const VIDEO_BYTES_PER_FRAME: usize = 4_200;
+
+pub(crate) fn install(android: &mut Android, env: AppEnv) {
+    let pid = env.pid;
+    android
+        .kernel
+        .spawn_thread(pid, &env.main_thread_name(), Box::new(Gallery::new(env)));
+}
+
+struct Gallery {
+    base: AppBase,
+    overlays: u64,
+}
+
+impl Gallery {
+    fn new(env: AppEnv) -> Self {
+        Gallery {
+            base: AppBase::new(env),
+            overlays: 0,
+        }
+    }
+}
+
+impl Actor for Gallery {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        let dex = app_dex("Lcom/android/gallery/Movie;", 2, 0);
+        let fw = dex.fw;
+        self.base.init_vm(cx, dex.dex, fw, "com.android.gallery.apk");
+        let win = self.base.open_window(cx, "com.android.gallery/.MovieView");
+
+        // Hand the surface to mediaserver and start playback.
+        let player = self.base.env.media_player();
+        player.play_mp4(
+            cx,
+            "/sdcard/video/clip.mp4",
+            win.index(),
+            15,
+            VIDEO_BYTES_PER_FRAME,
+            true,
+        );
+        cx.post_self_after(CONTROLS_MS * TICKS_PER_MS, Message::new(MSG_FRAME));
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, msg: Message) {
+        if msg.what != MSG_FRAME {
+            return;
+        }
+        // Occasional lightweight UI work: progress bookkeeping. The
+        // controls overlay is tiny compared to the video frames mediaserver
+        // pushes.
+        self.overlays += 1;
+        self.base.env.framework_tail(cx, 2_500);
+        let _ = Rect::new(0, 0, 1, 1);
+        cx.post_self_after(CONTROLS_MS * TICKS_PER_MS, Message::new(MSG_FRAME));
+    }
+}

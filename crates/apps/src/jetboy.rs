@@ -1,0 +1,103 @@
+//! `jetboy.main` — the Android SDK's JetBoy rhythm shooter.
+//!
+//! A Java game (canvas sprites at 30 fps) whose soundtrack plays through
+//! the JET engine (`libsonivox.so`) *in-process*, with its own
+//! `AudioTrackThread` — a mixed Dalvik + audio workload.
+
+use crate::common::{app_dex, AppBase, MSG_FRAME};
+use agave_android::{Actor, Android, AppEnv, Ctx, Message, Rect, SessionOutput, TICKS_PER_MS};
+use agave_dalvik::Value;
+use agave_dex::MethodId;
+use agave_media::MediaSession;
+
+const FRAME_MS: u64 = 33;
+
+pub(crate) fn install(android: &mut Android, env: AppEnv) {
+    let pid = env.pid;
+    android
+        .kernel
+        .map_lib(pid, "libsonivox.so", 220 * 1024, 12 * 1024);
+    android
+        .kernel
+        .spawn_thread(pid, &env.main_thread_name(), Box::new(JetBoy::new(env)));
+}
+
+struct JetBoy {
+    base: AppBase,
+    update: Option<MethodId>,
+    state: i64,
+    frame_no: u64,
+}
+
+impl JetBoy {
+    fn new(env: AppEnv) -> Self {
+        JetBoy {
+            base: AppBase::new(env),
+            update: None,
+            state: 1,
+            frame_no: 0,
+        }
+    }
+}
+
+impl Actor for JetBoy {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        let mut dex = app_dex("Lcom/example/jetboy/JetBoyThread;", 4, 1);
+        let update = dex.add_update_method();
+        let fw = dex.fw;
+        self.base.init_vm(cx, dex.dex, fw, "com.example.jetboy.apk");
+        self.update = Some(update);
+        self.base.open_window(cx, "com.example.jetboy/.JetBoy");
+
+        // The JET soundtrack: an in-process decode session on its own
+        // thread plus the transport thread.
+        let track = self.base.env.audio.create_track(cx);
+        let pid = cx.pid();
+        track.spawn_thread(cx.kernel(), pid);
+        let session = MediaSession::new(
+            "/sdcard/jetboy/soundtrack.jet",
+            "libsonivox.so",
+            SessionOutput::Audio(track),
+            true,
+        );
+        let dvm = cx.well_known().libdvm;
+        cx.spawn_thread_in(pid, "Thread-12", dvm, Box::new(session));
+
+        cx.post_self(Message::new(MSG_FRAME));
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, msg: Message) {
+        if msg.what != MSG_FRAME {
+            return;
+        }
+        self.frame_no += 1;
+        // Game logic in bytecode.
+        let update = self.update.expect("dex built");
+        let out = self
+            .base
+            .invoke(cx, update, &[Value::Int(self.state), Value::Int(200)]);
+        self.state = out.expect("update returns").as_int();
+
+        // Paint: starfield + asteroids + the ship.
+        let mut canvas = self.base.new_canvas();
+        canvas.clear(cx, 0x0000);
+        let w = canvas.bitmap().width();
+        let h = canvas.bitmap().height();
+        for star in 0..24u32 {
+            let x = (star * 37 + self.frame_no as u32 * 3) % w.max(1);
+            let y = (star * 53) % h.max(1);
+            canvas.fill_rect(cx, Rect::new(x, y, 1, 1), 0xffff);
+        }
+        for rock in 0..5u32 {
+            let x = w.saturating_sub((self.frame_no as u32 * (5 + rock)) % w.max(1));
+            let y = (rock * 41) % h.max(1);
+            canvas.fill_rect(cx, Rect::new(x, y, w / 20 + 1, w / 20 + 1), 0x8410);
+        }
+        canvas.fill_rect(cx, Rect::new(4, h / 2, w / 12 + 2, w / 24 + 1), 0x07ff);
+        if self.frame_no % 8 == 0 {
+            self.base.env.framework_tail(cx, 4_000);
+        }
+        self.base.post(cx, canvas);
+        cx.post_self_after(FRAME_MS * TICKS_PER_MS, Message::new(MSG_FRAME));
+    }
+}

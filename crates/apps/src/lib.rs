@@ -1,0 +1,44 @@
+//! The 19 Agave benchmark workloads, modeled on the Agave Android
+//! framework.
+//!
+//! The paper's suite is 12 open-source applications in 19 configurations
+//! (foreground/background and per-input variants). Each module here is a
+//! behavioral model of one application built *on the framework API*: it
+//! boots with a window from the WindowManager, runs its "Java" logic as
+//! real [`agave_dex`] bytecode on the Dalvik model, calls native engines
+//! through charged library scopes, plays media through Stagefright or
+//! in-process codecs, and posts frames that SurfaceFlinger composites —
+//! so the paper's region/process/thread distributions *emerge* from the
+//! modeled software stack rather than being tabulated.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use agave_apps::{run_app, AppId, RunConfig};
+//!
+//! let summary = run_app(AppId::GalleryMp4View, RunConfig::quick());
+//! // Video decodes inside mediaserver, as the paper reports (81%).
+//! assert!(summary.instr_process_share("mediaserver") > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aard;
+mod common;
+mod config;
+mod coolreader;
+mod countdown;
+mod doom;
+mod frozenbubble;
+mod gallery;
+mod jetboy;
+mod music;
+mod odr;
+mod osmand;
+mod pm;
+mod registry;
+mod vlc;
+
+pub use config::RunConfig;
+pub use registry::{all_apps, run_app, AppId};

@@ -1,0 +1,114 @@
+//! `music.mp3.view` and `music.mp3.view.bkg` — the stock Music app.
+//!
+//! Framework playback: the app drives `MediaPlayer`, so decoding runs in
+//! `mediaserver`. Foreground mode repaints album art and the progress bar
+//! once a second; background mode hides the window, stops painting, and
+//! keeps a small service alive in a forked `app_process` child — the
+//! paper's canonical foreground/background pair.
+
+use crate::common::{app_dex, AppBase, MSG_FRAME};
+use agave_android::{Actor, Android, AppEnv, Ctx, Message, Rect, TICKS_PER_MS};
+
+const UI_MS: u64 = 1_000;
+
+pub(crate) fn install(android: &mut Android, env: AppEnv, background: bool) {
+    let pid = env.pid;
+    android.kernel.spawn_thread(
+        pid,
+        &env.main_thread_name(),
+        Box::new(Music {
+            base: AppBase::new(env),
+            background,
+            seconds: 0,
+        }),
+    );
+}
+
+struct Music {
+    base: AppBase,
+    background: bool,
+    seconds: u64,
+}
+
+/// The background service helper living in a forked `app_process`.
+struct ServiceHelper;
+
+impl Actor for ServiceHelper {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        // Service startup work happens immediately, then periodic upkeep.
+        cx.post_self(Message::new(0));
+    }
+    fn on_message(&mut self, cx: &mut Ctx<'_>, _msg: Message) {
+        // Notification/metadata upkeep.
+        let dvm = cx.well_known().libdvm;
+        cx.call_lib(dvm, 5_000);
+        let heap = cx.well_known().dalvik_heap;
+        cx.data_rw(heap, 800, 300);
+        cx.post_self_after(2_000 * TICKS_PER_MS, Message::new(0));
+    }
+}
+
+impl Actor for Music {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        let dex = app_dex("Lcom/android/music/Player;", 3, 1);
+        let fw = dex.fw;
+        self.base.init_vm(cx, dex.dex, fw, "com.android.music.apk");
+        let win = self.base.open_window(cx, "com.android.music/.MediaPlaybackActivity");
+
+        // Start framework playback (decodes in mediaserver).
+        let player = self.base.env.media_player();
+        player.play_mp3(cx, "/sdcard/music/track.mp3", true);
+
+        if self.background {
+            // User pressed Home: UI hidden, playback continues, and the
+            // service side lives in an app_process child.
+            win.set_visible(false);
+            self.base.env.surfaces.set_visible_by_name("launcher", true);
+            let helper = self.base.env.fork_app_process(cx);
+            cx.spawn_thread(helper, "ndroid.music:svc", Box::new(ServiceHelper));
+            self.base.env.start_activity(cx, "com.android.music/.MediaPlaybackService");
+        }
+        cx.post_self_after(UI_MS * TICKS_PER_MS, Message::new(MSG_FRAME));
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, msg: Message) {
+        if msg.what != MSG_FRAME {
+            return;
+        }
+        if self.background {
+            // Notification + metadata upkeep, no drawing.
+            self.base.env.framework_tail(cx, 2_500);
+            cx.post_self_after(UI_MS * TICKS_PER_MS, Message::new(MSG_FRAME));
+            return;
+        }
+        self.seconds += 1;
+        // Album art + progress bar repaint.
+        let mut canvas = self.base.new_canvas();
+        canvas.clear(cx, 0x2104);
+        let w = canvas.bitmap().width();
+        let h = canvas.bitmap().height();
+        canvas.draw_gradient(
+            cx,
+            Rect::new(w / 8, h / 8, w * 3 / 4, h / 2),
+            0xf800,
+            0x001f,
+        );
+        let progress = ((self.seconds * 7) % 100) as u32;
+        canvas.fill_rect(cx, Rect::new(4, h * 3 / 4, w - 8, 3), 0x4208);
+        canvas.fill_rect(
+            cx,
+            Rect::new(4, h * 3 / 4, (w - 8) * progress / 100, 3),
+            0x07e0,
+        );
+        canvas.draw_text(cx, "Now Playing - Track 01", 4, h * 3 / 4 + 6, 0xffff);
+        // Persist the playback position (bookmark file).
+        cx.fs_write(
+            "/data/data/com.android.music/files/state",
+            0,
+            &self.seconds.to_le_bytes(),
+        );
+        self.base.env.framework_tail(cx, 6_000);
+        self.base.post(cx, canvas);
+        cx.post_self_after(UI_MS * TICKS_PER_MS, Message::new(MSG_FRAME));
+    }
+}

@@ -1,0 +1,228 @@
+//! `odr.ppt.view`, `odr.txt.view`, `odr.xls.view` — OpenDocument Reader
+//! over three input types.
+//!
+//! A pure-Dalvik document viewer: an `AsyncTask` inflates and parses the
+//! document (zip + XML for ppt/xls), then the main thread renders pages —
+//! image-heavy slides for ppt, line after line of text for txt, and a
+//! cell grid with a bytecode recalculation pass for xls. Same binary,
+//! three very different reference mixes — the reason the suite carries
+//! per-input variants.
+
+use crate::common::{app_dex, AppBase, MSG_FRAME};
+use agave_android::{Actor, Android, AppEnv, Ctx, Message, Rect, TICKS_PER_MS};
+use agave_dalvik::{HeapRef, Value, VmRef};
+use agave_dex::MethodId;
+
+const PAGE_MS: u64 = 2_500;
+const MSG_PARSED: u32 = 9;
+
+/// The three document inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DocKind {
+    /// Slide deck (image-heavy rendering).
+    Ppt,
+    /// Plain text (text-heavy rendering).
+    Txt,
+    /// Spreadsheet (grid + recalculation).
+    Xls,
+}
+
+impl DocKind {
+    fn path(self) -> &'static str {
+        match self {
+            DocKind::Ppt => "/sdcard/docs/slides.ppt",
+            DocKind::Txt => "/sdcard/docs/notes.txt",
+            DocKind::Xls => "/sdcard/docs/sheet.xls",
+        }
+    }
+
+    fn zipped(self) -> bool {
+        matches!(self, DocKind::Ppt | DocKind::Xls)
+    }
+}
+
+pub(crate) fn install(android: &mut Android, env: AppEnv, kind: DocKind) {
+    let pid = env.pid;
+    android.kernel.spawn_thread(
+        pid,
+        &env.main_thread_name(),
+        Box::new(Odr {
+            base: AppBase::new(env),
+            kind,
+            update: None,
+            sum: None,
+            cells: None,
+            page: 0,
+        }),
+    );
+}
+
+struct Odr {
+    base: AppBase,
+    kind: DocKind,
+    update: Option<MethodId>,
+    sum: Option<MethodId>,
+    cells: Option<HeapRef>,
+    page: u64,
+}
+
+/// The parsing AsyncTask: reads + inflates + tokenizes the document.
+struct Parser {
+    kind: DocKind,
+    vm: VmRef,
+    update: MethodId,
+    notify: agave_android::Tid,
+}
+
+impl Actor for Parser {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        let path = self.kind.path();
+        // Lazy viewers only materialize the visible prefix.
+        let len = cx.fs_len(path).expect("document registered").min(256 * 1024);
+        let mut buf = vec![0u8; 32 * 1024];
+        let mut offset = 0u64;
+        let libz = cx.intern_region("libz.so");
+        let mut state = 17i64;
+        while offset < len {
+            let n = cx.fs_read(path, offset, &mut buf);
+            if n == 0 {
+                break;
+            }
+            offset += n as u64;
+            if self.kind.zipped() {
+                cx.call_lib(libz, 2 * n as u64); // inflate
+            }
+            // Tokenize/object-model build in bytecode.
+            let out = self.vm.borrow_mut().invoke(
+                cx,
+                self.update,
+                &[Value::Int(state), Value::Int((n as i64 / 160).max(16))],
+            );
+            state = out.expect("update returns").as_int();
+        }
+        cx.send(self.notify, Message::new(MSG_PARSED));
+        cx.exit_thread();
+    }
+
+    fn on_message(&mut self, _cx: &mut Ctx<'_>, _msg: Message) {}
+}
+
+impl Actor for Odr {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        let mut dex = app_dex("Lat/tomtasche/reader/Main;", 5, 1);
+        let update = dex.add_update_method();
+        let fw = dex.fw;
+        self.base.init_vm(cx, dex.dex, fw, "at.tomtasche.reader.apk");
+        self.update = Some(update);
+        self.sum = Some(fw.sum);
+        self.base.open_window(cx, "at.tomtasche.reader/.Main");
+
+        let vm = self.base.vm.as_ref().expect("vm").clone();
+        if self.kind == DocKind::Xls {
+            // The sheet model: 4,000 numeric cells, rooted across GCs.
+            let mut vmref = vm.borrow_mut();
+            let cells = vmref.heap.alloc_array(4_000);
+            for i in 0..4_000 {
+                vmref.heap.array_set(cells, i, (i as i64 * 37) % 1000);
+            }
+            vmref.add_root(cells);
+            drop(vmref);
+            self.cells = Some(cells);
+        }
+
+        let me = cx.tid();
+        let pid = cx.pid();
+        let dvm = cx.well_known().libdvm;
+        cx.spawn_thread_in(
+            pid,
+            "AsyncTask #1",
+            dvm,
+            Box::new(Parser {
+                kind: self.kind,
+                vm,
+                update,
+                notify: me,
+            }),
+        );
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, msg: Message) {
+        match msg.what {
+            MSG_PARSED | MSG_FRAME => {
+                self.render_page(cx);
+                cx.post_self_after(PAGE_MS * TICKS_PER_MS, Message::new(MSG_FRAME));
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Odr {
+    fn render_page(&mut self, cx: &mut Ctx<'_>) {
+        self.page += 1;
+        let mut canvas = self.base.new_canvas();
+        let w = canvas.bitmap().width();
+        let h = canvas.bitmap().height();
+        match self.kind {
+            DocKind::Ppt => {
+                // A slide: background wash + title + two picture blocks.
+                canvas.draw_gradient(cx, Rect::new(0, 0, w, h), 0xffff, 0xa554);
+                canvas.draw_text(cx, "Quarterly results", 4, 4, 0x0000);
+                canvas.draw_gradient(
+                    cx,
+                    Rect::new(w / 10, h / 4, w * 2 / 5, h / 3),
+                    0xf800,
+                    0xffe0,
+                );
+                canvas.draw_gradient(
+                    cx,
+                    Rect::new(w / 2, h / 4, w * 2 / 5, h / 3),
+                    0x001f,
+                    0x07ff,
+                );
+            }
+            DocKind::Txt => {
+                canvas.clear(cx, 0xffff);
+                let line_h = (h / 30).max(3);
+                for line in 0..28u32 {
+                    let y = line * line_h + 2;
+                    if y + line_h >= h {
+                        break;
+                    }
+                    canvas.draw_text(cx, "lorem ipsum dolor sit amet consectetur", 2, y, 0x0000);
+                }
+            }
+            DocKind::Xls => {
+                // Recalculate the visible range in bytecode.
+                if let (Some(sum), Some(cells)) = (self.sum, self.cells) {
+                    let total = self
+                        .base
+                        .invoke(cx, sum, &[Value::Ref(cells)])
+                        .expect("sum returns")
+                        .as_int();
+                    assert!(total > 0);
+                }
+                // Grid lines + a column of figures.
+                canvas.clear(cx, 0xffff);
+                let cols = 6u32;
+                let rows = 18u32;
+                for c in 0..=cols {
+                    canvas.fill_rect(cx, Rect::new(c * (w / cols).max(1), 0, 1, h), 0x8410);
+                }
+                for r in 0..=rows {
+                    canvas.fill_rect(cx, Rect::new(0, r * (h / rows).max(1), w, 1), 0x8410);
+                }
+                for r in 0..rows.min(12) {
+                    canvas.draw_text(cx, "1024.56", 3, r * (h / rows).max(1) + 1, 0x0000);
+                }
+            }
+        }
+        cx.fs_write(
+            "/data/data/at.tomtasche.reader/files/recent",
+            0,
+            &self.page.to_le_bytes(),
+        );
+        self.base.env.framework_tail(cx, 8_000);
+        self.base.post(cx, canvas);
+    }
+}

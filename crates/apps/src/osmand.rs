@@ -1,0 +1,195 @@
+//! `osmand.map.view` and `osmand.nav.view` — the OsmAnd map.
+//!
+//! Map mode: a `Thread-N` tile loader streams the offline region file and
+//! decodes tiles, while the main thread pans the map at ~15 fps (tile
+//! blits + vector overlays). Navigation mode adds a periodic route
+//! recomputation — Bellman-Ford relaxation over a road graph, run as real
+//! Dalvik bytecode on an `AsyncTask`.
+
+use crate::common::{app_dex, seed_edges, AppBase, MSG_FRAME};
+use agave_android::{
+    Actor, Android, AppEnv, Bitmap, Ctx, Message, PixelFormat, Rect, TICKS_PER_MS,
+};
+use agave_dalvik::{HeapRef, Value, VmRef};
+use agave_dex::MethodId;
+
+const FRAME_MS: u64 = 66; // ~15 fps pan
+const TILE_MS: u64 = 500;
+const ROUTE_MS: u64 = 2_000;
+const ROAD_NODES: i64 = 400;
+const ROAD_EDGES: usize = 1_000;
+
+pub(crate) fn install(android: &mut Android, env: AppEnv, nav: bool) {
+    let pid = env.pid;
+    android
+        .kernel
+        .map_lib(pid, "libosmand.so", 900 * 1024, 60 * 1024);
+    android
+        .kernel
+        .spawn_thread(pid, &env.main_thread_name(), Box::new(Osmand::new(env, nav)));
+}
+
+struct Osmand {
+    base: AppBase,
+    nav: bool,
+    frame_no: u64,
+    tile: Option<Bitmap>,
+}
+
+impl Osmand {
+    fn new(env: AppEnv, nav: bool) -> Self {
+        Osmand {
+            base: AppBase::new(env),
+            nav,
+            frame_no: 0,
+            tile: None,
+        }
+    }
+}
+
+/// The tile loader thread: streams the .obf region file and rasterizes
+/// tiles.
+struct TileLoader {
+    offset: u64,
+}
+
+impl Actor for TileLoader {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        cx.post_self(Message::new(0));
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, _msg: Message) {
+        let mut buf = vec![0u8; 16 * 1024];
+        let n = cx.fs_read("/sdcard/osmand/region.obf", self.offset, &mut buf);
+        if n == 0 {
+            self.offset = 0;
+        } else {
+            self.offset += n as u64;
+        }
+        // Tile decode: protobuf-ish parse + polygon assembly in the
+        // native renderer.
+        let libz = cx.intern_region("libz.so");
+        cx.call_lib(libz, 2 * n as u64);
+        let osmand = cx.intern_region("libosmand.so");
+        cx.call_lib(osmand, 4 * n as u64);
+        let dvm = cx.well_known().libdvm;
+        cx.call_lib(dvm, 3 * n as u64);
+        let heap = cx.well_known().dalvik_heap;
+        cx.data_rw(heap, n as u64, n as u64 / 2);
+        cx.post_self_after(TILE_MS * TICKS_PER_MS, Message::new(0));
+    }
+}
+
+/// The routing AsyncTask: periodic shortest-path relaxation in bytecode.
+struct Router {
+    vm: VmRef,
+    relax: MethodId,
+    dist: HeapRef,
+    edges: HeapRef,
+}
+
+impl Actor for Router {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        cx.post_self(Message::new(0));
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, _msg: Message) {
+        let out = self.vm.borrow_mut().invoke(
+            cx,
+            self.relax,
+            &[
+                Value::Ref(self.dist),
+                Value::Ref(self.edges),
+                Value::Int(2),
+            ],
+        );
+        assert_eq!(out.expect("relax returns").as_int(), 0); // source dist
+        cx.post_self_after(ROUTE_MS * TICKS_PER_MS, Message::new(0));
+    }
+}
+
+impl Actor for Osmand {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        let mut dex = app_dex("Lnet/osmand/Map;", 6, 2);
+        let relax = dex.add_relax_method();
+        let fw = dex.fw;
+        self.base.init_vm(cx, dex.dex, fw, "net.osmand.apk");
+        self.base.open_window(cx, "net.osmand/.MapActivity");
+
+        // A pre-rendered tile bitmap the pan loop blits around.
+        let win = self.base.window.as_ref().expect("window").clone();
+        let ts = (win.width() / 3).max(8);
+        let mut tile = Bitmap::new(ts, ts, PixelFormat::Rgb565);
+        for y in 0..ts {
+            for x in 0..ts {
+                if (x / 4 + y / 4) % 2 == 0 {
+                    tile.set_pixel(x, y, 0xad55);
+                }
+            }
+        }
+        self.tile = Some(tile);
+
+        let pid = cx.pid();
+        let dvm = cx.well_known().libdvm;
+        cx.spawn_thread_in(pid, "Thread-21", dvm, Box::new(TileLoader { offset: 0 }));
+
+        if self.nav {
+            let vm = self.base.vm.as_ref().expect("vm").clone();
+            let (dist, edges) = seed_edges(&vm, ROAD_NODES, ROAD_EDGES);
+            cx.spawn_thread_in(
+                pid,
+                "AsyncTask #2",
+                dvm,
+                Box::new(Router {
+                    vm,
+                    relax,
+                    dist,
+                    edges,
+                }),
+            );
+        }
+        cx.post_self(Message::new(MSG_FRAME));
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, msg: Message) {
+        if msg.what != MSG_FRAME {
+            return;
+        }
+        self.frame_no += 1;
+        let mut canvas = self.base.new_canvas();
+        let w = canvas.bitmap().width();
+        let h = canvas.bitmap().height();
+        // Tile mosaic, panning.
+        let tile = self.tile.clone().expect("tile built");
+        let ts = tile.width();
+        let pan = (self.frame_no as u32 * 2) % ts.max(1);
+        let mut y = 0;
+        while y < h {
+            let mut x = 0;
+            while x < w {
+                canvas.draw_bitmap(cx, &tile, tile.bounds(), x.saturating_sub(pan), y);
+                x += ts;
+            }
+            y += ts;
+        }
+        // Vector overlays: roads + position marker.
+        for road in 0..6u32 {
+            canvas.fill_rect(
+                cx,
+                Rect::new(0, (road * 2 + 3) * h / 16, w, 2),
+                0xfbe0,
+            );
+        }
+        canvas.fill_rect(cx, Rect::new(w / 2, h / 2, 4, 4), 0x001f);
+        if self.nav {
+            // The active route line.
+            canvas.fill_rect(cx, Rect::new(w / 4, 0, 3, h), 0x07e0);
+            canvas.draw_text(cx, "turn left in 300 m", 4, 2, 0x0000);
+        }
+        if self.frame_no % 10 == 0 {
+            self.base.env.framework_tail(cx, 7_000);
+        }
+        self.base.post(cx, canvas);
+        cx.post_self_after(FRAME_MS * TICKS_PER_MS, Message::new(MSG_FRAME));
+    }
+}

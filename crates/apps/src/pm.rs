@@ -1,0 +1,155 @@
+//! `pm.apk.view` and `pm.apk.view.bkg` — package inspection.
+//!
+//! The workload drives the PackageManager hard: an `AsyncTask` walks the
+//! installed-package list, issuing a Binder query per package and parsing
+//! manifest chunks out of an APK on disk. Foreground mode repaints the
+//! package list as results stream in; background mode keeps scanning with
+//! the window hidden and the service half in an `app_process` child.
+
+use crate::common::{app_dex, AppBase, MSG_FRAME};
+use agave_android::{
+    Actor, Android, AppEnv, BinderProxy, Ctx, Message, Parcel, Rect, TICKS_PER_MS,
+    PMS_GET_PACKAGE_INFO,
+};
+use agave_dalvik::{Value, VmRef};
+use agave_dex::MethodId;
+
+const LIST_MS: u64 = 500;
+const SCAN_MS: u64 = 200;
+const PACKAGES: u32 = 96;
+
+pub(crate) fn install(android: &mut Android, env: AppEnv, background: bool) {
+    let pid = env.pid;
+    android.kernel.spawn_thread(
+        pid,
+        &env.main_thread_name(),
+        Box::new(Pm {
+            base: AppBase::new(env),
+            background,
+            rows: 0,
+        }),
+    );
+}
+
+struct Pm {
+    base: AppBase,
+    background: bool,
+    rows: u64,
+}
+
+/// The scanning AsyncTask: one PackageManager query + manifest parse per
+/// tick, looping over the package list.
+struct Scanner {
+    pms: BinderProxy,
+    vm: VmRef,
+    update: MethodId,
+    index: u32,
+}
+
+impl Actor for Scanner {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        cx.post_self(Message::new(0));
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, _msg: Message) {
+        self.index = (self.index + 1) % PACKAGES;
+        // Binder query into system_server.
+        let mut p = Parcel::new();
+        p.write_str(&format!("com.vendor.app{}", self.index));
+        let mut reply = self.pms.transact(cx, PMS_GET_PACKAGE_INFO, &p);
+        assert_eq!(reply.read_u32(), 0);
+
+        // Read a manifest chunk from the APK and parse it in bytecode.
+        let mut buf = vec![0u8; 4 * 1024];
+        let off = u64::from(self.index) * 4 * 1024 % (1_200 * 1024);
+        let n = cx.fs_read("/sdcard/download/extra.apk", off, &mut buf);
+        let libz = cx.intern_region("libz.so");
+        cx.call_lib(libz, 2 * n as u64);
+        self.vm
+            .borrow_mut()
+            .invoke(cx, self.update, &[Value::Int(i64::from(self.index)), Value::Int(120)]);
+
+        cx.post_self_after(SCAN_MS * TICKS_PER_MS, Message::new(0));
+    }
+}
+
+impl Actor for Pm {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        let mut dex = app_dex("Lcom/android/packageinstaller/Main;", 3, 0);
+        let update = dex.add_update_method();
+        let fw = dex.fw;
+        self.base
+            .init_vm(cx, dex.dex, fw, "com.android.packageinstaller.apk");
+        let win = self
+            .base
+            .open_window(cx, "com.android.packageinstaller/.PackageList");
+
+        let pms = self.base.env.service("package");
+        let vm = self.base.vm.as_ref().expect("vm").clone();
+        let pid = cx.pid();
+        let dvm = cx.well_known().libdvm;
+        cx.spawn_thread_in(
+            pid,
+            "AsyncTask #1",
+            dvm,
+            Box::new(Scanner {
+                pms,
+                vm,
+                update,
+                index: 0,
+            }),
+        );
+
+        if self.background {
+            win.set_visible(false);
+            self.base.env.surfaces.set_visible_by_name("launcher", true);
+            let helper = self.base.env.fork_app_process(cx);
+            cx.spawn_thread(helper, "kageinstaller:s", Box::new(BkgHelper));
+        }
+        cx.post_self_after(LIST_MS * TICKS_PER_MS, Message::new(MSG_FRAME));
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, msg: Message) {
+        if msg.what != MSG_FRAME {
+            return;
+        }
+        if self.background {
+            self.base.env.framework_tail(cx, 2_000);
+            cx.post_self_after(LIST_MS * TICKS_PER_MS, Message::new(MSG_FRAME));
+            return;
+        }
+        self.rows += 1;
+        let mut canvas = self.base.new_canvas();
+        canvas.clear(cx, 0xffff);
+        let w = canvas.bitmap().width();
+        let h = canvas.bitmap().height();
+        let row_h = (h / 16).max(5);
+        for row in 0..14u32 {
+            let y = row * row_h;
+            if y + row_h >= h {
+                break;
+            }
+            // Icon + label per row.
+            canvas.fill_rect(cx, Rect::new(2, y + 1, row_h - 2, row_h - 2), 0x34df);
+            canvas.draw_text(cx, "com.vendor.application", row_h + 2, y + 2, 0x0000);
+            canvas.fill_rect(cx, Rect::new(0, y + row_h - 1, w, 1), 0xc618);
+        }
+        self.base.env.framework_tail(cx, 10_000);
+        self.base.post(cx, canvas);
+        cx.post_self_after(LIST_MS * TICKS_PER_MS, Message::new(MSG_FRAME));
+    }
+}
+
+/// Background service half in the app_process child.
+struct BkgHelper;
+
+impl Actor for BkgHelper {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        cx.post_self(Message::new(0));
+    }
+    fn on_message(&mut self, cx: &mut Ctx<'_>, _msg: Message) {
+        let dvm = cx.well_known().libdvm;
+        cx.call_lib(dvm, 4_000);
+        cx.post_self_after(1_500 * TICKS_PER_MS, Message::new(0));
+    }
+}

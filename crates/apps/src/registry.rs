@@ -1,0 +1,204 @@
+//! The workload registry and run harness.
+
+use crate::config::RunConfig;
+use agave_android::{Android, DisplayConfig};
+use agave_trace::RunSummary;
+use std::fmt;
+
+/// The 19 Agave workload configurations, labeled exactly as on the
+/// paper's figure x-axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant names mirror the figure labels 1:1
+pub enum AppId {
+    AardMain,
+    CoolreaderEpubView,
+    CountdownMain,
+    DoomMain,
+    FrozenbubbleMain,
+    GalleryMp4View,
+    JetboyMain,
+    MusicMp3View,
+    MusicMp3ViewBkg,
+    OdrPptView,
+    OdrTxtView,
+    OdrXlsView,
+    OsmandMapView,
+    OsmandNavView,
+    PmApkView,
+    PmApkViewBkg,
+    VlcMp3View,
+    VlcMp3ViewBkg,
+    VlcMp4View,
+}
+
+impl AppId {
+    /// The figure label (e.g. `"gallery.mp4.view"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            AppId::AardMain => "aard.main",
+            AppId::CoolreaderEpubView => "coolreader.epub.view",
+            AppId::CountdownMain => "countdown.main",
+            AppId::DoomMain => "doom.main",
+            AppId::FrozenbubbleMain => "frozenbubble.main",
+            AppId::GalleryMp4View => "gallery.mp4.view",
+            AppId::JetboyMain => "jetboy.main",
+            AppId::MusicMp3View => "music.mp3.view",
+            AppId::MusicMp3ViewBkg => "music.mp3.view.bkg",
+            AppId::OdrPptView => "odr.ppt.view",
+            AppId::OdrTxtView => "odr.txt.view",
+            AppId::OdrXlsView => "odr.xls.view",
+            AppId::OsmandMapView => "osmand.map.view",
+            AppId::OsmandNavView => "osmand.nav.view",
+            AppId::PmApkView => "pm.apk.view",
+            AppId::PmApkViewBkg => "pm.apk.view.bkg",
+            AppId::VlcMp3View => "vlc.mp3.view",
+            AppId::VlcMp3ViewBkg => "vlc.mp3.view.bkg",
+            AppId::VlcMp4View => "vlc.mp4.view",
+        }
+    }
+
+    /// Android package name.
+    pub fn package(self) -> &'static str {
+        match self {
+            AppId::AardMain => "aarddict.android",
+            AppId::CoolreaderEpubView => "org.coolreader",
+            AppId::CountdownMain => "org.codechimp.countdown",
+            AppId::DoomMain => "com.prboom",
+            AppId::FrozenbubbleMain => "org.jfedor.frozenbubble",
+            AppId::GalleryMp4View => "com.android.gallery",
+            AppId::JetboyMain => "com.example.jetboy",
+            AppId::MusicMp3View | AppId::MusicMp3ViewBkg => "com.android.music",
+            AppId::OdrPptView | AppId::OdrTxtView | AppId::OdrXlsView => {
+                "at.tomtasche.reader"
+            }
+            AppId::OsmandMapView | AppId::OsmandNavView => "net.osmand",
+            AppId::PmApkView | AppId::PmApkViewBkg => "com.android.packageinstaller",
+            AppId::VlcMp3View | AppId::VlcMp3ViewBkg | AppId::VlcMp4View => "org.videolan.vlc",
+        }
+    }
+
+    /// APK path (one per package).
+    pub fn apk_path(self) -> String {
+        format!("/data/app/{}.apk", self.package())
+    }
+
+    /// Whether the workload runs with its UI hidden.
+    pub fn is_background(self) -> bool {
+        matches!(
+            self,
+            AppId::MusicMp3ViewBkg | AppId::PmApkViewBkg | AppId::VlcMp3ViewBkg
+        )
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// All 19 workloads in figure order.
+pub fn all_apps() -> [AppId; 19] {
+    [
+        AppId::AardMain,
+        AppId::CoolreaderEpubView,
+        AppId::CountdownMain,
+        AppId::DoomMain,
+        AppId::FrozenbubbleMain,
+        AppId::GalleryMp4View,
+        AppId::JetboyMain,
+        AppId::MusicMp3View,
+        AppId::MusicMp3ViewBkg,
+        AppId::OdrPptView,
+        AppId::OdrTxtView,
+        AppId::OdrXlsView,
+        AppId::OsmandMapView,
+        AppId::OsmandNavView,
+        AppId::PmApkView,
+        AppId::PmApkViewBkg,
+        AppId::VlcMp3View,
+        AppId::VlcMp3ViewBkg,
+        AppId::VlcMp4View,
+    ]
+}
+
+/// Registers the benchmark input corpus.
+fn register_inputs(android: &mut Android) {
+    let vfs = android.kernel.vfs_mut();
+    vfs.add_file("/sdcard/aard/dict.aar", 5 << 20, 0xa1);
+    vfs.add_file("/sdcard/books/book.epub", 1_500 * 1024, 0xa2);
+    vfs.add_file("/sdcard/doom/doom1.wad", 4 << 20, 0xa3);
+    vfs.add_file("/sdcard/video/clip.mp4", 8 << 20, 0xa4);
+    vfs.add_file("/sdcard/music/track.mp3", 3 << 20, 0xa5);
+    vfs.add_file("/sdcard/docs/slides.ppt", 2 << 20, 0xa6);
+    vfs.add_file("/sdcard/docs/notes.txt", 200 * 1024, 0xa7);
+    vfs.add_file("/sdcard/docs/sheet.xls", 800 * 1024, 0xa8);
+    vfs.add_file("/sdcard/osmand/region.obf", 6 << 20, 0xa9);
+    vfs.add_file("/sdcard/download/extra.apk", 1_300 * 1024, 0xaa);
+    vfs.add_file("/sdcard/jetboy/soundtrack.jet", 400 * 1024, 0xab);
+}
+
+/// Boots a fresh Android, launches `id`, runs it for the configured
+/// duration, and returns the run summary labeled with the figure name.
+pub fn run_app(id: AppId, config: RunConfig) -> RunSummary {
+    let mut android = Android::boot(DisplayConfig::wvga().scaled(config.display_scale));
+    register_inputs(&mut android);
+    let env = android.launch_app(id.package(), &id.apk_path());
+    install(id, &mut android, env);
+    android.run_ms(config.duration_ms);
+    android.kernel.tracer().summarize(id.label())
+}
+
+/// Spawns the workload's actors into a booted world.
+fn install(id: AppId, android: &mut Android, env: agave_android::AppEnv) {
+    match id {
+        AppId::AardMain => crate::aard::install(android, env),
+        AppId::CoolreaderEpubView => crate::coolreader::install(android, env),
+        AppId::CountdownMain => crate::countdown::install(android, env),
+        AppId::DoomMain => crate::doom::install(android, env),
+        AppId::FrozenbubbleMain => crate::frozenbubble::install(android, env),
+        AppId::GalleryMp4View => crate::gallery::install(android, env),
+        AppId::JetboyMain => crate::jetboy::install(android, env),
+        AppId::MusicMp3View => crate::music::install(android, env, false),
+        AppId::MusicMp3ViewBkg => crate::music::install(android, env, true),
+        AppId::OdrPptView => crate::odr::install(android, env, crate::odr::DocKind::Ppt),
+        AppId::OdrTxtView => crate::odr::install(android, env, crate::odr::DocKind::Txt),
+        AppId::OdrXlsView => crate::odr::install(android, env, crate::odr::DocKind::Xls),
+        AppId::OsmandMapView => crate::osmand::install(android, env, false),
+        AppId::OsmandNavView => crate::osmand::install(android, env, true),
+        AppId::PmApkView => crate::pm::install(android, env, false),
+        AppId::PmApkViewBkg => crate::pm::install(android, env, true),
+        AppId::VlcMp3View => crate::vlc::install(android, env, crate::vlc::Media::Mp3, false),
+        AppId::VlcMp3ViewBkg => crate::vlc::install(android, env, crate::vlc::Media::Mp3, true),
+        AppId::VlcMp4View => crate::vlc::install(android, env, crate::vlc::Media::Mp4, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_the_figures() {
+        let labels: Vec<&str> = all_apps().iter().map(|a| a.label()).collect();
+        assert_eq!(labels.len(), 19);
+        assert!(labels.contains(&"gallery.mp4.view"));
+        assert!(labels.contains(&"music.mp3.view.bkg"));
+        assert!(labels.contains(&"odr.xls.view"));
+        // 12 distinct packages.
+        let mut pkgs: Vec<&str> = all_apps().iter().map(|a| a.package()).collect();
+        pkgs.sort_unstable();
+        pkgs.dedup();
+        assert_eq!(pkgs.len(), 12);
+    }
+
+    #[test]
+    fn background_flags() {
+        assert!(AppId::MusicMp3ViewBkg.is_background());
+        assert!(!AppId::MusicMp3View.is_background());
+        assert_eq!(
+            all_apps().iter().filter(|a| a.is_background()).count(),
+            3
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! `vlc.mp3.view`, `vlc.mp3.view.bkg`, `vlc.mp4.view` — VLC.
+//!
+//! The in-process media architecture: VLC bundles its own demuxer and
+//! codecs (`libvlccore.so`), so decode work charges the **benchmark**
+//! process, not mediaserver — the structural contrast with `music.*` and
+//! `gallery.*` that the paper's process figures expose. Audio still flows
+//! through an `AudioTrackThread` (in the app) to AudioFlinger.
+
+use crate::common::{app_dex, AppBase, MSG_FRAME};
+use agave_android::{
+    Actor, Android, AppEnv, Ctx, Message, Rect, SessionOutput, TICKS_PER_MS,
+};
+use agave_media::MediaSession;
+
+const VIS_MS: u64 = 100; // 10 fps visualizer
+
+/// Which stream VLC plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Media {
+    Mp3,
+    Mp4,
+}
+
+pub(crate) fn install(android: &mut Android, env: AppEnv, media: Media, background: bool) {
+    let pid = env.pid;
+    android
+        .kernel
+        .map_lib(pid, "libvlccore.so", 3_400 * 1024, 220 * 1024);
+    android.kernel.map_lib(pid, "libvlc.so", 600 * 1024, 40 * 1024);
+    android.kernel.spawn_thread(
+        pid,
+        &env.main_thread_name(),
+        Box::new(Vlc {
+            base: AppBase::new(env),
+            media,
+            background,
+            beat: 0,
+        }),
+    );
+}
+
+struct Vlc {
+    base: AppBase,
+    media: Media,
+    background: bool,
+    beat: u64,
+}
+
+impl Actor for Vlc {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        let dex = app_dex("Lorg/videolan/vlc/Main;", 4, 1);
+        let fw = dex.fw;
+        self.base.init_vm(cx, dex.dex, fw, "org.videolan.vlc.apk");
+        let win = self.base.open_window(cx, "org.videolan.vlc/.PlayerActivity");
+
+        // In-process pipeline: own AudioTrack + transport thread + decode
+        // session, all inside the benchmark process.
+        let track = self.base.env.audio.create_track(cx);
+        let pid = cx.pid();
+        track.spawn_thread(cx.kernel(), pid);
+        if self.media == Media::Mp4 {
+            win.set_overlay(true);
+        }
+        let output = match self.media {
+            Media::Mp3 => SessionOutput::Audio(track),
+            Media::Mp4 => SessionOutput::Video {
+                surface: win.clone(),
+                audio: Some(track),
+                fps: 15,
+                bytes_per_frame: 4_200,
+            },
+        };
+        let path = match self.media {
+            Media::Mp3 => "/sdcard/music/track.mp3",
+            Media::Mp4 => "/sdcard/video/clip.mp4",
+        };
+        let session = MediaSession::new(path, "libvlccore.so", output, true);
+        let dvm = cx.well_known().libdvm;
+        cx.spawn_thread_in(pid, "Thread-28", dvm, Box::new(session));
+
+        if self.background {
+            win.set_visible(false);
+            self.base.env.surfaces.set_visible_by_name("launcher", true);
+            let helper = self.base.env.fork_app_process(cx);
+            cx.spawn_thread(helper, "videolan.vlc:ws", Box::new(BkgService));
+            cx.post_self_after(1_000 * TICKS_PER_MS, Message::new(MSG_FRAME));
+        } else if self.media == Media::Mp3 {
+            // The audio visualizer repaints at 10 fps.
+            cx.post_self_after(VIS_MS * TICKS_PER_MS, Message::new(MSG_FRAME));
+        } else {
+            // Mp4 foreground: the decode session posts video frames; the
+            // UI thread only refreshes the controls occasionally.
+            cx.post_self_after(800 * TICKS_PER_MS, Message::new(MSG_FRAME));
+        }
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, msg: Message) {
+        if msg.what != MSG_FRAME {
+            return;
+        }
+        if self.background {
+            self.base.env.framework_tail(cx, 2_000);
+            cx.post_self_after(1_000 * TICKS_PER_MS, Message::new(MSG_FRAME));
+            return;
+        }
+        if self.media != Media::Mp3 {
+            self.base.env.framework_tail(cx, 2_500);
+            cx.post_self_after(800 * TICKS_PER_MS, Message::new(MSG_FRAME));
+            return;
+        }
+        self.beat += 1;
+        let mut canvas = self.base.new_canvas();
+        canvas.clear(cx, 0x0000);
+        let w = canvas.bitmap().width();
+        let h = canvas.bitmap().height();
+        // Spectrum bars.
+        let bars = 16u32;
+        let bw = (w / bars).max(1);
+        for b in 0..bars {
+            let amp = ((self.beat as u32 * (b + 3) * 7) % h.max(1)).max(1);
+            canvas.fill_rect(
+                cx,
+                Rect::new(b * bw, h - amp.min(h - 1), bw.saturating_sub(1).max(1), amp.min(h - 1)),
+                0x07e0 | (b << 11),
+            );
+        }
+        if self.beat % 10 == 0 {
+            self.base.env.framework_tail(cx, 5_000);
+        }
+        self.base.post(cx, canvas);
+        cx.post_self_after(VIS_MS * TICKS_PER_MS, Message::new(MSG_FRAME));
+    }
+}
+
+/// Background widget/service half in the app_process child.
+struct BkgService;
+
+impl Actor for BkgService {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        cx.post_self(Message::new(0));
+    }
+    fn on_message(&mut self, cx: &mut Ctx<'_>, _msg: Message) {
+        let dvm = cx.well_known().libdvm;
+        cx.call_lib(dvm, 3_500);
+        cx.post_self_after(2_500 * TICKS_PER_MS, Message::new(0));
+    }
+}

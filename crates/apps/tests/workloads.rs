@@ -1,0 +1,191 @@
+//! Per-workload shape tests: every app's distinguishing signal from the
+//! paper's figures shows up in its run summary.
+
+use agave_apps::{run_app, AppId, RunConfig};
+use agave_trace::RunSummary;
+
+fn run(id: AppId) -> RunSummary {
+    run_app(id, RunConfig::quick())
+}
+
+fn share(s: &RunSummary, region: &str) -> f64 {
+    s.instr_region_share(region)
+}
+
+#[test]
+fn aard_is_dalvik_and_text_heavy() {
+    let s = run(AppId::AardMain);
+    assert!(share(&s, "libdvm.so") > 0.02);
+    // Dictionary index loading hit the dictionary file region.
+    assert!(s.data_by_region.contains_key("/sdcard/aard/dict.aar"));
+    // The search loop runs on an AsyncTask.
+    assert!(s.refs_by_thread.get("AsyncTask").copied().unwrap_or(0) > 0);
+    // Fonts were read for the result list.
+    assert!(s
+        .data_by_region
+        .keys()
+        .any(|k| k.starts_with("/system/fonts/")));
+}
+
+#[test]
+fn coolreader_uses_its_native_engine() {
+    let s = run(AppId::CoolreaderEpubView);
+    // The paper's Figure 1 legend names this exact library.
+    assert!(
+        share(&s, "libcr3engine-3-1-1.so") > 0.01,
+        "cr3 engine share {:.4}",
+        share(&s, "libcr3engine-3-1-1.so")
+    );
+    assert!(s.data_by_region.contains_key("/sdcard/books/book.epub"));
+}
+
+#[test]
+fn countdown_is_dominated_by_the_platform() {
+    let s = run(AppId::CountdownMain);
+    // The app itself barely shows; system_server (display) dominates.
+    assert!(s.instr_process_share("benchmark") < 0.10);
+    assert!(s.instr_process_share("system_server") > 0.4);
+}
+
+#[test]
+fn doom_is_native_engine_heavy() {
+    let s = run(AppId::DoomMain);
+    assert!(share(&s, "libprboom.so") > 0.10, "{:.3}", share(&s, "libprboom.so"));
+    assert!(s.data_by_region.contains_key("/sdcard/doom/doom1.wad"));
+    // Doom mixes its own audio in-process.
+    assert!(s.refs_by_thread.get("AudioTrackThread").copied().unwrap_or(0) > 0);
+}
+
+#[test]
+fn frozenbubble_runs_its_game_thread_and_jit() {
+    let s = run(AppId::FrozenbubbleMain);
+    assert!(s.refs_by_thread.get("Thread").copied().unwrap_or(0) > 0);
+    assert!(s.refs_by_thread.get("Compiler").copied().unwrap_or(0) > 0);
+    assert!(s.refs_by_thread.get("GC").copied().unwrap_or(0) > 0);
+    assert!(s.instr_by_region.contains_key("dalvik-jit-code-cache"));
+}
+
+#[test]
+fn gallery_decodes_in_mediaserver() {
+    let s = run(AppId::GalleryMp4View);
+    assert!(s.instr_process_share("mediaserver") > 0.55);
+    assert!(s.instr_process_share("benchmark") < 0.05);
+    assert!(s.refs_by_thread.contains_key("TimedEventQueue"));
+}
+
+#[test]
+fn jetboy_mixes_game_and_audio() {
+    let s = run(AppId::JetboyMain);
+    assert!(share(&s, "libsonivox.so") > 0.001);
+    assert!(s.refs_by_thread.get("AudioTrackThread").copied().unwrap_or(0) > 0);
+    assert!(share(&s, "libdvm.so") > 0.02);
+}
+
+#[test]
+fn music_foreground_vs_background() {
+    let fg = run(AppId::MusicMp3View);
+    let bkg = run(AppId::MusicMp3ViewBkg);
+    // Both decode in mediaserver…
+    for s in [&fg, &bkg] {
+        assert!(s.instr_process_share("mediaserver") > 0.25);
+        assert!(s.instr_by_region.contains_key("libstagefright.so"));
+    }
+    // …but only the foreground draws album art from the app.
+    let fg_app = fg.instr_process_share("benchmark");
+    let bkg_app = bkg.instr_process_share("benchmark");
+    assert!(bkg_app < fg_app || bkg_app < 0.02);
+    // The background service half lives in an app_process child.
+    assert!(bkg.instr_by_process.contains_key("app_process"));
+}
+
+#[test]
+fn odr_variants_have_distinct_mixes() {
+    let ppt = run(AppId::OdrPptView);
+    let txt = run(AppId::OdrTxtView);
+    let xls = run(AppId::OdrXlsView);
+    // ppt/xls inflate zipped content; txt does not.
+    assert!(ppt.instr_by_region.contains_key("libz.so"));
+    assert!(xls.instr_by_region.contains_key("libz.so"));
+    let txt_libz = txt.instr_region_share("libz.so");
+    assert!(
+        txt_libz < ppt.instr_region_share("libz.so"),
+        "txt should inflate less than ppt"
+    );
+    // txt reads fonts much harder (a page of text per flip).
+    let font_share = |s: &RunSummary| {
+        s.data_by_region
+            .iter()
+            .filter(|(k, _)| k.starts_with("/system/fonts/"))
+            .map(|(_, v)| *v)
+            .sum::<u64>() as f64
+            / s.total_data as f64
+    };
+    assert!(font_share(&txt) > font_share(&ppt));
+    // xls recalculates: more Dalvik than ppt.
+    assert!(xls.instr_region_share("libdvm.so") > ppt.instr_region_share("libdvm.so"));
+}
+
+#[test]
+fn osmand_nav_adds_route_computation() {
+    let map = run(AppId::OsmandMapView);
+    let nav = run(AppId::OsmandNavView);
+    for s in [&map, &nav] {
+        assert!(s.instr_by_region.contains_key("libosmand.so"));
+        assert!(s.data_by_region.contains_key("/sdcard/osmand/region.obf"));
+    }
+    // The router AsyncTask only exists in nav mode.
+    let map_async = map.refs_by_thread.get("AsyncTask").copied().unwrap_or(0);
+    let nav_async = nav.refs_by_thread.get("AsyncTask").copied().unwrap_or(0);
+    assert!(nav_async > map_async, "nav {nav_async} vs map {map_async}");
+}
+
+#[test]
+fn pm_hammers_the_package_manager() {
+    let s = run(AppId::PmApkView);
+    // Binder traffic into system_server's PackageManager.
+    assert!(s.data_by_region.contains_key("/dev/binder"));
+    assert!(s.data_by_region.contains_key("/data/system/packages.xml"));
+    assert!(s.instr_process_share("system_server") > 0.2);
+}
+
+#[test]
+fn vlc_decodes_in_process() {
+    let mp3 = run(AppId::VlcMp3View);
+    let mp4 = run(AppId::VlcMp4View);
+    for s in [&mp3, &mp4] {
+        assert!(s.instr_by_region.contains_key("libvlccore.so"));
+        // Stagefright stays idle: mediaserver only mixes audio.
+        assert!(
+            s.instr_process_share("mediaserver") < 0.15,
+            "mediaserver {:.3}",
+            s.instr_process_share("mediaserver")
+        );
+    }
+    assert!(mp4.instr_process_share("benchmark") > 0.5);
+}
+
+#[test]
+fn vlc_bkg_keeps_decoding_without_ui() {
+    let bkg = run(AppId::VlcMp3ViewBkg);
+    assert!(bkg.instr_by_region.contains_key("libvlccore.so"));
+    assert!(bkg.instr_by_process.contains_key("app_process"));
+    // No visualizer: negligible app-side mspace drawing relative to a
+    // foreground run.
+    let fg = run(AppId::VlcMp3View);
+    let fg_total = fg.total_instr + fg.total_data;
+    let bkg_total = bkg.total_instr + bkg.total_data;
+    let fg_gralloc = *fg.data_by_region.get("gralloc-buffer").unwrap_or(&0) as f64 / fg_total as f64;
+    let bkg_gralloc =
+        *bkg.data_by_region.get("gralloc-buffer").unwrap_or(&0) as f64 / bkg_total as f64;
+    assert!(bkg_gralloc < fg_gralloc);
+}
+
+#[test]
+fn every_workload_spawns_dexopt_and_helpers() {
+    for id in [AppId::AardMain, AppId::VlcMp4View, AppId::OdrTxtView] {
+        let s = run(id);
+        assert!(s.instr_by_process.contains_key("dexopt"), "{id:?}");
+        assert!(s.instr_by_process.contains_key("id.defcontainer"), "{id:?}");
+        assert!(s.instr_by_process.contains_key("zygote"), "{id:?}");
+    }
+}

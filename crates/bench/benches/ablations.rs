@@ -1,0 +1,223 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! Each ablation prints a small paper-style table of *charged references*
+//! under the two settings (the quantity the reproduction is about), then
+//! times one representative configuration.
+//!
+//! 1. **JIT on/off** — interpreter dispatch vs compiled traces.
+//! 2. **Video overlay vs GL composition** — the copybit path that lets
+//!    `mediaserver` dominate `gallery.mp4.view`.
+//! 3. **Display scale** — pixel-vs-compute balance drift away from the
+//!    calibrated 1/8-panel operating point.
+//! 4. **GC trigger threshold** — collections per run vs allocation churn.
+
+use agave_apps::{run_app, AppId, RunConfig};
+use agave_dalvik::{Value, Vm};
+use agave_dex::{BinOp, Cond, DexFile, MethodBuilder, MethodId, Reg};
+use agave_gfx::{Bitmap, DisplayConfig, PixelFormat, SurfaceFlinger, SurfaceStore, VSYNC_PERIOD};
+use agave_kernel::{Actor, Ctx, Kernel, Message};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Builds the classic sum loop used by the JIT ablation.
+fn sum_dex() -> (DexFile, MethodId) {
+    let mut dex = DexFile::new();
+    let class = dex.add_class("Labl/Sum;", 0, 0);
+    let mut m = MethodBuilder::new(5, 1);
+    let (n, i, acc, one) = (Reg(4), Reg(0), Reg(1), Reg(2));
+    m.konst(i, 0).konst(acc, 0).konst(one, 1);
+    let head = m.new_label();
+    m.bind(head);
+    m.binop(BinOp::Add, acc, acc, i);
+    m.binop(BinOp::Add, i, i, one);
+    m.if_cmp(Cond::Lt, i, n, head);
+    m.ret(Some(acc));
+    let id = dex.add_method(class, "sum", m);
+    (dex, id)
+}
+
+/// Runs a closure in a scratch kernel and returns (result, total refs).
+fn measure<R: 'static>(f: impl FnOnce(&mut Ctx<'_>) -> R + 'static) -> (R, u64) {
+    struct Runner<F, R> {
+        f: Option<F>,
+        out: std::rc::Rc<std::cell::RefCell<Option<R>>>,
+    }
+    impl<F: FnOnce(&mut Ctx<'_>) -> R + 'static, R: 'static> Actor for Runner<F, R> {
+        fn on_start(&mut self, cx: &mut Ctx<'_>) {
+            let f = self.f.take().expect("once");
+            *self.out.borrow_mut() = Some(f(cx));
+        }
+        fn on_message(&mut self, _cx: &mut Ctx<'_>, _msg: Message) {}
+    }
+    let out = std::rc::Rc::new(std::cell::RefCell::new(None));
+    let mut kernel = Kernel::new();
+    let pid = kernel.spawn_process("ablation");
+    kernel.spawn_thread(
+        pid,
+        "main",
+        Box::new(Runner {
+            f: Some(f),
+            out: out.clone(),
+        }),
+    );
+    kernel.run_to_idle();
+    let refs = kernel.tracer().grand_total();
+    let r = out.borrow_mut().take().expect("ran");
+    (r, refs)
+}
+
+fn ablation_jit() {
+    println!("\n== Ablation 1: interpreter vs JIT-compiled execution ==");
+    println!("{:<28} {:>14} {:>10}", "mode", "charged refs", "vs interp");
+    let (_, interp) = measure(|cx| {
+        let (dex, id) = sum_dex();
+        let mut vm = Vm::new(cx, dex, "abl.dex");
+        vm.invoke(cx, id, &[Value::Int(20_000)])
+    });
+    let (_, jit) = measure(|cx| {
+        let (dex, id) = sum_dex();
+        let mut vm = Vm::new(cx, dex, "abl.dex");
+        vm.force_compiled(id);
+        vm.invoke(cx, id, &[Value::Int(20_000)])
+    });
+    println!("{:<28} {:>14} {:>9.2}x", "interpreted", interp, 1.0);
+    println!(
+        "{:<28} {:>14} {:>9.2}x",
+        "JIT-compiled",
+        jit,
+        jit as f64 / interp as f64
+    );
+}
+
+/// One layer composited for ~0.5 s; returns total charged refs.
+fn compose_refs(overlay: bool) -> u64 {
+    let mut kernel = Kernel::new();
+    let cfg = DisplayConfig::wvga().scaled(8);
+    let wk = kernel.well_known();
+    let fb = kernel.shm_create(wk.fb0, cfg.fb_bytes());
+    let store = SurfaceStore::new();
+    let ss = kernel.spawn_process("system_server");
+    let sf_lib = kernel.intern_region("libsurfaceflinger.so");
+    let flinger = SurfaceFlinger::new(cfg, store.clone(), fb);
+    kernel.spawn_thread_in(ss, "SurfaceFlinger", sf_lib, Box::new(flinger));
+
+    struct Poster {
+        store: SurfaceStore,
+        overlay: bool,
+        cfg: DisplayConfig,
+        handle: Option<agave_gfx::SurfaceHandle>,
+    }
+    impl Actor for Poster {
+        fn on_start(&mut self, cx: &mut Ctx<'_>) {
+            let h = self.store.create_surface(
+                cx,
+                "abl",
+                0,
+                0,
+                self.cfg.width,
+                self.cfg.height,
+                PixelFormat::Rgb565,
+            );
+            h.set_overlay(self.overlay);
+            self.handle = Some(h);
+            cx.post_self(Message::new(1));
+        }
+        fn on_message(&mut self, cx: &mut Ctx<'_>, _msg: Message) {
+            let h = self.handle.as_ref().expect("surface").clone();
+            let frame = Bitmap::new(h.width(), h.height(), PixelFormat::Rgb565);
+            h.post_buffer(cx, &frame);
+            cx.post_self_after(VSYNC_PERIOD, Message::new(1));
+        }
+    }
+    let app = kernel.spawn_process("benchmark");
+    kernel.spawn_thread(
+        app,
+        "main",
+        Box::new(Poster {
+            store,
+            overlay,
+            cfg,
+            handle: None,
+        }),
+    );
+    kernel.run_until(VSYNC_PERIOD * 30);
+    kernel.tracer().summarize("abl").refs_by_thread["SurfaceFlinger"]
+}
+
+fn ablation_overlay() {
+    println!("\n== Ablation 2: GL (pixelflinger) vs overlay (copybit) composition ==");
+    let gl = compose_refs(false);
+    let ov = compose_refs(true);
+    println!("{:<28} {:>14}", "path", "SF thread refs");
+    println!("{:<28} {:>14}", "pixelflinger (UI layers)", gl);
+    println!("{:<28} {:>14}", "overlay (video layers)", ov);
+    println!(
+        "overlay path is {:.1}x cheaper — the headroom that lets mediaserver\n\
+         dominate gallery.mp4.view as in the paper",
+        gl as f64 / ov.max(1) as f64
+    );
+}
+
+fn ablation_display_scale() {
+    println!("\n== Ablation 3: display scale vs SurfaceFlinger share ==");
+    println!("{:<12} {:>16} {:>10}", "scale", "total refs", "SF share");
+    for scale in [16, 8, 4] {
+        let config = RunConfig {
+            duration_ms: 800,
+            display_scale: scale,
+        };
+        let s = run_app(AppId::FrozenbubbleMain, config);
+        let total = s.total_instr + s.total_data;
+        let sf = s.refs_by_thread.get("SurfaceFlinger").copied().unwrap_or(0);
+        println!(
+            "1/{:<10} {:>16} {:>9.1}%",
+            scale,
+            total,
+            sf as f64 * 100.0 / total as f64
+        );
+    }
+    println!("(charging constants are calibrated at 1/8 — see RunConfig docs)");
+}
+
+fn ablation_gc_churn() {
+    println!("\n== Ablation 4: allocation churn vs collections ==");
+    println!("{:<20} {:>8} {:>14}", "arrays allocated", "GCs", "GC-ish refs");
+    for arrays in [50u64, 400, 1600] {
+        let (gcs, refs) = measure(move |cx| {
+            let (dex, _) = sum_dex();
+            let mut vm = Vm::new(cx, dex, "abl.dex");
+            for _ in 0..arrays {
+                let _garbage = vm.heap.alloc_array(256);
+                vm.request_gc_if_needed(cx);
+            }
+            // Collections run synchronously here (no GC thread attached):
+            // drain by collecting directly for the ablation.
+            let stats_before = vm.stats().gc_runs;
+            while vm.heap.allocated_since_gc() > 32 * 1024 {
+                vm.run_gc(cx);
+            }
+            vm.stats().gc_runs - stats_before
+        });
+        println!("{:<20} {:>8} {:>14}", arrays, gcs, refs);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    ablation_jit();
+    ablation_overlay();
+    ablation_display_scale();
+    ablation_gc_churn();
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("compose 30 vsyncs (pixelflinger)", |b| {
+        b.iter(|| black_box(compose_refs(false)))
+    });
+    group.bench_function("compose 30 vsyncs (overlay)", |b| {
+        b.iter(|| black_box(compose_refs(true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

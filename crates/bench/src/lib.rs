@@ -1,0 +1,39 @@
+//! Shared helpers for the Criterion benches that regenerate the paper's
+//! figures and table.
+//!
+//! Each bench target corresponds to one evaluation artifact:
+//!
+//! | target | artifact |
+//! |--------|----------|
+//! | `fig1_instr_regions` | Figure 1 — instruction references by VMA region |
+//! | `fig2_data_regions`  | Figure 2 — data references by VMA region |
+//! | `fig3_instr_process` | Figure 3 — instruction references by process |
+//! | `fig4_data_process`  | Figure 4 — data references by process |
+//! | `table1_threads`     | Table I — thread ranking |
+//! | `sim_throughput`     | simulator-level microbenchmarks |
+//!
+//! Running `cargo bench -p agave-bench --bench fig1_instr_regions` first
+//! prints the regenerated artifact (so the bench run doubles as the
+//! reproduction), then times the workloads feeding it.
+
+#![forbid(unsafe_code)]
+
+use agave_core::{Experiments, SuiteConfig};
+use std::sync::OnceLock;
+
+/// One shared quick-suite run reused by all figure benches in a process.
+pub fn shared_experiments() -> &'static Experiments {
+    static CELL: OnceLock<Experiments> = OnceLock::new();
+    CELL.get_or_init(|| Experiments::from_config(&SuiteConfig::quick()))
+}
+
+/// Representative workloads timed by every figure bench: one
+/// graphics-heavy app, one media app, one SPEC baseline.
+pub fn representative() -> [agave_core::Workload; 3] {
+    use agave_core::{AppId, SpecProgram, Workload};
+    [
+        Workload::Agave(AppId::FrozenbubbleMain),
+        Workload::Agave(AppId::GalleryMp4View),
+        Workload::Spec(SpecProgram::Mcf),
+    ]
+}

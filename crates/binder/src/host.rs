@@ -1,0 +1,200 @@
+//! Binder hosts (server side) and proxies (client side).
+
+use crate::parcel::Parcel;
+use agave_kernel::{Actor, Ctx, Message, RefKind, Tid};
+
+/// Client-side cost of a transaction: `libbinder.so` marshalling fetches.
+const CLIENT_LIBBINDER_COST: u64 = 300;
+/// Server-side cost: `libbinder.so` unmarshalling and dispatch fetches.
+const SERVER_LIBBINDER_COST: u64 = 200;
+/// Kernel fetches for the binder ioctl round trip.
+const DRIVER_SYSCALL_COST: u64 = 350;
+
+/// A service reachable over Binder: the server-side handler.
+///
+/// Implementations run in the *hosting* thread's context; references they
+/// charge land on the server process, which is how `system_server` and
+/// `mediaserver` come to dominate many benchmarks in the paper's process
+/// figures.
+pub trait BinderService {
+    /// Handles one transaction, returning the reply parcel.
+    fn transact(&mut self, cx: &mut Ctx<'_>, code: u32, data: &mut Parcel) -> Parcel;
+}
+
+/// An [`Actor`] hosting a [`BinderService`] on a binder pool thread.
+///
+/// Synchronous transactions arrive via `on_call`; oneway transactions
+/// arrive as mailbox messages whose payload is the serialized parcel.
+pub struct BinderHost<S> {
+    service: S,
+}
+
+impl<S: BinderService> BinderHost<S> {
+    /// Wraps `service` for hosting.
+    pub fn new(service: S) -> Self {
+        BinderHost { service }
+    }
+
+    /// The wrapped service.
+    pub fn service(&self) -> &S {
+        &self.service
+    }
+
+    fn server_side(&mut self, cx: &mut Ctx<'_>, code: u32, data: &[u8]) -> Parcel {
+        let lib = cx.intern_region("libbinder.so");
+        cx.call_lib(lib, SERVER_LIBBINDER_COST);
+        // Unmarshal: read the parcel out of the driver mapping.
+        let wk = cx.well_known();
+        cx.charge(wk.dev_binder, RefKind::DataRead, word_refs(data.len()));
+        let mut parcel = Parcel::from_bytes(data.to_vec());
+        self.service.transact(cx, code, &mut parcel)
+    }
+}
+
+impl<S: BinderService> Actor for BinderHost<S> {
+    fn on_message(&mut self, cx: &mut Ctx<'_>, msg: Message) {
+        // Oneway transaction: code in `what`, parcel in the byte payload.
+        let data = msg.as_bytes().unwrap_or(&[]).to_vec();
+        let _ = self.server_side(cx, msg.what, &data);
+    }
+
+    fn on_call(&mut self, cx: &mut Ctx<'_>, code: u32, data: &[u8]) -> Vec<u8> {
+        self.server_side(cx, code, data).into_bytes()
+    }
+}
+
+/// A client-side handle to a remote binder object.
+///
+/// Cheap to copy; holds only the hosting thread's tid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinderProxy {
+    target: Tid,
+}
+
+impl BinderProxy {
+    /// Creates a proxy to the service hosted on `target`.
+    pub fn new(target: Tid) -> Self {
+        BinderProxy { target }
+    }
+
+    /// The hosting thread.
+    pub fn target(&self) -> Tid {
+        self.target
+    }
+
+    /// Performs a synchronous transaction, charging client marshalling,
+    /// the driver copy, and the server-side execution (in the server's
+    /// context).
+    pub fn transact(&self, cx: &mut Ctx<'_>, code: u32, data: &Parcel) -> Parcel {
+        self.client_marshal(cx, data.len());
+        let reply = cx.call_thread(self.target, code, data.as_bytes());
+        // Unmarshal the reply on the client.
+        let wk = cx.well_known();
+        cx.charge(wk.dev_binder, RefKind::DataRead, word_refs(reply.len()));
+        Parcel::from_bytes(reply)
+    }
+
+    /// Fires a oneway (asynchronous) transaction and returns immediately.
+    pub fn oneway(&self, cx: &mut Ctx<'_>, code: u32, data: &Parcel) {
+        self.client_marshal(cx, data.len());
+        cx.send(
+            self.target,
+            Message::new(code).bytes(data.as_bytes().to_vec()),
+        );
+    }
+
+    fn client_marshal(&self, cx: &mut Ctx<'_>, len: usize) {
+        let lib = cx.intern_region("libbinder.so");
+        cx.call_lib(lib, CLIENT_LIBBINDER_COST);
+        cx.syscall(DRIVER_SYSCALL_COST);
+        // The driver copies the parcel through the /dev/binder mapping.
+        let wk = cx.well_known();
+        cx.charge(wk.dev_binder, RefKind::DataWrite, word_refs(len));
+    }
+}
+
+fn word_refs(bytes: usize) -> u64 {
+    (bytes as u64).div_ceil(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agave_kernel::Kernel;
+
+    struct Adder {
+        total: i64,
+    }
+    impl BinderService for Adder {
+        fn transact(&mut self, cx: &mut Ctx<'_>, code: u32, data: &mut Parcel) -> Parcel {
+            cx.op(100);
+            self.total += data.read_i32() as i64;
+            let mut reply = Parcel::new();
+            reply.write_i64(self.total);
+            reply.write_u32(code);
+            reply
+        }
+    }
+
+    struct Caller {
+        proxy: BinderProxy,
+        oneway: bool,
+    }
+    impl Actor for Caller {
+        fn on_message(&mut self, cx: &mut Ctx<'_>, _msg: Message) {
+            let mut p = Parcel::new();
+            p.write_i32(21);
+            if self.oneway {
+                self.proxy.oneway(cx, 9, &p);
+            } else {
+                let mut reply = self.proxy.transact(cx, 9, &p);
+                assert_eq!(reply.read_i64(), 21);
+                assert_eq!(reply.read_u32(), 9);
+            }
+        }
+    }
+
+    fn run(oneway: bool) -> agave_trace::RunSummary {
+        let mut kernel = Kernel::new();
+        let server = kernel.spawn_process("system_server");
+        let tid = kernel.spawn_thread(
+            server,
+            "Binder Thread #1",
+            Box::new(BinderHost::new(Adder { total: 0 })),
+        );
+        let client = kernel.spawn_process("benchmark");
+        let main = kernel.spawn_thread(
+            client,
+            "main",
+            Box::new(Caller {
+                proxy: BinderProxy::new(tid),
+                oneway,
+            }),
+        );
+        kernel.send(main, Message::new(0));
+        kernel.run_to_idle();
+        kernel.tracer().summarize("t")
+    }
+
+    #[test]
+    fn synchronous_transaction_charges_both_sides() {
+        let s = run(false);
+        assert_eq!(
+            s.instr_by_process["system_server"],
+            SERVER_LIBBINDER_COST + 100
+        );
+        assert!(s.instr_by_process["benchmark"] >= CLIENT_LIBBINDER_COST);
+        assert!(s.instr_by_region["libbinder.so"] >= CLIENT_LIBBINDER_COST + SERVER_LIBBINDER_COST);
+        assert!(s.data_by_region.contains_key("/dev/binder"));
+    }
+
+    #[test]
+    fn oneway_transaction_executes_asynchronously() {
+        let s = run(true);
+        // Server work happened even though the client never blocked.
+        assert_eq!(
+            s.instr_by_process["system_server"],
+            SERVER_LIBBINDER_COST + 100
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Binder IPC model for the Agave simulator.
+//!
+//! On Android, almost every framework interaction — starting activities,
+//! posting surfaces, playing media — is a Binder transaction: the client
+//! marshals arguments into a [`Parcel`], the kernel's binder driver copies
+//! it into the server process, and a server-side binder pool thread executes
+//! the call. This cross-process execution is exactly why the paper's
+//! Figures 3 and 4 show `system_server` and `mediaserver` absorbing most of
+//! many applications' references.
+//!
+//! The model maps onto the kernel crate's synchronous-call primitive:
+//! a [`BinderHost`] actor hosts a [`BinderService`] on a binder pool thread;
+//! a [`BinderProxy`] charges the client-side marshalling (`libbinder.so`),
+//! the driver copy (`/dev/binder` + `OS kernel`), and then executes the
+//! server handler *in the server's context*.
+//!
+//! # Example
+//!
+//! ```
+//! use agave_binder::{BinderHost, BinderProxy, BinderService, Parcel};
+//! use agave_kernel::{Actor, Ctx, Kernel, Message};
+//!
+//! struct Echo;
+//! impl BinderService for Echo {
+//!     fn transact(&mut self, cx: &mut Ctx<'_>, _code: u32, data: &mut Parcel) -> Parcel {
+//!         cx.op(50);
+//!         let v = data.read_i32();
+//!         let mut reply = Parcel::new();
+//!         reply.write_i32(v + 1);
+//!         reply
+//!     }
+//! }
+//!
+//! struct Client(BinderProxy);
+//! impl Actor for Client {
+//!     fn on_message(&mut self, cx: &mut Ctx<'_>, _msg: Message) {
+//!         let mut p = Parcel::new();
+//!         p.write_i32(41);
+//!         let mut reply = self.0.transact(cx, 1, &p);
+//!         assert_eq!(reply.read_i32(), 42);
+//!     }
+//! }
+//!
+//! let mut kernel = Kernel::new();
+//! let server = kernel.spawn_process("system_server");
+//! let tid = kernel.spawn_thread(server, "Binder Thread #1", Box::new(BinderHost::new(Echo)));
+//! let client = kernel.spawn_process("benchmark");
+//! let main = kernel.spawn_thread(client, "main", Box::new(Client(BinderProxy::new(tid))));
+//! kernel.send(main, Message::new(0));
+//! kernel.run_to_idle();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod host;
+mod parcel;
+mod service_manager;
+
+pub use host::{BinderHost, BinderProxy, BinderService};
+pub use parcel::Parcel;
+pub use service_manager::{tid_to_raw, ServiceDirectory, ServiceManager, SM_LOOKUP, SM_REGISTER};

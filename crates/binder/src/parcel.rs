@@ -1,0 +1,222 @@
+//! Parcels: the flat argument buffers of Binder transactions.
+
+use std::fmt;
+
+/// A serialization buffer in the style of `android.os.Parcel`.
+///
+/// Values are appended with `write_*` and consumed in order with `read_*`
+/// (a separate read cursor tracks position, so a received parcel can be
+/// drained without mutation of its contents).
+///
+/// # Example
+///
+/// ```
+/// use agave_binder::Parcel;
+///
+/// let mut p = Parcel::new();
+/// p.write_i32(7);
+/// p.write_str("surface");
+/// let mut q = Parcel::from_bytes(p.as_bytes().to_vec());
+/// assert_eq!(q.read_i32(), 7);
+/// assert_eq!(q.read_str(), "surface");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Parcel {
+    data: Vec<u8>,
+    cursor: usize,
+}
+
+impl Parcel {
+    /// Creates an empty parcel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps received bytes for reading.
+    pub fn from_bytes(data: Vec<u8>) -> Self {
+        Parcel { data, cursor: 0 }
+    }
+
+    /// The raw serialized form.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Consumes the parcel, returning its bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Serialized length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the parcel holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends an `i32`.
+    pub fn write_i32(&mut self, v: i32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`.
+    pub fn write_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64`.
+    pub fn write_i64(&mut self, v: i64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u32(u32::try_from(s.len()).expect("string too long for parcel"));
+        self.data.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed byte blob.
+    pub fn write_blob(&mut self, b: &[u8]) {
+        self.write_u32(u32::try_from(b.len()).expect("blob too long for parcel"));
+        self.data.extend_from_slice(b);
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(
+            self.cursor + n <= self.data.len(),
+            "parcel underflow: need {n} bytes at {}, have {}",
+            self.cursor,
+            self.data.len()
+        );
+        let slice = &self.data[self.cursor..self.cursor + n];
+        self.cursor += n;
+        slice
+    }
+
+    /// Reads the next `i32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow (as the real Parcel aborts on malformed data).
+    pub fn read_i32(&mut self) -> i32 {
+        i32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    /// Reads the next `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow.
+    pub fn read_u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    /// Reads the next `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow.
+    pub fn read_i64(&mut self) -> i64 {
+        i64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    /// Reads the next `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow.
+    pub fn read_u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    /// Reads the next string.
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow or invalid UTF-8.
+    pub fn read_str(&mut self) -> String {
+        let len = self.read_u32() as usize;
+        String::from_utf8(self.take(len).to_vec()).expect("parcel string is UTF-8")
+    }
+
+    /// Reads the next byte blob.
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow.
+    pub fn read_blob(&mut self) -> Vec<u8> {
+        let len = self.read_u32() as usize;
+        self.take(len).to_vec()
+    }
+
+    /// Bytes remaining to read.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.cursor
+    }
+}
+
+impl fmt::Display for Parcel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Parcel({} bytes, cursor {})", self.data.len(), self.cursor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_round_trip() {
+        let mut p = Parcel::new();
+        p.write_i32(-5);
+        p.write_u32(7);
+        p.write_i64(-1 << 40);
+        p.write_u64(1 << 60);
+        p.write_str("hello");
+        p.write_blob(&[9, 8, 7]);
+        let mut q = Parcel::from_bytes(p.into_bytes());
+        assert_eq!(q.read_i32(), -5);
+        assert_eq!(q.read_u32(), 7);
+        assert_eq!(q.read_i64(), -1 << 40);
+        assert_eq!(q.read_u64(), 1 << 60);
+        assert_eq!(q.read_str(), "hello");
+        assert_eq!(q.read_blob(), vec![9, 8, 7]);
+        assert_eq!(q.remaining(), 0);
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let p = Parcel::new();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        let mut p = Parcel::new();
+        p.write_u32(0);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut p = Parcel::from_bytes(vec![1, 2]);
+        let _ = p.read_i32();
+    }
+
+    #[test]
+    fn empty_string_and_blob() {
+        let mut p = Parcel::new();
+        p.write_str("");
+        p.write_blob(&[]);
+        let mut q = Parcel::from_bytes(p.into_bytes());
+        assert_eq!(q.read_str(), "");
+        assert!(q.read_blob().is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! The service manager: Android's name → binder-object directory.
+//!
+//! Handle 0 in real Binder. Services register at boot; clients resolve
+//! names to [`BinderProxy`]s via transactions against the `servicemanager`
+//! process (so even *finding* a service charges references to it, as on
+//! real Android).
+
+use crate::host::{BinderProxy, BinderService};
+use crate::parcel::Parcel;
+use agave_kernel::{Ctx, Tid};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Transaction code: register a service (`name`, `tid`).
+pub const SM_REGISTER: u32 = 1;
+/// Transaction code: look up a service by `name`.
+pub const SM_LOOKUP: u32 = 2;
+
+/// Shared directory of registered services.
+///
+/// The simulation is single-threaded, so a `Rc<RefCell<..>>` clone is held
+/// by the boot code (for direct registration while the world is being
+/// constructed) and by the [`ServiceManager`] service (for runtime
+/// transactions).
+#[derive(Debug, Clone, Default)]
+pub struct ServiceDirectory {
+    inner: Rc<RefCell<HashMap<String, Tid>>>,
+}
+
+impl ServiceDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `name` as hosted by `tid` (boot-time fast path).
+    pub fn register(&self, name: &str, tid: Tid) {
+        self.inner.borrow_mut().insert(name.to_owned(), tid);
+    }
+
+    /// Resolves a service to a proxy, if registered.
+    pub fn lookup(&self, name: &str) -> Option<BinderProxy> {
+        self.inner.borrow().get(name).copied().map(BinderProxy::new)
+    }
+
+    /// Resolves a service that must exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not registered — missing system services are a
+    /// boot-order bug.
+    pub fn expect(&self, name: &str) -> BinderProxy {
+        self.lookup(name)
+            .unwrap_or_else(|| panic!("service {name:?} not registered"))
+    }
+
+    /// Number of registered services.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// Whether no services are registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+}
+
+/// The `servicemanager` binder service.
+///
+/// Host it with [`crate::BinderHost`] on a thread of the `servicemanager`
+/// process; share its [`ServiceDirectory`] with boot code.
+#[derive(Debug)]
+pub struct ServiceManager {
+    directory: ServiceDirectory,
+}
+
+impl ServiceManager {
+    /// Creates the service around a shared directory.
+    pub fn new(directory: ServiceDirectory) -> Self {
+        ServiceManager { directory }
+    }
+}
+
+impl BinderService for ServiceManager {
+    fn transact(&mut self, cx: &mut Ctx<'_>, code: u32, data: &mut Parcel) -> Parcel {
+        cx.op(150); // hash lookup / insert in servicemanager
+        let mut reply = Parcel::new();
+        match code {
+            SM_REGISTER => {
+                let name = data.read_str();
+                let tid = Tid::from_raw(data.read_u64() as u32);
+                self.directory.register(&name, tid);
+                reply.write_u32(0);
+            }
+            SM_LOOKUP => {
+                let name = data.read_str();
+                match self.directory.lookup(&name) {
+                    Some(proxy) => {
+                        reply.write_u32(0);
+                        reply.write_u64(u64::from(proxy.target().as_u32()));
+                    }
+                    None => reply.write_u32(1),
+                }
+            }
+            other => panic!("servicemanager: unknown transaction code {other}"),
+        }
+        reply
+    }
+}
+
+/// Encodes a tid for transport in a parcel (pair of [`Tid::from_raw`]),
+/// e.g. when building an [`SM_REGISTER`] transaction by hand.
+pub fn tid_to_raw(tid: Tid) -> u64 {
+    u64::from(tid.as_u32())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::BinderHost;
+    use agave_kernel::{Actor, Ctx, Kernel, Message};
+
+    #[test]
+    fn directory_register_lookup() {
+        let mut kernel = Kernel::new();
+        let pid = kernel.spawn_process("servicemanager");
+        let tid = kernel.spawn_thread(pid, "servicemanager", Box::new(agave_kernel_inert()));
+        let dir = ServiceDirectory::new();
+        assert!(dir.is_empty());
+        dir.register("window", tid);
+        assert_eq!(dir.len(), 1);
+        assert_eq!(dir.lookup("window").unwrap().target(), tid);
+        assert!(dir.lookup("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn expect_missing_panics() {
+        ServiceDirectory::new().expect("nope");
+    }
+
+    #[test]
+    fn runtime_lookup_via_transaction() {
+        struct Client {
+            sm: BinderProxy,
+            expected: u64,
+        }
+        impl Actor for Client {
+            fn on_message(&mut self, cx: &mut Ctx<'_>, _msg: Message) {
+                let mut p = Parcel::new();
+                p.write_str("activity");
+                let mut reply = self.sm.transact(cx, SM_LOOKUP, &p);
+                assert_eq!(reply.read_u32(), 0);
+                assert_eq!(reply.read_u64(), self.expected);
+            }
+        }
+
+        let mut kernel = Kernel::new();
+        let sm_pid = kernel.spawn_process("servicemanager");
+        let dir = ServiceDirectory::new();
+        let sm_tid = kernel.spawn_thread(
+            sm_pid,
+            "servicemanager",
+            Box::new(BinderHost::new(ServiceManager::new(dir.clone()))),
+        );
+        let host_pid = kernel.spawn_process("system_server");
+        let svc_tid = kernel.spawn_thread(host_pid, "Binder Thread #1", Box::new(agave_kernel_inert()));
+        dir.register("activity", svc_tid);
+
+        let app = kernel.spawn_process("benchmark");
+        let main = kernel.spawn_thread(
+            app,
+            "main",
+            Box::new(Client {
+                sm: BinderProxy::new(sm_tid),
+                expected: tid_to_raw(svc_tid),
+            }),
+        );
+        kernel.send(main, Message::new(0));
+        kernel.run_to_idle();
+
+        let s = kernel.tracer().summarize("t");
+        assert!(s.instr_by_process["servicemanager"] >= 150);
+    }
+
+    fn agave_kernel_inert() -> impl Actor {
+        struct I;
+        impl Actor for I {
+            fn on_message(&mut self, _cx: &mut Ctx<'_>, _msg: Message) {}
+        }
+        I
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the Binder layer: parcels survive arbitrary
+//! write/read sequences and transport.
+
+use agave_binder::Parcel;
+use proptest::prelude::*;
+
+/// A value that can go into a parcel.
+#[derive(Debug, Clone, PartialEq)]
+enum Item {
+    I32(i32),
+    U32(u32),
+    I64(i64),
+    U64(u64),
+    Str(String),
+    Blob(Vec<u8>),
+}
+
+fn item_strategy() -> impl Strategy<Value = Item> {
+    prop_oneof![
+        any::<i32>().prop_map(Item::I32),
+        any::<u32>().prop_map(Item::U32),
+        any::<i64>().prop_map(Item::I64),
+        any::<u64>().prop_map(Item::U64),
+        "[a-zA-Z0-9 /._-]{0,40}".prop_map(Item::Str),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Item::Blob),
+    ]
+}
+
+proptest! {
+    /// Whatever is written, in whatever order, reads back identically —
+    /// including after a serialize/deserialize hop (the driver copy).
+    #[test]
+    fn parcels_round_trip_any_sequence(items in proptest::collection::vec(item_strategy(), 0..24)) {
+        let mut p = Parcel::new();
+        for item in &items {
+            match item {
+                Item::I32(v) => p.write_i32(*v),
+                Item::U32(v) => p.write_u32(*v),
+                Item::I64(v) => p.write_i64(*v),
+                Item::U64(v) => p.write_u64(*v),
+                Item::Str(s) => p.write_str(s),
+                Item::Blob(b) => p.write_blob(b),
+            }
+        }
+        // Transport hop.
+        let mut q = Parcel::from_bytes(p.as_bytes().to_vec());
+        for item in &items {
+            match item {
+                Item::I32(v) => prop_assert_eq!(q.read_i32(), *v),
+                Item::U32(v) => prop_assert_eq!(q.read_u32(), *v),
+                Item::I64(v) => prop_assert_eq!(q.read_i64(), *v),
+                Item::U64(v) => prop_assert_eq!(q.read_u64(), *v),
+                Item::Str(s) => prop_assert_eq!(&q.read_str(), s),
+                Item::Blob(b) => prop_assert_eq!(&q.read_blob(), b),
+            }
+        }
+        prop_assert_eq!(q.remaining(), 0);
+    }
+
+    /// Parcel length equals the sum of encoded item sizes.
+    #[test]
+    fn parcel_length_is_exact(items in proptest::collection::vec(item_strategy(), 0..24)) {
+        let mut p = Parcel::new();
+        let mut expected = 0usize;
+        for item in &items {
+            match item {
+                Item::I32(v) => { p.write_i32(*v); expected += 4; }
+                Item::U32(v) => { p.write_u32(*v); expected += 4; }
+                Item::I64(v) => { p.write_i64(*v); expected += 8; }
+                Item::U64(v) => { p.write_u64(*v); expected += 8; }
+                Item::Str(s) => { p.write_str(s); expected += 4 + s.len(); }
+                Item::Blob(b) => { p.write_blob(b); expected += 4 + b.len(); }
+            }
+        }
+        prop_assert_eq!(p.len(), expected);
+    }
+}

@@ -1,0 +1,137 @@
+//! `agave` — the suite's command-line front end.
+//!
+//! ```text
+//! agave list                         # all 25 workloads
+//! agave run <label> [--quick]       # one workload, summary to stdout
+//! agave suite [--quick] [--json F]  # figures 1–4, Table I, claims
+//! agave claims [--quick]            # just the claim checklist
+//! ```
+
+use agave_core::{
+    all_workloads, experiments_markdown, run_workload, Experiments, SuiteConfig, Workload,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  agave list\n  agave run <workload> [--quick]\n  \
+         agave suite [--quick] [--markdown] [--json FILE]\n  agave claims [--quick]"
+    );
+    std::process::exit(2);
+}
+
+fn config(args: &[String]) -> (SuiteConfig, &'static str) {
+    if args.iter().any(|a| a == "--quick") {
+        (SuiteConfig::quick(), "quick")
+    } else {
+        (SuiteConfig::reference(), "reference")
+    }
+}
+
+fn find(label: &str) -> Workload {
+    all_workloads()
+        .into_iter()
+        .find(|w| w.label() == label)
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload {label:?}; try `agave list`");
+            std::process::exit(2);
+        })
+}
+
+fn cmd_list() {
+    println!("Agave workloads (19):");
+    for w in all_workloads().iter().take(19) {
+        println!("  {w}");
+    }
+    println!("SPEC CPU2006 baselines (6):");
+    for w in all_workloads().iter().skip(19) {
+        println!("  {w}");
+    }
+}
+
+fn cmd_run(args: &[String]) {
+    let label = args.first().map(String::as_str).unwrap_or_else(|| usage());
+    let (config, note) = config(args);
+    let summary = run_workload(find(label), &config);
+    println!(
+        "{} ({note}): {} instr + {} data references",
+        summary.benchmark, summary.total_instr, summary.total_data
+    );
+    println!(
+        "processes {} · threads {} · code regions {} · data regions {}",
+        summary.spawned_processes,
+        summary.spawned_threads,
+        summary.code_region_count(),
+        summary.data_region_count()
+    );
+    for (title, map, total) in [
+        ("instr by region", &summary.instr_by_region, summary.total_instr),
+        ("data by region", &summary.data_by_region, summary.total_data),
+        ("instr by process", &summary.instr_by_process, summary.total_instr),
+        ("refs by thread", &summary.refs_by_thread, summary.total_instr + summary.total_data),
+    ] {
+        println!("-- {title}:");
+        let mut rows: Vec<_> = map.iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(a.1));
+        for (name, count) in rows.into_iter().take(7) {
+            println!("  {:>5.1}%  {name}", *count as f64 * 100.0 / total.max(1) as f64);
+        }
+    }
+}
+
+fn cmd_suite(args: &[String]) {
+    let (config, note) = config(args);
+    eprintln!("running 25 workloads ({note})…");
+    let experiments = Experiments::from_config(&config);
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        let path = args.get(pos + 1).map(String::as_str).unwrap_or_else(|| usage());
+        let json = serde_json::to_string_pretty(experiments.results()).expect("serializable");
+        std::fs::write(path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
+    if args.iter().any(|a| a == "--markdown") {
+        println!("{}", experiments_markdown(&experiments, note));
+        return;
+    }
+    println!("{}", experiments.figure1().render());
+    println!("{}", experiments.figure2().render());
+    println!("{}", experiments.figure3().render());
+    println!("{}", experiments.figure4().render());
+    println!("{}", experiments.table1_extended(10).render());
+    print_claims(&experiments);
+}
+
+fn cmd_claims(args: &[String]) {
+    let (config, note) = config(args);
+    eprintln!("running 25 workloads ({note})…");
+    let experiments = Experiments::from_config(&config);
+    print_claims(&experiments);
+}
+
+fn print_claims(experiments: &Experiments) {
+    let claims = experiments.check_claims();
+    let passed = claims.iter().filter(|c| c.pass).count();
+    for claim in &claims {
+        println!(
+            "[{}] {:<58} paper {:<30} measured {}",
+            if claim.pass { "ok" } else { "!!" },
+            claim.description,
+            claim.paper,
+            claim.measured
+        );
+    }
+    println!("{passed}/{} claims in band", claims.len());
+    if passed < claims.len() {
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("suite") => cmd_suite(&args[1..]),
+        Some("claims") => cmd_claims(&args[1..]),
+        _ => usage(),
+    }
+}

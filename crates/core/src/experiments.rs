@@ -1,0 +1,350 @@
+//! Regenerating the paper's figures, table, and quantitative claims.
+
+use crate::suite::{run_suite, SuiteConfig, SuiteResults};
+use agave_trace::{FigureTable, TableOne};
+use serde::{Deserialize, Serialize};
+
+/// Legend size of the paper's figures (top 9 + "other (N items)").
+const FIGURE_LEGEND: usize = 9;
+/// Rows in the paper's Table I.
+const TABLE1_ROWS: usize = 6;
+
+/// One checked claim: what the paper reports vs what this reproduction
+/// measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClaimReport {
+    /// Short identifier.
+    pub id: String,
+    /// What is being checked.
+    pub description: String,
+    /// The paper's value.
+    pub paper: String,
+    /// The measured value.
+    pub measured: String,
+    /// Whether the measured value is within the accepted band.
+    pub pass: bool,
+}
+
+impl ClaimReport {
+    fn new(id: &str, description: &str, paper: &str, measured: String, pass: bool) -> Self {
+        ClaimReport {
+            id: id.to_owned(),
+            description: description.to_owned(),
+            paper: paper.to_owned(),
+            measured,
+            pass,
+        }
+    }
+}
+
+/// The paper-reproduction harness over a finished suite run.
+///
+/// # Example
+///
+/// ```no_run
+/// use agave_core::{Experiments, SuiteConfig};
+///
+/// let ex = Experiments::from_config(&SuiteConfig::quick());
+/// println!("{}", ex.figure1().render());
+/// println!("{}", ex.table1().render());
+/// assert!(ex.check_claims().iter().all(|c| c.pass));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiments {
+    results: SuiteResults,
+}
+
+impl Experiments {
+    /// Wraps existing suite results.
+    pub fn new(results: SuiteResults) -> Self {
+        Experiments { results }
+    }
+
+    /// Runs the whole suite at `config` and wraps the results.
+    pub fn from_config(config: &SuiteConfig) -> Self {
+        Experiments::new(run_suite(config))
+    }
+
+    /// The underlying results.
+    pub fn results(&self) -> &SuiteResults {
+        &self.results
+    }
+
+    /// Figure 1: instruction references by VMA region (19 Agave + 6 SPEC).
+    pub fn figure1(&self) -> FigureTable {
+        FigureTable::figure1(&self.results.all(), FIGURE_LEGEND)
+    }
+
+    /// Figure 2: data references by VMA region.
+    pub fn figure2(&self) -> FigureTable {
+        FigureTable::figure2(&self.results.all(), FIGURE_LEGEND)
+    }
+
+    /// Figure 3: instruction references by process.
+    pub fn figure3(&self) -> FigureTable {
+        FigureTable::figure3(&self.results.all(), FIGURE_LEGEND)
+    }
+
+    /// Figure 4: data references by process.
+    pub fn figure4(&self) -> FigureTable {
+        FigureTable::figure4(&self.results.all(), FIGURE_LEGEND)
+    }
+
+    /// Table I: threads ranked by share of total memory references across
+    /// the (Agave) suite.
+    pub fn table1(&self) -> TableOne {
+        TableOne::from_runs(&[self.results.agave_aggregate()], TABLE1_ROWS)
+    }
+
+    /// Table I with more rows (for inspecting the tail).
+    pub fn table1_extended(&self, rows: usize) -> TableOne {
+        TableOne::from_runs(&[self.results.agave_aggregate()], rows)
+    }
+
+    /// Extension: the paper's closing observation, quantified — per-library
+    /// profile stability across callers (see [`crate::library_profiles`]).
+    pub fn library_profiles(&self) -> Vec<crate::LibraryProfile> {
+        crate::library_profiles(&self.results.agave, 5_000, 3)
+    }
+
+    /// Checks every quantitative claim of the paper against this run.
+    pub fn check_claims(&self) -> Vec<ClaimReport> {
+        let mut claims = Vec::new();
+        let agg = self.results.agave_aggregate();
+
+        // Suite-wide region diversity.
+        let instr_regions = agg.instr_by_region.len();
+        claims.push(ClaimReport::new(
+            "suite-instr-regions",
+            "distinct instruction regions across the Agave suite",
+            "> 65 (9 named + 63 in 'other')",
+            format!("{instr_regions}"),
+            instr_regions > 65,
+        ));
+        let data_regions = agg.data_by_region.len();
+        claims.push(ClaimReport::new(
+            "suite-data-regions",
+            "distinct data regions across the Agave suite",
+            "≈ 170 (9 named + 169 in 'other')",
+            format!("{data_regions}"),
+            data_regions >= 130,
+        ));
+
+        // Per-application ranges.
+        let code_counts: Vec<usize> = self
+            .results
+            .agave
+            .iter()
+            .map(|s| s.code_region_count())
+            .collect();
+        let (cmin, cmax) = min_max(&code_counts);
+        claims.push(ClaimReport::new(
+            "app-code-regions",
+            "code regions per Agave application",
+            "42–55",
+            format!("{cmin}–{cmax}"),
+            cmin >= 40 && cmax <= 60,
+        ));
+        let data_counts: Vec<usize> = self
+            .results
+            .agave
+            .iter()
+            .map(|s| s.data_region_count())
+            .collect();
+        let (dmin, dmax) = min_max(&data_counts);
+        claims.push(ClaimReport::new(
+            "app-data-regions",
+            "data regions per Agave application",
+            "32–104",
+            format!("{dmin}–{dmax}"),
+            dmin >= 32 && dmax <= 104,
+        ));
+        let proc_counts: Vec<usize> = self
+            .results
+            .agave
+            .iter()
+            .map(|s| s.spawned_processes)
+            .collect();
+        let (pmin, pmax) = min_max(&proc_counts);
+        claims.push(ClaimReport::new(
+            "app-processes",
+            "processes per Agave application run",
+            "20–34",
+            format!("{pmin}–{pmax}"),
+            pmin >= 20 && pmax <= 34,
+        ));
+        let thread_counts: Vec<usize> = self
+            .results
+            .agave
+            .iter()
+            .map(|s| s.spawned_threads)
+            .collect();
+        let (tmin, tmax) = min_max(&thread_counts);
+        claims.push(ClaimReport::new(
+            "app-threads",
+            "threads per Agave application run",
+            "32–147",
+            format!("{tmin}–{tmax}"),
+            tmin >= 32 && tmax <= 147,
+        ));
+
+        // gallery.mp4.view: mediaserver dominance.
+        if let Some(gallery) = self.results.by_label("gallery.mp4.view") {
+            let instr = gallery.instr_process_share("mediaserver");
+            claims.push(ClaimReport::new(
+                "gallery-mediaserver-instr",
+                "gallery.mp4.view instruction refs from mediaserver",
+                "81 %",
+                format!("{:.1} %", instr * 100.0),
+                instr > 0.55,
+            ));
+            let data = gallery.data_process_share("mediaserver");
+            claims.push(ClaimReport::new(
+                "gallery-mediaserver-data",
+                "gallery.mp4.view data refs from mediaserver",
+                "77 %",
+                format!("{:.1} %", data * 100.0),
+                data > 0.5,
+            ));
+        }
+
+        // Table I shape.
+        let table = self.table1();
+        let sf = table.percent("SurfaceFlinger");
+        claims.push(ClaimReport::new(
+            "table1-surfaceflinger",
+            "SurfaceFlinger thread share of suite references (rank 1)",
+            "43.4 %",
+            format!("{sf:.1} %"),
+            !table.rows().is_empty()
+                && table.rows()[0].thread == "SurfaceFlinger"
+                && (30.0..=55.0).contains(&sf),
+        ));
+        let extended = self.table1_extended(24);
+        for (family, paper_pct) in [
+            ("Thread", 8.0),
+            ("AsyncTask", 7.6),
+            ("Compiler", 7.1),
+            ("AudioTrackThread", 5.9),
+            ("GC", 5.3),
+        ] {
+            let measured = extended.percent(family);
+            claims.push(ClaimReport::new(
+                &format!("table1-{}", family.to_lowercase()),
+                &format!("{family} thread-family share of suite references"),
+                &format!("{paper_pct:.1} %"),
+                format!("{measured:.1} %"),
+                (1.5..=15.0).contains(&measured),
+            ));
+        }
+
+        // SPEC shape: app binary dominates; ata_sff/0 is the companion.
+        for spec in &self.results.spec {
+            let share = spec.instr_region_share("app binary");
+            claims.push(ClaimReport::new(
+                &format!("spec-binary-{}", spec.benchmark),
+                &format!("{}: instruction refs from the app binary", spec.benchmark),
+                "vast majority",
+                format!("{:.1} %", share * 100.0),
+                share > 0.5,
+            ));
+        }
+        if let Some(bzip2) = self.results.by_label("401.bzip2") {
+            let ata = bzip2.instr_by_process.contains_key("ata_sff/0");
+            claims.push(ClaimReport::new(
+                "spec-ata",
+                "SPEC competes mainly with the ata_sff/0 storage thread",
+                "present",
+                if ata { "present" } else { "absent" }.to_owned(),
+                ata,
+            ));
+        }
+        if let Some(mcf) = self.results.by_label("429.mcf") {
+            let anon = mcf.data_region_share("anonymous");
+            claims.push(ClaimReport::new(
+                "mcf-anonymous",
+                "429.mcf: large allocations land in anonymous mmap (MMAP_THRESHOLD)",
+                "prominent",
+                format!("{:.1} %", anon * 100.0),
+                anon > 0.15,
+            ));
+        }
+
+        // Figure 1 headline: mspace and libdvm.so lead the suite.
+        let fig1 = self.figure1();
+        let legend = fig1.legend();
+        let top2: Vec<&str> = legend.iter().take(2).map(String::as_str).collect();
+        claims.push(ClaimReport::new(
+            "fig1-mspace-libdvm",
+            "mspace and libdvm.so are the leading instruction regions",
+            "top of Figure 1",
+            format!("top-2 = {top2:?}"),
+            top2.contains(&"mspace") && top2.contains(&"libdvm.so"),
+        ));
+
+        claims
+    }
+}
+
+fn min_max(values: &[usize]) -> (usize, usize) {
+    let min = values.iter().copied().min().unwrap_or(0);
+    let max = values.iter().copied().max().unwrap_or(0);
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agave_trace::RunSummary;
+
+    fn fake_results() -> SuiteResults {
+        let mut agave = Vec::new();
+        for label in ["a.main", "b.view"] {
+            let mut s = RunSummary::empty(label);
+            s.instr_by_region.insert("mspace".into(), 60);
+            s.instr_by_region.insert("libdvm.so".into(), 40);
+            s.refs_by_thread.insert("SurfaceFlinger".into(), 50);
+            s.refs_by_thread.insert("GC".into(), 5);
+            s.total_instr = 100;
+            agave.push(s);
+        }
+        SuiteResults {
+            agave,
+            spec: vec![RunSummary::empty("401.bzip2")],
+        }
+    }
+
+    #[test]
+    fn figures_and_table_build_from_results() {
+        let ex = Experiments::new(fake_results());
+        let fig1 = ex.figure1();
+        assert_eq!(fig1.legend()[0], "mspace");
+        assert_eq!(fig1.benchmarks().count(), 3);
+        let t = ex.table1();
+        assert_eq!(t.rows()[0].thread, "SurfaceFlinger");
+    }
+
+    #[test]
+    fn claims_report_paper_and_measured() {
+        let ex = Experiments::new(fake_results());
+        let claims = ex.check_claims();
+        assert!(claims.len() > 10);
+        let sf = claims
+            .iter()
+            .find(|c| c.id == "table1-surfaceflinger")
+            .unwrap();
+        assert_eq!(sf.paper, "43.4 %");
+        // Fake data: SurfaceFlinger share is 100·100/110 ≈ 90% → fails band.
+        assert!(!sf.pass);
+        let fig1 = claims.iter().find(|c| c.id == "fig1-mspace-libdvm").unwrap();
+        assert!(fig1.pass);
+    }
+
+    #[test]
+    fn claim_serde_round_trips() {
+        let c = ClaimReport::new("x", "desc", "1", "2".into(), false);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ClaimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,51 @@
+//! **Agave-rs** — a Rust reproduction of *"Agave: A Benchmark Suite for
+//! Exploring the Complexities of the Android Software Stack"* (Brown et
+//! al., ISPASS 2016).
+//!
+//! This crate is the front door of the workspace: it unifies the 19 Agave
+//! workload configurations (`agave-apps`) and the six SPEC CPU2006
+//! baselines (`agave-spec`) behind one [`Workload`] registry, runs them on
+//! the simulated Android software stack, and regenerates every evaluation
+//! artifact of the paper:
+//!
+//! * [`Experiments::figure1`] — instruction references by VMA region;
+//! * [`Experiments::figure2`] — data references by VMA region;
+//! * [`Experiments::figure3`] — instruction references by process;
+//! * [`Experiments::figure4`] — data references by process;
+//! * [`Experiments::table1`] — threads ranked by total memory references;
+//! * [`Experiments::check_claims`] — the paper's quantitative claims
+//!   (region counts, process/thread ranges, mediaserver dominance, …) as
+//!   pass/fail rows.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use agave_core::{run_workload, SuiteConfig, Workload};
+//! use agave_core::AppId;
+//!
+//! let config = SuiteConfig::quick();
+//! let summary = run_workload(Workload::Agave(AppId::GalleryMp4View), &config);
+//! println!("mediaserver share: {:.1}%",
+//!          summary.instr_process_share("mediaserver") * 100.0);
+//! ```
+//!
+//! For the full paper reproduction, see `examples/suite_report.rs` (or the
+//! Criterion benches in `agave-bench`, one per figure/table).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod experiments;
+mod profiles;
+mod report;
+mod suite;
+
+pub use experiments::{ClaimReport, Experiments};
+pub use profiles::{library_profiles, render_library_profiles, LibraryProfile};
+pub use report::{experiments_markdown, write_artifacts};
+pub use suite::{all_workloads, run_suite, run_workload, SuiteConfig, SuiteResults, Workload};
+
+// The user-facing surface of the lower layers.
+pub use agave_apps::{all_apps, AppId, RunConfig};
+pub use agave_spec::{spec_programs, SpecConfig, SpecProgram};
+pub use agave_trace::{Breakdown, FigureTable, RunSummary, TableOne, TableOneRow};

@@ -1,0 +1,170 @@
+//! Extension: static library-profile analysis.
+//!
+//! The paper closes with an observation the authors flag as future work:
+//!
+//! > *"Note that execution profiles of some Android libraries appear to be
+//! > independent of who calls them. Static profiling could thus prove more
+//! > useful for studying Android application behavior than it has for
+//! > other types of applications in the past."*
+//!
+//! This module implements that analysis over the reproduction's suite
+//! results: for every shared library, it computes a per-application
+//! *profile* (the library's data-to-instruction reference ratio — a proxy
+//! for "what kind of code this is": copy loop, dispatch-heavy glue,
+//! compute kernel) and measures how stable that profile is across the
+//! applications that use the library. Libraries with a low coefficient of
+//! variation behave the same no matter who calls them — the candidates
+//! the paper suggests for static profiling.
+
+use agave_trace::RunSummary;
+use serde::{Deserialize, Serialize};
+
+/// The per-library caller-independence report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LibraryProfile {
+    /// Library (region) name.
+    pub library: String,
+    /// Applications that fetched ≥ `min_refs` instructions from it.
+    pub callers: usize,
+    /// Mean data/instruction ratio across callers.
+    pub mean_ratio: f64,
+    /// Coefficient of variation of the ratio across callers (σ/μ); lower
+    /// means more caller-independent.
+    pub cv: f64,
+}
+
+impl LibraryProfile {
+    /// The paper's hypothesis threshold: a profile is considered
+    /// caller-independent when its ratio varies by less than 35 % across
+    /// callers.
+    pub fn is_caller_independent(&self) -> bool {
+        self.cv < 0.35
+    }
+}
+
+/// Computes per-library profiles across `runs`, considering only
+/// (library, app) pairs with at least `min_refs` instruction fetches and
+/// libraries used by at least `min_callers` applications.
+pub fn library_profiles(
+    runs: &[RunSummary],
+    min_refs: u64,
+    min_callers: usize,
+) -> Vec<LibraryProfile> {
+    use std::collections::BTreeMap;
+    // library -> per-app ratios
+    let mut ratios: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for run in runs {
+        for (region, &instr) in &run.instr_by_region {
+            if instr < min_refs || !region.ends_with(".so") {
+                continue;
+            }
+            let data = run.data_by_region.get(region).copied().unwrap_or(0);
+            ratios
+                .entry(region.as_str())
+                .or_default()
+                .push(data as f64 / instr as f64);
+        }
+    }
+    let mut out: Vec<LibraryProfile> = ratios
+        .into_iter()
+        .filter(|(_, v)| v.len() >= min_callers)
+        .map(|(library, v)| {
+            let n = v.len() as f64;
+            let mean = v.iter().sum::<f64>() / n;
+            let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+            let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+            LibraryProfile {
+                library: library.to_owned(),
+                callers: v.len(),
+                mean_ratio: mean,
+                cv,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| a.cv.partial_cmp(&b.cv).expect("finite CVs"));
+    out
+}
+
+/// Renders the analysis as a text table.
+pub fn render_library_profiles(profiles: &[LibraryProfile]) -> String {
+    let mut out = String::from(
+        "Library profile stability across callers (extension of the paper's closing observation)\n",
+    );
+    out.push_str(&format!(
+        "{:<34} {:>8} {:>12} {:>8}  {}\n",
+        "library", "callers", "data/instr", "CV", "caller-independent?"
+    ));
+    for p in profiles {
+        out.push_str(&format!(
+            "{:<34} {:>8} {:>12.3} {:>8.3}  {}\n",
+            p.library,
+            p.callers,
+            p.mean_ratio,
+            p.cv,
+            if p.is_caller_independent() { "yes" } else { "no" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_with(label: &str, lib: &str, instr: u64, data: u64) -> RunSummary {
+        let mut s = RunSummary::empty(label);
+        s.instr_by_region.insert(lib.to_owned(), instr);
+        s.data_by_region.insert(lib.to_owned(), data);
+        s.total_instr = instr;
+        s.total_data = data;
+        s
+    }
+
+    #[test]
+    fn stable_library_is_caller_independent() {
+        // Three apps, nearly identical data/instr ratio.
+        let runs = vec![
+            run_with("a", "libx.so", 1000, 500),
+            run_with("b", "libx.so", 8000, 4100),
+            run_with("c", "libx.so", 500, 245),
+        ];
+        let profiles = library_profiles(&runs, 100, 3);
+        assert_eq!(profiles.len(), 1);
+        assert!(profiles[0].is_caller_independent(), "{profiles:?}");
+        assert_eq!(profiles[0].callers, 3);
+    }
+
+    #[test]
+    fn erratic_library_is_not() {
+        let runs = vec![
+            run_with("a", "liby.so", 1000, 100),
+            run_with("b", "liby.so", 1000, 2000),
+            run_with("c", "liby.so", 1000, 50),
+        ];
+        let profiles = library_profiles(&runs, 100, 3);
+        assert!(!profiles[0].is_caller_independent(), "{profiles:?}");
+    }
+
+    #[test]
+    fn filters_apply() {
+        let runs = vec![
+            run_with("a", "libz.so", 10, 5), // below min_refs
+            run_with("b", "libz.so", 1000, 500),
+            run_with("c", "heap", 1000, 500), // not a library
+        ];
+        assert!(library_profiles(&runs, 100, 2).is_empty());
+        assert_eq!(library_profiles(&runs, 100, 1).len(), 1);
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let runs = vec![
+            run_with("a", "libx.so", 1000, 500),
+            run_with("b", "libx.so", 1000, 520),
+        ];
+        let profiles = library_profiles(&runs, 100, 2);
+        let text = render_library_profiles(&profiles);
+        assert!(text.contains("libx.so"));
+        assert!(text.contains("caller-independent"));
+    }
+}

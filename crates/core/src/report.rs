@@ -1,0 +1,113 @@
+//! Rendering a full experiment report (the EXPERIMENTS.md generator).
+
+use crate::experiments::Experiments;
+
+/// Renders the complete paper-vs-measured report as Markdown: the four
+/// figures, Table I, and the claim checklist.
+///
+/// `EXPERIMENTS.md` in the repository root is produced by running
+/// `cargo run --release --example suite_report -- --markdown` and pasting
+/// this output.
+pub fn experiments_markdown(experiments: &Experiments, config_note: &str) -> String {
+    let mut out = String::new();
+    out.push_str("# Agave-rs — Experiment Reproduction Report\n\n");
+    out.push_str(&format!("Run configuration: {config_note}\n\n"));
+
+    out.push_str("## Claim checklist (paper vs measured)\n\n");
+    out.push_str("| Claim | Paper | Measured | Status |\n");
+    out.push_str("|-------|-------|----------|--------|\n");
+    for claim in experiments.check_claims() {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} |\n",
+            claim.description,
+            claim.paper,
+            claim.measured,
+            if claim.pass { "✅" } else { "⚠️" }
+        ));
+    }
+    out.push('\n');
+
+    for (title, figure) in [
+        ("Figure 1 — Instruction references by VMA region (%)", experiments.figure1()),
+        ("Figure 2 — Data references by VMA region (%)", experiments.figure2()),
+        ("Figure 3 — Instruction references by process (%)", experiments.figure3()),
+        ("Figure 4 — Data references by process (%)", experiments.figure4()),
+    ] {
+        out.push_str(&format!("## {title}\n\n```text\n"));
+        out.push_str(&figure.render());
+        out.push_str("```\n\n");
+    }
+
+    out.push_str("## Table I — Threads by share of suite memory references\n\n```text\n");
+    out.push_str(&experiments.table1_extended(10).render());
+    out.push_str("```\n\n");
+
+    out.push_str(
+        "## Extension — static library profiles (the paper's closing observation)\n\n```text\n",
+    );
+    out.push_str(&crate::render_library_profiles(&experiments.library_profiles()));
+    out.push_str("```\n");
+    out
+}
+
+/// Writes the four figures as CSV files (`fig1.csv` … `fig4.csv`) plus
+/// the suite summaries (`results.json`) into `dir`, creating it if needed.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing files.
+pub fn write_artifacts(
+    experiments: &Experiments,
+    dir: &std::path::Path,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (name, figure) in [
+        ("fig1.csv", experiments.figure1()),
+        ("fig2.csv", experiments.figure2()),
+        ("fig3.csv", experiments.figure3()),
+        ("fig4.csv", experiments.figure4()),
+    ] {
+        std::fs::write(dir.join(name), figure.to_csv())?;
+    }
+    let json = serde_json::to_string_pretty(experiments.results())
+        .expect("suite results serialize");
+    std::fs::write(dir.join("results.json"), json)?;
+    std::fs::write(
+        dir.join("table1.txt"),
+        experiments.table1_extended(10).render(),
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::SuiteResults;
+    use agave_trace::RunSummary;
+
+    #[test]
+    fn markdown_contains_all_sections() {
+        let mut s = RunSummary::empty("demo.main");
+        s.instr_by_region.insert("libdvm.so".into(), 10);
+        s.refs_by_thread.insert("SurfaceFlinger".into(), 10);
+        s.total_instr = 10;
+        let ex = Experiments::new(SuiteResults {
+            agave: vec![s],
+            spec: vec![],
+        });
+        let md = experiments_markdown(&ex, "test config");
+        for needle in [
+            "# Agave-rs",
+            "Claim checklist",
+            "Figure 1",
+            "Figure 2",
+            "Figure 3",
+            "Figure 4",
+            "Table I",
+            "test config",
+            "demo.main",
+        ] {
+            assert!(md.contains(needle), "missing {needle}");
+        }
+    }
+}

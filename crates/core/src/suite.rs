@@ -1,0 +1,158 @@
+//! The unified workload registry and suite runner.
+
+use agave_apps::{all_apps, run_app, AppId, RunConfig};
+use agave_spec::{run_spec, spec_programs, SpecConfig, SpecProgram};
+use agave_trace::RunSummary;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Any runnable workload: one of the 19 Agave configurations or one of the
+/// six SPEC baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// An Agave application configuration.
+    Agave(AppId),
+    /// A SPEC CPU2006 baseline.
+    Spec(SpecProgram),
+}
+
+impl Workload {
+    /// The figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::Agave(app) => app.label(),
+            Workload::Spec(program) => program.label(),
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// All 25 workloads in the figures' x-axis order (19 Agave, then 6 SPEC).
+pub fn all_workloads() -> Vec<Workload> {
+    let mut out: Vec<Workload> = all_apps().into_iter().map(Workload::Agave).collect();
+    out.extend(spec_programs().into_iter().map(Workload::Spec));
+    out
+}
+
+/// Sizing for a full suite run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuiteConfig {
+    /// Agave application run sizing.
+    pub app: RunConfig,
+    /// SPEC problem sizing.
+    pub spec: SpecConfig,
+}
+
+impl SuiteConfig {
+    /// The configuration used for the EXPERIMENTS.md numbers.
+    pub fn reference() -> Self {
+        SuiteConfig {
+            app: RunConfig::reference(),
+            spec: SpecConfig::reference(),
+        }
+    }
+
+    /// A fast configuration for tests and benches.
+    pub fn quick() -> Self {
+        SuiteConfig {
+            app: RunConfig::quick(),
+            spec: SpecConfig::tiny(),
+        }
+    }
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+/// Runs one workload to completion and returns its summary.
+pub fn run_workload(workload: Workload, config: &SuiteConfig) -> RunSummary {
+    match workload {
+        Workload::Agave(app) => run_app(app, config.app),
+        Workload::Spec(program) => run_spec(program, config.spec),
+    }
+}
+
+/// The results of a full suite run: one summary per workload, in figure
+/// order. Serializable for archival.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteResults {
+    /// The 19 Agave summaries.
+    pub agave: Vec<RunSummary>,
+    /// The 6 SPEC summaries.
+    pub spec: Vec<RunSummary>,
+}
+
+impl SuiteResults {
+    /// All summaries in figure order (Agave then SPEC).
+    pub fn all(&self) -> Vec<RunSummary> {
+        self.agave.iter().chain(self.spec.iter()).cloned().collect()
+    }
+
+    /// Looks up one workload's summary by its figure label.
+    pub fn by_label(&self, label: &str) -> Option<&RunSummary> {
+        self.agave
+            .iter()
+            .chain(self.spec.iter())
+            .find(|s| s.benchmark == label)
+    }
+
+    /// The Agave suite merged into one aggregate (the Table I input).
+    pub fn agave_aggregate(&self) -> RunSummary {
+        let mut merged = RunSummary::empty("agave-suite");
+        for s in &self.agave {
+            merged.merge(s);
+        }
+        merged
+    }
+}
+
+/// Runs every workload and collects the results.
+///
+/// Each workload boots a fresh simulated system (its own tracer), exactly
+/// as each of the paper's measurements ran against a fresh gem5 instance.
+pub fn run_suite(config: &SuiteConfig) -> SuiteResults {
+    SuiteResults {
+        agave: all_apps()
+            .into_iter()
+            .map(|app| run_app(app, config.app))
+            .collect(),
+        spec: spec_programs()
+            .into_iter()
+            .map(|program| run_spec(program, config.spec))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_25_workloads_in_order() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 25);
+        assert_eq!(all[0].label(), "aard.main");
+        assert_eq!(all[18].label(), "vlc.mp4.view");
+        assert_eq!(all[19].label(), "401.bzip2");
+        assert_eq!(all[24].label(), "999.specrand");
+    }
+
+    #[test]
+    fn run_single_workload_of_each_kind() {
+        let config = SuiteConfig::quick();
+        let app = run_workload(Workload::Agave(AppId::CountdownMain), &config);
+        assert_eq!(app.benchmark, "countdown.main");
+        assert!(app.total_instr > 0);
+        let spec = run_workload(Workload::Spec(SpecProgram::Specrand), &config);
+        assert_eq!(spec.benchmark, "999.specrand");
+        assert!(spec.total_instr > 0);
+    }
+}

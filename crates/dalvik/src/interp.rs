@@ -1,0 +1,407 @@
+//! The bytecode interpreter (and JIT-execution fast path).
+
+use crate::value::Value;
+use crate::vm::{Vm, MSG_COMPILE};
+use agave_dex::{BinOp, ClassId, Cond, Insn, MethodId};
+use agave_kernel::{Ctx, Message, RefKind};
+
+/// Per-op instruction fetches in the interpreter (dispatch + handler).
+const INTERP_FETCH: u64 = 8;
+/// Per-op instruction fetches in compiled code.
+const JIT_FETCH: u64 = 2;
+/// Flush accumulated charges at least this often (ops), so simulated time
+/// does not lag arbitrarily far behind work.
+const FLUSH_EVERY: u64 = 65_536;
+
+/// Charge accumulator: the interpreter batches its high-frequency charges
+/// and flushes them in bulk, keeping the per-op overhead low.
+#[derive(Debug, Default, Clone, Copy)]
+struct Charges {
+    libdvm_fetch: u64,
+    jit_fetch: u64,
+    dex_read: u64,
+    stack_read: u64,
+    stack_write: u64,
+    heap_read: u64,
+    heap_write: u64,
+    since_flush: u64,
+}
+
+impl Charges {
+    fn flush(&mut self, vm: &Vm, cx: &mut Ctx<'_>, dex_region: agave_kernel::NameId) {
+        let r = vm.regions;
+        cx.charge(r.libdvm, RefKind::InstrFetch, self.libdvm_fetch);
+        cx.charge(r.jit, RefKind::InstrFetch, self.jit_fetch);
+        cx.charge(dex_region, RefKind::DataRead, self.dex_read);
+        cx.charge(r.stack, RefKind::DataRead, self.stack_read);
+        cx.charge(r.stack, RefKind::DataWrite, self.stack_write);
+        cx.charge(r.dalvik_heap, RefKind::DataRead, self.heap_read);
+        cx.charge(r.dalvik_heap, RefKind::DataWrite, self.heap_write);
+        // Atomic ops go through the ARM kuser-helper vector page.
+        cx.charge(r.vectors, RefKind::InstrFetch, self.since_flush / 48);
+        *self = Charges::default();
+    }
+}
+
+struct Frame {
+    method: MethodId,
+    pc: usize,
+    regs: Vec<Value>,
+    /// Where the caller wants the return value.
+    ret_to: Option<agave_dex::Reg>,
+    compiled: bool,
+}
+
+/// Executes `method` with `args`, charging as it goes.
+///
+/// Returns the outermost return value. See `Vm::invoke` for the public
+/// wrapper.
+///
+/// # Panics
+///
+/// Panics on malformed bytecode (bad registers/indices/types), division by
+/// zero, or fuel exhaustion.
+pub(crate) fn execute(
+    vm: &mut Vm,
+    cx: &mut Ctx<'_>,
+    method: MethodId,
+    args: &[Value],
+    mut fuel: u64,
+) -> Option<Value> {
+    let mut charges = Charges::default();
+    // The dex region can differ per method (framework vs app); track the
+    // current one and flush when it changes.
+    let mut cur_dex_region = vm.method_region[method.0 as usize];
+
+    let mut stack: Vec<Frame> = Vec::with_capacity(8);
+    stack.push(new_frame(vm, method, args, None));
+    let mut result: Option<Value> = None;
+
+    while !stack.is_empty() {
+        let fi = stack.len() - 1;
+
+        assert!(fuel > 0, "bytecode fuel exhausted — runaway loop?");
+        fuel -= 1;
+
+        let (insn, compiled) = {
+            let f = &mut stack[fi];
+            let insn = vm.dex.method(f.method).code[f.pc];
+            f.pc += 1;
+            (insn, f.compiled)
+        };
+
+        // Base per-op charges.
+        charges.since_flush += 1;
+        if compiled {
+            charges.jit_fetch += JIT_FETCH;
+            // Compiled traces still call back into libdvm runtime helpers
+            // (allocation, monitors, exception checks).
+            charges.libdvm_fetch += 1;
+            vm.stats.ops_compiled += 1;
+        } else {
+            charges.libdvm_fetch += INTERP_FETCH;
+            charges.dex_read += 1;
+            vm.stats.ops_interpreted += 1;
+        }
+
+        match insn {
+            Insn::Const { dst, value } => {
+                stack[fi].regs[dst.0 as usize] = Value::Int(value);
+                charges.stack_write += 1;
+            }
+            Insn::Move { dst, src } => {
+                let f = &mut stack[fi];
+                f.regs[dst.0 as usize] = f.regs[src.0 as usize];
+                charges.stack_read += 1;
+                charges.stack_write += 1;
+            }
+            Insn::BinOp { op, dst, a, b } => {
+                let f = &mut stack[fi];
+                let x = f.regs[a.0 as usize].as_int();
+                let y = f.regs[b.0 as usize].as_int();
+                f.regs[dst.0 as usize] = Value::Int(eval_binop(op, x, y));
+                charges.stack_read += 2;
+                charges.stack_write += 1;
+                if !compiled {
+                    charges.libdvm_fetch += 2;
+                }
+            }
+            Insn::IfCmp { cond, a, b, target } => {
+                let f = &mut stack[fi];
+                let x = f.regs[a.0 as usize].as_int();
+                let y = f.regs[b.0 as usize].as_int();
+                charges.stack_read += 2;
+                if eval_cond(cond, x, y) {
+                    f.pc = target as usize;
+                }
+            }
+            Insn::IfZ { cond, src, target } => {
+                let f = &mut stack[fi];
+                let x = f.regs[src.0 as usize].as_int();
+                charges.stack_read += 1;
+                if eval_cond(cond, x, 0) {
+                    f.pc = target as usize;
+                }
+            }
+            Insn::Goto { target } => {
+                stack[fi].pc = target as usize;
+            }
+            Insn::NewInstance { dst, class } => {
+                let class = ClassId(class);
+                let nfields = vm.dex.class(class).field_count;
+                let obj = vm.heap.alloc_instance(class, nfields);
+                stack[fi].regs[dst.0 as usize] = Value::Ref(obj);
+                charges.libdvm_fetch += 60;
+                charges.heap_write += 2 + u64::from(nfields);
+                charges.stack_write += 1;
+            }
+            Insn::NewArray { dst, len } => {
+                let n = stack[fi].regs[len.0 as usize].as_int();
+                assert!(n >= 0, "negative array size {n}");
+                let arr = vm.heap.alloc_array(n as usize);
+                stack[fi].regs[dst.0 as usize] = Value::Ref(arr);
+                charges.libdvm_fetch += 60;
+                charges.heap_write += 2 + (n as u64) / 4;
+                charges.stack_write += 1;
+            }
+            Insn::ArrayLen { dst, arr } => {
+                let a = stack[fi].regs[arr.0 as usize].as_ref();
+                let len = vm.heap.array_len(a) as i64;
+                stack[fi].regs[dst.0 as usize] = Value::Int(len);
+                charges.heap_read += 1;
+                charges.stack_write += 1;
+            }
+            Insn::AGet { dst, arr, idx } => {
+                let (a, i) = {
+                    let f = &stack[fi];
+                    (
+                        f.regs[arr.0 as usize].as_ref(),
+                        f.regs[idx.0 as usize].as_int(),
+                    )
+                };
+                let v = vm.heap.array_get(a, usize::try_from(i).expect("negative index"));
+                stack[fi].regs[dst.0 as usize] = Value::Int(v);
+                charges.heap_read += 1;
+                charges.stack_read += 2;
+                charges.stack_write += 1;
+            }
+            Insn::APut { src, arr, idx } => {
+                let (a, i, v) = {
+                    let f = &stack[fi];
+                    (
+                        f.regs[arr.0 as usize].as_ref(),
+                        f.regs[idx.0 as usize].as_int(),
+                        f.regs[src.0 as usize].as_int(),
+                    )
+                };
+                vm.heap
+                    .array_set(a, usize::try_from(i).expect("negative index"), v);
+                charges.heap_write += 1;
+                charges.stack_read += 3;
+            }
+            Insn::IGet { dst, obj, field } => {
+                let o = stack[fi].regs[obj.0 as usize].as_ref();
+                let v = vm.heap.get_field(o, field);
+                stack[fi].regs[dst.0 as usize] = v;
+                charges.heap_read += 1;
+                charges.stack_read += 1;
+                charges.stack_write += 1;
+            }
+            Insn::IPut { src, obj, field } => {
+                let (o, v) = {
+                    let f = &stack[fi];
+                    (f.regs[obj.0 as usize].as_ref(), f.regs[src.0 as usize])
+                };
+                vm.heap.set_field(o, field, v);
+                charges.heap_write += 1;
+                charges.stack_read += 2;
+            }
+            Insn::SGet { dst, class, field } => {
+                let v = vm.static_get(ClassId(class), field);
+                stack[fi].regs[dst.0 as usize] = v;
+                charges.heap_read += 1;
+                charges.stack_write += 1;
+            }
+            Insn::SPut { src, class, field } => {
+                let v = stack[fi].regs[src.0 as usize];
+                vm.static_set(ClassId(class), field, v);
+                charges.heap_write += 1;
+                charges.stack_read += 1;
+            }
+            Insn::Invoke {
+                method: target,
+                args: arg_regs,
+                dst,
+                ..
+            } => {
+                let target = MethodId(target);
+                let argv: Vec<Value> = {
+                    let f = &stack[fi];
+                    arg_regs.iter().map(|r| f.regs[r.0 as usize]).collect()
+                };
+                charges.libdvm_fetch += 30;
+                charges.stack_read += argv.len() as u64;
+                charges.stack_write += argv.len() as u64 + 2;
+                if vm.note_invoke(target) {
+                    if let Some(compiler) = vm.compiler_tid() {
+                        charges.flush(vm, cx, cur_dex_region);
+                        cx.send(compiler, Message::new(MSG_COMPILE));
+                    }
+                }
+                let callee_region = vm.method_region[target.0 as usize];
+                if callee_region != cur_dex_region {
+                    charges.flush(vm, cx, cur_dex_region);
+                    cur_dex_region = callee_region;
+                }
+                let callee = new_frame(vm, target, &argv, dst);
+                stack.push(callee);
+                continue;
+            }
+            Insn::Native {
+                hook,
+                args: arg_regs,
+                dst,
+            } => {
+                let argv: Vec<Value> = {
+                    let f = &stack[fi];
+                    arg_regs.iter().map(|r| f.regs[r.0 as usize]).collect()
+                };
+                charges.libdvm_fetch += 20;
+                charges.stack_read += argv.len() as u64;
+                // Natives charge in their own scopes; keep time honest.
+                charges.flush(vm, cx, cur_dex_region);
+                vm.stats.native_calls += 1;
+                let mut h = vm.hooks[hook as usize].take().unwrap_or_else(|| {
+                    panic!("native hook {hook} is unregistered or re-entered")
+                });
+                let out = h(vm, cx, &argv);
+                vm.hooks[hook as usize] = Some(h);
+                if let Some(dst) = dst {
+                    stack[fi].regs[dst.0 as usize] = out.unwrap_or(Value::Null);
+                    charges.stack_write += 1;
+                }
+            }
+            Insn::Return { src } => {
+                let value = src.map(|r| stack[fi].regs[r.0 as usize]);
+                charges.libdvm_fetch += 10;
+                charges.stack_write += 1;
+                let finished = stack.pop().expect("frame present");
+                match stack.last_mut() {
+                    Some(caller) => {
+                        if let (Some(dst), Some(v)) = (finished.ret_to, value) {
+                            caller.regs[dst.0 as usize] = v;
+                        }
+                        let caller_region = vm.method_region[caller.method.0 as usize];
+                        if caller_region != cur_dex_region {
+                            charges.flush(vm, cx, cur_dex_region);
+                            cur_dex_region = caller_region;
+                        }
+                    }
+                    None => result = value,
+                }
+                continue;
+            }
+        }
+
+        if charges.since_flush >= FLUSH_EVERY {
+            charges.flush(vm, cx, cur_dex_region);
+        }
+    }
+
+    charges.flush(vm, cx, cur_dex_region);
+    result
+}
+
+fn new_frame(
+    vm: &Vm,
+    method: MethodId,
+    args: &[Value],
+    ret_to: Option<agave_dex::Reg>,
+) -> Frame {
+    let mdef = vm.dex.method(method);
+    assert_eq!(
+        args.len(),
+        mdef.num_args as usize,
+        "arity mismatch calling {}",
+        mdef.name
+    );
+    let mut regs = vec![Value::Null; mdef.num_regs as usize];
+    // DEX convention: arguments arrive in the highest registers.
+    let base = (mdef.num_regs - mdef.num_args) as usize;
+    regs[base..base + args.len()].copy_from_slice(args);
+    Frame {
+        method,
+        pc: 0,
+        regs,
+        ret_to,
+        compiled: vm.compiled[method.0 as usize],
+    }
+}
+
+fn eval_binop(op: BinOp, x: i64, y: i64) -> i64 {
+    match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => {
+            assert!(y != 0, "division by zero");
+            x.wrapping_div(y)
+        }
+        BinOp::Rem => {
+            assert!(y != 0, "remainder by zero");
+            x.wrapping_rem(y)
+        }
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => x.wrapping_shl((y & 63) as u32),
+        BinOp::Shr => x.wrapping_shr((y & 63) as u32),
+    }
+}
+
+fn eval_cond(cond: Cond, x: i64, y: i64) -> bool {
+    match cond {
+        Cond::Eq => x == y,
+        Cond::Ne => x != y,
+        Cond::Lt => x < y,
+        Cond::Ge => x >= y,
+        Cond::Gt => x > y,
+        Cond::Le => x <= y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_semantics() {
+        assert_eq!(eval_binop(BinOp::Add, i64::MAX, 1), i64::MIN); // wrapping
+        assert_eq!(eval_binop(BinOp::Sub, 3, 5), -2);
+        assert_eq!(eval_binop(BinOp::Mul, -4, 3), -12);
+        assert_eq!(eval_binop(BinOp::Div, 7, 2), 3);
+        assert_eq!(eval_binop(BinOp::Rem, 7, 2), 1);
+        assert_eq!(eval_binop(BinOp::And, 0b1100, 0b1010), 0b1000);
+        assert_eq!(eval_binop(BinOp::Or, 0b1100, 0b1010), 0b1110);
+        assert_eq!(eval_binop(BinOp::Xor, 0b1100, 0b1010), 0b0110);
+        assert_eq!(eval_binop(BinOp::Shl, 1, 4), 16);
+        assert_eq!(eval_binop(BinOp::Shr, -16, 2), -4);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_zero_panics() {
+        let _ = eval_binop(BinOp::Div, 1, 0);
+    }
+
+    #[test]
+    fn cond_semantics() {
+        assert!(eval_cond(Cond::Eq, 1, 1));
+        assert!(eval_cond(Cond::Ne, 1, 2));
+        assert!(eval_cond(Cond::Lt, 1, 2));
+        assert!(eval_cond(Cond::Ge, 2, 2));
+        assert!(eval_cond(Cond::Gt, 3, 2));
+        assert!(eval_cond(Cond::Le, 2, 2));
+        assert!(!eval_cond(Cond::Lt, 2, 2));
+    }
+}

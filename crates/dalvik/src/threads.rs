@@ -1,0 +1,115 @@
+//! Dalvik's per-process service threads.
+//!
+//! Every Dalvik process on Gingerbread carries a standard retinue of VM
+//! threads; two of them — `Compiler` (the trace JIT) and `GC` — rank in the
+//! paper's Table I. `HeapWorker`, `Signal Catcher` and `JDWP` round out the
+//! set and contribute to the paper's 32–147 threads-per-application counts.
+
+use crate::vm::{VmRef, MSG_COMPILE, MSG_GC};
+use agave_kernel::{Actor, Ctx, Kernel, Message, Pid, Tid};
+
+/// The `GC` thread: performs mark-sweep when the mutator requests it.
+pub struct GcThread {
+    vm: VmRef,
+}
+
+impl GcThread {
+    /// Creates a GC thread actor for `vm`.
+    pub fn new(vm: VmRef) -> Self {
+        GcThread { vm }
+    }
+}
+
+impl Actor for GcThread {
+    fn on_message(&mut self, cx: &mut Ctx<'_>, msg: Message) {
+        if msg.what == MSG_GC {
+            self.vm.borrow_mut().run_gc(cx);
+        }
+    }
+}
+
+/// The `Compiler` thread: drains the JIT queue.
+pub struct CompilerThread {
+    vm: VmRef,
+}
+
+impl CompilerThread {
+    /// Creates a compiler thread actor for `vm`.
+    pub fn new(vm: VmRef) -> Self {
+        CompilerThread { vm }
+    }
+}
+
+impl Actor for CompilerThread {
+    fn on_message(&mut self, cx: &mut Ctx<'_>, msg: Message) {
+        if msg.what == MSG_COMPILE {
+            while self.vm.borrow_mut().compile_next(cx).is_some() {}
+        }
+    }
+}
+
+/// `HeapWorker` runs finalizers/reference enqueueing after collections; we
+/// model a small fixed amount of work per GC-adjacent wakeup.
+struct HeapWorker {
+    vm: VmRef,
+}
+
+impl Actor for HeapWorker {
+    fn on_message(&mut self, cx: &mut Ctx<'_>, _msg: Message) {
+        let vm = self.vm.borrow();
+        let libdvm = vm.regions.libdvm;
+        drop(vm);
+        cx.call_lib(libdvm, 200);
+    }
+}
+
+/// The tids of one process's VM service threads.
+#[derive(Debug, Clone, Copy)]
+pub struct VmServiceThreads {
+    /// The `GC` thread.
+    pub gc: Tid,
+    /// The `Compiler` (JIT) thread.
+    pub compiler: Tid,
+    /// The `HeapWorker` finalizer thread.
+    pub heap_worker: Tid,
+    /// `Signal Catcher` (inert in the model).
+    pub signal_catcher: Tid,
+    /// `JDWP` debugger thread (inert in the model).
+    pub jdwp: Tid,
+}
+
+/// Spawns the standard Dalvik service threads for `pid` and wires the GC
+/// and Compiler tids into the VM.
+pub fn spawn_vm_service_threads(kernel: &mut Kernel, pid: Pid, vm: &VmRef) -> VmServiceThreads {
+    let libdvm = kernel.well_known().libdvm;
+    let gc = kernel.spawn_thread_in(pid, "GC", libdvm, Box::new(GcThread { vm: vm.clone() }));
+    let compiler = kernel.spawn_thread_in(
+        pid,
+        "Compiler",
+        libdvm,
+        Box::new(CompilerThread { vm: vm.clone() }),
+    );
+    let heap_worker = kernel.spawn_thread_in(
+        pid,
+        "HeapWorker",
+        libdvm,
+        Box::new(HeapWorker { vm: vm.clone() }),
+    );
+    let signal_catcher =
+        kernel.spawn_thread_in(pid, "Signal Catcher", libdvm, Box::new(InertVmThread));
+    let jdwp = kernel.spawn_thread_in(pid, "JDWP", libdvm, Box::new(InertVmThread));
+    vm.borrow_mut().set_service_threads(gc, compiler);
+    VmServiceThreads {
+        gc,
+        compiler,
+        heap_worker,
+        signal_catcher,
+        jdwp,
+    }
+}
+
+struct InertVmThread;
+
+impl Actor for InertVmThread {
+    fn on_message(&mut self, _cx: &mut Ctx<'_>, _msg: Message) {}
+}

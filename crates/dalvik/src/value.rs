@@ -1,0 +1,100 @@
+//! Runtime values of the Dalvik model.
+
+use crate::heap::HeapRef;
+use std::fmt;
+
+/// A Dalvik register/field/static value.
+///
+/// The tag is what lets the mark-sweep collector find references precisely
+/// instead of scanning conservatively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Value {
+    /// The default value of uninitialized fields and statics.
+    #[default]
+    Null,
+    /// A 64-bit integer (Dalvik's int/long collapsed into one width).
+    Int(i64),
+    /// A reference to a heap object or array.
+    Ref(HeapRef),
+}
+
+impl Value {
+    /// Extracts an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an `Int` — the bytecode equivalent of a
+    /// verifier type error.
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            other => panic!("expected Int, found {other:?}"),
+        }
+    }
+
+    /// Extracts a reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a `Ref` (a `NullPointerException`
+    /// analogue for `Null`).
+    pub fn as_ref(self) -> HeapRef {
+        match self {
+            Value::Ref(r) => r,
+            other => panic!("expected Ref, found {other:?}"),
+        }
+    }
+
+    /// Whether this is a reference (GC root candidate).
+    pub fn is_ref(self) -> bool {
+        matches!(self, Value::Ref(_))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<HeapRef> for Value {
+    fn from(r: HeapRef) -> Self {
+        Value::Ref(r)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Ref(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), 5);
+        assert!(Value::Ref(HeapRef::for_tests(3)).is_ref());
+        assert!(!Value::Int(1).is_ref());
+        assert!(!Value::Null.is_ref());
+        assert_eq!(Value::default(), Value::Null);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn int_of_null_panics() {
+        let _ = Value::Null.as_int();
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Ref")]
+    fn ref_of_int_panics() {
+        let _ = Value::Int(1).as_ref();
+    }
+}

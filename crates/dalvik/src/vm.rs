@@ -1,0 +1,367 @@
+//! The VM: loaded dex, heap, statics, JIT state, native hooks.
+
+use crate::heap::{DalvikHeap, HeapRef};
+use crate::interp;
+use crate::value::Value;
+use agave_dex::{DexFile, MethodId};
+use agave_kernel::{Ctx, Message, NameId, Perms, RefKind, Tid};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Invocations after which a method is queued for JIT compilation.
+pub const JIT_THRESHOLD: u32 = 6;
+
+/// Allocated bytes between collections before a GC is requested.
+const GC_TRIGGER_BYTES: u64 = 32 * 1024;
+
+/// Default bytecode fuel per [`Vm::invoke`] (ops before an infinite loop is
+/// assumed).
+const DEFAULT_FUEL: u64 = 200_000_000;
+
+/// Message code asking the GC thread to collect.
+pub(crate) const MSG_GC: u32 = 0x6763;
+/// Message code asking the Compiler thread to drain the JIT queue.
+pub(crate) const MSG_COMPILE: u32 = 0x6a69;
+
+/// A native hook: the JNI analogue, called from bytecode via
+/// [`agave_dex::Insn::Native`].
+///
+/// Hooks receive the VM (for heap access) and the running thread's charging
+/// context; they must not retain either.
+pub type NativeHook = Box<dyn FnMut(&mut Vm, &mut Ctx<'_>, &[Value]) -> Option<Value>>;
+
+/// Shared handle to a process's VM, cloned into each of its thread actors.
+pub type VmRef = Rc<RefCell<Vm>>;
+
+/// Region ids the interpreter charges against.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct VmRegions {
+    pub libdvm: NameId,
+    pub jit: NameId,
+    pub dalvik_heap: NameId,
+    pub stack: NameId,
+    /// The ARM kuser-helper page (`[vectors]`): Dalvik's atomics call
+    /// through it constantly.
+    pub vectors: NameId,
+}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Bytecode ops executed by the interpreter.
+    pub ops_interpreted: u64,
+    /// Bytecode ops executed from JIT-compiled code.
+    pub ops_compiled: u64,
+    /// Methods compiled.
+    pub methods_compiled: u64,
+    /// Collections performed.
+    pub gc_runs: u64,
+    /// Native hook invocations.
+    pub native_calls: u64,
+}
+
+/// A per-process Dalvik VM instance.
+///
+/// See the [crate docs](crate) for a full example.
+pub struct Vm {
+    pub(crate) dex: DexFile,
+    /// The managed heap (public: framework natives manipulate objects).
+    pub heap: DalvikHeap,
+    pub(crate) statics: Vec<Vec<Value>>,
+    pub(crate) invoke_counts: Vec<u32>,
+    pub(crate) compiled: Vec<bool>,
+    jit_pending: Vec<bool>,
+    jit_queue: VecDeque<MethodId>,
+    pub(crate) method_region: Vec<NameId>,
+    pub(crate) hooks: Vec<Option<NativeHook>>,
+    roots: Vec<HeapRef>,
+    gc_tid: Option<Tid>,
+    compiler_tid: Option<Tid>,
+    gc_requested: bool,
+    pub(crate) regions: VmRegions,
+    pub(crate) stats: VmStats,
+}
+
+impl std::fmt::Debug for Vm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vm")
+            .field("methods", &self.dex.methods().len())
+            .field("classes", &self.dex.classes().len())
+            .field("live_objects", &self.heap.live_objects())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Vm {
+    /// Loads `dex` into the current process: maps the dex image,
+    /// `dalvik-heap`, `dalvik-LinearAlloc` and `dalvik-jit-code-cache`
+    /// VMAs, and charges class-loading work to `libdvm.so`.
+    pub fn new(cx: &mut Ctx<'_>, dex: DexFile, dex_region_name: &str) -> Self {
+        let wk = cx.well_known();
+        let dex_region = cx.intern_region(dex_region_name);
+        // Map the runtime's regions into this process.
+        let space = &mut cx.process().space;
+        space.mmap(dex.image_size().max(1), dex_region, Perms::R);
+        space.mmap(8 << 20, wk.dalvik_heap, Perms::RW);
+        space.mmap(4 << 20, wk.dalvik_linear_alloc, Perms::RW);
+        space.mmap(1 << 20, wk.dalvik_jit, Perms::RWX);
+
+        // Class loading: verify + build runtime metadata in LinearAlloc.
+        let classes = dex.classes().len() as u64;
+        let methods = dex.methods().len() as u64;
+        cx.call_lib(wk.libdvm, 500 * classes + 50 * methods);
+        cx.charge(
+            wk.dalvik_linear_alloc,
+            RefKind::DataWrite,
+            64 * classes + 8 * methods,
+        );
+        cx.charge(dex_region, RefKind::DataRead, 32 * classes + 8 * methods);
+
+        let statics = dex
+            .classes()
+            .iter()
+            .map(|c| vec![Value::Null; c.static_count as usize])
+            .collect();
+        let n = dex.methods().len();
+        Vm {
+            statics,
+            invoke_counts: vec![0; n],
+            compiled: vec![false; n],
+            jit_pending: vec![false; n],
+            jit_queue: VecDeque::new(),
+            method_region: vec![dex_region; n],
+            hooks: Vec::new(),
+            roots: Vec::new(),
+            gc_tid: None,
+            compiler_tid: None,
+            gc_requested: false,
+            regions: VmRegions {
+                libdvm: wk.libdvm,
+                jit: wk.dalvik_jit,
+                dalvik_heap: wk.dalvik_heap,
+                stack: wk.stack,
+                vectors: cx.intern_region("[vectors]"),
+            },
+            stats: VmStats::default(),
+            dex,
+            heap: DalvikHeap::new(),
+        }
+    }
+
+    /// Wraps a VM for sharing between the threads of one process.
+    pub fn into_shared(self) -> VmRef {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// The loaded dex file.
+    pub fn dex(&self) -> &DexFile {
+        &self.dex
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> VmStats {
+        self.stats
+    }
+
+    /// Overrides the region charged for a method's bytecode reads (e.g.
+    /// framework methods living in `core.jar@classes.dex`).
+    pub fn set_method_region(&mut self, method: MethodId, region: NameId) {
+        self.method_region[method.0 as usize] = region;
+    }
+
+    /// Registers a native hook, returning its id for
+    /// [`agave_dex::MethodBuilder::native`].
+    pub fn register_hook(&mut self, hook: NativeHook) -> u32 {
+        self.hooks.push(Some(hook));
+        u32::try_from(self.hooks.len() - 1).expect("hook id overflow")
+    }
+
+    /// Adds a GC root (app/framework singletons that must survive
+    /// collection).
+    pub fn add_root(&mut self, r: HeapRef) {
+        self.roots.push(r);
+    }
+
+    /// Removes a previously added root (no-op if absent).
+    pub fn remove_root(&mut self, r: HeapRef) {
+        self.roots.retain(|&x| x != r);
+    }
+
+    /// Current GC roots.
+    pub fn roots(&self) -> &[HeapRef] {
+        &self.roots
+    }
+
+    /// Wires the `GC` and `Compiler` service threads (see
+    /// [`crate::spawn_vm_service_threads`]).
+    pub fn set_service_threads(&mut self, gc: Tid, compiler: Tid) {
+        self.gc_tid = Some(gc);
+        self.compiler_tid = Some(compiler);
+    }
+
+    /// Reads a static slot.
+    pub fn static_get(&self, class: agave_dex::ClassId, field: u16) -> Value {
+        self.statics[class.0 as usize][field as usize]
+    }
+
+    /// Writes a static slot.
+    pub fn static_set(&mut self, class: agave_dex::ClassId, field: u16, value: Value) {
+        self.statics[class.0 as usize][field as usize] = value;
+    }
+
+    /// Invokes a method with `args`, returning its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics on bytecode errors (type confusion, bad indices) or if the
+    /// default fuel is exhausted.
+    pub fn invoke(&mut self, cx: &mut Ctx<'_>, method: MethodId, args: &[Value]) -> Option<Value> {
+        self.invoke_bounded(cx, method, args, DEFAULT_FUEL)
+    }
+
+    /// Invokes a method by class/method name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the method does not exist.
+    pub fn invoke_named(
+        &mut self,
+        cx: &mut Ctx<'_>,
+        class: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Option<Value> {
+        let id = self
+            .dex
+            .find_method(class, method)
+            .unwrap_or_else(|| panic!("no method {class}::{method}"));
+        self.invoke(cx, id, args)
+    }
+
+    /// Invokes with an explicit fuel bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fuel runs out before the outermost method returns.
+    pub fn invoke_bounded(
+        &mut self,
+        cx: &mut Ctx<'_>,
+        method: MethodId,
+        args: &[Value],
+        fuel: u64,
+    ) -> Option<Value> {
+        if self.note_invoke(method) {
+            if let Some(compiler) = self.compiler_tid {
+                cx.send(compiler, Message::new(MSG_COMPILE));
+            }
+        }
+        let out = interp::execute(self, cx, method, args, fuel);
+        self.post_run(cx);
+        out
+    }
+
+    /// Records an invocation for JIT hotness; returns true if the method
+    /// was queued for (re)compilation.
+    ///
+    /// The first queueing happens at [`JIT_THRESHOLD`]; after that, every
+    /// 64th invocation re-queues the method, modeling the trace JIT's
+    /// ongoing chaining/extension of hot traces.
+    pub(crate) fn note_invoke(&mut self, method: MethodId) -> bool {
+        let i = method.0 as usize;
+        self.invoke_counts[i] = self.invoke_counts[i].saturating_add(1);
+        let should_queue = if self.compiled[i] {
+            self.invoke_counts[i] % 64 == 0
+        } else {
+            self.invoke_counts[i] >= JIT_THRESHOLD
+        };
+        if should_queue && !self.jit_pending[i] {
+            self.jit_pending[i] = true;
+            self.jit_queue.push_back(method);
+            return true;
+        }
+        false
+    }
+
+    pub(crate) fn compiler_tid(&self) -> Option<Tid> {
+        self.compiler_tid
+    }
+
+    /// Requests an async GC if allocation has crossed the trigger —
+    /// exposed so framework natives that allocate outside `invoke` (view
+    /// temporaries, parcels) can keep collection behaviour faithful.
+    pub fn request_gc_if_needed(&mut self, cx: &mut Ctx<'_>) {
+        self.post_run(cx);
+    }
+
+    /// After a run: request async GC if allocation crossed the trigger.
+    fn post_run(&mut self, cx: &mut Ctx<'_>) {
+        if !self.gc_requested && self.heap.allocated_since_gc() > GC_TRIGGER_BYTES {
+            self.gc_requested = true;
+            if let Some(gc) = self.gc_tid {
+                cx.send(gc, Message::new(MSG_GC));
+            }
+        }
+    }
+
+    /// Performs a mark-sweep collection in the calling thread's context
+    /// (normally the `GC` service thread).
+    pub fn run_gc(&mut self, cx: &mut Ctx<'_>) -> crate::heap::GcStats {
+        let roots = self.roots.clone();
+        let stats = self.heap.collect(&roots);
+        self.gc_requested = false;
+        self.stats.gc_runs += 1;
+        // Gingerbread's collector is a stop-the-world full-heap
+        // mark-sweep: it scans heap bitmaps and card tables for the whole
+        // (multi-megabyte) heap regardless of live volume — pauses of tens
+        // of milliseconds on a phone-class core.
+        cx.call_lib(
+            self.regions.libdvm,
+            380_000 + 40 * stats.marked as u64
+                + 20 * stats.freed as u64
+                + stats.bytes_freed / 4,
+        );
+        cx.charge(
+            self.regions.dalvik_heap,
+            RefKind::DataRead,
+            75_000 + 8 * stats.marked as u64 + stats.bytes_freed / 16,
+        );
+        cx.charge(
+            self.regions.dalvik_heap,
+            RefKind::DataWrite,
+            20_000 + 4 * stats.freed as u64 + stats.bytes_freed / 32,
+        );
+        stats
+    }
+
+    /// Compiles the next queued method in the calling thread's context
+    /// (normally the `Compiler` service thread). Returns the method, if any.
+    pub fn compile_next(&mut self, cx: &mut Ctx<'_>) -> Option<MethodId> {
+        let method = self.jit_queue.pop_front()?;
+        let i = method.0 as usize;
+        let insns = self.dex.method(method).code.len() as u64;
+        let dex_region = self.method_region[i];
+        // Trace selection, SSA construction and codegen: the trace JIT
+        // spends thousands of instructions per bytecode compiled.
+        cx.call_lib(self.regions.libdvm, 2_000 + 12_000 * insns);
+        cx.charge(dex_region, RefKind::DataRead, 6 * insns);
+        cx.charge(self.regions.jit, RefKind::DataWrite, 24 * insns);
+        cx.charge(self.regions.dalvik_heap, RefKind::DataRead, 40 * insns);
+        cx.charge(self.regions.dalvik_heap, RefKind::DataWrite, 16 * insns);
+        self.compiled[i] = true;
+        self.jit_pending[i] = false;
+        self.stats.methods_compiled += 1;
+        Some(method)
+    }
+
+    /// Whether a method has been JIT-compiled.
+    pub fn is_compiled(&self, method: MethodId) -> bool {
+        self.compiled[method.0 as usize]
+    }
+
+    /// Forces a method to compiled state without charging (test support).
+    pub fn force_compiled(&mut self, method: MethodId) {
+        self.compiled[method.0 as usize] = true;
+    }
+}

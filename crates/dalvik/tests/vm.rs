@@ -1,0 +1,342 @@
+//! End-to-end VM tests: real bytecode execution with charged references.
+
+use agave_dalvik::{spawn_vm_service_threads, Value, Vm, VmRef, JIT_THRESHOLD};
+use agave_dex::{BinOp, Cond, DexFile, MethodBuilder, MethodId, Reg};
+use agave_kernel::{Actor, Ctx, Kernel, Message, Pid};
+use agave_trace::RunSummary;
+
+/// Builds a dex with `fib(n)` (recursive) and `sum(n)` (loop) and a
+/// `churn(n)` allocator.
+fn build_dex() -> (DexFile, MethodId, MethodId, MethodId) {
+    let mut dex = DexFile::new();
+    let class = dex.add_class("Lbench/Main;", 2, 1);
+
+    // fib(n): if n < 2 return n; return fib(n-1) + fib(n-2)
+    let fib_id_placeholder = dex.methods().len() as u32; // will be this id
+    let mut fib = MethodBuilder::new(6, 1);
+    let n = Reg(5);
+    let two = Reg(0);
+    let t1 = Reg(1);
+    let t2 = Reg(2);
+    let recurse = fib.new_label();
+    fib.konst(two, 2);
+    fib.if_cmp(Cond::Ge, n, two, recurse);
+    fib.ret(Some(n));
+    fib.bind(recurse);
+    let one = Reg(3);
+    fib.konst(one, 1);
+    fib.binop(BinOp::Sub, t1, n, one);
+    fib.invoke_static(MethodId(fib_id_placeholder), &[t1], Some(t1));
+    fib.binop(BinOp::Sub, t2, n, two);
+    fib.invoke_static(MethodId(fib_id_placeholder), &[t2], Some(t2));
+    fib.binop(BinOp::Add, t1, t1, t2);
+    fib.ret(Some(t1));
+    let fib_id = dex.add_method(class, "fib", fib);
+    assert_eq!(fib_id.0, fib_id_placeholder);
+
+    // sum(n): loop accumulating i
+    let mut sum = MethodBuilder::new(5, 1);
+    let (n, i, acc, one) = (Reg(4), Reg(0), Reg(1), Reg(2));
+    sum.konst(i, 0).konst(acc, 0).konst(one, 1);
+    let head = sum.new_label();
+    sum.bind(head);
+    sum.binop(BinOp::Add, acc, acc, i);
+    sum.binop(BinOp::Add, i, i, one);
+    sum.if_cmp(Cond::Lt, i, n, head);
+    sum.ret(Some(acc));
+    let sum_id = dex.add_method(class, "sum", sum);
+
+    // churn(n): allocate n arrays of 128 and drop them; returns n.
+    let mut churn = MethodBuilder::new(6, 1);
+    let (n, i, one, len, arr) = (Reg(5), Reg(0), Reg(1), Reg(2), Reg(3));
+    churn.konst(i, 0).konst(one, 1).konst(len, 128);
+    let head = churn.new_label();
+    churn.bind(head);
+    churn.new_array(arr, len);
+    churn.aput(i, arr, one); // keep the array honest: write one slot
+    churn.binop(BinOp::Add, i, i, one);
+    churn.if_cmp(Cond::Lt, i, n, head);
+    churn.ret(Some(i));
+    let churn_id = dex.add_method(class, "churn", churn);
+
+    (dex, fib_id, sum_id, churn_id)
+}
+
+/// Harness: runs `f` for `rounds` separate dispatches inside an app
+/// main-thread actor with a fresh VM (with service threads), returning the
+/// run summary. Multiple rounds let asynchronous service-thread work (JIT
+/// compilation, GC) land between mutator steps, as on a live system.
+fn run_vm_rounds(
+    rounds: u32,
+    f: impl FnMut(&mut Vm, &mut Ctx<'_>, u32) + 'static,
+) -> RunSummary {
+    struct Setup<F> {
+        f: F,
+        vm: VmRef,
+        round: u32,
+    }
+    impl<F: FnMut(&mut Vm, &mut Ctx<'_>, u32) + 'static> Actor for Setup<F> {
+        fn on_message(&mut self, cx: &mut Ctx<'_>, _msg: Message) {
+            let vm = self.vm.clone();
+            (self.f)(&mut vm.borrow_mut(), cx, self.round);
+            self.round += 1;
+        }
+    }
+
+    struct Bootstrap<F> {
+        pid: Pid,
+        f: Option<F>,
+        dex: Option<DexFile>,
+        rounds: u32,
+    }
+    impl<F: FnMut(&mut Vm, &mut Ctx<'_>, u32) + 'static> Actor for Bootstrap<F> {
+        fn on_start(&mut self, cx: &mut Ctx<'_>) {
+            let vm = Vm::new(cx, self.dex.take().expect("dex"), "bench.apk@classes.dex");
+            let vm = vm.into_shared();
+            let main = cx.spawn_thread_in(
+                self.pid,
+                "dalvik-main",
+                cx.well_known().libdvm,
+                Box::new(Setup {
+                    f: self.f.take().expect("single bootstrap"),
+                    vm: vm.clone(),
+                    round: 0,
+                }),
+            );
+            spawn_vm_service_threads(cx.kernel(), self.pid, &vm);
+            for i in 0..self.rounds {
+                // Spread rounds in time so service threads interleave.
+                cx.send_after(u64::from(i) * 1_000_000, main, Message::new(1));
+            }
+        }
+        fn on_message(&mut self, _cx: &mut Ctx<'_>, _msg: Message) {}
+    }
+
+    let (dex, _, _, _) = build_dex();
+    let mut kernel = Kernel::new();
+    let pid = kernel.spawn_process("benchmark");
+    kernel.spawn_thread(
+        pid,
+        "bootstrap",
+        Box::new(Bootstrap {
+            pid,
+            f: Some(f),
+            dex: Some(dex),
+            rounds,
+        }),
+    );
+    kernel.run_to_idle();
+    kernel.tracer().summarize("vm-test")
+}
+
+/// Single-round convenience wrapper.
+fn run_vm_scenario(f: impl FnOnce(&mut Vm, &mut Ctx<'_>) + 'static) -> (RunSummary, Vm) {
+    let mut f = Some(f);
+    let summary = run_vm_rounds(1, move |vm, cx, _| {
+        (f.take().expect("one round"))(vm, cx);
+    });
+    (summary, panic_free_vm())
+}
+
+fn panic_free_vm() -> Vm {
+    // Construct a VM in a scratch kernel purely to satisfy the return type
+    // in scenarios that don't need it.
+    struct Grab(std::rc::Rc<std::cell::RefCell<Option<Vm>>>, Option<DexFile>);
+    impl Actor for Grab {
+        fn on_start(&mut self, cx: &mut Ctx<'_>) {
+            let vm = Vm::new(cx, self.1.take().unwrap(), "scratch.dex");
+            *self.0.borrow_mut() = Some(vm);
+        }
+        fn on_message(&mut self, _cx: &mut Ctx<'_>, _msg: Message) {}
+    }
+    let slot = std::rc::Rc::new(std::cell::RefCell::new(None));
+    let mut kernel = Kernel::new();
+    let pid = kernel.spawn_process("scratch");
+    kernel.spawn_thread(pid, "main", Box::new(Grab(slot.clone(), Some(DexFile::new()))));
+    kernel.run_to_idle();
+    let vm = slot.borrow_mut().take().expect("vm constructed");
+    vm
+}
+
+#[test]
+fn fib_computes_correctly() {
+    let (summary, _) = run_vm_scenario(|vm, cx| {
+        let out = vm.invoke_named(cx, "Lbench/Main;", "fib", &[Value::Int(15)]);
+        assert_eq!(out, Some(Value::Int(610)));
+    });
+    assert!(summary.instr_by_region["libdvm.so"] > 1_000);
+    assert!(summary.data_by_region["bench.apk@classes.dex"] > 100);
+    assert!(summary.data_by_region["stack"] > 100);
+}
+
+#[test]
+fn sum_loop_matches_closed_form() {
+    let (_, _) = run_vm_scenario(|vm, cx| {
+        for n in [1i64, 2, 10, 1000] {
+            let out = vm.invoke_named(cx, "Lbench/Main;", "sum", &[Value::Int(n)]);
+            assert_eq!(out, Some(Value::Int(n * (n - 1) / 2)));
+        }
+    });
+}
+
+#[test]
+fn hot_methods_get_jit_compiled_and_shift_regions() {
+    // Rounds of invocations: the Compiler thread's work lands between
+    // rounds, so later rounds execute from the JIT cache.
+    let summary = run_vm_rounds(JIT_THRESHOLD + 20, |vm, cx, _| {
+        vm.invoke_named(cx, "Lbench/Main;", "sum", &[Value::Int(50)]);
+    });
+    // Compilation happened on the Compiler thread...
+    assert!(summary.refs_by_thread.contains_key("Compiler"));
+    // ...and compiled execution fetched from the JIT cache.
+    assert!(
+        summary.instr_by_region["dalvik-jit-code-cache"] > 0,
+        "jit region missing: {:?}",
+        summary.instr_by_region.keys().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn jit_execution_is_cheaper_per_op() {
+    // Interpreted-only run.
+    let (interp_summary, _) = run_vm_scenario(|vm, cx| {
+        let sum = vm.dex().find_method("Lbench/Main;", "sum").unwrap();
+        vm.invoke(cx, sum, &[Value::Int(10_000)]);
+    });
+    // Pre-compiled run of the same work.
+    let (jit_summary, _) = run_vm_scenario(|vm, cx| {
+        let sum = vm.dex().find_method("Lbench/Main;", "sum").unwrap();
+        vm.force_compiled(sum);
+        vm.invoke(cx, sum, &[Value::Int(10_000)]);
+    });
+    let interp_total = interp_summary.total_instr;
+    let jit_total = jit_summary.total_instr;
+    assert!(
+        jit_total * 2 < interp_total,
+        "jit {jit_total} not ≪ interp {interp_total}"
+    );
+}
+
+#[test]
+fn allocation_pressure_triggers_gc_thread() {
+    let (summary, _) = run_vm_scenario(|vm, cx| {
+        let churn = vm.dex().find_method("Lbench/Main;", "churn").unwrap();
+        // 128-slot arrays ≈ 1 KiB each; 2000 of them cross the 512 KiB
+        // trigger several times over.
+        let out = vm.invoke(cx, churn, &[Value::Int(2000)]);
+        assert_eq!(out, Some(Value::Int(2000)));
+    });
+    assert!(
+        summary.refs_by_thread.get("GC").copied().unwrap_or(0) > 0,
+        "GC thread never ran: {:?}",
+        summary.refs_by_thread
+    );
+}
+
+#[test]
+fn gc_preserves_rooted_objects() {
+    run_vm_scenario(|vm, cx| {
+        let class = agave_dex::ClassId(0);
+        let keeper = vm.heap.alloc_instance(class, 2);
+        let arr = vm.heap.alloc_array(64);
+        vm.heap.set_field(keeper, 0, Value::Ref(arr));
+        vm.add_root(keeper);
+        let garbage = vm.heap.alloc_array(100_000); // force pressure
+        let _ = garbage;
+        let stats = vm.run_gc(cx);
+        assert!(stats.freed >= 1);
+        assert!(vm.heap.is_live(keeper));
+        assert!(vm.heap.is_live(arr));
+    });
+}
+
+#[test]
+fn native_hooks_bridge_to_rust() {
+    run_vm_scenario(|vm, cx| {
+        // Hook 0: returns arg0 * 3, charging some libskia work.
+        let hook = vm.register_hook(Box::new(|_vm, cx, args| {
+            let skia = cx.well_known().libskia;
+            cx.call_lib(skia, 500);
+            Some(Value::Int(args[0].as_int() * 3))
+        }));
+        assert_eq!(hook, 0);
+
+        // Build a one-off method that calls the hook.
+        // (Added dynamically via a fresh dex is not supported; emulate by
+        // invoking through an existing program's native support: build
+        // inline.)
+        let mut dex = DexFile::new();
+        let class = dex.add_class("Lnat/T;", 0, 0);
+        let mut m = MethodBuilder::new(2, 1);
+        m.native(0, &[Reg(1)], Some(Reg(0)));
+        m.ret(Some(Reg(0)));
+        dex.add_method(class, "triple", m);
+        // Swap in the new dex via a second VM in the same process.
+        let mut vm2 = Vm::new(cx, dex, "nat.apk@classes.dex");
+        let hook2 = vm2.register_hook(Box::new(|_vm, cx, args| {
+            let skia = cx.well_known().libskia;
+            cx.call_lib(skia, 500);
+            Some(Value::Int(args[0].as_int() * 3))
+        }));
+        assert_eq!(hook2, 0);
+        let out = vm2.invoke_named(cx, "Lnat/T;", "triple", &[Value::Int(14)]);
+        assert_eq!(out, Some(Value::Int(42)));
+        let _ = vm;
+    });
+}
+
+#[test]
+fn statics_persist_across_invocations() {
+    run_vm_scenario(|vm, cx| {
+        let mut dex = DexFile::new();
+        let class = dex.add_class("Lst/C;", 0, 1);
+        // bump(): s0 = s0 + 1; return s0
+        let mut m = MethodBuilder::new(2, 0);
+        m.sget(Reg(0), class, 0);
+        // Statics start Null; seed on first call via IfZ-like check is
+        // overkill — initialize explicitly with a setter method instead.
+        m.konst(Reg(1), 1);
+        m.binop(BinOp::Add, Reg(0), Reg(0), Reg(1));
+        m.sput(Reg(0), class, 0);
+        m.ret(Some(Reg(0)));
+        dex.add_method(class, "bump", m);
+        let mut vm2 = Vm::new(cx, dex, "st.apk@classes.dex");
+        vm2.static_set(class, 0, Value::Int(0));
+        assert_eq!(
+            vm2.invoke_named(cx, "Lst/C;", "bump", &[]),
+            Some(Value::Int(1))
+        );
+        assert_eq!(
+            vm2.invoke_named(cx, "Lst/C;", "bump", &[]),
+            Some(Value::Int(2))
+        );
+        let _ = vm;
+    });
+}
+
+#[test]
+fn fuel_exhaustion_panics() {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_vm_scenario(|vm, cx| {
+            let mut dex = DexFile::new();
+            let class = dex.add_class("Lloop/C;", 0, 0);
+            let mut m = MethodBuilder::new(1, 0);
+            let head = m.new_label();
+            m.bind(head);
+            m.goto(head);
+            dex.add_method(class, "spin", m);
+            let mut vm2 = Vm::new(cx, dex, "loop.apk@classes.dex");
+            let id = vm2.dex().find_method("Lloop/C;", "spin").unwrap();
+            vm2.invoke_bounded(cx, id, &[], 10_000);
+            let _ = vm;
+        });
+    }));
+    assert!(result.is_err(), "runaway loop should exhaust fuel");
+}
+
+#[test]
+fn vm_maps_all_dalvik_regions() {
+    let vm = panic_free_vm();
+    let _ = vm; // construction exercised the mappings; region presence is
+                // asserted in the scenario tests via summaries
+}

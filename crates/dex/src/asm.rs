@@ -1,0 +1,299 @@
+//! A small assembler with labels and backpatching.
+
+use crate::insn::{ArgList, BinOp, Cond, Insn, InvokeKind, Reg};
+use crate::file::{ClassId, MethodId};
+
+/// A forward-referenceable code location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(u32);
+
+/// Builds a method body instruction by instruction.
+///
+/// Branch targets are [`Label`]s bound with [`MethodBuilder::bind`]; they
+/// may be referenced before binding and are backpatched in
+/// [`MethodBuilder::finish`] (called for you by
+/// [`crate::DexFile::add_method`]).
+#[derive(Debug, Default)]
+pub struct MethodBuilder {
+    num_regs: u16,
+    num_args: u16,
+    code: Vec<Insn>,
+    /// Bound label positions (`u32::MAX` = unbound).
+    labels: Vec<u32>,
+    /// (instruction index, label) pairs awaiting patching.
+    patches: Vec<(usize, Label)>,
+}
+
+impl MethodBuilder {
+    /// Starts a method with `num_regs` frame registers, the last
+    /// `num_args` of which receive the arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_args > num_regs`.
+    pub fn new(num_regs: u16, num_args: u16) -> Self {
+        assert!(num_args <= num_regs, "more args than registers");
+        MethodBuilder {
+            num_regs,
+            num_args,
+            ..Default::default()
+        }
+    }
+
+    /// Creates an (initially unbound) label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(u32::MAX);
+        Label(self.labels.len() as u32 - 1)
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert_eq!(
+            self.labels[label.0 as usize],
+            u32::MAX,
+            "label bound twice"
+        );
+        self.labels[label.0 as usize] = self.code.len() as u32;
+    }
+
+    /// Emits `dst = value`.
+    pub fn konst(&mut self, dst: Reg, value: i64) -> &mut Self {
+        self.code.push(Insn::Const { dst, value });
+        self
+    }
+
+    /// Emits `dst = src`.
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.code.push(Insn::Move { dst, src });
+        self
+    }
+
+    /// Emits `dst = a <op> b`.
+    pub fn binop(&mut self, op: BinOp, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.code.push(Insn::BinOp { op, dst, a, b });
+        self
+    }
+
+    /// Emits a compare-and-branch on two registers.
+    pub fn if_cmp(&mut self, cond: Cond, a: Reg, b: Reg, target: Label) -> &mut Self {
+        let idx = self.code.len();
+        self.code.push(Insn::IfCmp {
+            cond,
+            a,
+            b,
+            target: 0,
+        });
+        self.patches.push((idx, target));
+        self
+    }
+
+    /// Emits a compare-against-zero branch.
+    pub fn if_z(&mut self, cond: Cond, src: Reg, target: Label) -> &mut Self {
+        let idx = self.code.len();
+        self.code.push(Insn::IfZ {
+            cond,
+            src,
+            target: 0,
+        });
+        self.patches.push((idx, target));
+        self
+    }
+
+    /// Emits an unconditional branch.
+    pub fn goto(&mut self, target: Label) -> &mut Self {
+        let idx = self.code.len();
+        self.code.push(Insn::Goto { target: 0 });
+        self.patches.push((idx, target));
+        self
+    }
+
+    /// Emits `dst = new class()`.
+    pub fn new_instance(&mut self, dst: Reg, class: ClassId) -> &mut Self {
+        self.code.push(Insn::NewInstance { dst, class: class.0 });
+        self
+    }
+
+    /// Emits `dst = new long[len]`.
+    pub fn new_array(&mut self, dst: Reg, len: Reg) -> &mut Self {
+        self.code.push(Insn::NewArray { dst, len });
+        self
+    }
+
+    /// Emits `dst = arr.length`.
+    pub fn array_len(&mut self, dst: Reg, arr: Reg) -> &mut Self {
+        self.code.push(Insn::ArrayLen { dst, arr });
+        self
+    }
+
+    /// Emits `dst = arr[idx]`.
+    pub fn aget(&mut self, dst: Reg, arr: Reg, idx: Reg) -> &mut Self {
+        self.code.push(Insn::AGet { dst, arr, idx });
+        self
+    }
+
+    /// Emits `arr[idx] = src`.
+    pub fn aput(&mut self, src: Reg, arr: Reg, idx: Reg) -> &mut Self {
+        self.code.push(Insn::APut { src, arr, idx });
+        self
+    }
+
+    /// Emits `dst = obj.field`.
+    pub fn iget(&mut self, dst: Reg, obj: Reg, field: u16) -> &mut Self {
+        self.code.push(Insn::IGet { dst, obj, field });
+        self
+    }
+
+    /// Emits `obj.field = src`.
+    pub fn iput(&mut self, src: Reg, obj: Reg, field: u16) -> &mut Self {
+        self.code.push(Insn::IPut { src, obj, field });
+        self
+    }
+
+    /// Emits `dst = class.static[field]`.
+    pub fn sget(&mut self, dst: Reg, class: ClassId, field: u16) -> &mut Self {
+        self.code.push(Insn::SGet {
+            dst,
+            class: class.0,
+            field,
+        });
+        self
+    }
+
+    /// Emits `class.static[field] = src`.
+    pub fn sput(&mut self, src: Reg, class: ClassId, field: u16) -> &mut Self {
+        self.code.push(Insn::SPut {
+            src,
+            class: class.0,
+            field,
+        });
+        self
+    }
+
+    /// Emits a static invoke.
+    pub fn invoke_static(&mut self, method: MethodId, args: &[Reg], dst: Option<Reg>) -> &mut Self {
+        self.code.push(Insn::Invoke {
+            kind: InvokeKind::Static,
+            method: method.0,
+            args: ArgList::new(args),
+            dst,
+        });
+        self
+    }
+
+    /// Emits a virtual invoke (receiver first in `args`).
+    pub fn invoke_virtual(
+        &mut self,
+        method: MethodId,
+        args: &[Reg],
+        dst: Option<Reg>,
+    ) -> &mut Self {
+        self.code.push(Insn::Invoke {
+            kind: InvokeKind::Virtual,
+            method: method.0,
+            args: ArgList::new(args),
+            dst,
+        });
+        self
+    }
+
+    /// Emits a native-hook call.
+    pub fn native(&mut self, hook: u32, args: &[Reg], dst: Option<Reg>) -> &mut Self {
+        self.code.push(Insn::Native {
+            hook,
+            args: ArgList::new(args),
+            dst,
+        });
+        self
+    }
+
+    /// Emits a return.
+    pub fn ret(&mut self, src: Option<Reg>) -> &mut Self {
+        self.code.push(Insn::Return { src });
+        self
+    }
+
+    /// Resolves labels and returns `(num_regs, num_args, code)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label is unbound, or a bound target is out
+    /// of range.
+    pub fn finish(mut self) -> (u16, u16, Vec<Insn>) {
+        for (idx, label) in std::mem::take(&mut self.patches) {
+            let target = self.labels[label.0 as usize];
+            assert_ne!(target, u32::MAX, "unbound label {label:?}");
+            assert!(
+                (target as usize) <= self.code.len(),
+                "label target out of range"
+            );
+            match &mut self.code[idx] {
+                Insn::IfCmp { target: t, .. }
+                | Insn::IfZ { target: t, .. }
+                | Insn::Goto { target: t } => *t = target,
+                other => unreachable!("patched non-branch {other:?}"),
+            }
+        }
+        (self.num_regs, self.num_args, self.code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_backpatch_forward_and_backward() {
+        let mut m = MethodBuilder::new(3, 0);
+        let back = m.new_label();
+        let fwd = m.new_label();
+        m.bind(back);
+        m.konst(Reg(0), 1);
+        m.goto(fwd);
+        m.goto(back);
+        m.bind(fwd);
+        m.ret(None);
+        let (_, _, code) = m.finish();
+        assert_eq!(code[1], Insn::Goto { target: 3 });
+        assert_eq!(code[2], Insn::Goto { target: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut m = MethodBuilder::new(1, 0);
+        let l = m.new_label();
+        m.goto(l);
+        let _ = m.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut m = MethodBuilder::new(1, 0);
+        let l = m.new_label();
+        m.bind(l);
+        m.bind(l);
+    }
+
+    #[test]
+    #[should_panic(expected = "more args")]
+    fn too_many_args_panics() {
+        let _ = MethodBuilder::new(1, 2);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let mut m = MethodBuilder::new(4, 1);
+        m.konst(Reg(0), 5)
+            .mov(Reg(1), Reg(0))
+            .binop(BinOp::Mul, Reg(2), Reg(0), Reg(1))
+            .ret(Some(Reg(2)));
+        let (regs, args, code) = m.finish();
+        assert_eq!((regs, args), (4, 1));
+        assert_eq!(code.len(), 4);
+    }
+}

@@ -1,0 +1,211 @@
+//! DEX files: classes and methods.
+
+use crate::asm::MethodBuilder;
+use crate::insn::Insn;
+use std::fmt;
+
+/// Index of a class within its [`DexFile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassId(pub u16);
+
+/// Index of a method within its [`DexFile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MethodId(pub u32);
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class#{}", self.0)
+    }
+}
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "method#{}", self.0)
+    }
+}
+
+/// A class definition: instance-field and static-slot counts plus methods.
+#[derive(Debug, Clone)]
+pub struct ClassDef {
+    /// JVM-style descriptor, e.g. `Lcom/example/Main;`.
+    pub name: String,
+    /// Number of instance field slots.
+    pub field_count: u16,
+    /// Number of static slots.
+    pub static_count: u16,
+    /// Methods declared on this class.
+    pub methods: Vec<MethodId>,
+}
+
+/// A method definition.
+#[derive(Debug, Clone)]
+pub struct MethodDef {
+    /// Method name.
+    pub name: String,
+    /// Declaring class.
+    pub class: ClassId,
+    /// Total frame registers.
+    pub num_regs: u16,
+    /// Arguments (arriving in the highest `num_args` registers).
+    pub num_args: u16,
+    /// The code.
+    pub code: Vec<Insn>,
+}
+
+impl MethodDef {
+    /// Encoded size of the method body in bytes (sum of instruction
+    /// widths), used to size the mapped dex image and charge bytecode
+    /// reads.
+    pub fn encoded_size(&self) -> u64 {
+        self.code.iter().map(Insn::encoded_size).sum()
+    }
+}
+
+/// A container of classes and methods — the unit the VM loads and maps as
+/// a `*.dex` region.
+///
+/// See the [crate docs](crate) for an end-to-end assembly example.
+#[derive(Debug, Clone, Default)]
+pub struct DexFile {
+    classes: Vec<ClassDef>,
+    methods: Vec<MethodDef>,
+}
+
+impl DexFile {
+    /// Creates an empty file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a class with the given field/static slot counts.
+    pub fn add_class(&mut self, name: &str, field_count: u16, static_count: u16) -> ClassId {
+        let id = ClassId(u16::try_from(self.classes.len()).expect("too many classes"));
+        self.classes.push(ClassDef {
+            name: name.to_owned(),
+            field_count,
+            static_count,
+            methods: Vec::new(),
+        });
+        id
+    }
+
+    /// Finalizes `builder` into a method of `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder has unbound labels or `class` is invalid.
+    pub fn add_method(&mut self, class: ClassId, name: &str, builder: MethodBuilder) -> MethodId {
+        let (num_regs, num_args, code) = builder.finish();
+        let id = MethodId(u32::try_from(self.methods.len()).expect("too many methods"));
+        self.methods.push(MethodDef {
+            name: name.to_owned(),
+            class,
+            num_regs,
+            num_args,
+            code,
+        });
+        self.classes[class.0 as usize].methods.push(id);
+        id
+    }
+
+    /// Looks up a class.
+    pub fn class(&self, id: ClassId) -> &ClassDef {
+        &self.classes[id.0 as usize]
+    }
+
+    /// Looks up a method.
+    pub fn method(&self, id: MethodId) -> &MethodDef {
+        &self.methods[id.0 as usize]
+    }
+
+    /// Finds a method by class and name.
+    pub fn find_method(&self, class_name: &str, method_name: &str) -> Option<MethodId> {
+        let class = self.classes.iter().position(|c| c.name == class_name)?;
+        self.classes[class]
+            .methods
+            .iter()
+            .copied()
+            .find(|&m| self.methods[m.0 as usize].name == method_name)
+    }
+
+    /// All classes.
+    pub fn classes(&self) -> &[ClassDef] {
+        &self.classes
+    }
+
+    /// All methods.
+    pub fn methods(&self) -> &[MethodDef] {
+        &self.methods
+    }
+
+    /// Total encoded size of the file (headers + all method bodies): the
+    /// length of the mapped `*.dex` region.
+    pub fn image_size(&self) -> u64 {
+        let header = 112u64; // real dex header size
+        let class_items = self.classes.len() as u64 * 32;
+        let method_items = self.methods.len() as u64 * 8;
+        let code: u64 = self.methods.iter().map(MethodDef::encoded_size).sum();
+        header + class_items + method_items + code
+    }
+
+    /// Byte offset of a method's body within the image (deterministic
+    /// layout in method order).
+    pub fn method_offset(&self, id: MethodId) -> u64 {
+        let header = 112u64 + self.classes.len() as u64 * 32 + self.methods.len() as u64 * 8;
+        let before: u64 = self.methods[..id.0 as usize]
+            .iter()
+            .map(MethodDef::encoded_size)
+            .sum();
+        header + before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::Reg;
+
+    fn trivial_method() -> MethodBuilder {
+        let mut m = MethodBuilder::new(2, 0);
+        m.konst(Reg(0), 1);
+        m.ret(Some(Reg(0)));
+        m
+    }
+
+    #[test]
+    fn classes_and_methods_are_indexed() {
+        let mut dex = DexFile::new();
+        let a = dex.add_class("LA;", 2, 1);
+        let b = dex.add_class("LB;", 0, 0);
+        let m1 = dex.add_method(a, "one", trivial_method());
+        let m2 = dex.add_method(b, "two", trivial_method());
+        assert_eq!(dex.class(a).name, "LA;");
+        assert_eq!(dex.class(a).field_count, 2);
+        assert_eq!(dex.method(m1).name, "one");
+        assert_eq!(dex.method(m2).class, b);
+        assert_eq!(dex.find_method("LA;", "one"), Some(m1));
+        assert_eq!(dex.find_method("LA;", "two"), None);
+        assert_eq!(dex.find_method("LC;", "one"), None);
+    }
+
+    #[test]
+    fn image_layout_is_monotonic() {
+        let mut dex = DexFile::new();
+        let c = dex.add_class("LA;", 0, 0);
+        let m1 = dex.add_method(c, "a", trivial_method());
+        let m2 = dex.add_method(c, "b", trivial_method());
+        let o1 = dex.method_offset(m1);
+        let o2 = dex.method_offset(m2);
+        assert!(o1 < o2);
+        assert!(o2 + dex.method(m2).encoded_size() <= dex.image_size());
+    }
+
+    #[test]
+    fn encoded_size_sums_instructions() {
+        let mut dex = DexFile::new();
+        let c = dex.add_class("LA;", 0, 0);
+        let m = dex.add_method(c, "a", trivial_method());
+        // konst(small) = 4 bytes + ret = 2 bytes.
+        assert_eq!(dex.method(m).encoded_size(), 6);
+    }
+}

@@ -1,0 +1,341 @@
+//! The instruction set.
+
+use std::fmt;
+
+/// A virtual register of the current frame.
+///
+/// Arguments are passed in the *highest* registers of the callee frame, as
+/// in real DEX calling convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u16);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Binary arithmetic/logic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division (panics on divide-by-zero, like an unhandled
+    /// `ArithmeticException`).
+    Div,
+    /// Remainder.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left (by low 6 bits).
+    Shl,
+    /// Arithmetic shift right (by low 6 bits).
+    Shr,
+}
+
+/// Comparison conditions for branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Signed greater-than.
+    Gt,
+    /// Signed less-or-equal.
+    Le,
+}
+
+/// How a method is invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvokeKind {
+    /// Static dispatch.
+    Static,
+    /// Instance dispatch (receiver is the first argument).
+    Virtual,
+}
+
+/// Maximum arguments an invoke can pass (matches DEX's short form).
+pub const MAX_ARGS: usize = 6;
+
+/// A fixed-capacity argument list for invoke instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ArgList {
+    regs: [u16; MAX_ARGS],
+    len: u8,
+}
+
+impl ArgList {
+    /// Builds an argument list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_ARGS`] registers are given.
+    pub fn new(args: &[Reg]) -> Self {
+        assert!(args.len() <= MAX_ARGS, "too many invoke arguments");
+        let mut regs = [0u16; MAX_ARGS];
+        for (slot, reg) in regs.iter_mut().zip(args) {
+            *slot = reg.0;
+        }
+        ArgList {
+            regs,
+            len: args.len() as u8,
+        }
+    }
+
+    /// Number of arguments.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the argument registers.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.regs[..self.len as usize].iter().map(|&r| Reg(r))
+    }
+}
+
+/// One bytecode instruction.
+///
+/// Branch targets are instruction indices within the method (resolved by
+/// [`crate::MethodBuilder`] from labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Insn {
+    /// `dst = value`
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        value: i64,
+    },
+    /// `dst = src`
+    Move {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = a <op> b`
+    BinOp {
+        /// Operation.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// Branch to `target` if `a <cond> b`.
+    IfCmp {
+        /// Condition.
+        cond: Cond,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Branch to `target` if `src <cond> 0`.
+    IfZ {
+        /// Condition (vs zero).
+        cond: Cond,
+        /// Tested register.
+        src: Reg,
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Unconditional branch.
+    Goto {
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Allocate an instance of `class` into `dst`.
+    NewInstance {
+        /// Destination register (receives the reference).
+        dst: Reg,
+        /// Class to instantiate.
+        class: u16,
+    },
+    /// Allocate an integer array of length `len` (register) into `dst`.
+    NewArray {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the length.
+        len: Reg,
+    },
+    /// `dst = arr.length`
+    ArrayLen {
+        /// Destination register.
+        dst: Reg,
+        /// Array reference register.
+        arr: Reg,
+    },
+    /// `dst = arr[idx]`
+    AGet {
+        /// Destination register.
+        dst: Reg,
+        /// Array reference.
+        arr: Reg,
+        /// Index register.
+        idx: Reg,
+    },
+    /// `arr[idx] = src`
+    APut {
+        /// Source register.
+        src: Reg,
+        /// Array reference.
+        arr: Reg,
+        /// Index register.
+        idx: Reg,
+    },
+    /// `dst = obj.field`
+    IGet {
+        /// Destination register.
+        dst: Reg,
+        /// Object reference.
+        obj: Reg,
+        /// Field index within the class.
+        field: u16,
+    },
+    /// `obj.field = src`
+    IPut {
+        /// Source register.
+        src: Reg,
+        /// Object reference.
+        obj: Reg,
+        /// Field index.
+        field: u16,
+    },
+    /// `dst = class.static[field]`
+    SGet {
+        /// Destination register.
+        dst: Reg,
+        /// Class owning the static.
+        class: u16,
+        /// Static slot index.
+        field: u16,
+    },
+    /// `class.static[field] = src`
+    SPut {
+        /// Source register.
+        src: Reg,
+        /// Class owning the static.
+        class: u16,
+        /// Static slot index.
+        field: u16,
+    },
+    /// Call a method.
+    Invoke {
+        /// Dispatch kind.
+        kind: InvokeKind,
+        /// Target method.
+        method: u32,
+        /// Arguments (placed in the callee's highest registers).
+        args: ArgList,
+        /// Register receiving the return value, if any.
+        dst: Option<Reg>,
+    },
+    /// Call a registered native hook (the JNI analogue).
+    Native {
+        /// Hook id registered with the VM.
+        hook: u32,
+        /// Arguments.
+        args: ArgList,
+        /// Register receiving the return value, if any.
+        dst: Option<Reg>,
+    },
+    /// Return, optionally with a value.
+    Return {
+        /// Returned register, if any.
+        src: Option<Reg>,
+    },
+}
+
+impl Insn {
+    /// Approximate encoded size in bytes (for charging dex-file reads),
+    /// following real DEX format widths.
+    pub fn encoded_size(&self) -> u64 {
+        match self {
+            Insn::Const { value, .. } => {
+                if *value >= -(1 << 15) && *value < (1 << 15) {
+                    4
+                } else {
+                    8
+                }
+            }
+            Insn::Move { .. } => 2,
+            Insn::BinOp { .. } => 4,
+            Insn::IfCmp { .. } | Insn::IfZ { .. } => 4,
+            Insn::Goto { .. } => 2,
+            Insn::NewInstance { .. } | Insn::NewArray { .. } | Insn::ArrayLen { .. } => 4,
+            Insn::AGet { .. } | Insn::APut { .. } => 4,
+            Insn::IGet { .. } | Insn::IPut { .. } => 4,
+            Insn::SGet { .. } | Insn::SPut { .. } => 4,
+            Insn::Invoke { .. } | Insn::Native { .. } => 6,
+            Insn::Return { .. } => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_list_round_trips() {
+        let args = ArgList::new(&[Reg(1), Reg(5), Reg(3)]);
+        assert_eq!(args.len(), 3);
+        let collected: Vec<Reg> = args.iter().collect();
+        assert_eq!(collected, vec![Reg(1), Reg(5), Reg(3)]);
+        assert!(ArgList::new(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "too many")]
+    fn arg_list_overflow_panics() {
+        let regs: Vec<Reg> = (0..7).map(Reg).collect();
+        let _ = ArgList::new(&regs);
+    }
+
+    #[test]
+    fn encoded_sizes_match_dex_widths() {
+        assert_eq!(Insn::Move { dst: Reg(0), src: Reg(1) }.encoded_size(), 2);
+        assert_eq!(Insn::Const { dst: Reg(0), value: 10 }.encoded_size(), 4);
+        assert_eq!(
+            Insn::Const {
+                dst: Reg(0),
+                value: 1 << 40
+            }
+            .encoded_size(),
+            8
+        );
+        assert_eq!(
+            Insn::Invoke {
+                kind: InvokeKind::Static,
+                method: 0,
+                args: ArgList::default(),
+                dst: None
+            }
+            .encoded_size(),
+            6
+        );
+    }
+}

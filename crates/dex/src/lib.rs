@@ -1,0 +1,45 @@
+//! A miniature register-based bytecode in the style of Android's DEX.
+//!
+//! Agave's application-level "Java" logic runs on the Dalvik VM model in
+//! `agave-dalvik`; this crate defines what that VM executes: a register
+//! machine with classes, instance/static fields, arrays, virtual/static
+//! invokes, and *native hooks* that let bytecode call into modeled
+//! framework code (Canvas drawing, media players, …) just as real Dalvik
+//! code calls through JNI.
+//!
+//! The crate is pure data — no execution — so it has no dependencies and is
+//! shared by the VM, the apps, and the tests.
+//!
+//! # Example: a loop summing 0..n, assembled with labels
+//!
+//! ```
+//! use agave_dex::{BinOp, Cond, DexFile, MethodBuilder, Reg};
+//!
+//! let mut dex = DexFile::new();
+//! let class = dex.add_class("Ldemo/Sum;", 0, 0);
+//! // One argument (n) arrives in the highest register, r4.
+//! let mut m = MethodBuilder::new(5, 1);
+//! let (n, i, sum) = (Reg(4), Reg(0), Reg(1));
+//! m.konst(i, 0);
+//! m.konst(sum, 0);
+//! let head = m.new_label();
+//! m.bind(head);
+//! m.binop(BinOp::Add, sum, sum, i);
+//! m.konst(Reg(2), 1);
+//! m.binop(BinOp::Add, i, i, Reg(2));
+//! m.if_cmp(Cond::Lt, i, n, head);
+//! m.ret(Some(sum));
+//! let method = dex.add_method(class, "sum", m);
+//! assert!(dex.method(method).code.len() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod file;
+mod insn;
+
+pub use asm::{Label, MethodBuilder};
+pub use file::{ClassDef, ClassId, DexFile, MethodDef, MethodId};
+pub use insn::{ArgList, BinOp, Cond, Insn, InvokeKind, Reg, MAX_ARGS};

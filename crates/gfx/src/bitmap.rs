@@ -1,0 +1,334 @@
+//! Plain pixel buffers with real contents.
+
+use std::fmt;
+
+/// Pixel formats of the Gingerbread display stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PixelFormat {
+    /// 16-bit 5:6:5 — the default framebuffer format of the era.
+    Rgb565,
+    /// 32-bit ARGB.
+    Argb8888,
+}
+
+impl PixelFormat {
+    /// Bytes per pixel.
+    pub fn bytes_per_pixel(self) -> usize {
+        match self {
+            PixelFormat::Rgb565 => 2,
+            PixelFormat::Argb8888 => 4,
+        }
+    }
+}
+
+/// An axis-aligned rectangle (x, y, width, height).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Rect {
+    /// Left edge.
+    pub x: u32,
+    /// Top edge.
+    pub y: u32,
+    /// Width.
+    pub w: u32,
+    /// Height.
+    pub h: u32,
+}
+
+impl Rect {
+    /// Creates a rect.
+    pub fn new(x: u32, y: u32, w: u32, h: u32) -> Self {
+        Rect { x, y, w, h }
+    }
+
+    /// Pixel area.
+    pub fn area(&self) -> u64 {
+        u64::from(self.w) * u64::from(self.h)
+    }
+
+    /// Intersection with another rect (empty if disjoint).
+    pub fn intersect(&self, other: &Rect) -> Rect {
+        let x1 = self.x.max(other.x);
+        let y1 = self.y.max(other.y);
+        let x2 = (self.x + self.w).min(other.x + other.w);
+        let y2 = (self.y + self.h).min(other.y + other.h);
+        if x2 > x1 && y2 > y1 {
+            Rect::new(x1, y1, x2 - x1, y2 - y1)
+        } else {
+            Rect::default()
+        }
+    }
+}
+
+/// A width × height pixel buffer with real bytes.
+///
+/// # Example
+///
+/// ```
+/// use agave_gfx::{Bitmap, PixelFormat, Rect};
+///
+/// let mut bmp = Bitmap::new(16, 16, PixelFormat::Rgb565);
+/// bmp.fill_rect(Rect::new(4, 4, 8, 8), 0xf800); // red square
+/// assert_eq!(bmp.pixel(5, 5), 0xf800);
+/// assert_eq!(bmp.pixel(0, 0), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    width: u32,
+    height: u32,
+    format: PixelFormat,
+    data: Vec<u8>,
+}
+
+impl Bitmap {
+    /// Creates a zeroed bitmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn new(width: u32, height: u32, format: PixelFormat) -> Self {
+        assert!(width > 0 && height > 0, "empty bitmap");
+        let len = width as usize * height as usize * format.bytes_per_pixel();
+        Bitmap {
+            width,
+            height,
+            format,
+            data: vec![0; len],
+        }
+    }
+
+    /// Builds an RGB565 bitmap from raw pixel values (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != width * height` or dimensions are zero.
+    pub fn from_rgb565(width: u32, height: u32, pixels: &[u16]) -> Self {
+        assert_eq!(
+            pixels.len(),
+            width as usize * height as usize,
+            "pixel count mismatch"
+        );
+        let mut bmp = Bitmap::new(width, height, PixelFormat::Rgb565);
+        for (i, px) in pixels.iter().enumerate() {
+            bmp.data[i * 2..i * 2 + 2].copy_from_slice(&px.to_le_bytes());
+        }
+        bmp
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Pixel format.
+    pub fn format(&self) -> PixelFormat {
+        self.format
+    }
+
+    /// The full-bitmap rect.
+    pub fn bounds(&self) -> Rect {
+        Rect::new(0, 0, self.width, self.height)
+    }
+
+    /// Raw bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn offset(&self, x: u32, y: u32) -> usize {
+        (y as usize * self.width as usize + x as usize) * self.format.bytes_per_pixel()
+    }
+
+    /// Reads a pixel (as up to 32 bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics out of bounds.
+    pub fn pixel(&self, x: u32, y: u32) -> u32 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        let o = self.offset(x, y);
+        match self.format {
+            PixelFormat::Rgb565 => {
+                u32::from(u16::from_le_bytes([self.data[o], self.data[o + 1]]))
+            }
+            PixelFormat::Argb8888 => u32::from_le_bytes([
+                self.data[o],
+                self.data[o + 1],
+                self.data[o + 2],
+                self.data[o + 3],
+            ]),
+        }
+    }
+
+    /// Writes a pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics out of bounds.
+    pub fn set_pixel(&mut self, x: u32, y: u32, color: u32) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        let o = self.offset(x, y);
+        match self.format {
+            PixelFormat::Rgb565 => {
+                self.data[o..o + 2].copy_from_slice(&(color as u16).to_le_bytes())
+            }
+            PixelFormat::Argb8888 => self.data[o..o + 4].copy_from_slice(&color.to_le_bytes()),
+        }
+    }
+
+    /// Fills `rect` (clipped to bounds) with `color`.
+    pub fn fill_rect(&mut self, rect: Rect, color: u32) {
+        let r = rect.intersect(&self.bounds());
+        let bpp = self.format.bytes_per_pixel();
+        let mut row = Vec::with_capacity(r.w as usize * bpp);
+        for _ in 0..r.w {
+            match self.format {
+                PixelFormat::Rgb565 => row.extend_from_slice(&(color as u16).to_le_bytes()),
+                PixelFormat::Argb8888 => row.extend_from_slice(&color.to_le_bytes()),
+            }
+        }
+        for y in r.y..r.y + r.h {
+            let o = self.offset(r.x, y);
+            self.data[o..o + row.len()].copy_from_slice(&row);
+        }
+    }
+
+    /// Copies `src_rect` of `src` to `(dst_x, dst_y)` (clipped; formats
+    /// must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics on format mismatch.
+    pub fn blit(&mut self, src: &Bitmap, src_rect: Rect, dst_x: u32, dst_y: u32) {
+        assert_eq!(self.format, src.format, "blit format mismatch");
+        let sr = src_rect.intersect(&src.bounds());
+        let bpp = self.format.bytes_per_pixel();
+        for dy in 0..sr.h {
+            let y_dst = dst_y + dy;
+            if y_dst >= self.height {
+                break;
+            }
+            let copy_w = sr.w.min(self.width.saturating_sub(dst_x));
+            if copy_w == 0 {
+                break;
+            }
+            let so = src.offset(sr.x, sr.y + dy);
+            let doff = self.offset(dst_x, y_dst);
+            let n = copy_w as usize * bpp;
+            self.data[doff..doff + n].copy_from_slice(&src.data[so..so + n]);
+        }
+    }
+
+    /// FNV-1a checksum of the pixel bytes — cheap display-content identity
+    /// for tests.
+    pub fn checksum(&self) -> u64 {
+        fnv1a(&self.data)
+    }
+}
+
+/// FNV-1a over bytes.
+pub(crate) fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+impl fmt::Display for Bitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Bitmap({}x{} {:?}, {} bytes)",
+            self.width,
+            self.height,
+            self.format,
+            self.data.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_and_read_back() {
+        let mut b = Bitmap::new(8, 8, PixelFormat::Argb8888);
+        b.fill_rect(Rect::new(2, 2, 4, 4), 0xff00ff00);
+        assert_eq!(b.pixel(2, 2), 0xff00ff00);
+        assert_eq!(b.pixel(5, 5), 0xff00ff00);
+        assert_eq!(b.pixel(6, 6), 0);
+        assert_eq!(b.pixel(1, 2), 0);
+    }
+
+    #[test]
+    fn fill_clips_to_bounds() {
+        let mut b = Bitmap::new(4, 4, PixelFormat::Rgb565);
+        b.fill_rect(Rect::new(2, 2, 100, 100), 0xffff);
+        assert_eq!(b.pixel(3, 3), 0xffff);
+        assert_eq!(b.pixel(1, 1), 0);
+    }
+
+    #[test]
+    fn blit_copies_subrect() {
+        let mut src = Bitmap::new(4, 4, PixelFormat::Rgb565);
+        src.fill_rect(Rect::new(0, 0, 4, 4), 0x1234);
+        let mut dst = Bitmap::new(8, 8, PixelFormat::Rgb565);
+        dst.blit(&src, Rect::new(1, 1, 2, 2), 5, 5);
+        assert_eq!(dst.pixel(5, 5), 0x1234);
+        assert_eq!(dst.pixel(6, 6), 0x1234);
+        assert_eq!(dst.pixel(4, 4), 0);
+    }
+
+    #[test]
+    fn blit_clips_at_destination_edge() {
+        let mut src = Bitmap::new(4, 4, PixelFormat::Rgb565);
+        src.fill_rect(Rect::new(0, 0, 4, 4), 0xaaaa);
+        let mut dst = Bitmap::new(4, 4, PixelFormat::Rgb565);
+        dst.blit(&src, src.bounds(), 2, 2);
+        assert_eq!(dst.pixel(3, 3), 0xaaaa);
+        assert_eq!(dst.pixel(1, 1), 0);
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 10, 10);
+        assert_eq!(a.intersect(&b), Rect::new(5, 5, 5, 5));
+        let c = Rect::new(20, 20, 1, 1);
+        assert_eq!(a.intersect(&c).area(), 0);
+    }
+
+    #[test]
+    fn checksum_changes_with_content() {
+        let mut b = Bitmap::new(8, 8, PixelFormat::Rgb565);
+        let c0 = b.checksum();
+        b.set_pixel(0, 0, 1);
+        assert_ne!(b.checksum(), c0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_pixel_panics() {
+        let b = Bitmap::new(2, 2, PixelFormat::Rgb565);
+        let _ = b.pixel(2, 0);
+    }
+
+    #[test]
+    fn formats_sizes() {
+        assert_eq!(PixelFormat::Rgb565.bytes_per_pixel(), 2);
+        assert_eq!(PixelFormat::Argb8888.bytes_per_pixel(), 4);
+        assert_eq!(Bitmap::new(3, 3, PixelFormat::Argb8888).byte_len(), 36);
+    }
+}

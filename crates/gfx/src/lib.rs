@@ -1,0 +1,31 @@
+//! The graphics stack model: Skia-like software rendering, gralloc
+//! surfaces, and SurfaceFlinger composition.
+//!
+//! This subsystem generates the paper's most prominent signals:
+//!
+//! * **`mspace`** — Skia on Gingerbread allocates raster scratch and keeps
+//!   *runtime-generated blitter code* in a private dlmalloc mspace; per-pixel
+//!   blitter execution is why `mspace` is the largest *instruction* region in
+//!   Figure 1. [`Canvas`] charges its inner-loop fetches there.
+//! * **`gralloc-buffer`** — window surfaces are double-buffered shared
+//!   segments; posting a frame writes one ([`SurfaceHandle::post_buffer`]).
+//! * **`fb0 (frame buffer)`** — the [`SurfaceFlinger`] actor composites
+//!   front buffers into the framebuffer at vsync; across the suite this
+//!   thread accounts for the paper's Table-I-topping 43.4 % of references.
+//!
+//! Pixels are real: drawing mutates a [`Bitmap`], posting copies those bytes
+//! into shared memory, and composition copies them again into `fb0`, so
+//! tests can checksum actual display contents.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitmap;
+mod canvas;
+mod flinger;
+mod surface;
+
+pub use bitmap::{Bitmap, PixelFormat, Rect};
+pub use canvas::Canvas;
+pub use flinger::{DisplayConfig, SurfaceFlinger, MSG_STOP, MSG_VSYNC, VSYNC_PERIOD};
+pub use surface::{SurfaceHandle, SurfaceStore};

@@ -1,0 +1,267 @@
+//! Window surfaces: double-buffered gralloc shared memory.
+
+use crate::bitmap::{Bitmap, PixelFormat};
+use agave_kernel::{Ctx, RefKind, ShmId};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[derive(Debug)]
+pub(crate) struct Layer {
+    pub name: String,
+    pub x: u32,
+    pub y: u32,
+    pub width: u32,
+    pub height: u32,
+    pub format: PixelFormat,
+    pub buffers: [ShmId; 2],
+    pub front: usize,
+    pub dirty: bool,
+    pub visible: bool,
+    /// Composited through the overlay/copybit path (video): plain copy,
+    /// no per-pixel pixelflinger work.
+    pub overlay: bool,
+}
+
+/// The shared window list: clients post buffers into it, the
+/// [`crate::SurfaceFlinger`] composites out of it.
+///
+/// Single-threaded simulation ⇒ a cheap `Rc<RefCell<…>>` clone per party.
+#[derive(Debug, Clone, Default)]
+pub struct SurfaceStore {
+    inner: Rc<RefCell<Vec<Layer>>>,
+}
+
+impl SurfaceStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a double-buffered surface at `(x, y)` and returns the
+    /// client handle. The two gralloc buffers are allocated as shared
+    /// segments charged to `gralloc-buffer`.
+    pub fn create_surface(
+        &self,
+        cx: &mut Ctx<'_>,
+        name: &str,
+        x: u32,
+        y: u32,
+        width: u32,
+        height: u32,
+        format: PixelFormat,
+    ) -> SurfaceHandle {
+        let wk = cx.well_known();
+        let len = width as usize * height as usize * format.bytes_per_pixel();
+        let buffers = [cx.shm_create(wk.gralloc, len), cx.shm_create(wk.gralloc, len)];
+        let mut layers = self.inner.borrow_mut();
+        layers.push(Layer {
+            name: name.to_owned(),
+            x,
+            y,
+            width,
+            height,
+            format,
+            buffers,
+            front: 0,
+            dirty: false,
+            visible: true,
+            overlay: false,
+        });
+        SurfaceHandle {
+            store: self.clone(),
+            index: layers.len() - 1,
+        }
+    }
+
+    /// Number of surfaces created so far.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// Rebuilds a handle to surface `index` (e.g. after passing the index
+    /// through a parcel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn handle(&self, index: usize) -> SurfaceHandle {
+        assert!(index < self.len(), "no surface #{index}");
+        SurfaceHandle {
+            store: self.clone(),
+            index,
+        }
+    }
+
+    /// Whether no surfaces exist.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// Whether any visible surface has an un-composited frame.
+    pub fn any_dirty(&self) -> bool {
+        self.inner.borrow().iter().any(|l| l.dirty && l.visible)
+    }
+
+    /// Whether anything is on screen at all.
+    pub fn any_visible(&self) -> bool {
+        self.inner.borrow().iter().any(|l| l.visible)
+    }
+
+    /// Shows/hides a layer by its creation name (e.g. re-showing the
+    /// launcher when an app goes to the background). No-op if absent.
+    pub fn set_visible_by_name(&self, name: &str, visible: bool) {
+        for layer in self.inner.borrow_mut().iter_mut() {
+            if layer.name == name {
+                layer.visible = visible;
+            }
+        }
+    }
+
+    pub(crate) fn with_layers<R>(&self, f: impl FnOnce(&mut Vec<Layer>) -> R) -> R {
+        f(&mut self.inner.borrow_mut())
+    }
+}
+
+/// A client-side handle to one surface.
+#[derive(Debug, Clone)]
+pub struct SurfaceHandle {
+    store: SurfaceStore,
+    index: usize,
+}
+
+impl SurfaceHandle {
+    /// This surface's index in the store (parcel-transportable; pair of
+    /// [`SurfaceStore::handle`]).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Surface width in pixels.
+    pub fn width(&self) -> u32 {
+        self.store.inner.borrow()[self.index].width
+    }
+
+    /// Surface height in pixels.
+    pub fn height(&self) -> u32 {
+        self.store.inner.borrow()[self.index].height
+    }
+
+    /// Pixel format.
+    pub fn format(&self) -> PixelFormat {
+        self.store.inner.borrow()[self.index].format
+    }
+
+    /// Posts a rendered frame: copies `frame`'s bytes into the back
+    /// buffer (reads charged to the `mspace` raster source, writes to
+    /// `gralloc-buffer`), swaps buffers, and marks the layer dirty for the
+    /// next vsync.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` does not match the surface dimensions/format.
+    pub fn post_buffer(&self, cx: &mut Ctx<'_>, frame: &Bitmap) {
+        let (back, expected_len) = {
+            let layers = self.store.inner.borrow();
+            let l = &layers[self.index];
+            assert_eq!(
+                (frame.width(), frame.height(), frame.format()),
+                (l.width, l.height, l.format),
+                "posted frame does not match surface geometry"
+            );
+            (l.buffers[1 - l.front], l.width as usize * l.height as usize * l.format.bytes_per_pixel())
+        };
+        assert_eq!(frame.byte_len(), expected_len);
+        // The raster source is read out of Skia's mspace scratch.
+        let wk = cx.well_known();
+        cx.charge(
+            wk.mspace,
+            RefKind::DataRead,
+            (frame.byte_len() as u64).div_ceil(4),
+        );
+        cx.shm_write(back, 0, frame.bytes());
+        let mut layers = self.store.inner.borrow_mut();
+        let l = &mut layers[self.index];
+        l.front = 1 - l.front;
+        l.dirty = true;
+    }
+
+    /// Shows or hides the layer.
+    pub fn set_visible(&self, visible: bool) {
+        self.store.inner.borrow_mut()[self.index].visible = visible;
+    }
+
+    /// Marks this layer for overlay (copybit) composition — the path
+    /// Gingerbread used for video surfaces, bypassing the per-pixel
+    /// pixelflinger loop.
+    pub fn set_overlay(&self, overlay: bool) {
+        self.store.inner.borrow_mut()[self.index].overlay = overlay;
+    }
+
+    /// The shm segment currently on screen (front buffer).
+    pub fn front_buffer(&self) -> ShmId {
+        let layers = self.store.inner.borrow();
+        let l = &layers[self.index];
+        l.buffers[l.front]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitmap::Rect;
+    use agave_kernel::{Actor, Kernel, Message};
+
+    #[test]
+    fn post_swaps_and_dirties() {
+        struct T(SurfaceStore);
+        impl Actor for T {
+            fn on_message(&mut self, cx: &mut Ctx<'_>, _msg: Message) {
+                let h = self
+                    .0
+                    .create_surface(cx, "win", 0, 0, 16, 16, PixelFormat::Rgb565);
+                assert!(!self.0.any_dirty());
+                let before = h.front_buffer();
+                let mut frame = Bitmap::new(16, 16, PixelFormat::Rgb565);
+                frame.fill_rect(Rect::new(0, 0, 16, 16), 0xbeef);
+                h.post_buffer(cx, &frame);
+                assert!(self.0.any_dirty());
+                assert_ne!(h.front_buffer(), before);
+                // The posted bytes landed in the (new) front buffer.
+                let mut check = [0u8; 2];
+                cx.shm_read(h.front_buffer(), 0, &mut check);
+                assert_eq!(u16::from_le_bytes(check), 0xbeef);
+            }
+        }
+        let store = SurfaceStore::new();
+        let mut kernel = Kernel::new();
+        let pid = kernel.spawn_process("app");
+        let tid = kernel.spawn_thread(pid, "main", Box::new(T(store.clone())));
+        kernel.send(tid, Message::new(0));
+        kernel.run_to_idle();
+        let s = kernel.tracer().summarize("t");
+        assert!(s.data_by_region["gralloc-buffer"] > 0);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn hidden_layers_are_not_dirty_candidates() {
+        struct T(SurfaceStore);
+        impl Actor for T {
+            fn on_message(&mut self, cx: &mut Ctx<'_>, _msg: Message) {
+                let h = self
+                    .0
+                    .create_surface(cx, "win", 0, 0, 4, 4, PixelFormat::Rgb565);
+                let frame = Bitmap::new(4, 4, PixelFormat::Rgb565);
+                h.post_buffer(cx, &frame);
+                h.set_visible(false);
+                assert!(!self.0.any_dirty());
+            }
+        }
+        let store = SurfaceStore::new();
+        let mut kernel = Kernel::new();
+        let pid = kernel.spawn_process("app");
+        let tid = kernel.spawn_thread(pid, "main", Box::new(T(store)));
+        kernel.send(tid, Message::new(0));
+        kernel.run_to_idle();
+    }
+}

@@ -1,0 +1,164 @@
+//! Composition-path integration tests: overlay vs GL, z-order, stacking.
+
+use agave_gfx::{
+    Bitmap, DisplayConfig, PixelFormat, Rect, SurfaceFlinger, SurfaceStore, MSG_STOP,
+    VSYNC_PERIOD,
+};
+use agave_kernel::{Actor, Ctx, Kernel, Message, ShmId};
+
+/// Boots a flinger + one posting app; returns (kernel, fb, frames counter).
+fn world(
+    overlay: bool,
+    color: u16,
+) -> (Kernel, ShmId, std::rc::Rc<std::cell::Cell<u64>>) {
+    let mut kernel = Kernel::new();
+    let cfg = DisplayConfig::wvga().scaled(8);
+    let wk = kernel.well_known();
+    let fb = kernel.shm_create(wk.fb0, cfg.fb_bytes());
+    let store = SurfaceStore::new();
+    let ss = kernel.spawn_process("system_server");
+    let sf_lib = kernel.intern_region("libsurfaceflinger.so");
+    let flinger = SurfaceFlinger::new(cfg, store.clone(), fb);
+    let frames = flinger.frame_counter();
+    kernel.spawn_thread_in(ss, "SurfaceFlinger", sf_lib, Box::new(flinger));
+
+    struct App {
+        store: SurfaceStore,
+        overlay: bool,
+        color: u16,
+        cfg: DisplayConfig,
+    }
+    impl Actor for App {
+        fn on_start(&mut self, cx: &mut Ctx<'_>) {
+            let h = self.store.create_surface(
+                cx,
+                "app",
+                0,
+                0,
+                self.cfg.width,
+                self.cfg.height,
+                PixelFormat::Rgb565,
+            );
+            h.set_overlay(self.overlay);
+            let mut frame = Bitmap::new(h.width(), h.height(), PixelFormat::Rgb565);
+            frame.fill_rect(Rect::new(0, 0, h.width(), h.height()), u32::from(self.color));
+            h.post_buffer(cx, &frame);
+        }
+        fn on_message(&mut self, _cx: &mut Ctx<'_>, _msg: Message) {}
+    }
+    let app = kernel.spawn_process("benchmark");
+    kernel.spawn_thread(
+        app,
+        "main",
+        Box::new(App {
+            store,
+            overlay,
+            color,
+            cfg,
+        }),
+    );
+    (kernel, fb, frames)
+}
+
+#[test]
+fn overlay_path_reaches_fb0_without_pixelflinger() {
+    let (mut kernel, fb, frames) = world(true, 0x1234);
+    kernel.run_until(VSYNC_PERIOD * 4);
+    assert!(frames.get() >= 1);
+    let bytes = kernel.shm_bytes(fb);
+    assert_eq!(u16::from_le_bytes([bytes[0], bytes[1]]), 0x1234);
+    let s = kernel.tracer().summarize("overlay");
+    // No per-pixel GL work for overlay layers.
+    assert!(!s.instr_by_region.contains_key("libpixelflinger.so"));
+    // And much less mspace instruction traffic than the GL path.
+    let (mut gl_kernel, _, _) = {
+        let w = world(false, 0x1234);
+        w
+    };
+    gl_kernel.run_until(VSYNC_PERIOD * 4);
+    let gl = gl_kernel.tracer().summarize("gl");
+    let overlay_mspace = s.instr_by_region.get("mspace").copied().unwrap_or(0);
+    let gl_mspace = gl.instr_by_region.get("mspace").copied().unwrap_or(0);
+    assert!(
+        gl_mspace > overlay_mspace * 3,
+        "gl {gl_mspace} vs overlay {overlay_mspace}"
+    );
+}
+
+#[test]
+fn gl_path_reaches_fb0_with_pixelflinger() {
+    let (mut kernel, fb, _) = world(false, 0xbeef);
+    kernel.run_until(VSYNC_PERIOD * 4);
+    let bytes = kernel.shm_bytes(fb);
+    assert_eq!(u16::from_le_bytes([bytes[0], bytes[1]]), 0xbeef);
+    let s = kernel.tracer().summarize("gl");
+    assert!(s.instr_by_region.contains_key("libpixelflinger.so"));
+}
+
+#[test]
+fn later_layers_stack_on_top() {
+    let mut kernel = Kernel::new();
+    let cfg = DisplayConfig::wvga().scaled(8);
+    let wk = kernel.well_known();
+    let fb = kernel.shm_create(wk.fb0, cfg.fb_bytes());
+    let store = SurfaceStore::new();
+    let ss = kernel.spawn_process("system_server");
+    let sf_lib = kernel.intern_region("libsurfaceflinger.so");
+    let flinger = SurfaceFlinger::new(cfg, store.clone(), fb);
+    kernel.spawn_thread_in(ss, "SurfaceFlinger", sf_lib, Box::new(flinger));
+
+    struct TwoWindows {
+        store: SurfaceStore,
+        cfg: DisplayConfig,
+    }
+    impl Actor for TwoWindows {
+        fn on_start(&mut self, cx: &mut Ctx<'_>) {
+            // Full-screen background…
+            let bg = self.store.create_surface(
+                cx,
+                "bg",
+                0,
+                0,
+                self.cfg.width,
+                self.cfg.height,
+                PixelFormat::Rgb565,
+            );
+            let mut frame = Bitmap::new(bg.width(), bg.height(), PixelFormat::Rgb565);
+            frame.fill_rect(Rect::new(0, 0, bg.width(), bg.height()), 0x000f);
+            bg.post_buffer(cx, &frame);
+            // …and a small status strip on top at the origin.
+            let strip = self
+                .store
+                .create_surface(cx, "strip", 0, 0, self.cfg.width, 4, PixelFormat::Rgb565);
+            let mut bar = Bitmap::new(strip.width(), 4, PixelFormat::Rgb565);
+            bar.fill_rect(Rect::new(0, 0, strip.width(), 4), 0xfff0);
+            strip.post_buffer(cx, &bar);
+        }
+        fn on_message(&mut self, _cx: &mut Ctx<'_>, _msg: Message) {}
+    }
+    let app = kernel.spawn_process("benchmark");
+    kernel.spawn_thread(app, "main", Box::new(TwoWindows { store, cfg }));
+    kernel.run_until(VSYNC_PERIOD * 4);
+    let bytes = kernel.shm_bytes(fb);
+    // Top-left pixel belongs to the strip (composed after the background).
+    assert_eq!(u16::from_le_bytes([bytes[0], bytes[1]]), 0xfff0);
+    // A pixel well below the strip shows the background.
+    let row = 10 * cfg.width as usize * 2;
+    assert_eq!(u16::from_le_bytes([bytes[row], bytes[row + 1]]), 0x000f);
+}
+
+#[test]
+fn stop_message_ends_vsync_rearming() {
+    let (mut kernel, _, frames) = world(false, 1);
+    kernel.run_until(VSYNC_PERIOD * 3);
+    let composed = frames.get();
+    assert!(composed >= 1);
+    // Broadcast MSG_STOP to every thread; only the flinger reacts.
+    for i in 0..kernel.thread_count() {
+        let tid = agave_kernel::Tid::from_raw(i as u32);
+        if kernel.thread(tid).is_alive() {
+            kernel.send(tid, Message::new(MSG_STOP));
+        }
+    }
+    kernel.run_to_idle(); // would hang if vsync kept re-arming
+}

@@ -1,0 +1,44 @@
+//! The behaviour interface of simulated threads.
+
+use crate::ctx::Ctx;
+use crate::message::Message;
+
+/// The behaviour of a simulated thread.
+///
+/// Every thread owns one boxed `Actor`. The engine delivers mailbox
+/// messages one at a time; handlers run to completion, charging memory
+/// references through the [`Ctx`] as they model work.
+///
+/// Synchronous cross-thread calls (the substrate of the Binder model) are
+/// delivered to [`Actor::on_call`]; only threads that explicitly serve such
+/// calls need to override it.
+pub trait Actor {
+    /// Called once, before any message, when the thread starts running.
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        let _ = cx;
+    }
+
+    /// Handles one mailbox message.
+    fn on_message(&mut self, cx: &mut Ctx<'_>, msg: Message);
+
+    /// Handles a synchronous call from another thread (see
+    /// [`Ctx::call_thread`]), returning the reply bytes.
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics: most threads never serve
+    /// synchronous calls, and calling one that doesn't is a simulator bug.
+    fn on_call(&mut self, cx: &mut Ctx<'_>, code: u32, data: &[u8]) -> Vec<u8> {
+        let _ = (cx, code, data);
+        panic!("this actor does not accept synchronous calls");
+    }
+}
+
+/// An actor that ignores every message: useful for threads that only exist
+/// to be charged against (kernel workers, placeholder threads).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Inert;
+
+impl Actor for Inert {
+    fn on_message(&mut self, _cx: &mut Ctx<'_>, _msg: Message) {}
+}

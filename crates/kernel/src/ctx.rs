@@ -1,0 +1,494 @@
+//! The per-dispatch execution context: every modeled memory reference in
+//! the simulator flows through [`Ctx`].
+
+use crate::actor::Actor;
+use crate::kernel::Kernel;
+use crate::message::Message;
+use crate::process::{LibHandle, Process};
+use crate::regions::WellKnown;
+use crate::shm::ShmId;
+use agave_mem::{Addr, Allocation, Perms};
+use agave_trace::{NameId, Pid, RefKind, Tid};
+
+/// Instruction-fetch cost charged to `libc.so` per malloc/free call.
+const MALLOC_CALL_COST: u64 = 80;
+const FREE_CALL_COST: u64 = 40;
+
+/// The execution context handed to actor handlers.
+///
+/// A `Ctx` identifies the currently running (process, thread) pair and
+/// maintains a *code-region scope stack*: [`Ctx::op`] charges instruction
+/// fetches to the innermost scope, which components push via
+/// [`Ctx::in_lib`] when modeling execution inside a particular shared
+/// library. Data accessors do real byte operations on the simulated memory
+/// *and* charge the reference counts the paper's instrumentation would have
+/// recorded.
+///
+/// One charged reference advances simulated time by one tick (the atomic
+/// CPU model).
+pub struct Ctx<'k> {
+    k: &'k mut Kernel,
+    pid: Pid,
+    tid: Tid,
+    code_stack: Vec<NameId>,
+}
+
+impl std::fmt::Debug for Ctx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("pid", &self.pid)
+            .field("tid", &self.tid)
+            .field("scopes", &self.code_stack.len())
+            .finish()
+    }
+}
+
+impl<'k> Ctx<'k> {
+    pub(crate) fn new(k: &'k mut Kernel, pid: Pid, tid: Tid, code: NameId) -> Self {
+        Ctx {
+            k,
+            pid,
+            tid,
+            code_stack: vec![code],
+        }
+    }
+
+    /// The running process.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The running thread.
+    pub fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    /// Current simulated time in ticks.
+    pub fn now(&self) -> u64 {
+        self.k.now()
+    }
+
+    /// The well-known region names.
+    pub fn well_known(&self) -> WellKnown {
+        self.k.well_known()
+    }
+
+    /// Escape hatch to the kernel (setup paths, summaries).
+    pub fn kernel(&mut self) -> &mut Kernel {
+        self.k
+    }
+
+    /// Interns a region name.
+    pub fn intern_region(&mut self, name: &str) -> NameId {
+        self.k.intern_region(name)
+    }
+
+    // ---- charging ---------------------------------------------------------
+
+    /// Charges `n` references of `kind` against `region` in this thread's
+    /// context and advances time by `n` ticks.
+    #[inline]
+    pub fn charge(&mut self, region: NameId, kind: RefKind, n: u64) {
+        self.k.tracer.charge(self.pid, self.tid, region, kind, n);
+        self.k.threads[self.tid.as_u32() as usize].cpu_ticks += n;
+        self.k.now += n;
+    }
+
+    /// Charges `n` instruction fetches to the current code scope.
+    #[inline]
+    pub fn op(&mut self, n: u64) {
+        let region = *self.code_stack.last().expect("code scope present");
+        self.charge(region, RefKind::InstrFetch, n);
+    }
+
+    /// Runs `f` with `lib` as the current code scope.
+    pub fn in_lib<R>(&mut self, lib: NameId, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.code_stack.push(lib);
+        let out = f(self);
+        self.code_stack.pop();
+        out
+    }
+
+    /// Models a leaf call into `lib`: `n` instruction fetches, no scope
+    /// change.
+    #[inline]
+    pub fn call_lib(&mut self, lib: NameId, n: u64) {
+        self.charge(lib, RefKind::InstrFetch, n);
+    }
+
+    /// Models a syscall: `n` kernel instruction fetches plus a sprinkle of
+    /// kernel data traffic.
+    pub fn syscall(&mut self, n: u64) {
+        let wk = self.well_known();
+        self.charge(wk.os_kernel, RefKind::InstrFetch, n);
+        self.charge(wk.os_kernel, RefKind::DataRead, n / 4);
+        self.charge(wk.os_kernel, RefKind::DataWrite, n / 8);
+    }
+
+    /// Charges data traffic against an arbitrary region.
+    #[inline]
+    pub fn data_rw(&mut self, region: NameId, reads: u64, writes: u64) {
+        self.charge(region, RefKind::DataRead, reads);
+        self.charge(region, RefKind::DataWrite, writes);
+    }
+
+    /// Charges data traffic against the thread stack.
+    #[inline]
+    pub fn stack_rw(&mut self, reads: u64, writes: u64) {
+        let stack = self.well_known().stack;
+        self.data_rw(stack, reads, writes);
+    }
+
+    // ---- simulated memory (current process) --------------------------------
+
+    /// The current process.
+    pub fn process(&mut self) -> &mut Process {
+        self.k.process_mut(self.pid)
+    }
+
+    fn region_of(&self, addr: Addr) -> NameId {
+        self.k
+            .process(self.pid)
+            .space
+            .region_name(addr)
+            .unwrap_or_else(|| panic!("access to unmapped address {addr}"))
+    }
+
+    /// Charged 32-bit load.
+    pub fn load_u32(&mut self, addr: Addr) -> u32 {
+        let region = self.region_of(addr);
+        self.charge(region, RefKind::DataRead, 1);
+        self.k.process(self.pid).space.read_u32(addr)
+    }
+
+    /// Charged 32-bit store.
+    pub fn store_u32(&mut self, addr: Addr, v: u32) {
+        let region = self.region_of(addr);
+        self.charge(region, RefKind::DataWrite, 1);
+        self.k.process_mut(self.pid).space.write_u32(addr, v);
+    }
+
+    /// Charged 64-bit load.
+    pub fn load_u64(&mut self, addr: Addr) -> u64 {
+        let region = self.region_of(addr);
+        self.charge(region, RefKind::DataRead, 1);
+        self.k.process(self.pid).space.read_u64(addr)
+    }
+
+    /// Charged 64-bit store.
+    pub fn store_u64(&mut self, addr: Addr, v: u64) {
+        let region = self.region_of(addr);
+        self.charge(region, RefKind::DataWrite, 1);
+        self.k.process_mut(self.pid).space.write_u64(addr, v);
+    }
+
+    /// Charged 8-bit load.
+    pub fn load_u8(&mut self, addr: Addr) -> u8 {
+        let region = self.region_of(addr);
+        self.charge(region, RefKind::DataRead, 1);
+        self.k.process(self.pid).space.read_u8(addr)
+    }
+
+    /// Charged 8-bit store.
+    pub fn store_u8(&mut self, addr: Addr, v: u8) {
+        let region = self.region_of(addr);
+        self.charge(region, RefKind::DataWrite, 1);
+        self.k.process_mut(self.pid).space.write_u8(addr, v);
+    }
+
+    /// Charged bulk read into `buf` (one data read per 4 bytes).
+    pub fn read_buf(&mut self, addr: Addr, buf: &mut [u8]) {
+        let region = self.region_of(addr);
+        self.charge(region, RefKind::DataRead, word_refs(buf.len()));
+        self.k.process(self.pid).space.read(addr, buf);
+    }
+
+    /// Charged bulk write of `bytes` (one data write per 4 bytes).
+    pub fn write_buf(&mut self, addr: Addr, bytes: &[u8]) {
+        let region = self.region_of(addr);
+        self.charge(region, RefKind::DataWrite, word_refs(bytes.len()));
+        self.k.process_mut(self.pid).space.write(addr, bytes);
+    }
+
+    /// Charged memcpy within the current process (real bytes move).
+    pub fn memcpy(&mut self, dst: Addr, src: Addr, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let src_region = self.region_of(src);
+        let dst_region = self.region_of(dst);
+        self.charge(src_region, RefKind::DataRead, word_refs(len as usize));
+        self.charge(dst_region, RefKind::DataWrite, word_refs(len as usize));
+        self.op(len / 16 + 4);
+        self.k.process_mut(self.pid).space.copy_within(dst, src, len);
+    }
+
+    /// Charged memset within the current process (real bytes change).
+    pub fn memset(&mut self, dst: Addr, len: u64, value: u8) {
+        if len == 0 {
+            return;
+        }
+        let region = self.region_of(dst);
+        self.charge(region, RefKind::DataWrite, word_refs(len as usize));
+        self.op(len / 16 + 4);
+        self.k.process_mut(self.pid).space.fill(dst, len, value);
+    }
+
+    /// Charged malloc via the process's C allocator.
+    pub fn malloc(&mut self, size: u64) -> Allocation {
+        let wk = self.well_known();
+        self.call_lib(wk.libc, MALLOC_CALL_COST);
+        let allocation = self.k.process_mut(self.pid).malloc_alloc(size);
+        // Allocator metadata writes land in the serving arena.
+        let region = match allocation.kind {
+            agave_mem::AllocationKind::Heap => wk.heap,
+            agave_mem::AllocationKind::Anonymous => wk.anonymous,
+        };
+        self.charge(region, RefKind::DataWrite, 4);
+        allocation
+    }
+
+    /// Charged free.
+    pub fn free(&mut self, allocation: Allocation) {
+        let wk = self.well_known();
+        self.call_lib(wk.libc, FREE_CALL_COST);
+        self.k.process_mut(self.pid).malloc_free(allocation);
+    }
+
+    /// Maps an anonymous region with an explicit name in the current
+    /// process (charged as a syscall).
+    pub fn mmap_region(&mut self, len: u64, name: NameId, perms: Perms) -> Addr {
+        self.syscall(200);
+        self.k.process_mut(self.pid).space.mmap(len, name, perms)
+    }
+
+    // ---- shared memory -------------------------------------------------------
+
+    /// Creates a shared segment charged against `region_name`.
+    pub fn shm_create(&mut self, region_name: NameId, len: usize) -> ShmId {
+        self.syscall(300);
+        self.k.shm_create(region_name, len)
+    }
+
+    /// Length of a shared segment.
+    pub fn shm_len(&self, id: ShmId) -> usize {
+        self.k.shm_len(id)
+    }
+
+    /// Charged read from a shared segment.
+    pub fn shm_read(&mut self, id: ShmId, offset: usize, buf: &mut [u8]) {
+        let name = self.k.shm.seg(id).name;
+        self.charge(name, RefKind::DataRead, word_refs(buf.len()));
+        let seg = self.k.shm.seg(id);
+        buf.copy_from_slice(&seg.data[offset..offset + buf.len()]);
+    }
+
+    /// Charged write to a shared segment.
+    pub fn shm_write(&mut self, id: ShmId, offset: usize, bytes: &[u8]) {
+        let name = self.k.shm.seg(id).name;
+        self.charge(name, RefKind::DataWrite, word_refs(bytes.len()));
+        let seg = self.k.shm.seg_mut(id);
+        seg.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Charged fill of a shared segment range.
+    pub fn shm_fill(&mut self, id: ShmId, offset: usize, len: usize, value: u8) {
+        let name = self.k.shm.seg(id).name;
+        self.charge(name, RefKind::DataWrite, word_refs(len));
+        let seg = self.k.shm.seg_mut(id);
+        seg.data[offset..offset + len].fill(value);
+    }
+
+    /// Charged copy between two distinct shared segments (real bytes move):
+    /// reads charged to the source's region, writes to the destination's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst == src` or ranges are out of bounds.
+    pub fn shm_copy(
+        &mut self,
+        dst: ShmId,
+        dst_off: usize,
+        src: ShmId,
+        src_off: usize,
+        len: usize,
+    ) {
+        let src_name = self.k.shm.seg(src).name;
+        let dst_name = self.k.shm.seg(dst).name;
+        self.charge(src_name, RefKind::DataRead, word_refs(len));
+        self.charge(dst_name, RefKind::DataWrite, word_refs(len));
+        self.op(len as u64 / 16 + 4);
+        let (d, s) = self.k.shm.seg_pair_mut(dst, src);
+        d.data[dst_off..dst_off + len].copy_from_slice(&s.data[src_off..src_off + len]);
+    }
+
+    /// Analytic charge against a shared segment without moving bytes —
+    /// used when components operate on a decimated buffer but must account
+    /// full-resolution traffic.
+    pub fn shm_rw(&mut self, id: ShmId, reads: u64, writes: u64) {
+        let name = self.k.shm.seg(id).name;
+        self.data_rw(name, reads, writes);
+    }
+
+    // ---- filesystem -----------------------------------------------------------
+
+    /// Charged file read: syscall entry, page-cache lookup, device I/O for
+    /// cold pages (billed to `ata_sff/0`), and the copy out of the page
+    /// cache. Returns bytes read.
+    pub fn fs_read(&mut self, path: &str, offset: u64, buf: &mut [u8]) -> usize {
+        self.syscall(400);
+        let n = self.k.fs_read_charged(path, offset, buf);
+        if n > 0 {
+            // Copy from the kernel page cache to the caller; the mapped
+            // file itself is a named region in `/proc/pid/maps` terms, so
+            // a slice of the traffic lands on it.
+            let wk = self.well_known();
+            self.charge(wk.os_kernel, RefKind::DataRead, word_refs(n));
+            let file_region = self.intern_region(path);
+            self.charge(file_region, RefKind::DataRead, n as u64 / 32 + 1);
+        }
+        n
+    }
+
+    /// Charged file write: syscall entry, copy into the page cache, and
+    /// eventual writeback billed to `ata_sff/0`. Creates/extends the file.
+    pub fn fs_write(&mut self, path: &str, offset: u64, bytes: &[u8]) {
+        self.syscall(400);
+        let wk = self.well_known();
+        self.charge(wk.os_kernel, RefKind::DataWrite, word_refs(bytes.len()));
+        let file_region = self.intern_region(path);
+        self.charge(file_region, RefKind::DataWrite, bytes.len() as u64 / 32 + 1);
+        self.k.fs_write_charged(path, offset, bytes);
+    }
+
+    /// Length of a registered file.
+    pub fn fs_len(&self, path: &str) -> Option<u64> {
+        self.k.vfs().file_len(path)
+    }
+
+    // ---- messaging & scheduling -------------------------------------------------
+
+    /// Sends `msg` to `tid` for asynchronous delivery.
+    pub fn send(&mut self, tid: Tid, msg: Message) {
+        self.k.deliver(tid, msg);
+    }
+
+    /// Schedules `msg` for `tid` after `delay` ticks.
+    pub fn send_after(&mut self, delay: u64, tid: Tid, msg: Message) {
+        self.k.send_after(delay, tid, msg);
+    }
+
+    /// Sends a message to the current thread.
+    pub fn post_self(&mut self, msg: Message) {
+        self.k.deliver(self.tid, msg);
+    }
+
+    /// Schedules a message to the current thread after `delay` ticks.
+    pub fn post_self_after(&mut self, delay: u64, msg: Message) {
+        self.k.send_after(delay, self.tid, msg);
+    }
+
+    /// Makes a synchronous call into another thread's actor, running its
+    /// [`Actor::on_call`] in *that* thread's (process, thread) context —
+    /// the primitive the Binder model is built on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is dead, has no actor, or is already executing
+    /// (re-entrant call chains are a simulator bug).
+    pub fn call_thread(&mut self, target: Tid, code: u32, data: &[u8]) -> Vec<u8> {
+        assert_ne!(target, self.tid, "synchronous call to self");
+        let (target_pid, target_code, mut actor) = {
+            let thread = &mut self.k.threads[target.as_u32() as usize];
+            assert!(thread.is_alive(), "synchronous call to dead thread");
+            let actor = thread
+                .actor
+                .take()
+                .expect("synchronous call to busy (re-entrant) thread");
+            (thread.pid(), thread.default_code, actor)
+        };
+        let reply = {
+            let mut cx = Ctx::new(self.k, target_pid, target, target_code);
+            actor.on_call(&mut cx, code, data)
+        };
+        let thread = &mut self.k.threads[target.as_u32() as usize];
+        if thread.is_alive() {
+            thread.actor = Some(actor);
+        }
+        reply
+    }
+
+    // ---- process / thread management ----------------------------------------------
+
+    /// Spawns a user process.
+    pub fn spawn_process(&mut self, name: &str) -> Pid {
+        self.k.spawn_process(name)
+    }
+
+    /// Forks `parent` zygote-style (mappings and bytes inherited).
+    pub fn fork_process(&mut self, parent: Pid, name: &str) -> Pid {
+        self.syscall(2_000); // fork is expensive
+        self.k.fork_process(parent, name)
+    }
+
+    /// Spawns a thread in `pid` with the process default code region.
+    pub fn spawn_thread(&mut self, pid: Pid, name: &str, actor: Box<dyn Actor>) -> Tid {
+        self.syscall(500);
+        self.k.spawn_thread(pid, name, actor)
+    }
+
+    /// Spawns a thread with an explicit home code region.
+    pub fn spawn_thread_in(
+        &mut self,
+        pid: Pid,
+        name: &str,
+        code: NameId,
+        actor: Box<dyn Actor>,
+    ) -> Tid {
+        self.syscall(500);
+        self.k.spawn_thread_in(pid, name, code, actor)
+    }
+
+    /// Maps a library into `pid`.
+    pub fn map_lib(&mut self, pid: Pid, name: &str, text_len: u64, data_len: u64) -> LibHandle {
+        self.k.map_lib(pid, name, text_len, data_len)
+    }
+
+    /// Terminates the current thread; remaining and future messages are
+    /// dropped.
+    pub fn exit_thread(&mut self) {
+        self.k.threads[self.tid.as_u32() as usize].kill();
+    }
+
+    /// Terminates a whole process and all its threads.
+    pub fn exit_process(&mut self, pid: Pid) {
+        let tids: Vec<Tid> = self.k.process(pid).threads().to_vec();
+        for tid in tids {
+            self.k.threads[tid.as_u32() as usize].kill();
+        }
+        self.k.process_mut(pid).kill();
+    }
+}
+
+/// One memory reference per 32-bit word, minimum 1 for nonzero lengths.
+fn word_refs(bytes: usize) -> u64 {
+    if bytes == 0 {
+        0
+    } else {
+        (bytes as u64).div_ceil(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_refs_rounds_up() {
+        assert_eq!(word_refs(0), 0);
+        assert_eq!(word_refs(1), 1);
+        assert_eq!(word_refs(4), 1);
+        assert_eq!(word_refs(5), 2);
+        assert_eq!(word_refs(4096), 1024);
+    }
+}

@@ -1,0 +1,463 @@
+//! The kernel: process/thread tables, event queue, and the dispatch loop.
+
+use crate::actor::{Actor, Inert};
+use crate::ctx::Ctx;
+use crate::message::Message;
+use crate::process::{LibHandle, Process, Thread};
+use crate::regions::WellKnown;
+use crate::shm::{ShmId, ShmStore};
+use crate::vfs::Vfs;
+use agave_trace::{NameId, Pid, RefKind, Tid, Tracer};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Simulated ticks per millisecond (a 100 MHz atomic CPU: one reference per
+/// tick, matching the paper's cache-less atomic model).
+pub const TICKS_PER_MS: u64 = 100_000;
+
+/// One idle (swapper) instruction fetch is charged per this many ticks of
+/// idle time, keeping `swapper` visible in the process figures without
+/// letting it dominate.
+const IDLE_DIVISOR: u64 = 2048;
+
+/// Kernel-side cost of servicing one uncached page of file I/O, charged to
+/// the `ata_sff/0` storage thread (fetches, reads, writes).
+const ATA_PAGE_COST: (u64, u64, u64) = (300, 512, 512);
+
+struct Ev {
+    time: u64,
+    seq: u64,
+    tid: Tid,
+    msg: Message,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first ordering.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The simulated kernel and discrete-event engine.
+///
+/// See the [crate docs](crate) for the execution model and an end-to-end
+/// example.
+pub struct Kernel {
+    pub(crate) tracer: Tracer,
+    pub(crate) wk: WellKnown,
+    pub(crate) procs: Vec<Process>,
+    pub(crate) threads: Vec<Thread>,
+    pub(crate) runq: VecDeque<Tid>,
+    events: BinaryHeap<Ev>,
+    seq: u64,
+    pub(crate) now: u64,
+    pub(crate) vfs: Vfs,
+    pub(crate) shm: ShmStore,
+    swapper: Option<(Pid, Tid)>,
+    ata: Option<(Pid, Tid)>,
+    io_pages: u64,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("now", &self.now)
+            .field("processes", &self.procs.len())
+            .field("threads", &self.threads.len())
+            .field("pending_events", &self.events.len())
+            .finish()
+    }
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Kernel {
+    /// Creates a kernel with the `swapper` idle process and the `ata_sff/0`
+    /// storage thread already running (they exist on any booted Linux).
+    pub fn new() -> Self {
+        let mut tracer = Tracer::new();
+        let wk = WellKnown::intern(&mut tracer);
+        let mut kernel = Kernel {
+            tracer,
+            wk,
+            procs: Vec::new(),
+            threads: Vec::new(),
+            runq: VecDeque::new(),
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            vfs: Vfs::new(),
+            shm: ShmStore::default(),
+            swapper: None,
+            ata: None,
+            io_pages: 0,
+        };
+        kernel.swapper = Some(kernel.spawn_kernel_thread("swapper"));
+        kernel.ata = Some(kernel.spawn_kernel_thread("ata_sff/0"));
+        kernel
+    }
+
+    /// The well-known region names.
+    pub fn well_known(&self) -> WellKnown {
+        self.wk
+    }
+
+    /// Read access to the tracer (for summaries).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the tracer (for interning / direct charges).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Interns a region name.
+    pub fn intern_region(&mut self, name: &str) -> NameId {
+        self.tracer.intern_region(name)
+    }
+
+    /// Current simulated time in ticks.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The idle process/thread.
+    pub fn swapper(&self) -> (Pid, Tid) {
+        self.swapper.expect("swapper spawned in Kernel::new")
+    }
+
+    /// The storage kernel thread the paper's SPEC runs compete with.
+    pub fn ata(&self) -> (Pid, Tid) {
+        self.ata.expect("ata_sff/0 spawned in Kernel::new")
+    }
+
+    /// The virtual filesystem.
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
+    }
+
+    /// Mutable filesystem access (to register benchmark inputs).
+    pub fn vfs_mut(&mut self) -> &mut Vfs {
+        &mut self.vfs
+    }
+
+    /// Total 4 KiB pages of device I/O performed so far.
+    pub fn io_pages(&self) -> u64 {
+        self.io_pages
+    }
+
+    // ---- process / thread management -------------------------------------
+
+    /// Spawns a user process whose threads default to charging the
+    /// `app binary` code region.
+    pub fn spawn_process(&mut self, name: &str) -> Pid {
+        self.spawn_process_with_code(name, self.wk.app_binary)
+    }
+
+    /// Spawns a user process with an explicit default code region.
+    pub fn spawn_process_with_code(&mut self, name: &str, default_code: NameId) -> Pid {
+        let pid = self.tracer.register_process(name);
+        debug_assert_eq!(pid.as_u32() as usize, self.procs.len());
+        self.procs.push(Process::new(
+            pid,
+            name,
+            self.wk.heap,
+            self.wk.anonymous,
+            self.wk.app_binary,
+            default_code,
+        ));
+        pid
+    }
+
+    /// Forks `parent` zygote-style: the child inherits the parent's
+    /// mappings and memory contents but starts with no threads.
+    pub fn fork_process(&mut self, parent: Pid, name: &str) -> Pid {
+        let pid = self.tracer.register_process(name);
+        debug_assert_eq!(pid.as_u32() as usize, self.procs.len());
+        let child = self.procs[parent.as_u32() as usize].fork_as(pid, name);
+        self.procs.push(child);
+        pid
+    }
+
+    /// Spawns a kernel thread, modeled as a single-thread process charging
+    /// the `OS kernel` region (kernel threads appear as processes in the
+    /// paper's figures).
+    pub fn spawn_kernel_thread(&mut self, name: &str) -> (Pid, Tid) {
+        let pid = self.spawn_process_with_code(name, self.wk.os_kernel);
+        let tid = self.spawn_thread(pid, name, Box::new(Inert));
+        (pid, tid)
+    }
+
+    /// Spawns a thread in `pid` using the process's default code region.
+    pub fn spawn_thread(&mut self, pid: Pid, name: &str, actor: Box<dyn Actor>) -> Tid {
+        let code = self.procs[pid.as_u32() as usize].default_code();
+        self.spawn_thread_in(pid, name, code, actor)
+    }
+
+    /// Spawns a thread with an explicit default code region (e.g. a Dalvik
+    /// thread whose home is `libdvm.so`).
+    pub fn spawn_thread_in(
+        &mut self,
+        pid: Pid,
+        name: &str,
+        default_code: NameId,
+        actor: Box<dyn Actor>,
+    ) -> Tid {
+        let tid = self.tracer.register_thread(pid, name);
+        debug_assert_eq!(tid.as_u32() as usize, self.threads.len());
+        let proc = &mut self.procs[pid.as_u32() as usize];
+        proc.space.map_stack(self.wk.stack);
+        proc.add_thread(tid);
+        self.threads
+            .push(Thread::new(tid, pid, name, default_code, actor));
+        self.deliver(tid, Message::start());
+        tid
+    }
+
+    /// Maps a library into `pid` (text + data VMAs named `name`).
+    pub fn map_lib(&mut self, pid: Pid, name: &str, text_len: u64, data_len: u64) -> LibHandle {
+        let name_id = self.tracer.intern_region(name);
+        self.procs[pid.as_u32() as usize].map_lib(name, name_id, text_len, data_len)
+    }
+
+    /// Shared access to a process.
+    pub fn process(&self, pid: Pid) -> &Process {
+        &self.procs[pid.as_u32() as usize]
+    }
+
+    /// Mutable access to a process.
+    pub fn process_mut(&mut self, pid: Pid) -> &mut Process {
+        &mut self.procs[pid.as_u32() as usize]
+    }
+
+    /// Shared access to a thread.
+    pub fn thread(&self, tid: Tid) -> &Thread {
+        &self.threads[tid.as_u32() as usize]
+    }
+
+    /// Number of processes ever spawned.
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Number of threads ever spawned.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    // ---- messaging --------------------------------------------------------
+
+    /// Enqueues `msg` for `tid` immediately.
+    pub fn send(&mut self, tid: Tid, msg: Message) {
+        self.deliver(tid, msg);
+    }
+
+    /// Schedules `msg` for delivery to `tid` after `delay` ticks.
+    pub fn send_after(&mut self, delay: u64, tid: Tid, msg: Message) {
+        let time = self.now + delay;
+        self.seq += 1;
+        self.events.push(Ev {
+            time,
+            seq: self.seq,
+            tid,
+            msg,
+        });
+    }
+
+    pub(crate) fn deliver(&mut self, tid: Tid, msg: Message) {
+        let thread = &mut self.threads[tid.as_u32() as usize];
+        if !thread.is_alive() {
+            return;
+        }
+        thread.mailbox.push_back(msg);
+        if !thread.queued {
+            thread.queued = true;
+            self.runq.push_back(tid);
+        }
+    }
+
+    // ---- run loop ----------------------------------------------------------
+
+    /// Runs until no runnable threads and no pending events remain.
+    pub fn run_to_idle(&mut self) {
+        loop {
+            while self.dispatch_one() {}
+            if !self.pop_event_and_deliver(u64::MAX) {
+                break;
+            }
+        }
+    }
+
+    /// Runs for `ticks` simulated ticks from the current time.
+    pub fn run_for(&mut self, ticks: u64) {
+        let deadline = self.now.saturating_add(ticks);
+        self.run_until(deadline);
+    }
+
+    /// Runs until simulated time reaches at least `deadline` (or the
+    /// simulation goes idle first). Handlers are never preempted, so time
+    /// may overshoot by one handler's worth of work.
+    pub fn run_until(&mut self, deadline: u64) {
+        while self.now < deadline {
+            if self.dispatch_one() {
+                continue;
+            }
+            if !self.pop_event_and_deliver(deadline) {
+                // Idle until the deadline: only the swapper runs.
+                self.idle_advance(deadline);
+                break;
+            }
+        }
+    }
+
+    /// Dispatches one mailbox message; returns false if nothing is runnable.
+    fn dispatch_one(&mut self) -> bool {
+        let Some(tid) = self.runq.pop_front() else {
+            return false;
+        };
+        let thread = &mut self.threads[tid.as_u32() as usize];
+        thread.queued = false;
+        if !thread.is_alive() {
+            return true;
+        }
+        let Some(msg) = thread.mailbox.pop_front() else {
+            return true;
+        };
+        if !thread.mailbox.is_empty() {
+            thread.queued = true;
+            self.runq.push_back(tid);
+        }
+        self.run_handler(tid, msg);
+        true
+    }
+
+    fn run_handler(&mut self, tid: Tid, msg: Message) {
+        let (pid, code, mut actor) = {
+            let thread = &mut self.threads[tid.as_u32() as usize];
+            let Some(actor) = thread.actor.take() else {
+                // Actor gone (thread exited mid-queue); drop the message.
+                return;
+            };
+            (thread.pid(), thread.default_code, actor)
+        };
+        let is_start = msg.is_start();
+        {
+            let mut cx = Ctx::new(self, pid, tid, code);
+            if is_start {
+                actor.on_start(&mut cx);
+            } else {
+                actor.on_message(&mut cx, msg);
+            }
+        }
+        let thread = &mut self.threads[tid.as_u32() as usize];
+        if thread.is_alive() {
+            thread.actor = Some(actor);
+        }
+    }
+
+    /// Pops the earliest event if its time is ≤ `deadline`; returns whether
+    /// an event was delivered.
+    fn pop_event_and_deliver(&mut self, deadline: u64) -> bool {
+        match self.events.peek() {
+            Some(ev) if ev.time <= deadline => {
+                let ev = self.events.pop().expect("peeked event");
+                if ev.time > self.now {
+                    self.idle_advance(ev.time);
+                }
+                self.deliver(ev.tid, ev.msg);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Jumps time forward to `target`, charging the idle loop to `swapper`.
+    fn idle_advance(&mut self, target: u64) {
+        debug_assert!(target >= self.now);
+        let gap = target - self.now;
+        let idle_refs = gap / IDLE_DIVISOR;
+        if idle_refs > 0 {
+            let (pid, tid) = self.swapper();
+            self.tracer
+                .charge(pid, tid, self.wk.os_kernel, RefKind::InstrFetch, idle_refs);
+        }
+        self.now = target;
+    }
+
+    // ---- I/O ----------------------------------------------------------------
+
+    /// Reads file bytes with page-cache semantics, charging device I/O for
+    /// uncached pages to the `ata_sff/0` thread. Returns bytes read.
+    ///
+    /// The caller (via [`Ctx::fs_read`]) additionally pays the syscall and
+    /// copy-to-user costs in its own context.
+    pub(crate) fn fs_read_charged(&mut self, path: &str, offset: u64, buf: &mut [u8]) -> usize {
+        let n = self.vfs.read_at(path, offset, buf);
+        if n == 0 {
+            return 0;
+        }
+        let misses = self.vfs.touch_pages(path, offset, n as u64);
+        if misses > 0 {
+            self.io_pages += misses;
+            let (pid, tid) = self.ata();
+            let (f, r, w) = ATA_PAGE_COST;
+            self.tracer
+                .charge(pid, tid, self.wk.os_kernel, RefKind::InstrFetch, f * misses);
+            self.tracer
+                .charge(pid, tid, self.wk.os_kernel, RefKind::DataRead, r * misses);
+            self.tracer
+                .charge(pid, tid, self.wk.os_kernel, RefKind::DataWrite, w * misses);
+        }
+        n
+    }
+
+    /// Writes file bytes and bills the (asynchronous) writeback to the
+    /// `ata_sff/0` thread, one charge per dirtied page.
+    pub(crate) fn fs_write_charged(&mut self, path: &str, offset: u64, bytes: &[u8]) {
+        self.vfs.write_at(path, offset, bytes);
+        let pages = (bytes.len() as u64).div_ceil(agave_mem::PAGE_SIZE).max(1);
+        self.io_pages += pages;
+        let (pid, tid) = self.ata();
+        let (f, r, w) = ATA_PAGE_COST;
+        self.tracer
+            .charge(pid, tid, self.wk.os_kernel, RefKind::InstrFetch, f * pages);
+        self.tracer
+            .charge(pid, tid, self.wk.os_kernel, RefKind::DataRead, r * pages);
+        self.tracer
+            .charge(pid, tid, self.wk.os_kernel, RefKind::DataWrite, w * pages);
+    }
+
+    // ---- shared memory -------------------------------------------------------
+
+    /// Creates a shared segment charged against `region_name`.
+    pub fn shm_create(&mut self, region_name: NameId, len: usize) -> ShmId {
+        self.shm.create(region_name, len)
+    }
+
+    /// Length of a shared segment.
+    pub fn shm_len(&self, id: ShmId) -> usize {
+        self.shm.seg(id).data.len()
+    }
+
+    /// Uncharged read access to a shared segment's bytes (assertions,
+    /// checksums — not modeled accesses).
+    pub fn shm_bytes(&self, id: ShmId) -> &[u8] {
+        &self.shm.seg(id).data
+    }
+}

@@ -1,0 +1,160 @@
+//! Messages delivered to thread actors.
+
+use std::any::Any;
+use std::fmt;
+
+/// The payload carried by a [`Message`].
+///
+/// Most framework traffic uses [`Payload::None`] or [`Payload::Bytes`]
+/// (serialized parcels); [`Payload::Any`] lets higher layers pass arbitrary
+/// structured data between actors in the same simulation.
+#[derive(Default)]
+pub enum Payload {
+    /// No payload.
+    #[default]
+    None,
+    /// Raw bytes (e.g. a serialized parcel).
+    Bytes(Vec<u8>),
+    /// An arbitrary boxed value for intra-simulation plumbing.
+    Any(Box<dyn Any>),
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payload::None => write!(f, "None"),
+            Payload::Bytes(b) => write!(f, "Bytes({} bytes)", b.len()),
+            Payload::Any(_) => write!(f, "Any(..)"),
+        }
+    }
+}
+
+/// `what` code reserved for the actor-start notification; never delivered to
+/// `on_message`.
+pub(crate) const WHAT_START: u32 = u32::MAX;
+
+/// A message in a thread's mailbox, in the style of Android's
+/// `android.os.Message`.
+///
+/// # Example
+///
+/// ```
+/// use agave_kernel::Message;
+///
+/// let m = Message::new(42).arg1(7).arg2(-1);
+/// assert_eq!(m.what, 42);
+/// assert_eq!(m.arg1, 7);
+/// ```
+#[derive(Debug, Default)]
+pub struct Message {
+    /// User-defined message code.
+    pub what: u32,
+    /// First scalar argument.
+    pub arg1: i64,
+    /// Second scalar argument.
+    pub arg2: i64,
+    /// Optional payload.
+    pub payload: Payload,
+}
+
+impl Message {
+    /// Creates a message with the given `what` code and empty payload.
+    pub fn new(what: u32) -> Self {
+        Message {
+            what,
+            ..Default::default()
+        }
+    }
+
+    /// Sets `arg1` (builder style).
+    pub fn arg1(mut self, v: i64) -> Self {
+        self.arg1 = v;
+        self
+    }
+
+    /// Sets `arg2` (builder style).
+    pub fn arg2(mut self, v: i64) -> Self {
+        self.arg2 = v;
+        self
+    }
+
+    /// Attaches a byte payload.
+    pub fn bytes(mut self, b: Vec<u8>) -> Self {
+        self.payload = Payload::Bytes(b);
+        self
+    }
+
+    /// Attaches an arbitrary boxed payload.
+    pub fn any<T: Any>(mut self, v: T) -> Self {
+        self.payload = Payload::Any(Box::new(v));
+        self
+    }
+
+    /// Extracts a typed payload attached with [`Message::any`].
+    ///
+    /// Returns `None` if the payload is absent or of a different type.
+    pub fn take_any<T: Any>(&mut self) -> Option<Box<T>> {
+        match std::mem::take(&mut self.payload) {
+            Payload::Any(b) => match b.downcast::<T>() {
+                Ok(v) => Some(v),
+                Err(b) => {
+                    self.payload = Payload::Any(b);
+                    None
+                }
+            },
+            other => {
+                self.payload = other;
+                None
+            }
+        }
+    }
+
+    /// Borrows a byte payload attached with [`Message::bytes`].
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match &self.payload {
+            Payload::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn start() -> Self {
+        Message::new(WHAT_START)
+    }
+
+    pub(crate) fn is_start(&self) -> bool {
+        self.what == WHAT_START
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let m = Message::new(5).arg1(10).arg2(20);
+        assert_eq!((m.what, m.arg1, m.arg2), (5, 10, 20));
+    }
+
+    #[test]
+    fn any_payload_round_trips() {
+        let mut m = Message::new(1).any(String::from("hello"));
+        assert!(m.take_any::<u32>().is_none()); // wrong type preserved
+        let s = m.take_any::<String>().unwrap();
+        assert_eq!(*s, "hello");
+        assert!(m.take_any::<String>().is_none()); // consumed
+    }
+
+    #[test]
+    fn bytes_payload_borrowable() {
+        let m = Message::new(1).bytes(vec![1, 2, 3]);
+        assert_eq!(m.as_bytes(), Some(&[1u8, 2, 3][..]));
+        assert!(Message::new(1).as_bytes().is_none());
+    }
+
+    #[test]
+    fn start_marker_is_reserved() {
+        assert!(Message::start().is_start());
+        assert!(!Message::new(0).is_start());
+    }
+}

@@ -1,0 +1,250 @@
+//! Simulated processes and threads.
+
+use crate::actor::Actor;
+use crate::message::Message;
+use agave_mem::{Addr, AddressSpace, Allocation, Malloc, Perms};
+use agave_trace::{NameId, Pid, Tid};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Handle to a library mapped into a process: the region name references to
+/// its text/data are charged against, plus the mapped base addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LibHandle {
+    /// Region name for charging.
+    pub name: NameId,
+    /// Base of the text mapping.
+    pub text_base: Addr,
+    /// Base of the data mapping.
+    pub data_base: Addr,
+}
+
+/// A simulated process: an address space, a C allocator, mapped libraries
+/// and member threads.
+pub struct Process {
+    pid: Pid,
+    name: String,
+    /// The process's virtual address space. Public: the framework layers
+    /// set up mappings directly during process construction.
+    pub space: AddressSpace,
+    malloc: Malloc,
+    libs: HashMap<String, LibHandle>,
+    threads: Vec<Tid>,
+    default_code: NameId,
+    alive: bool,
+}
+
+impl fmt::Debug for Process {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Process")
+            .field("pid", &self.pid)
+            .field("name", &self.name)
+            .field("threads", &self.threads.len())
+            .field("libs", &self.libs.len())
+            .field("alive", &self.alive)
+            .finish()
+    }
+}
+
+impl Process {
+    pub(crate) fn new(
+        pid: Pid,
+        name: &str,
+        heap: NameId,
+        anonymous: NameId,
+        app_binary: NameId,
+        default_code: NameId,
+    ) -> Self {
+        let mut space = AddressSpace::new();
+        let malloc = Malloc::new(&mut space, heap, anonymous);
+        // Map the main executable image at the text base.
+        let layout = space.layout();
+        space.map_fixed(
+            Addr::new(layout.text_base),
+            512 * 1024,
+            app_binary,
+            Perms::RX,
+        );
+        Process {
+            pid,
+            name: name.to_owned(),
+            space,
+            malloc,
+            libs: HashMap::new(),
+            threads: Vec::new(),
+            default_code,
+            alive: true,
+        }
+    }
+
+    /// Forks a copy of this process (zygote-style): same mappings and bytes,
+    /// fresh pid/name, no threads.
+    pub(crate) fn fork_as(&self, pid: Pid, name: &str) -> Self {
+        Process {
+            pid,
+            name: name.to_owned(),
+            space: self.space.clone(),
+            malloc: Malloc::resume_from(&self.malloc),
+            libs: self.libs.clone(),
+            threads: Vec::new(),
+            default_code: self.default_code,
+            alive: true,
+        }
+    }
+
+    /// This process's pid.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Process name as shown in the paper's process figures.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the process is still running.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    pub(crate) fn kill(&mut self) {
+        self.alive = false;
+    }
+
+    /// Tids of member threads, in spawn order.
+    pub fn threads(&self) -> &[Tid] {
+        &self.threads
+    }
+
+    pub(crate) fn add_thread(&mut self, tid: Tid) {
+        self.threads.push(tid);
+    }
+
+    /// Default code region new threads of this process charge against.
+    pub fn default_code(&self) -> NameId {
+        self.default_code
+    }
+
+    /// Maps `name` as a shared library (text + data VMAs) and returns its
+    /// handle; idempotent per name.
+    pub fn map_lib(
+        &mut self,
+        name: &str,
+        name_id: NameId,
+        text_len: u64,
+        data_len: u64,
+    ) -> LibHandle {
+        if let Some(&h) = self.libs.get(name) {
+            return h;
+        }
+        let text_base = self.space.mmap(text_len.max(1), name_id, Perms::RX);
+        let data_base = self.space.mmap(data_len.max(1), name_id, Perms::RW);
+        let handle = LibHandle {
+            name: name_id,
+            text_base,
+            data_base,
+        };
+        self.libs.insert(name.to_owned(), handle);
+        handle
+    }
+
+    /// Looks up a previously mapped library by name.
+    pub fn lib(&self, name: &str) -> Option<LibHandle> {
+        self.libs.get(name).copied()
+    }
+
+    /// Number of mapped libraries.
+    pub fn lib_count(&self) -> usize {
+        self.libs.len()
+    }
+
+    /// Allocates from the process's C allocator.
+    pub fn malloc_alloc(&mut self, size: u64) -> Allocation {
+        self.malloc.alloc(&mut self.space, size)
+    }
+
+    /// Frees a block allocated with [`Process::malloc_alloc`].
+    pub fn malloc_free(&mut self, allocation: Allocation) {
+        self.malloc.free(&mut self.space, allocation);
+    }
+}
+
+/// A simulated thread: identity, mailbox, and (while alive) its actor.
+pub struct Thread {
+    tid: Tid,
+    pid: Pid,
+    name: String,
+    pub(crate) mailbox: VecDeque<Message>,
+    pub(crate) queued: bool,
+    pub(crate) actor: Option<Box<dyn Actor>>,
+    pub(crate) default_code: NameId,
+    /// Ticks of CPU time this thread has been charged (1 ref = 1 tick).
+    pub(crate) cpu_ticks: u64,
+    alive: bool,
+}
+
+impl fmt::Debug for Thread {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Thread")
+            .field("tid", &self.tid)
+            .field("pid", &self.pid)
+            .field("name", &self.name)
+            .field("mailbox", &self.mailbox.len())
+            .field("alive", &self.alive)
+            .finish()
+    }
+}
+
+impl Thread {
+    pub(crate) fn new(
+        tid: Tid,
+        pid: Pid,
+        name: &str,
+        default_code: NameId,
+        actor: Box<dyn Actor>,
+    ) -> Self {
+        Thread {
+            tid,
+            pid,
+            name: name.to_owned(),
+            mailbox: VecDeque::new(),
+            queued: false,
+            actor: Some(actor),
+            default_code,
+            cpu_ticks: 0,
+            alive: true,
+        }
+    }
+
+    /// CPU ticks this thread has consumed (one modeled reference = one
+    /// tick on the atomic CPU).
+    pub fn cpu_ticks(&self) -> u64 {
+        self.cpu_ticks
+    }
+
+    /// This thread's tid.
+    pub fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    /// Owning process.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Concrete thread name (before Table-I canonicalization).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the thread can still receive messages.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    pub(crate) fn kill(&mut self) {
+        self.alive = false;
+        self.actor = None;
+        self.mailbox.clear();
+    }
+}

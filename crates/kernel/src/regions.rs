@@ -1,0 +1,87 @@
+//! Well-known region names shared across the whole software stack.
+
+use agave_trace::{NameId, Tracer};
+
+/// Interned ids for the region names that appear in the paper's figure
+/// legends, resolved once at kernel construction.
+///
+/// Higher layers intern additional library names on demand; these are just
+/// the ones referenced from many crates.
+#[derive(Debug, Clone, Copy)]
+pub struct WellKnown {
+    /// `OS kernel` — kernel text and data.
+    pub os_kernel: NameId,
+    /// `app binary` — the process's main executable image.
+    pub app_binary: NameId,
+    /// `heap` — the brk-managed C heap.
+    pub heap: NameId,
+    /// `stack` — thread stacks.
+    pub stack: NameId,
+    /// `anonymous` — large-malloc/anonymous mmap regions.
+    pub anonymous: NameId,
+    /// `libc.so` — bionic.
+    pub libc: NameId,
+    /// `mspace` — Skia's dlmalloc arena (pixel scratch + generated blitters).
+    pub mspace: NameId,
+    /// `libdvm.so` — the Dalvik VM.
+    pub libdvm: NameId,
+    /// `libskia.so` — the 2D renderer.
+    pub libskia: NameId,
+    /// `libstagefright.so` — the media framework.
+    pub libstagefright: NameId,
+    /// `dalvik-heap` — the managed object heap.
+    pub dalvik_heap: NameId,
+    /// `dalvik-LinearAlloc` — class metadata arena.
+    pub dalvik_linear_alloc: NameId,
+    /// `dalvik-jit-code-cache` — the trace JIT's emitted code.
+    pub dalvik_jit: NameId,
+    /// `gralloc-buffer` — shared window surfaces.
+    pub gralloc: NameId,
+    /// `fb0 (frame buffer)` — the display framebuffer.
+    pub fb0: NameId,
+    /// `ashmem` — miscellaneous shared memory.
+    pub ashmem: NameId,
+    /// `/dev/binder` — the binder driver mapping.
+    pub dev_binder: NameId,
+}
+
+impl WellKnown {
+    /// Interns every well-known name into `tracer`.
+    pub fn intern(tracer: &mut Tracer) -> Self {
+        WellKnown {
+            os_kernel: tracer.intern_region("OS kernel"),
+            app_binary: tracer.intern_region("app binary"),
+            heap: tracer.intern_region("heap"),
+            stack: tracer.intern_region("stack"),
+            anonymous: tracer.intern_region("anonymous"),
+            libc: tracer.intern_region("libc.so"),
+            mspace: tracer.intern_region("mspace"),
+            libdvm: tracer.intern_region("libdvm.so"),
+            libskia: tracer.intern_region("libskia.so"),
+            libstagefright: tracer.intern_region("libstagefright.so"),
+            dalvik_heap: tracer.intern_region("dalvik-heap"),
+            dalvik_linear_alloc: tracer.intern_region("dalvik-LinearAlloc"),
+            dalvik_jit: tracer.intern_region("dalvik-jit-code-cache"),
+            gralloc: tracer.intern_region("gralloc-buffer"),
+            fb0: tracer.intern_region("fb0 (frame buffer)"),
+            ashmem: tracer.intern_region("ashmem"),
+            dev_binder: tracer.intern_region("/dev/binder"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut tracer = Tracer::new();
+        let a = WellKnown::intern(&mut tracer);
+        let b = WellKnown::intern(&mut tracer);
+        assert_eq!(a.os_kernel, b.os_kernel);
+        assert_eq!(a.fb0, b.fb0);
+        assert_eq!(tracer.resolve(a.fb0), "fb0 (frame buffer)");
+        assert_eq!(tracer.resolve(a.dalvik_jit), "dalvik-jit-code-cache");
+    }
+}

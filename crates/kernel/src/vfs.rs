@@ -1,0 +1,246 @@
+//! A miniature virtual filesystem with a page cache and deterministic
+//! synthetic file contents.
+//!
+//! Benchmark inputs (MP3s, EPUBs, APKs, SPEC data files) are registered as
+//! `(length, seed)` pairs; bytes are generated on demand from a
+//! split-mix-style hash so reads are reproducible without storing megabytes.
+//! The first read of each 4 KiB page is a *cache miss* that the kernel
+//! services through the `ata_sff/0` storage thread — the process SPEC
+//! workloads compete with in the paper's Figures 3 and 4.
+
+use agave_mem::PAGE_SIZE;
+use std::collections::{HashMap, HashSet};
+
+/// A registered file: deterministic base content plus an overlay of
+/// explicitly written bytes.
+#[derive(Debug, Clone)]
+struct FileNode {
+    len: u64,
+    seed: u64,
+    /// Sparse overlay of written bytes (offset → byte).
+    overlay: std::collections::BTreeMap<u64, u8>,
+}
+
+/// The in-simulator filesystem.
+///
+/// # Example
+///
+/// ```
+/// use agave_kernel::Vfs;
+///
+/// let mut vfs = Vfs::new();
+/// vfs.add_file("/sdcard/music/track.mp3", 3 << 20, 42);
+/// assert_eq!(vfs.file_len("/sdcard/music/track.mp3"), Some(3 << 20));
+/// let mut buf = [0u8; 16];
+/// let n = vfs.read_at("/sdcard/music/track.mp3", 100, &mut buf);
+/// assert_eq!(n, 16);
+/// ```
+#[derive(Debug, Default)]
+pub struct Vfs {
+    files: HashMap<String, FileNode>,
+    cached: HashSet<(String, u64)>,
+}
+
+impl Vfs {
+    /// Creates an empty filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a file of `len` bytes whose contents derive from `seed`.
+    ///
+    /// Re-registering a path replaces it and drops its cached pages.
+    pub fn add_file(&mut self, path: &str, len: u64, seed: u64) {
+        self.files.insert(
+            path.to_owned(),
+            FileNode {
+                len,
+                seed,
+                overlay: std::collections::BTreeMap::new(),
+            },
+        );
+        self.cached.retain(|(p, _)| p != path);
+    }
+
+    /// Writes `bytes` at `offset`, creating the file if needed and
+    /// extending its length. Written bytes shadow the generated content.
+    pub fn write_at(&mut self, path: &str, offset: u64, bytes: &[u8]) {
+        let node = self.files.entry(path.to_owned()).or_insert(FileNode {
+            len: 0,
+            seed: 0,
+            overlay: std::collections::BTreeMap::new(),
+        });
+        for (i, &b) in bytes.iter().enumerate() {
+            node.overlay.insert(offset + i as u64, b);
+        }
+        node.len = node.len.max(offset + bytes.len() as u64);
+    }
+
+    /// Length of a registered file.
+    pub fn file_len(&self, path: &str) -> Option<u64> {
+        self.files.get(path).map(|f| f.len)
+    }
+
+    /// Whether `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Reads up to `buf.len()` bytes at `offset`, returning bytes read
+    /// (0 at or past EOF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is not registered.
+    pub fn read_at(&self, path: &str, offset: u64, buf: &mut [u8]) -> usize {
+        let node = self
+            .files
+            .get(path)
+            .unwrap_or_else(|| panic!("vfs: no such file {path}"));
+        if offset >= node.len {
+            return 0;
+        }
+        let n = buf.len().min((node.len - offset) as usize);
+        for (i, b) in buf[..n].iter_mut().enumerate() {
+            let pos = offset + i as u64;
+            *b = node
+                .overlay
+                .get(&pos)
+                .copied()
+                .unwrap_or_else(|| content_byte(node.seed, pos));
+        }
+        n
+    }
+
+    /// Marks the pages overlapping `[offset, offset+len)` as cached and
+    /// returns how many were previously *uncached* (i.e. require device
+    /// I/O).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is not registered.
+    pub fn touch_pages(&mut self, path: &str, offset: u64, len: u64) -> u64 {
+        let node_len = self
+            .files
+            .get(path)
+            .unwrap_or_else(|| panic!("vfs: no such file {path}"))
+            .len;
+        if offset >= node_len || len == 0 {
+            return 0;
+        }
+        let end = (offset + len).min(node_len);
+        let first = offset / PAGE_SIZE;
+        let last = (end - 1) / PAGE_SIZE;
+        let mut misses = 0;
+        for page in first..=last {
+            if self.cached.insert((path.to_owned(), page)) {
+                misses += 1;
+            }
+        }
+        misses
+    }
+
+    /// Drops every cached page (e.g. between benchmark runs).
+    pub fn drop_caches(&mut self) {
+        self.cached.clear();
+    }
+
+    /// Number of registered files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+}
+
+/// Deterministic per-byte content generator (splitmix64-flavoured).
+fn content_byte(seed: u64, offset: u64) -> u8 {
+    let mut z = seed ^ offset.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_are_deterministic() {
+        let mut vfs = Vfs::new();
+        vfs.add_file("/a", 1000, 7);
+        let mut b1 = [0u8; 64];
+        let mut b2 = [0u8; 64];
+        vfs.read_at("/a", 10, &mut b1);
+        vfs.read_at("/a", 10, &mut b2);
+        assert_eq!(b1, b2);
+        let mut b3 = [0u8; 64];
+        vfs.read_at("/a", 11, &mut b3);
+        assert_ne!(b1, b3);
+    }
+
+    #[test]
+    fn eof_is_respected() {
+        let mut vfs = Vfs::new();
+        vfs.add_file("/a", 10, 1);
+        let mut buf = [0u8; 64];
+        assert_eq!(vfs.read_at("/a", 0, &mut buf), 10);
+        assert_eq!(vfs.read_at("/a", 10, &mut buf), 0);
+        assert_eq!(vfs.read_at("/a", 8, &mut buf), 2);
+    }
+
+    #[test]
+    fn page_cache_counts_misses_once() {
+        let mut vfs = Vfs::new();
+        vfs.add_file("/a", 3 * PAGE_SIZE, 1);
+        assert_eq!(vfs.touch_pages("/a", 0, 2 * PAGE_SIZE), 2);
+        assert_eq!(vfs.touch_pages("/a", 0, 2 * PAGE_SIZE), 0);
+        assert_eq!(vfs.touch_pages("/a", 2 * PAGE_SIZE, 1), 1);
+        vfs.drop_caches();
+        assert_eq!(vfs.touch_pages("/a", 0, 1), 1);
+    }
+
+    #[test]
+    fn touch_past_eof_is_zero() {
+        let mut vfs = Vfs::new();
+        vfs.add_file("/a", 100, 1);
+        assert_eq!(vfs.touch_pages("/a", 200, 10), 0);
+        assert_eq!(vfs.touch_pages("/a", 0, 0), 0);
+    }
+
+    #[test]
+    fn seeds_differentiate_files() {
+        let mut vfs = Vfs::new();
+        vfs.add_file("/a", 100, 1);
+        vfs.add_file("/b", 100, 2);
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        vfs.read_at("/a", 0, &mut a);
+        vfs.read_at("/b", 0, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn writes_shadow_generated_content_and_extend() {
+        let mut vfs = Vfs::new();
+        vfs.add_file("/a", 8, 1);
+        vfs.write_at("/a", 4, b"XYZ");
+        let mut buf = [0u8; 8];
+        assert_eq!(vfs.read_at("/a", 0, &mut buf), 8);
+        assert_eq!(&buf[4..7], b"XYZ");
+        // Extension past EOF grows the file.
+        vfs.write_at("/a", 20, b"!");
+        assert_eq!(vfs.file_len("/a"), Some(21));
+        // Creating a brand-new file by writing.
+        vfs.write_at("/new", 0, b"hello");
+        let mut out = [0u8; 5];
+        assert_eq!(vfs.read_at("/new", 0, &mut out), 5);
+        assert_eq!(&out, b"hello");
+    }
+
+    #[test]
+    #[should_panic(expected = "no such file")]
+    fn missing_file_panics() {
+        let vfs = Vfs::new();
+        let mut buf = [0u8; 1];
+        vfs.read_at("/missing", 0, &mut buf);
+    }
+}

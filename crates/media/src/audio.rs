@@ -1,0 +1,330 @@
+//! The audio transport: track buffers, `AudioTrackThread`, AudioFlinger.
+
+use agave_kernel::{Actor, Ctx, Kernel, Message, Pid, ShmId, TICKS_PER_MS};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Audio pull period: 20 ms, the classic AudioFlinger buffer interval.
+pub const AUDIO_PERIOD: u64 = 20 * TICKS_PER_MS;
+
+/// Bytes of 44.1 kHz stereo 16-bit PCM per period.
+pub(crate) const PERIOD_BYTES: usize = 44_100 / 50 * 2 * 2;
+
+/// Message: periodic tick for the audio threads.
+const MSG_TICK: u32 = 0x6174;
+/// Message: stop re-arming (end of run).
+pub(crate) const MSG_AUDIO_STOP: u32 = 0x6173;
+
+#[derive(Debug)]
+struct BusTrack {
+    /// App/decoder-side track buffer (ashmem).
+    track: ShmId,
+    /// AudioFlinger-side input buffer the AudioTrackThread fills.
+    mix_in: ShmId,
+    /// Bytes written by the producer, not yet shuttled.
+    pending: usize,
+    /// Bytes shuttled, not yet mixed.
+    mixable: usize,
+}
+
+/// The shared registry connecting producers, `AudioTrackThread`s and the
+/// AudioFlinger mixer.
+#[derive(Debug, Clone, Default)]
+pub struct AudioBus {
+    inner: Rc<RefCell<Vec<BusTrack>>>,
+}
+
+impl AudioBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a track, allocating its shared buffers.
+    pub fn create_track(&self, cx: &mut Ctx<'_>) -> AudioTrack {
+        let wk = cx.well_known();
+        let track = cx.shm_create(wk.ashmem, PERIOD_BYTES * 4);
+        let mix_in = cx.shm_create(wk.ashmem, PERIOD_BYTES * 4);
+        let mut tracks = self.inner.borrow_mut();
+        tracks.push(BusTrack {
+            track,
+            mix_in,
+            pending: 0,
+            mixable: 0,
+        });
+        AudioTrack {
+            bus: self.clone(),
+            index: tracks.len() - 1,
+        }
+    }
+
+    /// Number of registered tracks.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// Whether no tracks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+}
+
+/// A producer-side handle: decoders write PCM here.
+#[derive(Debug, Clone)]
+pub struct AudioTrack {
+    bus: AudioBus,
+    index: usize,
+}
+
+impl AudioTrack {
+    /// Writes interleaved PCM into the track buffer (charged to `ashmem`).
+    pub fn write_pcm(&self, cx: &mut Ctx<'_>, pcm: &[i16]) {
+        let (shm, cap) = {
+            let tracks = self.bus.inner.borrow();
+            let t = &tracks[self.index];
+            (t.track, cx.shm_len(t.track))
+        };
+        let bytes: Vec<u8> = pcm.iter().flat_map(|s| s.to_le_bytes()).collect();
+        let n = bytes.len().min(cap);
+        cx.shm_write(shm, 0, &bytes[..n]);
+        let mut tracks = self.bus.inner.borrow_mut();
+        let t = &mut tracks[self.index];
+        t.pending = (t.pending + n).min(cap);
+    }
+
+    /// Index of this track on its bus.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Spawns this track's `AudioTrackThread` in `pid` (the process that
+    /// owns the `AudioTrack` — the app for in-process decoders,
+    /// `mediaserver` for framework playback).
+    pub fn spawn_thread(&self, kernel: &mut Kernel, pid: Pid) -> agave_kernel::Tid {
+        let libmedia = kernel.intern_region("libmedia.so");
+        kernel.spawn_thread_in(
+            pid,
+            "AudioTrackThread",
+            libmedia,
+            Box::new(AudioTrackThread {
+                bus: self.bus.clone(),
+                index: self.index,
+                running: true,
+            }),
+        )
+    }
+}
+
+/// The per-track transport thread: shuttles produced PCM toward the mixer
+/// every period. Table I ranks this thread family at 5.9 % of suite
+/// references.
+pub struct AudioTrackThread {
+    bus: AudioBus,
+    index: usize,
+    running: bool,
+}
+
+impl Actor for AudioTrackThread {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        cx.post_self_after(AUDIO_PERIOD, Message::new(MSG_TICK));
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, msg: Message) {
+        match msg.what {
+            MSG_TICK => {
+                let (src, dst, n) = {
+                    let tracks = self.bus.inner.borrow();
+                    let t = &tracks[self.index];
+                    (t.track, t.mix_in, t.pending)
+                };
+                if n > 0 {
+                    // Resample/volume loop plus the ring-buffer double copy.
+                    let libmedia = cx.intern_region("libmedia.so");
+                    cx.call_lib(libmedia, 400 + n as u64 / 2);
+                    cx.shm_rw(src, n as u64 / 2, 0);
+                    cx.shm_rw(dst, 0, n as u64 / 2);
+                    cx.shm_copy(dst, 0, src, 0, n);
+                    let mut tracks = self.bus.inner.borrow_mut();
+                    let t = &mut tracks[self.index];
+                    t.pending = 0;
+                    t.mixable = n;
+                }
+                if self.running {
+                    cx.post_self_after(AUDIO_PERIOD, Message::new(MSG_TICK));
+                }
+            }
+            MSG_AUDIO_STOP => self.running = false,
+            _ => {}
+        }
+    }
+}
+
+/// The AudioFlinger mixer thread (lives in `mediaserver`): mixes every
+/// track with shuttled data into the HAL buffer each period.
+pub struct AudioFlingerThread {
+    bus: AudioBus,
+    hal: ShmId,
+    running: bool,
+}
+
+impl AudioFlingerThread {
+    /// Creates the mixer over an existing HAL buffer segment.
+    pub fn new(bus: AudioBus, hal: ShmId) -> Self {
+        AudioFlingerThread {
+            bus,
+            hal,
+            running: true,
+        }
+    }
+
+    /// Spawns the standard mixer thread in `pid` (normally `mediaserver`),
+    /// allocating the HAL buffer.
+    pub fn spawn(kernel: &mut Kernel, pid: Pid, bus: AudioBus) -> agave_kernel::Tid {
+        let wk = kernel.well_known();
+        let hal = kernel.shm_create(wk.ashmem, PERIOD_BYTES * 2);
+        let libaf = kernel.intern_region("libaudioflinger.so");
+        kernel.spawn_thread_in(
+            pid,
+            "AudioOut_1",
+            libaf,
+            Box::new(AudioFlingerThread::new(bus, hal)),
+        )
+    }
+}
+
+impl Actor for AudioFlingerThread {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        cx.post_self_after(AUDIO_PERIOD, Message::new(MSG_TICK));
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, msg: Message) {
+        match msg.what {
+            MSG_TICK => {
+                let pieces: Vec<(ShmId, usize)> = {
+                    let mut tracks = self.bus.inner.borrow_mut();
+                    tracks
+                        .iter_mut()
+                        .filter(|t| t.mixable > 0)
+                        .map(|t| {
+                            let n = t.mixable;
+                            t.mixable = 0;
+                            (t.mix_in, n)
+                        })
+                        .collect()
+                };
+                if !pieces.is_empty() {
+                    let libaf = cx.intern_region("libaudioflinger.so");
+                    for (shm, n) in pieces {
+                        // Mix loop: ~1 op/sample, read input, write HAL.
+                        cx.call_lib(libaf, n as u64 / 2);
+                        cx.charge_shm_mix(shm, self.hal, n);
+                    }
+                } else {
+                    let libaf = cx.intern_region("libaudioflinger.so");
+                    cx.call_lib(libaf, 80);
+                }
+                if self.running {
+                    cx.post_self_after(AUDIO_PERIOD, Message::new(MSG_TICK));
+                }
+            }
+            MSG_AUDIO_STOP => self.running = false,
+            _ => {}
+        }
+    }
+}
+
+/// Extension charging helper: mixing reads one segment and
+/// read-modify-writes another.
+trait MixCharge {
+    fn charge_shm_mix(&mut self, src: ShmId, dst: ShmId, n: usize);
+}
+
+impl MixCharge for Ctx<'_> {
+    fn charge_shm_mix(&mut self, src: ShmId, dst: ShmId, n: usize) {
+        let n = n.min(self.shm_len(src)).min(self.shm_len(dst));
+        // Read source samples, read+write destination (accumulate).
+        let mut buf = vec![0u8; n];
+        self.shm_read(src, 0, &mut buf);
+        let mut hal = vec![0u8; n];
+        self.shm_read(dst, 0, &mut hal);
+        for (h, s) in hal.iter_mut().zip(&buf) {
+            *h = h.wrapping_add(*s);
+        }
+        self.shm_write(dst, 0, &hal);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Producer {
+        track: Option<AudioTrack>,
+        bus: AudioBus,
+        bursts: u32,
+    }
+
+    impl Actor for Producer {
+        fn on_start(&mut self, cx: &mut Ctx<'_>) {
+            self.track = Some(self.bus.create_track(cx));
+            cx.post_self(Message::new(1));
+        }
+        fn on_message(&mut self, cx: &mut Ctx<'_>, _msg: Message) {
+            let pcm: Vec<i16> = (0..1764).map(|i| (i * 3) as i16).collect();
+            self.track.as_ref().unwrap().write_pcm(cx, &pcm);
+            self.bursts += 1;
+            if self.bursts < 8 {
+                cx.post_self_after(AUDIO_PERIOD, Message::new(1));
+            } else {
+                // Spawn-side AudioTrackThread is started by the test after
+                // the first burst; nothing more to do here.
+            }
+        }
+    }
+
+    #[test]
+    fn pcm_flows_through_track_thread_to_mixer() {
+        let mut kernel = Kernel::new();
+        let bus = AudioBus::new();
+
+        let media_pid = kernel.spawn_process("mediaserver");
+        AudioFlingerThread::spawn(&mut kernel, media_pid, bus.clone());
+
+        let app_pid = kernel.spawn_process("benchmark");
+        let app_tid = kernel.spawn_thread(
+            app_pid,
+            "main",
+            Box::new(Producer {
+                track: None,
+                bus: bus.clone(),
+                bursts: 0,
+            }),
+        );
+        let _ = app_tid;
+        // Run a little so the track exists, then attach its thread.
+        kernel.run_until(AUDIO_PERIOD / 2);
+        assert_eq!(bus.len(), 1);
+        let track = AudioTrack {
+            bus: bus.clone(),
+            index: 0,
+        };
+        track.spawn_thread(&mut kernel, app_pid);
+
+        kernel.run_until(AUDIO_PERIOD * 12);
+        let s = kernel.tracer().summarize("audio");
+        assert!(s.refs_by_thread["AudioTrackThread"] > 0);
+        assert!(s.refs_by_thread["AudioOut_1"] > 0);
+        assert!(s.instr_by_region["libaudioflinger.so"] > 0);
+        assert!(s.instr_by_region["libmedia.so"] > 0);
+        assert!(s.data_by_region["ashmem"] > 1000);
+        // Mixer work is attributed to mediaserver, shuttle to the app.
+        assert!(s.instr_by_process["mediaserver"] > 0);
+        assert!(s.instr_by_process["benchmark"] > 0);
+    }
+
+    #[test]
+    fn bus_registry_counts() {
+        let bus = AudioBus::new();
+        assert!(bus.is_empty());
+    }
+}

@@ -1,0 +1,249 @@
+//! The `media.player` binder service and its client wrapper.
+
+use crate::audio::AudioBus;
+use crate::session::{MediaSession, SessionOutput, MSG_SESSION_STOP};
+use agave_binder::{BinderProxy, BinderService, Parcel};
+use agave_gfx::SurfaceStore;
+use agave_kernel::{Ctx, Message, Tid};
+
+/// Transaction: open and start MP3 playback. Parcel: path, looping(0/1).
+/// Reply: status, session id.
+pub const MEDIA_OPEN_MP3: u32 = 1;
+/// Transaction: open and start MP4 video playback. Parcel: path, surface
+/// index, fps, bytes-per-frame, looping. Reply: status, session id.
+pub const MEDIA_OPEN_MP4: u32 = 2;
+/// Transaction: start (no-op — sessions autostart; kept for API shape).
+pub const MEDIA_START: u32 = 3;
+/// Transaction: stop a session. Parcel: session id.
+pub const MEDIA_STOP: u32 = 4;
+
+/// The Stagefright-backed `media.player` service hosted in `mediaserver`.
+///
+/// Opening a stream spawns a `TimedEventQueue` decode thread (and an
+/// `AudioTrackThread`) inside the **hosting** process — which is exactly
+/// how `mediaserver` comes to dominate `gallery.mp4.view` in the paper.
+pub struct MediaPlayerService {
+    bus: AudioBus,
+    surfaces: SurfaceStore,
+    sessions: Vec<Tid>,
+}
+
+impl MediaPlayerService {
+    /// Creates the service over the shared audio bus and surface store.
+    pub fn new(bus: AudioBus, surfaces: SurfaceStore) -> Self {
+        MediaPlayerService {
+            bus,
+            surfaces,
+            sessions: Vec::new(),
+        }
+    }
+
+    /// Number of sessions ever opened.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    fn open_mp3(&mut self, cx: &mut Ctx<'_>, path: &str, looping: bool) -> u32 {
+        let track = self.bus.create_track(cx);
+        let pid = cx.pid();
+        let session = MediaSession::new(
+            path,
+            "libstagefright.so",
+            SessionOutput::Audio(track.clone()),
+            looping,
+        );
+        let tid = cx.spawn_thread(pid, "TimedEventQueue", Box::new(session));
+        track.spawn_thread(cx.kernel(), pid);
+        self.sessions.push(tid);
+        self.sessions.len() as u32 - 1
+    }
+
+    fn open_mp4(
+        &mut self,
+        cx: &mut Ctx<'_>,
+        path: &str,
+        surface_index: usize,
+        fps: u32,
+        bytes_per_frame: usize,
+        looping: bool,
+    ) -> u32 {
+        let surface = self.surfaces.handle(surface_index);
+        surface.set_overlay(true);
+        let track = self.bus.create_track(cx);
+        let pid = cx.pid();
+        let session = MediaSession::new(
+            path,
+            "libstagefright.so",
+            SessionOutput::Video {
+                surface,
+                audio: Some(track.clone()),
+                fps,
+                bytes_per_frame,
+            },
+            looping,
+        );
+        let tid = cx.spawn_thread(pid, "TimedEventQueue", Box::new(session));
+        track.spawn_thread(cx.kernel(), pid);
+        self.sessions.push(tid);
+        self.sessions.len() as u32 - 1
+    }
+}
+
+impl BinderService for MediaPlayerService {
+    fn transact(&mut self, cx: &mut Ctx<'_>, code: u32, data: &mut Parcel) -> Parcel {
+        let lib = cx.well_known().libstagefright;
+        cx.call_lib(lib, 250); // MediaPlayerService dispatch
+        let mut reply = Parcel::new();
+        match code {
+            MEDIA_OPEN_MP3 => {
+                let path = data.read_str();
+                let looping = data.read_u32() != 0;
+                let id = self.open_mp3(cx, &path, looping);
+                reply.write_u32(0);
+                reply.write_u32(id);
+            }
+            MEDIA_OPEN_MP4 => {
+                let path = data.read_str();
+                let surface = data.read_u32() as usize;
+                let fps = data.read_u32();
+                let bpf = data.read_u32() as usize;
+                let looping = data.read_u32() != 0;
+                let id = self.open_mp4(cx, &path, surface, fps, bpf, looping);
+                reply.write_u32(0);
+                reply.write_u32(id);
+            }
+            MEDIA_START => {
+                let _ = data.read_u32();
+                reply.write_u32(0);
+            }
+            MEDIA_STOP => {
+                let id = data.read_u32() as usize;
+                if let Some(&tid) = self.sessions.get(id) {
+                    cx.send(tid, Message::new(MSG_SESSION_STOP));
+                    reply.write_u32(0);
+                } else {
+                    reply.write_u32(1);
+                }
+            }
+            other => panic!("media.player: unknown transaction {other}"),
+        }
+        reply
+    }
+}
+
+/// Client-side convenience wrapper over the `media.player` proxy.
+#[derive(Debug, Clone, Copy)]
+pub struct MediaPlayer {
+    proxy: BinderProxy,
+}
+
+impl MediaPlayer {
+    /// Wraps a resolved `media.player` proxy.
+    pub fn new(proxy: BinderProxy) -> Self {
+        MediaPlayer { proxy }
+    }
+
+    /// Opens and starts MP3 playback; returns the session id.
+    pub fn play_mp3(&self, cx: &mut Ctx<'_>, path: &str, looping: bool) -> u32 {
+        let jni = cx.intern_region("libmedia_jni.so");
+        cx.call_lib(jni, 600);
+        let mut p = Parcel::new();
+        p.write_str(path);
+        p.write_u32(u32::from(looping));
+        let mut reply = self.proxy.transact(cx, MEDIA_OPEN_MP3, &p);
+        assert_eq!(reply.read_u32(), 0, "media.player OPEN_MP3 failed");
+        reply.read_u32()
+    }
+
+    /// Opens and starts MP4 playback into surface `surface_index`.
+    pub fn play_mp4(
+        &self,
+        cx: &mut Ctx<'_>,
+        path: &str,
+        surface_index: usize,
+        fps: u32,
+        bytes_per_frame: usize,
+        looping: bool,
+    ) -> u32 {
+        let jni = cx.intern_region("libmedia_jni.so");
+        cx.call_lib(jni, 600);
+        let mut p = Parcel::new();
+        p.write_str(path);
+        p.write_u32(surface_index as u32);
+        p.write_u32(fps);
+        p.write_u32(bytes_per_frame as u32);
+        p.write_u32(u32::from(looping));
+        let mut reply = self.proxy.transact(cx, MEDIA_OPEN_MP4, &p);
+        assert_eq!(reply.read_u32(), 0, "media.player OPEN_MP4 failed");
+        reply.read_u32()
+    }
+
+    /// Stops a session.
+    pub fn stop(&self, cx: &mut Ctx<'_>, session: u32) {
+        let mut p = Parcel::new();
+        p.write_u32(session);
+        let mut reply = self.proxy.transact(cx, MEDIA_STOP, &p);
+        assert_eq!(reply.read_u32(), 0, "media.player STOP failed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agave_binder::BinderHost;
+    use agave_kernel::{Actor, Kernel};
+
+    #[test]
+    fn framework_playback_runs_inside_mediaserver() {
+        struct App {
+            player: MediaPlayer,
+        }
+        impl Actor for App {
+            fn on_message(&mut self, cx: &mut Ctx<'_>, _msg: Message) {
+                let id = self.player.play_mp3(cx, "/sdcard/music/track.mp3", false);
+                assert_eq!(id, 0);
+            }
+        }
+
+        let mut kernel = Kernel::new();
+        kernel
+            .vfs_mut()
+            .add_file("/sdcard/music/track.mp3", 417 * 20, 11);
+        let bus = AudioBus::new();
+        let surfaces = SurfaceStore::new();
+
+        let media_pid = kernel.spawn_process("mediaserver");
+        let svc_tid = kernel.spawn_thread(
+            media_pid,
+            "Binder Thread #1",
+            Box::new(BinderHost::new(MediaPlayerService::new(
+                bus.clone(),
+                surfaces,
+            ))),
+        );
+        crate::audio::AudioFlingerThread::spawn(&mut kernel, media_pid, bus);
+
+        let app_pid = kernel.spawn_process("benchmark");
+        let app_tid = kernel.spawn_thread(
+            app_pid,
+            "main",
+            Box::new(App {
+                player: MediaPlayer::new(BinderProxy::new(svc_tid)),
+            }),
+        );
+        kernel.send(app_tid, Message::new(0));
+        kernel.run_until(crate::audio::AUDIO_PERIOD * 30);
+
+        let s = kernel.tracer().summarize("t");
+        // Decode work landed in mediaserver, not the app.
+        let media_instr = s.instr_by_process["mediaserver"];
+        let app_instr = s.instr_by_process["benchmark"];
+        assert!(
+            media_instr > app_instr * 5,
+            "mediaserver {media_instr} should dwarf app {app_instr}"
+        );
+        assert!(s.refs_by_thread.contains_key("TimedEventQueue"));
+        assert!(s.refs_by_thread.contains_key("AudioTrackThread"));
+        assert!(s.instr_by_region["libstagefright.so"] > 0);
+    }
+}

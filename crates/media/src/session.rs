@@ -1,0 +1,255 @@
+//! Decode-loop sessions: the thread that actually plays a file.
+
+use crate::audio::{AudioTrack, AUDIO_PERIOD};
+use crate::codec::{Mp3Decoder, Mp4VideoDecoder, MP3_FRAME_BYTES};
+use agave_kernel::{Actor, Ctx, Message, TICKS_PER_MS};
+use agave_gfx::{Bitmap, SurfaceHandle};
+
+/// Message: decode the next chunk.
+pub(crate) const MSG_SESSION_TICK: u32 = 0x6d74;
+/// Message: stop playback.
+pub(crate) const MSG_SESSION_STOP: u32 = 0x6d73;
+
+/// Where a session's decoded output goes.
+pub enum SessionOutput {
+    /// Audio-only playback into a track.
+    Audio(AudioTrack),
+    /// Video playback into a surface, with optional audio.
+    Video {
+        /// Target window surface.
+        surface: SurfaceHandle,
+        /// Accompanying audio track, if any.
+        audio: Option<AudioTrack>,
+        /// Frames per second.
+        fps: u32,
+        /// Video bytes consumed per frame (bitrate / fps).
+        bytes_per_frame: usize,
+    },
+}
+
+/// A playback session: an actor that reads the source file, decodes, and
+/// pushes output every period until EOF (or forever, when looping).
+///
+/// Spawn it in `mediaserver` for framework playback or in the app process
+/// for VLC-style in-process decoding; the charging follows the hosting
+/// process automatically.
+pub struct MediaSession {
+    path: String,
+    codec_lib: String,
+    output: SessionOutput,
+    looping: bool,
+    offset: u64,
+    mp3: Option<Mp3Decoder>,
+    mp4: Option<Mp4VideoDecoder>,
+    running: bool,
+    frames_out: u64,
+}
+
+impl MediaSession {
+    /// Creates a session playing `path`, charging decode work to
+    /// `codec_lib` (e.g. `"libstagefright.so"` or `"libvlccore.so"`).
+    pub fn new(path: &str, codec_lib: &str, output: SessionOutput, looping: bool) -> Self {
+        MediaSession {
+            path: path.to_owned(),
+            codec_lib: codec_lib.to_owned(),
+            output,
+            looping,
+            offset: 0,
+            mp3: None,
+            mp4: None,
+            running: true,
+            frames_out: 0,
+        }
+    }
+
+    fn period(&self) -> u64 {
+        match &self.output {
+            SessionOutput::Audio(_) => AUDIO_PERIOD,
+            SessionOutput::Video { fps, .. } => {
+                (1000 / u64::from((*fps).max(1))) * TICKS_PER_MS
+            }
+        }
+    }
+
+    fn tick(&mut self, cx: &mut Ctx<'_>) {
+        let lib = cx.intern_region(&self.codec_lib);
+        // Snapshot output handles so decoder state can be borrowed mutably.
+        enum Plan {
+            Audio(AudioTrack),
+            Video {
+                surface: SurfaceHandle,
+                audio: Option<AudioTrack>,
+                bytes_per_frame: usize,
+            },
+        }
+        let plan = match &self.output {
+            SessionOutput::Audio(track) => Plan::Audio(track.clone()),
+            SessionOutput::Video {
+                surface,
+                audio,
+                bytes_per_frame,
+                ..
+            } => Plan::Video {
+                surface: surface.clone(),
+                audio: audio.clone(),
+                bytes_per_frame: *bytes_per_frame,
+            },
+        };
+        match plan {
+            Plan::Audio(track) => {
+                let mut buf = [0u8; MP3_FRAME_BYTES];
+                let n = cx.fs_read(&self.path, self.offset, &mut buf);
+                if n == 0 {
+                    if self.looping {
+                        self.offset = 0;
+                    } else {
+                        self.running = false;
+                    }
+                    return;
+                }
+                self.offset += n as u64;
+                let decoder = self.mp3.get_or_insert_with(|| Mp3Decoder::new(lib));
+                let pcm = decoder.decode_frame(cx, &buf[..n]);
+                track.write_pcm(cx, &pcm);
+                self.frames_out += 1;
+            }
+            Plan::Video {
+                surface,
+                audio,
+                bytes_per_frame,
+            } => {
+                let bpf = bytes_per_frame;
+                let mut buf = vec![0u8; bpf];
+                let n = cx.fs_read(&self.path, self.offset, &mut buf);
+                if n == 0 {
+                    if self.looping {
+                        self.offset = 0;
+                    } else {
+                        self.running = false;
+                    }
+                    return;
+                }
+                self.offset += n as u64;
+                let (w, h) = (surface.width(), surface.height());
+                let decoder = self
+                    .mp4
+                    .get_or_insert_with(|| Mp4VideoDecoder::new(lib, w, h));
+                let pixels = decoder.decode_frame(cx, &buf[..n]);
+                let frame = Bitmap::from_rgb565(w, h, &pixels);
+                surface.post_buffer(cx, &frame);
+                // Interleaved audio frame from the same container.
+                if let Some(track) = audio {
+                    let mut abuf = [0u8; MP3_FRAME_BYTES];
+                    let an = cx.fs_read(&self.path, self.offset, &mut abuf);
+                    if an > 0 {
+                        self.offset += an as u64;
+                        let adec = self.mp3.get_or_insert_with(|| Mp3Decoder::new(lib));
+                        let pcm = adec.decode_frame(cx, &abuf[..an]);
+                        track.write_pcm(cx, &pcm);
+                    }
+                }
+                self.frames_out += 1;
+            }
+        }
+    }
+}
+
+impl Actor for MediaSession {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        cx.post_self(Message::new(MSG_SESSION_TICK));
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, msg: Message) {
+        match msg.what {
+            MSG_SESSION_TICK if self.running => {
+                self.tick(cx);
+                if self.running {
+                    cx.post_self_after(self.period(), Message::new(MSG_SESSION_TICK));
+                }
+            }
+            MSG_SESSION_STOP => self.running = false,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audio::AudioBus;
+    use agave_kernel::Kernel;
+
+    #[test]
+    fn audio_session_decodes_until_eof() {
+        struct Boot {
+            bus: AudioBus,
+        }
+        impl Actor for Boot {
+            fn on_start(&mut self, cx: &mut Ctx<'_>) {
+                let track = self.bus.create_track(cx);
+                let pid = cx.pid();
+                let session = MediaSession::new(
+                    "/sdcard/short.mp3",
+                    "libstagefright.so",
+                    SessionOutput::Audio(track),
+                    false,
+                );
+                cx.spawn_thread(pid, "TimedEventQueue", Box::new(session));
+            }
+            fn on_message(&mut self, _cx: &mut Ctx<'_>, _msg: Message) {}
+        }
+
+        let mut kernel = Kernel::new();
+        // 5 full frames + a partial tail.
+        kernel
+            .vfs_mut()
+            .add_file("/sdcard/short.mp3", (MP3_FRAME_BYTES * 5 + 100) as u64, 3);
+        let bus = AudioBus::new();
+        let pid = kernel.spawn_process("mediaserver");
+        kernel.spawn_thread(pid, "main", Box::new(Boot { bus: bus.clone() }));
+        kernel.run_until(AUDIO_PERIOD * 20);
+
+        let s = kernel.tracer().summarize("t");
+        assert!(s.instr_by_region["libstagefright.so"] > 0);
+        assert!(s.data_by_region["ashmem"] > 0);
+        assert!(s.refs_by_thread.contains_key("TimedEventQueue"));
+        // EOF reached: no decode work scheduled at the end.
+        let before = kernel.tracer().grand_total();
+        kernel.run_until(kernel.now() + AUDIO_PERIOD * 10);
+        let after = kernel.tracer().grand_total();
+        // Only idle/swapper churn remains.
+        assert!(after - before < 10_000, "session kept running after EOF");
+    }
+
+    #[test]
+    fn looping_session_restarts_at_eof() {
+        struct Boot {
+            bus: AudioBus,
+        }
+        impl Actor for Boot {
+            fn on_start(&mut self, cx: &mut Ctx<'_>) {
+                let track = self.bus.create_track(cx);
+                let pid = cx.pid();
+                let session = MediaSession::new(
+                    "/sdcard/loop.mp3",
+                    "libvlccore.so",
+                    SessionOutput::Audio(track),
+                    true,
+                );
+                cx.spawn_thread(pid, "vlc-input", Box::new(session));
+            }
+            fn on_message(&mut self, _cx: &mut Ctx<'_>, _msg: Message) {}
+        }
+        let mut kernel = Kernel::new();
+        kernel
+            .vfs_mut()
+            .add_file("/sdcard/loop.mp3", MP3_FRAME_BYTES as u64 * 2, 4);
+        let bus = AudioBus::new();
+        let pid = kernel.spawn_process("vlc");
+        kernel.spawn_thread(pid, "main", Box::new(Boot { bus }));
+        kernel.run_until(AUDIO_PERIOD * 30);
+        let s = kernel.tracer().summarize("t");
+        // Still producing long after the 2-frame file would have ended.
+        assert!(s.instr_by_region["libvlccore.so"] > 20 * 40 * MP3_FRAME_BYTES as u64 / 10);
+    }
+}

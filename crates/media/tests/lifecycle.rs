@@ -1,0 +1,106 @@
+//! Media lifecycle integration: stop transactions, multiple sessions,
+//! session EOF interplay with the audio transport.
+
+use agave_binder::{BinderHost, BinderProxy};
+use agave_kernel::{Actor, Ctx, Kernel, Message};
+use agave_media::{
+    AudioBus, AudioFlingerThread, MediaPlayer, MediaPlayerService, AUDIO_PERIOD, MP3_FRAME_BYTES,
+};
+use agave_gfx::SurfaceStore;
+
+fn media_world() -> (Kernel, BinderProxy) {
+    let mut kernel = Kernel::new();
+    kernel
+        .vfs_mut()
+        .add_file("/sdcard/music/track.mp3", (MP3_FRAME_BYTES * 500) as u64, 5);
+    let bus = AudioBus::new();
+    let surfaces = SurfaceStore::new();
+    let media_pid = kernel.spawn_process("mediaserver");
+    let svc = kernel.spawn_thread(
+        media_pid,
+        "Binder Thread #1",
+        Box::new(BinderHost::new(MediaPlayerService::new(
+            bus.clone(),
+            surfaces,
+        ))),
+    );
+    AudioFlingerThread::spawn(&mut kernel, media_pid, bus);
+    (kernel, BinderProxy::new(svc))
+}
+
+#[test]
+fn stop_halts_the_decode_loop() {
+    struct App {
+        player: MediaPlayer,
+        session: Option<u32>,
+    }
+    impl Actor for App {
+        fn on_message(&mut self, cx: &mut Ctx<'_>, msg: Message) {
+            match msg.what {
+                1 => {
+                    self.session = Some(self.player.play_mp3(cx, "/sdcard/music/track.mp3", true));
+                }
+                2 => {
+                    self.player.stop(cx, self.session.expect("started"));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let (mut kernel, proxy) = media_world();
+    let app_pid = kernel.spawn_process("benchmark");
+    let app = kernel.spawn_thread(
+        app_pid,
+        "main",
+        Box::new(App {
+            player: MediaPlayer::new(proxy),
+            session: None,
+        }),
+    );
+    kernel.send(app, Message::new(1));
+    kernel.run_until(AUDIO_PERIOD * 20);
+    kernel.send(app, Message::new(2));
+    kernel.run_until(kernel.now() + AUDIO_PERIOD * 2);
+
+    // After stop: only periodic transport/mixer upkeep remains.
+    let stagefright_before = kernel.tracer().summarize("t").instr_by_region["libstagefright.so"];
+    kernel.run_until(kernel.now() + AUDIO_PERIOD * 20);
+    let stagefright_after = kernel.tracer().summarize("t").instr_by_region["libstagefright.so"];
+    assert_eq!(
+        stagefright_before, stagefright_after,
+        "decoding continued after STOP"
+    );
+}
+
+#[test]
+fn two_sessions_mix_into_one_bus() {
+    struct App {
+        player: MediaPlayer,
+    }
+    impl Actor for App {
+        fn on_message(&mut self, cx: &mut Ctx<'_>, _msg: Message) {
+            let a = self.player.play_mp3(cx, "/sdcard/music/track.mp3", true);
+            let b = self.player.play_mp3(cx, "/sdcard/music/track.mp3", true);
+            assert_ne!(a, b, "session ids must be distinct");
+        }
+    }
+    let (mut kernel, proxy) = media_world();
+    let app_pid = kernel.spawn_process("benchmark");
+    let app = kernel.spawn_thread(
+        app_pid,
+        "main",
+        Box::new(App {
+            player: MediaPlayer::new(proxy),
+        }),
+    );
+    kernel.send(app, Message::new(0));
+    kernel.run_until(AUDIO_PERIOD * 20);
+    let s = kernel.tracer().summarize("t");
+    // Two decode threads and two transport threads ran in mediaserver.
+    assert!(s.refs_by_thread["TimedEventQueue"] > 0);
+    assert!(s.refs_by_thread["AudioTrackThread"] > 0);
+    // Mixer saw both.
+    assert!(s.refs_by_thread["AudioOut_1"] > 0);
+    assert!(s.spawned_threads >= 8);
+}

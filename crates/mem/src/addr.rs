@@ -1,0 +1,148 @@
+//! Virtual addresses and page arithmetic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Size of a simulated page, matching the ARM Linux kernel the paper ran.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A simulated 32-bit-style virtual address (stored as `u64` for headroom).
+///
+/// # Example
+///
+/// ```
+/// use agave_mem::Addr;
+///
+/// let a = Addr::new(0x4000_0000);
+/// assert_eq!((a + 16) - a, 16);
+/// assert_eq!(a.page_index(), 0x4000_0000 / 4096);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The null address.
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates an address from its numeric value.
+    pub const fn new(value: u64) -> Self {
+        Addr(value)
+    }
+
+    /// Numeric value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Index of the page containing this address.
+    pub const fn page_index(self) -> u64 {
+        self.0 / PAGE_SIZE
+    }
+
+    /// Byte offset within the containing page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+
+    /// True if this is the null address.
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked addition, `None` on overflow.
+    pub fn checked_add(self, rhs: u64) -> Option<Addr> {
+        self.0.checked_add(rhs).map(Addr)
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Addr {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = u64;
+    fn sub(self, rhs: Addr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl Sub<u64> for Addr {
+    type Output = Addr;
+    fn sub(self, rhs: u64) -> Addr {
+        Addr(self.0 - rhs)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:08x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// Rounds `value` down to a page boundary.
+pub const fn page_floor(value: u64) -> u64 {
+    value & !(PAGE_SIZE - 1)
+}
+
+/// Rounds `value` up to a page boundary.
+pub const fn page_ceil(value: u64) -> u64 {
+    (value + PAGE_SIZE - 1) & !(PAGE_SIZE - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Addr::new(100);
+        assert_eq!((a + 28).value(), 128);
+        assert_eq!((a + 28) - a, 28);
+        assert_eq!((a - 50).value(), 50);
+    }
+
+    #[test]
+    fn page_math() {
+        assert_eq!(page_floor(4095), 0);
+        assert_eq!(page_floor(4096), 4096);
+        assert_eq!(page_ceil(1), 4096);
+        assert_eq!(page_ceil(4096), 4096);
+        assert_eq!(page_ceil(0), 0);
+        let a = Addr::new(PAGE_SIZE + 5);
+        assert_eq!(a.page_index(), 1);
+        assert_eq!(a.page_offset(), 5);
+    }
+
+    #[test]
+    fn null_checks() {
+        assert!(Addr::NULL.is_null());
+        assert!(!Addr::new(1).is_null());
+        assert_eq!(Addr::default(), Addr::NULL);
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        assert_eq!(Addr::new(0x40001000).to_string(), "0x40001000");
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert!(Addr::new(u64::MAX).checked_add(1).is_none());
+        assert_eq!(Addr::new(1).checked_add(1), Some(Addr::new(2)));
+    }
+}

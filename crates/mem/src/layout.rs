@@ -1,0 +1,54 @@
+//! Standard process address-space layout, modeled on 32-bit ARM Linux.
+
+/// Base addresses used when constructing a fresh [`crate::AddressSpace`].
+///
+/// The values follow the classic 3G/1G split of the ARM Linux kernel the
+/// paper ran (2.6.35): program text low, brk heap above it, `mmap` area in
+/// the middle of the address space, stacks below the kernel boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Where the main executable is mapped.
+    pub text_base: u64,
+    /// Start of the brk-managed `heap` VMA.
+    pub heap_base: u64,
+    /// First address handed out by `mmap`.
+    pub mmap_base: u64,
+    /// Top of the first (main) thread stack; further stacks grow downward
+    /// from just below the previous one.
+    pub stack_top: u64,
+    /// Default per-thread stack reservation in bytes.
+    pub stack_size: u64,
+}
+
+impl Layout {
+    /// The default ARM-Linux-like layout.
+    pub const fn arm_linux() -> Self {
+        Layout {
+            text_base: 0x0000_8000,
+            heap_base: 0x0010_0000,
+            mmap_base: 0x4000_0000,
+            stack_top: 0xbf00_0000,
+            stack_size: 1024 * 1024,
+        }
+    }
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Self::arm_linux()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_arm_linux() {
+        let l = Layout::default();
+        assert_eq!(l, Layout::arm_linux());
+        assert!(l.text_base < l.heap_base);
+        assert!(l.heap_base < l.mmap_base);
+        assert!(l.mmap_base < l.stack_top);
+    }
+}

@@ -1,0 +1,49 @@
+//! Simulated virtual memory for the Agave Android-stack simulator.
+//!
+//! Each simulated process owns an [`AddressSpace`]: an ordered set of named
+//! [`Vma`]s (virtual memory areas) backed by a lazily-populated paged byte
+//! store. Region *names* mirror the `/proc/<pid>/maps` backing objects the
+//! paper classifies references by (`libdvm.so`, `heap`, `anonymous`,
+//! `gralloc-buffer`, `fb0`, …).
+//!
+//! Two allocator models sit on top:
+//!
+//! * [`Malloc`] — the C library allocator: small allocations extend the
+//!   `heap` VMA via `brk`, allocations above [`MMAP_THRESHOLD`] get their own
+//!   `anonymous` mmap, exactly the behaviour the paper points out for
+//!   429.mcf-style workloads.
+//! * [`Mspace`] — a dlmalloc *mspace*, the private arena Skia uses for pixel
+//!   scratch buffers (and where Gingerbread keeps generated blitter code) —
+//!   the dominant instruction region of the paper's Figure 1.
+//!
+//! # Example
+//!
+//! ```
+//! use agave_mem::{AddressSpace, Perms, PAGE_SIZE};
+//! use agave_trace::NameTable;
+//!
+//! let mut names = NameTable::new();
+//! let heap = names.intern("heap");
+//! let mut space = AddressSpace::new();
+//! let addr = space.mmap(4 * PAGE_SIZE, heap, Perms::RW);
+//! space.write_u32(addr, 0xdead_beef);
+//! assert_eq!(space.read_u32(addr), 0xdead_beef);
+//! assert_eq!(space.region_name(addr), Some(heap));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod layout;
+mod malloc;
+mod mspace;
+mod space;
+mod vma;
+
+pub use addr::{page_ceil, page_floor, Addr, PAGE_SIZE};
+pub use layout::Layout;
+pub use malloc::{Allocation, AllocationKind, Malloc, MMAP_THRESHOLD};
+pub use mspace::Mspace;
+pub use space::AddressSpace;
+pub use vma::{Perms, Vma};

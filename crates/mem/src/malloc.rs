@@ -1,0 +1,267 @@
+//! A behavioral model of the C library allocator.
+//!
+//! Mirrors the two glibc/bionic paths the paper's Figure 2 exposes:
+//! requests below [`MMAP_THRESHOLD`] are carved from the brk-managed `heap`
+//! VMA; larger requests get a dedicated `anonymous` mmap — which is why
+//! 429.mcf's giant arc arrays show up under *anonymous* rather than *heap*
+//! in the paper.
+
+use crate::addr::{page_ceil, Addr};
+use crate::space::AddressSpace;
+use crate::vma::Perms;
+use agave_trace::NameId;
+use std::collections::BTreeMap;
+
+/// Requests at or above this many bytes are served by anonymous `mmap`
+/// instead of the brk heap (glibc's default `M_MMAP_THRESHOLD`).
+pub const MMAP_THRESHOLD: u64 = 128 * 1024;
+
+/// Minimum alignment/granule of heap allocations.
+const GRANULE: u64 = 16;
+/// How much the heap is grown per `sbrk` when it runs out.
+const SBRK_CHUNK: u64 = 64 * 1024;
+
+/// Where an [`Allocation`] was placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocationKind {
+    /// Inside the brk-managed `heap` VMA.
+    Heap,
+    /// In a dedicated `anonymous` mmap region.
+    Anonymous,
+}
+
+/// A block handed out by [`Malloc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    /// Base address of the usable block.
+    pub addr: Addr,
+    /// Rounded-up size actually reserved.
+    pub size: u64,
+    /// Which arena served it.
+    pub kind: AllocationKind,
+}
+
+/// The C-library allocator model for one process.
+///
+/// # Example
+///
+/// ```
+/// use agave_mem::{AddressSpace, Malloc, AllocationKind, MMAP_THRESHOLD};
+/// use agave_trace::NameTable;
+///
+/// let mut names = NameTable::new();
+/// let mut space = AddressSpace::new();
+/// let mut malloc = Malloc::new(&mut space, names.intern("heap"), names.intern("anonymous"));
+///
+/// let small = malloc.alloc(&mut space, 64);
+/// assert_eq!(small.kind, AllocationKind::Heap);
+/// let big = malloc.alloc(&mut space, MMAP_THRESHOLD);
+/// assert_eq!(big.kind, AllocationKind::Anonymous);
+/// ```
+#[derive(Debug)]
+pub struct Malloc {
+    anon_name: NameId,
+    /// Bump cursor inside the most recent sbrk extent.
+    top: u64,
+    top_end: u64,
+    /// Size-class free lists for recycled heap blocks.
+    free: BTreeMap<u64, Vec<Addr>>,
+    /// Statistics: total bytes served from each arena.
+    heap_bytes: u64,
+    anon_bytes: u64,
+}
+
+impl Malloc {
+    /// Creates the allocator and initializes the space's brk heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space's heap is already initialized.
+    pub fn new(space: &mut AddressSpace, heap_name: NameId, anon_name: NameId) -> Self {
+        space.init_heap(heap_name);
+        Malloc {
+            anon_name,
+            top: 0,
+            top_end: 0,
+            free: BTreeMap::new(),
+            heap_bytes: 0,
+            anon_bytes: 0,
+        }
+    }
+
+    /// Creates an allocator for a forked process that inherited `parent`'s
+    /// (already initialized) heap VMA.
+    ///
+    /// The child starts with empty free lists and no bump extent; its first
+    /// allocation extends the inherited heap via `sbrk`, mirroring how a
+    /// forked process's allocator state diverges from its parent's.
+    pub fn resume_from(parent: &Malloc) -> Self {
+        Malloc {
+            anon_name: parent.anon_name,
+            top: 0,
+            top_end: 0,
+            free: BTreeMap::new(),
+            heap_bytes: 0,
+            anon_bytes: 0,
+        }
+    }
+
+    /// Allocates `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn alloc(&mut self, space: &mut AddressSpace, size: u64) -> Allocation {
+        assert!(size > 0, "malloc of zero bytes");
+        if size >= MMAP_THRESHOLD {
+            let rounded = page_ceil(size);
+            let addr = space.mmap(rounded, self.anon_name, Perms::RW);
+            self.anon_bytes += rounded;
+            return Allocation {
+                addr,
+                size: rounded,
+                kind: AllocationKind::Anonymous,
+            };
+        }
+        let rounded = round_granule(size);
+        if let Some(list) = self.free.get_mut(&rounded) {
+            if let Some(addr) = list.pop() {
+                self.heap_bytes += rounded;
+                return Allocation {
+                    addr,
+                    size: rounded,
+                    kind: AllocationKind::Heap,
+                };
+            }
+        }
+        if self.top + rounded > self.top_end {
+            let grow = SBRK_CHUNK.max(rounded);
+            let base = space.sbrk(grow);
+            self.top = base.value();
+            self.top_end = space.brk().expect("heap initialized").value();
+        }
+        let addr = Addr::new(self.top);
+        self.top += rounded;
+        self.heap_bytes += rounded;
+        Allocation {
+            addr,
+            size: rounded,
+            kind: AllocationKind::Heap,
+        }
+    }
+
+    /// Returns a block to the allocator.
+    ///
+    /// Heap blocks go on a size-class free list; anonymous blocks are
+    /// unmapped immediately, as glibc does.
+    pub fn free(&mut self, space: &mut AddressSpace, allocation: Allocation) {
+        match allocation.kind {
+            AllocationKind::Heap => {
+                self.free
+                    .entry(allocation.size)
+                    .or_default()
+                    .push(allocation.addr);
+            }
+            AllocationKind::Anonymous => space.munmap(allocation.addr),
+        }
+    }
+
+    /// Cumulative bytes served from the brk heap.
+    pub fn heap_bytes_served(&self) -> u64 {
+        self.heap_bytes
+    }
+
+    /// Cumulative bytes served from anonymous mmaps.
+    pub fn anon_bytes_served(&self) -> u64 {
+        self.anon_bytes
+    }
+}
+
+fn round_granule(size: u64) -> u64 {
+    size.div_ceil(GRANULE) * GRANULE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agave_trace::NameTable;
+
+    fn setup() -> (AddressSpace, Malloc, NameId, NameId) {
+        let mut names = NameTable::new();
+        let heap = names.intern("heap");
+        let anon = names.intern("anonymous");
+        let mut space = AddressSpace::new();
+        let malloc = Malloc::new(&mut space, heap, anon);
+        (space, malloc, heap, anon)
+    }
+
+    #[test]
+    fn small_allocations_come_from_heap() {
+        let (mut space, mut malloc, heap, _) = setup();
+        let a = malloc.alloc(&mut space, 24);
+        let b = malloc.alloc(&mut space, 24);
+        assert_eq!(a.kind, AllocationKind::Heap);
+        assert_ne!(a.addr, b.addr);
+        assert_eq!(space.region_name(a.addr), Some(heap));
+        assert_eq!(a.size, 32); // rounded to granule
+    }
+
+    #[test]
+    fn large_allocations_are_anonymous_mmaps() {
+        let (mut space, mut malloc, _, anon) = setup();
+        let big = malloc.alloc(&mut space, MMAP_THRESHOLD + 1);
+        assert_eq!(big.kind, AllocationKind::Anonymous);
+        assert_eq!(space.region_name(big.addr), Some(anon));
+        // Threshold is inclusive.
+        let edge = malloc.alloc(&mut space, MMAP_THRESHOLD);
+        assert_eq!(edge.kind, AllocationKind::Anonymous);
+        let below = malloc.alloc(&mut space, MMAP_THRESHOLD - 1);
+        assert_eq!(below.kind, AllocationKind::Heap);
+    }
+
+    #[test]
+    fn freed_heap_blocks_are_recycled() {
+        let (mut space, mut malloc, _, _) = setup();
+        let a = malloc.alloc(&mut space, 100);
+        malloc.free(&mut space, a);
+        let b = malloc.alloc(&mut space, 100);
+        assert_eq!(a.addr, b.addr);
+    }
+
+    #[test]
+    fn freed_anonymous_blocks_are_unmapped() {
+        let (mut space, mut malloc, _, _) = setup();
+        let big = malloc.alloc(&mut space, MMAP_THRESHOLD);
+        malloc.free(&mut space, big);
+        assert!(space.find(big.addr).is_none());
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let (mut space, mut malloc, _, _) = setup();
+        let mut blocks = Vec::new();
+        for i in 1..200u64 {
+            blocks.push(malloc.alloc(&mut space, i * 7 % 900 + 1));
+        }
+        blocks.sort_by_key(|a| a.addr);
+        for pair in blocks.windows(2) {
+            assert!(pair[0].addr.value() + pair[0].size <= pair[1].addr.value());
+        }
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let (mut space, mut malloc, _, _) = setup();
+        malloc.alloc(&mut space, 16);
+        malloc.alloc(&mut space, MMAP_THRESHOLD);
+        assert_eq!(malloc.heap_bytes_served(), 16);
+        assert_eq!(malloc.anon_bytes_served(), page_ceil(MMAP_THRESHOLD));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero")]
+    fn zero_alloc_panics() {
+        let (mut space, mut malloc, _, _) = setup();
+        malloc.alloc(&mut space, 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! A dlmalloc *mspace* model — Skia's private arena on Gingerbread.
+//!
+//! Skia allocates pixel scratch buffers and keeps runtime-generated blitter
+//! code in a dedicated dlmalloc mspace; in the paper's Figure 1 this
+//! `mspace` region is the single largest *instruction* region across the
+//! suite. The region is therefore mapped `rwx`.
+
+use crate::addr::Addr;
+use crate::space::AddressSpace;
+use crate::vma::Perms;
+use agave_trace::NameId;
+
+/// Minimum alignment of mspace allocations.
+const ALIGN: u64 = 16;
+
+/// A bump-allocated arena living in a single named VMA.
+///
+/// # Example
+///
+/// ```
+/// use agave_mem::{AddressSpace, Mspace};
+/// use agave_trace::NameTable;
+///
+/// let mut names = NameTable::new();
+/// let mut space = AddressSpace::new();
+/// let mut arena = Mspace::create(&mut space, names.intern("mspace"), 1 << 20);
+/// let buf = arena.alloc(4096);
+/// assert!(arena.used() >= 4096);
+/// space.write_u32(buf, 1); // the arena is ordinary simulated memory
+/// # let _ = buf;
+/// ```
+#[derive(Debug)]
+pub struct Mspace {
+    base: Addr,
+    capacity: u64,
+    used: u64,
+    name: NameId,
+}
+
+impl Mspace {
+    /// Maps a `capacity`-byte `rwx` region named `name` and wraps it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn create(space: &mut AddressSpace, name: NameId, capacity: u64) -> Self {
+        let base = space.mmap(capacity, name, Perms::RWX);
+        Mspace {
+            base,
+            capacity,
+            used: 0,
+            name,
+        }
+    }
+
+    /// Allocates `size` bytes (16-aligned) from the arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0` or the arena is exhausted.
+    pub fn alloc(&mut self, size: u64) -> Addr {
+        assert!(size > 0, "mspace alloc of zero bytes");
+        let rounded = size.div_ceil(ALIGN) * ALIGN;
+        assert!(
+            self.used + rounded <= self.capacity,
+            "mspace exhausted: {} + {} > {}",
+            self.used,
+            rounded,
+            self.capacity
+        );
+        let addr = self.base + self.used;
+        self.used += rounded;
+        addr
+    }
+
+    /// Releases everything allocated so far (Skia recycles per frame).
+    pub fn reset(&mut self) {
+        self.used = 0;
+    }
+
+    /// Base address of the arena's VMA.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Total arena capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes still available.
+    pub fn remaining(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// The region name allocations are charged against.
+    pub fn name(&self) -> NameId {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agave_trace::NameTable;
+
+    fn arena(cap: u64) -> (AddressSpace, Mspace) {
+        let mut names = NameTable::new();
+        let mut space = AddressSpace::new();
+        let m = Mspace::create(&mut space, names.intern("mspace"), cap);
+        (space, m)
+    }
+
+    #[test]
+    fn allocations_are_disjoint_and_aligned() {
+        let (_, mut m) = arena(1 << 16);
+        let a = m.alloc(10);
+        let b = m.alloc(1);
+        assert_eq!(a.value() % ALIGN, 0);
+        assert_eq!(b.value() % ALIGN, 0);
+        assert!(b.value() >= a.value() + 10);
+    }
+
+    #[test]
+    fn reset_recycles_space() {
+        let (_, mut m) = arena(64);
+        let a = m.alloc(64);
+        m.reset();
+        let b = m.alloc(64);
+        assert_eq!(a, b);
+        assert_eq!(m.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics() {
+        let (_, mut m) = arena(32);
+        m.alloc(48);
+    }
+
+    #[test]
+    fn arena_memory_is_usable() {
+        let (mut space, mut m) = arena(4096);
+        let p = m.alloc(128);
+        space.write_u64(p, 0x1234_5678_9abc_def0);
+        assert_eq!(space.read_u64(p), 0x1234_5678_9abc_def0);
+    }
+}

@@ -1,0 +1,520 @@
+//! The per-process address space: VMA bookkeeping plus a paged byte store.
+
+use crate::addr::{page_ceil, Addr, PAGE_SIZE};
+use crate::layout::Layout;
+use crate::vma::{Perms, Vma};
+use agave_trace::NameId;
+use std::collections::{BTreeMap, HashMap};
+
+const PAGE: usize = PAGE_SIZE as usize;
+/// Unmapped guard gap left between consecutive `mmap` allocations.
+const MMAP_GUARD: u64 = PAGE_SIZE;
+
+/// A simulated per-process virtual address space.
+///
+/// Mappings are tracked as named [`Vma`]s; bytes live in lazily-allocated
+/// 4 KiB pages, so sparse multi-megabyte mappings cost nothing until
+/// written. Reads of never-written pages return zeros, matching anonymous
+/// mmap semantics.
+///
+/// Accesses must fall entirely inside a single mapped VMA; violating that is
+/// a simulator bug and panics (see the per-method `# Panics` sections).
+#[derive(Debug, Default, Clone)]
+pub struct AddressSpace {
+    layout: Layout,
+    /// VMAs keyed by start address.
+    vmas: BTreeMap<u64, Vma>,
+    pages: HashMap<u64, Box<[u8; PAGE]>>,
+    next_mmap: u64,
+    next_stack_top: u64,
+    heap: Option<HeapState>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HeapState {
+    base: u64,
+    brk: u64,
+    name: NameId,
+}
+
+impl AddressSpace {
+    /// Creates an empty space with the default [`Layout`].
+    pub fn new() -> Self {
+        Self::with_layout(Layout::default())
+    }
+
+    /// Creates an empty space with a custom layout.
+    pub fn with_layout(layout: Layout) -> Self {
+        AddressSpace {
+            layout,
+            vmas: BTreeMap::new(),
+            pages: HashMap::new(),
+            next_mmap: layout.mmap_base,
+            next_stack_top: layout.stack_top,
+            heap: None,
+        }
+    }
+
+    /// The layout this space was created with.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Maps `len` bytes (rounded up to pages) at the next free `mmap`
+    /// address and returns the base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn mmap(&mut self, len: u64, name: NameId, perms: Perms) -> Addr {
+        assert!(len > 0, "mmap of zero length");
+        let len = page_ceil(len);
+        let start = Addr::new(self.next_mmap);
+        self.next_mmap += len + MMAP_GUARD;
+        self.insert_vma(Vma::new(start, len, name, perms));
+        start
+    }
+
+    /// Maps `len` bytes (rounded up to pages) at a caller-chosen address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or the range overlaps an existing VMA.
+    pub fn map_fixed(&mut self, start: Addr, len: u64, name: NameId, perms: Perms) -> Addr {
+        assert!(len > 0, "map_fixed of zero length");
+        let len = page_ceil(len);
+        self.insert_vma(Vma::new(start, len, name, perms));
+        start
+    }
+
+    /// Removes the VMA starting at `start`, discarding its pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no VMA starts at `start`.
+    pub fn munmap(&mut self, start: Addr) {
+        let vma = self
+            .vmas
+            .remove(&start.value())
+            .unwrap_or_else(|| panic!("munmap: no VMA starts at {start}"));
+        let first = vma.start().page_index();
+        let last = (vma.end() - 1u64).page_index();
+        for p in first..=last {
+            self.pages.remove(&p);
+        }
+    }
+
+    /// Reserves a new downward-growing thread stack and returns its VMA.
+    ///
+    /// Stacks are carved from just below the previous stack, separated by a
+    /// guard page, mirroring pthread stack placement.
+    pub fn map_stack(&mut self, name: NameId) -> Vma {
+        let size = self.layout.stack_size;
+        let top = self.next_stack_top;
+        let start = Addr::new(top - size);
+        self.next_stack_top = start.value() - MMAP_GUARD;
+        let vma = Vma::new(start, size, name, Perms::RW);
+        self.insert_vma(vma);
+        vma
+    }
+
+    /// Initializes the brk heap at the layout's heap base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn init_heap(&mut self, name: NameId) {
+        assert!(self.heap.is_none(), "heap already initialized");
+        self.heap = Some(HeapState {
+            base: self.layout.heap_base,
+            brk: self.layout.heap_base,
+            name,
+        });
+    }
+
+    /// Grows the heap by `incr` bytes (page-rounded) and returns the old
+    /// break — the base of the newly valid range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`AddressSpace::init_heap`] has not been called or
+    /// `incr == 0`.
+    pub fn sbrk(&mut self, incr: u64) -> Addr {
+        assert!(incr > 0, "sbrk of zero");
+        let heap = self.heap.as_mut().expect("heap not initialized");
+        let old_brk = heap.brk;
+        let new_brk = old_brk + page_ceil(incr);
+        heap.brk = new_brk;
+        let (base, name) = (heap.base, heap.name);
+        // Extend (or create) the single heap VMA in place.
+        self.vmas.insert(
+            base,
+            Vma::new(Addr::new(base), new_brk - base, name, Perms::RW),
+        );
+        Addr::new(old_brk)
+    }
+
+    /// Current program break, if the heap is initialized.
+    pub fn brk(&self) -> Option<Addr> {
+        self.heap.map(|h| Addr::new(h.brk))
+    }
+
+    /// The VMA containing `addr`, if any.
+    pub fn find(&self, addr: Addr) -> Option<&Vma> {
+        self.vmas
+            .range(..=addr.value())
+            .next_back()
+            .map(|(_, v)| v)
+            .filter(|v| v.contains(addr))
+    }
+
+    /// The region name `addr` belongs to, if mapped.
+    pub fn region_name(&self, addr: Addr) -> Option<NameId> {
+        self.find(addr).map(Vma::name)
+    }
+
+    /// Whether the whole `[addr, addr+len)` range lies in one VMA.
+    pub fn is_mapped(&self, addr: Addr, len: u64) -> bool {
+        self.find(addr)
+            .is_some_and(|v| v.contains_range(addr, len))
+    }
+
+    /// Iterates over all VMAs in address order.
+    pub fn vmas(&self) -> impl Iterator<Item = &Vma> {
+        self.vmas.values()
+    }
+
+    /// Number of VMAs currently mapped.
+    pub fn vma_count(&self) -> usize {
+        self.vmas.len()
+    }
+
+    /// Total mapped bytes.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.vmas.values().map(Vma::len).sum()
+    }
+
+    /// Renders the VMA table in `/proc/<pid>/maps` style, resolving names
+    /// through `resolve` (pass `tracer.resolve` via a closure).
+    pub fn render_maps(&self, mut resolve: impl FnMut(agave_trace::NameId) -> String) -> String {
+        let mut out = String::new();
+        for vma in self.vmas.values() {
+            out.push_str(&format!(
+                "{:08x}-{:08x} {}p {}
+",
+                vma.start().value(),
+                vma.end().value(),
+                vma.perms(),
+                resolve(vma.name())
+            ));
+        }
+        out
+    }
+
+    fn insert_vma(&mut self, vma: Vma) {
+        // Overlap check against neighbours on both sides.
+        if let Some((_, prev)) = self.vmas.range(..=vma.start().value()).next_back() {
+            assert!(
+                !prev.overlaps(vma.start(), vma.len()),
+                "VMA overlap: new {:?} with existing {:?}",
+                vma,
+                prev
+            );
+        }
+        if let Some((_, next)) = self.vmas.range(vma.start().value()..).next() {
+            assert!(
+                !next.overlaps(vma.start(), vma.len()),
+                "VMA overlap: new {:?} with existing {:?}",
+                vma,
+                next
+            );
+        }
+        self.vmas.insert(vma.start().value(), vma);
+    }
+
+    fn check_mapped(&self, addr: Addr, len: u64, what: &str) {
+        assert!(
+            self.is_mapped(addr, len),
+            "{what} of {len} bytes at unmapped address {addr}"
+        );
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is not fully mapped by one VMA.
+    pub fn read(&self, addr: Addr, buf: &mut [u8]) {
+        self.check_mapped(addr, buf.len() as u64, "read");
+        let mut cursor = addr;
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            let page = cursor.page_index();
+            let off = cursor.page_offset() as usize;
+            let chunk = (PAGE - off).min(buf.len() - filled);
+            match self.pages.get(&page) {
+                Some(p) => buf[filled..filled + chunk].copy_from_slice(&p[off..off + chunk]),
+                None => buf[filled..filled + chunk].fill(0),
+            }
+            filled += chunk;
+            cursor += chunk as u64;
+        }
+    }
+
+    /// Reads `len` bytes into a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is not fully mapped by one VMA.
+    pub fn read_vec(&self, addr: Addr, len: u64) -> Vec<u8> {
+        let mut buf = vec![0u8; len as usize];
+        self.read(addr, &mut buf);
+        buf
+    }
+
+    /// Writes `bytes` starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is not fully mapped by one VMA.
+    pub fn write(&mut self, addr: Addr, bytes: &[u8]) {
+        self.check_mapped(addr, bytes.len() as u64, "write");
+        let mut cursor = addr;
+        let mut written = 0usize;
+        while written < bytes.len() {
+            let page = cursor.page_index();
+            let off = cursor.page_offset() as usize;
+            let chunk = (PAGE - off).min(bytes.len() - written);
+            let p = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; PAGE]));
+            p[off..off + chunk].copy_from_slice(&bytes[written..written + chunk]);
+            written += chunk;
+            cursor += chunk as u64;
+        }
+    }
+
+    /// Fills `len` bytes at `addr` with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is not fully mapped by one VMA.
+    pub fn fill(&mut self, addr: Addr, len: u64, value: u8) {
+        self.check_mapped(addr, len, "fill");
+        let mut cursor = addr;
+        let mut remaining = len;
+        while remaining > 0 {
+            let page = cursor.page_index();
+            let off = cursor.page_offset() as usize;
+            let chunk = ((PAGE - off) as u64).min(remaining) as usize;
+            if value == 0 && !self.pages.contains_key(&page) {
+                // Zero-filling an untouched page is a no-op.
+            } else {
+                let p = self
+                    .pages
+                    .entry(page)
+                    .or_insert_with(|| Box::new([0u8; PAGE]));
+                p[off..off + chunk].fill(value);
+            }
+            remaining -= chunk as u64;
+            cursor += chunk as u64;
+        }
+    }
+
+    /// Copies `len` bytes from `src` to `dst` within this space.
+    ///
+    /// The ranges may be in different VMAs but each must be fully mapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either range is not fully mapped by one VMA.
+    pub fn copy_within(&mut self, dst: Addr, src: Addr, len: u64) {
+        let data = self.read_vec(src, len);
+        self.write(dst, &data);
+    }
+
+    /// Reads a little-endian `u8` at `addr`.
+    pub fn read_u8(&self, addr: Addr) -> u8 {
+        let mut b = [0u8; 1];
+        self.read(addr, &mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u16` at `addr`.
+    pub fn read_u16(&self, addr: Addr) -> u16 {
+        let mut b = [0u8; 2];
+        self.read(addr, &mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32` at `addr`.
+    pub fn read_u32(&self, addr: Addr) -> u32 {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a `u8` at `addr`.
+    pub fn write_u8(&mut self, addr: Addr, v: u8) {
+        self.write(addr, &[v]);
+    }
+
+    /// Writes a little-endian `u16` at `addr`.
+    pub fn write_u16(&mut self, addr: Addr, v: u16) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32` at `addr`.
+    pub fn write_u32(&mut self, addr: Addr, v: u32) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    pub fn write_u64(&mut self, addr: Addr, v: u64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agave_trace::NameTable;
+
+    fn space_and_names() -> (AddressSpace, NameTable) {
+        (AddressSpace::new(), NameTable::new())
+    }
+
+    #[test]
+    fn mmap_places_disjoint_regions() {
+        let (mut s, mut n) = space_and_names();
+        let a = s.mmap(100, n.intern("a"), Perms::RW);
+        let b = s.mmap(PAGE_SIZE * 3, n.intern("b"), Perms::RW);
+        assert!(b.value() >= a.value() + PAGE_SIZE);
+        assert_eq!(s.vma_count(), 2);
+        assert_eq!(s.find(a).unwrap().len(), PAGE_SIZE); // rounded up
+    }
+
+    #[test]
+    fn read_write_round_trip_across_pages() {
+        let (mut s, mut n) = space_and_names();
+        let base = s.mmap(3 * PAGE_SIZE, n.intern("buf"), Perms::RW);
+        let data: Vec<u8> = (0..u16::try_from(2 * PAGE_SIZE).unwrap())
+            .map(|i| (i % 251) as u8)
+            .collect();
+        let addr = base + (PAGE_SIZE / 2);
+        s.write(addr, &data);
+        assert_eq!(s.read_vec(addr, data.len() as u64), data);
+    }
+
+    #[test]
+    fn unwritten_pages_read_zero() {
+        let (mut s, mut n) = space_and_names();
+        let base = s.mmap(PAGE_SIZE, n.intern("z"), Perms::RW);
+        assert_eq!(s.read_u64(base + 128), 0);
+    }
+
+    #[test]
+    fn typed_accessors_round_trip() {
+        let (mut s, mut n) = space_and_names();
+        let base = s.mmap(PAGE_SIZE, n.intern("t"), Perms::RW);
+        s.write_u8(base, 0xab);
+        s.write_u16(base + 2, 0xbeef);
+        s.write_u32(base + 4, 0xdead_beef);
+        s.write_u64(base + 8, 0x0123_4567_89ab_cdef);
+        assert_eq!(s.read_u8(base), 0xab);
+        assert_eq!(s.read_u16(base + 2), 0xbeef);
+        assert_eq!(s.read_u32(base + 4), 0xdead_beef);
+        assert_eq!(s.read_u64(base + 8), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn sbrk_extends_single_heap_vma() {
+        let (mut s, mut n) = space_and_names();
+        s.init_heap(n.intern("heap"));
+        let first = s.sbrk(100);
+        let second = s.sbrk(PAGE_SIZE);
+        assert_eq!(first.value(), s.layout().heap_base);
+        assert_eq!(second.value(), s.layout().heap_base + PAGE_SIZE);
+        assert_eq!(s.vma_count(), 1);
+        let heap = s.find(first).unwrap();
+        assert_eq!(heap.len(), 2 * PAGE_SIZE);
+        s.write_u32(second, 7);
+        assert_eq!(s.read_u32(second), 7);
+    }
+
+    #[test]
+    fn stacks_grow_downward_with_guards() {
+        let (mut s, mut n) = space_and_names();
+        let stack_name = n.intern("stack");
+        let s1 = s.map_stack(stack_name);
+        let s2 = s.map_stack(stack_name);
+        assert!(s2.end().value() < s1.start().value());
+        assert_eq!(s1.len(), s.layout().stack_size);
+    }
+
+    #[test]
+    fn munmap_discards_pages() {
+        let (mut s, mut n) = space_and_names();
+        let a = s.mmap(PAGE_SIZE, n.intern("tmp"), Perms::RW);
+        s.write_u32(a, 42);
+        s.munmap(a);
+        assert!(s.find(a).is_none());
+        // Remap at a fixed address over the same page and confirm zeroed.
+        s.map_fixed(a, PAGE_SIZE, n.intern("tmp2"), Perms::RW);
+        assert_eq!(s.read_u32(a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_map_fixed_panics() {
+        let (mut s, mut n) = space_and_names();
+        let name = n.intern("x");
+        s.map_fixed(Addr::new(0x1000), PAGE_SIZE * 2, name, Perms::RW);
+        s.map_fixed(Addr::new(0x2000), PAGE_SIZE, name, Perms::RW);
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped")]
+    fn unmapped_access_panics() {
+        let (s, _) = space_and_names();
+        let _ = s.read_u32(Addr::new(0x5000_0000));
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped")]
+    fn access_spilling_out_of_vma_panics() {
+        let (mut s, mut n) = space_and_names();
+        let a = s.mmap(PAGE_SIZE, n.intern("one"), Perms::RW);
+        let mut buf = vec![0u8; PAGE_SIZE as usize + 1];
+        s.read(a, &mut buf);
+    }
+
+    #[test]
+    fn copy_within_moves_bytes_between_vmas() {
+        let (mut s, mut n) = space_and_names();
+        let a = s.mmap(PAGE_SIZE, n.intern("src"), Perms::RW);
+        let b = s.mmap(PAGE_SIZE, n.intern("dst"), Perms::RW);
+        s.write(a, b"hello world");
+        s.copy_within(b, a, 11);
+        assert_eq!(s.read_vec(b, 11), b"hello world");
+    }
+
+    #[test]
+    fn fill_and_region_name() {
+        let (mut s, mut n) = space_and_names();
+        let name = n.intern("gralloc-buffer");
+        let a = s.mmap(2 * PAGE_SIZE, name, Perms::RW);
+        s.fill(a, 2 * PAGE_SIZE, 0x7f);
+        assert_eq!(s.read_u8(a + PAGE_SIZE + 17), 0x7f);
+        assert_eq!(s.region_name(a + 10), Some(name));
+        assert_eq!(s.region_name(Addr::new(1)), None);
+    }
+}

@@ -1,0 +1,205 @@
+//! Virtual memory areas: named, permissioned address ranges.
+
+use crate::addr::Addr;
+use agave_trace::NameId;
+use std::fmt;
+
+/// Access permissions of a [`Vma`], mirroring the `rwx` bits of
+/// `/proc/<pid>/maps`.
+///
+/// # Example
+///
+/// ```
+/// use agave_mem::Perms;
+///
+/// assert!(Perms::RX.can_exec());
+/// assert!(!Perms::RW.can_exec());
+/// assert!(Perms::RW.can_write());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Perms {
+    read: bool,
+    write: bool,
+    exec: bool,
+}
+
+impl Perms {
+    /// Read-only.
+    pub const R: Perms = Perms {
+        read: true,
+        write: false,
+        exec: false,
+    };
+    /// Read + write (data regions).
+    pub const RW: Perms = Perms {
+        read: true,
+        write: true,
+        exec: false,
+    };
+    /// Read + execute (text regions).
+    pub const RX: Perms = Perms {
+        read: true,
+        write: false,
+        exec: true,
+    };
+    /// Read + write + execute (JIT code caches, mspace blitters).
+    pub const RWX: Perms = Perms {
+        read: true,
+        write: true,
+        exec: true,
+    };
+
+    /// Whether loads are permitted.
+    pub fn can_read(self) -> bool {
+        self.read
+    }
+
+    /// Whether stores are permitted.
+    pub fn can_write(self) -> bool {
+        self.write
+    }
+
+    /// Whether instruction fetches are permitted.
+    pub fn can_exec(self) -> bool {
+        self.exec
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.read { 'r' } else { '-' },
+            if self.write { 'w' } else { '-' },
+            if self.exec { 'x' } else { '-' }
+        )
+    }
+}
+
+/// A contiguous named mapping in an [`crate::AddressSpace`].
+///
+/// The name identifies the backing object in the paper's taxonomy
+/// (`libdvm.so`, `dalvik-heap`, `anonymous`, …) and is what references to
+/// this range are charged against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vma {
+    start: Addr,
+    len: u64,
+    name: NameId,
+    perms: Perms,
+}
+
+impl Vma {
+    /// Creates a VMA. `len` must be nonzero and page-aligned by callers that
+    /// care about alignment; this constructor only rejects zero length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn new(start: Addr, len: u64, name: NameId, perms: Perms) -> Self {
+        assert!(len > 0, "zero-length VMA");
+        Vma {
+            start,
+            len,
+            name,
+            perms,
+        }
+    }
+
+    /// First address of the range.
+    pub fn start(&self) -> Addr {
+        self.start
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// VMAs are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// One past the last address.
+    pub fn end(&self) -> Addr {
+        self.start + self.len
+    }
+
+    /// Interned name of the backing object.
+    pub fn name(&self) -> NameId {
+        self.name
+    }
+
+    /// Access permissions.
+    pub fn perms(&self) -> Perms {
+        self.perms
+    }
+
+    /// Whether `addr` falls inside this VMA.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.start && addr < self.end()
+    }
+
+    /// Whether the whole `[addr, addr+len)` range falls inside this VMA.
+    pub fn contains_range(&self, addr: Addr, len: u64) -> bool {
+        addr >= self.start && addr.value() + len <= self.end().value()
+    }
+
+    /// Whether this VMA overlaps `[start, start+len)`.
+    pub fn overlaps(&self, start: Addr, len: u64) -> bool {
+        start.value() < self.end().value() && self.start.value() < start.value() + len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agave_trace::NameTable;
+
+    fn vma(start: u64, len: u64) -> Vma {
+        let mut t = NameTable::new();
+        Vma::new(Addr::new(start), len, t.intern("x"), Perms::RW)
+    }
+
+    #[test]
+    fn containment() {
+        let v = vma(100, 50);
+        assert!(v.contains(Addr::new(100)));
+        assert!(v.contains(Addr::new(149)));
+        assert!(!v.contains(Addr::new(150)));
+        assert!(!v.contains(Addr::new(99)));
+    }
+
+    #[test]
+    fn range_containment() {
+        let v = vma(100, 50);
+        assert!(v.contains_range(Addr::new(100), 50));
+        assert!(v.contains_range(Addr::new(120), 30));
+        assert!(!v.contains_range(Addr::new(120), 31));
+    }
+
+    #[test]
+    fn overlap() {
+        let v = vma(100, 50);
+        assert!(v.overlaps(Addr::new(149), 1));
+        assert!(v.overlaps(Addr::new(50), 51));
+        assert!(!v.overlaps(Addr::new(150), 10));
+        assert!(!v.overlaps(Addr::new(50), 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_length_rejected() {
+        let _ = vma(0, 0);
+    }
+
+    #[test]
+    fn perms_display() {
+        assert_eq!(Perms::RX.to_string(), "r-x");
+        assert_eq!(Perms::RW.to_string(), "rw-");
+        assert_eq!(Perms::RWX.to_string(), "rwx");
+        assert_eq!(Perms::R.to_string(), "r--");
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the simulated memory substrate.
+
+use agave_mem::{AddressSpace, Addr, Malloc, Mspace, Perms, PAGE_SIZE};
+use agave_trace::NameTable;
+use proptest::prelude::*;
+
+proptest! {
+    /// Anything written can be read back, regardless of offset/length.
+    #[test]
+    fn write_then_read_round_trips(
+        offset in 0u64..(PAGE_SIZE * 3),
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+    ) {
+        let mut names = NameTable::new();
+        let mut space = AddressSpace::new();
+        let base = space.mmap(PAGE_SIZE * 4, names.intern("buf"), Perms::RW);
+        let addr = base + offset;
+        space.write(addr, &data);
+        prop_assert_eq!(space.read_vec(addr, data.len() as u64), data);
+    }
+
+    /// Two disjoint writes never clobber each other.
+    #[test]
+    fn disjoint_writes_do_not_interfere(
+        a_off in 0u64..1024,
+        b_off in 2048u64..4000,
+        a_byte: u8,
+        b_byte: u8,
+    ) {
+        let mut names = NameTable::new();
+        let mut space = AddressSpace::new();
+        let base = space.mmap(PAGE_SIZE, names.intern("buf"), Perms::RW);
+        space.write_u8(base + a_off, a_byte);
+        space.write_u8(base + b_off, b_byte);
+        prop_assert_eq!(space.read_u8(base + a_off), a_byte);
+        prop_assert_eq!(space.read_u8(base + b_off), b_byte);
+    }
+
+    /// mmap never produces overlapping VMAs, whatever the size sequence.
+    #[test]
+    fn mmap_regions_never_overlap(sizes in proptest::collection::vec(1u64..200_000, 1..40)) {
+        let mut names = NameTable::new();
+        let name = names.intern("r");
+        let mut space = AddressSpace::new();
+        for &s in &sizes {
+            space.mmap(s, name, Perms::RW);
+        }
+        let vmas: Vec<_> = space.vmas().collect();
+        for pair in vmas.windows(2) {
+            prop_assert!(pair[0].end().value() <= pair[1].start().value());
+        }
+    }
+
+    /// Malloc never hands out overlapping live blocks, across a random
+    /// interleaving of allocs and frees.
+    #[test]
+    fn malloc_live_blocks_disjoint(ops in proptest::collection::vec((1u64..200_000, any::<bool>()), 1..60)) {
+        let mut names = NameTable::new();
+        let mut space = AddressSpace::new();
+        let mut malloc = Malloc::new(
+            &mut space,
+            names.intern("heap"),
+            names.intern("anonymous"),
+        );
+        let mut live: Vec<agave_mem::Allocation> = Vec::new();
+        for (size, do_free) in ops {
+            if do_free && !live.is_empty() {
+                let a = live.swap_remove(size as usize % live.len());
+                malloc.free(&mut space, a);
+            } else {
+                live.push(malloc.alloc(&mut space, size));
+            }
+            let mut sorted = live.clone();
+            sorted.sort_by_key(|a| a.addr);
+            for pair in sorted.windows(2) {
+                prop_assert!(pair[0].addr.value() + pair[0].size <= pair[1].addr.value());
+            }
+        }
+    }
+
+    /// The mspace bump allocator stays inside its VMA.
+    #[test]
+    fn mspace_stays_in_bounds(sizes in proptest::collection::vec(1u64..1000, 1..50)) {
+        let total: u64 = sizes.iter().map(|s| s.div_ceil(16) * 16).sum();
+        let mut names = NameTable::new();
+        let mut space = AddressSpace::new();
+        let mut arena = Mspace::create(&mut space, names.intern("mspace"), total.max(16));
+        let end = arena.base() + arena.capacity();
+        for s in sizes {
+            let p = arena.alloc(s);
+            prop_assert!(p >= arena.base());
+            prop_assert!(p.value() + s <= end.value());
+        }
+    }
+
+    /// fill writes exactly the requested range.
+    #[test]
+    fn fill_is_exact(start in 1u64..5000, len in 1u64..4000, value in 1u8..255) {
+        let mut names = NameTable::new();
+        let mut space = AddressSpace::new();
+        let base = space.mmap(3 * PAGE_SIZE, names.intern("b"), Perms::RW);
+        let addr = base + start;
+        space.fill(addr, len, value);
+        prop_assert_eq!(space.read_u8(addr), value);
+        prop_assert_eq!(space.read_u8(addr + (len - 1)), value);
+        prop_assert_eq!(space.read_u8(addr - 1u64), 0);
+        if start + len < 3 * PAGE_SIZE {
+            prop_assert_eq!(space.read_u8(addr + len), 0);
+        }
+    }
+}
+
+#[test]
+fn addr_ordering_is_numeric() {
+    assert!(Addr::new(1) < Addr::new(2));
+    assert!(Addr::new(0x4000_0000) > Addr::new(0x3fff_ffff));
+}

@@ -1,0 +1,201 @@
+//! The single-process SPEC run harness.
+
+use agave_kernel::{Actor, Ctx, Kernel, Message};
+use agave_trace::RunSummary;
+
+/// The six modeled SPEC CPU2006 programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecProgram {
+    /// 401.bzip2 — block compression (RLE + BWT + MTF + Huffman).
+    Bzip2,
+    /// 429.mcf — min-cost flow (successive shortest paths).
+    Mcf,
+    /// 456.hmmer — profile-HMM Viterbi alignment.
+    Hmmer,
+    /// 458.sjeng — alpha-beta game-tree search.
+    Sjeng,
+    /// 462.libquantum — quantum register simulation (Grover).
+    Libquantum,
+    /// 999.specrand — the SPEC LCG.
+    Specrand,
+}
+
+impl SpecProgram {
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpecProgram::Bzip2 => "401.bzip2",
+            SpecProgram::Mcf => "429.mcf",
+            SpecProgram::Hmmer => "456.hmmer",
+            SpecProgram::Sjeng => "458.sjeng",
+            SpecProgram::Libquantum => "462.libquantum",
+            SpecProgram::Specrand => "999.specrand",
+        }
+    }
+}
+
+/// All six programs in figure order.
+pub fn spec_programs() -> [SpecProgram; 6] {
+    [
+        SpecProgram::Bzip2,
+        SpecProgram::Mcf,
+        SpecProgram::Hmmer,
+        SpecProgram::Sjeng,
+        SpecProgram::Libquantum,
+        SpecProgram::Specrand,
+    ]
+}
+
+/// Problem-size knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecConfig {
+    /// Input bytes for bzip2 (also sizes the registered input file).
+    pub bzip2_input: usize,
+    /// Nodes in the mcf network.
+    pub mcf_nodes: usize,
+    /// Sequence length for hmmer.
+    pub hmmer_seq: usize,
+    /// Search depth for sjeng.
+    pub sjeng_depth: u32,
+    /// Qubits for libquantum (state vector is `2^qubits`).
+    pub quantum_qubits: u32,
+    /// Iterations for specrand.
+    pub rand_iters: u64,
+}
+
+impl SpecConfig {
+    /// A reference-scale run (a few seconds of wall-clock per program).
+    pub fn reference() -> Self {
+        SpecConfig {
+            bzip2_input: 48 * 1024,
+            mcf_nodes: 150,
+            hmmer_seq: 550,
+            sjeng_depth: 4,
+            quantum_qubits: 11,
+            rand_iters: 450_000,
+        }
+    }
+
+    /// A fast run for tests and benches.
+    pub fn tiny() -> Self {
+        SpecConfig {
+            bzip2_input: 16 * 1024,
+            mcf_nodes: 130,
+            hmmer_seq: 300,
+            sjeng_depth: 4,
+            quantum_qubits: 11,
+            rand_iters: 150_000,
+        }
+    }
+}
+
+impl Default for SpecConfig {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+struct SpecActor {
+    program: SpecProgram,
+    config: SpecConfig,
+}
+
+impl Actor for SpecActor {
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        run_program(cx, self.program, self.config);
+        let pid = cx.pid();
+        cx.exit_process(pid);
+    }
+
+    fn on_message(&mut self, _cx: &mut Ctx<'_>, _msg: Message) {}
+}
+
+fn run_program(cx: &mut Ctx<'_>, program: SpecProgram, config: SpecConfig) {
+    match program {
+        SpecProgram::Bzip2 => crate::bzip2::run(cx, config.bzip2_input),
+        SpecProgram::Mcf => crate::mcf::run(cx, config.mcf_nodes),
+        SpecProgram::Hmmer => crate::hmmer::run(cx, config.hmmer_seq),
+        SpecProgram::Sjeng => crate::sjeng::run(cx, config.sjeng_depth),
+        SpecProgram::Libquantum => crate::libquantum::run(cx, config.quantum_qubits),
+        SpecProgram::Specrand => crate::specrand::run(cx, config.rand_iters),
+    }
+}
+
+/// Runs one SPEC program on a bare simulated kernel (no Android — these
+/// are the paper's plain-Linux baselines) and returns its summary.
+pub fn run_spec(program: SpecProgram, config: SpecConfig) -> RunSummary {
+    let mut kernel = Kernel::new();
+    // Register the benchmark's input file(s).
+    kernel.vfs_mut().add_file(
+        "/spec/input.dat",
+        (config.bzip2_input.max(64 * 1024)) as u64,
+        u64::from(program as u8 as u32) + 17,
+    );
+    let pid = kernel.spawn_process("benchmark");
+    kernel.map_lib(pid, "libc.so", 280 * 1024, 48 * 1024);
+    kernel.map_lib(pid, "libm.so", 96 * 1024, 4 * 1024);
+    kernel.spawn_thread(pid, program.label(), Box::new(SpecActor { program, config }));
+    kernel.run_to_idle();
+    kernel.tracer().summarize(program.label())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_programs_run_and_look_like_spec() {
+        for program in spec_programs() {
+            let s = run_spec(program, SpecConfig::tiny());
+            assert!(s.total_instr > 10_000, "{}: too little work", program.label());
+            let app_share = s.instr_region_share("app binary");
+            assert!(
+                app_share > 0.5,
+                "{}: app binary share {app_share:.2} too low",
+                program.label()
+            );
+            // Few processes, as the paper observes for SPEC.
+            assert!(
+                s.active_processes <= 4,
+                "{}: {} active processes",
+                program.label(),
+                s.active_processes
+            );
+        }
+    }
+
+    #[test]
+    fn mcf_uses_anonymous_memory_but_specrand_does_not() {
+        let mcf = run_spec(SpecProgram::Mcf, SpecConfig::tiny());
+        assert!(
+            mcf.data_region_share("anonymous") > 0.2,
+            "mcf anonymous share {:.3}",
+            mcf.data_region_share("anonymous")
+        );
+        let sr = run_spec(SpecProgram::Specrand, SpecConfig::tiny());
+        assert!(sr.data_region_share("anonymous") < 0.05);
+    }
+
+    #[test]
+    fn bzip2_reads_its_input_through_ata() {
+        let s = run_spec(SpecProgram::Bzip2, SpecConfig::tiny());
+        assert!(s.instr_by_process.contains_key("ata_sff/0"));
+    }
+
+    #[test]
+    fn sjeng_is_stack_heavy() {
+        let s = run_spec(SpecProgram::Sjeng, SpecConfig::tiny());
+        assert!(
+            s.data_region_share("stack") > 0.2,
+            "sjeng stack share {:.3}",
+            s.data_region_share("stack")
+        );
+    }
+
+    #[test]
+    fn labels_are_figure_exact() {
+        assert_eq!(SpecProgram::Bzip2.label(), "401.bzip2");
+        assert_eq!(SpecProgram::Specrand.label(), "999.specrand");
+        assert_eq!(spec_programs().len(), 6);
+    }
+}

@@ -1,0 +1,172 @@
+//! 456.hmmer — profile-HMM Viterbi alignment.
+//!
+//! A real Viterbi dynamic program over a synthetic profile HMM
+//! (match/insert/delete states) against a generated protein-like sequence,
+//! with the three DP matrices in heap memory.
+
+use agave_kernel::{Ctx, RefKind};
+
+const ALPHABET: usize = 20; // amino acids
+const NEG_INF: i64 = i64::MIN / 4;
+
+/// A profile HMM with integer log-odds scores (hmmer works in scaled
+/// integer log space too).
+#[derive(Debug)]
+struct Profile {
+    m: usize,
+    match_emit: Vec<[i64; ALPHABET]>,
+    insert_emit: Vec<[i64; ALPHABET]>,
+    /// [m][0..3]: M→M, M→I, M→D
+    trans: Vec<[i64; 7]>,
+}
+
+fn build_profile(m: usize, seed: u64) -> Profile {
+    let mut s = seed | 1;
+    let mut r = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut match_emit = Vec::with_capacity(m + 1);
+    let mut insert_emit = Vec::with_capacity(m + 1);
+    let mut trans = Vec::with_capacity(m + 1);
+    for _ in 0..=m {
+        let mut me = [0i64; ALPHABET];
+        let mut ie = [0i64; ALPHABET];
+        for a in 0..ALPHABET {
+            me[a] = (r() % 13) as i64 - 8; // mostly negative, some positive
+            ie[a] = (r() % 7) as i64 - 5;
+        }
+        // Make one consensus residue strongly positive per column.
+        me[(r() % ALPHABET as u64) as usize] = 6 + (r() % 5) as i64;
+        match_emit.push(me);
+        insert_emit.push(ie);
+        trans.push([
+            -(1 + (r() % 3) as i64),  // M→M
+            -(6 + (r() % 6) as i64),  // M→I
+            -(7 + (r() % 6) as i64),  // M→D
+            -(2 + (r() % 3) as i64),  // I→M
+            -(3 + (r() % 4) as i64),  // I→I
+            -(2 + (r() % 3) as i64),  // D→M
+            -(5 + (r() % 4) as i64),  // D→D
+        ]);
+    }
+    Profile {
+        m,
+        match_emit,
+        insert_emit,
+        trans,
+    }
+}
+
+fn generate_sequence(len: usize, seed: u64) -> Vec<u8> {
+    let mut s = seed | 1;
+    (0..len)
+        .map(|_| {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((s >> 33) % ALPHABET as u64) as u8
+        })
+        .collect()
+}
+
+/// The Viterbi fill: returns the best path score and the number of DP
+/// cells computed.
+fn viterbi(profile: &Profile, seq: &[u8]) -> (i64, u64) {
+    let m = profile.m;
+    let l = seq.len();
+    let w = m + 1;
+    let mut vm = vec![NEG_INF; (l + 1) * w];
+    let mut vi = vec![NEG_INF; (l + 1) * w];
+    let mut vd = vec![NEG_INF; (l + 1) * w];
+    vm[0] = 0;
+    let mut cells = 0u64;
+    for i in 1..=l {
+        let x = seq[i - 1] as usize;
+        for k in 1..=m {
+            cells += 1;
+            let t = &profile.trans[k - 1];
+            let prev = (i - 1) * w + (k - 1);
+            let best_m = (vm[prev] + t[0]).max(vi[prev] + t[3]).max(vd[prev] + t[5]);
+            vm[i * w + k] = best_m.max(NEG_INF) + profile.match_emit[k][x];
+            let up = (i - 1) * w + k;
+            vi[i * w + k] =
+                (vm[up] + t[1]).max(vi[up] + t[4]) + profile.insert_emit[k][x];
+            let left = i * w + (k - 1);
+            vd[i * w + k] = (vm[left] + t[2]).max(vd[left] + t[6]);
+        }
+    }
+    let mut best = NEG_INF;
+    for k in 1..=m {
+        best = best.max(vm[l * w + k]);
+    }
+    (best, cells)
+}
+
+/// The benchmark body.
+pub(crate) fn run(cx: &mut Ctx<'_>, seq_len: usize) {
+    let wk = cx.well_known();
+    let m = (seq_len / 8).clamp(24, 160);
+    let profile = build_profile(m, 0xABCD);
+    // DP matrices in heap memory (three i64 planes).
+    let alloc = cx.malloc((3 * (seq_len + 1) * (m + 1) * 8) as u64);
+    let region = match alloc.kind {
+        agave_mem::AllocationKind::Anonymous => wk.anonymous,
+        agave_mem::AllocationKind::Heap => wk.heap,
+    };
+    let mut total_cells = 0u64;
+    let mut best_any = NEG_INF;
+    // hmmer scans many sequences against one profile.
+    for chunk in 0..4 {
+        let seq = generate_sequence(seq_len, 0x1000 + chunk);
+        let (score, cells) = viterbi(&profile, &seq);
+        best_any = best_any.max(score);
+        total_cells += cells;
+    }
+    // Per cell: ~9 max/add ops, 7 reads (three planes + scores), 3 writes.
+    cx.op(total_cells * 22);
+    cx.charge(region, RefKind::DataRead, total_cells * 7);
+    cx.charge(region, RefKind::DataWrite, total_cells * 3);
+    cx.stack_rw(total_cells / 4, total_cells / 8);
+    assert!(best_any > NEG_INF / 2, "no alignment found");
+    cx.free(alloc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn viterbi_scores_consensus_higher_than_random() {
+        let profile = build_profile(30, 42);
+        // A consensus sequence: best match residue per column.
+        let consensus: Vec<u8> = (1..=30)
+            .map(|k| {
+                let me = &profile.match_emit[k];
+                (0..ALPHABET).max_by_key(|&a| me[a]).unwrap() as u8
+            })
+            .collect();
+        let (good, _) = viterbi(&profile, &consensus);
+        let random = generate_sequence(30, 7);
+        let (bad, _) = viterbi(&profile, &random);
+        assert!(good > bad, "consensus {good} ≤ random {bad}");
+    }
+
+    #[test]
+    fn viterbi_is_deterministic_and_counts_cells() {
+        let profile = build_profile(20, 1);
+        let seq = generate_sequence(50, 2);
+        let (s1, c1) = viterbi(&profile, &seq);
+        let (s2, c2) = viterbi(&profile, &seq);
+        assert_eq!((s1, c1), (s2, c2));
+        assert_eq!(c1, 50 * 20);
+    }
+
+    #[test]
+    fn longer_sequences_do_more_work() {
+        let profile = build_profile(20, 1);
+        let (_, short) = viterbi(&profile, &generate_sequence(20, 3));
+        let (_, long) = viterbi(&profile, &generate_sequence(200, 3));
+        assert_eq!(long, short * 10);
+    }
+}

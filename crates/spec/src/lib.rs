@@ -1,0 +1,40 @@
+//! Miniature SPEC CPU2006 baselines on the Agave simulated kernel.
+//!
+//! The paper contrasts Agave's rich process/region structure with six SPEC
+//! CPU2006 workloads whose references come almost entirely from the
+//! application binary, the OS kernel, and the classic text/heap/stack
+//! regions — with the `ata_sff/0` storage thread as the only notable
+//! companion process.
+//!
+//! Each module here is a *real* (if small) implementation of the
+//! benchmark's core algorithm — block compression for 401.bzip2, min-cost
+//! flow for 429.mcf, profile-HMM Viterbi for 456.hmmer, alpha-beta game
+//! search for 458.sjeng, quantum register simulation for 462.libquantum,
+//! and the SPEC LCG for 999.specrand — run as a single-threaded process on
+//! the simulated kernel, with its data placed through the modeled C
+//! allocator (so 429.mcf's large arrays land in *anonymous* mmap, exactly
+//! the `MMAP_THRESHOLD` effect the paper points out).
+//!
+//! # Example
+//!
+//! ```
+//! use agave_spec::{run_spec, SpecConfig, SpecProgram};
+//!
+//! let summary = run_spec(SpecProgram::Specrand, SpecConfig::tiny());
+//! // SPEC shape: the app binary dominates instruction fetches.
+//! assert!(summary.instr_region_share("app binary") > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bzip2;
+mod harness;
+mod hmmer;
+mod libquantum;
+mod mcf;
+mod sjeng;
+mod specrand;
+
+pub use bzip2::{bw_transform, bw_untransform, huffman_roundtrip, mtf_decode, mtf_encode};
+pub use harness::{run_spec, spec_programs, SpecConfig, SpecProgram};

@@ -1,0 +1,156 @@
+//! 462.libquantum — quantum register simulation running Grover search.
+//!
+//! A real state-vector simulator: Hadamard walls, an oracle phase flip and
+//! the diffusion operator, iterated ⌊π/4·√N⌋ times. The amplitude array is
+//! the benchmark's signature large allocation.
+
+use agave_kernel::{Ctx, RefKind};
+use agave_mem::AllocationKind;
+
+/// A quantum register as a dense amplitude vector.
+#[derive(Debug)]
+struct Register {
+    amps: Vec<(f64, f64)>,
+}
+
+impl Register {
+    fn new(n: u32) -> Self {
+        let mut amps = vec![(0.0, 0.0); 1 << n];
+        amps[0] = (1.0, 0.0);
+        Register { amps }
+    }
+
+    /// Applies a Hadamard to `qubit`.
+    fn hadamard(&mut self, qubit: u32) {
+        let stride = 1usize << qubit;
+        let norm = std::f64::consts::FRAC_1_SQRT_2;
+        let len = self.amps.len();
+        let mut base = 0;
+        while base < len {
+            for i in base..base + stride {
+                let a = self.amps[i];
+                let b = self.amps[i + stride];
+                self.amps[i] = (norm * (a.0 + b.0), norm * (a.1 + b.1));
+                self.amps[i + stride] = (norm * (a.0 - b.0), norm * (a.1 - b.1));
+            }
+            base += stride * 2;
+        }
+    }
+
+    /// Phase-flips the marked state (the Grover oracle).
+    fn oracle(&mut self, marked: usize) {
+        let a = &mut self.amps[marked];
+        *a = (-a.0, -a.1);
+    }
+
+    /// Inversion about the mean (the Grover diffusion operator).
+    fn diffuse(&mut self) {
+        let len = self.amps.len() as f64;
+        let mean_re: f64 = self.amps.iter().map(|a| a.0).sum::<f64>() / len;
+        let mean_im: f64 = self.amps.iter().map(|a| a.1).sum::<f64>() / len;
+        for a in &mut self.amps {
+            *a = (2.0 * mean_re - a.0, 2.0 * mean_im - a.1);
+        }
+    }
+
+    fn probability(&self, state: usize) -> f64 {
+        let a = self.amps[state];
+        a.0 * a.0 + a.1 * a.1
+    }
+
+    #[cfg(test)]
+    fn total_probability(&self) -> f64 {
+        self.amps.iter().map(|a| a.0 * a.0 + a.1 * a.1).sum()
+    }
+}
+
+/// Runs Grover search for `marked` on `n` qubits; returns the final
+/// success probability and the number of amplitude updates performed.
+fn grover(n: u32, marked: usize) -> (f64, u64) {
+    let mut reg = Register::new(n);
+    let size = 1u64 << n;
+    for q in 0..n {
+        reg.hadamard(q);
+    }
+    let iterations =
+        (std::f64::consts::FRAC_PI_4 * ((1u64 << n) as f64).sqrt()).floor() as u64;
+    let mut updates = u64::from(n) * size;
+    for _ in 0..iterations.max(1) {
+        reg.oracle(marked);
+        reg.diffuse();
+        updates += 2 * size + 1;
+    }
+    (reg.probability(marked), updates)
+}
+
+/// The benchmark body.
+pub(crate) fn run(cx: &mut Ctx<'_>, qubits: u32) {
+    let wk = cx.well_known();
+    let qubits = qubits.clamp(6, 22);
+    // The amplitude array: 16 bytes per state.
+    let alloc = cx.malloc(16 * (1u64 << qubits));
+    let region = match alloc.kind {
+        AllocationKind::Anonymous => wk.anonymous,
+        AllocationKind::Heap => wk.heap,
+    };
+    let marked = ((1usize << qubits) * 5) / 7;
+    let (prob, updates) = grover(qubits, marked);
+    // Per amplitude update: ~12 FP ops, read+write the pair.
+    cx.op(updates * 12);
+    cx.charge(region, RefKind::DataRead, updates * 4);
+    cx.charge(region, RefKind::DataWrite, updates * 4);
+    cx.stack_rw(updates / 16, updates / 32);
+    assert!(
+        prob > 0.5,
+        "Grover failed to amplify the marked state: p = {prob}"
+    );
+    cx.free(alloc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hadamard_wall_uniform_superposition() {
+        let mut reg = Register::new(4);
+        for q in 0..4 {
+            reg.hadamard(q);
+        }
+        let expect = 1.0 / 16.0;
+        for s in 0..16 {
+            assert!((reg.probability(s) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hadamard_is_its_own_inverse() {
+        let mut reg = Register::new(3);
+        reg.hadamard(1);
+        reg.hadamard(1);
+        assert!((reg.probability(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grover_amplifies_the_marked_state() {
+        let (prob, _) = grover(8, 200);
+        assert!(prob > 0.9, "p = {prob}");
+        // The unmarked states are suppressed.
+        let mut reg = Register::new(8);
+        for q in 0..8 {
+            reg.hadamard(q);
+        }
+        assert!(reg.probability(200) < 0.01);
+    }
+
+    #[test]
+    fn unitarity_preserves_total_probability() {
+        let mut reg = Register::new(6);
+        for q in 0..6 {
+            reg.hadamard(q);
+        }
+        reg.oracle(17);
+        reg.diffuse();
+        assert!((reg.total_probability() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,279 @@
+//! 458.sjeng — alpha-beta game-tree search.
+//!
+//! A real negamax search with alpha-beta pruning and a Zobrist-hashed
+//! transposition table over a deterministic 5×5 four-in-a-row game. Like
+//! the original chess engine, it is recursion- (stack-) heavy with a hash
+//! table in the heap.
+
+use agave_kernel::{Ctx, RefKind};
+use std::collections::HashMap;
+
+const SIZE: usize = 5;
+const CELLS: usize = SIZE * SIZE;
+const WIN: usize = 4;
+
+#[derive(Debug, Clone)]
+struct Board {
+    /// 0 empty, 1 player to maximize, 2 opponent.
+    cells: [u8; CELLS],
+    hash: u64,
+    zobrist: [[u64; 2]; CELLS],
+}
+
+impl Board {
+    fn new() -> Self {
+        let mut z = [[0u64; 2]; CELLS];
+        let mut s = 0x243f6a8885a308d3u64;
+        for cell in &mut z {
+            for side in cell.iter_mut() {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                *side = s;
+            }
+        }
+        Board {
+            cells: [0; CELLS],
+            hash: 0,
+            zobrist: z,
+        }
+    }
+
+    fn place(&mut self, idx: usize, player: u8) {
+        debug_assert_eq!(self.cells[idx], 0);
+        self.cells[idx] = player;
+        self.hash ^= self.zobrist[idx][player as usize - 1];
+    }
+
+    fn remove(&mut self, idx: usize, player: u8) {
+        debug_assert_eq!(self.cells[idx], player);
+        self.cells[idx] = 0;
+        self.hash ^= self.zobrist[idx][player as usize - 1];
+    }
+
+    /// Longest run through each cell for `player`, and a win check.
+    fn line_score(&self, player: u8) -> (i32, bool) {
+        let dirs = [(1isize, 0isize), (0, 1), (1, 1), (1, -1)];
+        let mut score = 0;
+        let mut won = false;
+        for y in 0..SIZE as isize {
+            for x in 0..SIZE as isize {
+                if self.cells[(y as usize) * SIZE + x as usize] != player {
+                    continue;
+                }
+                for (dx, dy) in dirs {
+                    let mut run = 1;
+                    let (mut cx_, mut cy) = (x + dx, y + dy);
+                    while cx_ >= 0
+                        && cy >= 0
+                        && cx_ < SIZE as isize
+                        && cy < SIZE as isize
+                        && self.cells[(cy as usize) * SIZE + cx_ as usize] == player
+                    {
+                        run += 1;
+                        cx_ += dx;
+                        cy += dy;
+                    }
+                    if run >= WIN {
+                        won = true;
+                    }
+                    score += (run * run) as i32;
+                }
+            }
+        }
+        (score, won)
+    }
+
+    fn evaluate(&self) -> i32 {
+        let (mine, my_win) = self.line_score(1);
+        let (theirs, their_win) = self.line_score(2);
+        if my_win {
+            10_000
+        } else if their_win {
+            -10_000
+        } else {
+            mine - theirs
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SearchStats {
+    nodes: u64,
+    tt_hits: u64,
+    tt_probes: u64,
+}
+
+fn negamax(
+    board: &mut Board,
+    tt: &mut HashMap<u64, (u32, i32)>,
+    depth: u32,
+    mut alpha: i32,
+    beta: i32,
+    player: u8,
+    stats: &mut SearchStats,
+) -> i32 {
+    stats.nodes += 1;
+    stats.tt_probes += 1;
+    if let Some(&(d, score)) = tt.get(&(board.hash ^ u64::from(player))) {
+        if d >= depth {
+            stats.tt_hits += 1;
+            return score;
+        }
+    }
+    let sign = if player == 1 { 1 } else { -1 };
+    let eval = board.evaluate() * sign;
+    if depth == 0 || eval.abs() >= 10_000 {
+        return eval;
+    }
+    let mut best = i32::MIN / 2;
+    let opponent = 3 - player;
+    for idx in 0..CELLS {
+        if board.cells[idx] != 0 {
+            continue;
+        }
+        board.place(idx, player);
+        let score = -negamax(board, tt, depth - 1, -beta, -alpha, opponent, stats);
+        board.remove(idx, player);
+        if score > best {
+            best = score;
+        }
+        if best > alpha {
+            alpha = best;
+        }
+        if alpha >= beta {
+            break; // cutoff
+        }
+    }
+    if best == i32::MIN / 2 {
+        return eval; // board full
+    }
+    tt.insert(board.hash ^ u64::from(player), (depth, best));
+    best
+}
+
+/// The benchmark body: play out a short deterministic game, searching each
+/// position to `depth`.
+pub(crate) fn run(cx: &mut Ctx<'_>, depth: u32) {
+    let wk = cx.well_known();
+    let tt_alloc = cx.malloc(96 * 1024);
+    let mut board = Board::new();
+    let mut tt = HashMap::new();
+    let mut stats = SearchStats::default();
+    let mut player = 1u8;
+    // Play a few plies of a deterministic game (the searches dominate).
+    for _ply in 0..3 {
+        let mut best_move = None;
+        let mut best_score = i32::MIN / 2;
+        for idx in 0..CELLS {
+            if board.cells[idx] != 0 {
+                continue;
+            }
+            board.place(idx, player);
+            let score = -negamax(
+                &mut board,
+                &mut tt,
+                depth - 1,
+                -i32::MAX / 2,
+                i32::MAX / 2,
+                3 - player,
+                &mut stats,
+            );
+            board.remove(idx, player);
+            if score > best_score {
+                best_score = score;
+                best_move = Some(idx);
+            }
+        }
+        let mv = best_move.expect("a legal move");
+        board.place(mv, player);
+        player = 3 - player;
+    }
+    // Charge: per node ~140 evaluate/move-gen fetches, 10 stack refs
+    // (recursion frames), TT probes in the heap.
+    cx.op(stats.nodes * 50);
+    cx.stack_rw(stats.nodes * 5, stats.nodes * 3);
+    cx.charge(wk.heap, RefKind::DataRead, stats.tt_probes * 3);
+    cx.charge(wk.heap, RefKind::DataWrite, stats.nodes);
+    assert!(stats.nodes > 1_000, "search did no work");
+    cx.free(tt_alloc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_detects_wins() {
+        let mut b = Board::new();
+        for i in 0..WIN {
+            b.place(i, 1); // top row
+        }
+        assert_eq!(b.evaluate(), 10_000);
+        let mut b2 = Board::new();
+        for i in 0..WIN {
+            b2.place(i * SIZE, 2); // left column
+        }
+        assert_eq!(b2.evaluate(), -10_000);
+    }
+
+    #[test]
+    fn zobrist_hash_is_incremental() {
+        let mut b = Board::new();
+        let h0 = b.hash;
+        b.place(7, 1);
+        b.place(8, 2);
+        b.remove(8, 2);
+        b.remove(7, 1);
+        assert_eq!(b.hash, h0);
+    }
+
+    #[test]
+    fn search_blocks_an_immediate_threat() {
+        // Opponent (2) has three in a row; a depth-2 search for player 1
+        // must respond to the threat.
+        let mut b = Board::new();
+        b.place(0, 2);
+        b.place(1, 2);
+        b.place(2, 2);
+        let mut tt = HashMap::new();
+        let mut stats = SearchStats::default();
+        let mut best_move = None;
+        let mut best = i32::MIN / 2;
+        for idx in 0..CELLS {
+            if b.cells[idx] != 0 {
+                continue;
+            }
+            b.place(idx, 1);
+            let s = -negamax(&mut b, &mut tt, 2, -i32::MAX / 2, i32::MAX / 2, 2, &mut stats);
+            b.remove(idx, 1);
+            if s > best {
+                best = s;
+                best_move = Some(idx);
+            }
+        }
+        assert_eq!(best_move, Some(3), "must block at cell 3");
+    }
+
+    #[test]
+    fn deeper_search_expands_more_nodes() {
+        let mut stats_shallow = SearchStats::default();
+        let mut stats_deep = SearchStats::default();
+        for (depth, stats) in [(2u32, &mut stats_shallow), (4, &mut stats_deep)] {
+            let mut b = Board::new();
+            b.place(12, 1);
+            let mut tt = HashMap::new();
+            negamax(&mut b, &mut tt, depth, -i32::MAX / 2, i32::MAX / 2, 2, stats);
+        }
+        assert!(stats_deep.nodes > stats_shallow.nodes * 5);
+    }
+
+    #[test]
+    fn transposition_table_hits() {
+        let mut b = Board::new();
+        let mut tt = HashMap::new();
+        let mut stats = SearchStats::default();
+        negamax(&mut b, &mut tt, 4, -i32::MAX / 2, i32::MAX / 2, 1, &mut stats);
+        assert!(stats.tt_hits > 0, "no TT hits in a transposing game");
+    }
+}

@@ -1,0 +1,66 @@
+//! 999.specrand — the SPEC harness's LCG, exercised in a tight loop.
+//!
+//! The smallest SPEC "benchmark": nearly all instruction fetches from the
+//! application binary, a touch of stack traffic, no heap to speak of —
+//! the flattest bar in the paper's figures.
+
+use agave_kernel::Ctx;
+
+/// The SPEC `specrand` LCG step.
+fn spec_rand(seed: &mut i64) -> f64 {
+    // rand(): seed = seed*69069 + 1; return high bits scaled to [0,1).
+    *seed = seed.wrapping_mul(69069).wrapping_add(1) & 0x7fff_ffff;
+    (*seed as f64) / (0x8000_0000u32 as f64)
+}
+
+/// The benchmark body: draw `iters` numbers and accumulate statistics.
+pub(crate) fn run(cx: &mut Ctx<'_>, iters: u64) {
+    let mut seed: i64 = 314_159_265;
+    let mut sum = 0.0f64;
+    let mut min = f64::MAX;
+    let mut max = f64::MIN;
+    for _ in 0..iters {
+        let v = spec_rand(&mut seed);
+        sum += v;
+        min = min.min(v);
+        max = max.max(v);
+    }
+    // ~9 instructions and 3 stack references per draw.
+    cx.op(iters * 9);
+    cx.stack_rw(iters * 2, iters);
+    let mean = sum / iters as f64;
+    assert!((0.4..0.6).contains(&mean), "LCG mean off: {mean}");
+    assert!(min >= 0.0 && max < 1.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic() {
+        let mut s1 = 42i64;
+        let mut s2 = 42i64;
+        for _ in 0..100 {
+            assert_eq!(spec_rand(&mut s1).to_bits(), spec_rand(&mut s2).to_bits());
+        }
+    }
+
+    #[test]
+    fn values_stay_in_unit_interval() {
+        let mut seed = 1i64;
+        for _ in 0..10_000 {
+            let v = spec_rand(&mut seed);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn mean_is_near_half() {
+        let mut seed = 7i64;
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| spec_rand(&mut seed)).sum();
+        let mean = sum / n as f64;
+        assert!((0.45..0.55).contains(&mean), "{mean}");
+    }
+}

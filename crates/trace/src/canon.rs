@@ -1,0 +1,96 @@
+//! Thread-name canonicalization.
+//!
+//! The paper's Table I aggregates references by thread *family*: all
+//! `AsyncTask #1`, `AsyncTask #2`, … instances count as `AsyncTask`, every
+//! `Thread-12`-style generic worker counts as `Thread`, and binder pool
+//! threads collapse to `Binder Thread`. This module implements that rule.
+
+/// Canonicalizes a concrete thread name into its Table-I family name.
+///
+/// The rules mirror Android's thread-naming conventions on Gingerbread:
+///
+/// * a trailing ` #N` ordinal is stripped (`AsyncTask #3` → `AsyncTask`);
+/// * a trailing `-N` ordinal is stripped (`Thread-12` → `Thread`,
+///   `pool-1-thread-2` → `pool-1-thread`);
+/// * kernel per-CPU workers keep their base name (`ata_sff/0` → `ata_sff`);
+/// * anything else is returned unchanged.
+///
+/// # Example
+///
+/// ```
+/// use agave_trace::canonical_thread_name;
+///
+/// assert_eq!(canonical_thread_name("AsyncTask #7"), "AsyncTask");
+/// assert_eq!(canonical_thread_name("Thread-42"), "Thread");
+/// assert_eq!(canonical_thread_name("Binder Thread #2"), "Binder Thread");
+/// assert_eq!(canonical_thread_name("SurfaceFlinger"), "SurfaceFlinger");
+/// ```
+pub fn canonical_thread_name(name: &str) -> &str {
+    // Strip " #N" ordinals.
+    if let Some(pos) = name.rfind(" #") {
+        let suffix = &name[pos + 2..];
+        if !suffix.is_empty() && suffix.bytes().all(|b| b.is_ascii_digit()) {
+            return &name[..pos];
+        }
+    }
+    // Strip "-N" ordinals.
+    if let Some(pos) = name.rfind('-') {
+        let suffix = &name[pos + 1..];
+        if !suffix.is_empty() && suffix.bytes().all(|b| b.is_ascii_digit()) {
+            return &name[..pos];
+        }
+    }
+    // Strip "/N" per-CPU suffixes on kernel workers.
+    if let Some(pos) = name.rfind('/') {
+        let suffix = &name[pos + 1..];
+        if !suffix.is_empty() && suffix.bytes().all(|b| b.is_ascii_digit()) {
+            return &name[..pos];
+        }
+    }
+    name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_hash_ordinals() {
+        assert_eq!(canonical_thread_name("AsyncTask #1"), "AsyncTask");
+        assert_eq!(canonical_thread_name("AsyncTask #128"), "AsyncTask");
+        assert_eq!(canonical_thread_name("Binder Thread #3"), "Binder Thread");
+    }
+
+    #[test]
+    fn strips_dash_ordinals() {
+        assert_eq!(canonical_thread_name("Thread-1"), "Thread");
+        assert_eq!(canonical_thread_name("Thread-999"), "Thread");
+    }
+
+    #[test]
+    fn strips_percpu_suffix() {
+        assert_eq!(canonical_thread_name("ata_sff/0"), "ata_sff");
+        assert_eq!(canonical_thread_name("ksoftirqd/0"), "ksoftirqd");
+    }
+
+    #[test]
+    fn leaves_plain_names_alone() {
+        for name in ["SurfaceFlinger", "GC", "Compiler", "AudioTrackThread", "main"] {
+            assert_eq!(canonical_thread_name(name), name);
+        }
+    }
+
+    #[test]
+    fn non_numeric_suffixes_are_kept() {
+        assert_eq!(canonical_thread_name("Thread-abc"), "Thread-abc");
+        assert_eq!(canonical_thread_name("x #y"), "x #y");
+        assert_eq!(canonical_thread_name("a/b"), "a/b");
+    }
+
+    #[test]
+    fn empty_and_edge_inputs() {
+        assert_eq!(canonical_thread_name(""), "");
+        assert_eq!(canonical_thread_name("-1"), "");
+        assert_eq!(canonical_thread_name("#1"), "#1");
+    }
+}

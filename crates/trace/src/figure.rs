@@ -1,0 +1,391 @@
+//! Assembling the paper's figures and Table I from per-run summaries.
+
+use crate::summary::RunSummary;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which distribution of a [`RunSummary`] a figure plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dimension {
+    /// Figure 1: instruction references by VMA region.
+    InstrByRegion,
+    /// Figure 2: data references by VMA region.
+    DataByRegion,
+    /// Figure 3: instruction references by process.
+    InstrByProcess,
+    /// Figure 4: data references by process.
+    DataByProcess,
+}
+
+impl Dimension {
+    fn map<'a>(self, s: &'a RunSummary) -> &'a BTreeMap<String, u64> {
+        match self {
+            Dimension::InstrByRegion => &s.instr_by_region,
+            Dimension::DataByRegion => &s.data_by_region,
+            Dimension::InstrByProcess => &s.instr_by_process,
+            Dimension::DataByProcess => &s.data_by_process,
+        }
+    }
+
+    fn title(self) -> &'static str {
+        match self {
+            Dimension::InstrByRegion => "Instruction references by VMA region",
+            Dimension::DataByRegion => "Data references by VMA region",
+            Dimension::InstrByProcess => "Instruction references by process",
+            Dimension::DataByProcess => "Data references by process",
+        }
+    }
+}
+
+/// A stacked-percentage table in the style of the paper's Figures 1–4:
+/// one column per legend entry (top-`k` names across the whole suite plus
+/// an `other (N items)` bucket), one row per benchmark.
+///
+/// # Example
+///
+/// ```
+/// use agave_trace::{FigureTable, RunSummary};
+///
+/// let mut s = RunSummary::empty("demo");
+/// s.instr_by_region.insert("libdvm.so".into(), 80);
+/// s.instr_by_region.insert("libc.so".into(), 20);
+/// let fig = FigureTable::figure1(&[s], 9);
+/// assert!((fig.share("demo", "libdvm.so") - 0.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureTable {
+    title: String,
+    dimension: Dimension,
+    legend: Vec<String>,
+    /// Distinct names folded into the `other` bucket, suite-wide.
+    other_items: usize,
+    /// Per benchmark: (label, per-legend-entry share summing to ~1.0).
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl FigureTable {
+    /// Builds a figure over `dimension` with a legend of the `k` largest
+    /// names by suite-wide count.
+    pub fn new(dimension: Dimension, runs: &[RunSummary], k: usize) -> Self {
+        let mut suite: BTreeMap<&str, u64> = BTreeMap::new();
+        for run in runs {
+            for (name, &count) in dimension.map(run) {
+                *suite.entry(name.as_str()).or_default() += count;
+            }
+        }
+        let mut ordered: Vec<(&str, u64)> = suite.into_iter().collect();
+        ordered.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        let legend: Vec<String> = ordered
+            .iter()
+            .take(k)
+            .map(|(n, _)| (*n).to_owned())
+            .collect();
+        let other_items = ordered.len().saturating_sub(legend.len());
+
+        let rows = runs
+            .iter()
+            .map(|run| {
+                let map = dimension.map(run);
+                let total: u64 = map.values().sum();
+                let mut shares: Vec<f64> = legend
+                    .iter()
+                    .map(|name| {
+                        if total == 0 {
+                            0.0
+                        } else {
+                            map.get(name).copied().unwrap_or(0) as f64 / total as f64
+                        }
+                    })
+                    .collect();
+                let named: f64 = shares.iter().sum();
+                shares.push((1.0 - named).max(0.0)); // "other"
+                (run.benchmark.clone(), shares)
+            })
+            .collect();
+
+        FigureTable {
+            title: dimension.title().to_owned(),
+            dimension,
+            legend,
+            other_items,
+            rows,
+        }
+    }
+
+    /// Figure 1 of the paper: instruction references by VMA region.
+    pub fn figure1(runs: &[RunSummary], k: usize) -> Self {
+        Self::new(Dimension::InstrByRegion, runs, k)
+    }
+
+    /// Figure 2: data references by VMA region.
+    pub fn figure2(runs: &[RunSummary], k: usize) -> Self {
+        Self::new(Dimension::DataByRegion, runs, k)
+    }
+
+    /// Figure 3: instruction references by process.
+    pub fn figure3(runs: &[RunSummary], k: usize) -> Self {
+        Self::new(Dimension::InstrByProcess, runs, k)
+    }
+
+    /// Figure 4: data references by process.
+    pub fn figure4(runs: &[RunSummary], k: usize) -> Self {
+        Self::new(Dimension::DataByProcess, runs, k)
+    }
+
+    /// The figure's legend (without the trailing `other` bucket).
+    pub fn legend(&self) -> &[String] {
+        &self.legend
+    }
+
+    /// Number of distinct names aggregated into the `other` bucket.
+    pub fn other_items(&self) -> usize {
+        self.other_items
+    }
+
+    /// The dimension this figure plots.
+    pub fn dimension(&self) -> Dimension {
+        self.dimension
+    }
+
+    /// Benchmark labels in row order.
+    pub fn benchmarks(&self) -> impl Iterator<Item = &str> {
+        self.rows.iter().map(|(b, _)| b.as_str())
+    }
+
+    /// Share (0.0–1.0) of `legend_name` for `benchmark`; `"other"` selects
+    /// the aggregate bucket. Returns 0.0 for unknown names/benchmarks.
+    pub fn share(&self, benchmark: &str, legend_name: &str) -> f64 {
+        let Some((_, shares)) = self.rows.iter().find(|(b, _)| b == benchmark) else {
+            return 0.0;
+        };
+        if legend_name == "other" {
+            return *shares.last().unwrap_or(&0.0);
+        }
+        self.legend
+            .iter()
+            .position(|n| n == legend_name)
+            .map(|i| shares[i])
+            .unwrap_or(0.0)
+    }
+
+    /// Renders the figure as a fixed-width ASCII table (percent values).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(b, _)| b.len())
+            .chain(std::iter::once("benchmark".len()))
+            .max()
+            .unwrap_or(10);
+        let mut cols: Vec<String> = self.legend.clone();
+        cols.push(format!("other ({} items)", self.other_items));
+        let col_w: Vec<usize> = cols.iter().map(|c| c.len().max(6)).collect();
+
+        out.push_str(&format!("{:label_w$}", "benchmark"));
+        for (c, w) in cols.iter().zip(&col_w) {
+            out.push_str(&format!("  {c:>w$}", w = w));
+        }
+        out.push('\n');
+        for (bench, shares) in &self.rows {
+            out.push_str(&format!("{bench:label_w$}"));
+            for (s, w) in shares.iter().zip(&col_w) {
+                out.push_str(&format!("  {:>w$.1}", s * 100.0, w = w));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the figure as CSV (shares in percent).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("benchmark");
+        for c in &self.legend {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push_str(&format!(",other ({} items)\n", self.other_items));
+        for (bench, shares) in &self.rows {
+            out.push_str(bench);
+            for s in shares {
+                out.push_str(&format!(",{:.3}", s * 100.0));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for FigureTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// One row of [`TableOne`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableOneRow {
+    /// Canonical thread name (e.g. `SurfaceFlinger`).
+    pub thread: String,
+    /// Percent of total suite memory references.
+    pub percent: f64,
+}
+
+/// The paper's Table I: threads ranked by contribution to total memory
+/// references across the whole suite.
+///
+/// # Example
+///
+/// ```
+/// use agave_trace::{RunSummary, TableOne};
+///
+/// let mut s = RunSummary::empty("a");
+/// s.refs_by_thread.insert("SurfaceFlinger".into(), 90);
+/// s.refs_by_thread.insert("GC".into(), 10);
+/// let t = TableOne::from_runs(&[s], 6);
+/// assert_eq!(t.rows()[0].thread, "SurfaceFlinger");
+/// assert!((t.rows()[0].percent - 90.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableOne {
+    rows: Vec<TableOneRow>,
+    /// Total suite references the percentages are relative to.
+    total: u64,
+}
+
+impl TableOne {
+    /// Aggregates `runs` and returns the `k` most-referencing thread families.
+    pub fn from_runs(runs: &[RunSummary], k: usize) -> Self {
+        let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+        for run in runs {
+            for (name, &count) in &run.refs_by_thread {
+                *merged.entry(name.clone()).or_default() += count;
+            }
+        }
+        let total: u64 = merged.values().sum();
+        let mut rows: Vec<(String, u64)> = merged.into_iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let rows = rows
+            .into_iter()
+            .take(k)
+            .map(|(thread, count)| TableOneRow {
+                thread,
+                percent: if total == 0 {
+                    0.0
+                } else {
+                    count as f64 * 100.0 / total as f64
+                },
+            })
+            .collect();
+        TableOne { rows, total }
+    }
+
+    /// Ranked rows, largest first.
+    pub fn rows(&self) -> &[TableOneRow] {
+        &self.rows
+    }
+
+    /// Total references the percentages are relative to.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Percent share of `thread`, or 0.0 if not in the table.
+    pub fn percent(&self, thread: &str) -> f64 {
+        self.rows
+            .iter()
+            .find(|r| r.thread == thread)
+            .map(|r| r.percent)
+            .unwrap_or(0.0)
+    }
+
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("Thread                      % Total Memory References across Suite\n");
+        for row in &self.rows {
+            out.push_str(&format!("{:<28}{:.1}\n", row.thread, row.percent));
+        }
+        out
+    }
+}
+
+impl fmt::Display for TableOne {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(label: &str, pairs: &[(&str, u64)]) -> RunSummary {
+        let mut s = RunSummary::empty(label);
+        for (k, v) in pairs {
+            s.instr_by_region.insert(k.to_string(), *v);
+            s.refs_by_thread.insert(k.to_string(), *v);
+        }
+        s.total_instr = pairs.iter().map(|(_, v)| v).sum();
+        s
+    }
+
+    #[test]
+    fn legend_is_suite_wide_top_k() {
+        let runs = vec![
+            run("a", &[("libdvm.so", 100), ("libc.so", 10)]),
+            run("b", &[("libskia.so", 50), ("libc.so", 45)]),
+        ];
+        let fig = FigureTable::figure1(&runs, 2);
+        assert_eq!(fig.legend(), ["libdvm.so", "libc.so"]);
+        assert_eq!(fig.other_items(), 1);
+    }
+
+    #[test]
+    fn shares_sum_to_one_per_row() {
+        let runs = vec![run("a", &[("x", 3), ("y", 5), ("z", 2)])];
+        let fig = FigureTable::figure1(&runs, 2);
+        let total = fig.share("a", "y") + fig.share("a", "x") + fig.share("a", "other");
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_lookups_are_zero() {
+        let fig = FigureTable::figure1(&[run("a", &[("x", 1)])], 1);
+        assert_eq!(fig.share("nope", "x"), 0.0);
+        assert_eq!(fig.share("a", "nope"), 0.0);
+    }
+
+    #[test]
+    fn empty_run_has_zero_shares() {
+        let runs = vec![run("a", &[("x", 10)]), RunSummary::empty("empty")];
+        let fig = FigureTable::figure1(&runs, 1);
+        assert_eq!(fig.share("empty", "x"), 0.0);
+        assert_eq!(fig.share("empty", "other"), 1.0);
+    }
+
+    #[test]
+    fn table_one_ranks_and_truncates() {
+        let runs = vec![
+            run("a", &[("SurfaceFlinger", 80), ("GC", 15)]),
+            run("b", &[("SurfaceFlinger", 20), ("Compiler", 30)]),
+        ];
+        let t = TableOne::from_runs(&runs, 2);
+        assert_eq!(t.rows().len(), 2);
+        assert_eq!(t.rows()[0].thread, "SurfaceFlinger");
+        assert!((t.percent("SurfaceFlinger") - 100.0 * 100.0 / 145.0).abs() < 1e-9);
+        assert_eq!(t.percent("GC"), 0.0); // truncated away
+    }
+
+    #[test]
+    fn render_contains_rows_and_title() {
+        let fig = FigureTable::figure1(&[run("aard.main", &[("libdvm.so", 1)])], 1);
+        let text = fig.render();
+        assert!(text.contains("Instruction references"));
+        assert!(text.contains("aard.main"));
+        let csv = fig.to_csv();
+        assert!(csv.starts_with("benchmark,libdvm.so,other"));
+    }
+}

@@ -1,0 +1,145 @@
+//! String interning for region, process and thread names.
+//!
+//! The simulator charges references millions of times; carrying `String`s on
+//! that path would dominate runtime. Names are interned once into a
+//! [`NameTable`] and referenced by the copyable [`NameId`] thereafter.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A compact handle to an interned name.
+///
+/// `NameId`s are only meaningful relative to the [`NameTable`] that issued
+/// them. They are cheap to copy, hash and compare, which makes them suitable
+/// as counter keys on the charging hot path.
+///
+/// # Example
+///
+/// ```
+/// use agave_trace::NameTable;
+///
+/// let mut table = NameTable::new();
+/// let a = table.intern("libdvm.so");
+/// let b = table.intern("libdvm.so");
+/// assert_eq!(a, b);
+/// assert_eq!(table.resolve(a), "libdvm.so");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NameId(u32);
+
+impl NameId {
+    /// Returns the raw index of this id inside its table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "name#{}", self.0)
+    }
+}
+
+/// An append-only intern table mapping strings to [`NameId`]s.
+///
+/// Interning the same string twice yields the same id. Lookups by id are
+/// `O(1)`.
+#[derive(Debug, Default, Clone)]
+pub struct NameTable {
+    by_name: HashMap<String, NameId>,
+    names: Vec<String>,
+}
+
+impl NameTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing id if it was seen before.
+    pub fn intern(&mut self, name: &str) -> NameId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = NameId(u32::try_from(self.names.len()).expect("name table overflow"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Returns the id for `name` if it has been interned.
+    pub fn lookup(&self, name: &str) -> Option<NameId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolves an id back to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this table.
+    pub fn resolve(&self, id: NameId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct names interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no names have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (NameId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NameId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = NameTable::new();
+        let a = t.intern("heap");
+        let b = t.intern("heap");
+        let c = t.intern("stack");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut t = NameTable::new();
+        for name in ["libdvm.so", "mspace", "fb0", "dalvik-heap"] {
+            let id = t.intern(name);
+            assert_eq!(t.resolve(id), name);
+        }
+    }
+
+    #[test]
+    fn lookup_misses_return_none() {
+        let t = NameTable::new();
+        assert!(t.lookup("nope").is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut t = NameTable::new();
+        let ids: Vec<_> = ["a", "b", "c"].iter().map(|n| t.intern(n)).collect();
+        let collected: Vec<_> = t.iter().collect();
+        assert_eq!(collected.len(), 3);
+        for (i, (id, name)) in collected.iter().enumerate() {
+            assert_eq!(*id, ids[i]);
+            assert_eq!(*name, ["a", "b", "c"][i]);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Classification of memory references.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a memory reference, as classified by the paper's gem5
+/// instrumentation.
+///
+/// Figures 1 and 3 of the paper count [`RefKind::InstrFetch`]; Figures 2 and
+/// 4 count the two data kinds together; Table I counts all three.
+///
+/// # Example
+///
+/// ```
+/// use agave_trace::RefKind;
+///
+/// assert!(RefKind::DataWrite.is_data());
+/// assert!(!RefKind::InstrFetch.is_data());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RefKind {
+    /// An instruction fetch from a code region.
+    InstrFetch,
+    /// A data load.
+    DataRead,
+    /// A data store.
+    DataWrite,
+}
+
+impl RefKind {
+    /// All kinds, in declaration order.
+    pub const ALL: [RefKind; 3] = [RefKind::InstrFetch, RefKind::DataRead, RefKind::DataWrite];
+
+    /// Returns `true` for loads and stores.
+    pub fn is_data(self) -> bool {
+        matches!(self, RefKind::DataRead | RefKind::DataWrite)
+    }
+
+    /// Returns `true` for instruction fetches.
+    pub fn is_instr(self) -> bool {
+        matches!(self, RefKind::InstrFetch)
+    }
+
+    /// Compact index (0..3) usable for array-backed counters.
+    pub fn index(self) -> usize {
+        match self {
+            RefKind::InstrFetch => 0,
+            RefKind::DataRead => 1,
+            RefKind::DataWrite => 2,
+        }
+    }
+}
+
+impl fmt::Display for RefKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RefKind::InstrFetch => "instr-fetch",
+            RefKind::DataRead => "data-read",
+            RefKind::DataWrite => "data-write",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_classification() {
+        assert!(RefKind::DataRead.is_data());
+        assert!(RefKind::DataWrite.is_data());
+        assert!(RefKind::InstrFetch.is_instr());
+        assert!(!RefKind::InstrFetch.is_data());
+    }
+
+    #[test]
+    fn indices_are_unique_and_dense() {
+        let mut seen = [false; 3];
+        for kind in RefKind::ALL {
+            assert!(!seen[kind.index()]);
+            seen[kind.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(RefKind::InstrFetch.to_string(), "instr-fetch");
+        assert_eq!(RefKind::DataRead.to_string(), "data-read");
+        assert_eq!(RefKind::DataWrite.to_string(), "data-write");
+    }
+}

@@ -1,0 +1,47 @@
+//! Memory-reference accounting for the Agave Android software-stack simulator.
+//!
+//! This crate is the measurement substrate of the reproduction: the analogue
+//! of the statistics instrumentation Brown et al. added to gem5 and the Linux
+//! kernel. Every modeled memory access in the simulator is *charged* to a
+//! [`Tracer`] together with the process, thread, virtual-memory region and
+//! access kind it belongs to; the tracer aggregates those charges into the
+//! breakdowns reported in the paper's Figures 1–4 and Table I.
+//!
+//! The crate deliberately knows nothing about the simulator itself — it only
+//! deals in interned names and counters — so every other crate in the
+//! workspace can depend on it without cycles.
+//!
+//! # Example
+//!
+//! ```
+//! use agave_trace::{RefKind, Tracer};
+//!
+//! let mut tracer = Tracer::new();
+//! let pid = tracer.register_process("music.mp3.view");
+//! let tid = tracer.register_thread(pid, "AudioTrackThread");
+//! let region = tracer.intern_region("libstagefright.so");
+//!
+//! tracer.charge(pid, tid, region, RefKind::InstrFetch, 1_000);
+//! tracer.charge(pid, tid, region, RefKind::DataRead, 250);
+//!
+//! let summary = tracer.summarize("music.mp3.view");
+//! assert_eq!(summary.total_instr, 1_000);
+//! assert_eq!(summary.instr_by_region["libstagefright.so"], 1_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod canon;
+mod figure;
+mod intern;
+mod kind;
+mod summary;
+mod tracer;
+
+pub use canon::canonical_thread_name;
+pub use figure::{FigureTable, TableOne, TableOneRow};
+pub use intern::{NameId, NameTable};
+pub use kind::RefKind;
+pub use summary::{Breakdown, RunSummary};
+pub use tracer::{Pid, Tid, Tracer};

@@ -1,0 +1,324 @@
+//! Serializable per-run summaries and percentage breakdowns.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The distilled result of one benchmark run: every distribution the paper's
+/// figures need, keyed by human-readable names.
+///
+/// Produced by [`crate::Tracer::summarize`]; figures are assembled from a
+/// `Vec<RunSummary>` (one per benchmark) by [`crate::FigureTable`] and
+/// [`crate::TableOne`]. Serializes with serde for archival in
+/// `EXPERIMENTS.md`-style artifacts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Benchmark label, e.g. `"gallery.mp4.view"` or `"429.mcf"`.
+    pub benchmark: String,
+    /// Instruction fetches per VMA region name (Fig. 1 input).
+    pub instr_by_region: BTreeMap<String, u64>,
+    /// Data references per VMA region name (Fig. 2 input).
+    pub data_by_region: BTreeMap<String, u64>,
+    /// Instruction fetches per process name (Fig. 3 input).
+    pub instr_by_process: BTreeMap<String, u64>,
+    /// Data references per process name (Fig. 4 input).
+    pub data_by_process: BTreeMap<String, u64>,
+    /// All references per canonical thread name (Table I input).
+    pub refs_by_thread: BTreeMap<String, u64>,
+    /// Total instruction fetches.
+    pub total_instr: u64,
+    /// Total data references (loads + stores).
+    pub total_data: u64,
+    /// Processes that issued at least one reference.
+    pub active_processes: usize,
+    /// Threads that issued at least one reference.
+    pub active_threads: usize,
+    /// Processes that existed during the run (active or not).
+    pub spawned_processes: usize,
+    /// Threads that existed during the run.
+    pub spawned_threads: usize,
+}
+
+impl RunSummary {
+    /// Number of distinct regions instructions were fetched from.
+    ///
+    /// The paper reports 42–55 per Agave application.
+    pub fn code_region_count(&self) -> usize {
+        self.instr_by_region.len()
+    }
+
+    /// Number of distinct regions data references touched.
+    ///
+    /// The paper reports 32–104 per Agave application.
+    pub fn data_region_count(&self) -> usize {
+        self.data_by_region.len()
+    }
+
+    /// Share (0.0–1.0) of instruction fetches attributed to `process`.
+    pub fn instr_process_share(&self, process: &str) -> f64 {
+        share(&self.instr_by_process, process, self.total_instr)
+    }
+
+    /// Share (0.0–1.0) of data references attributed to `process`.
+    pub fn data_process_share(&self, process: &str) -> f64 {
+        share(&self.data_by_process, process, self.total_data)
+    }
+
+    /// Share (0.0–1.0) of instruction fetches from `region`.
+    pub fn instr_region_share(&self, region: &str) -> f64 {
+        share(&self.instr_by_region, region, self.total_instr)
+    }
+
+    /// Share (0.0–1.0) of data references to `region`.
+    pub fn data_region_share(&self, region: &str) -> f64 {
+        share(&self.data_by_region, region, self.total_data)
+    }
+
+    /// Merges `other` into `self`, summing all counters.
+    ///
+    /// Used to build suite-wide aggregates such as Table I.
+    pub fn merge(&mut self, other: &RunSummary) {
+        merge_map(&mut self.instr_by_region, &other.instr_by_region);
+        merge_map(&mut self.data_by_region, &other.data_by_region);
+        merge_map(&mut self.instr_by_process, &other.instr_by_process);
+        merge_map(&mut self.data_by_process, &other.data_by_process);
+        merge_map(&mut self.refs_by_thread, &other.refs_by_thread);
+        self.total_instr += other.total_instr;
+        self.total_data += other.total_data;
+        self.active_processes += other.active_processes;
+        self.active_threads += other.active_threads;
+        self.spawned_processes += other.spawned_processes;
+        self.spawned_threads += other.spawned_threads;
+    }
+
+    /// The element-wise difference `self − earlier` (saturating): the
+    /// references charged *after* the `earlier` snapshot was taken. Used
+    /// for phase analysis (e.g. startup vs steady state). Process/thread
+    /// population counts are taken from `self`.
+    pub fn delta(&self, earlier: &RunSummary) -> RunSummary {
+        fn diff(a: &BTreeMap<String, u64>, b: &BTreeMap<String, u64>) -> BTreeMap<String, u64> {
+            a.iter()
+                .filter_map(|(k, &v)| {
+                    let rest = v.saturating_sub(b.get(k).copied().unwrap_or(0));
+                    (rest > 0).then(|| (k.clone(), rest))
+                })
+                .collect()
+        }
+        RunSummary {
+            benchmark: self.benchmark.clone(),
+            instr_by_region: diff(&self.instr_by_region, &earlier.instr_by_region),
+            data_by_region: diff(&self.data_by_region, &earlier.data_by_region),
+            instr_by_process: diff(&self.instr_by_process, &earlier.instr_by_process),
+            data_by_process: diff(&self.data_by_process, &earlier.data_by_process),
+            refs_by_thread: diff(&self.refs_by_thread, &earlier.refs_by_thread),
+            total_instr: self.total_instr.saturating_sub(earlier.total_instr),
+            total_data: self.total_data.saturating_sub(earlier.total_data),
+            active_processes: self.active_processes,
+            active_threads: self.active_threads,
+            spawned_processes: self.spawned_processes,
+            spawned_threads: self.spawned_threads,
+        }
+    }
+
+    /// An empty summary with the given label, useful as a merge seed.
+    pub fn empty(benchmark: &str) -> Self {
+        RunSummary {
+            benchmark: benchmark.to_owned(),
+            instr_by_region: BTreeMap::new(),
+            data_by_region: BTreeMap::new(),
+            instr_by_process: BTreeMap::new(),
+            data_by_process: BTreeMap::new(),
+            refs_by_thread: BTreeMap::new(),
+            total_instr: 0,
+            total_data: 0,
+            active_processes: 0,
+            active_threads: 0,
+            spawned_processes: 0,
+            spawned_threads: 0,
+        }
+    }
+}
+
+fn share(map: &BTreeMap<String, u64>, key: &str, total: u64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    map.get(key).copied().unwrap_or(0) as f64 / total as f64
+}
+
+fn merge_map(into: &mut BTreeMap<String, u64>, from: &BTreeMap<String, u64>) {
+    for (k, v) in from {
+        *into.entry(k.clone()).or_default() += v;
+    }
+}
+
+/// A named percentage breakdown: rows sorted descending by count, with
+/// convenience accessors used by the figure renderers.
+///
+/// # Example
+///
+/// ```
+/// use agave_trace::Breakdown;
+/// use std::collections::BTreeMap;
+///
+/// let mut m = BTreeMap::new();
+/// m.insert("heap".to_owned(), 60u64);
+/// m.insert("stack".to_owned(), 40u64);
+/// let b = Breakdown::from_map(&m);
+/// assert_eq!(b.rows()[0].0, "heap");
+/// assert!((b.share("stack") - 0.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Breakdown {
+    rows: Vec<(String, u64)>,
+    total: u64,
+}
+
+impl Breakdown {
+    /// Builds a breakdown from a name→count map.
+    pub fn from_map(map: &BTreeMap<String, u64>) -> Self {
+        let mut rows: Vec<(String, u64)> = map
+            .iter()
+            .filter(|(_, &v)| v > 0)
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let total = rows.iter().map(|(_, v)| v).sum();
+        Breakdown { rows, total }
+    }
+
+    /// Rows in descending count order.
+    pub fn rows(&self) -> &[(String, u64)] {
+        &self.rows
+    }
+
+    /// Sum of all counts.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct names with a nonzero count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Share (0.0–1.0) of `name` in the total.
+    pub fn share(&self, name: &str) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.rows
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v as f64 / self.total as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// The top `k` rows plus an `"other (N items)"` row aggregating the rest,
+    /// matching the legend style of the paper's figures.
+    pub fn top_k_with_other(&self, k: usize) -> Vec<(String, u64)> {
+        if self.rows.len() <= k {
+            return self.rows.clone();
+        }
+        let mut out: Vec<(String, u64)> = self.rows[..k].to_vec();
+        let rest: u64 = self.rows[k..].iter().map(|(_, v)| v).sum();
+        let n = self.rows.len() - k;
+        out.push((format!("other ({n} items)"), rest));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(&str, u64)]) -> BTreeMap<String, u64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn breakdown_sorts_descending() {
+        let b = Breakdown::from_map(&map(&[("a", 1), ("b", 5), ("c", 3)]));
+        let names: Vec<_> = b.rows().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["b", "c", "a"]);
+        assert_eq!(b.total(), 9);
+    }
+
+    #[test]
+    fn breakdown_drops_zero_rows() {
+        let b = Breakdown::from_map(&map(&[("a", 0), ("b", 2)]));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn top_k_with_other_aggregates_tail() {
+        let b = Breakdown::from_map(&map(&[("a", 10), ("b", 5), ("c", 2), ("d", 1)]));
+        let top = b.top_k_with_other(2);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[2], ("other (2 items)".to_owned(), 3));
+    }
+
+    #[test]
+    fn top_k_with_few_rows_is_identity() {
+        let b = Breakdown::from_map(&map(&[("a", 10), ("b", 5)]));
+        assert_eq!(b.top_k_with_other(9).len(), 2);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = RunSummary::empty("suite");
+        let mut one = RunSummary::empty("one");
+        one.refs_by_thread = map(&[("SurfaceFlinger", 100), ("GC", 10)]);
+        one.total_instr = 60;
+        one.total_data = 50;
+        let mut two = RunSummary::empty("two");
+        two.refs_by_thread = map(&[("SurfaceFlinger", 50), ("AsyncTask", 25)]);
+        two.total_instr = 40;
+        two.total_data = 35;
+        a.merge(&one);
+        a.merge(&two);
+        assert_eq!(a.refs_by_thread["SurfaceFlinger"], 150);
+        assert_eq!(a.refs_by_thread["AsyncTask"], 25);
+        assert_eq!(a.total_instr, 100);
+        assert_eq!(a.total_data, 85);
+    }
+
+    #[test]
+    fn shares_handle_missing_and_zero_totals() {
+        let s = RunSummary::empty("x");
+        assert_eq!(s.instr_process_share("benchmark"), 0.0);
+        let b = Breakdown::from_map(&BTreeMap::new());
+        assert!(b.is_empty());
+        assert_eq!(b.share("anything"), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts_and_drops_empty_rows() {
+        let mut early = RunSummary::empty("x");
+        early.refs_by_thread = map(&[("SurfaceFlinger", 100), ("GC", 10)]);
+        early.total_instr = 60;
+        let mut late = early.clone();
+        late.refs_by_thread.insert("SurfaceFlinger".into(), 250);
+        late.refs_by_thread.insert("Compiler".into(), 40);
+        late.total_instr = 200;
+        let d = late.delta(&early);
+        assert_eq!(d.refs_by_thread["SurfaceFlinger"], 150);
+        assert_eq!(d.refs_by_thread["Compiler"], 40);
+        assert!(!d.refs_by_thread.contains_key("GC")); // unchanged → dropped
+        assert_eq!(d.total_instr, 140);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut s = RunSummary::empty("roundtrip");
+        s.instr_by_region = map(&[("libdvm.so", 123)]);
+        s.total_instr = 123;
+        let json = serde_json::to_string(&s).unwrap();
+        let back: RunSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

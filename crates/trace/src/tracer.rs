@@ -1,0 +1,375 @@
+//! The reference-counting tracer: the simulator's analogue of the
+//! statistics machinery the paper added to gem5.
+
+use crate::canon::canonical_thread_name;
+use crate::intern::{NameId, NameTable};
+use crate::kind::RefKind;
+use crate::summary::RunSummary;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a simulated process.
+///
+/// Issued by [`Tracer::register_process`]; ids are dense and start at 0
+/// (conventionally the `swapper` idle process, as on Linux).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(u32);
+
+impl Pid {
+    /// Raw numeric value.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a pid from its raw value (e.g. after parcel transport).
+    ///
+    /// Only meaningful for values previously obtained from
+    /// [`Pid::as_u32`] on an id issued by the same tracer.
+    pub fn from_raw(value: u32) -> Self {
+        Pid(value)
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// Identifier of a simulated thread.
+///
+/// Issued by [`Tracer::register_thread`]; dense, starting at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tid(u32);
+
+impl Tid {
+    /// Raw numeric value.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a tid from its raw value (e.g. after parcel transport).
+    ///
+    /// Only meaningful for values previously obtained from
+    /// [`Tid::as_u32`] on an id issued by the same tracer.
+    pub fn from_raw(value: u32) -> Self {
+        Tid(value)
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tid{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ProcEntry {
+    name: NameId,
+}
+
+#[derive(Debug, Clone)]
+struct ThreadEntry {
+    pid: Pid,
+    #[allow(dead_code)] // kept for debug dumps and future per-thread reports
+    name: NameId,
+    canonical: NameId,
+}
+
+type Key = (Tid, NameId);
+
+/// Accumulates memory-reference counts by (process, thread, region, kind).
+///
+/// All names live in a single intern table so that charging is a hash of two
+/// small copyable ids. A one-entry cache accelerates the common case of many
+/// consecutive charges to the same (thread, region) pair.
+///
+/// # Example
+///
+/// ```
+/// use agave_trace::{RefKind, Tracer};
+///
+/// let mut t = Tracer::new();
+/// let pid = t.register_process("system_server");
+/// let tid = t.register_thread(pid, "SurfaceFlinger");
+/// let fb0 = t.intern_region("fb0");
+/// t.charge(pid, tid, fb0, RefKind::DataWrite, 384_000);
+/// assert_eq!(t.total(RefKind::DataWrite), 384_000);
+/// ```
+#[derive(Debug, Default)]
+pub struct Tracer {
+    names: NameTable,
+    procs: Vec<ProcEntry>,
+    threads: Vec<ThreadEntry>,
+    slots: HashMap<Key, usize>,
+    /// Per-slot counters indexed by `RefKind::index()`, parallel to `slot_keys`.
+    counters: Vec<[u64; 3]>,
+    slot_keys: Vec<Key>,
+    last: Option<(Key, usize)>,
+    totals: [u64; 3],
+}
+
+impl Tracer {
+    /// Creates an empty tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a process and returns its [`Pid`].
+    ///
+    /// Multiple processes may share a name (e.g. several `app_process`
+    /// instances); reports aggregate them by name, as the paper does.
+    pub fn register_process(&mut self, name: &str) -> Pid {
+        let name = self.names.intern(name);
+        let pid = Pid(u32::try_from(self.procs.len()).expect("pid overflow"));
+        self.procs.push(ProcEntry { name });
+        pid
+    }
+
+    /// Registers a thread belonging to `pid` and returns its [`Tid`].
+    ///
+    /// The thread's canonical (Table-I family) name is derived with
+    /// [`canonical_thread_name`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` was not issued by this tracer.
+    pub fn register_thread(&mut self, pid: Pid, name: &str) -> Tid {
+        assert!(
+            (pid.0 as usize) < self.procs.len(),
+            "unknown {pid} in register_thread"
+        );
+        let canonical = self.names.intern(canonical_thread_name(name));
+        let name = self.names.intern(name);
+        let tid = Tid(u32::try_from(self.threads.len()).expect("tid overflow"));
+        self.threads.push(ThreadEntry {
+            pid,
+            name,
+            canonical,
+        });
+        tid
+    }
+
+    /// Interns a region name for later use with [`Tracer::charge`].
+    pub fn intern_region(&mut self, name: &str) -> NameId {
+        self.names.intern(name)
+    }
+
+    /// Resolves any interned id back to its string.
+    pub fn resolve(&self, id: NameId) -> &str {
+        self.names.resolve(id)
+    }
+
+    /// Number of registered processes.
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Number of registered threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Name of a registered process.
+    pub fn process_name(&self, pid: Pid) -> &str {
+        self.names.resolve(self.procs[pid.0 as usize].name)
+    }
+
+    /// The process a thread belongs to.
+    pub fn thread_pid(&self, tid: Tid) -> Pid {
+        self.threads[tid.0 as usize].pid
+    }
+
+    /// Charges `n` references of `kind` to `(pid, tid, region)`.
+    ///
+    /// `pid` must be the owning process of `tid`; this is debug-asserted.
+    /// Charging 0 references is a no-op.
+    #[inline]
+    pub fn charge(&mut self, pid: Pid, tid: Tid, region: NameId, kind: RefKind, n: u64) {
+        debug_assert_eq!(
+            self.threads[tid.0 as usize].pid, pid,
+            "thread charged against foreign process"
+        );
+        let _ = pid;
+        if n == 0 {
+            return;
+        }
+        self.totals[kind.index()] += n;
+        let key = (tid, region);
+        if let Some((last_key, slot)) = self.last {
+            if last_key == key {
+                self.counters[slot][kind.index()] += n;
+                return;
+            }
+        }
+        let slot = match self.slots.get(&key) {
+            Some(&s) => s,
+            None => {
+                let s = self.counters.len();
+                self.counters.push([0; 3]);
+                self.slot_keys.push(key);
+                self.slots.insert(key, s);
+                s
+            }
+        };
+        self.counters[slot][kind.index()] += n;
+        self.last = Some((key, slot));
+    }
+
+    /// Total references of one kind across the whole run.
+    pub fn total(&self, kind: RefKind) -> u64 {
+        self.totals[kind.index()]
+    }
+
+    /// Total references of all kinds.
+    pub fn grand_total(&self) -> u64 {
+        self.totals.iter().sum()
+    }
+
+    /// Builds the serializable per-run summary consumed by the figure
+    /// builders in [`crate::FigureTable`] and by `agave-core`.
+    pub fn summarize(&self, benchmark: &str) -> RunSummary {
+        let mut instr_by_region: BTreeMap<String, u64> = BTreeMap::new();
+        let mut data_by_region: BTreeMap<String, u64> = BTreeMap::new();
+        let mut instr_by_process: BTreeMap<String, u64> = BTreeMap::new();
+        let mut data_by_process: BTreeMap<String, u64> = BTreeMap::new();
+        let mut refs_by_thread: BTreeMap<String, u64> = BTreeMap::new();
+        let mut active_pids: Vec<bool> = vec![false; self.procs.len()];
+        let mut active_tids: Vec<bool> = vec![false; self.threads.len()];
+
+        for (slot, &(tid, region)) in self.slot_keys.iter().enumerate() {
+            let c = &self.counters[slot];
+            let instr = c[RefKind::InstrFetch.index()];
+            let data = c[RefKind::DataRead.index()] + c[RefKind::DataWrite.index()];
+            if instr == 0 && data == 0 {
+                continue;
+            }
+            let thread = &self.threads[tid.0 as usize];
+            let pid = thread.pid;
+            active_pids[pid.0 as usize] = true;
+            active_tids[tid.0 as usize] = true;
+            let region_name = self.names.resolve(region).to_owned();
+            let proc_name = self.names.resolve(self.procs[pid.0 as usize].name);
+            let thread_name = self.names.resolve(thread.canonical);
+            if instr > 0 {
+                *instr_by_region.entry(region_name.clone()).or_default() += instr;
+                *instr_by_process.entry(proc_name.to_owned()).or_default() += instr;
+            }
+            if data > 0 {
+                *data_by_region.entry(region_name).or_default() += data;
+                *data_by_process.entry(proc_name.to_owned()).or_default() += data;
+            }
+            *refs_by_thread.entry(thread_name.to_owned()).or_default() += instr + data;
+        }
+
+        RunSummary {
+            benchmark: benchmark.to_owned(),
+            instr_by_region,
+            data_by_region,
+            instr_by_process,
+            data_by_process,
+            refs_by_thread,
+            total_instr: self.totals[RefKind::InstrFetch.index()],
+            total_data: self.totals[RefKind::DataRead.index()]
+                + self.totals[RefKind::DataWrite.index()],
+            active_processes: active_pids.iter().filter(|&&a| a).count(),
+            active_threads: active_tids.iter().filter(|&&a| a).count(),
+            spawned_processes: self.procs.len(),
+            spawned_threads: self.threads.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Tracer, Pid, Tid, NameId) {
+        let mut t = Tracer::new();
+        let pid = t.register_process("bench");
+        let tid = t.register_thread(pid, "main");
+        let r = t.intern_region("heap");
+        (t, pid, tid, r)
+    }
+
+    #[test]
+    fn charge_accumulates_totals() {
+        let (mut t, pid, tid, r) = setup();
+        t.charge(pid, tid, r, RefKind::InstrFetch, 10);
+        t.charge(pid, tid, r, RefKind::InstrFetch, 5);
+        t.charge(pid, tid, r, RefKind::DataRead, 3);
+        assert_eq!(t.total(RefKind::InstrFetch), 15);
+        assert_eq!(t.total(RefKind::DataRead), 3);
+        assert_eq!(t.grand_total(), 18);
+    }
+
+    #[test]
+    fn zero_charge_is_noop() {
+        let (mut t, pid, tid, r) = setup();
+        t.charge(pid, tid, r, RefKind::DataWrite, 0);
+        assert_eq!(t.grand_total(), 0);
+        let s = t.summarize("bench");
+        assert_eq!(s.active_threads, 0);
+        assert_eq!(s.spawned_threads, 1);
+    }
+
+    #[test]
+    fn summary_groups_by_names() {
+        let mut t = Tracer::new();
+        let p1 = t.register_process("app_process");
+        let p2 = t.register_process("app_process");
+        let t1 = t.register_thread(p1, "Thread-1");
+        let t2 = t.register_thread(p2, "Thread-2");
+        let heap = t.intern_region("heap");
+        t.charge(p1, t1, heap, RefKind::DataRead, 7);
+        t.charge(p2, t2, heap, RefKind::DataWrite, 3);
+        let s = t.summarize("x");
+        // Two processes with the same name aggregate into one row.
+        assert_eq!(s.data_by_process["app_process"], 10);
+        // Thread-1 and Thread-2 canonicalize to "Thread".
+        assert_eq!(s.refs_by_thread["Thread"], 10);
+        assert_eq!(s.active_processes, 2);
+        assert_eq!(s.active_threads, 2);
+    }
+
+    #[test]
+    fn instr_and_data_split_correctly() {
+        let (mut t, pid, tid, _) = setup();
+        let code = t.intern_region("libdvm.so");
+        let data = t.intern_region("dalvik-heap");
+        t.charge(pid, tid, code, RefKind::InstrFetch, 100);
+        t.charge(pid, tid, data, RefKind::DataRead, 40);
+        t.charge(pid, tid, data, RefKind::DataWrite, 20);
+        let s = t.summarize("bench");
+        assert_eq!(s.instr_by_region["libdvm.so"], 100);
+        assert!(!s.instr_by_region.contains_key("dalvik-heap"));
+        assert_eq!(s.data_by_region["dalvik-heap"], 60);
+        assert_eq!(s.total_instr, 100);
+        assert_eq!(s.total_data, 60);
+    }
+
+    #[test]
+    fn cache_handles_interleaved_keys() {
+        let (mut t, pid, tid, r1) = setup();
+        let r2 = t.intern_region("stack");
+        for _ in 0..10 {
+            t.charge(pid, tid, r1, RefKind::DataRead, 1);
+            t.charge(pid, tid, r2, RefKind::DataRead, 2);
+        }
+        let s = t.summarize("bench");
+        assert_eq!(s.data_by_region["heap"], 10);
+        assert_eq!(s.data_by_region["stack"], 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown")]
+    fn registering_thread_on_unknown_pid_panics() {
+        let mut t1 = Tracer::new();
+        let mut t2 = Tracer::new();
+        let p = t1.register_process("a");
+        let _ = t1.register_thread(p, "main");
+        // Fresh tracer has no processes; the foreign pid is out of range.
+        let _ = t2.register_thread(p, "main");
+    }
+}

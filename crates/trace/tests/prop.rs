@@ -1,0 +1,108 @@
+//! Property tests for the tracer algebra: whatever the charging sequence,
+//! the summaries stay consistent.
+
+use agave_trace::{Breakdown, FigureTable, RefKind, RunSummary, Tracer};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn kind_of(i: u8) -> RefKind {
+    RefKind::ALL[i as usize % 3]
+}
+
+proptest! {
+    /// Totals are conserved: suming the summary maps gives the tracer
+    /// totals, whatever the interleaving of charges.
+    #[test]
+    fn summary_totals_are_conserved(
+        charges in proptest::collection::vec((0u8..4, 0u8..4, 0u8..3, 1u64..1000), 1..80),
+    ) {
+        let mut tracer = Tracer::new();
+        let pids: Vec<_> = (0..4).map(|i| tracer.register_process(&format!("p{i}"))).collect();
+        let tids: Vec<_> = pids
+            .iter()
+            .map(|&p| tracer.register_thread(p, "worker"))
+            .collect();
+        let regions: Vec<_> = (0..4).map(|i| tracer.intern_region(&format!("r{i}"))).collect();
+
+        let mut expect = [0u64; 3];
+        for &(pt, r, k, n) in &charges {
+            let kind = kind_of(k);
+            tracer.charge(pids[pt as usize], tids[pt as usize], regions[r as usize], kind, n);
+            expect[kind.index()] += n;
+        }
+        let s = tracer.summarize("prop");
+        prop_assert_eq!(s.total_instr, expect[0]);
+        prop_assert_eq!(s.total_data, expect[1] + expect[2]);
+        let instr_sum: u64 = s.instr_by_region.values().sum();
+        let data_sum: u64 = s.data_by_region.values().sum();
+        prop_assert_eq!(instr_sum, expect[0]);
+        prop_assert_eq!(data_sum, expect[1] + expect[2]);
+        let proc_sum: u64 = s.instr_by_process.values().sum();
+        prop_assert_eq!(proc_sum, expect[0]);
+        let thread_sum: u64 = s.refs_by_thread.values().sum();
+        prop_assert_eq!(thread_sum, expect.iter().sum::<u64>());
+    }
+
+    /// Merging summaries is associative on every counter.
+    #[test]
+    fn merge_is_order_independent(
+        a in proptest::collection::btree_map("[a-z]{1,6}", 1u64..1000, 0..8),
+        b in proptest::collection::btree_map("[a-z]{1,6}", 1u64..1000, 0..8),
+        c in proptest::collection::btree_map("[a-z]{1,6}", 1u64..1000, 0..8),
+    ) {
+        fn summary(map: &BTreeMap<String, u64>) -> RunSummary {
+            let mut s = RunSummary::empty("x");
+            s.refs_by_thread = map.clone();
+            s
+        }
+        let mut left = RunSummary::empty("acc");
+        left.merge(&summary(&a));
+        left.merge(&summary(&b));
+        left.merge(&summary(&c));
+        let mut right = RunSummary::empty("acc");
+        right.merge(&summary(&c));
+        right.merge(&summary(&a));
+        right.merge(&summary(&b));
+        prop_assert_eq!(left.refs_by_thread, right.refs_by_thread);
+    }
+
+    /// `top_k_with_other` preserves the total for any k.
+    #[test]
+    fn top_k_preserves_total(
+        map in proptest::collection::btree_map("[a-z]{1,8}", 1u64..10_000, 0..30),
+        k in 0usize..12,
+    ) {
+        let breakdown = Breakdown::from_map(&map);
+        let rows = breakdown.top_k_with_other(k);
+        let total: u64 = rows.iter().map(|(_, v)| v).sum();
+        prop_assert_eq!(total, breakdown.total());
+    }
+
+    /// Figure shares per benchmark sum to ~1 whenever the run is nonempty.
+    #[test]
+    fn figure_rows_sum_to_one(
+        maps in proptest::collection::vec(
+            proptest::collection::btree_map("[a-z]{1,6}", 1u64..1000, 1..10),
+            1..6,
+        ),
+        k in 1usize..6,
+    ) {
+        let runs: Vec<RunSummary> = maps
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let mut s = RunSummary::empty(&format!("bench{i}"));
+                s.instr_by_region = m.clone();
+                s
+            })
+            .collect();
+        let fig = FigureTable::figure1(&runs, k);
+        for run in &runs {
+            let mut sum = fig.share(&run.benchmark, "other");
+            for name in fig.legend() {
+                sum += fig.share(&run.benchmark, name);
+            }
+            prop_assert!((sum - 1.0).abs() < 1e-9, "{}: {}", run.benchmark, sum);
+        }
+    }
+}

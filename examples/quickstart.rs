@@ -1,0 +1,66 @@
+//! Quickstart: run one Agave workload and print where its memory
+//! references went.
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload-label]
+//! ```
+
+use agave_core::{all_workloads, run_workload, SuiteConfig, Workload};
+
+fn main() {
+    let label = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "frozenbubble.main".to_owned());
+    let workload: Workload = all_workloads()
+        .into_iter()
+        .find(|w| w.label() == label)
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload {label:?}; available:");
+            for w in all_workloads() {
+                eprintln!("  {w}");
+            }
+            std::process::exit(2);
+        });
+
+    println!("running {workload} (quick configuration)…");
+    let summary = run_workload(workload, &SuiteConfig::quick());
+
+    println!(
+        "\n{}: {} instruction + {} data references",
+        summary.benchmark, summary.total_instr, summary.total_data
+    );
+    println!(
+        "processes: {} spawned / {} active    threads: {} spawned / {} active",
+        summary.spawned_processes,
+        summary.active_processes,
+        summary.spawned_threads,
+        summary.active_threads
+    );
+    println!(
+        "regions touched: {} code, {} data",
+        summary.code_region_count(),
+        summary.data_region_count()
+    );
+
+    let sections = [
+        ("instruction references by region", &summary.instr_by_region, summary.total_instr),
+        ("data references by region", &summary.data_by_region, summary.total_data),
+        ("instruction references by process", &summary.instr_by_process, summary.total_instr),
+    ];
+    for (title, map, total) in sections {
+        println!("\ntop {title}:");
+        let mut rows: Vec<(&String, &u64)> = map.iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(a.1));
+        for (name, count) in rows.into_iter().take(8) {
+            println!("  {:>5.1}%  {name}", *count as f64 * 100.0 / total.max(1) as f64);
+        }
+    }
+
+    println!("\ntop threads (all references):");
+    let total = summary.total_instr + summary.total_data;
+    let mut rows: Vec<(&String, &u64)> = summary.refs_by_thread.iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(a.1));
+    for (name, count) in rows.into_iter().take(8) {
+        println!("  {:>5.1}%  {name}", *count as f64 * 100.0 / total.max(1) as f64);
+    }
+}

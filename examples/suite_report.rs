@@ -1,0 +1,68 @@
+//! The full paper reproduction: run all 19 Agave workloads and 6 SPEC
+//! baselines, then regenerate Figures 1–4, Table I and the claim
+//! checklist.
+//!
+//! ```text
+//! cargo run --release --example suite_report                 # reference sizing
+//! cargo run --release --example suite_report -- --quick      # fast pass
+//! cargo run --release --example suite_report -- --markdown   # EXPERIMENTS.md body
+//! cargo run --release --example suite_report -- --json out.json
+//! ```
+
+use agave_core::{experiments_markdown, Experiments, SuiteConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let (config, note) = if quick {
+        (SuiteConfig::quick(), "quick (1.2 s simulated per app, 1/8 panel)")
+    } else {
+        (
+            SuiteConfig::reference(),
+            "reference (4 s simulated per app, 1/4 panel)",
+        )
+    };
+
+    eprintln!("running 25 workloads ({note})…");
+    let started = std::time::Instant::now();
+    let experiments = Experiments::from_config(&config);
+    eprintln!("done in {:?}", started.elapsed());
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(experiments.results()).expect("serializable");
+        std::fs::write(&path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
+
+    if markdown {
+        println!("{}", experiments_markdown(&experiments, note));
+        return;
+    }
+
+    println!("{}", experiments.figure1().render());
+    println!("{}", experiments.figure2().render());
+    println!("{}", experiments.figure3().render());
+    println!("{}", experiments.figure4().render());
+    println!("{}", experiments.table1_extended(10).render());
+
+    println!("claim checklist:");
+    let claims = experiments.check_claims();
+    let passed = claims.iter().filter(|c| c.pass).count();
+    for claim in &claims {
+        println!(
+            "  [{}] {:<55} paper: {:<28} measured: {}",
+            if claim.pass { "ok" } else { "!!" },
+            claim.description,
+            claim.paper,
+            claim.measured
+        );
+    }
+    println!("\n{passed}/{} claims within the accepted band", claims.len());
+}

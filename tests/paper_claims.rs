@@ -1,0 +1,119 @@
+//! The headline reproduction test: run the full suite (quick sizing) and
+//! check every quantitative claim of the paper.
+//!
+//! This is the executable version of EXPERIMENTS.md.
+
+use agave_core::{Experiments, SuiteConfig};
+
+/// One full quick-suite pass shared by the assertions below.
+fn experiments() -> Experiments {
+    Experiments::from_config(&SuiteConfig::quick())
+}
+
+#[test]
+fn all_paper_claims_hold() {
+    let ex = experiments();
+    let claims = ex.check_claims();
+    let failures: Vec<String> = claims
+        .iter()
+        .filter(|c| !c.pass)
+        .map(|c| format!("{}: paper {} vs measured {}", c.id, c.paper, c.measured))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "{} claim(s) out of band:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn table1_reproduces_the_thread_ranking() {
+    let ex = experiments();
+    let table = ex.table1_extended(24);
+    // Rank 1 is SurfaceFlinger, in the paper's band.
+    assert_eq!(ex.table1().rows()[0].thread, "SurfaceFlinger");
+    let sf = table.percent("SurfaceFlinger");
+    assert!((30.0..=55.0).contains(&sf), "SurfaceFlinger {sf:.1}%");
+    // The other five paper families all contribute materially.
+    for family in ["Thread", "AsyncTask", "Compiler", "AudioTrackThread", "GC"] {
+        let pct = table.percent(family);
+        assert!(
+            pct >= 1.5,
+            "{family} at {pct:.1}% (paper: 5.3–8.0%)"
+        );
+    }
+}
+
+#[test]
+fn figures_have_the_paper_legends() {
+    let ex = experiments();
+    let fig1 = ex.figure1();
+    // The paper's named instruction regions all surface in our top-9.
+    for name in ["mspace", "libdvm.so", "libskia.so", "OS kernel", "app binary"] {
+        assert!(
+            fig1.legend().iter().any(|l| l == name),
+            "figure 1 legend missing {name}: {:?}",
+            fig1.legend()
+        );
+    }
+    let fig2 = ex.figure2();
+    for name in ["stack", "OS kernel", "gralloc-buffer", "dalvik-heap", "fb0 (frame buffer)"] {
+        assert!(
+            fig2.legend().iter().any(|l| l == name),
+            "figure 2 legend missing {name}: {:?}",
+            fig2.legend()
+        );
+    }
+    let fig3 = ex.figure3();
+    for name in ["benchmark", "system_server", "mediaserver"] {
+        assert!(
+            fig3.legend().iter().any(|l| l == name),
+            "figure 3 legend missing {name}: {:?}",
+            fig3.legend()
+        );
+    }
+}
+
+#[test]
+fn spec_columns_look_like_spec() {
+    let ex = experiments();
+    for spec in &ex.results().spec {
+        // Single-digit region counts vs the Android side's dozens.
+        assert!(
+            spec.code_region_count() <= 8,
+            "{}: {} code regions",
+            spec.benchmark,
+            spec.code_region_count()
+        );
+        assert!(
+            spec.instr_region_share("app binary") > 0.5,
+            "{}: binary share {:.2}",
+            spec.benchmark,
+            spec.instr_region_share("app binary")
+        );
+    }
+    // And the Agave side is nothing like that.
+    for app in &ex.results().agave {
+        assert!(
+            app.code_region_count() >= 40,
+            "{}: only {} code regions",
+            app.benchmark,
+            app.code_region_count()
+        );
+    }
+}
+
+#[test]
+fn media_architectures_contrast() {
+    let ex = experiments();
+    let gallery = ex.results().by_label("gallery.mp4.view").unwrap();
+    let vlc = ex.results().by_label("vlc.mp4.view").unwrap();
+    // Framework playback decodes in mediaserver; VLC decodes in-process.
+    assert!(gallery.instr_process_share("mediaserver") > 0.55);
+    assert!(vlc.instr_process_share("benchmark") > 0.5);
+    assert!(
+        gallery.instr_process_share("benchmark") < 0.1,
+        "gallery app should be nearly idle"
+    );
+}

@@ -1,0 +1,121 @@
+//! Cross-crate integration: run harness, summaries, serde, rendering.
+
+use agave_core::{
+    all_workloads, run_workload, AppId, Experiments, RunSummary, SuiteConfig, SuiteResults,
+    Workload,
+};
+
+fn quick() -> SuiteConfig {
+    SuiteConfig::quick()
+}
+
+#[test]
+fn every_workload_runs_without_panicking() {
+    // The full quick suite — every app boots its own world.
+    for workload in all_workloads() {
+        let summary = run_workload(workload, &quick());
+        assert_eq!(summary.benchmark, workload.label());
+        assert!(summary.total_instr > 0, "{workload}: no instructions");
+        assert!(summary.total_data > 0, "{workload}: no data refs");
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run_workload(Workload::Agave(AppId::OsmandNavView), &quick());
+    let b = run_workload(Workload::Agave(AppId::OsmandNavView), &quick());
+    assert_eq!(a, b, "same config must give identical reference counts");
+}
+
+#[test]
+fn background_variants_hide_the_ui() {
+    let fg = run_workload(Workload::Agave(AppId::MusicMp3View), &quick());
+    let bkg = run_workload(Workload::Agave(AppId::MusicMp3ViewBkg), &quick());
+    // The foreground app draws; the background one doesn't touch Skia's
+    // mspace from the benchmark process nearly as much.
+    let fg_mspace = fg.instr_by_region.get("mspace").copied().unwrap_or(0) as f64
+        / fg.total_instr as f64;
+    let bkg_app = bkg.instr_process_share("benchmark");
+    assert!(bkg_app < 0.05, "background app too busy: {bkg_app:.3}");
+    assert!(fg_mspace > 0.0);
+    // Both keep playing music through mediaserver.
+    assert!(bkg.instr_process_share("mediaserver") > 0.2);
+    // The background variant spawns the app_process helper.
+    assert!(bkg.spawned_processes > fg.spawned_processes);
+}
+
+#[test]
+fn summaries_serialize_and_merge() {
+    let a = run_workload(Workload::Agave(AppId::CountdownMain), &quick());
+    let json = serde_json::to_string(&a).expect("serialize");
+    let back: RunSummary = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, a);
+
+    let b = run_workload(Workload::Spec(agave_core::SpecProgram::Specrand), &quick());
+    let mut merged = RunSummary::empty("merged");
+    merged.merge(&a);
+    merged.merge(&b);
+    assert_eq!(merged.total_instr, a.total_instr + b.total_instr);
+}
+
+#[test]
+fn experiments_render_everywhere() {
+    // A two-workload mini-suite keeps this test fast while covering the
+    // full rendering path.
+    let results = SuiteResults {
+        agave: vec![run_workload(Workload::Agave(AppId::CountdownMain), &quick())],
+        spec: vec![run_workload(
+            Workload::Spec(agave_core::SpecProgram::Specrand),
+            &quick(),
+        )],
+    };
+    let ex = Experiments::new(results);
+    for text in [
+        ex.figure1().render(),
+        ex.figure2().render(),
+        ex.figure3().render(),
+        ex.figure4().render(),
+        ex.table1().render(),
+    ] {
+        assert!(text.contains('%') || text.contains("references") || !text.is_empty());
+    }
+    let csv = ex.figure1().to_csv();
+    assert!(csv.starts_with("benchmark,"));
+    assert!(csv.contains("countdown.main"));
+    let md = agave_core::experiments_markdown(&ex, "integration test");
+    assert!(md.contains("Figure 4"));
+}
+
+#[test]
+fn reference_config_scales_up_from_quick() {
+    let quick = run_workload(Workload::Agave(AppId::CountdownMain), &SuiteConfig::quick());
+    let mut reference_cfg = SuiteConfig::quick();
+    reference_cfg.app.duration_ms *= 3;
+    let longer = run_workload(Workload::Agave(AppId::CountdownMain), &reference_cfg);
+    assert!(
+        longer.total_instr > quick.total_instr * 2,
+        "3× duration should give ≳2× references ({} vs {})",
+        longer.total_instr,
+        quick.total_instr
+    );
+}
+
+#[test]
+fn artifacts_are_written_to_disk() {
+    let results = SuiteResults {
+        agave: vec![run_workload(Workload::Agave(AppId::CountdownMain), &quick())],
+        spec: vec![],
+    };
+    let ex = Experiments::new(results);
+    let dir = std::env::temp_dir().join("agave-artifacts-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    agave_core::write_artifacts(&ex, &dir).expect("artifacts written");
+    for file in ["fig1.csv", "fig2.csv", "fig3.csv", "fig4.csv", "results.json", "table1.txt"] {
+        let path = dir.join(file);
+        let len = std::fs::metadata(&path).expect("file exists").len();
+        assert!(len > 0, "{file} is empty");
+    }
+    let fig1 = std::fs::read_to_string(dir.join("fig1.csv")).unwrap();
+    assert!(fig1.contains("countdown.main"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
