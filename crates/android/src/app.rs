@@ -127,8 +127,10 @@ impl AppEnv {
         let db = cx.intern_region(&format!("/data/data/{}/databases/main.db", self.package));
         cx.charge(db, RefKind::DataRead, fetches / 96 + 2);
         cx.charge(db, RefKind::DataWrite, fetches / 384 + 1);
-        let prefs =
-            cx.intern_region(&format!("/data/data/{}/shared_prefs/prefs.xml", self.package));
+        let prefs = cx.intern_region(&format!(
+            "/data/data/{}/shared_prefs/prefs.xml",
+            self.package
+        ));
         cx.charge(prefs, RefKind::DataRead, 2);
         let cursor = cx.intern_region(&format!("ashmem/CursorWindow ({})", self.package));
         cx.charge(cursor, RefKind::DataRead, fetches / 128 + 1);
@@ -230,8 +232,7 @@ impl Actor for DexoptWorker {
             cx.call_lib(wk.libdvm, n as u64);
             cx.charge(wk.heap, RefKind::DataWrite, n as u64 / 8);
         }
-        let odex =
-            cx.intern_region(&format!("/data/dalvik-cache/{}@classes.dex", self.package));
+        let odex = cx.intern_region(&format!("/data/dalvik-cache/{}@classes.dex", self.package));
         cx.charge(odex, RefKind::DataWrite, dex_len / 8);
         let pid = cx.pid();
         cx.exit_process(pid);

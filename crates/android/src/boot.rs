@@ -4,9 +4,7 @@ use crate::app::{AppEnv, DexoptWorker, OneShot, Periodic};
 use crate::libs::{LibMix, LibSet};
 use crate::services::{ActivityManagerService, PackageManagerService, WindowManagerService};
 use agave_binder::{BinderHost, ServiceDirectory, ServiceManager};
-use agave_gfx::{
-    Bitmap, Canvas, DisplayConfig, PixelFormat, Rect, SurfaceFlinger, SurfaceStore,
-};
+use agave_gfx::{Bitmap, Canvas, DisplayConfig, PixelFormat, Rect, SurfaceFlinger, SurfaceStore};
 use agave_kernel::{Kernel, Message, Pid, RefKind, Tid, TICKS_PER_MS};
 use agave_media::{AudioBus, AudioFlingerThread, MediaPlayerService};
 use std::cell::Cell;
@@ -93,7 +91,12 @@ impl Android {
             &[LibSet::Net, LibSet::SystemMisc],
         );
         let services_dex = kernel.intern_region("/system/framework/services.jar@classes.dex");
-        kernel.map_lib(system_server, "/system/framework/services.jar@classes.dex", 2_200 * 1024, 4096);
+        kernel.map_lib(
+            system_server,
+            "/system/framework/services.jar@classes.dex",
+            2_200 * 1024,
+            4096,
+        );
         kernel.map_lib(system_server, "libsurfaceflinger.so", 240 * 1024, 16 * 1024);
         kernel.map_lib(system_server, "libpixelflinger.so", 110 * 1024, 8 * 1024);
         system_mix.push(services_dex, 2);
@@ -283,7 +286,11 @@ impl Android {
             Box::new(StatusBar::new(surfaces, display.width, bar_h)),
         );
 
-        for name in ["android.process.acore", "com.android.phone", "android.process.media"] {
+        for name in [
+            "android.process.acore",
+            "com.android.phone",
+            "android.process.media",
+        ] {
             let pid = self.fork_dalvik_child(name);
             let dvm = self.kernel.well_known().libdvm;
             let mix = self.system_mix.clone();
@@ -303,7 +310,13 @@ impl Android {
     fn fork_dalvik_child(&mut self, name: &str) -> Pid {
         let pid = self.kernel.fork_process(self.zygote, name);
         let dvm = self.kernel.well_known().libdvm;
-        for t in ["GC", "Compiler", "Signal Catcher", "HeapWorker", "Binder Thread #1"] {
+        for t in [
+            "GC",
+            "Compiler",
+            "Signal Catcher",
+            "HeapWorker",
+            "Binder Thread #1",
+        ] {
             self.kernel.spawn_thread_in(pid, t, dvm, inert());
         }
         pid
@@ -322,8 +335,12 @@ impl Android {
         // dexopt verifies/optimizes the package, then exits.
         let dexopt = self.kernel.spawn_process("dexopt");
         let dvm = self.kernel.well_known().libdvm;
-        self.kernel
-            .spawn_thread_in(dexopt, "dexopt", dvm, Box::new(DexoptWorker::new(apk_path, package)));
+        self.kernel.spawn_thread_in(
+            dexopt,
+            "dexopt",
+            dvm,
+            Box::new(DexoptWorker::new(apk_path, package)),
+        );
 
         // The DefaultContainerService inspects the package.
         let defcontainer = self.fork_dalvik_child("id.defcontainer");
@@ -499,7 +516,14 @@ fn boot_kernel_threads(kernel: &mut Kernel) {
 /// Native userspace daemons.
 fn boot_daemons(kernel: &mut Kernel) {
     for name in [
-        "init", "ueventd", "vold", "netd", "debuggerd", "rild", "keystore", "installd",
+        "init",
+        "ueventd",
+        "vold",
+        "netd",
+        "debuggerd",
+        "rild",
+        "keystore",
+        "installd",
     ] {
         let pid = kernel.spawn_process(name);
         kernel.spawn_thread(pid, name, inert());
@@ -515,8 +539,20 @@ fn charge_zygote_preload(kernel: &mut Kernel, zygote: Pid, zygote_main: Tid) {
     tracer.charge(zygote, zygote_main, wk.libdvm, RefKind::InstrFetch, 48_000);
     tracer.charge(zygote, zygote_main, core_dex, RefKind::DataRead, 8_000);
     tracer.charge(zygote, zygote_main, fw_dex, RefKind::DataRead, 5_500);
-    tracer.charge(zygote, zygote_main, wk.dalvik_heap, RefKind::DataWrite, 7_000);
-    tracer.charge(zygote, zygote_main, wk.dalvik_heap, RefKind::DataRead, 3_000);
+    tracer.charge(
+        zygote,
+        zygote_main,
+        wk.dalvik_heap,
+        RefKind::DataWrite,
+        7_000,
+    );
+    tracer.charge(
+        zygote,
+        zygote_main,
+        wk.dalvik_heap,
+        RefKind::DataRead,
+        3_000,
+    );
     tracer.charge(
         zygote,
         zygote_main,

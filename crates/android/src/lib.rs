@@ -36,9 +36,9 @@ mod libs;
 mod services;
 
 pub use app::AppEnv;
-pub use input::{InputRouter, TouchAction, TouchEvent, MSG_INPUT_EVENT};
 pub use boot::Android;
 pub use fwdex::{add_framework_methods, FrameworkMethods};
+pub use input::{InputRouter, TouchAction, TouchEvent, MSG_INPUT_EVENT};
 pub use libs::{LibMix, LibSet};
 pub use services::{
     ActivityManagerService, PackageManagerService, WindowManagerService, AMS_BIND_SERVICE,

@@ -162,7 +162,11 @@ mod tests {
     use agave_binder::{BinderHost, BinderProxy};
     use agave_kernel::{Actor, Kernel, Message};
 
-    fn client_runs(code: u32, parcel: Parcel, service: impl BinderService + 'static) -> agave_trace::RunSummary {
+    fn client_runs(
+        code: u32,
+        parcel: Parcel,
+        service: impl BinderService + 'static,
+    ) -> agave_trace::RunSummary {
         struct Client {
             proxy: BinderProxy,
             code: u32,

@@ -118,8 +118,7 @@ impl Actor for Aard {
         let mut dex = app_dex("Laarddict/Main;", 4, 1);
         let search = dex.add_search_method();
         let fw = dex.fw;
-        self.base
-            .init_vm(cx, dex.dex, fw, "aarddict.android.apk");
+        self.base.init_vm(cx, dex.dex, fw, "aarddict.android.apk");
         self.search = Some(search);
         self.base.open_window(cx, "aarddict.android/.Main");
 

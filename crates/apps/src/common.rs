@@ -188,7 +188,7 @@ impl AppDex {
         m.aget(w, edges, u); // w register holds v node
         m.binop(BinOp::Add, u, u, one);
         m.aget(du, edges, u); // du holds weight
-        // dv = dist[v-node]; cand = dist[u-node] + weight
+                              // dv = dist[v-node]; cand = dist[u-node] + weight
         m.aget(Reg(10), dist, v); // dist[u]
         m.binop(BinOp::Add, Reg(10), Reg(10), du); // cand
         m.aget(dv, dist, w); // dist[v]
@@ -209,7 +209,11 @@ impl AppDex {
 }
 
 /// Fills a Dalvik array with graph edges `(u, v, w)` for the relax method.
-pub(crate) fn seed_edges(vm: &VmRef, nodes: i64, edges: usize) -> (agave_dalvik::HeapRef, agave_dalvik::HeapRef) {
+pub(crate) fn seed_edges(
+    vm: &VmRef,
+    nodes: i64,
+    edges: usize,
+) -> (agave_dalvik::HeapRef, agave_dalvik::HeapRef) {
     let mut vm = vm.borrow_mut();
     let dist = vm.heap.alloc_array(nodes as usize);
     for i in 0..nodes as usize {
@@ -218,11 +222,17 @@ pub(crate) fn seed_edges(vm: &VmRef, nodes: i64, edges: usize) -> (agave_dalvik:
     let earr = vm.heap.alloc_array(edges * 3);
     let mut s = 0x5bd1e995u64;
     for e in 0..edges {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let u = (s >> 33) as i64 % nodes;
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let v = (s >> 33) as i64 % nodes;
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let w = 1 + (s >> 33) as i64 % 64;
         vm.heap.array_set(earr, e * 3, u);
         vm.heap.array_set(earr, e * 3 + 1, v);

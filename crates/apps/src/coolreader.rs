@@ -15,7 +15,9 @@ const CR3_LIB: &str = "libcr3engine-3-1-1.so";
 
 pub(crate) fn install(android: &mut Android, env: AppEnv) {
     let pid = env.pid;
-    android.kernel.map_lib(pid, CR3_LIB, 2_100 * 1024, 96 * 1024);
+    android
+        .kernel
+        .map_lib(pid, CR3_LIB, 2_100 * 1024, 96 * 1024);
     android
         .kernel
         .spawn_thread(pid, &env.main_thread_name(), Box::new(CoolReader::new(env)));

@@ -38,7 +38,8 @@ impl Actor for Countdown {
         let mut dex = app_dex("Lorg/codechimp/Countdown;", 2, 0);
         let update = dex.add_update_method();
         let fw = dex.fw;
-        self.base.init_vm(cx, dex.dex, fw, "org.codechimp.countdown.apk");
+        self.base
+            .init_vm(cx, dex.dex, fw, "org.codechimp.countdown.apk");
         self.update = Some(update);
         self.base.open_window(cx, "org.codechimp.countdown/.Main");
         cx.post_self(Message::new(MSG_FRAME));

@@ -6,7 +6,9 @@
 //! Dalvik. The heaviest native-code workload in the suite.
 
 use crate::common::{app_dex, AppBase, MSG_FRAME};
-use agave_android::{Actor, Android, AppEnv, Ctx, Message, Rect, RefKind, TouchEvent, TICKS_PER_MS};
+use agave_android::{
+    Actor, Android, AppEnv, Ctx, Message, Rect, RefKind, TouchEvent, TICKS_PER_MS,
+};
 use agave_dalvik::Value;
 use agave_dex::MethodId;
 use agave_media::AudioBus;
@@ -16,8 +18,12 @@ const PRBOOM: &str = "libprboom.so";
 
 pub(crate) fn install(android: &mut Android, env: AppEnv) {
     let pid = env.pid;
-    android.kernel.map_lib(pid, PRBOOM, 1_700 * 1024, 380 * 1024);
-    android.kernel.map_lib(pid, "libSDL.so", 420 * 1024, 40 * 1024);
+    android
+        .kernel
+        .map_lib(pid, PRBOOM, 1_700 * 1024, 380 * 1024);
+    android
+        .kernel
+        .map_lib(pid, "libSDL.so", 420 * 1024, 40 * 1024);
     android
         .kernel
         .spawn_thread(pid, &env.main_thread_name(), Box::new(Doom::new(env)));
@@ -74,7 +80,7 @@ impl Doom {
         let h = canvas.bitmap().height();
         canvas.draw_gradient(cx, Rect::new(0, 0, w, h / 2), 0x4208, 0x630c); // ceiling
         canvas.draw_gradient(cx, Rect::new(0, h / 2, w, h / 2), 0x3186, 0x18c3); // floor
-        // Wall columns.
+                                                                                 // Wall columns.
         let cols = (w / 4).max(1);
         for c in 0..cols {
             let height = (h / 3) + ((self.tic as u32 * 7 + c * 13) % (h / 3).max(1));
@@ -96,9 +102,10 @@ impl Doom {
         if let Some(track) = &self.audio {
             let track = track.clone();
             cx.call_lib(prboom, 8_000);
-            let pcm: Vec<i16> = (0..882) // 20 ms at 22.05 kHz stereo
-                .map(|i| ((self.tic as i64 * 31 + i) % 8_191) as i16)
-                .collect();
+            let pcm: Vec<i16> =
+                (0..882) // 20 ms at 22.05 kHz stereo
+                    .map(|i| ((self.tic as i64 * 31 + i) % 8_191) as i16)
+                    .collect();
             track.write_pcm(cx, &pcm);
         }
 

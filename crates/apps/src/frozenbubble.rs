@@ -6,7 +6,9 @@
 //! source of JIT (`Compiler`) and `GC` activity.
 
 use crate::common::{app_dex, AppBase, MSG_FRAME};
-use agave_android::{Actor, Android, AppEnv, Ctx, Message, Rect, TouchAction, TouchEvent, TICKS_PER_MS};
+use agave_android::{
+    Actor, Android, AppEnv, Ctx, Message, Rect, TouchAction, TouchEvent, TICKS_PER_MS,
+};
 use agave_dalvik::{Value, VmRef};
 use agave_dex::MethodId;
 
@@ -14,9 +16,11 @@ const FRAME_MS: u64 = 33; // 30 fps
 
 pub(crate) fn install(android: &mut Android, env: AppEnv) {
     let pid = env.pid;
-    android
-        .kernel
-        .spawn_thread(pid, &env.main_thread_name(), Box::new(FrozenBubble::new(env)));
+    android.kernel.spawn_thread(
+        pid,
+        &env.main_thread_name(),
+        Box::new(FrozenBubble::new(env)),
+    );
 }
 
 struct FrozenBubble {
@@ -126,7 +130,11 @@ impl Actor for FrozenBubble {
         // The flying bubble.
         let fx = (self.frame_no as u32 * 11) % w.max(1);
         let fy = h - ((self.frame_no as u32 * 17) % (h * 2 / 3).max(1));
-        canvas.fill_rect(cx, Rect::new(fx, fy.min(h - 2), bubble, bubble.min(2)), 0xffff);
+        canvas.fill_rect(
+            cx,
+            Rect::new(fx, fy.min(h - 2), bubble, bubble.min(2)),
+            0xffff,
+        );
         self.base.env.framework_tail(cx, 2_500);
         self.base.post(cx, canvas);
         cx.post_self_after(FRAME_MS * TICKS_PER_MS, Message::new(MSG_FRAME));

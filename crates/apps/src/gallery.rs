@@ -38,7 +38,8 @@ impl Actor for Gallery {
     fn on_start(&mut self, cx: &mut Ctx<'_>) {
         let dex = app_dex("Lcom/android/gallery/Movie;", 2, 0);
         let fw = dex.fw;
-        self.base.init_vm(cx, dex.dex, fw, "com.android.gallery.apk");
+        self.base
+            .init_vm(cx, dex.dex, fw, "com.android.gallery.apk");
         let win = self.base.open_window(cx, "com.android.gallery/.MovieView");
 
         // Hand the surface to mediaserver and start playback.

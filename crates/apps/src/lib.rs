@@ -41,4 +41,4 @@ mod registry;
 mod vlc;
 
 pub use config::RunConfig;
-pub use registry::{all_apps, run_app, AppId};
+pub use registry::{all_apps, run_app, run_app_with_sink, AppId};

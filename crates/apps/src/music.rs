@@ -53,7 +53,9 @@ impl Actor for Music {
         let dex = app_dex("Lcom/android/music/Player;", 3, 1);
         let fw = dex.fw;
         self.base.init_vm(cx, dex.dex, fw, "com.android.music.apk");
-        let win = self.base.open_window(cx, "com.android.music/.MediaPlaybackActivity");
+        let win = self
+            .base
+            .open_window(cx, "com.android.music/.MediaPlaybackActivity");
 
         // Start framework playback (decodes in mediaserver).
         let player = self.base.env.media_player();
@@ -66,7 +68,9 @@ impl Actor for Music {
             self.base.env.surfaces.set_visible_by_name("launcher", true);
             let helper = self.base.env.fork_app_process(cx);
             cx.spawn_thread(helper, "ndroid.music:svc", Box::new(ServiceHelper));
-            self.base.env.start_activity(cx, "com.android.music/.MediaPlaybackService");
+            self.base
+                .env
+                .start_activity(cx, "com.android.music/.MediaPlaybackService");
         }
         cx.post_self_after(UI_MS * TICKS_PER_MS, Message::new(MSG_FRAME));
     }

@@ -78,7 +78,10 @@ impl Actor for Parser {
     fn on_start(&mut self, cx: &mut Ctx<'_>) {
         let path = self.kind.path();
         // Lazy viewers only materialize the visible prefix.
-        let len = cx.fs_len(path).expect("document registered").min(256 * 1024);
+        let len = cx
+            .fs_len(path)
+            .expect("document registered")
+            .min(256 * 1024);
         let mut buf = vec![0u8; 32 * 1024];
         let mut offset = 0u64;
         let libz = cx.intern_region("libz.so");
@@ -112,7 +115,8 @@ impl Actor for Odr {
         let mut dex = app_dex("Lat/tomtasche/reader/Main;", 5, 1);
         let update = dex.add_update_method();
         let fw = dex.fw;
-        self.base.init_vm(cx, dex.dex, fw, "at.tomtasche.reader.apk");
+        self.base
+            .init_vm(cx, dex.dex, fw, "at.tomtasche.reader.apk");
         self.update = Some(update);
         self.sum = Some(fw.sum);
         self.base.open_window(cx, "at.tomtasche.reader/.Main");

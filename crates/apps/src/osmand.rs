@@ -24,9 +24,11 @@ pub(crate) fn install(android: &mut Android, env: AppEnv, nav: bool) {
     android
         .kernel
         .map_lib(pid, "libosmand.so", 900 * 1024, 60 * 1024);
-    android
-        .kernel
-        .spawn_thread(pid, &env.main_thread_name(), Box::new(Osmand::new(env, nav)));
+    android.kernel.spawn_thread(
+        pid,
+        &env.main_thread_name(),
+        Box::new(Osmand::new(env, nav)),
+    );
 }
 
 struct Osmand {
@@ -97,11 +99,7 @@ impl Actor for Router {
         let out = self.vm.borrow_mut().invoke(
             cx,
             self.relax,
-            &[
-                Value::Ref(self.dist),
-                Value::Ref(self.edges),
-                Value::Int(2),
-            ],
+            &[Value::Ref(self.dist), Value::Ref(self.edges), Value::Int(2)],
         );
         assert_eq!(out.expect("relax returns").as_int(), 0); // source dist
         cx.post_self_after(ROUTE_MS * TICKS_PER_MS, Message::new(0));
@@ -174,11 +172,7 @@ impl Actor for Osmand {
         }
         // Vector overlays: roads + position marker.
         for road in 0..6u32 {
-            canvas.fill_rect(
-                cx,
-                Rect::new(0, (road * 2 + 3) * h / 16, w, 2),
-                0xfbe0,
-            );
+            canvas.fill_rect(cx, Rect::new(0, (road * 2 + 3) * h / 16, w, 2), 0xfbe0);
         }
         canvas.fill_rect(cx, Rect::new(w / 2, h / 2, 4, 4), 0x001f);
         if self.nav {

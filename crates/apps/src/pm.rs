@@ -8,8 +8,8 @@
 
 use crate::common::{app_dex, AppBase, MSG_FRAME};
 use agave_android::{
-    Actor, Android, AppEnv, BinderProxy, Ctx, Message, Parcel, Rect, TICKS_PER_MS,
-    PMS_GET_PACKAGE_INFO,
+    Actor, Android, AppEnv, BinderProxy, Ctx, Message, Parcel, Rect, PMS_GET_PACKAGE_INFO,
+    TICKS_PER_MS,
 };
 use agave_dalvik::{Value, VmRef};
 use agave_dex::MethodId;
@@ -65,9 +65,11 @@ impl Actor for Scanner {
         let n = cx.fs_read("/sdcard/download/extra.apk", off, &mut buf);
         let libz = cx.intern_region("libz.so");
         cx.call_lib(libz, 2 * n as u64);
-        self.vm
-            .borrow_mut()
-            .invoke(cx, self.update, &[Value::Int(i64::from(self.index)), Value::Int(120)]);
+        self.vm.borrow_mut().invoke(
+            cx,
+            self.update,
+            &[Value::Int(i64::from(self.index)), Value::Int(120)],
+        );
 
         cx.post_self_after(SCAN_MS * TICKS_PER_MS, Message::new(0));
     }

@@ -2,7 +2,7 @@
 
 use crate::config::RunConfig;
 use agave_android::{Android, DisplayConfig};
-use agave_trace::RunSummary;
+use agave_trace::{NameDirectory, RunSummary, SharedSink};
 use std::fmt;
 
 /// The 19 Agave workload configurations, labeled exactly as on the
@@ -68,9 +68,7 @@ impl AppId {
             AppId::GalleryMp4View => "com.android.gallery",
             AppId::JetboyMain => "com.example.jetboy",
             AppId::MusicMp3View | AppId::MusicMp3ViewBkg => "com.android.music",
-            AppId::OdrPptView | AppId::OdrTxtView | AppId::OdrXlsView => {
-                "at.tomtasche.reader"
-            }
+            AppId::OdrPptView | AppId::OdrTxtView | AppId::OdrXlsView => "at.tomtasche.reader",
             AppId::OsmandMapView | AppId::OsmandNavView => "net.osmand",
             AppId::PmApkView | AppId::PmApkViewBkg => "com.android.packageinstaller",
             AppId::VlcMp3View | AppId::VlcMp3ViewBkg | AppId::VlcMp4View => "org.videolan.vlc",
@@ -141,12 +139,39 @@ fn register_inputs(android: &mut Android) {
 /// Boots a fresh Android, launches `id`, runs it for the configured
 /// duration, and returns the run summary labeled with the figure name.
 pub fn run_app(id: AppId, config: RunConfig) -> RunSummary {
+    run_app_inner(id, config, None).0
+}
+
+/// Like [`run_app`], but registers `sink` on the fresh world's reference
+/// stream before launch and also returns the [`NameDirectory`], so the
+/// sink's consumer can resolve region and process ids after the run.
+///
+/// The sink is attached after boot, so it observes exactly the workload's
+/// steady-state traffic (the paper's measurements likewise exclude boot).
+pub fn run_app_with_sink(
+    id: AppId,
+    config: RunConfig,
+    sink: SharedSink,
+) -> (RunSummary, NameDirectory) {
+    run_app_inner(id, config, Some(sink))
+}
+
+fn run_app_inner(
+    id: AppId,
+    config: RunConfig,
+    sink: Option<SharedSink>,
+) -> (RunSummary, NameDirectory) {
     let mut android = Android::boot(DisplayConfig::wvga().scaled(config.display_scale));
+    if let Some(sink) = sink {
+        android.kernel.attach_sink(sink);
+    }
     register_inputs(&mut android);
     let env = android.launch_app(id.package(), &id.apk_path());
     install(id, &mut android, env);
     android.run_ms(config.duration_ms);
-    android.kernel.tracer().summarize(id.label())
+    let summary = android.kernel.tracer().summarize(id.label());
+    let directory = android.kernel.tracer().name_directory();
+    (summary, directory)
 }
 
 /// Spawns the workload's actors into a booted world.
@@ -196,9 +221,6 @@ mod tests {
     fn background_flags() {
         assert!(AppId::MusicMp3ViewBkg.is_background());
         assert!(!AppId::MusicMp3View.is_background());
-        assert_eq!(
-            all_apps().iter().filter(|a| a.is_background()).count(),
-            3
-        );
+        assert_eq!(all_apps().iter().filter(|a| a.is_background()).count(), 3);
     }
 }

@@ -7,9 +7,7 @@
 //! through an `AudioTrackThread` (in the app) to AudioFlinger.
 
 use crate::common::{app_dex, AppBase, MSG_FRAME};
-use agave_android::{
-    Actor, Android, AppEnv, Ctx, Message, Rect, SessionOutput, TICKS_PER_MS,
-};
+use agave_android::{Actor, Android, AppEnv, Ctx, Message, Rect, SessionOutput, TICKS_PER_MS};
 use agave_media::MediaSession;
 
 const VIS_MS: u64 = 100; // 10 fps visualizer
@@ -26,7 +24,9 @@ pub(crate) fn install(android: &mut Android, env: AppEnv, media: Media, backgrou
     android
         .kernel
         .map_lib(pid, "libvlccore.so", 3_400 * 1024, 220 * 1024);
-    android.kernel.map_lib(pid, "libvlc.so", 600 * 1024, 40 * 1024);
+    android
+        .kernel
+        .map_lib(pid, "libvlc.so", 600 * 1024, 40 * 1024);
     android.kernel.spawn_thread(
         pid,
         &env.main_thread_name(),
@@ -51,7 +51,9 @@ impl Actor for Vlc {
         let dex = app_dex("Lorg/videolan/vlc/Main;", 4, 1);
         let fw = dex.fw;
         self.base.init_vm(cx, dex.dex, fw, "org.videolan.vlc.apk");
-        let win = self.base.open_window(cx, "org.videolan.vlc/.PlayerActivity");
+        let win = self
+            .base
+            .open_window(cx, "org.videolan.vlc/.PlayerActivity");
 
         // In-process pipeline: own AudioTrack + transport thread + decode
         // session, all inside the benchmark process.
@@ -120,7 +122,12 @@ impl Actor for Vlc {
             let amp = ((self.beat as u32 * (b + 3) * 7) % h.max(1)).max(1);
             canvas.fill_rect(
                 cx,
-                Rect::new(b * bw, h - amp.min(h - 1), bw.saturating_sub(1).max(1), amp.min(h - 1)),
+                Rect::new(
+                    b * bw,
+                    h - amp.min(h - 1),
+                    bw.saturating_sub(1).max(1),
+                    amp.min(h - 1),
+                ),
                 0x07e0 | (b << 11),
             );
         }

@@ -50,10 +50,20 @@ fn countdown_is_dominated_by_the_platform() {
 #[test]
 fn doom_is_native_engine_heavy() {
     let s = run(AppId::DoomMain);
-    assert!(share(&s, "libprboom.so") > 0.10, "{:.3}", share(&s, "libprboom.so"));
+    assert!(
+        share(&s, "libprboom.so") > 0.10,
+        "{:.3}",
+        share(&s, "libprboom.so")
+    );
     assert!(s.data_by_region.contains_key("/sdcard/doom/doom1.wad"));
     // Doom mixes its own audio in-process.
-    assert!(s.refs_by_thread.get("AudioTrackThread").copied().unwrap_or(0) > 0);
+    assert!(
+        s.refs_by_thread
+            .get("AudioTrackThread")
+            .copied()
+            .unwrap_or(0)
+            > 0
+    );
 }
 
 #[test]
@@ -77,7 +87,13 @@ fn gallery_decodes_in_mediaserver() {
 fn jetboy_mixes_game_and_audio() {
     let s = run(AppId::JetboyMain);
     assert!(share(&s, "libsonivox.so") > 0.001);
-    assert!(s.refs_by_thread.get("AudioTrackThread").copied().unwrap_or(0) > 0);
+    assert!(
+        s.refs_by_thread
+            .get("AudioTrackThread")
+            .copied()
+            .unwrap_or(0)
+            > 0
+    );
     assert!(share(&s, "libdvm.so") > 0.02);
 }
 
@@ -174,7 +190,8 @@ fn vlc_bkg_keeps_decoding_without_ui() {
     let fg = run(AppId::VlcMp3View);
     let fg_total = fg.total_instr + fg.total_data;
     let bkg_total = bkg.total_instr + bkg.total_data;
-    let fg_gralloc = *fg.data_by_region.get("gralloc-buffer").unwrap_or(&0) as f64 / fg_total as f64;
+    let fg_gralloc =
+        *fg.data_by_region.get("gralloc-buffer").unwrap_or(&0) as f64 / fg_total as f64;
     let bkg_gralloc =
         *bkg.data_by_region.get("gralloc-buffer").unwrap_or(&0) as f64 / bkg_total as f64;
     assert!(bkg_gralloc < fg_gralloc);

@@ -12,12 +12,11 @@
 //! 4. **GC trigger threshold** — collections per run vs allocation churn.
 
 use agave_apps::{run_app, AppId, RunConfig};
+use agave_bench::Group;
 use agave_dalvik::{Value, Vm};
 use agave_dex::{BinOp, Cond, DexFile, MethodBuilder, MethodId, Reg};
 use agave_gfx::{Bitmap, DisplayConfig, PixelFormat, SurfaceFlinger, SurfaceStore, VSYNC_PERIOD};
 use agave_kernel::{Actor, Ctx, Kernel, Message};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
 /// Builds the classic sum loop used by the JIT ablation.
 fn sum_dex() -> (DexFile, MethodId) {
@@ -181,7 +180,10 @@ fn ablation_display_scale() {
 
 fn ablation_gc_churn() {
     println!("\n== Ablation 4: allocation churn vs collections ==");
-    println!("{:<20} {:>8} {:>14}", "arrays allocated", "GCs", "GC-ish refs");
+    println!(
+        "{:<20} {:>8} {:>14}",
+        "arrays allocated", "GCs", "GC-ish refs"
+    );
     for arrays in [50u64, 400, 1600] {
         let (gcs, refs) = measure(move |cx| {
             let (dex, _) = sum_dex();
@@ -202,22 +204,15 @@ fn ablation_gc_churn() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     ablation_jit();
     ablation_overlay();
     ablation_display_scale();
     ablation_gc_churn();
 
-    let mut group = c.benchmark_group("ablations");
-    group.sample_size(10);
-    group.bench_function("compose 30 vsyncs (pixelflinger)", |b| {
-        b.iter(|| black_box(compose_refs(false)))
+    let mut group = Group::new("ablations");
+    group.bench("compose 30 vsyncs (pixelflinger)", 10, || {
+        compose_refs(false)
     });
-    group.bench_function("compose 30 vsyncs (overlay)", |b| {
-        b.iter(|| black_box(compose_refs(true)))
-    });
-    group.finish();
+    group.bench("compose 30 vsyncs (overlay)", 10, || compose_refs(true));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Cache-subsystem microbenchmarks: raw `SetAssocCache` access rate and
+//! the end-to-end cost of attaching a `MemoryHierarchy` sink to a run.
+//!
+//! The hierarchy observes every classified reference, so its overhead is
+//! the price of producing the cache characterization — this bench keeps
+//! that price visible.
+
+use agave_bench::Group;
+use agave_cache::{HierarchyGeometry, Level, SetAssocCache};
+use agave_core::{run_workload, run_workload_with_cache, AppId, SuiteConfig, Workload};
+
+fn main() {
+    let mut group = Group::new("cache_throughput");
+    let geometry = HierarchyGeometry::cortex_a9();
+
+    // Raw model throughput: a mostly-hitting strided walk over 64 KiB.
+    let mut l1 = SetAssocCache::new(geometry.l1d);
+    group.bench("4M strided accesses through L1D model", 10, || {
+        let mut hits = 0u64;
+        for i in 0..4_000_000u64 {
+            hits += u64::from(l1.access((i * 16) & 0xFFFF));
+        }
+        hits
+    });
+
+    // End-to-end: the same workload bare vs with the hierarchy attached.
+    let config = SuiteConfig::quick();
+    let workload = Workload::Agave(AppId::CountdownMain);
+    group.bench("countdown.main, no sink", 10, || {
+        run_workload(workload, &config)
+    });
+    group.bench("countdown.main + cortex-a9 hierarchy", 10, || {
+        run_workload_with_cache(workload, &config, geometry)
+    });
+
+    let report = run_workload_with_cache(workload, &config, geometry);
+    println!(
+        "sanity: L1I {:.2}% miss over {} accesses",
+        report.l1i_miss_rate() * 100.0,
+        report.total(Level::L1i).accesses()
+    );
+}

@@ -3,30 +3,23 @@
 //! The bench first prints the artifact (paper reproduction), then times
 //! the simulation runs that feed it plus the figure assembly itself.
 
-use agave_bench::{representative, shared_experiments};
+use agave_bench::{representative, shared_experiments, Group};
 use agave_core::{run_workload, FigureTable, SuiteConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let experiments = shared_experiments();
     println!("\n==== Figure 1 — instruction references by VMA region ====");
     println!("{}", experiments.figure1().render());
 
-    let mut group = c.benchmark_group("fig1_instr_regions");
-    group.sample_size(10);
+    let mut group = Group::new("fig1_instr_regions");
     let config = SuiteConfig::quick();
     for workload in representative() {
-        group.bench_function(format!("run {workload}"), |b| {
-            b.iter(|| black_box(run_workload(workload, &config)))
+        group.bench(&format!("run {workload}"), 10, || {
+            run_workload(workload, &config)
         });
     }
     let runs = experiments.results().all();
-    group.bench_function("assemble figure from 25 summaries", |b| {
-        b.iter(|| black_box(FigureTable::figure1(&runs, 9)))
+    group.bench("assemble figure from 25 summaries", 10, || {
+        FigureTable::figure1(&runs, 9)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,30 +3,23 @@
 //! The bench first prints the artifact (paper reproduction), then times
 //! the simulation runs that feed it plus the figure assembly itself.
 
-use agave_bench::{representative, shared_experiments};
+use agave_bench::{representative, shared_experiments, Group};
 use agave_core::{run_workload, FigureTable, SuiteConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let experiments = shared_experiments();
     println!("\n==== Figure 4 — data references by process ====");
     println!("{}", experiments.figure4().render());
 
-    let mut group = c.benchmark_group("fig4_data_process");
-    group.sample_size(10);
+    let mut group = Group::new("fig4_data_process");
     let config = SuiteConfig::quick();
     for workload in representative() {
-        group.bench_function(format!("run {workload}"), |b| {
-            b.iter(|| black_box(run_workload(workload, &config)))
+        group.bench(&format!("run {workload}"), 10, || {
+            run_workload(workload, &config)
         });
     }
     let runs = experiments.results().all();
-    group.bench_function("assemble figure from 25 summaries", |b| {
-        b.iter(|| black_box(FigureTable::figure4(&runs, 9)))
+    group.bench("assemble figure from 25 summaries", 10, || {
+        FigureTable::figure4(&runs, 9)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,29 +3,23 @@
 //! Not a paper artifact — these catch performance regressions in the
 //! engine (charge path, Dalvik interpreter, graphics, boot).
 
+use agave_bench::Group;
 use agave_core::{run_workload, AppId, SpecProgram, SuiteConfig, Workload};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_throughput");
-    group.sample_size(10);
+fn main() {
+    let mut group = Group::new("sim_throughput");
     let config = SuiteConfig::quick();
 
-    group.bench_function("boot + launch + 1.2s: countdown.main", |b| {
-        b.iter(|| black_box(run_workload(Workload::Agave(AppId::CountdownMain), &config)))
+    group.bench("boot + launch + 1.2s: countdown.main", 10, || {
+        run_workload(Workload::Agave(AppId::CountdownMain), &config)
     });
-    group.bench_function("dalvik-heavy: odr.xls.view", |b| {
-        b.iter(|| black_box(run_workload(Workload::Agave(AppId::OdrXlsView), &config)))
+    group.bench("dalvik-heavy: odr.xls.view", 10, || {
+        run_workload(Workload::Agave(AppId::OdrXlsView), &config)
     });
-    group.bench_function("native-heavy: doom.main", |b| {
-        b.iter(|| black_box(run_workload(Workload::Agave(AppId::DoomMain), &config)))
+    group.bench("native-heavy: doom.main", 10, || {
+        run_workload(Workload::Agave(AppId::DoomMain), &config)
     });
-    group.bench_function("spec kernel: 401.bzip2", |b| {
-        b.iter(|| black_box(run_workload(Workload::Spec(SpecProgram::Bzip2), &config)))
+    group.bench("spec kernel: 401.bzip2", 10, || {
+        run_workload(Workload::Spec(SpecProgram::Bzip2), &config)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,30 +1,23 @@
 //! Regenerates and times **Table I — threads ranked by share of total
 //! memory references across the Agave suite**.
 
-use agave_bench::{representative, shared_experiments};
+use agave_bench::{representative, shared_experiments, Group};
 use agave_core::{run_workload, SuiteConfig, TableOne};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let experiments = shared_experiments();
     println!("\n==== Table I — thread ranking (paper: SurfaceFlinger 43.4, Thread 8.0, AsyncTask 7.6, Compiler 7.1, AudioTrackThread 5.9, GC 5.3) ====");
     println!("{}", experiments.table1_extended(10).render());
 
-    let mut group = c.benchmark_group("table1_threads");
-    group.sample_size(10);
+    let mut group = Group::new("table1_threads");
     let config = SuiteConfig::quick();
     for workload in representative() {
-        group.bench_function(format!("run {workload}"), |b| {
-            b.iter(|| black_box(run_workload(workload, &config)))
+        group.bench(&format!("run {workload}"), 10, || {
+            run_workload(workload, &config)
         });
     }
     let aggregate = experiments.results().agave_aggregate();
-    group.bench_function("rank threads from suite aggregate", |b| {
-        b.iter(|| black_box(TableOne::from_runs(std::slice::from_ref(&aggregate), 6)))
+    group.bench("rank threads from suite aggregate", 10, || {
+        TableOne::from_runs(std::slice::from_ref(&aggregate), 6)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

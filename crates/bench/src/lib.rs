@@ -1,5 +1,6 @@
-//! Shared helpers for the Criterion benches that regenerate the paper's
-//! figures and table.
+//! Shared helpers for the bench targets that regenerate the paper's
+//! figures and table, plus a minimal in-tree timing harness (no external
+//! bench framework, so the workspace builds with zero network access).
 //!
 //! Each bench target corresponds to one evaluation artifact:
 //!
@@ -11,6 +12,7 @@
 //! | `fig4_data_process`  | Figure 4 — data references by process |
 //! | `table1_threads`     | Table I — thread ranking |
 //! | `sim_throughput`     | simulator-level microbenchmarks |
+//! | `cache_throughput`   | `agave-cache` hierarchy simulation overhead |
 //!
 //! Running `cargo bench -p agave-bench --bench fig1_instr_regions` first
 //! prints the regenerated artifact (so the bench run doubles as the
@@ -19,7 +21,9 @@
 #![forbid(unsafe_code)]
 
 use agave_core::{Experiments, SuiteConfig};
+use std::hint::black_box;
 use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 /// One shared quick-suite run reused by all figure benches in a process.
 pub fn shared_experiments() -> &'static Experiments {
@@ -36,4 +40,47 @@ pub fn representative() -> [agave_core::Workload; 3] {
         Workload::Agave(AppId::GalleryMp4View),
         Workload::Spec(SpecProgram::Mcf),
     ]
+}
+
+/// A minimal fixed-sample timing harness.
+///
+/// Each call to [`Group::bench`] runs the closure once for warmup, then
+/// `samples` timed iterations, and prints the best and mean wall time —
+/// enough to catch engine-level performance regressions without an
+/// external bench framework.
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+}
+
+impl Group {
+    /// Starts a named group (prints its header).
+    pub fn new(name: &str) -> Self {
+        println!("\n-- bench group: {name}");
+        Group {
+            name: name.to_owned(),
+        }
+    }
+
+    /// Times `f` over `samples` iterations and prints one summary line.
+    pub fn bench<R>(&mut self, label: &str, samples: u32, mut f: impl FnMut() -> R) {
+        assert!(samples > 0, "need at least one sample");
+        black_box(f()); // warmup
+        let mut times = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
+            let started = Instant::now();
+            black_box(f());
+            times.push(started.elapsed());
+        }
+        times.sort();
+        let best = times[0];
+        let mean = times.iter().sum::<Duration>() / samples;
+        println!(
+            "{:<56} best {:>12?}  mean {:>12?}  ({} samples)",
+            format!("{}/{label}", self.name),
+            best,
+            mean,
+            samples
+        );
+    }
 }

@@ -165,7 +165,12 @@ impl Parcel {
 
 impl fmt::Display for Parcel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Parcel({} bytes, cursor {})", self.data.len(), self.cursor)
+        write!(
+            f,
+            "Parcel({} bytes, cursor {})",
+            self.data.len(),
+            self.cursor
+        )
     }
 }
 

@@ -165,7 +165,8 @@ mod tests {
             Box::new(BinderHost::new(ServiceManager::new(dir.clone()))),
         );
         let host_pid = kernel.spawn_process("system_server");
-        let svc_tid = kernel.spawn_thread(host_pid, "Binder Thread #1", Box::new(agave_kernel_inert()));
+        let svc_tid =
+            kernel.spawn_thread(host_pid, "Binder Thread #1", Box::new(agave_kernel_inert()));
         dir.register("activity", svc_tid);
 
         let app = kernel.spawn_process("benchmark");

@@ -1,8 +1,11 @@
-//! Property tests for the Binder layer: parcels survive arbitrary
-//! write/read sequences and transport.
+//! Randomized tests for the Binder layer: parcels survive arbitrary
+//! write/read sequences and transport. Inputs come from the in-tree
+//! [`XorShift64`] generator with fixed seeds.
 
 use agave_binder::Parcel;
-use proptest::prelude::*;
+use agave_trace::XorShift64;
+
+const CASES: u64 = 96;
 
 /// A value that can go into a parcel.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,22 +18,39 @@ enum Item {
     Blob(Vec<u8>),
 }
 
-fn item_strategy() -> impl Strategy<Value = Item> {
-    prop_oneof![
-        any::<i32>().prop_map(Item::I32),
-        any::<u32>().prop_map(Item::U32),
-        any::<i64>().prop_map(Item::I64),
-        any::<u64>().prop_map(Item::U64),
-        "[a-zA-Z0-9 /._-]{0,40}".prop_map(Item::Str),
-        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Item::Blob),
-    ]
+fn random_item(rng: &mut XorShift64) -> Item {
+    match rng.index(6) {
+        0 => Item::I32(rng.next_u64() as i32),
+        1 => Item::U32(rng.next_u64() as u32),
+        2 => Item::I64(rng.next_u64() as i64),
+        3 => Item::U64(rng.next_u64()),
+        4 => {
+            const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEF0123456789 /._-";
+            let len = rng.index(41);
+            Item::Str(
+                (0..len)
+                    .map(|_| ALPHABET[rng.index(ALPHABET.len())] as char)
+                    .collect(),
+            )
+        }
+        _ => {
+            let len = rng.index(64);
+            Item::Blob(rng.bytes(len))
+        }
+    }
 }
 
-proptest! {
-    /// Whatever is written, in whatever order, reads back identically —
-    /// including after a serialize/deserialize hop (the driver copy).
-    #[test]
-    fn parcels_round_trip_any_sequence(items in proptest::collection::vec(item_strategy(), 0..24)) {
+fn random_items(rng: &mut XorShift64) -> Vec<Item> {
+    (0..rng.index(24)).map(|_| random_item(rng)).collect()
+}
+
+/// Whatever is written, in whatever order, reads back identically —
+/// including after a serialize/deserialize hop (the driver copy).
+#[test]
+fn parcels_round_trip_any_sequence() {
+    let mut rng = XorShift64::new(0xb1d3);
+    for _ in 0..CASES {
+        let items = random_items(&mut rng);
         let mut p = Parcel::new();
         for item in &items {
             match item {
@@ -46,32 +66,54 @@ proptest! {
         let mut q = Parcel::from_bytes(p.as_bytes().to_vec());
         for item in &items {
             match item {
-                Item::I32(v) => prop_assert_eq!(q.read_i32(), *v),
-                Item::U32(v) => prop_assert_eq!(q.read_u32(), *v),
-                Item::I64(v) => prop_assert_eq!(q.read_i64(), *v),
-                Item::U64(v) => prop_assert_eq!(q.read_u64(), *v),
-                Item::Str(s) => prop_assert_eq!(&q.read_str(), s),
-                Item::Blob(b) => prop_assert_eq!(&q.read_blob(), b),
+                Item::I32(v) => assert_eq!(q.read_i32(), *v),
+                Item::U32(v) => assert_eq!(q.read_u32(), *v),
+                Item::I64(v) => assert_eq!(q.read_i64(), *v),
+                Item::U64(v) => assert_eq!(q.read_u64(), *v),
+                Item::Str(s) => assert_eq!(&q.read_str(), s),
+                Item::Blob(b) => assert_eq!(&q.read_blob(), b),
             }
         }
-        prop_assert_eq!(q.remaining(), 0);
+        assert_eq!(q.remaining(), 0);
     }
+}
 
-    /// Parcel length equals the sum of encoded item sizes.
-    #[test]
-    fn parcel_length_is_exact(items in proptest::collection::vec(item_strategy(), 0..24)) {
+/// Parcel length equals the sum of encoded item sizes.
+#[test]
+fn parcel_length_is_exact() {
+    let mut rng = XorShift64::new(0x1e4);
+    for _ in 0..CASES {
+        let items = random_items(&mut rng);
         let mut p = Parcel::new();
         let mut expected = 0usize;
         for item in &items {
             match item {
-                Item::I32(v) => { p.write_i32(*v); expected += 4; }
-                Item::U32(v) => { p.write_u32(*v); expected += 4; }
-                Item::I64(v) => { p.write_i64(*v); expected += 8; }
-                Item::U64(v) => { p.write_u64(*v); expected += 8; }
-                Item::Str(s) => { p.write_str(s); expected += 4 + s.len(); }
-                Item::Blob(b) => { p.write_blob(b); expected += 4 + b.len(); }
+                Item::I32(v) => {
+                    p.write_i32(*v);
+                    expected += 4;
+                }
+                Item::U32(v) => {
+                    p.write_u32(*v);
+                    expected += 4;
+                }
+                Item::I64(v) => {
+                    p.write_i64(*v);
+                    expected += 8;
+                }
+                Item::U64(v) => {
+                    p.write_u64(*v);
+                    expected += 8;
+                }
+                Item::Str(s) => {
+                    p.write_str(s);
+                    expected += 4 + s.len();
+                }
+                Item::Blob(b) => {
+                    p.write_blob(b);
+                    expected += 4 + b.len();
+                }
             }
         }
-        prop_assert_eq!(p.len(), expected);
+        assert_eq!(p.len(), expected);
     }
 }

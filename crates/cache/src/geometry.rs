@@ -1,0 +1,231 @@
+//! Cache and TLB geometries, and the named hierarchy presets.
+
+use std::fmt;
+
+/// Geometry of one set-associative cache level.
+///
+/// All three parameters must be powers of two so set index and tag are
+/// pure bit fields of the address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Number of sets.
+    pub sets: u32,
+    /// Associativity (lines per set); 1 = direct-mapped.
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+}
+
+impl CacheGeometry {
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        u64::from(self.sets) * u64::from(self.ways) * u64::from(self.line_bytes)
+    }
+
+    /// Panics unless every parameter is a nonzero power of two.
+    pub fn validate(&self) {
+        for (what, v) in [
+            ("sets", self.sets),
+            ("ways", self.ways),
+            ("line_bytes", self.line_bytes),
+        ] {
+            assert!(
+                v.is_power_of_two(),
+                "{what} must be a power of two, got {v}"
+            );
+        }
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cap = self.capacity_bytes();
+        if cap % 1024 == 0 {
+            write!(f, "{} KiB", cap / 1024)?;
+        } else {
+            write!(f, "{cap} B")?;
+        }
+        write!(f, " {}-way, {} B lines", self.ways, self.line_bytes)
+    }
+}
+
+/// Geometry of a fully-associative TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbGeometry {
+    /// Number of entries.
+    pub entries: u32,
+    /// Page size in bytes (power of two).
+    pub page_bytes: u32,
+}
+
+impl TlbGeometry {
+    /// Address span covered when every entry is live.
+    pub fn reach_bytes(&self) -> u64 {
+        u64::from(self.entries) * u64::from(self.page_bytes)
+    }
+}
+
+impl fmt::Display for TlbGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} entries, {} KiB pages",
+            self.entries,
+            self.page_bytes / 1024
+        )
+    }
+}
+
+/// A full hierarchy configuration: split L1, unified L2, split TLBs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyGeometry {
+    /// Preset name (`"cortex-a9"`, `"tiny"`, …).
+    pub name: &'static str,
+    /// L1 instruction cache.
+    pub l1i: CacheGeometry,
+    /// L1 data cache.
+    pub l1d: CacheGeometry,
+    /// Unified second-level cache.
+    pub l2: CacheGeometry,
+    /// Instruction TLB.
+    pub itlb: TlbGeometry,
+    /// Data TLB.
+    pub dtlb: TlbGeometry,
+}
+
+impl HierarchyGeometry {
+    /// A Cortex-A9-class hierarchy, contemporary with the Gingerbread-era
+    /// devices the paper models: 32 KiB 4-way split L1 with 32 B lines,
+    /// 512 KiB 8-way unified L2, 32-entry split TLBs over 4 KiB pages.
+    pub fn cortex_a9() -> Self {
+        HierarchyGeometry {
+            name: "cortex-a9",
+            l1i: CacheGeometry {
+                sets: 256,
+                ways: 4,
+                line_bytes: 32,
+            },
+            l1d: CacheGeometry {
+                sets: 256,
+                ways: 4,
+                line_bytes: 32,
+            },
+            l2: CacheGeometry {
+                sets: 2048,
+                ways: 8,
+                line_bytes: 32,
+            },
+            itlb: TlbGeometry {
+                entries: 32,
+                page_bytes: 4096,
+            },
+            dtlb: TlbGeometry {
+                entries: 32,
+                page_bytes: 4096,
+            },
+        }
+    }
+
+    /// A deliberately tiny hierarchy for fast, eviction-heavy tests:
+    /// 1 KiB 2-way split L1 with 16 B lines, 8 KiB 4-way L2, 4-entry
+    /// TLBs.
+    pub fn tiny() -> Self {
+        HierarchyGeometry {
+            name: "tiny",
+            l1i: CacheGeometry {
+                sets: 32,
+                ways: 2,
+                line_bytes: 16,
+            },
+            l1d: CacheGeometry {
+                sets: 32,
+                ways: 2,
+                line_bytes: 16,
+            },
+            l2: CacheGeometry {
+                sets: 128,
+                ways: 4,
+                line_bytes: 16,
+            },
+            itlb: TlbGeometry {
+                entries: 4,
+                page_bytes: 4096,
+            },
+            dtlb: TlbGeometry {
+                entries: 4,
+                page_bytes: 4096,
+            },
+        }
+    }
+
+    /// Names of all built-in presets.
+    pub const PRESET_NAMES: [&'static str; 2] = ["cortex-a9", "tiny"];
+
+    /// Looks up a preset by name.
+    pub fn preset(name: &str) -> Option<Self> {
+        match name {
+            "cortex-a9" => Some(Self::cortex_a9()),
+            "tiny" => Some(Self::tiny()),
+            _ => None,
+        }
+    }
+
+    /// Panics unless every level's geometry is well-formed.
+    pub fn validate(&self) {
+        self.l1i.validate();
+        self.l1d.validate();
+        self.l2.validate();
+        assert!(self.itlb.page_bytes.is_power_of_two());
+        assert!(self.dtlb.page_bytes.is_power_of_two());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cortex_a9_matches_datasheet_capacities() {
+        let g = HierarchyGeometry::cortex_a9();
+        g.validate();
+        assert_eq!(g.l1i.capacity_bytes(), 32 * 1024);
+        assert_eq!(g.l1d.capacity_bytes(), 32 * 1024);
+        assert_eq!(g.l2.capacity_bytes(), 512 * 1024);
+        assert_eq!(g.itlb.reach_bytes(), 128 * 1024);
+    }
+
+    #[test]
+    fn tiny_is_small() {
+        let g = HierarchyGeometry::tiny();
+        g.validate();
+        assert_eq!(g.l1i.capacity_bytes(), 1024);
+        assert_eq!(g.l2.capacity_bytes(), 8 * 1024);
+    }
+
+    #[test]
+    fn presets_resolve_by_name() {
+        for name in HierarchyGeometry::PRESET_NAMES {
+            let g = HierarchyGeometry::preset(name).unwrap();
+            assert_eq!(g.name, name);
+        }
+        assert!(HierarchyGeometry::preset("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn validate_rejects_non_power_of_two() {
+        CacheGeometry {
+            sets: 3,
+            ways: 2,
+            line_bytes: 32,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let g = HierarchyGeometry::cortex_a9();
+        assert_eq!(g.l1i.to_string(), "32 KiB 4-way, 32 B lines");
+        assert_eq!(g.itlb.to_string(), "32 entries, 4 KiB pages");
+    }
+}

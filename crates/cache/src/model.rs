@@ -1,0 +1,214 @@
+//! The core set-associative lookup structure with exact LRU.
+
+use crate::geometry::{CacheGeometry, TlbGeometry};
+
+/// A set-associative cache (or, with one set, a fully-associative TLB).
+///
+/// Each set is a recency-ordered vector of line numbers: index 0 is the
+/// most recently used way. A hit moves the line to the front; a miss
+/// inserts at the front and evicts the back when the set is full. This
+/// is exact LRU — appropriate at simulation speed, and deterministic.
+///
+/// # Example
+///
+/// ```
+/// use agave_cache::{CacheGeometry, SetAssocCache};
+///
+/// let mut c = SetAssocCache::new(CacheGeometry { sets: 2, ways: 2, line_bytes: 16 });
+/// assert!(!c.access(0x00)); // compulsory miss
+/// assert!(c.access(0x04));  // same 16-byte line
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geometry: CacheGeometry,
+    /// `sets[i]` holds line numbers, most recently used first.
+    sets: Vec<Vec<u64>>,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any geometry parameter is not a power of two.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        geometry.validate();
+        SetAssocCache {
+            geometry,
+            sets: vec![Vec::with_capacity(geometry.ways as usize); geometry.sets as usize],
+            line_shift: geometry.line_bytes.trailing_zeros(),
+            set_mask: u64::from(geometry.sets) - 1,
+        }
+    }
+
+    /// Builds a fully-associative cache modeling a TLB: one set,
+    /// `entries` ways, page-sized "lines".
+    pub fn tlb(geometry: TlbGeometry) -> Self {
+        Self::new(CacheGeometry {
+            sets: 1,
+            ways: geometry.entries,
+            line_bytes: geometry.page_bytes,
+        })
+    }
+
+    /// The configured geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// The line number containing `addr` (the unit of residency).
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    /// The set index serving `addr`.
+    pub fn set_of(&self, addr: u64) -> u64 {
+        self.line_of(addr) & self.set_mask
+    }
+
+    /// The tag stored for `addr` (line number above the set bits).
+    pub fn tag_of(&self, addr: u64) -> u64 {
+        self.line_of(addr) >> self.set_mask.count_ones()
+    }
+
+    /// Looks up the line containing `addr`, updating recency and
+    /// contents. Returns `true` on a hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = &mut self.sets[(line & self.set_mask) as usize];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            if pos != 0 {
+                let hit = set.remove(pos);
+                set.insert(0, hit);
+            }
+            return true;
+        }
+        if set.len() == self.geometry.ways as usize {
+            set.pop();
+        }
+        set.insert(0, line);
+        false
+    }
+
+    /// Returns `true` if the line containing `addr` is resident, without
+    /// touching recency (for tests and introspection).
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        self.sets[(line & self.set_mask) as usize]
+            .iter()
+            .any(|&l| l == line)
+    }
+
+    /// Number of resident lines across all sets.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Invalidates everything.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache {
+        // 4 sets x 2 ways x 16 B lines = 128 B.
+        SetAssocCache::new(CacheGeometry {
+            sets: 4,
+            ways: 2,
+            line_bytes: 16,
+        })
+    }
+
+    #[test]
+    fn set_index_and_tag_split_at_line_boundaries() {
+        let c = small();
+        // Addresses inside one 16-byte line share line, set and tag.
+        assert_eq!(c.line_of(0x20), c.line_of(0x2f));
+        assert_eq!(c.set_of(0x20), c.set_of(0x2f));
+        assert_eq!(c.tag_of(0x20), c.tag_of(0x2f));
+        // The next byte starts a new line and the next set.
+        assert_eq!(c.line_of(0x30), c.line_of(0x20) + 1);
+        assert_eq!(c.set_of(0x30), (c.set_of(0x20) + 1) % 4);
+        // Lines 4 sets apart map to the same set with different tags.
+        let a = 0x20;
+        let b = a + 4 * 16;
+        assert_eq!(c.set_of(a), c.set_of(b));
+        assert_ne!(c.tag_of(a), c.tag_of(b));
+    }
+
+    #[test]
+    fn same_line_hits_after_compulsory_miss() {
+        let mut c = small();
+        assert!(!c.access(0x100));
+        assert!(c.access(0x100));
+        assert!(c.access(0x10f)); // last byte of the same line
+        assert!(!c.access(0x110)); // next line
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_way() {
+        let mut c = small();
+        // Three lines mapping to the same set (stride = sets * line).
+        let (a, b, d) = (0x000, 0x040, 0x080);
+        assert!(!c.access(a));
+        assert!(!c.access(b));
+        assert!(c.access(a)); // refresh a; LRU is now b
+        assert!(!c.access(d)); // evicts b
+        assert!(c.contains(a));
+        assert!(!c.contains(b));
+        assert!(!c.access(b)); // b was evicted -> miss, evicts a (LRU)
+        assert!(!c.contains(a));
+        assert!(c.contains(d));
+    }
+
+    #[test]
+    fn tlb_reach_is_entries_times_page() {
+        let mut t = SetAssocCache::tlb(TlbGeometry {
+            entries: 4,
+            page_bytes: 4096,
+        });
+        // Touch 4 distinct pages: all compulsory misses, then all hits.
+        for p in 0..4u64 {
+            assert!(!t.access(p * 4096));
+        }
+        for p in 0..4u64 {
+            assert!(t.access(p * 4096));
+        }
+        assert_eq!(t.resident_lines(), 4);
+        // A fifth page exceeds the reach and evicts the LRU (page 0).
+        assert!(!t.access(4 * 4096));
+        assert!(!t.contains(0));
+        assert!(t.contains(4096));
+    }
+
+    #[test]
+    fn flush_empties_the_cache() {
+        let mut c = small();
+        c.access(0);
+        c.access(64);
+        assert_eq!(c.resident_lines(), 2);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn direct_mapped_conflicts_without_lru() {
+        let mut c = SetAssocCache::new(CacheGeometry {
+            sets: 2,
+            ways: 1,
+            line_bytes: 16,
+        });
+        assert!(!c.access(0x00));
+        assert!(!c.access(0x20)); // same set, conflict
+        assert!(!c.access(0x00)); // ping-pong
+    }
+}

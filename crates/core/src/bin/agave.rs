@@ -1,20 +1,27 @@
 //! `agave` — the suite's command-line front end.
 //!
 //! ```text
-//! agave list                         # all 25 workloads
-//! agave run <label> [--quick]       # one workload, summary to stdout
-//! agave suite [--quick] [--json F]  # figures 1–4, Table I, claims
-//! agave claims [--quick]            # just the claim checklist
+//! agave list                            # all 25 workloads
+//! agave run <label> [--quick]           # one workload, summary to stdout
+//! agave suite [--quick] [--json F]      # figures 1–4, Table I, claims
+//! agave claims [--quick]                # just the claim checklist
+//! agave cache <label> [--preset P]      # per-region cache/TLB breakdown
+//! agave cache --fig5 [--preset P]       # all 25 workloads, one row each
 //! ```
 
 use agave_core::{
-    all_workloads, experiments_markdown, run_workload, Experiments, SuiteConfig, Workload,
+    all_workloads, experiments_markdown, run_workload, run_workload_with_cache, Experiments,
+    Fig5Cache, HierarchyGeometry, SuiteConfig, Workload,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  agave list\n  agave run <workload> [--quick]\n  \
-         agave suite [--quick] [--markdown] [--json FILE]\n  agave claims [--quick]"
+         agave suite [--quick] [--markdown] [--json FILE]\n  agave claims [--quick]\n  \
+         agave cache <workload> [--preset NAME] [--quick] [--json] [--top N]\n  \
+         agave cache --fig5 [--preset NAME] [--quick] [--json]\n\
+         presets: {}",
+        agave_core::HierarchyGeometry::PRESET_NAMES.join(", ")
     );
     std::process::exit(2);
 }
@@ -64,16 +71,35 @@ fn cmd_run(args: &[String]) {
         summary.data_region_count()
     );
     for (title, map, total) in [
-        ("instr by region", &summary.instr_by_region, summary.total_instr),
-        ("data by region", &summary.data_by_region, summary.total_data),
-        ("instr by process", &summary.instr_by_process, summary.total_instr),
-        ("refs by thread", &summary.refs_by_thread, summary.total_instr + summary.total_data),
+        (
+            "instr by region",
+            &summary.instr_by_region,
+            summary.total_instr,
+        ),
+        (
+            "data by region",
+            &summary.data_by_region,
+            summary.total_data,
+        ),
+        (
+            "instr by process",
+            &summary.instr_by_process,
+            summary.total_instr,
+        ),
+        (
+            "refs by thread",
+            &summary.refs_by_thread,
+            summary.total_instr + summary.total_data,
+        ),
     ] {
         println!("-- {title}:");
         let mut rows: Vec<_> = map.iter().collect();
         rows.sort_by(|a, b| b.1.cmp(a.1));
         for (name, count) in rows.into_iter().take(7) {
-            println!("  {:>5.1}%  {name}", *count as f64 * 100.0 / total.max(1) as f64);
+            println!(
+                "  {:>5.1}%  {name}",
+                *count as f64 * 100.0 / total.max(1) as f64
+            );
         }
     }
 }
@@ -83,9 +109,11 @@ fn cmd_suite(args: &[String]) {
     eprintln!("running 25 workloads ({note})…");
     let experiments = Experiments::from_config(&config);
     if let Some(pos) = args.iter().position(|a| a == "--json") {
-        let path = args.get(pos + 1).map(String::as_str).unwrap_or_else(|| usage());
-        let json = serde_json::to_string_pretty(experiments.results()).expect("serializable");
-        std::fs::write(path, json).expect("write json");
+        let path = args
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or_else(|| usage());
+        std::fs::write(path, experiments.results().to_json()).expect("write json");
         eprintln!("wrote {path}");
     }
     if args.iter().any(|a| a == "--markdown") {
@@ -98,6 +126,56 @@ fn cmd_suite(args: &[String]) {
     println!("{}", experiments.figure4().render());
     println!("{}", experiments.table1_extended(10).render());
     print_claims(&experiments);
+}
+
+fn cmd_cache(args: &[String]) {
+    let (config, note) = config(args);
+    let preset = args
+        .iter()
+        .position(|a| a == "--preset")
+        .map(|pos| {
+            args.get(pos + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
+        })
+        .unwrap_or("cortex-a9");
+    let geometry = HierarchyGeometry::preset(preset).unwrap_or_else(|| {
+        eprintln!(
+            "unknown preset {preset:?}; available: {}",
+            HierarchyGeometry::PRESET_NAMES.join(", ")
+        );
+        std::process::exit(2);
+    });
+    let json = args.iter().any(|a| a == "--json");
+    if args.iter().any(|a| a == "--fig5") {
+        eprintln!("replaying 25 workloads through {preset} ({note})…");
+        let fig5 = Fig5Cache::run(&config, geometry);
+        if json {
+            println!("{}", fig5.to_json());
+        } else {
+            println!("{}", fig5.render());
+        }
+        return;
+    }
+    let label = args
+        .iter()
+        .find(|a| !a.starts_with("--") && Some(a.as_str()) != Some(preset))
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let top = args
+        .iter()
+        .position(|a| a == "--top")
+        .and_then(|pos| args.get(pos + 1))
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(12);
+    let workload = find(label);
+    eprintln!("replaying {label} through {preset} ({note})…");
+    let report = run_workload_with_cache(workload, &config, geometry);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{}", report.render(top));
+    }
 }
 
 fn cmd_claims(args: &[String]) {
@@ -132,6 +210,7 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
         Some("claims") => cmd_claims(&args[1..]),
+        Some("cache") => cmd_cache(&args[1..]),
         _ => usage(),
     }
 }

@@ -1,0 +1,248 @@
+//! Memory-hierarchy characterization over the classified reference
+//! stream — the "Figure 5" the paper's atomic-CPU methodology motivates
+//! but could not produce.
+//!
+//! The paper measures *what* the Android stack touches (figures 1–4);
+//! this extension replays the same classified reference stream through a
+//! configurable cache hierarchy ([`agave_cache`]) to ask *how well it
+//! caches*. The headline: Android's instruction stream walks dozens of
+//! interleaved code regions (libraries, the VM, services), so its L1I
+//! locality is structurally worse than any of the single-binary SPEC
+//! baselines.
+
+use crate::suite::{all_workloads, SuiteConfig, Workload};
+use agave_apps::run_app_with_sink;
+use agave_cache::{CacheReport, HierarchyGeometry, Level, LevelStats, MemoryHierarchy};
+use agave_spec::run_spec_with_sink;
+use agave_trace::{json, SharedSink};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Runs one workload with a [`MemoryHierarchy`] attached to its reference
+/// stream and returns the full per-region cache report.
+///
+/// Each call boots a fresh simulated system, so reports are deterministic
+/// and independent.
+pub fn run_workload_with_cache(
+    workload: Workload,
+    config: &SuiteConfig,
+    geometry: HierarchyGeometry,
+) -> CacheReport {
+    let hierarchy = Rc::new(RefCell::new(MemoryHierarchy::new(geometry)));
+    let sink: SharedSink = hierarchy.clone();
+    let directory = match workload {
+        Workload::Agave(app) => run_app_with_sink(app, config.app, sink).1,
+        Workload::Spec(program) => run_spec_with_sink(program, config.spec, sink).1,
+    };
+    let report = hierarchy.borrow().report(workload.label(), &directory);
+    report
+}
+
+/// One benchmark's row in the cache-characterization figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Row {
+    /// Benchmark label.
+    pub benchmark: String,
+    /// `true` for the 19 Agave workloads, `false` for SPEC baselines.
+    pub is_android: bool,
+    /// Whole-run stats indexed by [`Level::index`].
+    pub totals: [LevelStats; 5],
+    /// The region with the most L1 traffic.
+    pub top_region: String,
+    /// That region's L1I miss rate.
+    pub top_region_l1i_miss_rate: f64,
+    /// Number of regions that issued instruction fetches.
+    pub code_regions: usize,
+}
+
+impl Fig5Row {
+    fn from_report(report: &CacheReport, is_android: bool) -> Self {
+        let top = report.regions.first();
+        Fig5Row {
+            benchmark: report.benchmark.clone(),
+            is_android,
+            totals: report.totals,
+            top_region: top.map(|r| r.name.clone()).unwrap_or_default(),
+            top_region_l1i_miss_rate: top.map(|r| r.level(Level::L1i).miss_rate()).unwrap_or(0.0),
+            code_regions: report
+                .regions
+                .iter()
+                .filter(|r| r.level(Level::L1i).accesses() > 0)
+                .count(),
+        }
+    }
+
+    /// Stats for one level.
+    pub fn total(&self, level: Level) -> LevelStats {
+        self.totals[level.index()]
+    }
+
+    fn to_json(&self) -> String {
+        let mut obj = json::Object::new();
+        obj.field_str("benchmark", &self.benchmark)
+            .field_bool("android", self.is_android)
+            .field_str("top_region", &self.top_region)
+            .field_f64("top_region_l1i_miss_rate", self.top_region_l1i_miss_rate)
+            .field_usize("code_regions", self.code_regions);
+        for level in Level::ALL {
+            let s = self.total(level);
+            let mut l = json::Object::new();
+            l.field_u64("hits", s.hits)
+                .field_u64("misses", s.misses)
+                .field_f64("miss_rate", s.miss_rate());
+            obj.field_raw(level.label(), &l.finish());
+        }
+        obj.finish()
+    }
+}
+
+/// The cache-characterization experiment: every workload replayed through
+/// one cache geometry, one row per benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Cache {
+    /// Geometry preset name.
+    pub preset: String,
+    /// One row per workload, in figure order (19 Agave, then 6 SPEC).
+    pub rows: Vec<Fig5Row>,
+}
+
+impl Fig5Cache {
+    /// Runs all 25 workloads through `geometry` at `config` sizing.
+    pub fn run(config: &SuiteConfig, geometry: HierarchyGeometry) -> Self {
+        Fig5Cache::run_workloads(&all_workloads(), config, geometry)
+    }
+
+    /// Runs a chosen subset of workloads (rows keep the given order).
+    pub fn run_workloads(
+        workloads: &[Workload],
+        config: &SuiteConfig,
+        geometry: HierarchyGeometry,
+    ) -> Self {
+        let rows = workloads
+            .iter()
+            .map(|&w| {
+                let report = run_workload_with_cache(w, config, geometry);
+                Fig5Row::from_report(&report, matches!(w, Workload::Agave(_)))
+            })
+            .collect();
+        Fig5Cache {
+            preset: geometry.name.to_owned(),
+            rows,
+        }
+    }
+
+    /// The Android rows merged into one aggregate for `level`.
+    pub fn android_aggregate(&self, level: Level) -> LevelStats {
+        let mut agg = LevelStats::default();
+        for row in self.rows.iter().filter(|r| r.is_android) {
+            agg.absorb(row.total(level));
+        }
+        agg
+    }
+
+    /// The SPEC rows, in figure order.
+    pub fn spec_rows(&self) -> impl Iterator<Item = &Fig5Row> {
+        self.rows.iter().filter(|r| !r.is_android)
+    }
+
+    /// Renders the per-benchmark miss-rate table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Cache characterization, preset {} — miss rates per benchmark\n",
+            self.preset
+        );
+        out.push_str(&format!(
+            "{:<22} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6}  {}\n",
+            "benchmark", "L1I%", "L1D%", "L2%", "ITLB%", "DTLB%", "#code", "top region (L1I%)"
+        ));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<22} {:>6.2}% {:>6.2}% {:>6.2}% {:>6.2}% {:>6.2}% {:>6}  {} ({:.2}%)\n",
+                row.benchmark,
+                row.total(Level::L1i).miss_rate() * 100.0,
+                row.total(Level::L1d).miss_rate() * 100.0,
+                row.total(Level::L2).miss_rate() * 100.0,
+                row.total(Level::Itlb).miss_rate() * 100.0,
+                row.total(Level::Dtlb).miss_rate() * 100.0,
+                row.code_regions,
+                row.top_region,
+                row.top_region_l1i_miss_rate * 100.0,
+            ));
+        }
+        let agg = self.android_aggregate(Level::L1i);
+        out.push_str(&format!(
+            "android suite aggregate L1I miss rate: {:.2}%\n",
+            agg.miss_rate() * 100.0
+        ));
+        out
+    }
+
+    /// Serializes the experiment as a JSON object.
+    pub fn to_json(&self) -> String {
+        json::Object::new()
+            .field_str("preset", &self.preset)
+            .field_f64(
+                "android_l1i_miss_rate",
+                self.android_aggregate(Level::L1i).miss_rate(),
+            )
+            .field_raw("rows", &json::array(self.rows.iter().map(|r| r.to_json())))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agave_apps::AppId;
+    use agave_spec::SpecProgram;
+
+    #[test]
+    fn workload_report_has_traffic_and_preset() {
+        let report = run_workload_with_cache(
+            Workload::Spec(SpecProgram::Specrand),
+            &SuiteConfig::quick(),
+            HierarchyGeometry::tiny(),
+        );
+        assert_eq!(report.benchmark, "999.specrand");
+        assert_eq!(report.preset, "tiny");
+        assert!(report.total(Level::L1i).accesses() > 10_000);
+        assert!(report.total(Level::L1d).accesses() > 0);
+        assert!(!report.regions.is_empty());
+    }
+
+    #[test]
+    fn fig5_rows_follow_workload_order_and_render() {
+        let workloads = [
+            Workload::Agave(AppId::CountdownMain),
+            Workload::Spec(SpecProgram::Specrand),
+        ];
+        let fig5 = Fig5Cache::run_workloads(&workloads, &SuiteConfig::quick(), {
+            HierarchyGeometry::tiny()
+        });
+        assert_eq!(fig5.rows.len(), 2);
+        assert!(fig5.rows[0].is_android);
+        assert!(!fig5.rows[1].is_android);
+        assert_eq!(fig5.android_aggregate(Level::L1i).accesses(), {
+            fig5.rows[0].total(Level::L1i).accesses()
+        });
+        let text = fig5.render();
+        assert!(text.contains("countdown.main"));
+        assert!(text.contains("999.specrand"));
+        assert!(text.contains("android suite aggregate"));
+        let json = fig5.to_json();
+        assert!(json.starts_with(r#"{"preset":"tiny""#));
+        assert!(json.contains(r#""benchmark":"countdown.main""#));
+    }
+
+    #[test]
+    fn cache_reports_are_deterministic() {
+        let run = || {
+            run_workload_with_cache(
+                Workload::Agave(AppId::CountdownMain),
+                &SuiteConfig::quick(),
+                HierarchyGeometry::tiny(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

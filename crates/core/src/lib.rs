@@ -35,11 +35,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod experiments;
 mod profiles;
 mod report;
 mod suite;
 
+pub use cache::{run_workload_with_cache, Fig5Cache, Fig5Row};
 pub use experiments::{ClaimReport, Experiments};
 pub use profiles::{library_profiles, render_library_profiles, LibraryProfile};
 pub use report::{experiments_markdown, write_artifacts};
@@ -47,5 +49,6 @@ pub use suite::{all_workloads, run_suite, run_workload, SuiteConfig, SuiteResult
 
 // The user-facing surface of the lower layers.
 pub use agave_apps::{all_apps, AppId, RunConfig};
+pub use agave_cache::{CacheReport, HierarchyGeometry, Level, LevelStats, MemoryHierarchy};
 pub use agave_spec::{spec_programs, SpecConfig, SpecProgram};
 pub use agave_trace::{Breakdown, FigureTable, RunSummary, TableOne, TableOneRow};

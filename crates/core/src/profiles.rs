@@ -17,10 +17,9 @@
 //! the paper suggests for static profiling.
 
 use agave_trace::RunSummary;
-use serde::{Deserialize, Serialize};
 
 /// The per-library caller-independence report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LibraryProfile {
     /// Library (region) name.
     pub library: String,
@@ -101,7 +100,11 @@ pub fn render_library_profiles(profiles: &[LibraryProfile]) -> String {
             p.callers,
             p.mean_ratio,
             p.cv,
-            if p.is_caller_independent() { "yes" } else { "no" }
+            if p.is_caller_independent() {
+                "yes"
+            } else {
+                "no"
+            }
         ));
     }
     out

@@ -28,10 +28,22 @@ pub fn experiments_markdown(experiments: &Experiments, config_note: &str) -> Str
     out.push('\n');
 
     for (title, figure) in [
-        ("Figure 1 — Instruction references by VMA region (%)", experiments.figure1()),
-        ("Figure 2 — Data references by VMA region (%)", experiments.figure2()),
-        ("Figure 3 — Instruction references by process (%)", experiments.figure3()),
-        ("Figure 4 — Data references by process (%)", experiments.figure4()),
+        (
+            "Figure 1 — Instruction references by VMA region (%)",
+            experiments.figure1(),
+        ),
+        (
+            "Figure 2 — Data references by VMA region (%)",
+            experiments.figure2(),
+        ),
+        (
+            "Figure 3 — Instruction references by process (%)",
+            experiments.figure3(),
+        ),
+        (
+            "Figure 4 — Data references by process (%)",
+            experiments.figure4(),
+        ),
     ] {
         out.push_str(&format!("## {title}\n\n```text\n"));
         out.push_str(&figure.render());
@@ -45,7 +57,9 @@ pub fn experiments_markdown(experiments: &Experiments, config_note: &str) -> Str
     out.push_str(
         "## Extension — static library profiles (the paper's closing observation)\n\n```text\n",
     );
-    out.push_str(&crate::render_library_profiles(&experiments.library_profiles()));
+    out.push_str(&crate::render_library_profiles(
+        &experiments.library_profiles(),
+    ));
     out.push_str("```\n");
     out
 }
@@ -56,10 +70,7 @@ pub fn experiments_markdown(experiments: &Experiments, config_note: &str) -> Str
 /// # Errors
 ///
 /// Returns any I/O error from creating the directory or writing files.
-pub fn write_artifacts(
-    experiments: &Experiments,
-    dir: &std::path::Path,
-) -> std::io::Result<()> {
+pub fn write_artifacts(experiments: &Experiments, dir: &std::path::Path) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     for (name, figure) in [
         ("fig1.csv", experiments.figure1()),
@@ -69,9 +80,7 @@ pub fn write_artifacts(
     ] {
         std::fs::write(dir.join(name), figure.to_csv())?;
     }
-    let json = serde_json::to_string_pretty(experiments.results())
-        .expect("suite results serialize");
-    std::fs::write(dir.join("results.json"), json)?;
+    std::fs::write(dir.join("results.json"), experiments.results().to_json())?;
     std::fs::write(
         dir.join("table1.txt"),
         experiments.table1_extended(10).render(),

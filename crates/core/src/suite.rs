@@ -2,8 +2,7 @@
 
 use agave_apps::{all_apps, run_app, AppId, RunConfig};
 use agave_spec::{run_spec, spec_programs, SpecConfig, SpecProgram};
-use agave_trace::RunSummary;
-use serde::{Deserialize, Serialize};
+use agave_trace::{json, RunSummary};
 use std::fmt;
 
 /// Any runnable workload: one of the 19 Agave configurations or one of the
@@ -81,8 +80,8 @@ pub fn run_workload(workload: Workload, config: &SuiteConfig) -> RunSummary {
 }
 
 /// The results of a full suite run: one summary per workload, in figure
-/// order. Serializable for archival.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// order. Serializable for archival via [`SuiteResults::to_json`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuiteResults {
     /// The 19 Agave summaries.
     pub agave: Vec<RunSummary>,
@@ -111,6 +110,18 @@ impl SuiteResults {
             merged.merge(s);
         }
         merged
+    }
+
+    /// Serializes all summaries as a JSON object with `agave` and `spec`
+    /// arrays in figure order.
+    pub fn to_json(&self) -> String {
+        json::Object::new()
+            .field_raw(
+                "agave",
+                &json::array(self.agave.iter().map(|s| s.to_json())),
+            )
+            .field_raw("spec", &json::array(self.spec.iter().map(|s| s.to_json())))
+            .finish()
     }
 }
 

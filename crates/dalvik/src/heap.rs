@@ -31,13 +31,8 @@ impl fmt::Display for HeapRef {
 
 #[derive(Debug, Clone)]
 pub(crate) enum ObjKind {
-    Instance {
-        class: ClassId,
-        fields: Vec<Value>,
-    },
-    Array {
-        elems: Vec<i64>,
-    },
+    Instance { class: ClassId, fields: Vec<Value> },
+    Array { elems: Vec<i64> },
 }
 
 #[derive(Debug, Clone)]
@@ -195,9 +190,7 @@ impl DalvikHeap {
 
     /// Whether `r` currently points at a live object.
     pub fn is_live(&self, r: HeapRef) -> bool {
-        self.slots
-            .get(r.index())
-            .is_some_and(|slot| slot.is_some())
+        self.slots.get(r.index()).is_some_and(|slot| slot.is_some())
     }
 
     /// Class of an instance.
@@ -232,11 +225,8 @@ impl DalvikHeap {
     /// Precise: only [`Value::Ref`]s in reachable fields are traced.
     pub fn collect(&mut self, roots: &[HeapRef]) -> GcStats {
         // Mark.
-        let mut worklist: Vec<HeapRef> = roots
-            .iter()
-            .copied()
-            .filter(|r| self.is_live(*r))
-            .collect();
+        let mut worklist: Vec<HeapRef> =
+            roots.iter().copied().filter(|r| self.is_live(*r)).collect();
         let mut marked = 0usize;
         while let Some(r) = worklist.pop() {
             let slot = self.slot_mut(r);

@@ -179,7 +179,9 @@ pub(crate) fn execute(
                         f.regs[idx.0 as usize].as_int(),
                     )
                 };
-                let v = vm.heap.array_get(a, usize::try_from(i).expect("negative index"));
+                let v = vm
+                    .heap
+                    .array_get(a, usize::try_from(i).expect("negative index"));
                 stack[fi].regs[dst.0 as usize] = Value::Int(v);
                 charges.heap_read += 1;
                 charges.stack_read += 2;
@@ -271,9 +273,9 @@ pub(crate) fn execute(
                 // Natives charge in their own scopes; keep time honest.
                 charges.flush(vm, cx, cur_dex_region);
                 vm.stats.native_calls += 1;
-                let mut h = vm.hooks[hook as usize].take().unwrap_or_else(|| {
-                    panic!("native hook {hook} is unregistered or re-entered")
-                });
+                let mut h = vm.hooks[hook as usize]
+                    .take()
+                    .unwrap_or_else(|| panic!("native hook {hook} is unregistered or re-entered"));
                 let out = h(vm, cx, &argv);
                 vm.hooks[hook as usize] = Some(h);
                 if let Some(dst) = dst {
@@ -312,12 +314,7 @@ pub(crate) fn execute(
     result
 }
 
-fn new_frame(
-    vm: &Vm,
-    method: MethodId,
-    args: &[Value],
-    ret_to: Option<agave_dex::Reg>,
-) -> Frame {
+fn new_frame(vm: &Vm, method: MethodId, args: &[Value], ret_to: Option<agave_dex::Reg>) -> Frame {
     let mdef = vm.dex.method(method);
     assert_eq!(
         args.len(),

@@ -318,9 +318,7 @@ impl Vm {
         // of milliseconds on a phone-class core.
         cx.call_lib(
             self.regions.libdvm,
-            380_000 + 40 * stats.marked as u64
-                + 20 * stats.freed as u64
-                + stats.bytes_freed / 4,
+            380_000 + 40 * stats.marked as u64 + 20 * stats.freed as u64 + stats.bytes_freed / 4,
         );
         cx.charge(
             self.regions.dalvik_heap,

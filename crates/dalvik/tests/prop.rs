@@ -1,13 +1,16 @@
-//! Property-based tests for the Dalvik model.
+//! Randomized tests for the Dalvik model.
 //!
 //! The key one is *differential*: random straight-line bytecode programs
 //! are executed both by the VM interpreter and by a direct Rust evaluator,
 //! and must agree — the classic way to shake out interpreter bugs.
+//! Inputs come from the in-tree [`XorShift64`] generator with fixed seeds.
 
 use agave_dalvik::{Value, Vm};
 use agave_dex::{BinOp, DexFile, MethodBuilder, MethodId, Reg};
 use agave_kernel::{Actor, Ctx, Kernel, Message};
-use proptest::prelude::*;
+use agave_trace::XorShift64;
+
+const CASES: u64 = 64;
 
 /// A random arithmetic instruction over 4 working registers.
 #[derive(Debug, Clone, Copy)]
@@ -17,14 +20,29 @@ enum Step {
     Bin { op: u8, dst: u8, a: u8, b: u8 },
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (0u8..4, any::<i16>()).prop_map(|(dst, value)| Step::Const { dst, value }),
-        (0u8..4, 0u8..4).prop_map(|(dst, src)| Step::Move { dst, src }),
+fn random_step(rng: &mut XorShift64) -> Step {
+    match rng.index(3) {
+        0 => Step::Const {
+            dst: rng.index(4) as u8,
+            value: rng.next_u64() as i16,
+        },
+        1 => Step::Move {
+            dst: rng.index(4) as u8,
+            src: rng.index(4) as u8,
+        },
         // Div/Rem excluded: divide-by-zero traps (tested separately).
-        (0u8..8, 0u8..4, 0u8..4, 0u8..4)
-            .prop_map(|(op, dst, a, b)| Step::Bin { op, dst, a, b }),
-    ]
+        _ => Step::Bin {
+            op: rng.index(8) as u8,
+            dst: rng.index(4) as u8,
+            a: rng.index(4) as u8,
+            b: rng.index(4) as u8,
+        },
+    }
+}
+
+fn random_steps(rng: &mut XorShift64, lo: usize, hi: usize) -> Vec<Step> {
+    let len = lo + rng.index(hi - lo);
+    (0..len).map(|_| random_step(rng)).collect()
 }
 
 fn op_of(code: u8) -> BinOp {
@@ -121,28 +139,28 @@ fn with_ctx<R: 'static>(f: impl FnOnce(&mut Ctx<'_>) -> R + 'static) -> R {
     result
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Differential execution: interpreter == direct evaluation.
-    #[test]
-    fn interpreter_matches_direct_evaluation(
-        steps in proptest::collection::vec(step_strategy(), 0..40),
-    ) {
+/// Differential execution: interpreter == direct evaluation.
+#[test]
+fn interpreter_matches_direct_evaluation() {
+    let mut rng = XorShift64::new(0xd1ff);
+    for _ in 0..CASES {
+        let steps = random_steps(&mut rng, 0, 40);
         let expected = eval_direct(&steps);
         let got = with_ctx(move |cx| {
             let (dex, id) = assemble(&steps);
             let mut vm = Vm::new(cx, dex, "prop.dex");
             vm.invoke(cx, id, &[]).expect("returns").as_int()
         });
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
+}
 
-    /// JIT-compiled execution computes the same results as interpretation.
-    #[test]
-    fn compiled_matches_interpreted(
-        steps in proptest::collection::vec(step_strategy(), 1..25),
-    ) {
+/// JIT-compiled execution computes the same results as interpretation.
+#[test]
+fn compiled_matches_interpreted() {
+    let mut rng = XorShift64::new(0x117);
+    for _ in 0..CASES {
+        let steps = random_steps(&mut rng, 1, 25);
         let (interp, compiled) = with_ctx(move |cx| {
             let (dex, id) = assemble(&steps);
             let mut vm = Vm::new(cx, dex, "prop.dex");
@@ -151,18 +169,23 @@ proptest! {
             let compiled = vm.invoke(cx, id, &[]).expect("returns").as_int();
             (interp, compiled)
         });
-        prop_assert_eq!(interp, compiled);
+        assert_eq!(interp, compiled);
     }
+}
 
-    /// Random object graphs: after GC from a random root subset, exactly
-    /// the reachable objects survive.
-    #[test]
-    fn gc_keeps_exactly_the_reachable_set(
-        edges in proptest::collection::vec((0usize..20, 0usize..20), 0..40),
-        root_mask in 0u32..(1 << 20),
-    ) {
-        use agave_dalvik::DalvikHeap;
-        use agave_dex::ClassId;
+/// Random object graphs: after GC from a random root subset, exactly
+/// the reachable objects survive.
+#[test]
+fn gc_keeps_exactly_the_reachable_set() {
+    use agave_dalvik::DalvikHeap;
+    use agave_dex::ClassId;
+
+    let mut rng = XorShift64::new(0x6c);
+    for _ in 0..CASES {
+        let edges: Vec<(usize, usize)> = (0..rng.index(40))
+            .map(|_| (rng.index(20), rng.index(20)))
+            .collect();
+        let root_mask = rng.below(1 << 20) as u32;
 
         let mut heap = DalvikHeap::new();
         let objs: Vec<_> = (0..20)
@@ -199,10 +222,10 @@ proptest! {
 
         heap.collect(&roots);
         for (i, &obj) in objs.iter().enumerate() {
-            prop_assert_eq!(
+            assert_eq!(
                 heap.is_live(obj),
                 reachable[i],
-                "object {} live-state mismatch", i
+                "object {i} live-state mismatch"
             );
         }
     }

@@ -66,10 +66,7 @@ fn build_dex() -> (DexFile, MethodId, MethodId, MethodId) {
 /// main-thread actor with a fresh VM (with service threads), returning the
 /// run summary. Multiple rounds let asynchronous service-thread work (JIT
 /// compilation, GC) land between mutator steps, as on a live system.
-fn run_vm_rounds(
-    rounds: u32,
-    f: impl FnMut(&mut Vm, &mut Ctx<'_>, u32) + 'static,
-) -> RunSummary {
+fn run_vm_rounds(rounds: u32, f: impl FnMut(&mut Vm, &mut Ctx<'_>, u32) + 'static) -> RunSummary {
     struct Setup<F> {
         f: F,
         vm: VmRef,
@@ -152,7 +149,11 @@ fn panic_free_vm() -> Vm {
     let slot = std::rc::Rc::new(std::cell::RefCell::new(None));
     let mut kernel = Kernel::new();
     let pid = kernel.spawn_process("scratch");
-    kernel.spawn_thread(pid, "main", Box::new(Grab(slot.clone(), Some(DexFile::new()))));
+    kernel.spawn_thread(
+        pid,
+        "main",
+        Box::new(Grab(slot.clone(), Some(DexFile::new()))),
+    );
     kernel.run_to_idle();
     let vm = slot.borrow_mut().take().expect("vm constructed");
     vm

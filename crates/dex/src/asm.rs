@@ -1,7 +1,7 @@
 //! A small assembler with labels and backpatching.
 
-use crate::insn::{ArgList, BinOp, Cond, Insn, InvokeKind, Reg};
 use crate::file::{ClassId, MethodId};
+use crate::insn::{ArgList, BinOp, Cond, Insn, InvokeKind, Reg};
 
 /// A forward-referenceable code location.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,11 +52,7 @@ impl MethodBuilder {
     ///
     /// Panics if the label is already bound.
     pub fn bind(&mut self, label: Label) {
-        assert_eq!(
-            self.labels[label.0 as usize],
-            u32::MAX,
-            "label bound twice"
-        );
+        assert_eq!(self.labels[label.0 as usize], u32::MAX, "label bound twice");
         self.labels[label.0 as usize] = self.code.len() as u32;
     }
 
@@ -113,7 +109,10 @@ impl MethodBuilder {
 
     /// Emits `dst = new class()`.
     pub fn new_instance(&mut self, dst: Reg, class: ClassId) -> &mut Self {
-        self.code.push(Insn::NewInstance { dst, class: class.0 });
+        self.code.push(Insn::NewInstance {
+            dst,
+            class: class.0,
+        });
         self
     }
 

@@ -317,8 +317,22 @@ mod tests {
 
     #[test]
     fn encoded_sizes_match_dex_widths() {
-        assert_eq!(Insn::Move { dst: Reg(0), src: Reg(1) }.encoded_size(), 2);
-        assert_eq!(Insn::Const { dst: Reg(0), value: 10 }.encoded_size(), 4);
+        assert_eq!(
+            Insn::Move {
+                dst: Reg(0),
+                src: Reg(1)
+            }
+            .encoded_size(),
+            2
+        );
+        assert_eq!(
+            Insn::Const {
+                dst: Reg(0),
+                value: 10
+            }
+            .encoded_size(),
+            4
+        );
         assert_eq!(
             Insn::Const {
                 dst: Reg(0),

@@ -157,9 +157,7 @@ impl Bitmap {
         assert!(x < self.width && y < self.height, "pixel out of bounds");
         let o = self.offset(x, y);
         match self.format {
-            PixelFormat::Rgb565 => {
-                u32::from(u16::from_le_bytes([self.data[o], self.data[o + 1]]))
-            }
+            PixelFormat::Rgb565 => u32::from(u16::from_le_bytes([self.data[o], self.data[o + 1]])),
             PixelFormat::Argb8888 => u32::from_le_bytes([
                 self.data[o],
                 self.data[o + 1],

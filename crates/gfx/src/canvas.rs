@@ -125,10 +125,8 @@ impl Canvas {
         for i in 0..clipped.w {
             let t = i as f32 / clipped.w as f32;
             let color = lerp_color(from, to, t);
-            self.bitmap.fill_rect(
-                Rect::new(clipped.x + i, clipped.y, 1, clipped.h),
-                color,
-            );
+            self.bitmap
+                .fill_rect(Rect::new(clipped.x + i, clipped.y, 1, clipped.h), color);
         }
     }
 }
@@ -180,7 +178,10 @@ mod tests {
             let mut c = Canvas::new(Bitmap::new(128, 32, PixelFormat::Rgb565));
             c.draw_text(cx, "hello world", 2, 2, 0xffff);
             // Text actually changed pixels.
-            assert_ne!(c.bitmap().checksum(), Bitmap::new(128, 32, PixelFormat::Rgb565).checksum());
+            assert_ne!(
+                c.bitmap().checksum(),
+                Bitmap::new(128, 32, PixelFormat::Rgb565).checksum()
+            );
         });
         // "hello world" is 11 chars → the serif face is selected.
         assert!(s.data_by_region["/system/fonts/DroidSerif-Regular.ttf"] >= 24 * 11);

@@ -52,7 +52,10 @@ impl SurfaceStore {
     ) -> SurfaceHandle {
         let wk = cx.well_known();
         let len = width as usize * height as usize * format.bytes_per_pixel();
-        let buffers = [cx.shm_create(wk.gralloc, len), cx.shm_create(wk.gralloc, len)];
+        let buffers = [
+            cx.shm_create(wk.gralloc, len),
+            cx.shm_create(wk.gralloc, len),
+        ];
         let mut layers = self.inner.borrow_mut();
         layers.push(Layer {
             name: name.to_owned(),
@@ -168,7 +171,10 @@ impl SurfaceHandle {
                 (l.width, l.height, l.format),
                 "posted frame does not match surface geometry"
             );
-            (l.buffers[1 - l.front], l.width as usize * l.height as usize * l.format.bytes_per_pixel())
+            (
+                l.buffers[1 - l.front],
+                l.width as usize * l.height as usize * l.format.bytes_per_pixel(),
+            )
         };
         assert_eq!(frame.byte_len(), expected_len);
         // The raster source is read out of Skia's mspace scratch.

@@ -1,16 +1,12 @@
 //! Composition-path integration tests: overlay vs GL, z-order, stacking.
 
 use agave_gfx::{
-    Bitmap, DisplayConfig, PixelFormat, Rect, SurfaceFlinger, SurfaceStore, MSG_STOP,
-    VSYNC_PERIOD,
+    Bitmap, DisplayConfig, PixelFormat, Rect, SurfaceFlinger, SurfaceStore, MSG_STOP, VSYNC_PERIOD,
 };
 use agave_kernel::{Actor, Ctx, Kernel, Message, ShmId};
 
 /// Boots a flinger + one posting app; returns (kernel, fb, frames counter).
-fn world(
-    overlay: bool,
-    color: u16,
-) -> (Kernel, ShmId, std::rc::Rc<std::cell::Cell<u64>>) {
+fn world(overlay: bool, color: u16) -> (Kernel, ShmId, std::rc::Rc<std::cell::Cell<u64>>) {
     let mut kernel = Kernel::new();
     let cfg = DisplayConfig::wvga().scaled(8);
     let wk = kernel.well_known();
@@ -41,7 +37,10 @@ fn world(
             );
             h.set_overlay(self.overlay);
             let mut frame = Bitmap::new(h.width(), h.height(), PixelFormat::Rgb565);
-            frame.fill_rect(Rect::new(0, 0, h.width(), h.height()), u32::from(self.color));
+            frame.fill_rect(
+                Rect::new(0, 0, h.width(), h.height()),
+                u32::from(self.color),
+            );
             h.post_buffer(cx, &frame);
         }
         fn on_message(&mut self, _cx: &mut Ctx<'_>, _msg: Message) {}
@@ -127,9 +126,15 @@ fn later_layers_stack_on_top() {
             frame.fill_rect(Rect::new(0, 0, bg.width(), bg.height()), 0x000f);
             bg.post_buffer(cx, &frame);
             // …and a small status strip on top at the origin.
-            let strip = self
-                .store
-                .create_surface(cx, "strip", 0, 0, self.cfg.width, 4, PixelFormat::Rgb565);
+            let strip = self.store.create_surface(
+                cx,
+                "strip",
+                0,
+                0,
+                self.cfg.width,
+                4,
+                PixelFormat::Rgb565,
+            );
             let mut bar = Bitmap::new(strip.width(), 4, PixelFormat::Rgb565);
             bar.fill_rect(Rect::new(0, 0, strip.width(), 4), 0xfff0);
             strip.post_buffer(cx, &bar);

@@ -94,6 +94,22 @@ impl<'k> Ctx<'k> {
         self.k.now += n;
     }
 
+    /// Charges `words` references of `kind` against `region` at a concrete
+    /// virtual address — the address-carrying variant of [`Ctx::charge`]
+    /// used by the real-memory accessors, so attached cache sinks see true
+    /// spatial locality instead of the synthetic per-region stream.
+    ///
+    /// Accounting and time advance are identical to `charge(region, kind,
+    /// words)`.
+    #[inline]
+    pub fn charge_at(&mut self, region: NameId, kind: RefKind, addr: Addr, words: u64) {
+        self.k
+            .tracer
+            .charge_at(self.pid, self.tid, region, kind, addr.value(), words);
+        self.k.threads[self.tid.as_u32() as usize].cpu_ticks += words;
+        self.k.now += words;
+    }
+
     /// Charges `n` instruction fetches to the current code scope.
     #[inline]
     pub fn op(&mut self, n: u64) {
@@ -157,56 +173,56 @@ impl<'k> Ctx<'k> {
     /// Charged 32-bit load.
     pub fn load_u32(&mut self, addr: Addr) -> u32 {
         let region = self.region_of(addr);
-        self.charge(region, RefKind::DataRead, 1);
+        self.charge_at(region, RefKind::DataRead, addr, 1);
         self.k.process(self.pid).space.read_u32(addr)
     }
 
     /// Charged 32-bit store.
     pub fn store_u32(&mut self, addr: Addr, v: u32) {
         let region = self.region_of(addr);
-        self.charge(region, RefKind::DataWrite, 1);
+        self.charge_at(region, RefKind::DataWrite, addr, 1);
         self.k.process_mut(self.pid).space.write_u32(addr, v);
     }
 
     /// Charged 64-bit load.
     pub fn load_u64(&mut self, addr: Addr) -> u64 {
         let region = self.region_of(addr);
-        self.charge(region, RefKind::DataRead, 1);
+        self.charge_at(region, RefKind::DataRead, addr, 1);
         self.k.process(self.pid).space.read_u64(addr)
     }
 
     /// Charged 64-bit store.
     pub fn store_u64(&mut self, addr: Addr, v: u64) {
         let region = self.region_of(addr);
-        self.charge(region, RefKind::DataWrite, 1);
+        self.charge_at(region, RefKind::DataWrite, addr, 1);
         self.k.process_mut(self.pid).space.write_u64(addr, v);
     }
 
     /// Charged 8-bit load.
     pub fn load_u8(&mut self, addr: Addr) -> u8 {
         let region = self.region_of(addr);
-        self.charge(region, RefKind::DataRead, 1);
+        self.charge_at(region, RefKind::DataRead, addr, 1);
         self.k.process(self.pid).space.read_u8(addr)
     }
 
     /// Charged 8-bit store.
     pub fn store_u8(&mut self, addr: Addr, v: u8) {
         let region = self.region_of(addr);
-        self.charge(region, RefKind::DataWrite, 1);
+        self.charge_at(region, RefKind::DataWrite, addr, 1);
         self.k.process_mut(self.pid).space.write_u8(addr, v);
     }
 
     /// Charged bulk read into `buf` (one data read per 4 bytes).
     pub fn read_buf(&mut self, addr: Addr, buf: &mut [u8]) {
         let region = self.region_of(addr);
-        self.charge(region, RefKind::DataRead, word_refs(buf.len()));
+        self.charge_at(region, RefKind::DataRead, addr, word_refs(buf.len()));
         self.k.process(self.pid).space.read(addr, buf);
     }
 
     /// Charged bulk write of `bytes` (one data write per 4 bytes).
     pub fn write_buf(&mut self, addr: Addr, bytes: &[u8]) {
         let region = self.region_of(addr);
-        self.charge(region, RefKind::DataWrite, word_refs(bytes.len()));
+        self.charge_at(region, RefKind::DataWrite, addr, word_refs(bytes.len()));
         self.k.process_mut(self.pid).space.write(addr, bytes);
     }
 
@@ -217,10 +233,13 @@ impl<'k> Ctx<'k> {
         }
         let src_region = self.region_of(src);
         let dst_region = self.region_of(dst);
-        self.charge(src_region, RefKind::DataRead, word_refs(len as usize));
-        self.charge(dst_region, RefKind::DataWrite, word_refs(len as usize));
+        self.charge_at(src_region, RefKind::DataRead, src, word_refs(len as usize));
+        self.charge_at(dst_region, RefKind::DataWrite, dst, word_refs(len as usize));
         self.op(len / 16 + 4);
-        self.k.process_mut(self.pid).space.copy_within(dst, src, len);
+        self.k
+            .process_mut(self.pid)
+            .space
+            .copy_within(dst, src, len);
     }
 
     /// Charged memset within the current process (real bytes change).
@@ -229,7 +248,7 @@ impl<'k> Ctx<'k> {
             return;
         }
         let region = self.region_of(dst);
-        self.charge(region, RefKind::DataWrite, word_refs(len as usize));
+        self.charge_at(region, RefKind::DataWrite, dst, word_refs(len as usize));
         self.op(len / 16 + 4);
         self.k.process_mut(self.pid).space.fill(dst, len, value);
     }
@@ -305,14 +324,7 @@ impl<'k> Ctx<'k> {
     /// # Panics
     ///
     /// Panics if `dst == src` or ranges are out of bounds.
-    pub fn shm_copy(
-        &mut self,
-        dst: ShmId,
-        dst_off: usize,
-        src: ShmId,
-        src_off: usize,
-        len: usize,
-    ) {
+    pub fn shm_copy(&mut self, dst: ShmId, dst_off: usize, src: ShmId, src_off: usize, len: usize) {
         let src_name = self.k.shm.seg(src).name;
         let dst_name = self.k.shm.seg(dst).name;
         self.charge(src_name, RefKind::DataRead, word_refs(len));

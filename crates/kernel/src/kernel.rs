@@ -7,7 +7,7 @@ use crate::process::{LibHandle, Process, Thread};
 use crate::regions::WellKnown;
 use crate::shm::{ShmId, ShmStore};
 use crate::vfs::Vfs;
-use agave_trace::{NameId, Pid, RefKind, Tid, Tracer};
+use agave_trace::{NameId, Pid, RefKind, SharedSink, Tid, Tracer};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -125,6 +125,15 @@ impl Kernel {
     /// Mutable access to the tracer (for interning / direct charges).
     pub fn tracer_mut(&mut self) -> &mut Tracer {
         &mut self.tracer
+    }
+
+    /// Registers an observer on the classified reference stream.
+    ///
+    /// Every subsequent charge is broadcast to `sink` as one or more
+    /// [`agave_trace::Reference`] blocks; keep a clone of the `Rc` to read
+    /// the consumer's state back after the run.
+    pub fn attach_sink(&mut self, sink: SharedSink) {
+        self.tracer.add_sink(sink);
     }
 
     /// Interns a region name.

@@ -134,7 +134,8 @@ fn call_thread_charges_target_context() {
     let server_pid = kernel.spawn_process("system_server");
     let server_tid = kernel.spawn_thread(server_pid, "Binder Thread #1", Box::new(Server));
     let client_pid = kernel.spawn_process("benchmark");
-    let client_tid = kernel.spawn_thread(client_pid, "main", Box::new(Client { server: server_tid }));
+    let client_tid =
+        kernel.spawn_thread(client_pid, "main", Box::new(Client { server: server_tid }));
     kernel.send(client_tid, Message::new(0));
     kernel.run_to_idle();
 

@@ -148,9 +148,7 @@ impl Mp4VideoDecoder {
             key = key.rotate_left(5) ^ u32::from(b).wrapping_mul(0x85eb_ca6b);
         }
         for (i, px) in self.reference.iter_mut().enumerate() {
-            let noise = key
-                .wrapping_mul(i as u32 | 1)
-                .rotate_right((i % 13) as u32);
+            let noise = key.wrapping_mul(i as u32 | 1).rotate_right((i % 13) as u32);
             *px = px.wrapping_add((noise & 0x0841) as u16); // move through RGB565 LSBs
         }
         self.frames_decoded += 1;

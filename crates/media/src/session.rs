@@ -2,8 +2,8 @@
 
 use crate::audio::{AudioTrack, AUDIO_PERIOD};
 use crate::codec::{Mp3Decoder, Mp4VideoDecoder, MP3_FRAME_BYTES};
-use agave_kernel::{Actor, Ctx, Message, TICKS_PER_MS};
 use agave_gfx::{Bitmap, SurfaceHandle};
+use agave_kernel::{Actor, Ctx, Message, TICKS_PER_MS};
 
 /// Message: decode the next chunk.
 pub(crate) const MSG_SESSION_TICK: u32 = 0x6d74;
@@ -65,9 +65,7 @@ impl MediaSession {
     fn period(&self) -> u64 {
         match &self.output {
             SessionOutput::Audio(_) => AUDIO_PERIOD,
-            SessionOutput::Video { fps, .. } => {
-                (1000 / u64::from((*fps).max(1))) * TICKS_PER_MS
-            }
+            SessionOutput::Video { fps, .. } => (1000 / u64::from((*fps).max(1))) * TICKS_PER_MS,
         }
     }
 

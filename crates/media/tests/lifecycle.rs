@@ -2,11 +2,11 @@
 //! session EOF interplay with the audio transport.
 
 use agave_binder::{BinderHost, BinderProxy};
+use agave_gfx::SurfaceStore;
 use agave_kernel::{Actor, Ctx, Kernel, Message};
 use agave_media::{
     AudioBus, AudioFlingerThread, MediaPlayer, MediaPlayerService, AUDIO_PERIOD, MP3_FRAME_BYTES,
 };
-use agave_gfx::SurfaceStore;
 
 fn media_world() -> (Kernel, BinderProxy) {
     let mut kernel = Kernel::new();

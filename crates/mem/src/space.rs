@@ -175,8 +175,7 @@ impl AddressSpace {
 
     /// Whether the whole `[addr, addr+len)` range lies in one VMA.
     pub fn is_mapped(&self, addr: Addr, len: u64) -> bool {
-        self.find(addr)
-            .is_some_and(|v| v.contains_range(addr, len))
+        self.find(addr).is_some_and(|v| v.contains_range(addr, len))
     }
 
     /// Iterates over all VMAs in address order.

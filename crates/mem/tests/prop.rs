@@ -1,70 +1,78 @@
-//! Property-based tests for the simulated memory substrate.
+//! Randomized tests for the simulated memory substrate, driven by the
+//! in-tree [`XorShift64`] generator with fixed seeds.
 
-use agave_mem::{AddressSpace, Addr, Malloc, Mspace, Perms, PAGE_SIZE};
-use agave_trace::NameTable;
-use proptest::prelude::*;
+use agave_mem::{Addr, AddressSpace, Malloc, Mspace, Perms, PAGE_SIZE};
+use agave_trace::{NameTable, XorShift64};
 
-proptest! {
-    /// Anything written can be read back, regardless of offset/length.
-    #[test]
-    fn write_then_read_round_trips(
-        offset in 0u64..(PAGE_SIZE * 3),
-        data in proptest::collection::vec(any::<u8>(), 1..2048),
-    ) {
+const CASES: u64 = 48;
+
+/// Anything written can be read back, regardless of offset/length.
+#[test]
+fn write_then_read_round_trips() {
+    let mut rng = XorShift64::new(0x0e11);
+    for _ in 0..CASES {
+        let offset = rng.below(PAGE_SIZE * 3);
+        let len = rng.range(1, 2048) as usize;
+        let data = rng.bytes(len);
         let mut names = NameTable::new();
         let mut space = AddressSpace::new();
         let base = space.mmap(PAGE_SIZE * 4, names.intern("buf"), Perms::RW);
         let addr = base + offset;
         space.write(addr, &data);
-        prop_assert_eq!(space.read_vec(addr, data.len() as u64), data);
+        assert_eq!(space.read_vec(addr, data.len() as u64), data);
     }
+}
 
-    /// Two disjoint writes never clobber each other.
-    #[test]
-    fn disjoint_writes_do_not_interfere(
-        a_off in 0u64..1024,
-        b_off in 2048u64..4000,
-        a_byte: u8,
-        b_byte: u8,
-    ) {
+/// Two disjoint writes never clobber each other.
+#[test]
+fn disjoint_writes_do_not_interfere() {
+    let mut rng = XorShift64::new(0xd15);
+    for _ in 0..CASES {
+        let a_off = rng.below(1024);
+        let b_off = rng.range(2048, 4000);
+        let a_byte = rng.byte();
+        let b_byte = rng.byte();
         let mut names = NameTable::new();
         let mut space = AddressSpace::new();
         let base = space.mmap(PAGE_SIZE, names.intern("buf"), Perms::RW);
         space.write_u8(base + a_off, a_byte);
         space.write_u8(base + b_off, b_byte);
-        prop_assert_eq!(space.read_u8(base + a_off), a_byte);
-        prop_assert_eq!(space.read_u8(base + b_off), b_byte);
+        assert_eq!(space.read_u8(base + a_off), a_byte);
+        assert_eq!(space.read_u8(base + b_off), b_byte);
     }
+}
 
-    /// mmap never produces overlapping VMAs, whatever the size sequence.
-    #[test]
-    fn mmap_regions_never_overlap(sizes in proptest::collection::vec(1u64..200_000, 1..40)) {
+/// mmap never produces overlapping VMAs, whatever the size sequence.
+#[test]
+fn mmap_regions_never_overlap() {
+    let mut rng = XorShift64::new(0x3a9);
+    for _ in 0..CASES {
         let mut names = NameTable::new();
         let name = names.intern("r");
         let mut space = AddressSpace::new();
-        for &s in &sizes {
-            space.mmap(s, name, Perms::RW);
+        for _ in 0..rng.range(1, 40) {
+            space.mmap(rng.range(1, 200_000), name, Perms::RW);
         }
         let vmas: Vec<_> = space.vmas().collect();
         for pair in vmas.windows(2) {
-            prop_assert!(pair[0].end().value() <= pair[1].start().value());
+            assert!(pair[0].end().value() <= pair[1].start().value());
         }
     }
+}
 
-    /// Malloc never hands out overlapping live blocks, across a random
-    /// interleaving of allocs and frees.
-    #[test]
-    fn malloc_live_blocks_disjoint(ops in proptest::collection::vec((1u64..200_000, any::<bool>()), 1..60)) {
+/// Malloc never hands out overlapping live blocks, across a random
+/// interleaving of allocs and frees.
+#[test]
+fn malloc_live_blocks_disjoint() {
+    let mut rng = XorShift64::new(0xa110c);
+    for _ in 0..CASES {
         let mut names = NameTable::new();
         let mut space = AddressSpace::new();
-        let mut malloc = Malloc::new(
-            &mut space,
-            names.intern("heap"),
-            names.intern("anonymous"),
-        );
+        let mut malloc = Malloc::new(&mut space, names.intern("heap"), names.intern("anonymous"));
         let mut live: Vec<agave_mem::Allocation> = Vec::new();
-        for (size, do_free) in ops {
-            if do_free && !live.is_empty() {
+        for _ in 0..rng.range(1, 60) {
+            let size = rng.range(1, 200_000);
+            if rng.chance() && !live.is_empty() {
                 let a = live.swap_remove(size as usize % live.len());
                 malloc.free(&mut space, a);
             } else {
@@ -73,14 +81,18 @@ proptest! {
             let mut sorted = live.clone();
             sorted.sort_by_key(|a| a.addr);
             for pair in sorted.windows(2) {
-                prop_assert!(pair[0].addr.value() + pair[0].size <= pair[1].addr.value());
+                assert!(pair[0].addr.value() + pair[0].size <= pair[1].addr.value());
             }
         }
     }
+}
 
-    /// The mspace bump allocator stays inside its VMA.
-    #[test]
-    fn mspace_stays_in_bounds(sizes in proptest::collection::vec(1u64..1000, 1..50)) {
+/// The mspace bump allocator stays inside its VMA.
+#[test]
+fn mspace_stays_in_bounds() {
+    let mut rng = XorShift64::new(0x5bace);
+    for _ in 0..CASES {
+        let sizes: Vec<u64> = (0..rng.range(1, 50)).map(|_| rng.range(1, 1000)).collect();
         let total: u64 = sizes.iter().map(|s| s.div_ceil(16) * 16).sum();
         let mut names = NameTable::new();
         let mut space = AddressSpace::new();
@@ -88,24 +100,30 @@ proptest! {
         let end = arena.base() + arena.capacity();
         for s in sizes {
             let p = arena.alloc(s);
-            prop_assert!(p >= arena.base());
-            prop_assert!(p.value() + s <= end.value());
+            assert!(p >= arena.base());
+            assert!(p.value() + s <= end.value());
         }
     }
+}
 
-    /// fill writes exactly the requested range.
-    #[test]
-    fn fill_is_exact(start in 1u64..5000, len in 1u64..4000, value in 1u8..255) {
+/// fill writes exactly the requested range.
+#[test]
+fn fill_is_exact() {
+    let mut rng = XorShift64::new(0xf111);
+    for _ in 0..CASES {
+        let start = rng.range(1, 5000);
+        let len = rng.range(1, 4000);
+        let value = rng.range(1, 255) as u8;
         let mut names = NameTable::new();
         let mut space = AddressSpace::new();
         let base = space.mmap(3 * PAGE_SIZE, names.intern("b"), Perms::RW);
         let addr = base + start;
         space.fill(addr, len, value);
-        prop_assert_eq!(space.read_u8(addr), value);
-        prop_assert_eq!(space.read_u8(addr + (len - 1)), value);
-        prop_assert_eq!(space.read_u8(addr - 1u64), 0);
+        assert_eq!(space.read_u8(addr), value);
+        assert_eq!(space.read_u8(addr + (len - 1)), value);
+        assert_eq!(space.read_u8(addr - 1u64), 0);
         if start + len < 3 * PAGE_SIZE {
-            prop_assert_eq!(space.read_u8(addr + len), 0);
+            assert_eq!(space.read_u8(addr + len), 0);
         }
     }
 }

@@ -1,7 +1,7 @@
 //! The single-process SPEC run harness.
 
 use agave_kernel::{Actor, Ctx, Kernel, Message};
-use agave_trace::RunSummary;
+use agave_trace::{NameDirectory, RunSummary, SharedSink};
 
 /// The six modeled SPEC CPU2006 programs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -124,7 +124,29 @@ fn run_program(cx: &mut Ctx<'_>, program: SpecProgram, config: SpecConfig) {
 /// Runs one SPEC program on a bare simulated kernel (no Android — these
 /// are the paper's plain-Linux baselines) and returns its summary.
 pub fn run_spec(program: SpecProgram, config: SpecConfig) -> RunSummary {
+    run_spec_inner(program, config, None).0
+}
+
+/// Like [`run_spec`], but registers `sink` on the fresh kernel's reference
+/// stream before the run and also returns the [`NameDirectory`], so the
+/// sink's consumer can resolve region and process ids after the run.
+pub fn run_spec_with_sink(
+    program: SpecProgram,
+    config: SpecConfig,
+    sink: SharedSink,
+) -> (RunSummary, NameDirectory) {
+    run_spec_inner(program, config, Some(sink))
+}
+
+fn run_spec_inner(
+    program: SpecProgram,
+    config: SpecConfig,
+    sink: Option<SharedSink>,
+) -> (RunSummary, NameDirectory) {
     let mut kernel = Kernel::new();
+    if let Some(sink) = sink {
+        kernel.attach_sink(sink);
+    }
     // Register the benchmark's input file(s).
     kernel.vfs_mut().add_file(
         "/spec/input.dat",
@@ -134,9 +156,15 @@ pub fn run_spec(program: SpecProgram, config: SpecConfig) -> RunSummary {
     let pid = kernel.spawn_process("benchmark");
     kernel.map_lib(pid, "libc.so", 280 * 1024, 48 * 1024);
     kernel.map_lib(pid, "libm.so", 96 * 1024, 4 * 1024);
-    kernel.spawn_thread(pid, program.label(), Box::new(SpecActor { program, config }));
+    kernel.spawn_thread(
+        pid,
+        program.label(),
+        Box::new(SpecActor { program, config }),
+    );
     kernel.run_to_idle();
-    kernel.tracer().summarize(program.label())
+    let summary = kernel.tracer().summarize(program.label());
+    let directory = kernel.tracer().name_directory();
+    (summary, directory)
 }
 
 #[cfg(test)]
@@ -147,7 +175,11 @@ mod tests {
     fn all_programs_run_and_look_like_spec() {
         for program in spec_programs() {
             let s = run_spec(program, SpecConfig::tiny());
-            assert!(s.total_instr > 10_000, "{}: too little work", program.label());
+            assert!(
+                s.total_instr > 10_000,
+                "{}: too little work",
+                program.label()
+            );
             let app_share = s.instr_region_share("app binary");
             assert!(
                 app_share > 0.5,

@@ -43,13 +43,13 @@ fn build_profile(m: usize, seed: u64) -> Profile {
         match_emit.push(me);
         insert_emit.push(ie);
         trans.push([
-            -(1 + (r() % 3) as i64),  // M→M
-            -(6 + (r() % 6) as i64),  // M→I
-            -(7 + (r() % 6) as i64),  // M→D
-            -(2 + (r() % 3) as i64),  // I→M
-            -(3 + (r() % 4) as i64),  // I→I
-            -(2 + (r() % 3) as i64),  // D→M
-            -(5 + (r() % 4) as i64),  // D→D
+            -(1 + (r() % 3) as i64), // M→M
+            -(6 + (r() % 6) as i64), // M→I
+            -(7 + (r() % 6) as i64), // M→D
+            -(2 + (r() % 3) as i64), // I→M
+            -(3 + (r() % 4) as i64), // I→I
+            -(2 + (r() % 3) as i64), // D→M
+            -(5 + (r() % 4) as i64), // D→D
         ]);
     }
     Profile {
@@ -90,8 +90,7 @@ fn viterbi(profile: &Profile, seq: &[u8]) -> (i64, u64) {
             let best_m = (vm[prev] + t[0]).max(vi[prev] + t[3]).max(vd[prev] + t[5]);
             vm[i * w + k] = best_m.max(NEG_INF) + profile.match_emit[k][x];
             let up = (i - 1) * w + k;
-            vi[i * w + k] =
-                (vm[up] + t[1]).max(vi[up] + t[4]) + profile.insert_emit[k][x];
+            vi[i * w + k] = (vm[up] + t[1]).max(vi[up] + t[4]) + profile.insert_emit[k][x];
             let left = i * w + (k - 1);
             vd[i * w + k] = (vm[left] + t[2]).max(vd[left] + t[6]);
         }

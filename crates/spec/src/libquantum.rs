@@ -72,8 +72,7 @@ fn grover(n: u32, marked: usize) -> (f64, u64) {
     for q in 0..n {
         reg.hadamard(q);
     }
-    let iterations =
-        (std::f64::consts::FRAC_PI_4 * ((1u64 << n) as f64).sqrt()).floor() as u64;
+    let iterations = (std::f64::consts::FRAC_PI_4 * ((1u64 << n) as f64).sqrt()).floor() as u64;
     let mut updates = u64::from(n) * size;
     for _ in 0..iterations.max(1) {
         reg.oracle(marked);

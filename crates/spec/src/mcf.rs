@@ -28,7 +28,9 @@ fn build_network(nodes: usize) -> (Vec<Vec<Arc>>, usize, usize) {
     let third = nodes / 3;
     let mut seed = 0x3c6ef372u64;
     let mut rand = move || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (seed >> 33) as i64
     };
     let add_edge = |graph: &mut Vec<Vec<Arc>>, u: usize, v: usize, cap: i64, cost: i64| {
@@ -168,8 +170,20 @@ mod tests {
         let add = |g: &mut Vec<Vec<Arc>>, u: usize, v: usize, cap: i64, cost: i64| {
             let ui = g[u].len();
             let vi = g[v].len();
-            g[u].push(Arc { to: v, capacity: cap, cost, flow: 0, rev: vi });
-            g[v].push(Arc { to: u, capacity: 0, cost: -cost, flow: 0, rev: ui });
+            g[u].push(Arc {
+                to: v,
+                capacity: cap,
+                cost,
+                flow: 0,
+                rev: vi,
+            });
+            g[v].push(Arc {
+                to: u,
+                capacity: 0,
+                cost: -cost,
+                flow: 0,
+                rev: ui,
+            });
         };
         add(&mut graph, 0, 1, 2, 1);
         add(&mut graph, 1, 3, 2, 1);

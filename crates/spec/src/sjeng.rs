@@ -245,7 +245,15 @@ mod tests {
                 continue;
             }
             b.place(idx, 1);
-            let s = -negamax(&mut b, &mut tt, 2, -i32::MAX / 2, i32::MAX / 2, 2, &mut stats);
+            let s = -negamax(
+                &mut b,
+                &mut tt,
+                2,
+                -i32::MAX / 2,
+                i32::MAX / 2,
+                2,
+                &mut stats,
+            );
             b.remove(idx, 1);
             if s > best {
                 best = s;
@@ -263,7 +271,15 @@ mod tests {
             let mut b = Board::new();
             b.place(12, 1);
             let mut tt = HashMap::new();
-            negamax(&mut b, &mut tt, depth, -i32::MAX / 2, i32::MAX / 2, 2, stats);
+            negamax(
+                &mut b,
+                &mut tt,
+                depth,
+                -i32::MAX / 2,
+                i32::MAX / 2,
+                2,
+                stats,
+            );
         }
         assert!(stats_deep.nodes > stats_shallow.nodes * 5);
     }
@@ -273,7 +289,15 @@ mod tests {
         let mut b = Board::new();
         let mut tt = HashMap::new();
         let mut stats = SearchStats::default();
-        negamax(&mut b, &mut tt, 4, -i32::MAX / 2, i32::MAX / 2, 1, &mut stats);
+        negamax(
+            &mut b,
+            &mut tt,
+            4,
+            -i32::MAX / 2,
+            i32::MAX / 2,
+            1,
+            &mut stats,
+        );
         assert!(stats.tt_hits > 0, "no TT hits in a transposing game");
     }
 }

@@ -1,48 +1,73 @@
-//! Property tests for the SPEC kernel algorithms: the compression
-//! pipeline is lossless on arbitrary inputs.
+//! Randomized tests for the SPEC kernel algorithms: the compression
+//! pipeline is lossless on arbitrary inputs. Inputs come from the
+//! in-tree [`XorShift64`] generator with fixed seeds.
 
 use agave_spec::{bw_transform, bw_untransform, huffman_roundtrip, mtf_decode, mtf_encode};
-use proptest::prelude::*;
+use agave_trace::XorShift64;
 
-proptest! {
-    /// BWT is a bijection on nonempty byte strings.
-    #[test]
-    fn bwt_round_trips(data in proptest::collection::vec(any::<u8>(), 1..600)) {
+const CASES: u64 = 64;
+
+/// BWT is a bijection on nonempty byte strings.
+#[test]
+fn bwt_round_trips() {
+    let mut rng = XorShift64::new(0xb327);
+    for _ in 0..CASES {
+        let len = rng.range(1, 600) as usize;
+        let data = rng.bytes(len);
         let (last, primary) = bw_transform(&data);
-        prop_assert_eq!(last.len(), data.len());
-        prop_assert_eq!(bw_untransform(&last, primary), data);
+        assert_eq!(last.len(), data.len());
+        assert_eq!(bw_untransform(&last, primary), data);
     }
+}
 
-    /// MTF is a bijection.
-    #[test]
-    fn mtf_round_trips(data in proptest::collection::vec(any::<u8>(), 0..600)) {
-        prop_assert_eq!(mtf_decode(&mtf_encode(&data)), data);
+/// MTF is a bijection.
+#[test]
+fn mtf_round_trips() {
+    let mut rng = XorShift64::new(0x3f7);
+    for _ in 0..CASES {
+        let len = rng.index(600);
+        let data = rng.bytes(len);
+        assert_eq!(mtf_decode(&mtf_encode(&data)), data);
     }
+}
 
-    /// The full pipeline (BWT → MTF → Huffman) round-trips and the
-    /// Huffman stage never expands beyond ~8.01 bits/byte + header slack.
-    #[test]
-    fn full_pipeline_is_lossless(data in proptest::collection::vec(any::<u8>(), 1..400)) {
+/// The full pipeline (BWT → MTF → Huffman) round-trips and the
+/// Huffman stage never expands beyond ~8.01 bits/byte + header slack.
+#[test]
+fn full_pipeline_is_lossless() {
+    let mut rng = XorShift64::new(0xf0e1);
+    for _ in 0..CASES {
+        let len = rng.range(1, 400) as usize;
+        let data = rng.bytes(len);
         let (last, primary) = bw_transform(&data);
         let mtf = mtf_encode(&last);
         let bits = huffman_roundtrip(&mtf); // asserts decode == encode input
-        prop_assert!(bits <= mtf.len() * 9 + 16, "{bits} bits for {} bytes", mtf.len());
+        assert!(
+            bits <= mtf.len() * 9 + 16,
+            "{bits} bits for {} bytes",
+            mtf.len()
+        );
         // And back out.
         let recovered = bw_untransform(&mtf_decode(&mtf), primary);
-        prop_assert_eq!(recovered, data);
+        assert_eq!(recovered, data);
     }
+}
 
-    /// Repetitive inputs compress: the Huffman stage after BWT+MTF uses
-    /// well under 8 bits/byte on low-entropy data.
-    #[test]
-    fn low_entropy_inputs_compress(
-        byte in any::<u8>(),
-        run in 64usize..300,
-    ) {
+/// Repetitive inputs compress: the Huffman stage after BWT+MTF uses
+/// well under 8 bits/byte on low-entropy data.
+#[test]
+fn low_entropy_inputs_compress() {
+    let mut rng = XorShift64::new(0x10e0);
+    for _ in 0..CASES {
+        let byte = rng.byte();
+        let run = rng.range(64, 300) as usize;
         let data = vec![byte; run];
         let (last, _) = bw_transform(&data);
         let mtf = mtf_encode(&last);
         let bits = huffman_roundtrip(&mtf);
-        prop_assert!(bits <= data.len() * 2, "{bits} bits for {run} constant bytes");
+        assert!(
+            bits <= data.len() * 2,
+            "{bits} bits for {run} constant bytes"
+        );
     }
 }

@@ -75,7 +75,13 @@ mod tests {
 
     #[test]
     fn leaves_plain_names_alone() {
-        for name in ["SurfaceFlinger", "GC", "Compiler", "AudioTrackThread", "main"] {
+        for name in [
+            "SurfaceFlinger",
+            "GC",
+            "Compiler",
+            "AudioTrackThread",
+            "main",
+        ] {
             assert_eq!(canonical_thread_name(name), name);
         }
     }

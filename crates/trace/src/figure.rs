@@ -1,12 +1,11 @@
 //! Assembling the paper's figures and Table I from per-run summaries.
 
 use crate::summary::RunSummary;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Which distribution of a [`RunSummary`] a figure plots.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dimension {
     /// Figure 1: instruction references by VMA region.
     InstrByRegion,
@@ -53,7 +52,7 @@ impl Dimension {
 /// let fig = FigureTable::figure1(&[s], 9);
 /// assert!((fig.share("demo", "libdvm.so") - 0.8).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FigureTable {
     title: String,
     dimension: Dimension,
@@ -225,7 +224,7 @@ impl fmt::Display for FigureTable {
 }
 
 /// One row of [`TableOne`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableOneRow {
     /// Canonical thread name (e.g. `SurfaceFlinger`).
     pub thread: String,
@@ -248,7 +247,7 @@ pub struct TableOneRow {
 /// assert_eq!(t.rows()[0].thread, "SurfaceFlinger");
 /// assert!((t.rows()[0].percent - 90.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableOne {
     rows: Vec<TableOneRow>,
     /// Total suite references the percentages are relative to.

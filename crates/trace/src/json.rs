@@ -1,0 +1,191 @@
+//! A minimal JSON writer.
+//!
+//! The workspace builds with zero external dependencies, so report types
+//! serialize themselves through this module instead of serde. Only
+//! *writing* is supported — the archival artifacts (`results.json`,
+//! figure exports) are consumed by external tooling, never read back by
+//! the simulator.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes `s` as the contents of a JSON string literal (no surrounding
+/// quotes).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(agave_trace::json::escape("a\"b\\c"), "a\\\"b\\\\c");
+/// ```
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a JSON string literal, quotes included.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// Renders a finite `f64` (JSON has no NaN/Inf; those become `null`).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders a `name -> count` map as a JSON object with stable key order.
+pub fn u64_map(map: &BTreeMap<String, u64>) -> String {
+    let mut obj = Object::new();
+    for (k, v) in map {
+        obj.field_u64(k, *v);
+    }
+    obj.finish()
+}
+
+/// Renders an iterator of pre-rendered JSON values as an array.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+/// An incremental JSON object writer.
+///
+/// # Example
+///
+/// ```
+/// use agave_trace::json::Object;
+///
+/// let mut obj = Object::new();
+/// obj.field_str("name", "x").field_u64("count", 3);
+/// assert_eq!(obj.finish(), r#"{"name":"x","count":3}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct Object {
+    buf: String,
+}
+
+impl Object {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Object { buf: String::new() }
+    }
+
+    fn key(&mut self, k: &str) -> &mut String {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        let _ = write!(self.buf, "\"{}\":", escape(k));
+        &mut self.buf
+    }
+
+    /// Adds a string field.
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut Self {
+        let s = string(v);
+        self.key(k).push_str(&s);
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, k: &str, v: u64) -> &mut Self {
+        let _ = write!(self.key(k), "{v}");
+        self
+    }
+
+    /// Adds a `usize` field.
+    pub fn field_usize(&mut self, k: &str, v: usize) -> &mut Self {
+        self.field_u64(k, v as u64)
+    }
+
+    /// Adds a floating-point field (`null` if non-finite).
+    pub fn field_f64(&mut self, k: &str, v: f64) -> &mut Self {
+        let s = number(v);
+        self.key(k).push_str(&s);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, k: &str, v: bool) -> &mut Self {
+        let _ = write!(self.key(k), "{v}");
+        self
+    }
+
+    /// Adds a field whose value is already-rendered JSON (nested object,
+    /// array, …).
+    pub fn field_raw(&mut self, k: &str, raw: &str) -> &mut Self {
+        self.key(k).push_str(raw);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(&mut self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn object_builds_in_order() {
+        let mut obj = Object::new();
+        obj.field_str("s", "v")
+            .field_u64("n", 7)
+            .field_f64("f", 0.5)
+            .field_bool("b", true)
+            .field_raw("nested", "[1,2]");
+        assert_eq!(
+            obj.finish(),
+            r#"{"s":"v","n":7,"f":0.5,"b":true,"nested":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn maps_and_arrays_render() {
+        let mut m = BTreeMap::new();
+        m.insert("b".to_owned(), 2u64);
+        m.insert("a".to_owned(), 1u64);
+        assert_eq!(u64_map(&m), r#"{"a":1,"b":2}"#);
+        assert_eq!(array(vec!["1".into(), "\"x\"".into()]), r#"[1,"x"]"#);
+        assert_eq!(array(Vec::<String>::new()), "[]");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(2.25), "2.25");
+    }
+}

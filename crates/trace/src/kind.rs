@@ -1,6 +1,5 @@
 //! Classification of memory references.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The kind of a memory reference, as classified by the paper's gem5
@@ -17,7 +16,7 @@ use std::fmt;
 /// assert!(RefKind::DataWrite.is_data());
 /// assert!(!RefKind::InstrFetch.is_data());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RefKind {
     /// An instruction fetch from a code region.
     InstrFetch,

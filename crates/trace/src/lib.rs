@@ -35,7 +35,10 @@
 mod canon;
 mod figure;
 mod intern;
+pub mod json;
 mod kind;
+mod rng;
+mod sink;
 mod summary;
 mod tracer;
 
@@ -43,5 +46,7 @@ pub use canon::canonical_thread_name;
 pub use figure::{FigureTable, TableOne, TableOneRow};
 pub use intern::{NameId, NameTable};
 pub use kind::RefKind;
+pub use rng::XorShift64;
+pub use sink::{NameDirectory, Reference, ReferenceSink, SharedSink};
 pub use summary::{Breakdown, RunSummary};
 pub use tracer::{Pid, Tid, Tracer};

@@ -1,0 +1,130 @@
+//! A tiny deterministic PRNG for tests and benches.
+//!
+//! The workspace builds offline with no external crates, so the
+//! randomized tests that previously used `proptest` draw their inputs
+//! from this xorshift64* generator instead (the SPEC kernels keep their
+//! own faithful LCG in `agave-spec`). Deterministic seeding keeps every
+//! test reproducible run-to-run.
+
+/// An xorshift64* pseudo-random generator.
+///
+/// # Example
+///
+/// ```
+/// use agave_trace::XorShift64;
+///
+/// let mut a = XorShift64::new(42);
+/// let mut b = XorShift64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from `seed` (0 is remapped to a fixed odd
+    /// constant — xorshift has an all-zero fixed point).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        self.next_u64() % bound
+    }
+
+    /// A uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// A uniform `usize` in `[0, bound)`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// A random byte.
+    pub fn byte(&mut self) -> u8 {
+        (self.next_u64() >> 32) as u8
+    }
+
+    /// A random boolean.
+    pub fn chance(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// `len` random bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.byte()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_are_deterministic() {
+        let mut a = XorShift64::new(7);
+        let mut b = XorShift64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut g = XorShift64::new(0);
+        assert_ne!(g.next_u64(), 0);
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let mut g = XorShift64::new(123);
+        for _ in 0..1000 {
+            assert!(g.below(17) < 17);
+            let r = g.range(5, 9);
+            assert!((5..9).contains(&r));
+            assert!(g.index(3) < 3);
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let mut g = XorShift64::new(99);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8000 {
+            buckets[g.index(8)] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..1300).contains(&b), "skewed bucket: {buckets:?}");
+        }
+    }
+}

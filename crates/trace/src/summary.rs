@@ -1,6 +1,6 @@
 //! Serializable per-run summaries and percentage breakdowns.
 
-use serde::{Deserialize, Serialize};
+use crate::json;
 use std::collections::BTreeMap;
 
 /// The distilled result of one benchmark run: every distribution the paper's
@@ -8,9 +8,9 @@ use std::collections::BTreeMap;
 ///
 /// Produced by [`crate::Tracer::summarize`]; figures are assembled from a
 /// `Vec<RunSummary>` (one per benchmark) by [`crate::FigureTable`] and
-/// [`crate::TableOne`]. Serializes with serde for archival in
-/// `EXPERIMENTS.md`-style artifacts.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// [`crate::TableOne`]. Serializes to JSON via [`RunSummary::to_json`]
+/// for archival in `EXPERIMENTS.md`-style artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunSummary {
     /// Benchmark label, e.g. `"gallery.mp4.view"` or `"429.mcf"`.
     pub benchmark: String,
@@ -119,6 +119,25 @@ impl RunSummary {
         }
     }
 
+    /// Serializes the summary as a JSON object (keys in declaration
+    /// order, maps in name order).
+    pub fn to_json(&self) -> String {
+        json::Object::new()
+            .field_str("benchmark", &self.benchmark)
+            .field_raw("instr_by_region", &json::u64_map(&self.instr_by_region))
+            .field_raw("data_by_region", &json::u64_map(&self.data_by_region))
+            .field_raw("instr_by_process", &json::u64_map(&self.instr_by_process))
+            .field_raw("data_by_process", &json::u64_map(&self.data_by_process))
+            .field_raw("refs_by_thread", &json::u64_map(&self.refs_by_thread))
+            .field_u64("total_instr", self.total_instr)
+            .field_u64("total_data", self.total_data)
+            .field_usize("active_processes", self.active_processes)
+            .field_usize("active_threads", self.active_threads)
+            .field_usize("spawned_processes", self.spawned_processes)
+            .field_usize("spawned_threads", self.spawned_threads)
+            .finish()
+    }
+
     /// An empty summary with the given label, useful as a merge seed.
     pub fn empty(benchmark: &str) -> Self {
         RunSummary {
@@ -167,7 +186,7 @@ fn merge_map(into: &mut BTreeMap<String, u64>, from: &BTreeMap<String, u64>) {
 /// assert_eq!(b.rows()[0].0, "heap");
 /// assert!((b.share("stack") - 0.4).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Breakdown {
     rows: Vec<(String, u64)>,
     total: u64,
@@ -313,12 +332,15 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn to_json_renders_all_fields() {
         let mut s = RunSummary::empty("roundtrip");
         s.instr_by_region = map(&[("libdvm.so", 123)]);
         s.total_instr = 123;
-        let json = serde_json::to_string(&s).unwrap();
-        let back: RunSummary = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, s);
+        let json = s.to_json();
+        assert!(json.starts_with(r#"{"benchmark":"roundtrip""#));
+        assert!(json.contains(r#""instr_by_region":{"libdvm.so":123}"#));
+        assert!(json.contains(r#""total_instr":123"#));
+        assert!(json.contains(r#""spawned_threads":0"#));
+        assert!(json.ends_with('}'));
     }
 }

@@ -4,10 +4,23 @@
 use crate::canon::canonical_thread_name;
 use crate::intern::{NameId, NameTable};
 use crate::kind::RefKind;
+use crate::sink::{NameDirectory, Reference, SharedSink};
 use crate::summary::RunSummary;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::fmt;
+
+/// Base of the synthetic address space used for addressless charges.
+/// Far above any real (32-bit-style) simulated address, so synthetic and
+/// real references never alias in a cache tag.
+const SYNTH_BASE: u64 = 1 << 40;
+/// Each region owns a disjoint 2 MiB synthetic span.
+const SYNTH_SPAN: u64 = 2 << 20;
+/// Instruction-side cyclic window inside a region's span: 8 KiB, the
+/// bounded hot-loop footprint of one mapping's code.
+const CODE_WINDOW_WORDS: u64 = (8 << 10) / 4;
+/// Data-side cyclic window: 16 KiB, offset to the span's second half.
+const DATA_WINDOW_WORDS: u64 = (16 << 10) / 4;
 
 /// Identifier of a simulated process.
 ///
@@ -79,6 +92,17 @@ struct ThreadEntry {
 
 type Key = (Tid, NameId);
 
+/// Registered sinks; newtyped so [`Tracer`] can keep deriving `Debug`
+/// (trait objects have no useful `Debug` of their own).
+#[derive(Default)]
+struct SinkList(Vec<SharedSink>);
+
+impl fmt::Debug for SinkList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SinkList(len={})", self.0.len())
+    }
+}
+
 /// Accumulates memory-reference counts by (process, thread, region, kind).
 ///
 /// All names live in a single intern table so that charging is a hash of two
@@ -108,6 +132,10 @@ pub struct Tracer {
     slot_keys: Vec<Key>,
     last: Option<(Key, usize)>,
     totals: [u64; 3],
+    sinks: SinkList,
+    /// Per-region cyclic word cursors for synthetic addresses,
+    /// indexed by `NameId::index()`; lane 0 = instruction, lane 1 = data.
+    synth_cursors: Vec<[u32; 2]>,
 }
 
 impl Tracer {
@@ -181,20 +209,82 @@ impl Tracer {
         self.threads[tid.0 as usize].pid
     }
 
+    /// Registers a sink that will observe every subsequent charge as a
+    /// [`Reference`] block. The caller keeps its own clone of the handle
+    /// to read results back after the run.
+    pub fn add_sink(&mut self, sink: SharedSink) {
+        self.sinks.0.push(sink);
+    }
+
+    /// Returns `true` if any sink is registered (charging is broadcast).
+    pub fn has_sinks(&self) -> bool {
+        !self.sinks.0.is_empty()
+    }
+
+    /// Snapshots the name and process tables for resolving ids after this
+    /// tracer (and the simulated world owning it) is dropped.
+    pub fn name_directory(&self) -> NameDirectory {
+        NameDirectory {
+            names: self.names.clone(),
+            proc_names: self.procs.iter().map(|p| p.name).collect(),
+        }
+    }
+
     /// Charges `n` references of `kind` to `(pid, tid, region)`.
     ///
     /// `pid` must be the owning process of `tid`; this is debug-asserted.
-    /// Charging 0 references is a no-op.
+    /// Charging 0 references is a no-op. If sinks are registered the
+    /// charge is also broadcast with deterministic synthetic addresses
+    /// drawn from the region's cyclic window (see [`crate::sink`]).
     #[inline]
     pub fn charge(&mut self, pid: Pid, tid: Tid, region: NameId, kind: RefKind, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.account(pid, tid, region, kind, n);
+        if !self.sinks.0.is_empty() {
+            self.emit_synthetic(pid, tid, region, kind, n);
+        }
+    }
+
+    /// Charges `words` references of `kind` at a concrete virtual address.
+    ///
+    /// Identical to [`Tracer::charge`] for accounting; the broadcast to
+    /// sinks carries the real `addr` instead of a synthetic one. Used by
+    /// charging sites that genuinely touch simulated memory.
+    #[inline]
+    pub fn charge_at(
+        &mut self,
+        pid: Pid,
+        tid: Tid,
+        region: NameId,
+        kind: RefKind,
+        addr: u64,
+        words: u64,
+    ) {
+        if words == 0 {
+            return;
+        }
+        self.account(pid, tid, region, kind, words);
+        if !self.sinks.0.is_empty() {
+            self.broadcast(&Reference {
+                pid,
+                tid,
+                region,
+                kind,
+                addr,
+                words,
+            });
+        }
+    }
+
+    #[inline]
+    fn account(&mut self, pid: Pid, tid: Tid, region: NameId, kind: RefKind, n: u64) {
         debug_assert_eq!(
             self.threads[tid.0 as usize].pid, pid,
             "thread charged against foreign process"
         );
         let _ = pid;
-        if n == 0 {
-            return;
-        }
         self.totals[kind.index()] += n;
         let key = (tid, region);
         if let Some((last_key, slot)) = self.last {
@@ -215,6 +305,43 @@ impl Tracer {
         };
         self.counters[slot][kind.index()] += n;
         self.last = Some((key, slot));
+    }
+
+    /// Broadcasts an addressless charge as blocks walking the region's
+    /// cyclic synthetic window, splitting at wraparound so each block is
+    /// contiguous.
+    fn emit_synthetic(&mut self, pid: Pid, tid: Tid, region: NameId, kind: RefKind, mut n: u64) {
+        let idx = region.index();
+        if idx >= self.synth_cursors.len() {
+            self.synth_cursors.resize(idx + 1, [0; 2]);
+        }
+        let (lane, window_words, lane_off) = if kind.is_instr() {
+            (0, CODE_WINDOW_WORDS, 0)
+        } else {
+            (1, DATA_WINDOW_WORDS, SYNTH_SPAN / 2)
+        };
+        let base = SYNTH_BASE + idx as u64 * SYNTH_SPAN + lane_off;
+        let mut cursor = u64::from(self.synth_cursors[idx][lane]);
+        while n > 0 {
+            let run = n.min(window_words - cursor);
+            self.broadcast(&Reference {
+                pid,
+                tid,
+                region,
+                kind,
+                addr: base + cursor * 4,
+                words: run,
+            });
+            cursor = (cursor + run) % window_words;
+            n -= run;
+        }
+        self.synth_cursors[idx][lane] = cursor as u32;
+    }
+
+    fn broadcast(&mut self, r: &Reference) {
+        for sink in &self.sinks.0 {
+            sink.borrow_mut().on_reference(r);
+        }
     }
 
     /// Total references of one kind across the whole run.

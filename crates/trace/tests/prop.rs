@@ -1,60 +1,79 @@
-//! Property tests for the tracer algebra: whatever the charging sequence,
-//! the summaries stay consistent.
+//! Randomized tests for the tracer algebra: whatever the charging
+//! sequence, the summaries stay consistent. Inputs are drawn from the
+//! in-tree [`XorShift64`] generator with fixed seeds, so every case is
+//! reproducible.
 
-use agave_trace::{Breakdown, FigureTable, RefKind, RunSummary, Tracer};
-use proptest::prelude::*;
+use agave_trace::{Breakdown, FigureTable, RefKind, RunSummary, Tracer, XorShift64};
 use std::collections::BTreeMap;
 
-fn kind_of(i: u8) -> RefKind {
-    RefKind::ALL[i as usize % 3]
+const CASES: u64 = 64;
+
+fn random_map(rng: &mut XorShift64, max_len: usize) -> BTreeMap<String, u64> {
+    let len = rng.index(max_len + 1);
+    (0..len)
+        .map(|_| {
+            let name: String = (0..rng.range(1, 7))
+                .map(|_| (b'a' + (rng.below(26) as u8)) as char)
+                .collect();
+            (name, rng.range(1, 1000))
+        })
+        .collect()
 }
 
-proptest! {
-    /// Totals are conserved: suming the summary maps gives the tracer
-    /// totals, whatever the interleaving of charges.
-    #[test]
-    fn summary_totals_are_conserved(
-        charges in proptest::collection::vec((0u8..4, 0u8..4, 0u8..3, 1u64..1000), 1..80),
-    ) {
+/// Totals are conserved: summing the summary maps gives the tracer
+/// totals, whatever the interleaving of charges.
+#[test]
+fn summary_totals_are_conserved() {
+    let mut rng = XorShift64::new(0x7ace);
+    for _ in 0..CASES {
         let mut tracer = Tracer::new();
-        let pids: Vec<_> = (0..4).map(|i| tracer.register_process(&format!("p{i}"))).collect();
+        let pids: Vec<_> = (0..4)
+            .map(|i| tracer.register_process(&format!("p{i}")))
+            .collect();
         let tids: Vec<_> = pids
             .iter()
             .map(|&p| tracer.register_thread(p, "worker"))
             .collect();
-        let regions: Vec<_> = (0..4).map(|i| tracer.intern_region(&format!("r{i}"))).collect();
+        let regions: Vec<_> = (0..4)
+            .map(|i| tracer.intern_region(&format!("r{i}")))
+            .collect();
 
         let mut expect = [0u64; 3];
-        for &(pt, r, k, n) in &charges {
-            let kind = kind_of(k);
-            tracer.charge(pids[pt as usize], tids[pt as usize], regions[r as usize], kind, n);
+        for _ in 0..rng.range(1, 80) {
+            let pt = rng.index(4);
+            let r = rng.index(4);
+            let kind = RefKind::ALL[rng.index(3)];
+            let n = rng.range(1, 1000);
+            tracer.charge(pids[pt], tids[pt], regions[r], kind, n);
             expect[kind.index()] += n;
         }
         let s = tracer.summarize("prop");
-        prop_assert_eq!(s.total_instr, expect[0]);
-        prop_assert_eq!(s.total_data, expect[1] + expect[2]);
+        assert_eq!(s.total_instr, expect[0]);
+        assert_eq!(s.total_data, expect[1] + expect[2]);
         let instr_sum: u64 = s.instr_by_region.values().sum();
         let data_sum: u64 = s.data_by_region.values().sum();
-        prop_assert_eq!(instr_sum, expect[0]);
-        prop_assert_eq!(data_sum, expect[1] + expect[2]);
+        assert_eq!(instr_sum, expect[0]);
+        assert_eq!(data_sum, expect[1] + expect[2]);
         let proc_sum: u64 = s.instr_by_process.values().sum();
-        prop_assert_eq!(proc_sum, expect[0]);
+        assert_eq!(proc_sum, expect[0]);
         let thread_sum: u64 = s.refs_by_thread.values().sum();
-        prop_assert_eq!(thread_sum, expect.iter().sum::<u64>());
+        assert_eq!(thread_sum, expect.iter().sum::<u64>());
     }
+}
 
-    /// Merging summaries is associative on every counter.
-    #[test]
-    fn merge_is_order_independent(
-        a in proptest::collection::btree_map("[a-z]{1,6}", 1u64..1000, 0..8),
-        b in proptest::collection::btree_map("[a-z]{1,6}", 1u64..1000, 0..8),
-        c in proptest::collection::btree_map("[a-z]{1,6}", 1u64..1000, 0..8),
-    ) {
-        fn summary(map: &BTreeMap<String, u64>) -> RunSummary {
-            let mut s = RunSummary::empty("x");
-            s.refs_by_thread = map.clone();
-            s
-        }
+/// Merging summaries is order-independent on every counter.
+#[test]
+fn merge_is_order_independent() {
+    fn summary(map: &BTreeMap<String, u64>) -> RunSummary {
+        let mut s = RunSummary::empty("x");
+        s.refs_by_thread = map.clone();
+        s
+    }
+    let mut rng = XorShift64::new(0x3e59);
+    for _ in 0..CASES {
+        let a = random_map(&mut rng, 8);
+        let b = random_map(&mut rng, 8);
+        let c = random_map(&mut rng, 8);
         let mut left = RunSummary::empty("acc");
         left.merge(&summary(&a));
         left.merge(&summary(&b));
@@ -63,46 +82,49 @@ proptest! {
         right.merge(&summary(&c));
         right.merge(&summary(&a));
         right.merge(&summary(&b));
-        prop_assert_eq!(left.refs_by_thread, right.refs_by_thread);
+        assert_eq!(left.refs_by_thread, right.refs_by_thread);
     }
+}
 
-    /// `top_k_with_other` preserves the total for any k.
-    #[test]
-    fn top_k_preserves_total(
-        map in proptest::collection::btree_map("[a-z]{1,8}", 1u64..10_000, 0..30),
-        k in 0usize..12,
-    ) {
+/// `top_k_with_other` preserves the total for any k.
+#[test]
+fn top_k_preserves_total() {
+    let mut rng = XorShift64::new(0x70b1);
+    for _ in 0..CASES {
+        let map = random_map(&mut rng, 30);
+        let k = rng.index(12);
         let breakdown = Breakdown::from_map(&map);
         let rows = breakdown.top_k_with_other(k);
         let total: u64 = rows.iter().map(|(_, v)| v).sum();
-        prop_assert_eq!(total, breakdown.total());
+        assert_eq!(total, breakdown.total());
     }
+}
 
-    /// Figure shares per benchmark sum to ~1 whenever the run is nonempty.
-    #[test]
-    fn figure_rows_sum_to_one(
-        maps in proptest::collection::vec(
-            proptest::collection::btree_map("[a-z]{1,6}", 1u64..1000, 1..10),
-            1..6,
-        ),
-        k in 1usize..6,
-    ) {
-        let runs: Vec<RunSummary> = maps
-            .iter()
-            .enumerate()
-            .map(|(i, m)| {
+/// Figure shares per benchmark sum to ~1 whenever the run is nonempty.
+#[test]
+fn figure_rows_sum_to_one() {
+    let mut rng = XorShift64::new(0xf165);
+    for _ in 0..CASES {
+        let runs: Vec<RunSummary> = (0..rng.range(1, 6))
+            .map(|i| {
                 let mut s = RunSummary::empty(&format!("bench{i}"));
-                s.instr_by_region = m.clone();
+                loop {
+                    s.instr_by_region = random_map(&mut rng, 9);
+                    if !s.instr_by_region.is_empty() {
+                        break;
+                    }
+                }
                 s
             })
             .collect();
+        let k = rng.range(1, 6) as usize;
         let fig = FigureTable::figure1(&runs, k);
         for run in &runs {
             let mut sum = fig.share(&run.benchmark, "other");
             for name in fig.legend() {
                 sum += fig.share(&run.benchmark, name);
             }
-            prop_assert!((sum - 1.0).abs() < 1e-9, "{}: {}", run.benchmark, sum);
+            assert!((sum - 1.0).abs() < 1e-9, "{}: {}", run.benchmark, sum);
         }
     }
 }

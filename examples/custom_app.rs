@@ -26,7 +26,10 @@ fn build_dex() -> (DexFile, MethodId) {
     let n = Reg(7);
     let (x, steps, one, two, three) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4));
     m.mov(x, n);
-    m.konst(steps, 0).konst(one, 1).konst(two, 2).konst(three, 3);
+    m.konst(steps, 0)
+        .konst(one, 1)
+        .konst(two, 2)
+        .konst(three, 3);
     let head = m.new_label();
     let odd = m.new_label();
     let cont = m.new_label();

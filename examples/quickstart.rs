@@ -43,16 +43,31 @@ fn main() {
     );
 
     let sections = [
-        ("instruction references by region", &summary.instr_by_region, summary.total_instr),
-        ("data references by region", &summary.data_by_region, summary.total_data),
-        ("instruction references by process", &summary.instr_by_process, summary.total_instr),
+        (
+            "instruction references by region",
+            &summary.instr_by_region,
+            summary.total_instr,
+        ),
+        (
+            "data references by region",
+            &summary.data_by_region,
+            summary.total_data,
+        ),
+        (
+            "instruction references by process",
+            &summary.instr_by_process,
+            summary.total_instr,
+        ),
     ];
     for (title, map, total) in sections {
         println!("\ntop {title}:");
         let mut rows: Vec<(&String, &u64)> = map.iter().collect();
         rows.sort_by(|a, b| b.1.cmp(a.1));
         for (name, count) in rows.into_iter().take(8) {
-            println!("  {:>5.1}%  {name}", *count as f64 * 100.0 / total.max(1) as f64);
+            println!(
+                "  {:>5.1}%  {name}",
+                *count as f64 * 100.0 / total.max(1) as f64
+            );
         }
     }
 
@@ -61,6 +76,9 @@ fn main() {
     let mut rows: Vec<(&String, &u64)> = summary.refs_by_thread.iter().collect();
     rows.sort_by(|a, b| b.1.cmp(a.1));
     for (name, count) in rows.into_iter().take(8) {
-        println!("  {:>5.1}%  {name}", *count as f64 * 100.0 / total.max(1) as f64);
+        println!(
+            "  {:>5.1}%  {name}",
+            *count as f64 * 100.0 / total.max(1) as f64
+        );
     }
 }

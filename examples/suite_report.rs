@@ -22,7 +22,10 @@ fn main() {
         .cloned();
 
     let (config, note) = if quick {
-        (SuiteConfig::quick(), "quick (1.2 s simulated per app, 1/8 panel)")
+        (
+            SuiteConfig::quick(),
+            "quick (1.2 s simulated per app, 1/8 panel)",
+        )
     } else {
         (
             SuiteConfig::reference(),
@@ -36,8 +39,7 @@ fn main() {
     eprintln!("done in {:?}", started.elapsed());
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(experiments.results()).expect("serializable");
-        std::fs::write(&path, json).expect("write json");
+        std::fs::write(&path, experiments.results().to_json()).expect("write json");
         eprintln!("wrote {path}");
     }
 
@@ -64,5 +66,8 @@ fn main() {
             claim.measured
         );
     }
-    println!("\n{passed}/{} claims within the accepted band", claims.len());
+    println!(
+        "\n{passed}/{} claims within the accepted band",
+        claims.len()
+    );
 }

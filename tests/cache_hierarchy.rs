@@ -1,0 +1,145 @@
+//! Memory-hierarchy integration: the cache subsystem wired through the
+//! full stack, and the headline locality claim — Android's multi-library
+//! instruction stream caches worse than any single-binary SPEC baseline.
+
+use agave_core::{
+    all_workloads, run_workload_with_cache, AppId, Fig5Cache, HierarchyGeometry, Level,
+    SpecProgram, SuiteConfig, Workload,
+};
+
+fn quick() -> SuiteConfig {
+    SuiteConfig::quick()
+}
+
+#[test]
+fn android_l1i_locality_is_worse_than_every_spec_kernel() {
+    // The paper's structural observation (dozens of interleaved code
+    // regions vs one hot binary) must show up as a cache-locality gap
+    // under a realistic geometry.
+    let fig5 = Fig5Cache::run(&quick(), HierarchyGeometry::cortex_a9());
+    assert_eq!(fig5.rows.len(), 25);
+
+    let android = fig5.android_aggregate(Level::L1i);
+    assert!(android.accesses() > 0, "no Android instruction traffic");
+    let android_miss = android.miss_rate();
+
+    let spec: Vec<_> = fig5.spec_rows().collect();
+    assert_eq!(spec.len(), 6);
+    for row in spec {
+        let spec_miss = row.total(Level::L1i).miss_rate();
+        assert!(
+            android_miss > spec_miss,
+            "{}: SPEC L1I miss {:.4}% ≥ Android aggregate {:.4}%",
+            row.benchmark,
+            spec_miss * 100.0,
+            android_miss * 100.0
+        );
+    }
+}
+
+#[test]
+fn spec_kernels_touch_few_code_regions_android_touches_many() {
+    let fig5 = Fig5Cache::run_workloads(
+        &[
+            Workload::Agave(AppId::CountdownMain),
+            Workload::Spec(SpecProgram::Bzip2),
+        ],
+        &quick(),
+        HierarchyGeometry::cortex_a9(),
+    );
+    assert!(fig5.rows[0].code_regions > 30, "{:?}", fig5.rows[0]);
+    assert!(fig5.rows[1].code_regions <= 5, "{:?}", fig5.rows[1]);
+}
+
+#[test]
+fn cache_reports_are_deterministic_across_runs() {
+    let run = |w| run_workload_with_cache(w, &quick(), HierarchyGeometry::cortex_a9());
+    for workload in [
+        Workload::Agave(AppId::GalleryMp4View),
+        Workload::Spec(SpecProgram::Specrand),
+    ] {
+        let a = run(workload);
+        let b = run(workload);
+        assert_eq!(a, b, "{workload:?}: cache report not reproducible");
+    }
+}
+
+#[test]
+fn per_region_breakdown_covers_known_hot_regions() {
+    let report = run_workload_with_cache(
+        Workload::Agave(AppId::CountdownMain),
+        &quick(),
+        HierarchyGeometry::cortex_a9(),
+    );
+    // The suite's leading instruction regions must appear with traffic.
+    for region in ["mspace", "libdvm.so"] {
+        let row = report.region(region).unwrap_or_else(|| {
+            panic!("{region} missing from cache report");
+        });
+        assert!(row.level(Level::L1i).accesses() > 0, "{region}: no fetches");
+    }
+    // Conservation: per-region L1 traffic sums to the totals.
+    for level in [Level::L1i, Level::L1d] {
+        let sum: u64 = report
+            .regions
+            .iter()
+            .map(|r| r.level(level).accesses())
+            .sum();
+        assert_eq!(
+            sum,
+            report.total(level).accesses(),
+            "{level:?} not conserved"
+        );
+    }
+    // Render and JSON both carry the per-region rows.
+    assert!(report.render(8).contains("mspace"));
+    assert!(report.to_json().contains(r#""region":"mspace""#));
+}
+
+#[test]
+fn presets_change_measured_miss_rates() {
+    let workload = Workload::Agave(AppId::CountdownMain);
+    let big = run_workload_with_cache(workload, &quick(), HierarchyGeometry::cortex_a9());
+    let tiny = run_workload_with_cache(workload, &quick(), HierarchyGeometry::tiny());
+    // Same stream, smaller caches: strictly more L1I misses.
+    assert_eq!(
+        big.total(Level::L1i).accesses(),
+        tiny.total(Level::L1i).accesses(),
+        "access counts must not depend on geometry"
+    );
+    assert!(
+        tiny.total(Level::L1i).misses > big.total(Level::L1i).misses,
+        "tiny geometry should miss more ({} vs {})",
+        tiny.total(Level::L1i).misses,
+        big.total(Level::L1i).misses
+    );
+}
+
+#[test]
+fn attaching_a_sink_does_not_change_the_summary() {
+    // The observer must be passive: reference counts with and without a
+    // cache sink attached are identical.
+    let with = {
+        let sink = std::rc::Rc::new(std::cell::RefCell::new(agave_core::MemoryHierarchy::new(
+            HierarchyGeometry::tiny(),
+        )));
+        agave_apps::run_app_with_sink(AppId::CountdownMain, quick().app, sink).0
+    };
+    let without = agave_core::run_workload(Workload::Agave(AppId::CountdownMain), &quick());
+    assert_eq!(with, without);
+}
+
+#[test]
+fn every_workload_produces_cache_traffic() {
+    for workload in all_workloads() {
+        let report = run_workload_with_cache(workload, &quick(), HierarchyGeometry::tiny());
+        assert!(
+            report.total(Level::L1i).accesses() > 0,
+            "{workload}: no instruction traffic reached the hierarchy"
+        );
+        assert!(
+            report.total(Level::L1d).accesses() > 0,
+            "{workload}: no data traffic reached the hierarchy"
+        );
+    }
+}

@@ -38,10 +38,7 @@ fn table1_reproduces_the_thread_ranking() {
     // The other five paper families all contribute materially.
     for family in ["Thread", "AsyncTask", "Compiler", "AudioTrackThread", "GC"] {
         let pct = table.percent(family);
-        assert!(
-            pct >= 1.5,
-            "{family} at {pct:.1}% (paper: 5.3–8.0%)"
-        );
+        assert!(pct >= 1.5, "{family} at {pct:.1}% (paper: 5.3–8.0%)");
     }
 }
 
@@ -50,7 +47,13 @@ fn figures_have_the_paper_legends() {
     let ex = experiments();
     let fig1 = ex.figure1();
     // The paper's named instruction regions all surface in our top-9.
-    for name in ["mspace", "libdvm.so", "libskia.so", "OS kernel", "app binary"] {
+    for name in [
+        "mspace",
+        "libdvm.so",
+        "libskia.so",
+        "OS kernel",
+        "app binary",
+    ] {
         assert!(
             fig1.legend().iter().any(|l| l == name),
             "figure 1 legend missing {name}: {:?}",
@@ -58,7 +61,13 @@ fn figures_have_the_paper_legends() {
         );
     }
     let fig2 = ex.figure2();
-    for name in ["stack", "OS kernel", "gralloc-buffer", "dalvik-heap", "fb0 (frame buffer)"] {
+    for name in [
+        "stack",
+        "OS kernel",
+        "gralloc-buffer",
+        "dalvik-heap",
+        "fb0 (frame buffer)",
+    ] {
         assert!(
             fig2.legend().iter().any(|l| l == name),
             "figure 2 legend missing {name}: {:?}",

@@ -1,4 +1,4 @@
-//! Cross-crate integration: run harness, summaries, serde, rendering.
+//! Cross-crate integration: run harness, summaries, JSON, rendering.
 
 use agave_core::{
     all_workloads, run_workload, AppId, Experiments, RunSummary, SuiteConfig, SuiteResults,
@@ -33,8 +33,8 @@ fn background_variants_hide_the_ui() {
     let bkg = run_workload(Workload::Agave(AppId::MusicMp3ViewBkg), &quick());
     // The foreground app draws; the background one doesn't touch Skia's
     // mspace from the benchmark process nearly as much.
-    let fg_mspace = fg.instr_by_region.get("mspace").copied().unwrap_or(0) as f64
-        / fg.total_instr as f64;
+    let fg_mspace =
+        fg.instr_by_region.get("mspace").copied().unwrap_or(0) as f64 / fg.total_instr as f64;
     let bkg_app = bkg.instr_process_share("benchmark");
     assert!(bkg_app < 0.05, "background app too busy: {bkg_app:.3}");
     assert!(fg_mspace > 0.0);
@@ -47,9 +47,17 @@ fn background_variants_hide_the_ui() {
 #[test]
 fn summaries_serialize_and_merge() {
     let a = run_workload(Workload::Agave(AppId::CountdownMain), &quick());
-    let json = serde_json::to_string(&a).expect("serialize");
-    let back: RunSummary = serde_json::from_str(&json).expect("deserialize");
-    assert_eq!(back, a);
+    let json = a.to_json();
+    assert!(json.starts_with(r#"{"benchmark":"countdown.main""#));
+    for field in [
+        "instr_by_region",
+        "data_by_region",
+        "refs_by_thread",
+        "total_instr",
+        "spawned_threads",
+    ] {
+        assert!(json.contains(&format!(r#""{field}":"#)), "missing {field}");
+    }
 
     let b = run_workload(Workload::Spec(agave_core::SpecProgram::Specrand), &quick());
     let mut merged = RunSummary::empty("merged");
@@ -63,7 +71,10 @@ fn experiments_render_everywhere() {
     // A two-workload mini-suite keeps this test fast while covering the
     // full rendering path.
     let results = SuiteResults {
-        agave: vec![run_workload(Workload::Agave(AppId::CountdownMain), &quick())],
+        agave: vec![run_workload(
+            Workload::Agave(AppId::CountdownMain),
+            &quick(),
+        )],
         spec: vec![run_workload(
             Workload::Spec(agave_core::SpecProgram::Specrand),
             &quick(),
@@ -103,14 +114,24 @@ fn reference_config_scales_up_from_quick() {
 #[test]
 fn artifacts_are_written_to_disk() {
     let results = SuiteResults {
-        agave: vec![run_workload(Workload::Agave(AppId::CountdownMain), &quick())],
+        agave: vec![run_workload(
+            Workload::Agave(AppId::CountdownMain),
+            &quick(),
+        )],
         spec: vec![],
     };
     let ex = Experiments::new(results);
     let dir = std::env::temp_dir().join("agave-artifacts-test");
     let _ = std::fs::remove_dir_all(&dir);
     agave_core::write_artifacts(&ex, &dir).expect("artifacts written");
-    for file in ["fig1.csv", "fig2.csv", "fig3.csv", "fig4.csv", "results.json", "table1.txt"] {
+    for file in [
+        "fig1.csv",
+        "fig2.csv",
+        "fig3.csv",
+        "fig4.csv",
+        "results.json",
+        "table1.txt",
+    ] {
         let path = dir.join(file);
         let len = std::fs::metadata(&path).expect("file exists").len();
         assert!(len > 0, "{file} is empty");
