@@ -41,4 +41,6 @@ mod registry;
 mod vlc;
 
 pub use config::RunConfig;
-pub use registry::{all_apps, run_app, run_app_with_sink, AppId};
+#[allow(deprecated)]
+pub use registry::run_app_with_sink;
+pub use registry::{all_apps, execute_app, run_app, AppId};

@@ -139,38 +139,55 @@ fn register_inputs(android: &mut Android) {
 /// Boots a fresh Android, launches `id`, runs it for the configured
 /// duration, and returns the run summary labeled with the figure name.
 pub fn run_app(id: AppId, config: RunConfig) -> RunSummary {
-    run_app_inner(id, config, None).0
+    execute_app(id, config, Vec::new()).0
 }
 
 /// Like [`run_app`], but registers `sink` on the fresh world's reference
 /// stream before launch and also returns the [`NameDirectory`], so the
 /// sink's consumer can resolve region and process ids after the run.
-///
-/// The sink is attached after boot, so it observes exactly the workload's
-/// steady-state traffic (the paper's measurements likewise exclude boot).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `execute_app` (or `agave_core::engine::run_observed`), which \
+            accepts any number of sinks"
+)]
 pub fn run_app_with_sink(
     id: AppId,
     config: RunConfig,
     sink: SharedSink,
 ) -> (RunSummary, NameDirectory) {
-    run_app_inner(id, config, Some(sink))
+    execute_app(id, config, vec![sink])
 }
 
-fn run_app_inner(
+/// The engine-facing run path every other entry point funnels through.
+///
+/// Boots a fresh Android world, attaches each of `sinks` to its
+/// classified reference stream, launches `id`, runs it for the
+/// configured duration, and returns the run summary (wall time stamped)
+/// plus the [`NameDirectory`] for resolving region/process ids after the
+/// world is gone.
+///
+/// Sinks are attached after boot, so they observe exactly the workload's
+/// steady-state traffic (the paper's measurements likewise exclude
+/// boot). Each call builds a private world, so concurrent calls from
+/// different threads never share state — this is what lets
+/// `agave_core::engine` fan the suite out across threads.
+pub fn execute_app(
     id: AppId,
     config: RunConfig,
-    sink: Option<SharedSink>,
+    sinks: Vec<SharedSink>,
 ) -> (RunSummary, NameDirectory) {
+    let started = std::time::Instant::now();
     let mut android = Android::boot(DisplayConfig::wvga().scaled(config.display_scale));
-    if let Some(sink) = sink {
+    for sink in sinks {
         android.kernel.attach_sink(sink);
     }
     register_inputs(&mut android);
     let env = android.launch_app(id.package(), &id.apk_path());
     install(id, &mut android, env);
     android.run_ms(config.duration_ms);
-    let summary = android.kernel.tracer().summarize(id.label());
+    let mut summary = android.kernel.tracer().summarize(id.label());
     let directory = android.kernel.tracer().name_directory();
+    summary.wall_time_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
     (summary, directory)
 }
 

@@ -3,21 +3,15 @@
 //! The bench first prints the artifact (paper reproduction), then times
 //! the simulation runs that feed it plus the figure assembly itself.
 
-use agave_bench::{representative, shared_experiments, Group};
-use agave_core::{run_workload, FigureTable, SuiteConfig};
+use agave_bench::figure_bench;
+use agave_core::FigureTable;
 
 fn main() {
-    let experiments = shared_experiments();
-    println!("\n==== Figure 3 — instruction references by process ====");
-    println!("{}", experiments.figure3().render());
-
-    let mut group = Group::new("fig3_instr_process");
-    let config = SuiteConfig::quick();
-    for workload in representative() {
-        group.bench(&format!("run {workload}"), 10, || {
-            run_workload(workload, &config)
-        });
-    }
+    let (mut group, experiments) = figure_bench(
+        "fig3_instr_process",
+        "Figure 3 — instruction references by process",
+        |ex| ex.figure3().render(),
+    );
     let runs = experiments.results().all();
     group.bench("assemble figure from 25 summaries", 10, || {
         FigureTable::figure3(&runs, 9)

@@ -3,21 +3,15 @@
 //! The bench first prints the artifact (paper reproduction), then times
 //! the simulation runs that feed it plus the figure assembly itself.
 
-use agave_bench::{representative, shared_experiments, Group};
-use agave_core::{run_workload, FigureTable, SuiteConfig};
+use agave_bench::figure_bench;
+use agave_core::FigureTable;
 
 fn main() {
-    let experiments = shared_experiments();
-    println!("\n==== Figure 4 — data references by process ====");
-    println!("{}", experiments.figure4().render());
-
-    let mut group = Group::new("fig4_data_process");
-    let config = SuiteConfig::quick();
-    for workload in representative() {
-        group.bench(&format!("run {workload}"), 10, || {
-            run_workload(workload, &config)
-        });
-    }
+    let (mut group, experiments) = figure_bench(
+        "fig4_data_process",
+        "Figure 4 — data references by process",
+        |ex| ex.figure4().render(),
+    );
     let runs = experiments.results().all();
     group.bench("assemble figure from 25 summaries", 10, || {
         FigureTable::figure4(&runs, 9)

@@ -1,0 +1,64 @@
+//! Measures the wall-clock speedup of `engine::run_suite_parallel` over
+//! the serial suite, and verifies byte-identical output along the way.
+//!
+//! The 25 workloads are mutually independent (each boots a private
+//! simulated world), so on an N-core host the suite should approach N×;
+//! the acceptance bar is ≥ 1.5× at `--jobs ≥ 2` on a multicore host.
+//!
+//! By default the bench uses the `quick` sizing so it finishes in
+//! seconds; set `AGAVE_BENCH_REFERENCE=1` to measure the reference
+//! sizing used for the EXPERIMENTS.md numbers.
+
+use agave_core::engine::{self, EngineConfig};
+use agave_core::{all_workloads, SuiteResults};
+use std::time::{Duration, Instant};
+
+fn suite_json(config: &EngineConfig, jobs: usize) -> (String, Duration) {
+    let started = Instant::now();
+    let outcomes = engine::run_suite_parallel(&all_workloads(), config, jobs);
+    let elapsed = started.elapsed();
+    (SuiteResults::from_outcomes(outcomes).to_json(), elapsed)
+}
+
+fn best_of(samples: u32, mut f: impl FnMut() -> (String, Duration)) -> (String, Duration) {
+    let (json, mut best) = f();
+    for _ in 1..samples {
+        let (other_json, t) = f();
+        assert_eq!(json, other_json, "suite output must be reproducible");
+        best = best.min(t);
+    }
+    (json, best)
+}
+
+fn main() {
+    let reference = std::env::var("AGAVE_BENCH_REFERENCE").is_ok_and(|v| v == "1");
+    let (config, sizing, samples) = if reference {
+        (EngineConfig::reference(), "reference", 1)
+    } else {
+        (EngineConfig::quick(), "quick", 2)
+    };
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\n-- bench group: suite_parallel ({sizing} sizing, {cpus} CPUs)");
+
+    let (serial_json, serial) = best_of(samples, || suite_json(&config, 1));
+    println!("{:<40} {serial:>12?}", "25 workloads, serial (jobs=1)");
+
+    let mut job_counts = vec![2, 4, cpus];
+    job_counts.sort_unstable();
+    job_counts.dedup();
+    for jobs in job_counts.into_iter().filter(|&j| j > 1) {
+        let (json, t) = best_of(samples, || suite_json(&config, jobs));
+        assert_eq!(
+            json, serial_json,
+            "jobs={jobs}: parallel output must be byte-identical to serial"
+        );
+        let speedup = serial.as_secs_f64() / t.as_secs_f64();
+        println!(
+            "{:<40} {t:>12?}  speedup {speedup:>5.2}x  (output byte-identical)",
+            format!("25 workloads, jobs={jobs}")
+        );
+    }
+    if cpus == 1 {
+        println!("note: single-CPU host — no speedup is expected here");
+    }
+}

@@ -1,21 +1,16 @@
 //! Regenerates and times **Table I — threads ranked by share of total
 //! memory references across the Agave suite**.
 
-use agave_bench::{representative, shared_experiments, Group};
-use agave_core::{run_workload, SuiteConfig, TableOne};
+use agave_bench::figure_bench;
+use agave_core::TableOne;
 
 fn main() {
-    let experiments = shared_experiments();
-    println!("\n==== Table I — thread ranking (paper: SurfaceFlinger 43.4, Thread 8.0, AsyncTask 7.6, Compiler 7.1, AudioTrackThread 5.9, GC 5.3) ====");
-    println!("{}", experiments.table1_extended(10).render());
-
-    let mut group = Group::new("table1_threads");
-    let config = SuiteConfig::quick();
-    for workload in representative() {
-        group.bench(&format!("run {workload}"), 10, || {
-            run_workload(workload, &config)
-        });
-    }
+    let (mut group, experiments) = figure_bench(
+        "table1_threads",
+        "Table I — thread ranking (paper: SurfaceFlinger 43.4, Thread 8.0, \
+         AsyncTask 7.6, Compiler 7.1, AudioTrackThread 5.9, GC 5.3)",
+        |ex| ex.table1_extended(10).render(),
+    );
     let aggregate = experiments.results().agave_aggregate();
     group.bench("rank threads from suite aggregate", 10, || {
         TableOne::from_runs(std::slice::from_ref(&aggregate), 6)

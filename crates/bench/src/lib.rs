@@ -13,6 +13,7 @@
 //! | `table1_threads`     | Table I — thread ranking |
 //! | `sim_throughput`     | simulator-level microbenchmarks |
 //! | `cache_throughput`   | `agave-cache` hierarchy simulation overhead |
+//! | `suite_parallel`     | `run_suite_parallel` speedup vs the serial path |
 //!
 //! Running `cargo bench -p agave-bench --bench fig1_instr_regions` first
 //! prints the regenerated artifact (so the bench run doubles as the
@@ -40,6 +41,31 @@ pub fn representative() -> [agave_core::Workload; 3] {
         Workload::Agave(AppId::GalleryMp4View),
         Workload::Spec(SpecProgram::Mcf),
     ]
+}
+
+/// The shared opening of every figure/table bench target: print the
+/// regenerated artifact (so the bench run doubles as the reproduction),
+/// then time the representative workloads feeding it.
+///
+/// Returns the open [`Group`] (for the target's artifact-specific
+/// assembly timing) and the shared quick-suite [`Experiments`].
+pub fn figure_bench(
+    name: &str,
+    banner: &str,
+    artifact: impl FnOnce(&Experiments) -> String,
+) -> (Group, &'static Experiments) {
+    let experiments = shared_experiments();
+    println!("\n==== {banner} ====");
+    println!("{}", artifact(experiments));
+
+    let mut group = Group::new(name);
+    let config = SuiteConfig::quick();
+    for workload in representative() {
+        group.bench(&format!("run {workload}"), 10, || {
+            agave_core::run_workload(workload, &config)
+        });
+    }
+    (group, experiments)
 }
 
 /// A minimal fixed-sample timing harness.

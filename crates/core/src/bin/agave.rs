@@ -3,24 +3,30 @@
 //! ```text
 //! agave list                            # all 25 workloads
 //! agave run <label> [--quick]           # one workload, summary to stdout
-//! agave suite [--quick] [--json F]      # figures 1–4, Table I, claims
-//! agave claims [--quick]                # just the claim checklist
+//! agave suite [--quick] [--jobs N] [--json F]  # figures 1–4, Table I, claims
+//! agave claims [--quick] [--jobs N]     # just the claim checklist
 //! agave cache <label> [--preset P]      # per-region cache/TLB breakdown
-//! agave cache --fig5 [--preset P]       # all 25 workloads, one row each
+//! agave cache --fig5 [--preset P] [--jobs N]   # all 25 workloads, one row each
 //! ```
+//!
+//! `--jobs N` fans the mutually independent workloads out across N
+//! threads (`--jobs 0` = one per CPU). Figures, tables, and JSON are
+//! byte-identical for any N; only wall time changes.
 
 use agave_core::{
-    all_workloads, experiments_markdown, run_workload, run_workload_with_cache, Experiments,
-    Fig5Cache, HierarchyGeometry, SuiteConfig, Workload,
+    all_workloads, engine, experiments_markdown, run_workload_with_cache, Experiments, Fig5Cache,
+    HierarchyGeometry, SuiteConfig, Workload,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  agave list\n  agave run <workload> [--quick]\n  \
-         agave suite [--quick] [--markdown] [--json FILE]\n  agave claims [--quick]\n  \
+         agave suite [--quick] [--jobs N] [--markdown] [--json FILE]\n  \
+         agave claims [--quick] [--jobs N]\n  \
          agave cache <workload> [--preset NAME] [--quick] [--json] [--top N]\n  \
-         agave cache --fig5 [--preset NAME] [--quick] [--json]\n\
-         presets: {}",
+         agave cache --fig5 [--preset NAME] [--quick] [--json] [--jobs N]\n\
+         presets: {}\n\
+         --jobs N: run workloads on N threads (0 = one per CPU; default 1)",
         agave_core::HierarchyGeometry::PRESET_NAMES.join(", ")
     );
     std::process::exit(2);
@@ -32,6 +38,18 @@ fn config(args: &[String]) -> (SuiteConfig, &'static str) {
     } else {
         (SuiteConfig::reference(), "reference")
     }
+}
+
+/// Parses `--jobs N` (default 1 = serial; 0 = one per CPU).
+fn jobs(args: &[String]) -> usize {
+    args.iter()
+        .position(|a| a == "--jobs")
+        .map(|pos| {
+            args.get(pos + 1)
+                .and_then(|n| n.parse().ok())
+                .unwrap_or_else(|| usage())
+        })
+        .unwrap_or(1)
 }
 
 fn find(label: &str) -> Workload {
@@ -58,10 +76,15 @@ fn cmd_list() {
 fn cmd_run(args: &[String]) {
     let label = args.first().map(String::as_str).unwrap_or_else(|| usage());
     let (config, note) = config(args);
-    let summary = run_workload(find(label), &config);
+    let summary = engine::run(find(label), &config).summary;
     println!(
         "{} ({note}): {} instr + {} data references",
         summary.benchmark, summary.total_instr, summary.total_data
+    );
+    println!(
+        "wall {:.2} ms · {:.3e} refs/sec",
+        summary.wall_time_ns as f64 / 1e6,
+        summary.refs_per_sec()
     );
     println!(
         "processes {} · threads {} · code regions {} · data regions {}",
@@ -106,8 +129,17 @@ fn cmd_run(args: &[String]) {
 
 fn cmd_suite(args: &[String]) {
     let (config, note) = config(args);
-    eprintln!("running 25 workloads ({note})…");
-    let experiments = Experiments::from_config(&config);
+    let jobs = jobs(args);
+    eprintln!(
+        "running 25 workloads ({note}, {} thread{})…",
+        engine::effective_jobs(jobs),
+        if engine::effective_jobs(jobs) == 1 {
+            ""
+        } else {
+            "s"
+        }
+    );
+    let experiments = Experiments::from_config_jobs(&config, jobs);
     if let Some(pos) = args.iter().position(|a| a == "--json") {
         let path = args
             .get(pos + 1)
@@ -125,6 +157,7 @@ fn cmd_suite(args: &[String]) {
     println!("{}", experiments.figure3().render());
     println!("{}", experiments.figure4().render());
     println!("{}", experiments.table1_extended(10).render());
+    println!("{}", experiments.results().render_timing());
     print_claims(&experiments);
 }
 
@@ -149,7 +182,7 @@ fn cmd_cache(args: &[String]) {
     let json = args.iter().any(|a| a == "--json");
     if args.iter().any(|a| a == "--fig5") {
         eprintln!("replaying 25 workloads through {preset} ({note})…");
-        let fig5 = Fig5Cache::run(&config, geometry);
+        let fig5 = Fig5Cache::run_jobs(&config, geometry, jobs(args));
         if json {
             println!("{}", fig5.to_json());
         } else {
@@ -157,10 +190,19 @@ fn cmd_cache(args: &[String]) {
         }
         return;
     }
+    // The label is the first bare argument that is not the value of a
+    // value-taking flag (`--preset cortex-a9`, `--top 5`, `--jobs 2`, …).
+    let flag_values: Vec<usize> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| ["--preset", "--top", "--jobs", "--json"].contains(&a.as_str()))
+        .map(|(i, _)| i + 1)
+        .collect();
     let label = args
         .iter()
-        .find(|a| !a.starts_with("--") && Some(a.as_str()) != Some(preset))
-        .map(String::as_str)
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && !flag_values.contains(i))
+        .map(|(_, a)| a.as_str())
         .unwrap_or_else(|| usage());
     let top = args
         .iter()
@@ -181,7 +223,7 @@ fn cmd_cache(args: &[String]) {
 fn cmd_claims(args: &[String]) {
     let (config, note) = config(args);
     eprintln!("running 25 workloads ({note})…");
-    let experiments = Experiments::from_config(&config);
+    let experiments = Experiments::from_config_jobs(&config, jobs(args));
     print_claims(&experiments);
 }
 

@@ -10,31 +10,30 @@
 //! locality is structurally worse than any of the single-binary SPEC
 //! baselines.
 
+use crate::engine;
 use crate::suite::{all_workloads, SuiteConfig, Workload};
-use agave_apps::run_app_with_sink;
 use agave_cache::{CacheReport, HierarchyGeometry, Level, LevelStats, MemoryHierarchy};
-use agave_spec::run_spec_with_sink;
-use agave_trace::{json, SharedSink};
+use agave_trace::json;
 use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Runs one workload with a [`MemoryHierarchy`] attached to its reference
-/// stream and returns the full per-region cache report.
+/// stream (via [`engine::run_observed`]) and returns the full per-region
+/// cache report.
 ///
 /// Each call boots a fresh simulated system, so reports are deterministic
-/// and independent.
+/// and independent — including across threads, which is what
+/// [`Fig5Cache::run_jobs`] exploits.
 pub fn run_workload_with_cache(
     workload: Workload,
     config: &SuiteConfig,
     geometry: HierarchyGeometry,
 ) -> CacheReport {
     let hierarchy = Rc::new(RefCell::new(MemoryHierarchy::new(geometry)));
-    let sink: SharedSink = hierarchy.clone();
-    let directory = match workload {
-        Workload::Agave(app) => run_app_with_sink(app, config.app, sink).1,
-        Workload::Spec(program) => run_spec_with_sink(program, config.spec, sink).1,
-    };
-    let report = hierarchy.borrow().report(workload.label(), &directory);
+    let outcome = engine::run_observed(workload, config, vec![hierarchy.clone()]);
+    let report = hierarchy
+        .borrow()
+        .report(workload.label(), &outcome.directory);
     report
 }
 
@@ -112,19 +111,35 @@ impl Fig5Cache {
         Fig5Cache::run_workloads(&all_workloads(), config, geometry)
     }
 
+    /// Like [`Fig5Cache::run`], but across up to `jobs` worker threads
+    /// (0 = one per CPU). Each worker simulates private worlds with a
+    /// private hierarchy, so rows are byte-identical to the serial run.
+    pub fn run_jobs(config: &SuiteConfig, geometry: HierarchyGeometry, jobs: usize) -> Self {
+        Fig5Cache::run_workloads_jobs(&all_workloads(), config, geometry, jobs)
+    }
+
     /// Runs a chosen subset of workloads (rows keep the given order).
     pub fn run_workloads(
         workloads: &[Workload],
         config: &SuiteConfig,
         geometry: HierarchyGeometry,
     ) -> Self {
-        let rows = workloads
-            .iter()
-            .map(|&w| {
-                let report = run_workload_with_cache(w, config, geometry);
-                Fig5Row::from_report(&report, matches!(w, Workload::Agave(_)))
-            })
-            .collect();
+        Fig5Cache::run_workloads_jobs(workloads, config, geometry, 1)
+    }
+
+    /// [`Fig5Cache::run_workloads`] fanned out over the engine's parallel
+    /// runner.
+    pub fn run_workloads_jobs(
+        workloads: &[Workload],
+        config: &SuiteConfig,
+        geometry: HierarchyGeometry,
+        jobs: usize,
+    ) -> Self {
+        let rows = engine::parallel_map(workloads.len(), jobs, |i| {
+            let w = workloads[i];
+            let report = run_workload_with_cache(w, config, geometry);
+            Fig5Row::from_report(&report, matches!(w, Workload::Agave(_)))
+        });
         Fig5Cache {
             preset: geometry.name.to_owned(),
             rows,
@@ -232,6 +247,20 @@ mod tests {
         let json = fig5.to_json();
         assert!(json.starts_with(r#"{"preset":"tiny""#));
         assert!(json.contains(r#""benchmark":"countdown.main""#));
+    }
+
+    #[test]
+    fn fig5_parallel_rows_match_serial() {
+        let workloads = [
+            Workload::Agave(AppId::CountdownMain),
+            Workload::Spec(SpecProgram::Specrand),
+        ];
+        let config = SuiteConfig::quick();
+        let serial = Fig5Cache::run_workloads(&workloads, &config, HierarchyGeometry::tiny());
+        let parallel =
+            Fig5Cache::run_workloads_jobs(&workloads, &config, HierarchyGeometry::tiny(), 2);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.to_json(), parallel.to_json());
     }
 
     #[test]

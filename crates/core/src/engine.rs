@@ -1,0 +1,351 @@
+//! The unified workload execution engine.
+//!
+//! Historically the workspace grew three parallel entry-point families —
+//! `run_app`/`run_app_with_sink` in `agave-apps`,
+//! `run_spec`/`run_spec_with_sink` in `agave-spec`, and
+//! `run_workload`/`run_workload_with_cache` in `agave-core` — each
+//! re-implementing the same boot → attach sinks → run → summarize
+//! sequence. This module collapses them into one layer:
+//!
+//! * [`run`] executes any [`Workload`] under an [`EngineConfig`] and
+//!   returns a [`WorkloadOutcome`] (summary + name directory, wall time
+//!   stamped).
+//! * [`run_observed`] is the same run with any number of
+//!   [`ReferenceSink`](agave_trace::ReferenceSink)s attached to the
+//!   world's classified reference stream — the cache hierarchy today,
+//!   future observers tomorrow — replacing the `*_with_sink` clones
+//!   (now thin deprecated shims).
+//! * [`run_suite_parallel`] fans independent workloads out across
+//!   `std::thread` workers and merges results back in canonical figure
+//!   order, byte-identical to a serial run.
+//!
+//! # Parallel execution model
+//!
+//! Every workload boots a private simulated world (kernel, tracer,
+//! sinks), exactly as each of the paper's measurements ran against a
+//! fresh gem5 instance; nothing is shared between runs, so the suite is
+//! embarrassingly parallel. The fan-out is a hand-rolled work-stealing
+//! index: `jobs` scoped threads repeatedly claim the next unclaimed
+//! workload index from an `AtomicUsize` and write the outcome into that
+//! index's dedicated result slot. Claiming by index keeps the output
+//! order canonical no matter which worker finishes first, which is what
+//! makes `--jobs N` output byte-identical to serial output. No external
+//! thread-pool crate is involved.
+
+use crate::suite::Workload;
+use agave_apps::{execute_app, RunConfig};
+use agave_spec::{execute_spec, SpecConfig};
+use agave_trace::{NameDirectory, RunSummary, SharedSink};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Sizing knobs for engine runs: how big each Agave application run and
+/// each SPEC problem is.
+///
+/// This is the same shape the suite layer has always used;
+/// [`crate::SuiteConfig`] is now an alias for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Agave application run sizing.
+    pub app: RunConfig,
+    /// SPEC problem sizing.
+    pub spec: SpecConfig,
+}
+
+impl EngineConfig {
+    /// The configuration used for the EXPERIMENTS.md numbers.
+    pub fn reference() -> Self {
+        EngineConfig {
+            app: RunConfig::reference(),
+            spec: SpecConfig::reference(),
+        }
+    }
+
+    /// A fast configuration for tests and benches.
+    pub fn quick() -> Self {
+        EngineConfig {
+            app: RunConfig::quick(),
+            spec: SpecConfig::tiny(),
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+/// Everything one engine run produces.
+#[derive(Debug, Clone)]
+pub struct WorkloadOutcome {
+    /// The workload that ran.
+    pub workload: Workload,
+    /// The distilled measurements (wall time stamped by the run path).
+    pub summary: RunSummary,
+    /// Name/process tables for resolving sink-observed ids after the
+    /// simulated world is gone.
+    pub directory: NameDirectory,
+}
+
+/// Runs one workload to completion on a fresh simulated world.
+pub fn run(workload: Workload, config: &EngineConfig) -> WorkloadOutcome {
+    run_observed(workload, config, Vec::new())
+}
+
+/// Runs one workload with `sinks` attached to the world's classified
+/// reference stream.
+///
+/// Sinks observe every charge in program order (see
+/// [`agave_trace::ReferenceSink`]); the caller keeps its own handle to
+/// each sink and harvests results after the run:
+///
+/// ```no_run
+/// use agave_core::engine::{self, EngineConfig};
+/// use agave_core::{AppId, HierarchyGeometry, MemoryHierarchy, Workload};
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+///
+/// let hierarchy = Rc::new(RefCell::new(MemoryHierarchy::new(
+///     HierarchyGeometry::cortex_a9(),
+/// )));
+/// let outcome = engine::run_observed(
+///     Workload::Agave(AppId::GalleryMp4View),
+///     &EngineConfig::quick(),
+///     vec![hierarchy.clone()],
+/// );
+/// let report = hierarchy
+///     .borrow()
+///     .report(outcome.workload.label(), &outcome.directory);
+/// ```
+pub fn run_observed(
+    workload: Workload,
+    config: &EngineConfig,
+    sinks: Vec<SharedSink>,
+) -> WorkloadOutcome {
+    let (summary, directory) = match workload {
+        Workload::Agave(app) => execute_app(app, config.app, sinks),
+        Workload::Spec(program) => execute_spec(program, config.spec, sinks),
+    };
+    WorkloadOutcome {
+        workload,
+        summary,
+        directory,
+    }
+}
+
+/// Runs `workloads` across up to `jobs` worker threads and returns their
+/// outcomes in input order.
+///
+/// `jobs == 0` means "one per available CPU"; `jobs == 1` runs inline on
+/// the calling thread (the serial path, with zero threading overhead).
+/// Output is byte-identical to the serial path for any `jobs`: each
+/// workload simulates a private deterministic world, and outcomes are
+/// merged back by index, not completion order.
+pub fn run_suite_parallel(
+    workloads: &[Workload],
+    config: &EngineConfig,
+    jobs: usize,
+) -> Vec<WorkloadOutcome> {
+    parallel_map(workloads.len(), jobs, |i| run(workloads[i], config))
+}
+
+/// Resolves a `--jobs`-style request: 0 means one per available CPU.
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        jobs
+    }
+}
+
+/// The engine's fan-out primitive: computes `f(0..count)` on up to
+/// `jobs` scoped threads and returns the results in index order.
+///
+/// Work distribution is a shared atomic cursor (work stealing by index):
+/// idle workers claim the next index, so a slow item never stalls the
+/// rest of the queue behind a static partition. A panic in any worker
+/// propagates to the caller once all threads have been joined.
+pub fn parallel_map<T, F>(count: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = effective_jobs(jobs).min(count.max(1));
+    if jobs <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker skipped a claimed index")
+        })
+        .collect()
+}
+
+/// A configured engine: the object form of this module's free functions,
+/// convenient when one sizing is threaded through a whole experiment.
+///
+/// ```no_run
+/// use agave_core::engine::{EngineConfig, WorkloadEngine};
+///
+/// let engine = WorkloadEngine::new(EngineConfig::quick());
+/// let results = engine.run_suite_parallel(4);
+/// println!("{}", results.to_json());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadEngine {
+    config: EngineConfig,
+}
+
+impl WorkloadEngine {
+    /// An engine that runs everything at `config` sizing.
+    pub fn new(config: EngineConfig) -> Self {
+        WorkloadEngine { config }
+    }
+
+    /// The engine's sizing.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs one workload — see [`run`].
+    pub fn run(&self, workload: Workload) -> WorkloadOutcome {
+        run(workload, &self.config)
+    }
+
+    /// Runs one workload with sinks attached — see [`run_observed`].
+    pub fn run_observed(&self, workload: Workload, sinks: Vec<SharedSink>) -> WorkloadOutcome {
+        run_observed(workload, &self.config, sinks)
+    }
+
+    /// Runs the full 25-workload suite serially.
+    pub fn run_suite(&self) -> crate::SuiteResults {
+        self.run_suite_parallel(1)
+    }
+
+    /// Runs the full 25-workload suite on up to `jobs` threads
+    /// (0 = one per CPU), collecting results in canonical figure order.
+    pub fn run_suite_parallel(&self, jobs: usize) -> crate::SuiteResults {
+        let outcomes = run_suite_parallel(&crate::all_workloads(), &self.config, jobs);
+        crate::SuiteResults::from_outcomes(outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::all_workloads;
+    use agave_apps::AppId;
+    use agave_spec::SpecProgram;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        for jobs in [0, 1, 2, 3, 8, 64] {
+            let out = parallel_map(17, jobs, |i| i * i);
+            assert_eq!(
+                out,
+                (0..17).map(|i| i * i).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+        }
+        assert!(parallel_map(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn engine_run_matches_the_legacy_free_functions() {
+        let config = EngineConfig::quick();
+        let outcome = run(Workload::Agave(AppId::CountdownMain), &config);
+        assert_eq!(outcome.summary.benchmark, "countdown.main");
+        assert!(outcome.summary.total_instr > 0);
+        assert!(
+            outcome.summary.wall_time_ns > 0,
+            "engine must stamp wall time"
+        );
+        assert!(outcome.directory.process_count() > 0);
+        let legacy = agave_apps::run_app(AppId::CountdownMain, config.app);
+        assert_eq!(outcome.summary, legacy);
+    }
+
+    #[test]
+    fn run_observed_feeds_every_sink() {
+        #[derive(Default)]
+        struct Count {
+            blocks: u64,
+        }
+        impl agave_trace::ReferenceSink for Count {
+            fn on_reference(&mut self, _r: &agave_trace::Reference) {
+                self.blocks += 1;
+            }
+        }
+        let a = Rc::new(RefCell::new(Count::default()));
+        let b = Rc::new(RefCell::new(Count::default()));
+        let outcome = run_observed(
+            Workload::Spec(SpecProgram::Specrand),
+            &EngineConfig::quick(),
+            vec![a.clone(), b.clone()],
+        );
+        assert!(a.borrow().blocks > 0, "first sink saw nothing");
+        assert_eq!(
+            a.borrow().blocks,
+            b.borrow().blocks,
+            "sinks must see the same stream"
+        );
+        assert_eq!(outcome.summary.benchmark, "999.specrand");
+    }
+
+    #[test]
+    fn parallel_suite_equals_serial_suite_on_a_subset() {
+        let workloads = [
+            Workload::Agave(AppId::CountdownMain),
+            Workload::Spec(SpecProgram::Specrand),
+            Workload::Agave(AppId::JetboyMain),
+        ];
+        let config = EngineConfig::quick();
+        let serial = run_suite_parallel(&workloads, &config, 1);
+        let parallel = run_suite_parallel(&workloads, &config, 3);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.workload, p.workload, "order must be canonical");
+            assert_eq!(
+                s.summary, p.summary,
+                "{}: diverged under threads",
+                s.workload
+            );
+            assert_eq!(s.summary.to_json(), p.summary.to_json());
+        }
+    }
+
+    #[test]
+    fn workload_engine_wraps_the_free_functions() {
+        let engine = WorkloadEngine::new(EngineConfig::quick());
+        assert_eq!(engine.config().app, RunConfig::quick());
+        let outcome = engine.run(Workload::Spec(SpecProgram::Specrand));
+        assert_eq!(outcome.summary.benchmark, "999.specrand");
+        assert_eq!(all_workloads().len(), 25);
+    }
+
+    #[test]
+    fn jobs_zero_resolves_to_available_cpus() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(7), 7);
+    }
+}

@@ -1,6 +1,6 @@
 //! Regenerating the paper's figures, table, and quantitative claims.
 
-use crate::suite::{run_suite, SuiteConfig, SuiteResults};
+use crate::suite::{run_suite, run_suite_jobs, SuiteConfig, SuiteResults};
 use agave_trace::{json, FigureTable, TableOne};
 
 /// Legend size of the paper's figures (top 9 + "other (N items)").
@@ -73,6 +73,13 @@ impl Experiments {
     /// Runs the whole suite at `config` and wraps the results.
     pub fn from_config(config: &SuiteConfig) -> Self {
         Experiments::new(run_suite(config))
+    }
+
+    /// Runs the whole suite on up to `jobs` worker threads (0 = one per
+    /// CPU). Every figure, table, and claim is byte-identical to
+    /// [`Experiments::from_config`] — parallelism only changes wall time.
+    pub fn from_config_jobs(config: &SuiteConfig, jobs: usize) -> Self {
+        Experiments::new(run_suite_jobs(config, jobs))
     }
 
     /// The underlying results.

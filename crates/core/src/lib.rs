@@ -31,21 +31,34 @@
 //!
 //! For the full paper reproduction, see `examples/suite_report.rs` (or the
 //! Criterion benches in `agave-bench`, one per figure/table).
+//!
+//! # The engine layer
+//!
+//! Every run path — single workload, full suite, cache replay — funnels
+//! through the [`engine`] module: [`engine::run`] executes any workload,
+//! [`engine::run_observed`] attaches reference-stream sinks, and
+//! [`engine::run_suite_parallel`] fans the mutually independent workloads
+//! out across threads (`agave suite --jobs N`), with results merged back
+//! in canonical figure order so output is byte-identical to serial runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cache;
+pub mod engine;
 mod experiments;
 mod profiles;
 mod report;
 mod suite;
 
 pub use cache::{run_workload_with_cache, Fig5Cache, Fig5Row};
+pub use engine::{EngineConfig, WorkloadEngine, WorkloadOutcome};
 pub use experiments::{ClaimReport, Experiments};
 pub use profiles::{library_profiles, render_library_profiles, LibraryProfile};
 pub use report::{experiments_markdown, write_artifacts};
-pub use suite::{all_workloads, run_suite, run_workload, SuiteConfig, SuiteResults, Workload};
+pub use suite::{
+    all_workloads, run_suite, run_suite_jobs, run_workload, SuiteConfig, SuiteResults, Workload,
+};
 
 // The user-facing surface of the lower layers.
 pub use agave_apps::{all_apps, AppId, RunConfig};

@@ -1,7 +1,8 @@
 //! The unified workload registry and suite runner.
 
-use agave_apps::{all_apps, run_app, AppId, RunConfig};
-use agave_spec::{run_spec, spec_programs, SpecConfig, SpecProgram};
+use crate::engine::{self, EngineConfig, WorkloadOutcome};
+use agave_apps::{all_apps, AppId};
+use agave_spec::{spec_programs, SpecProgram};
 use agave_trace::{json, RunSummary};
 use std::fmt;
 
@@ -38,45 +39,16 @@ pub fn all_workloads() -> Vec<Workload> {
     out
 }
 
-/// Sizing for a full suite run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SuiteConfig {
-    /// Agave application run sizing.
-    pub app: RunConfig,
-    /// SPEC problem sizing.
-    pub spec: SpecConfig,
-}
-
-impl SuiteConfig {
-    /// The configuration used for the EXPERIMENTS.md numbers.
-    pub fn reference() -> Self {
-        SuiteConfig {
-            app: RunConfig::reference(),
-            spec: SpecConfig::reference(),
-        }
-    }
-
-    /// A fast configuration for tests and benches.
-    pub fn quick() -> Self {
-        SuiteConfig {
-            app: RunConfig::quick(),
-            spec: SpecConfig::tiny(),
-        }
-    }
-}
-
-impl Default for SuiteConfig {
-    fn default() -> Self {
-        Self::reference()
-    }
-}
+/// Sizing for a full suite run — the engine's [`EngineConfig`] under its
+/// historical name.
+pub type SuiteConfig = EngineConfig;
 
 /// Runs one workload to completion and returns its summary.
+///
+/// Thin shim over [`engine::run`], kept for the many call sites that
+/// only need the summary.
 pub fn run_workload(workload: Workload, config: &SuiteConfig) -> RunSummary {
-    match workload {
-        Workload::Agave(app) => run_app(app, config.app),
-        Workload::Spec(program) => run_spec(program, config.spec),
-    }
+    engine::run(workload, config).summary
 }
 
 /// The results of a full suite run: one summary per workload, in figure
@@ -90,9 +62,62 @@ pub struct SuiteResults {
 }
 
 impl SuiteResults {
+    /// Partitions engine outcomes (in canonical order) into the Agave and
+    /// SPEC result vectors, preserving order within each.
+    pub fn from_outcomes(outcomes: Vec<WorkloadOutcome>) -> Self {
+        let mut results = SuiteResults {
+            agave: Vec::new(),
+            spec: Vec::new(),
+        };
+        for outcome in outcomes {
+            match outcome.workload {
+                Workload::Agave(_) => results.agave.push(outcome.summary),
+                Workload::Spec(_) => results.spec.push(outcome.summary),
+            }
+        }
+        results
+    }
+
     /// All summaries in figure order (Agave then SPEC).
     pub fn all(&self) -> Vec<RunSummary> {
         self.agave.iter().chain(self.spec.iter()).cloned().collect()
+    }
+
+    /// Renders the per-workload host-timing table: wall time and
+    /// simulation throughput (charged references per host second) for
+    /// each run, plus suite totals. Timing is harness metadata — it never
+    /// appears in figure or JSON artifacts (see
+    /// [`RunSummary::wall_time_ns`]).
+    pub fn render_timing(&self) -> String {
+        let mut out = String::from("Per-workload host timing\n");
+        out.push_str(&format!(
+            "{:<22} {:>12} {:>14}\n",
+            "benchmark", "wall ms", "refs/sec"
+        ));
+        let mut total_ns: u64 = 0;
+        let mut total_refs: u64 = 0;
+        for s in self.agave.iter().chain(self.spec.iter()) {
+            total_ns += s.wall_time_ns;
+            total_refs += s.total_refs();
+            out.push_str(&format!(
+                "{:<22} {:>12.2} {:>14.3e}\n",
+                s.benchmark,
+                s.wall_time_ns as f64 / 1e6,
+                s.refs_per_sec(),
+            ));
+        }
+        let suite_rate = if total_ns == 0 {
+            0.0
+        } else {
+            total_refs as f64 * 1e9 / total_ns as f64
+        };
+        out.push_str(&format!(
+            "{:<22} {:>12.2} {:>14.3e}  (sum of per-run wall times)\n",
+            "suite total",
+            total_ns as f64 / 1e6,
+            suite_rate,
+        ));
+        out
     }
 
     /// Looks up one workload's summary by its figure label.
@@ -125,21 +150,22 @@ impl SuiteResults {
     }
 }
 
-/// Runs every workload and collects the results.
+/// Runs every workload serially and collects the results.
 ///
 /// Each workload boots a fresh simulated system (its own tracer), exactly
 /// as each of the paper's measurements ran against a fresh gem5 instance.
+/// Equivalent to [`run_suite_jobs`] with `jobs = 1`.
 pub fn run_suite(config: &SuiteConfig) -> SuiteResults {
-    SuiteResults {
-        agave: all_apps()
-            .into_iter()
-            .map(|app| run_app(app, config.app))
-            .collect(),
-        spec: spec_programs()
-            .into_iter()
-            .map(|program| run_spec(program, config.spec))
-            .collect(),
-    }
+    run_suite_jobs(config, 1)
+}
+
+/// Runs every workload on up to `jobs` worker threads (0 = one per CPU)
+/// and collects the results in canonical figure order.
+///
+/// Workloads are mutually independent, so results — figures, tables, and
+/// JSON — are byte-identical to [`run_suite`] for any `jobs`.
+pub fn run_suite_jobs(config: &SuiteConfig, jobs: usize) -> SuiteResults {
+    SuiteResults::from_outcomes(engine::run_suite_parallel(&all_workloads(), config, jobs))
 }
 
 #[cfg(test)]

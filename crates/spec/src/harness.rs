@@ -124,27 +124,40 @@ fn run_program(cx: &mut Ctx<'_>, program: SpecProgram, config: SpecConfig) {
 /// Runs one SPEC program on a bare simulated kernel (no Android — these
 /// are the paper's plain-Linux baselines) and returns its summary.
 pub fn run_spec(program: SpecProgram, config: SpecConfig) -> RunSummary {
-    run_spec_inner(program, config, None).0
+    execute_spec(program, config, Vec::new()).0
 }
 
 /// Like [`run_spec`], but registers `sink` on the fresh kernel's reference
 /// stream before the run and also returns the [`NameDirectory`], so the
 /// sink's consumer can resolve region and process ids after the run.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `execute_spec` (or `agave_core::engine::run_observed`), which \
+            accepts any number of sinks"
+)]
 pub fn run_spec_with_sink(
     program: SpecProgram,
     config: SpecConfig,
     sink: SharedSink,
 ) -> (RunSummary, NameDirectory) {
-    run_spec_inner(program, config, Some(sink))
+    execute_spec(program, config, vec![sink])
 }
 
-fn run_spec_inner(
+/// The engine-facing run path every other entry point funnels through.
+///
+/// Builds a fresh bare kernel, attaches each of `sinks` to its
+/// classified reference stream, runs `program` to idle, and returns the
+/// run summary (wall time stamped) plus the [`NameDirectory`]. Each call
+/// owns its whole world, so concurrent calls from different threads are
+/// independent.
+pub fn execute_spec(
     program: SpecProgram,
     config: SpecConfig,
-    sink: Option<SharedSink>,
+    sinks: Vec<SharedSink>,
 ) -> (RunSummary, NameDirectory) {
+    let started = std::time::Instant::now();
     let mut kernel = Kernel::new();
-    if let Some(sink) = sink {
+    for sink in sinks {
         kernel.attach_sink(sink);
     }
     // Register the benchmark's input file(s).
@@ -162,8 +175,9 @@ fn run_spec_inner(
         Box::new(SpecActor { program, config }),
     );
     kernel.run_to_idle();
-    let summary = kernel.tracer().summarize(program.label());
+    let mut summary = kernel.tracer().summarize(program.label());
     let directory = kernel.tracer().name_directory();
+    summary.wall_time_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
     (summary, directory)
 }
 

@@ -27,6 +27,16 @@
 //! accesses rather than a single access, matching the tracer's bulk
 //! charging; consumers expand blocks at whatever granularity they model
 //! (per cache line, per page, …).
+//!
+//! # Threading model
+//!
+//! A [`SharedSink`] is an `Rc<RefCell<…>>`: deliberately thread-*local*.
+//! Each simulated world (kernel + tracer + sinks) lives and dies on one
+//! thread; the parallel suite runner gets its concurrency by running
+//! whole worlds on different threads, never by sharing one world. Only
+//! the *results* cross threads — [`crate::RunSummary`] and
+//! [`NameDirectory`] are plain owned data and therefore `Send + Sync`,
+//! which is what `agave_core::engine::run_suite_parallel` relies on.
 
 use crate::intern::NameId;
 use crate::kind::RefKind;
@@ -205,6 +215,13 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn name_directory_crosses_thread_boundaries() {
+        // Parallel workers return directories to the merging thread.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NameDirectory>();
     }
 
     #[test]

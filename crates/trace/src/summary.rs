@@ -10,7 +10,17 @@ use std::collections::BTreeMap;
 /// `Vec<RunSummary>` (one per benchmark) by [`crate::FigureTable`] and
 /// [`crate::TableOne`]. Serializes to JSON via [`RunSummary::to_json`]
 /// for archival in `EXPERIMENTS.md`-style artifacts.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// # Timing metadata
+///
+/// [`RunSummary::wall_time_ns`] records how long the *host* took to
+/// simulate the run; the engine layer stamps it after the fact. It is
+/// metadata about the harness, not a measurement of the workload, so it
+/// is excluded from both equality ([`PartialEq`]) and [`RunSummary::to_json`]:
+/// two runs of the same deterministic simulation compare equal and
+/// serialize byte-identically regardless of host speed or suite
+/// parallelism.
+#[derive(Debug, Clone)]
 pub struct RunSummary {
     /// Benchmark label, e.g. `"gallery.mp4.view"` or `"429.mcf"`.
     pub benchmark: String,
@@ -36,7 +46,33 @@ pub struct RunSummary {
     pub spawned_processes: usize,
     /// Threads that existed during the run.
     pub spawned_threads: usize,
+    /// Host wall-clock time spent simulating this run, in nanoseconds
+    /// (0 when unmeasured). Excluded from equality and JSON — see the
+    /// type-level docs.
+    pub wall_time_ns: u64,
 }
+
+/// Equality over the *measured* distributions only; `wall_time_ns` is
+/// host-dependent metadata and deliberately ignored, so deterministic
+/// runs compare equal across hosts and scheduling.
+impl PartialEq for RunSummary {
+    fn eq(&self, other: &Self) -> bool {
+        self.benchmark == other.benchmark
+            && self.instr_by_region == other.instr_by_region
+            && self.data_by_region == other.data_by_region
+            && self.instr_by_process == other.instr_by_process
+            && self.data_by_process == other.data_by_process
+            && self.refs_by_thread == other.refs_by_thread
+            && self.total_instr == other.total_instr
+            && self.total_data == other.total_data
+            && self.active_processes == other.active_processes
+            && self.active_threads == other.active_threads
+            && self.spawned_processes == other.spawned_processes
+            && self.spawned_threads == other.spawned_threads
+    }
+}
+
+impl Eq for RunSummary {}
 
 impl RunSummary {
     /// Number of distinct regions instructions were fetched from.
@@ -73,6 +109,25 @@ impl RunSummary {
         share(&self.data_by_region, region, self.total_data)
     }
 
+    /// Total memory references charged (instruction fetches + data).
+    pub fn total_refs(&self) -> u64 {
+        self.total_instr + self.total_data
+    }
+
+    /// Host wall-clock time spent simulating this run.
+    pub fn wall_time(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.wall_time_ns)
+    }
+
+    /// Simulation throughput: charged references per host second, or 0.0
+    /// when no wall time was recorded.
+    pub fn refs_per_sec(&self) -> f64 {
+        if self.wall_time_ns == 0 {
+            return 0.0;
+        }
+        self.total_refs() as f64 * 1e9 / self.wall_time_ns as f64
+    }
+
     /// Merges `other` into `self`, summing all counters.
     ///
     /// Used to build suite-wide aggregates such as Table I.
@@ -88,6 +143,9 @@ impl RunSummary {
         self.active_threads += other.active_threads;
         self.spawned_processes += other.spawned_processes;
         self.spawned_threads += other.spawned_threads;
+        // Aggregate host cost: the sum of per-run wall times (CPU-seconds
+        // of simulation, regardless of how the runs were scheduled).
+        self.wall_time_ns += other.wall_time_ns;
     }
 
     /// The element-wise difference `self − earlier` (saturating): the
@@ -116,11 +174,13 @@ impl RunSummary {
             active_threads: self.active_threads,
             spawned_processes: self.spawned_processes,
             spawned_threads: self.spawned_threads,
+            wall_time_ns: self.wall_time_ns.saturating_sub(earlier.wall_time_ns),
         }
     }
 
     /// Serializes the summary as a JSON object (keys in declaration
-    /// order, maps in name order).
+    /// order, maps in name order). `wall_time_ns` is excluded so archived
+    /// results are byte-identical across hosts and `--jobs` settings.
     pub fn to_json(&self) -> String {
         json::Object::new()
             .field_str("benchmark", &self.benchmark)
@@ -153,6 +213,7 @@ impl RunSummary {
             active_threads: 0,
             spawned_processes: 0,
             spawned_threads: 0,
+            wall_time_ns: 0,
         }
     }
 }
@@ -329,6 +390,38 @@ mod tests {
         assert_eq!(d.refs_by_thread["Compiler"], 40);
         assert!(!d.refs_by_thread.contains_key("GC")); // unchanged → dropped
         assert_eq!(d.total_instr, 140);
+    }
+
+    #[test]
+    fn wall_time_is_metadata_not_measurement() {
+        let mut a = RunSummary::empty("x");
+        a.total_instr = 100;
+        a.total_data = 20;
+        let mut b = a.clone();
+        b.wall_time_ns = 5_000_000;
+        // Identical measurements compare equal and serialize identically
+        // no matter how long the host took.
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(!a.to_json().contains("wall_time"));
+        assert_eq!(a.refs_per_sec(), 0.0);
+        assert_eq!(b.total_refs(), 120);
+        assert!((b.refs_per_sec() - 24_000.0).abs() < 1e-9);
+        assert_eq!(b.wall_time(), std::time::Duration::from_millis(5));
+        // Merging accumulates host cost; delta subtracts it.
+        let mut merged = RunSummary::empty("m");
+        merged.merge(&b);
+        merged.merge(&b);
+        assert_eq!(merged.wall_time_ns, 10_000_000);
+        assert_eq!(merged.delta(&b).wall_time_ns, 5_000_000);
+    }
+
+    #[test]
+    fn summaries_cross_thread_boundaries() {
+        // The parallel suite moves summaries out of worker threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RunSummary>();
+        assert_send_sync::<Breakdown>();
     }
 
     #[test]

@@ -404,6 +404,7 @@ impl Tracer {
             active_threads: active_tids.iter().filter(|&&a| a).count(),
             spawned_processes: self.procs.len(),
             spawned_threads: self.threads.len(),
+            wall_time_ns: 0, // stamped by the engine layer, not the tracer
         }
     }
 }

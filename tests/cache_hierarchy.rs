@@ -123,7 +123,12 @@ fn attaching_a_sink_does_not_change_the_summary() {
         let sink = std::rc::Rc::new(std::cell::RefCell::new(agave_core::MemoryHierarchy::new(
             HierarchyGeometry::tiny(),
         )));
-        agave_apps::run_app_with_sink(AppId::CountdownMain, quick().app, sink).0
+        agave_core::engine::run_observed(
+            Workload::Agave(AppId::CountdownMain),
+            &quick(),
+            vec![sink],
+        )
+        .summary
     };
     let without = agave_core::run_workload(Workload::Agave(AppId::CountdownMain), &quick());
     assert_eq!(with, without);

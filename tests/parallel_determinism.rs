@@ -1,0 +1,57 @@
+//! The parallel suite contract: fanning the 25 workloads out across
+//! threads changes wall time and nothing else. Archived JSON, figures,
+//! and per-workload summaries must be byte-identical to the serial path.
+
+use agave_core::engine::{self, EngineConfig};
+use agave_core::{all_workloads, Experiments, SuiteConfig, SuiteResults, WorkloadEngine};
+
+#[test]
+fn parallel_suite_json_is_byte_identical_to_serial() {
+    let config = SuiteConfig::quick();
+    let serial = agave_core::run_suite(&config);
+    let parallel = agave_core::run_suite_jobs(&config, 4);
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "jobs=4 JSON diverged from the serial suite"
+    );
+    // Figure artifacts assembled from the results are identical too.
+    let serial_ex = Experiments::new(serial);
+    let parallel_ex = Experiments::new(parallel);
+    assert_eq!(serial_ex.figure1().to_csv(), parallel_ex.figure1().to_csv());
+    assert_eq!(serial_ex.table1().render(), parallel_ex.table1().render());
+}
+
+#[test]
+fn outcomes_come_back_in_canonical_order_for_any_jobs() {
+    let workloads = all_workloads();
+    let config = EngineConfig::quick();
+    // More jobs than workloads, plus jobs=0 (auto) both preserve order.
+    for jobs in [0, 3, 64] {
+        let outcomes = engine::run_suite_parallel(&workloads[..5], &config, jobs);
+        let labels: Vec<&str> = outcomes.iter().map(|o| o.workload.label()).collect();
+        let expected: Vec<&str> = workloads[..5].iter().map(|w| w.label()).collect();
+        assert_eq!(labels, expected, "jobs={jobs}");
+    }
+}
+
+#[test]
+fn engine_suite_partitions_like_the_legacy_runner() {
+    let engine = WorkloadEngine::new(EngineConfig::quick());
+    let results: SuiteResults = engine.run_suite_parallel(2);
+    assert_eq!(results.agave.len(), 19);
+    assert_eq!(results.spec.len(), 6);
+    assert_eq!(results.agave[0].benchmark, "aard.main");
+    assert_eq!(results.spec[0].benchmark, "401.bzip2");
+    // Every run carries host-timing metadata for the throughput columns.
+    for s in results.all() {
+        assert!(s.wall_time_ns > 0, "{}: wall time not stamped", s.benchmark);
+        assert!(s.refs_per_sec() > 0.0, "{}: no throughput", s.benchmark);
+    }
+    // ... which never leaks into archived artifacts.
+    assert!(!results.to_json().contains("wall_time"));
+    // The human-readable timing table covers all 25 rows plus the total.
+    let timing = results.render_timing();
+    assert_eq!(timing.lines().count(), 2 + 25 + 1);
+    assert!(timing.contains("suite total"));
+}
