@@ -41,6 +41,4 @@ mod registry;
 mod vlc;
 
 pub use config::RunConfig;
-#[allow(deprecated)]
-pub use registry::run_app_with_sink;
 pub use registry::{all_apps, execute_app, run_app, AppId};

@@ -142,22 +142,6 @@ pub fn run_app(id: AppId, config: RunConfig) -> RunSummary {
     execute_app(id, config, Vec::new()).0
 }
 
-/// Like [`run_app`], but registers `sink` on the fresh world's reference
-/// stream before launch and also returns the [`NameDirectory`], so the
-/// sink's consumer can resolve region and process ids after the run.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `execute_app` (or `agave_core::engine::run_observed`), which \
-            accepts any number of sinks"
-)]
-pub fn run_app_with_sink(
-    id: AppId,
-    config: RunConfig,
-    sink: SharedSink,
-) -> (RunSummary, NameDirectory) {
-    execute_app(id, config, vec![sink])
-}
-
 /// The engine-facing run path every other entry point funnels through.
 ///
 /// Boots a fresh Android world, attaches each of `sinks` to its
@@ -185,6 +169,9 @@ pub fn execute_app(
     let env = android.launch_app(id.package(), &id.apk_path());
     install(id, &mut android, env);
     android.run_ms(config.duration_ms);
+    // Drain the batched reference stream so sinks are complete before
+    // their consumers harvest reports.
+    android.kernel.tracer_mut().flush_sinks();
     let mut summary = android.kernel.tracer().summarize(id.label());
     let directory = android.kernel.tracer().name_directory();
     summary.wall_time_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);

@@ -1,0 +1,77 @@
+//! Hot-path throughput in references per second, with a machine-readable
+//! `BENCH_hotpath.json` report (path overridable via `AGAVE_BENCH_JSON`)
+//! for CI artifact upload.
+//!
+//! Two paths are measured over the same workload (`countdown.main` at
+//! quick sizing):
+//!
+//! * `sim_throughput` — the bare simulation loop: tracer accounting and
+//!   batched sink delivery with no observer attached.
+//! * `cache_throughput` — the same run with the cortex-a9
+//!   `MemoryHierarchy` replaying every classified reference.
+//!
+//! The reference count is measured first with a counting sink, so the
+//! reported refs/sec always reflects the stream the timed runs replay.
+
+use agave_bench::{Group, HotpathReport};
+use agave_cache::HierarchyGeometry;
+use agave_core::engine::{self, EngineConfig};
+use agave_core::{run_workload, run_workload_with_cache, AppId, SuiteConfig, Workload};
+use agave_trace::{Reference, ReferenceSink};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Counts delivered reference blocks and the words they carry.
+#[derive(Default)]
+struct CountingSink {
+    blocks: u64,
+    words: u64,
+}
+
+impl ReferenceSink for CountingSink {
+    fn on_reference(&mut self, r: &Reference) {
+        self.blocks += 1;
+        self.words += r.words;
+    }
+}
+
+fn main() {
+    let config = SuiteConfig::quick();
+    let workload = Workload::Agave(AppId::CountdownMain);
+    let geometry = HierarchyGeometry::cortex_a9();
+
+    // Measure the stream once: how many reference blocks (and words) one
+    // run of the workload delivers to its sinks.
+    let counter = Rc::new(RefCell::new(CountingSink::default()));
+    let engine_config = EngineConfig {
+        app: config.app,
+        spec: config.spec,
+    };
+    engine::run_observed(workload, &engine_config, vec![counter.clone()]);
+    let blocks = counter.borrow().blocks;
+    let words = counter.borrow().words;
+    println!("stream: {blocks} reference blocks, {words} words");
+
+    let mut group = Group::new("hotpath");
+    let mut report = HotpathReport::new();
+
+    let sim = group.bench("sim_throughput (no sink)", 10, || {
+        run_workload(workload, &config)
+    });
+    report.record("sim_throughput", blocks, &sim);
+
+    let cache = group.bench("cache_throughput (cortex-a9 hierarchy)", 10, || {
+        run_workload_with_cache(workload, &config, geometry)
+    });
+    report.record("cache_throughput", blocks, &cache);
+
+    println!(
+        "rates: sim {:.1} Mrefs/s, cache {:.1} Mrefs/s",
+        sim.rate(blocks) / 1e6,
+        cache.rate(blocks) / 1e6
+    );
+    match report.write() {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write hotpath report: {e}"),
+    }
+}

@@ -88,8 +88,9 @@ impl Group {
         }
     }
 
-    /// Times `f` over `samples` iterations and prints one summary line.
-    pub fn bench<R>(&mut self, label: &str, samples: u32, mut f: impl FnMut() -> R) {
+    /// Times `f` over `samples` iterations, prints one summary line, and
+    /// returns the measurement for machine-readable reporting.
+    pub fn bench<R>(&mut self, label: &str, samples: u32, mut f: impl FnMut() -> R) -> Sample {
         assert!(samples > 0, "need at least one sample");
         black_box(f()); // warmup
         let mut times = Vec::with_capacity(samples as usize);
@@ -108,5 +109,78 @@ impl Group {
             mean,
             samples
         );
+        Sample {
+            label: label.to_owned(),
+            best,
+            mean,
+            samples,
+        }
+    }
+}
+
+/// One [`Group::bench`] measurement.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// The bench line's label.
+    pub label: String,
+    /// Fastest sample.
+    pub best: Duration,
+    /// Mean over all samples.
+    pub mean: Duration,
+    /// Number of timed samples.
+    pub samples: u32,
+}
+
+impl Sample {
+    /// Events-per-second implied by the best sample for `events` events
+    /// per iteration.
+    pub fn rate(&self, events: u64) -> f64 {
+        events as f64 / self.best.as_secs_f64()
+    }
+}
+
+/// A machine-readable hot-path throughput report, written as
+/// `BENCH_hotpath.json` by the `hotpath` bench target (path overridable
+/// via `AGAVE_BENCH_JSON`) and uploaded as a CI artifact.
+#[derive(Debug, Default)]
+pub struct HotpathReport {
+    lines: Vec<String>,
+}
+
+impl HotpathReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one measured path: `refs` references replayed per
+    /// iteration, timed by `sample`.
+    pub fn record(&mut self, path: &str, refs: u64, sample: &Sample) {
+        let mut obj = agave_trace::json::Object::new();
+        obj.field_str("path", path)
+            .field_u64("references", refs)
+            .field_u64("best_ns", sample.best.as_nanos() as u64)
+            .field_u64("mean_ns", sample.mean.as_nanos() as u64)
+            .field_f64("refs_per_sec", sample.rate(refs));
+        self.lines.push(obj.finish());
+    }
+
+    /// Renders the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut obj = agave_trace::json::Object::new();
+        obj.field_str("suite", "hotpath").field_raw(
+            "paths",
+            &agave_trace::json::array(self.lines.iter().cloned()),
+        );
+        obj.finish()
+    }
+
+    /// Writes the report to `AGAVE_BENCH_JSON` (default
+    /// `BENCH_hotpath.json`) and returns the path written.
+    pub fn write(&self) -> std::io::Result<String> {
+        let path =
+            std::env::var("AGAVE_BENCH_JSON").unwrap_or_else(|_| "BENCH_hotpath.json".to_owned());
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
     }
 }

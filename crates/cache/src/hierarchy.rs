@@ -9,6 +9,10 @@ use agave_trace::{NameDirectory, NameId, Pid, Reference, ReferenceSink};
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 
+/// Sentinel for "no page touched yet" — unreachable as a real page
+/// number since pages are addresses shifted right by the page bits.
+const NO_PAGE: u64 = u64::MAX;
+
 /// A level of the modeled hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Level {
@@ -61,6 +65,14 @@ impl Level {
 /// runs realistically — one miss per line, not per word — while staying
 /// exact for the LRU state.
 ///
+/// A per-side last-line memo short-circuits the common case of a block
+/// that stays inside the previously touched cache line (the synthetic
+/// 8/16 KiB window streams do this constantly): that line is by
+/// construction the MRU line of its L1 set and its page the MRU TLB
+/// entry, so the block is counted as pure hits without touching any set —
+/// and since re-touching the MRU entry cannot change any LRU ordering,
+/// the recency state stays *exactly* what the full walk would produce.
+///
 /// Register it on a tracer (via `Rc<RefCell<…>>`, see
 /// [`agave_trace::SharedSink`]) and pull a [`CacheReport`] afterwards.
 #[derive(Debug)]
@@ -71,8 +83,18 @@ pub struct MemoryHierarchy {
     l2: SetAssocCache,
     itlb: SetAssocCache,
     dtlb: SetAssocCache,
-    /// Hit/miss counters per (process, region), per level.
-    stats: HashMap<(Pid, NameId), [LevelStats; 5]>,
+    /// Per-side ([instr, data]) L1 line last touched, for the memo path.
+    last_line: [Option<u64>; 2],
+    /// Per-side page last touched (`NO_PAGE` when cold): the MRU entry of
+    /// that side's TLB, letting the walk skip the TLB model for runs of
+    /// lines inside one page.
+    last_page: [u64; 2],
+    /// Row index into `stat_rows` per (process, region).
+    stats: HashMap<(Pid, NameId), usize>,
+    /// Flat hit/miss counters, one `[LevelStats; 5]` row per pair.
+    stat_rows: Vec<[LevelStats; 5]>,
+    /// One-entry cache over `stats` for runs of same-pair blocks.
+    last_stat: Option<(Pid, NameId, usize)>,
     totals: [LevelStats; 5],
 }
 
@@ -87,9 +109,24 @@ impl MemoryHierarchy {
             l2: SetAssocCache::new(geometry.l2),
             itlb: SetAssocCache::tlb(geometry.itlb),
             dtlb: SetAssocCache::tlb(geometry.dtlb),
+            last_line: [None; 2],
+            last_page: [NO_PAGE; 2],
             stats: HashMap::new(),
+            stat_rows: Vec::new(),
+            last_stat: None,
             totals: [LevelStats::default(); 5],
         }
+    }
+
+    /// Resolves (allocating if new) the stats row for `(pid, region)`.
+    fn stat_slot(&mut self, pid: Pid, region: NameId) -> usize {
+        let next = self.stat_rows.len();
+        let idx = *self.stats.entry((pid, region)).or_insert(next);
+        if idx == next {
+            self.stat_rows.push([LevelStats::default(); 5]);
+        }
+        self.last_stat = Some((pid, region, idx));
+        idx
     }
 
     /// The configured geometry.
@@ -114,7 +151,8 @@ impl MemoryHierarchy {
     pub fn report(&self, benchmark: &str, dir: &NameDirectory) -> CacheReport {
         let mut by_region: BTreeMap<String, [LevelStats; 5]> = BTreeMap::new();
         let mut by_process: BTreeMap<String, [LevelStats; 5]> = BTreeMap::new();
-        for (&(pid, region), stats) in &self.stats {
+        for (&(pid, region), &row) in &self.stats {
+            let stats = &self.stat_rows[row];
             let region_name = dir.region(region).to_owned();
             let proc_name = dir.process(pid).to_owned();
             for (level, s) in Level::ALL.iter().zip(stats) {
@@ -155,33 +193,98 @@ impl ReferenceSink for MemoryHierarchy {
         if r.words == 0 {
             return;
         }
+        let side = usize::from(!r.kind.is_instr());
         let (l1, tlb, tlb_level, l1_level) = if r.kind.is_instr() {
             (&mut self.l1i, &mut self.itlb, Level::Itlb, Level::L1i)
         } else {
             (&mut self.l1d, &mut self.dtlb, Level::Dtlb, Level::L1d)
         };
-        // One stats entry per block: all lines share (pid, region).
-        let mut delta = [LevelStats::default(); 5];
-        let line_bytes = u64::from(l1.geometry().line_bytes);
-        let mut addr = r.addr;
-        let end = r.addr + r.bytes();
-        while addr < end {
-            let line_end = (addr / line_bytes + 1) * line_bytes;
-            let words_here = (end.min(line_end) - addr) / 4;
-            delta[tlb_level.index()].record(tlb.access(addr));
-            if l1.access(addr) {
-                delta[l1_level.index()].hits += words_here;
-            } else {
-                delta[l1_level.index()].misses += 1;
-                delta[l1_level.index()].hits += words_here - 1;
-                delta[Level::L2.index()].record(self.l2.access(addr));
+        // Scalar per-block deltas: a block touches at most three levels
+        // (its side's TLB and L1, plus L2 on L1 misses), so six counters
+        // beat zeroing and re-absorbing a full `[LevelStats; 5]`.
+        let mut tlb_hits = 0u64;
+        let mut tlb_misses = 0u64;
+        let mut l1_hits = 0u64;
+        let mut l1_misses = 0u64;
+        let mut l2_hits = 0u64;
+        let mut l2_misses = 0u64;
+        let shift = l1.line_shift();
+        let first_line = r.addr >> shift;
+        let last_line = (r.addr + r.bytes() - 1) >> shift;
+        if first_line == last_line && self.last_line[side] == Some(first_line) {
+            // Memo fast path: the block stays inside the line this side
+            // touched last, which is resident and MRU (and its page MRU
+            // in the TLB) — all hits, no set or recency state to update.
+            tlb_hits = 1;
+            l1_hits = r.words;
+        } else {
+            // Lines per page, as a shift: the TLB "line" is the page.
+            let page_shift = tlb.line_shift() - shift;
+            let mut last_page = self.last_page[side];
+            let mut addr = r.addr;
+            let end = r.addr + r.bytes();
+            let mut line = first_line;
+            while line <= last_line {
+                // One TLB resolution covers the whole run of lines inside
+                // this page: after the first touch the page is the MRU TLB
+                // entry (`last_page` memo), so every later line in the run
+                // is a guaranteed hit that changes no LRU ordering — count
+                // them in bulk instead of probing the model per line.
+                let page = line >> page_shift;
+                let run_last = last_line.min(((page + 1) << page_shift) - 1);
+                if page == last_page {
+                    tlb_hits += run_last - line + 1;
+                } else {
+                    if tlb.access_line(page) {
+                        tlb_hits += 1;
+                    } else {
+                        tlb_misses += 1;
+                    }
+                    tlb_hits += run_last - line;
+                    last_page = page;
+                }
+                while line <= run_last {
+                    let line_end = (line + 1) << shift;
+                    let words_here = (end.min(line_end) - addr) >> 2;
+                    if l1.access_line(line) {
+                        l1_hits += words_here;
+                    } else {
+                        l1_misses += 1;
+                        l1_hits += words_here - 1;
+                        if self.l2.access(addr) {
+                            l2_hits += 1;
+                        } else {
+                            l2_misses += 1;
+                        }
+                    }
+                    addr = line_end;
+                    line += 1;
+                }
             }
-            addr = line_end;
+            self.last_line[side] = Some(last_line);
+            self.last_page[side] = last_page;
         }
-        let entry = self.stats.entry((r.pid, r.region)).or_default();
-        for i in 0..5 {
-            entry[i].absorb(delta[i]);
-            self.totals[i].absorb(delta[i]);
+        let row = match self.last_stat {
+            Some((pid, region, idx)) if pid == r.pid && region == r.region => idx,
+            _ => self.stat_slot(r.pid, r.region),
+        };
+        let entry = &mut self.stat_rows[row];
+        let ti = tlb_level.index();
+        let li = l1_level.index();
+        entry[ti].hits += tlb_hits;
+        entry[ti].misses += tlb_misses;
+        entry[li].hits += l1_hits;
+        entry[li].misses += l1_misses;
+        self.totals[ti].hits += tlb_hits;
+        self.totals[ti].misses += tlb_misses;
+        self.totals[li].hits += l1_hits;
+        self.totals[li].misses += l1_misses;
+        if l1_misses > 0 {
+            let l2 = Level::L2.index();
+            entry[l2].hits += l2_hits;
+            entry[l2].misses += l2_misses;
+            self.totals[l2].hits += l2_hits;
+            self.totals[l2].misses += l2_misses;
         }
     }
 }
@@ -210,6 +313,7 @@ mod tests {
         t.add_sink(sink.clone() as SharedSink);
         // 64 words = 256 bytes = 16 tiny (16 B) lines, cold cache.
         t.charge_at(pid, tid, region, RefKind::DataRead, 0x1000, 64);
+        t.flush_sinks();
         let h = sink.borrow();
         let l1d = h.totals(Level::L1d);
         assert_eq!(l1d.misses, 16);
@@ -234,6 +338,7 @@ mod tests {
         for _ in 0..2 {
             t.charge_at(pid, tid, region, RefKind::DataRead, 0x1000, 64);
         }
+        t.flush_sinks();
         let h = sink.borrow();
         assert_eq!(h.totals(Level::L1d).misses, 16); // first pass only
         assert_eq!(h.totals(Level::L1d).hits, 128 - 16);
@@ -249,6 +354,7 @@ mod tests {
         t.add_sink(sink.clone() as SharedSink);
         t.charge_at(pid, tid, region, RefKind::InstrFetch, 0x2000, 4);
         t.charge_at(pid, tid, region, RefKind::DataWrite, 0x2000, 4);
+        t.flush_sinks();
         let h = sink.borrow();
         // Same address, but each side took its own compulsory miss.
         assert_eq!(h.totals(Level::L1i).misses, 1);
@@ -277,6 +383,7 @@ mod tests {
                 t.charge(pid, tid, b, RefKind::DataRead, 37);
                 t.charge_at(pid, tid, b, RefKind::DataWrite, 0x8000 + i * 24, 6);
             }
+            t.flush_sinks();
             let h = sink.borrow();
             Level::ALL
                 .iter()
@@ -297,6 +404,7 @@ mod tests {
         ));
         t.add_sink(sink.clone() as SharedSink);
         t.charge(pid, tid, region, RefKind::InstrFetch, 1000);
+        t.flush_sinks();
         let dir = t.name_directory();
         let report = sink.borrow().report("demo", &dir);
         assert_eq!(report.benchmark, "demo");

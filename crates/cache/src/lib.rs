@@ -26,6 +26,7 @@
 //! let tid = tracer.register_thread(pid, "main");
 //! let region = tracer.intern_region("libdvm.so");
 //! tracer.charge(pid, tid, region, RefKind::InstrFetch, 10_000);
+//! tracer.flush_sinks(); // sink delivery is batched
 //!
 //! let report = sink.borrow().report("demo", &tracer.name_directory());
 //! assert_eq!(report.total(Level::L1i).accesses(), 10_000);

@@ -1,11 +1,11 @@
 //! The unified workload execution engine.
 //!
 //! Historically the workspace grew three parallel entry-point families —
-//! `run_app`/`run_app_with_sink` in `agave-apps`,
-//! `run_spec`/`run_spec_with_sink` in `agave-spec`, and
-//! `run_workload`/`run_workload_with_cache` in `agave-core` — each
-//! re-implementing the same boot → attach sinks → run → summarize
-//! sequence. This module collapses them into one layer:
+//! `run_app` in `agave-apps`, `run_spec` in `agave-spec`, and
+//! `run_workload`/`run_workload_with_cache` in `agave-core` — each with
+//! its own `*_with_sink` clone re-implementing the same boot → attach
+//! sinks → run → summarize sequence. This module collapses them into one
+//! layer (the `*_with_sink` shims are gone):
 //!
 //! * [`run`] executes any [`Workload`] under an [`EngineConfig`] and
 //!   returns a [`WorkloadOutcome`] (summary + name directory, wall time
@@ -13,8 +13,8 @@
 //! * [`run_observed`] is the same run with any number of
 //!   [`ReferenceSink`](agave_trace::ReferenceSink)s attached to the
 //!   world's classified reference stream — the cache hierarchy today,
-//!   future observers tomorrow — replacing the `*_with_sink` clones
-//!   (now thin deprecated shims).
+//!   future observers tomorrow — replacing the former `*_with_sink`
+//!   clones.
 //! * [`run_suite_parallel`] fans independent workloads out across
 //!   `std::thread` workers and merges results back in canonical figure
 //!   order, byte-identical to a serial run.

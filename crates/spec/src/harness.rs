@@ -127,22 +127,6 @@ pub fn run_spec(program: SpecProgram, config: SpecConfig) -> RunSummary {
     execute_spec(program, config, Vec::new()).0
 }
 
-/// Like [`run_spec`], but registers `sink` on the fresh kernel's reference
-/// stream before the run and also returns the [`NameDirectory`], so the
-/// sink's consumer can resolve region and process ids after the run.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `execute_spec` (or `agave_core::engine::run_observed`), which \
-            accepts any number of sinks"
-)]
-pub fn run_spec_with_sink(
-    program: SpecProgram,
-    config: SpecConfig,
-    sink: SharedSink,
-) -> (RunSummary, NameDirectory) {
-    execute_spec(program, config, vec![sink])
-}
-
 /// The engine-facing run path every other entry point funnels through.
 ///
 /// Builds a fresh bare kernel, attaches each of `sinks` to its
@@ -175,6 +159,9 @@ pub fn execute_spec(
         Box::new(SpecActor { program, config }),
     );
     kernel.run_to_idle();
+    // Drain the batched reference stream so sinks are complete before
+    // their consumers harvest reports.
+    kernel.tracer_mut().flush_sinks();
     let mut summary = kernel.tracer().summarize(program.label());
     let directory = kernel.tracer().name_directory();
     summary.wall_time_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);

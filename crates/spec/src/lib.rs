@@ -37,6 +37,4 @@ mod sjeng;
 mod specrand;
 
 pub use bzip2::{bw_transform, bw_untransform, huffman_roundtrip, mtf_decode, mtf_encode};
-#[allow(deprecated)]
-pub use harness::run_spec_with_sink;
 pub use harness::{execute_spec, run_spec, spec_programs, SpecConfig, SpecProgram};

@@ -79,9 +79,32 @@ impl Reference {
 /// Callbacks must be fast: the suite charges hundreds of millions of
 /// references per run (block-batched, so the callback count is far
 /// lower).
+///
+/// # Batched delivery
+///
+/// The tracer does not call into sinks on every charge. Blocks are
+/// buffered into a flat batch and delivered via [`ReferenceSink::on_batch`]
+/// once the batch fills ([`crate::Tracer::SINK_BATCH`] blocks) or
+/// [`crate::Tracer::flush_sinks`] is called — the run harnesses flush at
+/// end of run, so over a whole run every sink observes exactly the stream
+/// it would have seen unbatched, in the same order. The batching only
+/// amortizes the `RefCell` borrow and dynamic dispatch from once per
+/// block to once per batch; sinks that need no batch-level view just
+/// implement [`ReferenceSink::on_reference`].
 pub trait ReferenceSink {
     /// Observes one block of classified references.
     fn on_reference(&mut self, r: &Reference);
+
+    /// Observes a batch of blocks, in program order.
+    ///
+    /// The default forwards each block to
+    /// [`ReferenceSink::on_reference`]; override only to exploit the
+    /// batch shape itself.
+    fn on_batch(&mut self, batch: &[Reference]) {
+        for r in batch {
+            self.on_reference(r);
+        }
+    }
 }
 
 /// A shareable, interior-mutable sink handle.
@@ -111,6 +134,7 @@ pub trait ReferenceSink {
 /// let tid = tracer.register_thread(pid, "t");
 /// let r = tracer.intern_region("heap");
 /// tracer.charge(pid, tid, r, RefKind::DataRead, 10);
+/// tracer.flush_sinks(); // delivery is batched; flush before reading
 /// assert!(sink.borrow().blocks > 0);
 /// ```
 pub type SharedSink = Rc<RefCell<dyn ReferenceSink>>;
@@ -167,6 +191,7 @@ mod tests {
         let r = t.intern_region("lib.so");
         t.charge(pid, tid, r, RefKind::InstrFetch, 1000);
         t.charge_at(pid, tid, r, RefKind::DataWrite, 0x4000_0000, 16);
+        t.flush_sinks();
         let refs = &sink.borrow().refs;
         let instr_words: u64 = refs
             .iter()
@@ -199,6 +224,7 @@ mod tests {
                 t.charge(pid, tid, b, RefKind::InstrFetch, 300);
                 t.charge(pid, tid, a, RefKind::DataRead, 120);
             }
+            t.flush_sinks();
             let refs = sink.borrow().refs.clone();
             refs
         }

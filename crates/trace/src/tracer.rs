@@ -7,7 +7,6 @@ use crate::kind::RefKind;
 use crate::sink::{NameDirectory, Reference, SharedSink};
 use crate::summary::RunSummary;
 use std::collections::BTreeMap;
-use std::collections::HashMap;
 use std::fmt;
 
 /// Base of the synthetic address space used for addressless charges.
@@ -92,6 +91,9 @@ struct ThreadEntry {
 
 type Key = (Tid, NameId);
 
+/// Sentinel for an empty cell in the dense `tid × region` slot table.
+const NO_SLOT: u32 = u32::MAX;
+
 /// Registered sinks; newtyped so [`Tracer`] can keep deriving `Debug`
 /// (trait objects have no useful `Debug` of their own).
 #[derive(Default)]
@@ -105,9 +107,11 @@ impl fmt::Debug for SinkList {
 
 /// Accumulates memory-reference counts by (process, thread, region, kind).
 ///
-/// All names live in a single intern table so that charging is a hash of two
-/// small copyable ids. A one-entry cache accelerates the common case of many
-/// consecutive charges to the same (thread, region) pair.
+/// All names live in a single intern table so that charging works on two
+/// small dense ids. Slot lookup is a direct index into a `tid × region`
+/// table (both ids are dense `u32`s, so no hashing is ever needed on the
+/// hot path), and a one-entry cache on top accelerates the common case of
+/// many consecutive charges to the same (thread, region) pair.
 ///
 /// # Example
 ///
@@ -126,13 +130,19 @@ pub struct Tracer {
     names: NameTable,
     procs: Vec<ProcEntry>,
     threads: Vec<ThreadEntry>,
-    slots: HashMap<Key, usize>,
+    /// Dense slot index: `slot_table[tid][region]` is the row in
+    /// `counters`, or [`NO_SLOT`]. Rows grow lazily to the regions a
+    /// thread actually touches.
+    slot_table: Vec<Vec<u32>>,
     /// Per-slot counters indexed by `RefKind::index()`, parallel to `slot_keys`.
     counters: Vec<[u64; 3]>,
     slot_keys: Vec<Key>,
     last: Option<(Key, usize)>,
     totals: [u64; 3],
     sinks: SinkList,
+    /// References buffered for batched sink delivery; drained by
+    /// [`Tracer::flush_sinks`] (called automatically at [`Tracer::SINK_BATCH`]).
+    batch: Vec<Reference>,
     /// Per-region cyclic word cursors for synthetic addresses,
     /// indexed by `NameId::index()`; lane 0 = instruction, lane 1 = data.
     synth_cursors: Vec<[u32; 2]>,
@@ -212,13 +222,43 @@ impl Tracer {
     /// Registers a sink that will observe every subsequent charge as a
     /// [`Reference`] block. The caller keeps its own clone of the handle
     /// to read results back after the run.
+    ///
+    /// Delivery is batched: blocks are buffered and handed to sinks in
+    /// chunks of up to [`Tracer::SINK_BATCH`] (in program order), so call
+    /// [`Tracer::flush_sinks`] before harvesting sink state. Any blocks
+    /// already buffered for previously registered sinks are flushed first,
+    /// so a new sink never observes charges from before its registration.
     pub fn add_sink(&mut self, sink: SharedSink) {
+        self.flush_sinks();
         self.sinks.0.push(sink);
     }
 
     /// Returns `true` if any sink is registered (charging is broadcast).
     pub fn has_sinks(&self) -> bool {
         !self.sinks.0.is_empty()
+    }
+
+    /// Number of [`Reference`] blocks buffered but not yet delivered.
+    pub fn pending_sink_refs(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// Delivers all buffered [`Reference`] blocks to every sink, in
+    /// program order.
+    ///
+    /// Charging fills a flat batch and flushes it automatically every
+    /// [`Tracer::SINK_BATCH`] blocks, amortizing the per-sink
+    /// `RefCell` borrow and dynamic dispatch; the run harnesses call this
+    /// once more at end of run so reports are identical to unbatched
+    /// delivery.
+    pub fn flush_sinks(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        for sink in &self.sinks.0 {
+            sink.borrow_mut().on_batch(&self.batch);
+        }
+        self.batch.clear();
     }
 
     /// Snapshots the name and process tables for resolving ids after this
@@ -267,7 +307,7 @@ impl Tracer {
         }
         self.account(pid, tid, region, kind, words);
         if !self.sinks.0.is_empty() {
-            self.broadcast(&Reference {
+            self.push_ref(Reference {
                 pid,
                 tid,
                 region,
@@ -277,6 +317,9 @@ impl Tracer {
             });
         }
     }
+
+    /// References buffered per sink-delivery batch.
+    pub const SINK_BATCH: usize = 1024;
 
     #[inline]
     fn account(&mut self, pid: Pid, tid: Tid, region: NameId, kind: RefKind, n: u64) {
@@ -293,15 +336,23 @@ impl Tracer {
                 return;
             }
         }
-        let slot = match self.slots.get(&key) {
-            Some(&s) => s,
-            None => {
-                let s = self.counters.len();
-                self.counters.push([0; 3]);
-                self.slot_keys.push(key);
-                self.slots.insert(key, s);
-                s
-            }
+        let ti = tid.0 as usize;
+        if ti >= self.slot_table.len() {
+            self.slot_table.resize_with(ti + 1, Vec::new);
+        }
+        let row = &mut self.slot_table[ti];
+        let ri = region.index();
+        if ri >= row.len() {
+            row.resize(ri + 1, NO_SLOT);
+        }
+        let slot = if row[ri] == NO_SLOT {
+            let s = self.counters.len();
+            self.counters.push([0; 3]);
+            self.slot_keys.push(key);
+            row[ri] = u32::try_from(s).expect("slot overflow");
+            s
+        } else {
+            row[ri] as usize
         };
         self.counters[slot][kind.index()] += n;
         self.last = Some((key, slot));
@@ -324,7 +375,7 @@ impl Tracer {
         let mut cursor = u64::from(self.synth_cursors[idx][lane]);
         while n > 0 {
             let run = n.min(window_words - cursor);
-            self.broadcast(&Reference {
+            self.push_ref(Reference {
                 pid,
                 tid,
                 region,
@@ -338,9 +389,12 @@ impl Tracer {
         self.synth_cursors[idx][lane] = cursor as u32;
     }
 
-    fn broadcast(&mut self, r: &Reference) {
-        for sink in &self.sinks.0 {
-            sink.borrow_mut().on_reference(r);
+    /// Buffers one block for sink delivery, flushing when the batch fills.
+    #[inline]
+    fn push_ref(&mut self, r: Reference) {
+        self.batch.push(r);
+        if self.batch.len() >= Self::SINK_BATCH {
+            self.flush_sinks();
         }
     }
 

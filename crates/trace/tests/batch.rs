@@ -1,0 +1,154 @@
+//! Batched sink delivery contract: buffering references and flushing
+//! them in chunks must hand every sink the exact same stream — same
+//! blocks, same order, same contents — as unbatched per-charge delivery,
+//! with the end-of-run flush draining whatever the last partial batch
+//! holds.
+
+use agave_trace::{RefKind, Reference, ReferenceSink, Tracer, XorShift64};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Records every delivered block verbatim, plus how the deliveries were
+/// chunked (one length per `on_batch` call).
+#[derive(Default)]
+struct RecordingSink {
+    stream: Vec<Reference>,
+    batch_lens: Vec<usize>,
+}
+
+impl ReferenceSink for RecordingSink {
+    fn on_reference(&mut self, r: &Reference) {
+        self.stream.push(*r);
+    }
+
+    fn on_batch(&mut self, batch: &[Reference]) {
+        self.batch_lens.push(batch.len());
+        for r in batch {
+            self.on_reference(r);
+        }
+    }
+}
+
+/// Drives a deterministic pseudo-random charge mix against a tracer.
+/// `flush_each` forces a flush after every charge, making delivery
+/// effectively unbatched while using the same code path.
+fn drive(tracer: &mut Tracer, flush_each: bool) {
+    let pid = tracer.register_process("app_process");
+    let t0 = tracer.register_thread(pid, "main");
+    let t1 = tracer.register_thread(pid, "Binder_1");
+    let code = tracer.intern_region("libdvm.so");
+    let heap = tracer.intern_region("dalvik-heap");
+    let mut rng = XorShift64::new(0xBA7C_4ED);
+    for i in 0..4_000u64 {
+        let tid = if rng.below(3) == 0 { t1 } else { t0 };
+        match rng.below(4) {
+            0 => tracer.charge(pid, tid, code, RefKind::InstrFetch, 1 + rng.below(400)),
+            1 => tracer.charge(pid, tid, heap, RefKind::DataRead, 1 + rng.below(64)),
+            2 => tracer.charge(pid, tid, heap, RefKind::DataWrite, 1 + rng.below(16)),
+            _ => tracer.charge_at(
+                pid,
+                tid,
+                heap,
+                RefKind::DataRead,
+                0x1_0000 + i * 8,
+                1 + rng.below(32),
+            ),
+        }
+        if flush_each {
+            tracer.flush_sinks();
+        }
+    }
+    tracer.flush_sinks();
+}
+
+fn recorded(flush_each: bool) -> (Vec<Reference>, Vec<usize>) {
+    let mut tracer = Tracer::new();
+    let sink = Rc::new(RefCell::new(RecordingSink::default()));
+    tracer.add_sink(sink.clone());
+    drive(&mut tracer, flush_each);
+    let sink = sink.borrow();
+    (sink.stream.clone(), sink.batch_lens.clone())
+}
+
+#[test]
+fn batched_stream_is_identical_to_unbatched() {
+    let (batched, batched_lens) = recorded(false);
+    let (unbatched, unbatched_lens) = recorded(true);
+    assert_eq!(
+        batched, unbatched,
+        "batched delivery must preserve order and content"
+    );
+    // The same stream really took the two different delivery shapes:
+    // full batches on one side, per-charge chunks on the other.
+    assert!(
+        batched_lens.iter().any(|&l| l == Tracer::SINK_BATCH),
+        "expected at least one full batch, got lens {batched_lens:?}"
+    );
+    assert!(unbatched_lens.iter().all(|&l| l < Tracer::SINK_BATCH));
+    assert_eq!(batched_lens.iter().sum::<usize>(), batched.len());
+}
+
+#[test]
+fn charges_stay_buffered_until_flush() {
+    let mut tracer = Tracer::new();
+    let sink = Rc::new(RefCell::new(RecordingSink::default()));
+    tracer.add_sink(sink.clone());
+    let pid = tracer.register_process("p");
+    let tid = tracer.register_thread(pid, "t");
+    let region = tracer.intern_region("r");
+
+    tracer.charge(pid, tid, region, RefKind::InstrFetch, 10);
+    assert_eq!(tracer.pending_sink_refs(), 1);
+    assert!(
+        sink.borrow().stream.is_empty(),
+        "blocks must not reach sinks before a flush"
+    );
+
+    tracer.flush_sinks();
+    assert_eq!(tracer.pending_sink_refs(), 0);
+    assert_eq!(sink.borrow().stream.len(), 1);
+    assert_eq!(sink.borrow().stream[0].words, 10);
+
+    // Idempotent: nothing buffered, nothing delivered twice.
+    tracer.flush_sinks();
+    assert_eq!(sink.borrow().stream.len(), 1);
+}
+
+#[test]
+fn batch_auto_flushes_at_capacity() {
+    let mut tracer = Tracer::new();
+    let sink = Rc::new(RefCell::new(RecordingSink::default()));
+    tracer.add_sink(sink.clone());
+    let pid = tracer.register_process("p");
+    let tid = tracer.register_thread(pid, "t");
+    let region = tracer.intern_region("r");
+
+    // Single-word charges stay single-block, so exactly SINK_BATCH
+    // charges trip the automatic flush without an explicit call.
+    for _ in 0..Tracer::SINK_BATCH {
+        tracer.charge_at(pid, tid, region, RefKind::DataRead, 0x2000, 1);
+    }
+    assert_eq!(tracer.pending_sink_refs(), 0);
+    assert_eq!(sink.borrow().stream.len(), Tracer::SINK_BATCH);
+    assert_eq!(sink.borrow().batch_lens, vec![Tracer::SINK_BATCH]);
+}
+
+#[test]
+fn late_sink_never_sees_pre_registration_charges() {
+    let mut tracer = Tracer::new();
+    let early = Rc::new(RefCell::new(RecordingSink::default()));
+    tracer.add_sink(early.clone());
+    let pid = tracer.register_process("p");
+    let tid = tracer.register_thread(pid, "t");
+    let region = tracer.intern_region("r");
+
+    tracer.charge(pid, tid, region, RefKind::InstrFetch, 7);
+    let late = Rc::new(RefCell::new(RecordingSink::default()));
+    tracer.add_sink(late.clone()); // must flush the pending block first
+    tracer.charge(pid, tid, region, RefKind::InstrFetch, 9);
+    tracer.flush_sinks();
+
+    assert_eq!(early.borrow().stream.len(), 2);
+    assert_eq!(late.borrow().stream.len(), 1);
+    assert_eq!(late.borrow().stream[0].words, 9);
+}
