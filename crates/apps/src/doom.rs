@@ -113,7 +113,7 @@ impl Doom {
         let glue = self.glue.expect("dex built");
         self.base
             .invoke(cx, glue, &[Value::Int(self.tic as i64), Value::Int(24)]);
-        if self.tic % 16 == 0 {
+        if self.tic.is_multiple_of(16) {
             self.base.env.framework_tail(cx, 6_000);
         }
     }

@@ -116,7 +116,7 @@ impl Actor for FrozenBubble {
         let bubble = (w / 9).max(2);
         for row in 0..6u32 {
             for col in 0..8u32 {
-                if (row * 8 + col + self.frame_no as u32) % 5 == 0 {
+                if (row * 8 + col + self.frame_no as u32).is_multiple_of(5) {
                     continue; // popped
                 }
                 let color = [0xf800u32, 0x07e0, 0x001f, 0xffe0][((row + col) % 4) as usize];

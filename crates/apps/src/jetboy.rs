@@ -94,7 +94,7 @@ impl Actor for JetBoy {
             canvas.fill_rect(cx, Rect::new(x, y, w / 20 + 1, w / 20 + 1), 0x8410);
         }
         canvas.fill_rect(cx, Rect::new(4, h / 2, w / 12 + 2, w / 24 + 1), 0x07ff);
-        if self.frame_no % 8 == 0 {
+        if self.frame_no.is_multiple_of(8) {
             self.base.env.framework_tail(cx, 4_000);
         }
         self.base.post(cx, canvas);

@@ -41,4 +41,4 @@ mod registry;
 mod vlc;
 
 pub use config::RunConfig;
-pub use registry::{all_apps, execute_app, run_app, AppId};
+pub use registry::{all_apps, execute_app, execute_app_traced, run_app, AppId};

@@ -180,7 +180,7 @@ impl Actor for Osmand {
             canvas.fill_rect(cx, Rect::new(w / 4, 0, 3, h), 0x07e0);
             canvas.draw_text(cx, "turn left in 300 m", 4, 2, 0x0000);
         }
-        if self.frame_no % 10 == 0 {
+        if self.frame_no.is_multiple_of(10) {
             self.base.env.framework_tail(cx, 7_000);
         }
         self.base.post(cx, canvas);

@@ -2,7 +2,7 @@
 
 use crate::config::RunConfig;
 use agave_android::{Android, DisplayConfig};
-use agave_trace::{NameDirectory, RunSummary, SharedSink};
+use agave_trace::{CounterSnapshot, NameDirectory, RunSummary, SharedSink};
 use std::fmt;
 
 /// The 19 Agave workload configurations, labeled exactly as on the
@@ -160,11 +160,27 @@ pub fn execute_app(
     config: RunConfig,
     sinks: Vec<SharedSink>,
 ) -> (RunSummary, NameDirectory) {
+    let (summary, directory, _) = execute_app_traced(id, config, sinks);
+    (summary, directory)
+}
+
+/// [`execute_app`] plus the boot-baseline [`CounterSnapshot`].
+///
+/// The snapshot is taken at the exact moment the sinks attach (after
+/// boot), so `snapshot + sink-observed stream = final counters` — the
+/// invariant the `agave-replay` trace format relies on to rebuild
+/// byte-identical run summaries from a captured file.
+pub fn execute_app_traced(
+    id: AppId,
+    config: RunConfig,
+    sinks: Vec<SharedSink>,
+) -> (RunSummary, NameDirectory, CounterSnapshot) {
     let started = std::time::Instant::now();
     let mut android = Android::boot(DisplayConfig::wvga().scaled(config.display_scale));
     for sink in sinks {
         android.kernel.attach_sink(sink);
     }
+    let baseline = android.kernel.tracer().counter_snapshot();
     register_inputs(&mut android);
     let env = android.launch_app(id.package(), &id.apk_path());
     install(id, &mut android, env);
@@ -175,7 +191,7 @@ pub fn execute_app(
     let mut summary = android.kernel.tracer().summarize(id.label());
     let directory = android.kernel.tracer().name_directory();
     summary.wall_time_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-    (summary, directory)
+    (summary, directory, baseline)
 }
 
 /// Spawns the workload's actors into a booted world.

@@ -131,7 +131,7 @@ impl Actor for Vlc {
                 0x07e0 | (b << 11),
             );
         }
-        if self.beat % 10 == 0 {
+        if self.beat.is_multiple_of(10) {
             self.base.env.framework_tail(cx, 5_000);
         }
         self.base.post(cx, canvas);

@@ -1,0 +1,85 @@
+//! Trace record/replay throughput, with a machine-readable
+//! `BENCH_replay.json` report (path overridable via `AGAVE_BENCH_JSON`)
+//! for CI artifact upload.
+//!
+//! Four paths are measured over one representative Android workload
+//! (`gallery.mp4.view` at quick sizing):
+//!
+//! * `record` — live simulation with a `TraceWriter` attached, streaming
+//!   a `.agtrace` file (reported in MB/s of trace written);
+//! * `live_summary` — the plain live run the replay path competes with;
+//! * `replay_summary` — `RunSummary` rebuilt from the trace file alone
+//!   (the byte-identity contract's fast path — must beat `live_summary`);
+//! * `replay_cache` — the trace driving a cortex-a9 `MemoryHierarchy`.
+//!
+//! The report also records bytes-per-reference, the format's compression
+//! budget (< 8 B/ref, enforced by `tests/replay_roundtrip.rs`).
+
+use agave_bench::{Group, HotpathReport};
+use agave_cache::HierarchyGeometry;
+use agave_core::{engine, record, AppId, SuiteConfig, Workload};
+
+fn main() {
+    let config = SuiteConfig::quick();
+    let workload = Workload::Agave(AppId::GalleryMp4View);
+    let path =
+        std::env::temp_dir().join(format!("agave-replay-bench-{}.agtrace", std::process::id()));
+
+    let mut group = Group::new("replay_throughput");
+    let mut report = HotpathReport::named("replay");
+
+    let rec = group.bench("record gallery.mp4.view (quick)", 5, || {
+        record::record_workload(workload, &config, &path).expect("record")
+    });
+    let stats = record::record_workload(workload, &config, &path).expect("record");
+    let record_mb_s = stats.file_bytes as f64 / 1e6 / rec.best.as_secs_f64();
+    println!(
+        "trace: {} records · {} bytes · {:.2} bytes/record · recorded at {:.1} MB/s",
+        stats.records,
+        stats.file_bytes,
+        stats.bytes_per_record(),
+        record_mb_s
+    );
+
+    let live = group.bench("live run (summary only)", 5, || {
+        engine::run(workload, &config)
+    });
+    let replay = group.bench("replay -> summary rebuild", 5, || {
+        record::replay_trace_summary(&path).expect("replay summary")
+    });
+    let cache = group.bench("replay -> cortex-a9 hierarchy", 5, || {
+        record::replay_trace_cache(&path, HierarchyGeometry::cortex_a9()).expect("replay cache")
+    });
+
+    let speedup = live.best.as_secs_f64() / replay.best.as_secs_f64();
+    println!(
+        "rates: replay {:.1} Mrefs/s (summary), {:.1} Mrefs/s (cache) · {:.2}x vs live summary",
+        replay.rate(stats.records) / 1e6,
+        cache.rate(stats.records) / 1e6,
+        speedup
+    );
+    if speedup < 1.0 {
+        eprintln!("WARNING: summary replay is slower than the live run ({speedup:.2}x)");
+    }
+
+    report.record("record", stats.records, &rec);
+    report.record("live_summary", stats.records, &live);
+    report.record("replay_summary", stats.records, &replay);
+    report.record("replay_cache", stats.records, &cache);
+    let mut extra = agave_trace::json::Object::new();
+    extra
+        .field_str("path", "format")
+        .field_u64("trace_bytes", stats.file_bytes)
+        .field_u64("records", stats.records)
+        .field_u64("words", stats.words)
+        .field_f64("bytes_per_record", stats.bytes_per_record())
+        .field_f64("record_mb_per_sec", record_mb_s)
+        .field_f64("replay_vs_live_speedup", speedup);
+    report.push_raw(extra.finish());
+
+    match report.write() {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write replay report: {e}"),
+    }
+    std::fs::remove_file(&path).ok();
+}

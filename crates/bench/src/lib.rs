@@ -139,18 +139,36 @@ impl Sample {
     }
 }
 
-/// A machine-readable hot-path throughput report, written as
-/// `BENCH_hotpath.json` by the `hotpath` bench target (path overridable
-/// via `AGAVE_BENCH_JSON`) and uploaded as a CI artifact.
-#[derive(Debug, Default)]
+/// A machine-readable throughput report, written as `BENCH_<suite>.json`
+/// by its bench target (path overridable via `AGAVE_BENCH_JSON`) and
+/// uploaded as a CI artifact. The `hotpath` and `replay_throughput`
+/// targets both use this shape.
+#[derive(Debug)]
 pub struct HotpathReport {
+    suite: String,
     lines: Vec<String>,
 }
 
 impl HotpathReport {
-    /// An empty report.
+    /// An empty report for the `hotpath` suite.
     pub fn new() -> Self {
-        Self::default()
+        Self::named("hotpath")
+    }
+
+    /// An empty report for a named suite; [`HotpathReport::write`] puts
+    /// it at `BENCH_<suite>.json`.
+    pub fn named(suite: &str) -> Self {
+        HotpathReport {
+            suite: suite.to_owned(),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Appends one pre-rendered JSON object to the `paths` array — for
+    /// rows carrying suite-specific fields beyond what
+    /// [`HotpathReport::record`] emits.
+    pub fn push_raw(&mut self, json_object: String) {
+        self.lines.push(json_object);
     }
 
     /// Records one measured path: `refs` references replayed per
@@ -168,7 +186,7 @@ impl HotpathReport {
     /// Renders the report as a JSON document.
     pub fn to_json(&self) -> String {
         let mut obj = agave_trace::json::Object::new();
-        obj.field_str("suite", "hotpath").field_raw(
+        obj.field_str("suite", &self.suite).field_raw(
             "paths",
             &agave_trace::json::array(self.lines.iter().cloned()),
         );
@@ -176,11 +194,17 @@ impl HotpathReport {
     }
 
     /// Writes the report to `AGAVE_BENCH_JSON` (default
-    /// `BENCH_hotpath.json`) and returns the path written.
+    /// `BENCH_<suite>.json`) and returns the path written.
     pub fn write(&self) -> std::io::Result<String> {
-        let path =
-            std::env::var("AGAVE_BENCH_JSON").unwrap_or_else(|_| "BENCH_hotpath.json".to_owned());
+        let path = std::env::var("AGAVE_BENCH_JSON")
+            .unwrap_or_else(|_| format!("BENCH_{}.json", self.suite));
         std::fs::write(&path, self.to_json() + "\n")?;
         Ok(path)
+    }
+}
+
+impl Default for HotpathReport {
+    fn default() -> Self {
+        Self::new()
     }
 }

@@ -40,7 +40,7 @@ impl CacheGeometry {
 impl fmt::Display for CacheGeometry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let cap = self.capacity_bytes();
-        if cap % 1024 == 0 {
+        if cap.is_multiple_of(1024) {
             write!(f, "{} KiB", cap / 1024)?;
         } else {
             write!(f, "{cap} B")?;

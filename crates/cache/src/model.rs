@@ -148,8 +148,8 @@ impl SetAssocCache {
         // exit lets the compare vectorize, so hit and full-scan miss both
         // cost one wide sweep instead of W predicted branches.
         let mut hit = usize::MAX;
-        for i in 0..W {
-            if lines[i] == line {
+        for (i, &l) in lines.iter().enumerate() {
+            if l == line {
                 hit = i;
             }
         }
@@ -165,8 +165,8 @@ impl SetAssocCache {
         // unique within a set, so the packed order equals stamp order).
         let way_bits = W.trailing_zeros();
         let mut packed_min = u64::MAX;
-        for i in 0..W {
-            let packed = (stamps[i] << way_bits) | i as u64;
+        for (i, &stamp) in stamps.iter().enumerate() {
+            let packed = (stamp << way_bits) | i as u64;
             if packed < packed_min {
                 packed_min = packed;
             }
@@ -265,9 +265,7 @@ impl NaiveLruCache {
 
     pub(crate) fn contains(&self, addr: u64) -> bool {
         let line = addr >> self.line_shift;
-        self.sets[(line & self.set_mask) as usize]
-            .iter()
-            .any(|&l| l == line)
+        self.sets[(line & self.set_mask) as usize].contains(&line)
     }
 
     pub(crate) fn resident_lines(&self) -> usize {

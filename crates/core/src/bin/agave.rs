@@ -7,16 +7,22 @@
 //! agave claims [--quick] [--jobs N]     # just the claim checklist
 //! agave cache <label> [--preset P]      # per-region cache/TLB breakdown
 //! agave cache --fig5 [--preset P] [--jobs N]   # all 25 workloads, one row each
+//! agave record <label> [-o F]           # capture the reference stream to .agtrace
+//! agave record --all [--dir D] [--jobs N]      # record the whole suite
+//! agave replay <F> [--cache P|--summary]       # re-run analyses off a trace file
 //! ```
 //!
 //! `--jobs N` fans the mutually independent workloads out across N
 //! threads (`--jobs 0` = one per CPU). Figures, tables, and JSON are
-//! byte-identical for any N; only wall time changes.
+//! byte-identical for any N; only wall time changes. Replay output is
+//! byte-identical to the live run that recorded the trace (wall-time
+//! fields excepted — the simulation never re-runs).
 
 use agave_core::{
-    all_workloads, engine, experiments_markdown, run_workload_with_cache, Experiments, Fig5Cache,
-    HierarchyGeometry, SuiteConfig, Workload,
+    all_workloads, engine, experiments_markdown, record, run_workload_with_cache, Experiments,
+    Fig5Cache, HierarchyGeometry, RunSummary, SuiteConfig, Workload,
 };
+use std::path::Path;
 
 fn usage() -> ! {
     eprintln!(
@@ -24,7 +30,10 @@ fn usage() -> ! {
          agave suite [--quick] [--jobs N] [--markdown] [--json FILE]\n  \
          agave claims [--quick] [--jobs N]\n  \
          agave cache <workload> [--preset NAME] [--quick] [--json] [--top N]\n  \
-         agave cache --fig5 [--preset NAME] [--quick] [--json] [--jobs N]\n\
+         agave cache --fig5 [--preset NAME] [--quick] [--json] [--jobs N]\n  \
+         agave record <workload> [-o FILE] [--quick]\n  \
+         agave record --all [--dir DIR] [--quick] [--jobs N]\n  \
+         agave replay <file.agtrace> [--summary] [--cache PRESET] [--json] [--top N]\n\
          presets: {}\n\
          --jobs N: run workloads on N threads (0 = one per CPU; default 1)",
         agave_core::HierarchyGeometry::PRESET_NAMES.join(", ")
@@ -50,6 +59,31 @@ fn jobs(args: &[String]) -> usize {
                 .unwrap_or_else(|| usage())
         })
         .unwrap_or(1)
+}
+
+/// The value following `--flag`, if the flag is present (missing value
+/// is a usage error).
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).map(|pos| {
+        args.get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or_else(|| usage())
+    })
+}
+
+/// The first bare argument that is not the value of one of the listed
+/// value-taking flags.
+fn bare_arg<'a>(args: &'a [String], value_flags: &[&str]) -> Option<&'a str> {
+    let taken: Vec<usize> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| value_flags.contains(&a.as_str()))
+        .map(|(i, _)| i + 1)
+        .collect();
+    args.iter()
+        .enumerate()
+        .find(|(i, a)| !a.starts_with('-') && !taken.contains(i))
+        .map(|(_, a)| a.as_str())
 }
 
 fn find(label: &str) -> Workload {
@@ -86,6 +120,10 @@ fn cmd_run(args: &[String]) {
         summary.wall_time_ns as f64 / 1e6,
         summary.refs_per_sec()
     );
+    print_breakdowns(&summary);
+}
+
+fn print_breakdowns(summary: &RunSummary) {
     println!(
         "processes {} · threads {} · code regions {} · data regions {}",
         summary.spawned_processes,
@@ -245,6 +283,113 @@ fn print_claims(experiments: &Experiments) {
     }
 }
 
+fn cmd_record(args: &[String]) {
+    let (config, note) = config(args);
+    if args.iter().any(|a| a == "--all") {
+        let dir = Path::new(flag_value(args, "--dir").unwrap_or("traces"));
+        let workloads = all_workloads();
+        eprintln!(
+            "recording {} workloads ({note}) into {}/ …",
+            workloads.len(),
+            dir.display()
+        );
+        let rows =
+            record::record_suite(&workloads, &config, dir, jobs(args)).unwrap_or_else(|err| {
+                eprintln!("record: {err}");
+                std::process::exit(1);
+            });
+        let mut failures = 0;
+        for (workload, result) in rows {
+            match result {
+                Ok(stats) => println!(
+                    "  {:<28} {:>12} records · {:>10} bytes · {:.2} B/record",
+                    workload.label(),
+                    stats.records,
+                    stats.file_bytes,
+                    stats.bytes_per_record()
+                ),
+                Err(err) => {
+                    failures += 1;
+                    eprintln!("  {:<28} FAILED: {err}", workload.label());
+                }
+            }
+        }
+        if failures > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+    let label = bare_arg(args, &["-o", "--output", "--dir", "--jobs"]).unwrap_or_else(|| usage());
+    let workload = find(label);
+    let default_out = format!("{label}.agtrace");
+    let out = flag_value(args, "-o")
+        .or_else(|| flag_value(args, "--output"))
+        .unwrap_or(&default_out);
+    eprintln!("recording {label} ({note}) to {out}…");
+    match record::record_workload(workload, &config, Path::new(out)) {
+        Ok(stats) => println!(
+            "{out}: {} records ({} words) in {} chunks · {} bytes · {:.2} bytes/record",
+            stats.records,
+            stats.words,
+            stats.chunks,
+            stats.file_bytes,
+            stats.bytes_per_record()
+        ),
+        Err(err) => {
+            eprintln!("record: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_replay(args: &[String]) {
+    let path = bare_arg(args, &["--cache", "--preset", "--top", "--jobs"])
+        .map(Path::new)
+        .unwrap_or_else(|| usage());
+    let json = args.iter().any(|a| a == "--json");
+    let preset = flag_value(args, "--cache").or_else(|| flag_value(args, "--preset"));
+    if let Some(preset) = preset {
+        let geometry = HierarchyGeometry::preset(preset).unwrap_or_else(|| {
+            eprintln!(
+                "unknown preset {preset:?}; available: {}",
+                HierarchyGeometry::PRESET_NAMES.join(", ")
+            );
+            std::process::exit(2);
+        });
+        let top = flag_value(args, "--top")
+            .and_then(|n| n.parse().ok())
+            .unwrap_or(12);
+        eprintln!("replaying {} through {preset}…", path.display());
+        match record::replay_trace_cache(path, geometry) {
+            Ok(report) if json => println!("{}", report.to_json()),
+            Ok(report) => println!("{}", report.render(top)),
+            Err(err) => {
+                eprintln!("replay: {err}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    // Default (and `--summary`): rebuild the recorded run's summary.
+    match record::replay_trace_summary(path) {
+        Ok(summary) if json => println!("{}", summary.to_json()),
+        Ok(summary) => {
+            println!(
+                "{} (replayed from {}): {} instr + {} data references",
+                summary.benchmark,
+                path.display(),
+                summary.total_instr,
+                summary.total_data
+            );
+            print_breakdowns(&summary);
+        }
+        Err(err) => {
+            eprintln!("replay: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -253,6 +398,8 @@ fn main() {
         Some("suite") => cmd_suite(&args[1..]),
         Some("claims") => cmd_claims(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
+        Some("record") => cmd_record(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
         _ => usage(),
     }
 }

@@ -33,9 +33,9 @@
 //! thread-pool crate is involved.
 
 use crate::suite::Workload;
-use agave_apps::{execute_app, RunConfig};
-use agave_spec::{execute_spec, SpecConfig};
-use agave_trace::{NameDirectory, RunSummary, SharedSink};
+use agave_apps::{execute_app_traced, RunConfig};
+use agave_spec::{execute_spec_traced, SpecConfig};
+use agave_trace::{CounterSnapshot, NameDirectory, RunSummary, SharedSink};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -123,15 +123,34 @@ pub fn run_observed(
     config: &EngineConfig,
     sinks: Vec<SharedSink>,
 ) -> WorkloadOutcome {
-    let (summary, directory) = match workload {
-        Workload::Agave(app) => execute_app(app, config.app, sinks),
-        Workload::Spec(program) => execute_spec(program, config.spec, sinks),
+    run_traced(workload, config, sinks).0
+}
+
+/// [`run_observed`] plus the boot-baseline counter snapshot taken at
+/// sink-attach time.
+///
+/// The snapshot is the trace recorder's correction term: charges from
+/// before the sinks attached (world boot) never reach the stream, so
+/// `snapshot + stream = final counters`. The `agave record` path stores
+/// it in the `.agtrace` footer; everyone else uses [`run_observed`] and
+/// drops it.
+pub fn run_traced(
+    workload: Workload,
+    config: &EngineConfig,
+    sinks: Vec<SharedSink>,
+) -> (WorkloadOutcome, CounterSnapshot) {
+    let (summary, directory, baseline) = match workload {
+        Workload::Agave(app) => execute_app_traced(app, config.app, sinks),
+        Workload::Spec(program) => execute_spec_traced(program, config.spec, sinks),
     };
-    WorkloadOutcome {
-        workload,
-        summary,
-        directory,
-    }
+    (
+        WorkloadOutcome {
+            workload,
+            summary,
+            directory,
+        },
+        baseline,
+    )
 }
 
 /// Runs `workloads` across up to `jobs` worker threads and returns their

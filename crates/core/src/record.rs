@@ -1,0 +1,132 @@
+//! Recording workloads into `.agtrace` files and replaying them —
+//! the orchestration layer over `agave-replay`.
+//!
+//! One recorded run is a reusable artifact: any number of later
+//! analyses (cache sweeps under different geometries, summary
+//! reconstruction, future observers) replay the file instead of
+//! re-simulating the workload. The correctness contract — replay output
+//! is byte-identical to live output — is documented in DESIGN.md §12
+//! and asserted by `tests/replay_roundtrip.rs`.
+
+use crate::engine::{self, EngineConfig};
+use crate::suite::Workload;
+use agave_cache::{CacheReport, HierarchyGeometry, MemoryHierarchy};
+use agave_replay::{SummaryAccumulator, TraceError, TraceReader, TraceStats, TraceWriter};
+use agave_trace::{RunSummary, SharedSink};
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+/// Runs `workload` once with a [`TraceWriter`] attached and writes the
+/// captured stream (plus directory and boot baseline) to `path`.
+///
+/// Returns the recording's [`TraceStats`] (records, words, file bytes).
+pub fn record_workload(
+    workload: Workload,
+    config: &EngineConfig,
+    path: &Path,
+) -> Result<TraceStats, TraceError> {
+    let writer = Rc::new(RefCell::new(TraceWriter::create(path, workload.label())?));
+    let (outcome, baseline) =
+        engine::run_traced(workload, config, vec![writer.clone() as SharedSink]);
+    let stats = writer.borrow_mut().finish(&outcome.directory, &baseline)?;
+    Ok(stats)
+}
+
+/// The conventional trace file name for a workload: `<label>.agtrace`
+/// under `dir`.
+pub fn trace_path(dir: &Path, workload: Workload) -> PathBuf {
+    dir.join(format!("{}.agtrace", workload.label()))
+}
+
+/// Records every workload in `workloads` into `dir` (created if
+/// missing), fanning out across up to `jobs` threads — each worker
+/// simulates private worlds and writes its own files, so recordings are
+/// deterministic for any `jobs`.
+///
+/// Returns one `(workload, result)` row per input, in input order.
+#[allow(clippy::type_complexity)]
+pub fn record_suite(
+    workloads: &[Workload],
+    config: &EngineConfig,
+    dir: &Path,
+    jobs: usize,
+) -> Result<Vec<(Workload, Result<TraceStats, TraceError>)>, TraceError> {
+    std::fs::create_dir_all(dir)?;
+    Ok(engine::parallel_map(workloads.len(), jobs, |i| {
+        let workload = workloads[i];
+        let result = record_workload(workload, config, &trace_path(dir, workload));
+        (workload, result)
+    }))
+}
+
+/// Replays `path` and rebuilds the recorded run's [`RunSummary`] —
+/// byte-identical (as JSON) to the live run's.
+pub fn replay_trace_summary(path: &Path) -> Result<RunSummary, TraceError> {
+    agave_replay::replay_summary(path)
+}
+
+/// Replays `path` through a fresh [`MemoryHierarchy`] of `geometry` and
+/// returns the same [`CacheReport`] a live
+/// [`crate::run_workload_with_cache`] of the recorded workload yields —
+/// without re-simulating the workload.
+pub fn replay_trace_cache(
+    path: &Path,
+    geometry: HierarchyGeometry,
+) -> Result<CacheReport, TraceError> {
+    let reader = TraceReader::open(path)?;
+    let hierarchy = Rc::new(RefCell::new(MemoryHierarchy::new(geometry)));
+    let outcome = reader.replay(&[hierarchy.clone() as SharedSink])?;
+    let report = hierarchy
+        .borrow()
+        .report(&outcome.label, &outcome.directory);
+    Ok(report)
+}
+
+/// Replays `path` into caller-provided sinks (any [`SharedSink`]s) and
+/// additionally rebuilds the run summary in the same pass.
+pub fn replay_trace_observed(
+    path: &Path,
+    sinks: Vec<SharedSink>,
+) -> Result<(RunSummary, agave_replay::ReplayOutcome), TraceError> {
+    let reader = TraceReader::open(path)?;
+    let acc = Rc::new(RefCell::new(SummaryAccumulator::new()));
+    let mut all = sinks;
+    all.push(acc.clone() as SharedSink);
+    let outcome = reader.replay(&all)?;
+    let summary = acc.borrow().build(&outcome);
+    Ok((summary, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agave_spec::SpecProgram;
+
+    fn temp_file(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("agave-record-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn record_then_replay_summary_matches_live() {
+        let path = temp_file("specrand.agtrace");
+        let config = EngineConfig::quick();
+        let workload = Workload::Spec(SpecProgram::Specrand);
+        let stats = record_workload(workload, &config, &path).unwrap();
+        assert!(stats.records > 0);
+        assert!(stats.bytes_per_record() > 0.0);
+        let live = engine::run(workload, &config).summary;
+        let replayed = replay_trace_summary(&path).unwrap();
+        assert_eq!(replayed, live);
+        assert_eq!(replayed.to_json(), live.to_json());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_of_missing_file_is_an_io_error() {
+        let err = replay_trace_summary(Path::new("/nonexistent/never.agtrace")).unwrap_err();
+        assert!(matches!(err, TraceError::Io(_)));
+    }
+}

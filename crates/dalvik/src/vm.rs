@@ -272,7 +272,7 @@ impl Vm {
         let i = method.0 as usize;
         self.invoke_counts[i] = self.invoke_counts[i].saturating_add(1);
         let should_queue = if self.compiled[i] {
-            self.invoke_counts[i] % 64 == 0
+            self.invoke_counts[i].is_multiple_of(64)
         } else {
             self.invoke_counts[i] >= JIT_THRESHOLD
         };

@@ -206,7 +206,7 @@ fn gc_keeps_exactly_the_reachable_set() {
             .collect();
 
         // Reference reachability over the *final* field state.
-        let mut reachable = vec![false; 20];
+        let mut reachable = [false; 20];
         let mut work: Vec<usize> = (0..20).filter(|i| root_mask & (1 << i) != 0).collect();
         while let Some(i) = work.pop() {
             if reachable[i] {

@@ -205,7 +205,8 @@ impl Actor for SurfaceFlinger {
                 // Dirty frames compose immediately; while the screen is
                 // active, animation/dim passes also recompose at a quarter
                 // of the vsync rate even without new client buffers.
-                if self.store.any_visible() && (dirty || (active && self.vsyncs % 2 == 0)) {
+                if self.store.any_visible() && (dirty || (active && self.vsyncs.is_multiple_of(2)))
+                {
                     self.compose(cx);
                 } else {
                     // Idle vsync: minimal bookkeeping.

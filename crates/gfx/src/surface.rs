@@ -40,6 +40,9 @@ impl SurfaceStore {
     /// Creates a double-buffered surface at `(x, y)` and returns the
     /// client handle. The two gralloc buffers are allocated as shared
     /// segments charged to `gralloc-buffer`.
+    // The parameter list mirrors the SurfaceFlinger createSurface ABI;
+    // collapsing it into a struct would obscure the modeled call.
+    #[allow(clippy::too_many_arguments)]
     pub fn create_surface(
         &self,
         cx: &mut Ctx<'_>,

@@ -70,10 +70,7 @@ fn overlay_path_reaches_fb0_without_pixelflinger() {
     // No per-pixel GL work for overlay layers.
     assert!(!s.instr_by_region.contains_key("libpixelflinger.so"));
     // And much less mspace instruction traffic than the GL path.
-    let (mut gl_kernel, _, _) = {
-        let w = world(false, 0x1234);
-        w
-    };
+    let (mut gl_kernel, _, _) = { world(false, 0x1234) };
     gl_kernel.run_until(VSYNC_PERIOD * 4);
     let gl = gl_kernel.tracer().summarize("gl");
     let overlay_mspace = s.instr_by_region.get("mspace").copied().unwrap_or(0);

@@ -258,7 +258,7 @@ fn shm_copy_moves_real_bytes_and_charges_both_sides() {
     let s = kernel.tracer().summarize("t");
     assert!(s.data_by_region["gralloc-buffer"] >= 2048);
     assert!(s.data_by_region["fb0 (frame buffer)"] >= 1024);
-    assert_eq!(s.refs_by_thread.keys().any(|k| k == "SurfaceFlinger"), true);
+    assert!(s.refs_by_thread.keys().any(|k| k == "SurfaceFlinger"));
 }
 
 #[test]

@@ -1,0 +1,408 @@
+//! Varint, zigzag-delta, and record-level coding for `.agtrace` chunks.
+//!
+//! Records are [`agave_trace::Reference`] blocks. Three observations
+//! shape the encoding:
+//!
+//! 1. Consecutive blocks usually share the same `(pid, tid, region)` key
+//!    — charging sites issue runs of blocks for one thread in one
+//!    region — so the key is written only when it changes (one flag
+//!    bit).
+//! 2. Addresses are locally sequential: a block very often starts
+//!    exactly where the previous one ended (synthetic cyclic windows,
+//!    buffer walks). That case costs one flag bit; everything else is a
+//!    zigzag varint of the *wrapping* delta from the previous address,
+//!    which round-trips every `u64` including the boundaries.
+//! 3. Word counts are small and repeat; plain varints do well.
+//!
+//! The coder state resets at every chunk boundary so chunks decode
+//! independently (corruption stays contained; see [`crate::format`]).
+
+use agave_trace::{NameId, Pid, RefKind, Reference, Tid};
+
+/// Bits 0–1 of a record's header byte: [`RefKind::index`].
+const KIND_MASK: u8 = 0b0000_0011;
+/// Header flag: the record reuses the previous `(pid, tid, region)` key.
+const F_SAME_KEY: u8 = 0b0000_0100;
+/// Header flag: `addr` continues exactly at the previous block's end.
+const F_CONT_ADDR: u8 = 0b0000_1000;
+/// Header flag: `words == 1`, so no word-count varint follows.
+const F_ONE_WORD: u8 = 0b0001_0000;
+
+/// Appends `v` to `out` as an LEB128 varint (7 bits per byte, high bit =
+/// continuation). At most 10 bytes.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint from `buf` starting at `*pos`, advancing
+/// `*pos` past it. Returns `None` on truncation or a varint longer than
+/// 10 bytes (no valid `u64` needs more).
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    for shift in 0..10u32 {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        let payload = u64::from(byte & 0x7f);
+        // The 10th byte may only carry the final bit of a u64.
+        if shift == 9 && byte > 0x01 {
+            return None;
+        }
+        v |= payload << (7 * shift);
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Maps a signed delta to an unsigned varint-friendly value
+/// (0, -1, 1, -2, … → 0, 1, 2, 3, …).
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// The per-chunk checksum: an FNV-style multiply-mix absorbed in
+/// 8-byte lanes (a byte-serial FNV-1a costs a dependent multiply per
+/// byte and shows up at the top of the replay profile).
+///
+/// An internal buffer makes the digest independent of how `update` calls
+/// split the message; the total length is mixed into [`Checksum::finish`]
+/// so truncation by whole lanes of zeros still changes the digest.
+///
+/// Not cryptographic: the threat model is bit rot, truncation, and
+/// tooling bugs, not an adversary forging traces.
+#[derive(Debug, Clone, Copy)]
+pub struct Checksum {
+    state: u64,
+    buf: [u8; 8],
+    buffered: usize,
+    len: u64,
+}
+
+impl Checksum {
+    /// A fresh digest (FNV offset-basis seed).
+    pub fn new() -> Self {
+        Checksum {
+            state: 0xcbf2_9ce4_8422_2325,
+            buf: [0u8; 8],
+            buffered: 0,
+            len: 0,
+        }
+    }
+
+    fn absorb(&mut self, lane: u64) {
+        self.state = (self.state ^ lane)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(23);
+    }
+
+    /// Absorbs `bytes` into the running hash.
+    pub fn update(&mut self, mut bytes: &[u8]) {
+        self.len += bytes.len() as u64;
+        if self.buffered > 0 {
+            let take = bytes.len().min(8 - self.buffered);
+            self.buf[self.buffered..self.buffered + take].copy_from_slice(&bytes[..take]);
+            self.buffered += take;
+            bytes = &bytes[take..];
+            if self.buffered == 8 {
+                self.absorb(u64::from_le_bytes(self.buf));
+                self.buffered = 0;
+            }
+            // Either the buffer drained into a lane or `bytes` ran dry.
+            if bytes.is_empty() {
+                return;
+            }
+        }
+        let mut lanes = bytes.chunks_exact(8);
+        for lane in &mut lanes {
+            self.absorb(u64::from_le_bytes(lane.try_into().unwrap()));
+        }
+        let tail = lanes.remainder();
+        self.buf[..tail.len()].copy_from_slice(tail);
+        self.buffered = tail.len();
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        let mut tail = [0u8; 8];
+        tail[..self.buffered].copy_from_slice(&self.buf[..self.buffered]);
+        let mut state = self.state ^ u64::from_le_bytes(tail) ^ self.len;
+        state = state.wrapping_mul(0x0000_0100_0000_01b3);
+        state ^ (state >> 31)
+    }
+}
+
+impl Default for Checksum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The delta-coder state shared (symmetrically) by encoder and decoder.
+///
+/// Address prediction is **per stream**: each `(pid, tid, region)` key
+/// keeps its own last address and expected continuation point, because
+/// the tracer interleaves many locally-sequential streams (one per
+/// thread per region). Predicting against the previous record globally
+/// would pay a full cross-region delta at nearly every key switch;
+/// predicting per stream makes a key switch back into a known stream
+/// cost one flag bit.
+///
+/// Reset at every chunk boundary so chunks decode independently.
+///
+/// Performance: the current key's prediction lives inline, so the
+/// (majority) `F_SAME_KEY` records never touch the map; key switches pay
+/// one store + one lookup in a [`KeyHasher`]-backed table. This is what
+/// keeps summary replay faster than a live run.
+#[derive(Debug, Clone, Default)]
+pub struct CoderState {
+    pid: u32,
+    tid: u32,
+    region: u32,
+    /// Prediction for the *current* key: last address and expected
+    /// continuation point.
+    addr: u64,
+    end: u64,
+    /// Parked predictions for every other key seen this chunk.
+    streams: StreamMap,
+}
+
+type StreamMap = std::collections::HashMap<
+    (u32, u32, u32),
+    (u64, u64),
+    std::hash::BuildHasherDefault<KeyHasher>,
+>;
+
+/// Multiply-mix hasher for the small-integer stream keys. The default
+/// SipHash dominates the decode profile; stream keys are not
+/// attacker-chosen (a hostile trace can at worst slow itself down), so a
+/// two-instruction mix per `u32` is the right trade.
+#[derive(Debug, Default)]
+pub struct KeyHasher(u64);
+
+impl std::hash::Hasher for KeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (self.0.rotate_left(24) ^ u64::from(v)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0 ^ (self.0 >> 29)
+    }
+}
+
+impl CoderState {
+    /// Fresh state, as at the start of a chunk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parks the current key's prediction and loads (or initializes) the
+    /// prediction for `(pid, tid, region)`.
+    fn switch_key(&mut self, pid: u32, tid: u32, region: u32) {
+        self.streams
+            .insert((self.pid, self.tid, self.region), (self.addr, self.end));
+        let (addr, end) = self
+            .streams
+            .get(&(pid, tid, region))
+            .copied()
+            .unwrap_or((0, 0));
+        self.pid = pid;
+        self.tid = tid;
+        self.region = region;
+        self.addr = addr;
+        self.end = end;
+    }
+
+    /// Appends one record to `out`.
+    pub fn encode(&mut self, r: &Reference, out: &mut Vec<u8>) {
+        let pid = r.pid.as_u32();
+        let tid = r.tid.as_u32();
+        let region = r.region.index() as u32;
+        let same_key = pid == self.pid && tid == self.tid && region == self.region;
+        if !same_key {
+            self.switch_key(pid, tid, region);
+        }
+        let mut header = r.kind.index() as u8;
+        if same_key {
+            header |= F_SAME_KEY;
+        }
+        if r.addr == self.end {
+            header |= F_CONT_ADDR;
+        }
+        if r.words == 1 {
+            header |= F_ONE_WORD;
+        }
+        out.push(header);
+        if !same_key {
+            put_varint(out, u64::from(pid));
+            put_varint(out, u64::from(tid));
+            put_varint(out, u64::from(region));
+        }
+        if header & F_CONT_ADDR == 0 {
+            put_varint(out, zigzag(r.addr.wrapping_sub(self.addr) as i64));
+        }
+        if header & F_ONE_WORD == 0 {
+            put_varint(out, r.words);
+        }
+        self.addr = r.addr;
+        self.end = r.addr.wrapping_add(r.words.wrapping_mul(4));
+    }
+
+    /// Decodes one record from `buf` at `*pos`, advancing `*pos`.
+    /// Returns `None` on a truncated or malformed record.
+    pub fn decode(&mut self, buf: &[u8], pos: &mut usize) -> Option<Reference> {
+        let header = *buf.get(*pos)?;
+        *pos += 1;
+        let kind = match header & KIND_MASK {
+            0 => RefKind::InstrFetch,
+            1 => RefKind::DataRead,
+            2 => RefKind::DataWrite,
+            _ => return None,
+        };
+        if header & F_SAME_KEY == 0 {
+            let pid = u32::try_from(get_varint(buf, pos)?).ok()?;
+            let tid = u32::try_from(get_varint(buf, pos)?).ok()?;
+            let region = u32::try_from(get_varint(buf, pos)?).ok()?;
+            self.switch_key(pid, tid, region);
+        }
+        let addr = if header & F_CONT_ADDR == 0 {
+            self.addr
+                .wrapping_add(unzigzag(get_varint(buf, pos)?) as u64)
+        } else {
+            self.end
+        };
+        let words = if header & F_ONE_WORD == 0 {
+            get_varint(buf, pos)?
+        } else {
+            1
+        };
+        self.addr = addr;
+        self.end = addr.wrapping_add(words.wrapping_mul(4));
+        Some(Reference {
+            pid: Pid::from_raw(self.pid),
+            tid: Tid::from_raw(self.tid),
+            region: NameId::from_raw(self.region),
+            kind,
+            addr,
+            words,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        let mut buf = Vec::new();
+        let values = [0, 1, 127, 128, 16_383, 16_384, u64::MAX - 1, u64::MAX];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_varint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overlong() {
+        assert_eq!(get_varint(&[], &mut 0), None);
+        assert_eq!(get_varint(&[0x80], &mut 0), None);
+        // 11 continuation bytes can never be a valid u64.
+        let overlong = [0x80u8; 10];
+        assert_eq!(get_varint(&overlong, &mut 0), None);
+        // A 10th byte with payload beyond bit 63 overflows.
+        let mut too_big = vec![0x80u8; 9];
+        too_big.push(0x02);
+        assert_eq!(get_varint(&too_big, &mut 0), None);
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        let mut a = Checksum::new();
+        a.update(b"ab");
+        let mut b = Checksum::new();
+        b.update(b"ba");
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Checksum::new();
+        c.update(b"a");
+        c.update(b"b");
+        assert_eq!(a.finish(), c.finish(), "chunked updates must match");
+    }
+
+    #[test]
+    fn record_coding_round_trips_a_small_stream() {
+        let refs = [
+            Reference {
+                pid: Pid::from_raw(1),
+                tid: Tid::from_raw(2),
+                region: NameId::from_raw(3),
+                kind: RefKind::InstrFetch,
+                addr: 0x1_0000,
+                words: 16,
+            },
+            // Continuation: same key, addr continues at the end.
+            Reference {
+                pid: Pid::from_raw(1),
+                tid: Tid::from_raw(2),
+                region: NameId::from_raw(3),
+                kind: RefKind::InstrFetch,
+                addr: 0x1_0040,
+                words: 1,
+            },
+            // Key change with a boundary address.
+            Reference {
+                pid: Pid::from_raw(0),
+                tid: Tid::from_raw(9),
+                region: NameId::from_raw(0),
+                kind: RefKind::DataWrite,
+                addr: u64::MAX,
+                words: 3,
+            },
+        ];
+        let mut out = Vec::new();
+        let mut enc = CoderState::new();
+        for r in &refs {
+            enc.encode(r, &mut out);
+        }
+        // The continuation record is a single header byte.
+        let mut dec = CoderState::new();
+        let mut pos = 0;
+        for r in &refs {
+            assert_eq!(dec.decode(&out, &mut pos).as_ref(), Some(r));
+        }
+        assert_eq!(pos, out.len());
+    }
+}

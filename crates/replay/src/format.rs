@@ -1,0 +1,117 @@
+//! The `.agtrace` container format: constants, layout, and errors.
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────┐
+//! │ header   magic "AGTRACE\0" · u32 LE version · varint label   │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ chunk*   tag 0x01 · varint len · payload · u64 LE checksum   │
+//! │          payload = varint record count + delta-coded records │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ footer   tag 0x02 · varint len · payload · u64 LE checksum   │
+//! │          payload = name table + process table + thread table │
+//! │                    + boot-baseline counters + record totals  │
+//! └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Every chunk carries its own FNV-1a checksum (computed over the tag
+//! and payload), so a flipped byte or a truncated download is reported
+//! as a [`TraceError::Corrupt`] at read time instead of silently
+//! producing wrong reports. The footer must be the last chunk; a file
+//! that ends before it is truncated by definition.
+
+use std::fmt;
+use std::io;
+
+/// First eight bytes of every trace file.
+pub const MAGIC: [u8; 8] = *b"AGTRACE\0";
+
+/// Current format version, bumped on any incompatible layout change.
+pub const VERSION: u32 = 1;
+
+/// Chunk tag: a batch of delta-coded reference records.
+pub const TAG_RECORDS: u8 = 0x01;
+
+/// Chunk tag: the directory footer (string/process/thread tables,
+/// boot-baseline counters, whole-file record totals).
+pub const TAG_DIRECTORY: u8 = 0x02;
+
+/// Records buffered per chunk before the writer seals and emits it.
+///
+/// Chunks are independently decodable (the delta coder resets at each
+/// chunk boundary), so this bounds both the writer's buffer and the
+/// blast radius of a corrupt byte.
+pub const CHUNK_RECORDS: usize = 4096;
+
+/// Everything that can go wrong opening, reading, or writing a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The underlying file or stream failed.
+    Io(io::Error),
+    /// The file does not start with the `.agtrace` magic.
+    NotATrace,
+    /// The file is a trace, but from an incompatible format version.
+    UnsupportedVersion(u32),
+    /// The file is structurally damaged: truncated mid-chunk, failed a
+    /// checksum, or contains an impossible encoding. The offset is the
+    /// byte position where the damage was detected.
+    Corrupt {
+        /// Byte offset at which the damage was detected.
+        offset: u64,
+        /// Human-readable description of what was expected.
+        what: String,
+    },
+}
+
+impl TraceError {
+    /// Builds a [`TraceError::Corrupt`] at `offset`.
+    pub fn corrupt(offset: u64, what: impl Into<String>) -> Self {
+        TraceError::Corrupt {
+            offset,
+            what: what.into(),
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::NotATrace => write!(f, "not an .agtrace file (bad magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported .agtrace version {v} (supported: {VERSION})")
+            }
+            TraceError::Corrupt { offset, what } => {
+                write!(f, "corrupt .agtrace at byte {offset}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_descriptively() {
+        assert!(TraceError::NotATrace.to_string().contains("magic"));
+        assert!(TraceError::UnsupportedVersion(9).to_string().contains('9'));
+        let c = TraceError::corrupt(17, "checksum mismatch");
+        assert!(c.to_string().contains("byte 17"));
+        assert!(c.to_string().contains("checksum mismatch"));
+    }
+}

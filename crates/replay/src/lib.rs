@@ -1,0 +1,146 @@
+//! **agave-replay** — compact binary trace capture and trace-driven
+//! replay for the Agave suite.
+//!
+//! The paper's whole methodology is trace-driven: capture every memory
+//! reference once, then analyze offline. Until now this reproduction
+//! could only analyze *live* — each cache sweep or new figure re-ran all
+//! 25 workloads. This crate turns one expensive run into a reusable
+//! artifact:
+//!
+//! * [`TraceWriter`] is a [`agave_trace::ReferenceSink`] that captures a
+//!   run's classified reference stream into an `.agtrace` file — a
+//!   self-describing, checksummed, delta-coded binary format (see
+//!   [`format`]) that typically costs a few bytes per reference block.
+//! * [`TraceReader`] streams the file back, delivering decoded batches
+//!   to any set of sinks: a cache hierarchy, a figure accumulator, or
+//!   the [`SummaryAccumulator`] that rebuilds the run's
+//!   [`agave_trace::RunSummary`].
+//!
+//! The correctness contract, asserted by `tests/replay_roundtrip.rs`:
+//! replaying a recorded trace yields **byte-identical** `RunSummary`
+//! JSON and `CacheReport` output to the live run. Two pieces make that
+//! possible: the footer stores the end-of-run name/process/thread
+//! directory (so ids resolve exactly as they did live), and it stores
+//! the boot-baseline counter snapshot (charges from before the recorder
+//! attached, which the stream by definition cannot carry).
+//!
+//! ```no_run
+//! use agave_replay::{replay_summary, TraceReader};
+//! use std::path::Path;
+//!
+//! // Rebuild the recorded run's summary without re-simulating it.
+//! let summary = replay_summary(Path::new("gallery.agtrace")).unwrap();
+//! println!("{}", summary.to_json());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod format;
+mod reader;
+mod rebuild;
+mod writer;
+
+pub use format::TraceError;
+pub use reader::{ReplayOutcome, TraceReader};
+pub use rebuild::SummaryAccumulator;
+pub use writer::{TraceStats, TraceWriter};
+
+use agave_trace::{RunSummary, SharedSink};
+use std::cell::RefCell;
+use std::path::Path;
+use std::rc::Rc;
+
+/// Opens `path` and rebuilds the recorded run's [`RunSummary`] —
+/// byte-identical (as JSON) to the one the live run produced.
+pub fn replay_summary(path: &Path) -> Result<RunSummary, TraceError> {
+    let reader = TraceReader::open(path)?;
+    let acc = Rc::new(RefCell::new(SummaryAccumulator::new()));
+    let outcome = reader.replay(&[acc.clone() as SharedSink])?;
+    let summary = acc.borrow().build(&outcome);
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agave_trace::{RefKind, Tracer};
+    use std::io::Cursor;
+
+    /// Records a small synthetic world (boot traffic before the sink
+    /// attaches, a charge mix after) and returns the trace bytes plus
+    /// the live summary for comparison.
+    fn record_synthetic_bytes() -> (Vec<u8>, RunSummary) {
+        let mut t = Tracer::new();
+        let boot_pid = t.register_process("system_server");
+        let boot_tid = t.register_thread(boot_pid, "Binder-1");
+        let lib = t.intern_region("libbinder.so");
+        t.charge(boot_pid, boot_tid, lib, RefKind::InstrFetch, 500);
+        let baseline = t.counter_snapshot();
+        let writer = Rc::new(RefCell::new(
+            TraceWriter::new(Vec::new(), "synthetic").unwrap(),
+        ));
+        t.add_sink(writer.clone() as SharedSink);
+        let pid = t.register_process("app_process");
+        let tid = t.register_thread(pid, "Thread-7");
+        let heap = t.intern_region("dalvik-heap");
+        for i in 0..5000u64 {
+            t.charge(pid, tid, heap, RefKind::DataWrite, 3 + i % 7);
+            t.charge_at(pid, tid, lib, RefKind::InstrFetch, 0x1000 + i * 64, 16);
+        }
+        t.flush_sinks();
+        let live = t.summarize("synthetic");
+        writer
+            .borrow_mut()
+            .finish(&t.name_directory(), &baseline)
+            .unwrap();
+        drop(t); // tracer's sink clone released
+        let bytes = Rc::try_unwrap(writer)
+            .expect("writer uniquely owned after the world is gone")
+            .into_inner()
+            .into_output();
+        (bytes, live)
+    }
+
+    #[test]
+    fn synthetic_world_round_trips_byte_identically() {
+        let (bytes, live) = record_synthetic_bytes();
+        let reader = TraceReader::new(Cursor::new(&bytes)).unwrap();
+        assert_eq!(reader.label(), "synthetic");
+        let acc = Rc::new(RefCell::new(SummaryAccumulator::new()));
+        let outcome = reader.replay(&[acc.clone() as SharedSink]).unwrap();
+        assert!(outcome.records > 0);
+        assert!(!outcome.baseline.is_empty(), "boot baseline must survive");
+        let rebuilt = acc.borrow().build(&outcome);
+        assert_eq!(rebuilt, live);
+        assert_eq!(rebuilt.to_json(), live.to_json());
+    }
+
+    #[test]
+    fn truncated_trace_is_rejected_not_misread() {
+        let (bytes, _) = record_synthetic_bytes();
+        for cut in [bytes.len() / 3, bytes.len() - 5] {
+            let reader = TraceReader::new(Cursor::new(&bytes[..cut])).unwrap();
+            let err = reader.replay(&[]).unwrap_err();
+            assert!(
+                matches!(err, TraceError::Corrupt { .. }),
+                "cut at {cut}: expected Corrupt, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected_on_open() {
+        assert!(matches!(
+            TraceReader::new(Cursor::new(b"NOTATRACEFILE".to_vec())),
+            Err(TraceError::NotATrace)
+        ));
+        let (mut bytes, _) = record_synthetic_bytes();
+        bytes[8] = 0xfe; // version field
+        assert!(matches!(
+            TraceReader::new(Cursor::new(bytes)),
+            Err(TraceError::UnsupportedVersion(_))
+        ));
+    }
+}

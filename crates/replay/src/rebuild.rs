@@ -1,0 +1,145 @@
+//! Rebuilding a [`RunSummary`] from a replayed trace.
+//!
+//! The live run's summary comes from `Tracer::summarize`, which folds
+//! the per-(thread, region, kind) counters into name-keyed maps. The
+//! same counters are recoverable from a trace: the boot-baseline
+//! snapshot in the footer covers every charge from before the recorder
+//! attached, and re-accumulating the recorded stream covers the rest.
+//! [`SummaryAccumulator`] does the stream half as a plain
+//! [`ReferenceSink`] (so it rides the same replay pass as any cache
+//! model), and [`SummaryAccumulator::build`] folds both halves exactly
+//! the way `summarize` does — producing byte-identical
+//! [`RunSummary::to_json`] output, which the round-trip tests assert.
+
+use crate::reader::ReplayOutcome;
+use agave_trace::{NameId, RefKind, Reference, ReferenceSink, RunSummary, Tid};
+use std::collections::BTreeMap;
+
+/// Sentinel for an empty cell in the dense `tid × region` slot table
+/// (mirrors the tracer's own accounting layout).
+const NO_SLOT: u32 = u32::MAX;
+
+/// Accumulates per-(thread, region, kind) word counts from a replayed
+/// reference stream, mirroring the tracer's dense-slot accounting.
+#[derive(Debug, Default)]
+pub struct SummaryAccumulator {
+    /// `slot_table[tid][region]` → row in `counters`, or [`NO_SLOT`].
+    slot_table: Vec<Vec<u32>>,
+    counters: Vec<[u64; 3]>,
+    keys: Vec<(u32, u32)>,
+    last: Option<((u32, u32), usize)>,
+}
+
+impl SummaryAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn add(&mut self, tid: u32, region: u32, kind: RefKind, words: u64) {
+        let key = (tid, region);
+        if let Some((last_key, slot)) = self.last {
+            if last_key == key {
+                self.counters[slot][kind.index()] += words;
+                return;
+            }
+        }
+        let ti = tid as usize;
+        if ti >= self.slot_table.len() {
+            self.slot_table.resize_with(ti + 1, Vec::new);
+        }
+        let row = &mut self.slot_table[ti];
+        let ri = region as usize;
+        if ri >= row.len() {
+            row.resize(ri + 1, NO_SLOT);
+        }
+        let slot = if row[ri] == NO_SLOT {
+            let s = self.counters.len();
+            self.counters.push([0; 3]);
+            self.keys.push(key);
+            row[ri] = u32::try_from(s).expect("slot overflow");
+            s
+        } else {
+            row[ri] as usize
+        };
+        self.counters[slot][kind.index()] += words;
+        self.last = Some((key, slot));
+    }
+
+    /// Folds the accumulated stream counters together with the trace's
+    /// boot baseline into the run's [`RunSummary`].
+    ///
+    /// The output is byte-identical (via [`RunSummary::to_json`]) to the
+    /// summary the live run produced; `wall_time_ns` is left at 0, which
+    /// both JSON and equality deliberately ignore.
+    pub fn build(&self, outcome: &ReplayOutcome) -> RunSummary {
+        let dir = &outcome.directory;
+        let mut instr_by_region: BTreeMap<String, u64> = BTreeMap::new();
+        let mut data_by_region: BTreeMap<String, u64> = BTreeMap::new();
+        let mut instr_by_process: BTreeMap<String, u64> = BTreeMap::new();
+        let mut data_by_process: BTreeMap<String, u64> = BTreeMap::new();
+        let mut refs_by_thread: BTreeMap<String, u64> = BTreeMap::new();
+        let mut active_pids = vec![false; dir.process_count()];
+        let mut active_tids = vec![false; dir.thread_count()];
+        let mut total_instr: u64 = 0;
+        let mut total_data: u64 = 0;
+
+        let baseline = outcome
+            .baseline
+            .entries
+            .iter()
+            .map(|e| (e.tid.as_u32(), e.region.index() as u32, e.counts));
+        let stream = self
+            .keys
+            .iter()
+            .zip(&self.counters)
+            .map(|(&(tid, region), &counts)| (tid, region, counts));
+        for (tid, region, counts) in baseline.chain(stream) {
+            let instr = counts[RefKind::InstrFetch.index()];
+            let data = counts[RefKind::DataRead.index()] + counts[RefKind::DataWrite.index()];
+            total_instr += instr;
+            total_data += data;
+            if instr == 0 && data == 0 {
+                continue;
+            }
+            let tid = Tid::from_raw(tid);
+            let thread = dir.thread(tid);
+            active_pids[thread.pid.as_u32() as usize] = true;
+            active_tids[tid.as_u32() as usize] = true;
+            let region_name = dir.region(NameId::from_raw(region));
+            let proc_name = dir.process(thread.pid);
+            let thread_name = dir.names().resolve(thread.canonical);
+            if instr > 0 {
+                *instr_by_region.entry(region_name.to_owned()).or_default() += instr;
+                *instr_by_process.entry(proc_name.to_owned()).or_default() += instr;
+            }
+            if data > 0 {
+                *data_by_region.entry(region_name.to_owned()).or_default() += data;
+                *data_by_process.entry(proc_name.to_owned()).or_default() += data;
+            }
+            *refs_by_thread.entry(thread_name.to_owned()).or_default() += instr + data;
+        }
+
+        RunSummary {
+            benchmark: outcome.label.clone(),
+            instr_by_region,
+            data_by_region,
+            instr_by_process,
+            data_by_process,
+            refs_by_thread,
+            total_instr,
+            total_data,
+            active_processes: active_pids.iter().filter(|&&a| a).count(),
+            active_threads: active_tids.iter().filter(|&&a| a).count(),
+            spawned_processes: dir.process_count(),
+            spawned_threads: dir.thread_count(),
+            wall_time_ns: 0,
+        }
+    }
+}
+
+impl ReferenceSink for SummaryAccumulator {
+    fn on_reference(&mut self, r: &Reference) {
+        self.add(r.tid.as_u32(), r.region.index() as u32, r.kind, r.words);
+    }
+}

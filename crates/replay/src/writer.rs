@@ -1,0 +1,237 @@
+//! Streaming `.agtrace` capture.
+//!
+//! [`TraceWriter`] is a [`ReferenceSink`]: registered on a run via the
+//! normal sink API (`agave_core::engine::run_traced`), it observes the
+//! classified reference stream batch-by-batch and streams delta-coded
+//! chunks through any [`Write`] — a `BufWriter<File>` in the CLI, a
+//! `Vec<u8>` in tests.
+//!
+//! Because [`ReferenceSink::on_batch`] cannot return errors, I/O
+//! failures during the run are *sticky*: the writer stops consuming and
+//! reports the stored error from [`TraceWriter::finish`], which also
+//! seals the file with the directory footer (name/process/thread
+//! tables, the boot-baseline counter snapshot, and whole-file totals).
+
+use crate::codec::{put_varint, Checksum, CoderState};
+use crate::format::{TraceError, CHUNK_RECORDS, MAGIC, TAG_DIRECTORY, TAG_RECORDS, VERSION};
+use agave_trace::{CounterSnapshot, NameDirectory, Reference, ReferenceSink};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// What one finished recording produced, for logs and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Reference blocks written.
+    pub records: u64,
+    /// Total words those blocks span.
+    pub words: u64,
+    /// Sealed chunks (records chunks only, not the footer).
+    pub chunks: u64,
+    /// Total bytes written to the output, header and footer included.
+    pub file_bytes: u64,
+}
+
+impl TraceStats {
+    /// Compression ratio: file bytes per reference block.
+    pub fn bytes_per_record(&self) -> f64 {
+        if self.records == 0 {
+            return 0.0;
+        }
+        self.file_bytes as f64 / self.records as f64
+    }
+}
+
+/// A [`ReferenceSink`] that captures the stream it observes into the
+/// `.agtrace` binary format.
+pub struct TraceWriter<W: Write> {
+    out: W,
+    /// Delta-coded bytes of the chunk being assembled.
+    body: Vec<u8>,
+    chunk_records: u64,
+    coder: CoderState,
+    records: u64,
+    words: u64,
+    chunks: u64,
+    file_bytes: u64,
+    error: Option<TraceError>,
+    finished: bool,
+}
+
+impl TraceWriter<BufWriter<File>> {
+    /// Creates `path` and writes the trace header for `label`.
+    pub fn create(path: &Path, label: &str) -> Result<Self, TraceError> {
+        TraceWriter::new(BufWriter::new(File::create(path)?), label)
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wraps `out` and immediately writes the header for `label` (the
+    /// workload the trace captures).
+    pub fn new(mut out: W, label: &str) -> Result<Self, TraceError> {
+        let mut header = Vec::with_capacity(16 + label.len());
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        put_varint(&mut header, label.len() as u64);
+        header.extend_from_slice(label.as_bytes());
+        out.write_all(&header)?;
+        Ok(TraceWriter {
+            out,
+            body: Vec::with_capacity(CHUNK_RECORDS * 4),
+            chunk_records: 0,
+            coder: CoderState::new(),
+            records: 0,
+            words: 0,
+            chunks: 0,
+            file_bytes: header.len() as u64,
+            error: None,
+            finished: false,
+        })
+    }
+
+    /// Appends one reference block, sealing a chunk when full. I/O
+    /// errors are stored and reported from [`TraceWriter::finish`].
+    pub fn append(&mut self, r: &Reference) {
+        if self.error.is_some() || self.finished {
+            return;
+        }
+        self.coder.encode(r, &mut self.body);
+        self.chunk_records += 1;
+        self.records += 1;
+        self.words += r.words;
+        if self.chunk_records as usize >= CHUNK_RECORDS {
+            if let Err(e) = self.seal_chunk() {
+                self.error = Some(e);
+            }
+        }
+    }
+
+    /// Writes the assembled chunk as `tag · len · payload · checksum`
+    /// and resets the coder for the next chunk.
+    fn seal_chunk(&mut self) -> Result<(), TraceError> {
+        if self.chunk_records == 0 {
+            return Ok(());
+        }
+        let mut count = Vec::new();
+        put_varint(&mut count, self.chunk_records);
+        let body = std::mem::take(&mut self.body);
+        let sealed = self.write_chunk_parts(TAG_RECORDS, &[&count, &body]);
+        self.body = body;
+        self.body.clear();
+        sealed?;
+        self.chunk_records = 0;
+        self.coder = CoderState::new();
+        self.chunks += 1;
+        Ok(())
+    }
+
+    /// Frames `parts` (concatenated) as one chunk under `tag`.
+    fn write_chunk_parts(&mut self, tag: u8, parts: &[&[u8]]) -> Result<(), TraceError> {
+        let payload_len: usize = parts.iter().map(|p| p.len()).sum();
+        let mut frame = Vec::with_capacity(payload_len + 16);
+        frame.push(tag);
+        put_varint(&mut frame, payload_len as u64);
+        let mut check = Checksum::new();
+        check.update(&[tag]);
+        for part in parts {
+            frame.extend_from_slice(part);
+            check.update(part);
+        }
+        frame.extend_from_slice(&check.finish().to_le_bytes());
+        self.out.write_all(&frame)?;
+        self.file_bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Seals any pending records, writes the directory footer, and
+    /// flushes the output.
+    ///
+    /// `directory` is the end-of-run [`NameDirectory`] (the same one the
+    /// live run hands to report builders); `baseline` is the counter
+    /// snapshot taken when this writer was attached, i.e. the charges
+    /// that predate the recorded stream. Returns the recording's
+    /// [`TraceStats`], or the first error the writer hit — including any
+    /// I/O error swallowed during [`ReferenceSink::on_batch`] delivery.
+    pub fn finish(
+        &mut self,
+        directory: &NameDirectory,
+        baseline: &CounterSnapshot,
+    ) -> Result<TraceStats, TraceError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        assert!(!self.finished, "TraceWriter::finish called twice");
+        self.finished = true;
+        self.seal_chunk()?;
+
+        let mut footer = Vec::new();
+        let names = directory.names();
+        put_varint(&mut footer, names.len() as u64);
+        for (_, name) in names.iter() {
+            put_varint(&mut footer, name.len() as u64);
+            footer.extend_from_slice(name.as_bytes());
+        }
+        put_varint(&mut footer, directory.process_count() as u64);
+        for p in 0..directory.process_count() {
+            let pid = agave_trace::Pid::from_raw(p as u32);
+            put_varint(&mut footer, directory.process_name_id(pid).index() as u64);
+        }
+        put_varint(&mut footer, directory.thread_count() as u64);
+        for t in 0..directory.thread_count() {
+            let rec = directory.thread(agave_trace::Tid::from_raw(t as u32));
+            put_varint(&mut footer, u64::from(rec.pid.as_u32()));
+            put_varint(&mut footer, rec.name.index() as u64);
+            put_varint(&mut footer, rec.canonical.index() as u64);
+        }
+        put_varint(&mut footer, baseline.entries.len() as u64);
+        for e in &baseline.entries {
+            put_varint(&mut footer, u64::from(e.tid.as_u32()));
+            put_varint(&mut footer, e.region.index() as u64);
+            for &c in &e.counts {
+                put_varint(&mut footer, c);
+            }
+        }
+        put_varint(&mut footer, self.records);
+        put_varint(&mut footer, self.words);
+        self.write_chunk_parts(TAG_DIRECTORY, &[&footer])?;
+        self.out.flush()?;
+        Ok(TraceStats {
+            records: self.records,
+            words: self.words,
+            chunks: self.chunks,
+            file_bytes: self.file_bytes,
+        })
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Consumes the writer and returns the underlying output (e.g. the
+    /// `Vec<u8>` buffer in tests). Only meaningful after
+    /// [`TraceWriter::finish`].
+    pub fn into_output(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> ReferenceSink for TraceWriter<W> {
+    fn on_reference(&mut self, r: &Reference) {
+        self.append(r);
+    }
+
+    fn on_batch(&mut self, batch: &[Reference]) {
+        for r in batch {
+            self.append(r);
+        }
+    }
+}
+
+impl<W: Write> std::fmt::Debug for TraceWriter<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceWriter")
+            .field("records", &self.records)
+            .field("chunks", &self.chunks)
+            .field("file_bytes", &self.file_bytes)
+            .field("finished", &self.finished)
+            .finish()
+    }
+}

@@ -1,0 +1,217 @@
+//! Property tests for the `.agtrace` codec layer, driven by a seeded
+//! XorShift64 generator (no external property-testing crate — the
+//! workspace is offline by design).
+//!
+//! Each test runs thousands of randomized cases mixed with deliberate
+//! boundary values (`0`, `u64::MAX`, varint byte-width edges), so a
+//! regression in varint, zigzag, or record delta coding fails loudly and
+//! reproducibly: every assertion carries the seed that produced it.
+
+use agave_replay::codec::{get_varint, put_varint, unzigzag, zigzag, CoderState};
+use agave_trace::{NameId, Pid, RefKind, Reference, Tid};
+
+/// The classic xorshift64 generator — deterministic, seedable, and more
+/// than random enough to exercise codec branches.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// A u64 with a uniformly random *bit width* — small values are as
+    /// likely as huge ones, so every varint length gets exercised.
+    fn next_spread(&mut self) -> u64 {
+        let bits = self.next() % 65;
+        if bits == 0 {
+            0
+        } else {
+            self.next() >> (64 - bits)
+        }
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.next() % 100 < percent
+    }
+}
+
+/// Hand-picked values sitting on every varint length boundary plus the
+/// u64 extremes the zigzag-delta path must round-trip.
+const BOUNDARY: &[u64] = &[
+    0,
+    1,
+    0x7f,
+    0x80,
+    0x3fff,
+    0x4000,
+    0x001f_ffff,
+    0x0020_0000,
+    u32::MAX as u64,
+    u32::MAX as u64 + 1,
+    i64::MAX as u64,
+    i64::MAX as u64 + 1,
+    u64::MAX - 1,
+    u64::MAX,
+];
+
+#[test]
+fn varint_round_trips_random_and_boundary_values() {
+    let mut rng = XorShift64::new(0x5eed_0001);
+    let mut values: Vec<u64> = BOUNDARY.to_vec();
+    values.extend((0..10_000).map(|_| rng.next_spread()));
+
+    let mut buf = Vec::new();
+    for &v in &values {
+        put_varint(&mut buf, v);
+    }
+    let mut pos = 0;
+    for &v in &values {
+        assert_eq!(get_varint(&buf, &mut pos), Some(v), "value {v:#x}");
+    }
+    assert_eq!(
+        pos,
+        buf.len(),
+        "decoder must consume exactly what was written"
+    );
+}
+
+#[test]
+fn varint_decode_never_reads_past_truncation() {
+    let mut rng = XorShift64::new(0x5eed_0002);
+    for _ in 0..2_000 {
+        let v = rng.next_spread();
+        let mut buf = Vec::new();
+        put_varint(&mut buf, v);
+        // Every proper prefix must decode to None without panicking.
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(
+                get_varint(&buf[..cut], &mut pos),
+                None,
+                "prefix of len {cut} for {v:#x} must be rejected"
+            );
+        }
+    }
+}
+
+#[test]
+fn zigzag_round_trips_random_and_boundary_values() {
+    let mut rng = XorShift64::new(0x5eed_0003);
+    for &v in BOUNDARY {
+        // Every u64 is some zigzag output; unzigzag∘zigzag must be id.
+        assert_eq!(zigzag(unzigzag(v)), v, "u64 {v:#x}");
+    }
+    for v in [0i64, 1, -1, i64::MAX, i64::MIN] {
+        assert_eq!(unzigzag(zigzag(v)), v, "i64 {v}");
+    }
+    for _ in 0..10_000 {
+        let v = rng.next_spread() as i64;
+        assert_eq!(unzigzag(zigzag(v)), v, "i64 {v}");
+    }
+}
+
+/// Generates a stream shaped like real tracer output — runs of one
+/// `(pid, tid, region)` key, frequent exact-continuation addresses —
+/// salted with adversarial jumps to and from `u64` boundary addresses.
+fn random_stream(rng: &mut XorShift64, len: usize) -> Vec<Reference> {
+    let mut refs = Vec::with_capacity(len);
+    let (mut pid, mut tid, mut region) = (1u32, 1u32, 0u32);
+    let mut next_addr = 0x4000_0000u64;
+    for _ in 0..len {
+        if rng.chance(15) {
+            pid = (rng.next() % 40) as u32;
+            tid = (rng.next() % 200) as u32;
+            region = (rng.next() % 30) as u32;
+        }
+        let addr = if rng.chance(60) {
+            next_addr
+        } else if rng.chance(10) {
+            BOUNDARY[(rng.next() as usize) % BOUNDARY.len()]
+        } else {
+            rng.next_spread()
+        };
+        let words = if rng.chance(40) {
+            1
+        } else if rng.chance(5) {
+            rng.next_spread()
+        } else {
+            1 + rng.next() % 64
+        };
+        let kind = match rng.next() % 3 {
+            0 => RefKind::InstrFetch,
+            1 => RefKind::DataRead,
+            _ => RefKind::DataWrite,
+        };
+        next_addr = addr.wrapping_add(words.wrapping_mul(4));
+        refs.push(Reference {
+            pid: Pid::from_raw(pid),
+            tid: Tid::from_raw(tid),
+            region: NameId::from_raw(region),
+            kind,
+            addr,
+            words,
+        });
+    }
+    refs
+}
+
+#[test]
+fn record_coding_round_trips_randomized_streams() {
+    for seed in 1..=25u64 {
+        let mut rng = XorShift64::new(0x5eed_1000 + seed);
+        let refs = random_stream(&mut rng, 2_000);
+        let mut buf = Vec::new();
+        let mut enc = CoderState::new();
+        for r in &refs {
+            enc.encode(r, &mut buf);
+        }
+        let mut dec = CoderState::new();
+        let mut pos = 0;
+        for (i, r) in refs.iter().enumerate() {
+            assert_eq!(
+                dec.decode(&buf, &mut pos).as_ref(),
+                Some(r),
+                "seed {seed}, record {i}"
+            );
+        }
+        assert_eq!(pos, buf.len(), "seed {seed}: trailing bytes after decode");
+    }
+}
+
+#[test]
+fn record_decoding_rejects_every_truncation_point() {
+    let mut rng = XorShift64::new(0x5eed_2000);
+    let refs = random_stream(&mut rng, 64);
+    let mut buf = Vec::new();
+    let mut enc = CoderState::new();
+    for r in &refs {
+        enc.encode(r, &mut buf);
+    }
+    // Decoding a truncated buffer must stop with None exactly at (or
+    // before) the cut — never panic, never fabricate a record beyond it.
+    for cut in 0..buf.len() {
+        let mut dec = CoderState::new();
+        let mut pos = 0;
+        let mut decoded = 0usize;
+        while pos < cut {
+            match dec.decode(&buf[..cut], &mut pos) {
+                Some(_) => decoded += 1,
+                None => break,
+            }
+        }
+        assert!(
+            decoded <= refs.len(),
+            "cut {cut}: decoded more records than were encoded"
+        );
+        assert!(pos <= cut, "cut {cut}: decoder read past the truncation");
+    }
+}

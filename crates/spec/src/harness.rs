@@ -1,7 +1,7 @@
 //! The single-process SPEC run harness.
 
 use agave_kernel::{Actor, Ctx, Kernel, Message};
-use agave_trace::{NameDirectory, RunSummary, SharedSink};
+use agave_trace::{CounterSnapshot, NameDirectory, RunSummary, SharedSink};
 
 /// The six modeled SPEC CPU2006 programs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -139,11 +139,27 @@ pub fn execute_spec(
     config: SpecConfig,
     sinks: Vec<SharedSink>,
 ) -> (RunSummary, NameDirectory) {
+    let (summary, directory, _) = execute_spec_traced(program, config, sinks);
+    (summary, directory)
+}
+
+/// [`execute_spec`] plus the boot-baseline [`CounterSnapshot`].
+///
+/// SPEC worlds attach sinks to a freshly built kernel, so the snapshot
+/// is normally empty — it exists for symmetry with
+/// `execute_app_traced`, keeping the `agave-replay` record path
+/// world-agnostic.
+pub fn execute_spec_traced(
+    program: SpecProgram,
+    config: SpecConfig,
+    sinks: Vec<SharedSink>,
+) -> (RunSummary, NameDirectory, CounterSnapshot) {
     let started = std::time::Instant::now();
     let mut kernel = Kernel::new();
     for sink in sinks {
         kernel.attach_sink(sink);
     }
+    let baseline = kernel.tracer().counter_snapshot();
     // Register the benchmark's input file(s).
     kernel.vfs_mut().add_file(
         "/spec/input.dat",
@@ -165,7 +181,7 @@ pub fn execute_spec(
     let mut summary = kernel.tracer().summarize(program.label());
     let directory = kernel.tracer().name_directory();
     summary.wall_time_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-    (summary, directory)
+    (summary, directory, baseline)
 }
 
 #[cfg(test)]

@@ -37,4 +37,6 @@ mod sjeng;
 mod specrand;
 
 pub use bzip2::{bw_transform, bw_untransform, huffman_roundtrip, mtf_decode, mtf_encode};
-pub use harness::{execute_spec, run_spec, spec_programs, SpecConfig, SpecProgram};
+pub use harness::{
+    execute_spec, execute_spec_traced, run_spec, spec_programs, SpecConfig, SpecProgram,
+};

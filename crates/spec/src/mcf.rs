@@ -191,7 +191,7 @@ mod tests {
         add(&mut graph, 2, 3, 1, 5);
         let (flow, cost) = min_cost_flow(&mut graph, 0, 3, |_| {});
         assert_eq!(flow, 3);
-        assert_eq!(cost, 2 * 2 + 1 * 10);
+        assert_eq!(cost, 2 * 2 + 10);
     }
 
     #[test]
@@ -209,12 +209,11 @@ mod tests {
         let (mut g, s, t) = build_network(45);
         min_cost_flow(&mut g, s, t, |_| {});
         // Net flow at interior nodes is zero.
-        let n = g.len();
-        for v in 0..n {
+        for (v, arcs) in g.iter().enumerate() {
             if v == s || v == t {
                 continue;
             }
-            let net: i64 = g[v].iter().map(|a| a.flow).sum();
+            let net: i64 = arcs.iter().map(|a| a.flow).sum();
             assert_eq!(net, 0, "node {v} violates conservation");
         }
     }

@@ -18,7 +18,7 @@ pub enum Dimension {
 }
 
 impl Dimension {
-    fn map<'a>(self, s: &'a RunSummary) -> &'a BTreeMap<String, u64> {
+    fn map(self, s: &RunSummary) -> &BTreeMap<String, u64> {
         match self {
             Dimension::InstrByRegion => &s.instr_by_region,
             Dimension::DataByRegion => &s.data_by_region,

@@ -32,6 +32,16 @@ impl NameId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Reconstructs an id from its raw index (e.g. after trace-file
+    /// transport).
+    ///
+    /// Only meaningful for values previously obtained from
+    /// [`NameId::index`] on an id issued by the same table (or a table
+    /// rebuilt in the same order, as `NameDirectory::from_parts` does).
+    pub fn from_raw(value: u32) -> Self {
+        NameId(value)
+    }
 }
 
 impl fmt::Display for NameId {

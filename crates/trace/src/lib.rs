@@ -47,6 +47,6 @@ pub use figure::{FigureTable, TableOne, TableOneRow};
 pub use intern::{NameId, NameTable};
 pub use kind::RefKind;
 pub use rng::XorShift64;
-pub use sink::{NameDirectory, Reference, ReferenceSink, SharedSink};
+pub use sink::{NameDirectory, Reference, ReferenceSink, SharedSink, ThreadRecord};
 pub use summary::{Breakdown, RunSummary};
-pub use tracer::{Pid, Tid, Tracer};
+pub use tracer::{CounterSnapshot, Pid, SnapshotEntry, Tid, Tracer};

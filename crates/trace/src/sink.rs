@@ -139,17 +139,54 @@ pub trait ReferenceSink {
 /// ```
 pub type SharedSink = Rc<RefCell<dyn ReferenceSink>>;
 
-/// A snapshot of a tracer's name and process tables, for resolving
-/// [`Reference`] ids after the simulated world (and its tracer) is gone.
+/// One thread's row in a [`NameDirectory`]: its owning process, its
+/// registered name, and its canonical (Table-I family) name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadRecord {
+    /// The process the thread belongs to.
+    pub pid: Pid,
+    /// The thread's registered name.
+    pub name: NameId,
+    /// The thread's canonical (Table-I family) name.
+    pub canonical: NameId,
+}
+
+/// A snapshot of a tracer's name, process and thread tables, for
+/// resolving [`Reference`] ids after the simulated world (and its
+/// tracer) is gone — and for rebuilding [`crate::RunSummary`]s from a
+/// captured reference stream (`agave-replay`).
 ///
-/// Produced by [`crate::Tracer::name_directory`].
+/// Produced by [`crate::Tracer::name_directory`]; reconstructed from an
+/// on-disk trace with [`NameDirectory::from_parts`].
 #[derive(Debug, Clone)]
 pub struct NameDirectory {
     pub(crate) names: crate::intern::NameTable,
     pub(crate) proc_names: Vec<NameId>,
+    pub(crate) threads: Vec<ThreadRecord>,
 }
 
 impl NameDirectory {
+    /// Rebuilds a directory from serialized parts (a trace file footer).
+    ///
+    /// `names` must be in interning order — ids are reassigned densely,
+    /// so a round trip through [`NameDirectory::names`] preserves every
+    /// [`NameId`].
+    pub fn from_parts<'a>(
+        names: impl IntoIterator<Item = &'a str>,
+        proc_names: Vec<NameId>,
+        threads: Vec<ThreadRecord>,
+    ) -> Self {
+        let mut table = crate::intern::NameTable::new();
+        for name in names {
+            table.intern(name);
+        }
+        NameDirectory {
+            names: table,
+            proc_names,
+            threads,
+        }
+    }
+
     /// Resolves a region (or any interned) id.
     pub fn region(&self, id: NameId) -> &str {
         self.names.resolve(id)
@@ -163,6 +200,37 @@ impl NameDirectory {
     /// Number of registered processes.
     pub fn process_count(&self) -> usize {
         self.proc_names.len()
+    }
+
+    /// The interned-name id of a process's registered name.
+    pub fn process_name_id(&self, pid: Pid) -> NameId {
+        self.proc_names[pid.as_u32() as usize]
+    }
+
+    /// Number of registered threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// A thread's directory row (owning pid, name, canonical name).
+    pub fn thread(&self, tid: Tid) -> ThreadRecord {
+        self.threads[tid.as_u32() as usize]
+    }
+
+    /// The process a thread belongs to.
+    pub fn thread_pid(&self, tid: Tid) -> Pid {
+        self.threads[tid.as_u32() as usize].pid
+    }
+
+    /// A thread's canonical (Table-I family) name.
+    pub fn thread_canonical(&self, tid: Tid) -> &str {
+        self.names
+            .resolve(self.threads[tid.as_u32() as usize].canonical)
+    }
+
+    /// The full intern table, in interning order.
+    pub fn names(&self) -> &crate::intern::NameTable {
+        &self.names
     }
 }
 

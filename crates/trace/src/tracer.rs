@@ -4,7 +4,7 @@
 use crate::canon::canonical_thread_name;
 use crate::intern::{NameId, NameTable};
 use crate::kind::RefKind;
-use crate::sink::{NameDirectory, Reference, SharedSink};
+use crate::sink::{NameDirectory, Reference, SharedSink, ThreadRecord};
 use crate::summary::RunSummary;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -90,6 +90,36 @@ struct ThreadEntry {
 }
 
 type Key = (Tid, NameId);
+
+/// One nonzero `(thread, region)` counter row in a [`CounterSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    /// The charged thread.
+    pub tid: Tid,
+    /// The charged VMA region.
+    pub region: NameId,
+    /// Reference counts indexed by [`RefKind::index`].
+    pub counts: [u64; 3],
+}
+
+/// A point-in-time copy of a tracer's per-(thread, region) counters.
+///
+/// Produced by [`Tracer::counter_snapshot`]. The trace recorder stores
+/// the snapshot taken at sink-attach time in the `.agtrace` footer as the
+/// pre-attach (boot) baseline; replay adds the recorded stream on top to
+/// reconstruct the exact end-of-run counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Nonzero counter rows, in slot-creation (first-charge) order.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl CounterSnapshot {
+    /// `true` if nothing had been charged when the snapshot was taken.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
 
 /// Sentinel for an empty cell in the dense `tid × region` slot table.
 const NO_SLOT: u32 = u32::MAX;
@@ -261,12 +291,44 @@ impl Tracer {
         self.batch.clear();
     }
 
-    /// Snapshots the name and process tables for resolving ids after this
-    /// tracer (and the simulated world owning it) is dropped.
+    /// Snapshots the name, process and thread tables for resolving ids
+    /// after this tracer (and the simulated world owning it) is dropped.
     pub fn name_directory(&self) -> NameDirectory {
         NameDirectory {
             names: self.names.clone(),
             proc_names: self.procs.iter().map(|p| p.name).collect(),
+            threads: self
+                .threads
+                .iter()
+                .map(|t| ThreadRecord {
+                    pid: t.pid,
+                    name: t.name,
+                    canonical: t.canonical,
+                })
+                .collect(),
+        }
+    }
+
+    /// Snapshots every per-(thread, region) counter accumulated so far.
+    ///
+    /// The trace recorder calls this at sink-attach time: charges from
+    /// before the attach (world boot) never reach the sink stream, so the
+    /// snapshot is exactly the correction term that makes
+    /// `snapshot + recorded stream = final counters`, which is what lets
+    /// `agave-replay` rebuild a byte-identical [`RunSummary`] from a file.
+    pub fn counter_snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            entries: self
+                .slot_keys
+                .iter()
+                .zip(&self.counters)
+                .filter(|(_, counts)| counts.iter().any(|&c| c > 0))
+                .map(|(&(tid, region), &counts)| SnapshotEntry {
+                    tid,
+                    region,
+                    counts,
+                })
+                .collect(),
         }
     }
 

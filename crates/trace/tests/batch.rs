@@ -38,7 +38,7 @@ fn drive(tracer: &mut Tracer, flush_each: bool) {
     let t1 = tracer.register_thread(pid, "Binder_1");
     let code = tracer.intern_region("libdvm.so");
     let heap = tracer.intern_region("dalvik-heap");
-    let mut rng = XorShift64::new(0xBA7C_4ED);
+    let mut rng = XorShift64::new(0x0BA7_C4ED);
     for i in 0..4_000u64 {
         let tid = if rng.below(3) == 0 { t1 } else { t0 };
         match rng.below(4) {
@@ -81,7 +81,7 @@ fn batched_stream_is_identical_to_unbatched() {
     // The same stream really took the two different delivery shapes:
     // full batches on one side, per-charge chunks on the other.
     assert!(
-        batched_lens.iter().any(|&l| l == Tracer::SINK_BATCH),
+        batched_lens.contains(&Tracer::SINK_BATCH),
         "expected at least one full batch, got lens {batched_lens:?}"
     );
     assert!(unbatched_lens.iter().all(|&l| l < Tracer::SINK_BATCH));

@@ -56,7 +56,7 @@ fn main() {
     let left = profile(&a);
     let right = profile(&b);
     let width = left.iter().map(String::len).max().unwrap_or(0).max(44);
-    println!("{:width$}   | {}", "ANDROID", "SPEC");
+    println!("{:width$}   | SPEC", "ANDROID");
     println!("{}", "-".repeat(width * 2 + 5));
     for i in 0..left.len().max(right.len()) {
         let l = left.get(i).map(String::as_str).unwrap_or("");

@@ -1,0 +1,128 @@
+//! End-to-end contract of the `agave-replay` subsystem: a recorded
+//! `.agtrace` file replays into **byte-identical** analysis output —
+//! the same `RunSummary` JSON and the same `CacheReport` the live run
+//! produces — and corrupt or truncated files fail with a descriptive
+//! error instead of being silently misread.
+
+use agave_core::{
+    engine, record, run_workload_with_cache, AppId, HierarchyGeometry, SpecProgram, SuiteConfig,
+    Workload,
+};
+use agave_replay::TraceError;
+use std::path::PathBuf;
+
+fn quick() -> SuiteConfig {
+    SuiteConfig::quick()
+}
+
+fn temp_trace(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "agave-roundtrip-{}-{name}.agtrace",
+        std::process::id()
+    ));
+    p
+}
+
+/// Records `workload`, replays it, and checks both analysis paths are
+/// byte-identical to the live run. Returns the trace bytes for reuse.
+fn assert_round_trip(workload: Workload, name: &str) -> Vec<u8> {
+    let path = temp_trace(name);
+    let config = quick();
+
+    let stats = record::record_workload(workload, &config, &path).expect("record");
+    assert!(stats.records > 0, "{name}: empty recording");
+    assert!(
+        stats.bytes_per_record() < 8.0,
+        "{name}: {:.2} bytes/record exceeds the compression budget",
+        stats.bytes_per_record()
+    );
+
+    // Summary path: identical struct (wall time excluded by PartialEq)
+    // and identical serialized JSON.
+    let live = engine::run(workload, &config).summary;
+    let replayed = record::replay_trace_summary(&path).expect("replay summary");
+    assert_eq!(replayed, live, "{name}: replayed summary diverges");
+    assert_eq!(
+        replayed.to_json(),
+        live.to_json(),
+        "{name}: summary JSON is not byte-identical"
+    );
+
+    // Cache path: the recorded stream drives a fresh hierarchy to the
+    // same report the live run produces, without re-simulating.
+    let geometry = HierarchyGeometry::cortex_a9();
+    let live_cache = run_workload_with_cache(workload, &config, geometry);
+    let replayed_cache = record::replay_trace_cache(&path, geometry).expect("replay cache");
+    assert_eq!(
+        replayed_cache.to_json(),
+        live_cache.to_json(),
+        "{name}: cache report JSON is not byte-identical"
+    );
+
+    let bytes = std::fs::read(&path).expect("read trace back");
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+#[test]
+fn app_workload_round_trips_byte_identically() {
+    // A full Android app run: boot traffic lands in the baseline
+    // snapshot, dozens of regions/threads stress the directory tables.
+    assert_round_trip(Workload::Agave(AppId::GalleryMp4View), "gallery");
+}
+
+#[test]
+fn spec_workload_round_trips_byte_identically() {
+    assert_round_trip(Workload::Spec(SpecProgram::Mcf), "mcf");
+}
+
+#[test]
+fn corrupted_chunk_is_reported_not_misread() {
+    let bytes = assert_round_trip(Workload::Spec(SpecProgram::Specrand), "corrupt-src");
+
+    // Flip one byte in the middle of the stream — inside a record chunk
+    // or its checksum, past the header.
+    let mut corrupt = bytes.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x40;
+    let path = temp_trace("corrupt");
+    std::fs::write(&path, &corrupt).unwrap();
+    let err = record::replay_trace_summary(&path).expect_err("corruption must be detected");
+    match &err {
+        TraceError::Corrupt { what, .. } => {
+            assert!(!what.is_empty(), "corruption error must say what broke")
+        }
+        other => panic!("expected TraceError::Corrupt, got {other:?}"),
+    }
+    // The message is user-facing: it should render without panicking.
+    assert!(!err.to_string().is_empty());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_file_is_reported_not_misread() {
+    let bytes = assert_round_trip(Workload::Spec(SpecProgram::Specrand), "trunc-src");
+    for cut in [bytes.len() / 3, bytes.len() - 3] {
+        let path = temp_trace(&format!("trunc-{cut}"));
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let err = record::replay_trace_summary(&path).expect_err("truncation must be detected");
+        assert!(
+            matches!(err, TraceError::Corrupt { .. }),
+            "cut at {cut}: expected Corrupt, got {err:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn non_trace_file_is_rejected_on_open() {
+    let path = temp_trace("not-a-trace");
+    std::fs::write(&path, b"definitely not an agtrace file").unwrap();
+    let err = record::replay_trace_summary(&path).expect_err("bad magic must be rejected");
+    assert!(
+        matches!(err, TraceError::NotATrace),
+        "expected NotATrace, got {err:?}"
+    );
+    std::fs::remove_file(&path).ok();
+}
