@@ -176,7 +176,10 @@ pub fn execute_app_traced(
     sinks: Vec<SharedSink>,
 ) -> (RunSummary, NameDirectory, CounterSnapshot) {
     let started = std::time::Instant::now();
-    let mut android = Android::boot(DisplayConfig::wvga().scaled(config.display_scale));
+    let mut android = {
+        let _boot = agave_telemetry::Span::enter_labeled("boot", id.label());
+        Android::boot(DisplayConfig::wvga().scaled(config.display_scale))
+    };
     for sink in sinks {
         android.kernel.attach_sink(sink);
     }
@@ -187,7 +190,10 @@ pub fn execute_app_traced(
     android.run_ms(config.duration_ms);
     // Drain the batched reference stream so sinks are complete before
     // their consumers harvest reports.
-    android.kernel.tracer_mut().flush_sinks();
+    {
+        let _flush = agave_telemetry::Span::enter_labeled("sink flush", id.label());
+        android.kernel.tracer_mut().flush_sinks();
+    }
     let mut summary = android.kernel.tracer().summarize(id.label());
     let directory = android.kernel.tracer().name_directory();
     summary.wall_time_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);

@@ -1,0 +1,154 @@
+//! Telemetry overhead gate, with a machine-readable
+//! `BENCH_telemetry.json` report (path overridable via
+//! `AGAVE_BENCH_JSON`) for CI artifact upload.
+//!
+//! Telemetry's contract has two halves, and this target asserts both
+//! (exiting nonzero on violation, so CI can gate on it):
+//!
+//! 1. **Disabled cost < 2%.** When no `--telemetry` flag is given, the
+//!    only cost telemetry adds to a run is one relaxed atomic load +
+//!    branch per *batch-granular* gate (sink flush, hierarchy batch,
+//!    writer batch) plus a handful of span-constructor gates. The bench
+//!    counts those gates for a real workload, calibrates the cost of
+//!    one gate check directly, and asserts
+//!    `gates x per_gate_ns / run_ns < 2%`. This bounds the disabled
+//!    overhead structurally instead of trying to resolve a sub-noise
+//!    delta between two timed runs.
+//! 2. **Byte identity.** Enabling telemetry must not change analysis
+//!    output: the suite summaries' JSON with telemetry on equals the
+//!    JSON with it off, byte for byte.
+
+use agave_bench::{Group, HotpathReport};
+use agave_core::engine::{self, EngineConfig};
+use agave_core::{AppId, SpecProgram, Workload};
+use agave_trace::{Reference, ReferenceSink};
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Counts delivered reference blocks and batches (one batch = one
+/// disabled-path gate check in the instrumented sinks).
+#[derive(Default)]
+struct CountingSink {
+    blocks: u64,
+    batches: u64,
+}
+
+impl ReferenceSink for CountingSink {
+    fn on_reference(&mut self, r: &Reference) {
+        let _ = r;
+        self.blocks += 1;
+    }
+
+    fn on_batch(&mut self, batch: &[Reference]) {
+        self.blocks += batch.len() as u64;
+        self.batches += 1;
+    }
+}
+
+/// Times one `agave_telemetry::enabled()` gate check (load + branch),
+/// amortized over a large loop.
+fn calibrate_gate_ns() -> f64 {
+    const ITERS: u64 = 20_000_000;
+    let started = Instant::now();
+    let mut hits = 0u64;
+    for _ in 0..ITERS {
+        if black_box(agave_telemetry::enabled()) {
+            hits += 1;
+        }
+    }
+    black_box(hits);
+    started.elapsed().as_nanos() as f64 / ITERS as f64
+}
+
+fn suite_json(workloads: &[Workload], config: &EngineConfig) -> String {
+    engine::run_suite_parallel(workloads, config, 2)
+        .iter()
+        .map(|o| o.summary.to_json())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() {
+    let config = EngineConfig::quick();
+    let workload = Workload::Agave(AppId::CountdownMain);
+    let workloads = [
+        Workload::Agave(AppId::CountdownMain),
+        Workload::Agave(AppId::JetboyMain),
+        Workload::Spec(SpecProgram::Specrand),
+    ];
+
+    // How many batch-granular gate checks one run performs: every sink
+    // batch is one flush_sinks gate; double it to also cover a second
+    // instrumented sink (hierarchy or trace writer), and pad for the
+    // span/heartbeat constructor gates.
+    let counter = Rc::new(RefCell::new(CountingSink::default()));
+    engine::run_observed(workload, &config, vec![counter.clone()]);
+    let blocks = counter.borrow().blocks;
+    let gates = counter.borrow().batches * 2 + 16;
+    println!("stream: {blocks} reference blocks in {} batches", {
+        counter.borrow().batches
+    });
+
+    let mut group = Group::new("telemetry_overhead");
+    let mut report = HotpathReport::named("telemetry");
+
+    assert!(
+        !agave_telemetry::enabled(),
+        "telemetry must start disabled in the bench process"
+    );
+    let disabled = group.bench("run (telemetry disabled)", 10, || {
+        engine::run(workload, &config)
+    });
+    report.record("run_disabled", blocks, &disabled);
+
+    let per_gate_ns = calibrate_gate_ns();
+    let run_ns = disabled.best.as_nanos() as f64;
+    let overhead_pct = gates as f64 * per_gate_ns / run_ns * 100.0;
+    println!(
+        "disabled gate cost: {gates} gates x {per_gate_ns:.2} ns / {:.2} ms run = {overhead_pct:.4}%",
+        run_ns / 1e6
+    );
+
+    // Byte identity: the same suite subset, telemetry off vs on. The
+    // capture itself goes to a separate file/stderr, never stdout JSON.
+    let json_off = suite_json(&workloads, &config);
+    agave_telemetry::set_enabled(true);
+    let enabled = group.bench("run (telemetry enabled)", 10, || {
+        engine::run(workload, &config)
+    });
+    report.record("run_enabled", blocks, &enabled);
+    let json_on = suite_json(&workloads, &config);
+    agave_telemetry::set_enabled(false);
+    let snapshot = agave_telemetry::capture();
+    println!(
+        "enabled capture: {} spans, {} counters, {} histograms",
+        snapshot.spans.len(),
+        snapshot.metrics.counters.len(),
+        snapshot.metrics.histograms.len()
+    );
+
+    let mut row = agave_trace::json::Object::new();
+    row.field_str("path", "disabled_gate_overhead")
+        .field_u64("gates", gates)
+        .field_f64("per_gate_ns", per_gate_ns)
+        .field_u64("run_best_ns", disabled.best.as_nanos() as u64)
+        .field_f64("overhead_pct", overhead_pct);
+    report.push_raw(row.finish());
+
+    match report.write() {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write telemetry report: {e}"),
+    }
+
+    assert_eq!(
+        json_off, json_on,
+        "enabling telemetry changed analysis output"
+    );
+    assert!(
+        overhead_pct < 2.0,
+        "disabled-path telemetry overhead {overhead_pct:.4}% exceeds the 2% budget"
+    );
+    println!("telemetry overhead gate: OK ({overhead_pct:.4}% < 2%)");
+}

@@ -139,6 +139,22 @@ impl Sample {
     }
 }
 
+/// The `BENCH_*.json` document schema version, bumped when field
+/// meanings change. Emitted by every report that goes through
+/// [`write_bench_json`].
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// The single `BENCH_*.json` emission point: writes `json` (one
+/// document, newline-terminated) to `AGAVE_BENCH_JSON` if set, else
+/// `BENCH_<suite>.json`, and returns the path written. Every bench
+/// target's machine-readable output goes through here so CI artifact
+/// globs and schema versioning stay in one place.
+pub fn write_bench_json(suite: &str, json: &str) -> std::io::Result<String> {
+    let path = std::env::var("AGAVE_BENCH_JSON").unwrap_or_else(|_| format!("BENCH_{suite}.json"));
+    std::fs::write(&path, format!("{json}\n"))?;
+    Ok(path)
+}
+
 /// A machine-readable throughput report, written as `BENCH_<suite>.json`
 /// by its bench target (path overridable via `AGAVE_BENCH_JSON`) and
 /// uploaded as a CI artifact. The `hotpath` and `replay_throughput`
@@ -186,20 +202,19 @@ impl HotpathReport {
     /// Renders the report as a JSON document.
     pub fn to_json(&self) -> String {
         let mut obj = agave_trace::json::Object::new();
-        obj.field_str("suite", &self.suite).field_raw(
-            "paths",
-            &agave_trace::json::array(self.lines.iter().cloned()),
-        );
+        obj.field_u64("schema_version", BENCH_SCHEMA_VERSION)
+            .field_str("suite", &self.suite)
+            .field_raw(
+                "paths",
+                &agave_trace::json::array(self.lines.iter().cloned()),
+            );
         obj.finish()
     }
 
-    /// Writes the report to `AGAVE_BENCH_JSON` (default
-    /// `BENCH_<suite>.json`) and returns the path written.
+    /// Writes the report via [`write_bench_json`] and returns the path
+    /// written.
     pub fn write(&self) -> std::io::Result<String> {
-        let path = std::env::var("AGAVE_BENCH_JSON")
-            .unwrap_or_else(|_| format!("BENCH_{}.json", self.suite));
-        std::fs::write(&path, self.to_json() + "\n")?;
-        Ok(path)
+        write_bench_json(&self.suite, &self.to_json())
     }
 }
 

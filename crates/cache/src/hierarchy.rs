@@ -287,6 +287,44 @@ impl ReferenceSink for MemoryHierarchy {
             self.totals[l2].misses += l2_misses;
         }
     }
+
+    fn on_batch(&mut self, batch: &[Reference]) {
+        // One telemetry check per 1024-block batch; the per-reference
+        // walk above stays untouched either way.
+        if !agave_telemetry::enabled() {
+            for r in batch {
+                self.on_reference(r);
+            }
+            return;
+        }
+        use agave_telemetry::metrics::{Counter, Histogram};
+        use std::sync::OnceLock;
+        static WALK_NS: OnceLock<&'static Counter> = OnceLock::new();
+        static WALK_BLOCKS: OnceLock<&'static Counter> = OnceLock::new();
+        static BATCH_WALK_NS: OnceLock<&'static Histogram> = OnceLock::new();
+        static BATCH_L1_MISSES: OnceLock<&'static Histogram> = OnceLock::new();
+        let miss_before =
+            self.totals[Level::L1i.index()].misses + self.totals[Level::L1d.index()].misses;
+        let start = std::time::Instant::now();
+        for r in batch {
+            self.on_reference(r);
+        }
+        let ns = start.elapsed().as_nanos() as u64;
+        let miss_after =
+            self.totals[Level::L1i.index()].misses + self.totals[Level::L1d.index()].misses;
+        WALK_NS
+            .get_or_init(|| agave_telemetry::metrics::counter("cache.walk_ns"))
+            .add(ns);
+        WALK_BLOCKS
+            .get_or_init(|| agave_telemetry::metrics::counter("cache.walk_blocks"))
+            .add(batch.len() as u64);
+        BATCH_WALK_NS
+            .get_or_init(|| agave_telemetry::metrics::histogram("cache.batch_walk_ns"))
+            .record(ns);
+        BATCH_L1_MISSES
+            .get_or_init(|| agave_telemetry::metrics::histogram("cache.batch_l1_misses"))
+            .record(miss_after - miss_before);
+    }
 }
 
 #[cfg(test)]

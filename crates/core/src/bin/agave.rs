@@ -10,6 +10,7 @@
 //! agave record <label> [-o F]           # capture the reference stream to .agtrace
 //! agave record --all [--dir D] [--jobs N]      # record the whole suite
 //! agave replay <F> [--cache P|--summary]       # re-run analyses off a trace file
+//! agave stats <telemetry.json>          # span tree + metric tables from a capture
 //! ```
 //!
 //! `--jobs N` fans the mutually independent workloads out across N
@@ -17,6 +18,13 @@
 //! byte-identical for any N; only wall time changes. Replay output is
 //! byte-identical to the live run that recorded the trace (wall-time
 //! fields excepted — the simulation never re-runs).
+//!
+//! `--telemetry FILE` (on run/suite/claims/cache/record/replay) turns
+//! the self-profiler on: spans, metrics, and live heartbeats. The
+//! capture lands in FILE as versioned JSON (Perfetto-loadable; see
+//! `--telemetry-format`), and analysis output on stdout stays
+//! byte-identical — telemetry only ever writes to its own file and
+//! stderr.
 
 use agave_core::{
     all_workloads, engine, experiments_markdown, record, run_workload_with_cache, Experiments,
@@ -33,9 +41,12 @@ fn usage() -> ! {
          agave cache --fig5 [--preset NAME] [--quick] [--json] [--jobs N]\n  \
          agave record <workload> [-o FILE] [--quick]\n  \
          agave record --all [--dir DIR] [--quick] [--jobs N]\n  \
-         agave replay <file.agtrace> [--summary] [--cache PRESET] [--json] [--top N]\n\
+         agave replay <file.agtrace> [--summary] [--cache PRESET] [--json] [--top N]\n  \
+         agave stats <telemetry.json>\n\
          presets: {}\n\
-         --jobs N: run workloads on N threads (0 = one per CPU; default 1)",
+         --jobs N: run workloads on N threads (0 = one per CPU; default 1)\n\
+         --telemetry FILE: capture spans+metrics to FILE (any verb that runs workloads)\n\
+         --telemetry-format json|chrome|prom (default json)",
         agave_core::HierarchyGeometry::PRESET_NAMES.join(", ")
     );
     std::process::exit(2);
@@ -86,6 +97,47 @@ fn bare_arg<'a>(args: &'a [String], value_flags: &[&str]) -> Option<&'a str> {
         .map(|(_, a)| a.as_str())
 }
 
+/// The `--telemetry` output request, parsed once in `main` before
+/// dispatch (so the enable flag is set before any workload runs) and
+/// finished once after.
+struct TelemetryOut {
+    path: Option<String>,
+    format: agave_telemetry::TelemetryFormat,
+}
+
+impl TelemetryOut {
+    fn from_args(args: &[String]) -> TelemetryOut {
+        let path = flag_value(args, "--telemetry").map(str::to_string);
+        let format = flag_value(args, "--telemetry-format")
+            .map(|f| {
+                agave_telemetry::TelemetryFormat::parse(f).unwrap_or_else(|| {
+                    eprintln!("unknown telemetry format {f:?}; use json, chrome, or prom");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(agave_telemetry::TelemetryFormat::Json);
+        if path.is_some() {
+            agave_telemetry::set_enabled(true);
+        }
+        TelemetryOut { path, format }
+    }
+
+    /// Captures and writes the snapshot, if `--telemetry` was given.
+    fn finish(self) {
+        if let Some(path) = self.path {
+            agave_telemetry::set_enabled(false);
+            let snapshot = agave_telemetry::capture();
+            match snapshot.write(Path::new(&path), self.format) {
+                Ok(()) => eprintln!("wrote telemetry to {path}"),
+                Err(err) => {
+                    eprintln!("telemetry: {path}: {err}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}
+
 fn find(label: &str) -> Workload {
     all_workloads()
         .into_iter()
@@ -108,7 +160,8 @@ fn cmd_list() {
 }
 
 fn cmd_run(args: &[String]) {
-    let label = args.first().map(String::as_str).unwrap_or_else(|| usage());
+    let label =
+        bare_arg(args, &["--telemetry", "--telemetry-format", "--jobs"]).unwrap_or_else(|| usage());
     let (config, note) = config(args);
     let summary = engine::run(find(label), &config).summary;
     println!(
@@ -165,7 +218,7 @@ fn print_breakdowns(summary: &RunSummary) {
     }
 }
 
-fn cmd_suite(args: &[String]) {
+fn cmd_suite(args: &[String]) -> i32 {
     let (config, note) = config(args);
     let jobs = jobs(args);
     eprintln!(
@@ -188,7 +241,7 @@ fn cmd_suite(args: &[String]) {
     }
     if args.iter().any(|a| a == "--markdown") {
         println!("{}", experiments_markdown(&experiments, note));
-        return;
+        return 0;
     }
     println!("{}", experiments.figure1().render());
     println!("{}", experiments.figure2().render());
@@ -196,7 +249,11 @@ fn cmd_suite(args: &[String]) {
     println!("{}", experiments.figure4().render());
     println!("{}", experiments.table1_extended(10).render());
     println!("{}", experiments.results().render_timing());
-    print_claims(&experiments);
+    if print_claims(&experiments) {
+        0
+    } else {
+        1
+    }
 }
 
 fn cmd_cache(args: &[String]) {
@@ -233,7 +290,17 @@ fn cmd_cache(args: &[String]) {
     let flag_values: Vec<usize> = args
         .iter()
         .enumerate()
-        .filter(|(_, a)| ["--preset", "--top", "--jobs", "--json"].contains(&a.as_str()))
+        .filter(|(_, a)| {
+            [
+                "--preset",
+                "--top",
+                "--jobs",
+                "--json",
+                "--telemetry",
+                "--telemetry-format",
+            ]
+            .contains(&a.as_str())
+        })
         .map(|(i, _)| i + 1)
         .collect();
     let label = args
@@ -258,14 +325,19 @@ fn cmd_cache(args: &[String]) {
     }
 }
 
-fn cmd_claims(args: &[String]) {
+fn cmd_claims(args: &[String]) -> i32 {
     let (config, note) = config(args);
     eprintln!("running 25 workloads ({note})…");
     let experiments = Experiments::from_config_jobs(&config, jobs(args));
-    print_claims(&experiments);
+    if print_claims(&experiments) {
+        0
+    } else {
+        1
+    }
 }
 
-fn print_claims(experiments: &Experiments) {
+/// Prints the claim checklist; returns `true` when every claim passed.
+fn print_claims(experiments: &Experiments) -> bool {
     let claims = experiments.check_claims();
     let passed = claims.iter().filter(|c| c.pass).count();
     for claim in &claims {
@@ -278,9 +350,7 @@ fn print_claims(experiments: &Experiments) {
         );
     }
     println!("{passed}/{} claims in band", claims.len());
-    if passed < claims.len() {
-        std::process::exit(1);
-    }
+    passed == claims.len()
 }
 
 fn cmd_record(args: &[String]) {
@@ -319,7 +389,18 @@ fn cmd_record(args: &[String]) {
         }
         return;
     }
-    let label = bare_arg(args, &["-o", "--output", "--dir", "--jobs"]).unwrap_or_else(|| usage());
+    let label = bare_arg(
+        args,
+        &[
+            "-o",
+            "--output",
+            "--dir",
+            "--jobs",
+            "--telemetry",
+            "--telemetry-format",
+        ],
+    )
+    .unwrap_or_else(|| usage());
     let workload = find(label);
     let default_out = format!("{label}.agtrace");
     let out = flag_value(args, "-o")
@@ -343,9 +424,19 @@ fn cmd_record(args: &[String]) {
 }
 
 fn cmd_replay(args: &[String]) {
-    let path = bare_arg(args, &["--cache", "--preset", "--top", "--jobs"])
-        .map(Path::new)
-        .unwrap_or_else(|| usage());
+    let path = bare_arg(
+        args,
+        &[
+            "--cache",
+            "--preset",
+            "--top",
+            "--jobs",
+            "--telemetry",
+            "--telemetry-format",
+        ],
+    )
+    .map(Path::new)
+    .unwrap_or_else(|| usage());
     let json = args.iter().any(|a| a == "--json");
     let preset = flag_value(args, "--cache").or_else(|| flag_value(args, "--preset"));
     if let Some(preset) = preset {
@@ -390,16 +481,60 @@ fn cmd_replay(args: &[String]) {
     }
 }
 
+/// Renders a telemetry capture (`agave stats <telemetry.json>`).
+fn cmd_stats(args: &[String]) {
+    let path = bare_arg(args, &[]).unwrap_or_else(|| usage());
+    let doc = std::fs::read_to_string(path).unwrap_or_else(|err| {
+        eprintln!("stats: {path}: {err}");
+        std::process::exit(1);
+    });
+    match agave_telemetry::stats::render_str(&doc) {
+        Ok(text) => print!("{text}"),
+        Err(err) => {
+            eprintln!("stats: {path}: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("list") => cmd_list(),
-        Some("run") => cmd_run(&args[1..]),
+    // Parse --telemetry before dispatch so the enable flag is set before
+    // any workload runs; write the capture after the verb returns.
+    // (Hard-error paths inside the verbs exit directly and drop the
+    // capture — telemetry for a failed run would be misleading anyway.)
+    let telemetry = TelemetryOut::from_args(args.get(1..).unwrap_or(&[]));
+    let code = match args.first().map(String::as_str) {
+        Some("list") => {
+            cmd_list();
+            0
+        }
+        Some("run") => {
+            cmd_run(&args[1..]);
+            0
+        }
         Some("suite") => cmd_suite(&args[1..]),
         Some("claims") => cmd_claims(&args[1..]),
-        Some("cache") => cmd_cache(&args[1..]),
-        Some("record") => cmd_record(&args[1..]),
-        Some("replay") => cmd_replay(&args[1..]),
+        Some("cache") => {
+            cmd_cache(&args[1..]);
+            0
+        }
+        Some("record") => {
+            cmd_record(&args[1..]);
+            0
+        }
+        Some("replay") => {
+            cmd_replay(&args[1..]);
+            0
+        }
+        Some("stats") => {
+            cmd_stats(&args[1..]);
+            0
+        }
         _ => usage(),
+    };
+    telemetry.finish();
+    if code != 0 {
+        std::process::exit(code);
     }
 }

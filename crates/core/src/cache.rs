@@ -29,11 +29,16 @@ pub fn run_workload_with_cache(
     config: &SuiteConfig,
     geometry: HierarchyGeometry,
 ) -> CacheReport {
+    // The walk itself happens inside sink delivery during the run, so
+    // the span covers run + walk; per-batch walk time is broken out by
+    // the `cache.*` metrics the hierarchy records.
+    let mut span = agave_telemetry::Span::enter_labeled("hierarchy walk", workload.label());
     let hierarchy = Rc::new(RefCell::new(MemoryHierarchy::new(geometry)));
     let outcome = engine::run_observed(workload, config, vec![hierarchy.clone()]);
     let report = hierarchy
         .borrow()
         .report(workload.label(), &outcome.directory);
+    span.set_refs(outcome.summary.total_refs());
     report
 }
 

@@ -139,10 +139,29 @@ pub fn run_traced(
     config: &EngineConfig,
     sinks: Vec<SharedSink>,
 ) -> (WorkloadOutcome, CounterSnapshot) {
+    run_traced_ordered(workload, config, sinks, 0)
+}
+
+/// [`run_traced`] with an explicit telemetry sort key: the per-workload
+/// "run" span records `order` so suite span trees sort canonically no
+/// matter which worker claimed which index. Inert when telemetry is off.
+fn run_traced_ordered(
+    workload: Workload,
+    config: &EngineConfig,
+    sinks: Vec<SharedSink>,
+    order: u64,
+) -> (WorkloadOutcome, CounterSnapshot) {
+    let mut span = agave_telemetry::Span::enter_labeled("run", workload.label());
+    span.set_order(order);
+    let started = agave_telemetry::enabled().then(std::time::Instant::now);
     let (summary, directory, baseline) = match workload {
         Workload::Agave(app) => execute_app_traced(app, config.app, sinks),
         Workload::Spec(program) => execute_spec_traced(program, config.spec, sinks),
     };
+    span.set_refs(summary.total_refs());
+    if let Some(started) = started {
+        record_run_metrics(started.elapsed().as_nanos() as u64, summary.total_refs());
+    }
     (
         WorkloadOutcome {
             workload,
@@ -151,6 +170,30 @@ pub fn run_traced(
         },
         baseline,
     )
+}
+
+/// Feeds the `engine.*` metrics after one telemetry-enabled workload
+/// run. Once per workload (never per reference), so the cost is a few
+/// relaxed atomics per run; sink-less paths (`agave run`/`agave suite`)
+/// still get meter readings this way.
+#[cold]
+fn record_run_metrics(wall_ns: u64, refs: u64) {
+    use agave_telemetry::metrics::{Counter, Histogram};
+    use std::sync::OnceLock;
+    static RUNS: OnceLock<&'static Counter> = OnceLock::new();
+    static REFS: OnceLock<&'static Counter> = OnceLock::new();
+    static WALL_NS: OnceLock<&'static Histogram> = OnceLock::new();
+    static RUN_REFS: OnceLock<&'static Histogram> = OnceLock::new();
+    RUNS.get_or_init(|| agave_telemetry::metrics::counter("engine.runs"))
+        .incr();
+    REFS.get_or_init(|| agave_telemetry::metrics::counter("engine.refs"))
+        .add(refs);
+    WALL_NS
+        .get_or_init(|| agave_telemetry::metrics::histogram("engine.run_wall_ns"))
+        .record(wall_ns);
+    RUN_REFS
+        .get_or_init(|| agave_telemetry::metrics::histogram("engine.run_refs"))
+        .record(refs);
 }
 
 /// Runs `workloads` across up to `jobs` worker threads and returns their
@@ -166,7 +209,28 @@ pub fn run_suite_parallel(
     config: &EngineConfig,
     jobs: usize,
 ) -> Vec<WorkloadOutcome> {
-    parallel_map(workloads.len(), jobs, |i| run(workloads[i], config))
+    // Telemetry coordinator state: a "suite" span every worker's spans
+    // nest under, plus the once-a-second stderr heartbeat. Both are
+    // inert (no thread, no clock, no lock) when telemetry is disabled.
+    let mut suite_span = agave_telemetry::Span::enter("suite");
+    let suite_id = suite_span.id();
+    if agave_telemetry::enabled() {
+        agave_telemetry::metrics::gauge("suite.jobs").set(effective_jobs(jobs) as u64);
+    }
+    let heartbeat = agave_telemetry::Heartbeat::start("suite", workloads.len());
+    let outcomes = parallel_map(workloads.len(), jobs, |i| {
+        let _stitch = agave_telemetry::set_thread_parent(suite_id);
+        heartbeat.begin_item(workloads[i].label());
+        let (outcome, _) = run_traced_ordered(workloads[i], config, Vec::new(), i as u64 + 1);
+        heartbeat.finish_item(outcome.summary.total_refs());
+        outcome
+    });
+    suite_span.set_refs(heartbeat.refs());
+    // Close the span before the heartbeat: joining the ticker thread can
+    // wait out its sleep, which is scheduling latency, not suite work.
+    drop(suite_span);
+    heartbeat.finish();
+    outcomes
 }
 
 /// Resolves a `--jobs`-style request: 0 means one per available CPU.

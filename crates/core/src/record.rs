@@ -26,10 +26,12 @@ pub fn record_workload(
     config: &EngineConfig,
     path: &Path,
 ) -> Result<TraceStats, TraceError> {
+    let mut span = agave_telemetry::Span::enter_labeled("record encode", workload.label());
     let writer = Rc::new(RefCell::new(TraceWriter::create(path, workload.label())?));
     let (outcome, baseline) =
         engine::run_traced(workload, config, vec![writer.clone() as SharedSink]);
     let stats = writer.borrow_mut().finish(&outcome.directory, &baseline)?;
+    span.set_refs(stats.words);
     Ok(stats)
 }
 
@@ -53,11 +55,28 @@ pub fn record_suite(
     jobs: usize,
 ) -> Result<Vec<(Workload, Result<TraceStats, TraceError>)>, TraceError> {
     std::fs::create_dir_all(dir)?;
-    Ok(engine::parallel_map(workloads.len(), jobs, |i| {
+    // Same telemetry coordinator shape as `engine::run_suite_parallel`:
+    // workers' spans stitch under one "record suite" span, with a live
+    // heartbeat on stderr. All inert when telemetry is disabled.
+    let mut suite_span = agave_telemetry::Span::enter("record suite");
+    let suite_id = suite_span.id();
+    if agave_telemetry::enabled() {
+        agave_telemetry::metrics::gauge("suite.jobs").set(engine::effective_jobs(jobs) as u64);
+    }
+    let heartbeat = agave_telemetry::Heartbeat::start("record", workloads.len());
+    let rows = engine::parallel_map(workloads.len(), jobs, |i| {
+        let _stitch = agave_telemetry::set_thread_parent(suite_id);
         let workload = workloads[i];
+        heartbeat.begin_item(workload.label());
         let result = record_workload(workload, config, &trace_path(dir, workload));
+        heartbeat.finish_item(result.as_ref().map_or(0, |s| s.words));
         (workload, result)
-    }))
+    });
+    suite_span.set_refs(heartbeat.refs());
+    // Close the span before the heartbeat join (see run_suite_parallel).
+    drop(suite_span);
+    heartbeat.finish();
+    Ok(rows)
 }
 
 /// Replays `path` and rebuilds the recorded run's [`RunSummary`] —
@@ -74,12 +93,17 @@ pub fn replay_trace_cache(
     path: &Path,
     geometry: HierarchyGeometry,
 ) -> Result<CacheReport, TraceError> {
+    // Covers decode + walk; the nested "replay decode" span (opened by
+    // the reader) and the per-batch `cache.*` metrics split the two.
+    let mut span =
+        agave_telemetry::Span::enter_labeled("hierarchy walk", &path.display().to_string());
     let reader = TraceReader::open(path)?;
     let hierarchy = Rc::new(RefCell::new(MemoryHierarchy::new(geometry)));
     let outcome = reader.replay(&[hierarchy.clone() as SharedSink])?;
     let report = hierarchy
         .borrow()
         .report(&outcome.label, &outcome.directory);
+    span.set_refs(outcome.words);
     Ok(report)
 }
 

@@ -89,35 +89,11 @@ impl SuiteResults {
     /// appears in figure or JSON artifacts (see
     /// [`RunSummary::wall_time_ns`]).
     pub fn render_timing(&self) -> String {
-        let mut out = String::from("Per-workload host timing\n");
-        out.push_str(&format!(
-            "{:<22} {:>12} {:>14}\n",
-            "benchmark", "wall ms", "refs/sec"
-        ));
-        let mut total_ns: u64 = 0;
-        let mut total_refs: u64 = 0;
+        let mut table = agave_telemetry::format::TimingTable::new();
         for s in self.agave.iter().chain(self.spec.iter()) {
-            total_ns += s.wall_time_ns;
-            total_refs += s.total_refs();
-            out.push_str(&format!(
-                "{:<22} {:>12.2} {:>14.3e}\n",
-                s.benchmark,
-                s.wall_time_ns as f64 / 1e6,
-                s.refs_per_sec(),
-            ));
+            table.row(&s.benchmark, s.wall_time_ns, s.total_refs());
         }
-        let suite_rate = if total_ns == 0 {
-            0.0
-        } else {
-            total_refs as f64 * 1e9 / total_ns as f64
-        };
-        out.push_str(&format!(
-            "{:<22} {:>12.2} {:>14.3e}  (sum of per-run wall times)\n",
-            "suite total",
-            total_ns as f64 / 1e6,
-            suite_rate,
-        ));
-        out
+        table.render("Per-workload host timing", "suite total")
     }
 
     /// Looks up one workload's summary by its figure label.

@@ -94,6 +94,7 @@ impl<R: Read> TraceReader<R> {
     /// mismatch, malformed records, truncation, a missing directory
     /// footer, or totals that contradict the footer.
     pub fn replay(mut self, sinks: &[SharedSink]) -> Result<ReplayOutcome, TraceError> {
+        let mut span = agave_telemetry::Span::enter_labeled("replay decode", &self.label);
         let mut records: u64 = 0;
         let mut words: u64 = 0;
         let mut max_tid: u64 = 0;
@@ -112,6 +113,8 @@ impl<R: Read> TraceReader<R> {
             };
             match tag {
                 TAG_RECORDS => {
+                    // Telemetry gate once per chunk (thousands of records).
+                    let decode_start = agave_telemetry::enabled().then(std::time::Instant::now);
                     let totals = decode_record_chunk(&payload, chunk_start, &mut batch)?;
                     records += batch.len() as u64;
                     words += totals.words;
@@ -119,6 +122,9 @@ impl<R: Read> TraceReader<R> {
                     max_region = max_region.max(totals.max_region);
                     for sink in sinks {
                         sink.borrow_mut().on_batch(&batch);
+                    }
+                    if let Some(start) = decode_start {
+                        chunk_metrics(start, batch.len() as u64, payload.len() as u64);
                     }
                     batch.clear();
                 }
@@ -150,6 +156,7 @@ impl<R: Read> TraceReader<R> {
                             ),
                         ));
                     }
+                    span.set_refs(words);
                     return Ok(ReplayOutcome {
                         label: self.label,
                         directory: footer.directory,
@@ -200,6 +207,34 @@ impl<R: Read> TraceReader<R> {
         }
         Ok(Some((tag[0], payload)))
     }
+}
+
+/// Telemetry accounting for one decoded-and-delivered records chunk;
+/// only reached when telemetry is enabled.
+fn chunk_metrics(start: std::time::Instant, chunk_records: u64, chunk_bytes: u64) {
+    use agave_telemetry::metrics::{Counter, Histogram};
+    use std::sync::OnceLock;
+    static DECODE_NS: OnceLock<&'static Counter> = OnceLock::new();
+    static DECODE_CHUNKS: OnceLock<&'static Counter> = OnceLock::new();
+    static DECODE_RECORDS: OnceLock<&'static Counter> = OnceLock::new();
+    static CHUNK_BYTES: OnceLock<&'static Histogram> = OnceLock::new();
+    static CHUNK_DECODE_NS: OnceLock<&'static Histogram> = OnceLock::new();
+    let ns = start.elapsed().as_nanos() as u64;
+    DECODE_NS
+        .get_or_init(|| agave_telemetry::metrics::counter("replay.decode_ns"))
+        .add(ns);
+    DECODE_CHUNKS
+        .get_or_init(|| agave_telemetry::metrics::counter("replay.decode_chunks"))
+        .incr();
+    DECODE_RECORDS
+        .get_or_init(|| agave_telemetry::metrics::counter("replay.decode_records"))
+        .add(chunk_records);
+    CHUNK_BYTES
+        .get_or_init(|| agave_telemetry::metrics::histogram("replay.chunk_bytes"))
+        .record(chunk_bytes);
+    CHUNK_DECODE_NS
+        .get_or_init(|| agave_telemetry::metrics::histogram("replay.chunk_decode_ns"))
+        .record(ns);
 }
 
 /// Stream-total bookkeeping gathered while decoding a chunk (one pass —

@@ -219,9 +219,32 @@ impl<W: Write> ReferenceSink for TraceWriter<W> {
     }
 
     fn on_batch(&mut self, batch: &[Reference]) {
+        // Telemetry gate once per 1024-block batch, not per record.
+        if !agave_telemetry::enabled() {
+            for r in batch {
+                self.append(r);
+            }
+            return;
+        }
+        use agave_telemetry::metrics::{Counter, Histogram};
+        use std::sync::OnceLock;
+        static ENCODE_NS: OnceLock<&'static Counter> = OnceLock::new();
+        static ENCODE_RECORDS: OnceLock<&'static Counter> = OnceLock::new();
+        static BATCH_ENCODE_NS: OnceLock<&'static Histogram> = OnceLock::new();
+        let start = std::time::Instant::now();
         for r in batch {
             self.append(r);
         }
+        let ns = start.elapsed().as_nanos() as u64;
+        ENCODE_NS
+            .get_or_init(|| agave_telemetry::metrics::counter("replay.encode_ns"))
+            .add(ns);
+        ENCODE_RECORDS
+            .get_or_init(|| agave_telemetry::metrics::counter("replay.encode_records"))
+            .add(batch.len() as u64);
+        BATCH_ENCODE_NS
+            .get_or_init(|| agave_telemetry::metrics::histogram("replay.batch_encode_ns"))
+            .record(ns);
     }
 }
 

@@ -155,7 +155,10 @@ pub fn execute_spec_traced(
     sinks: Vec<SharedSink>,
 ) -> (RunSummary, NameDirectory, CounterSnapshot) {
     let started = std::time::Instant::now();
-    let mut kernel = Kernel::new();
+    let mut kernel = {
+        let _boot = agave_telemetry::Span::enter_labeled("boot", program.label());
+        Kernel::new()
+    };
     for sink in sinks {
         kernel.attach_sink(sink);
     }
@@ -177,7 +180,10 @@ pub fn execute_spec_traced(
     kernel.run_to_idle();
     // Drain the batched reference stream so sinks are complete before
     // their consumers harvest reports.
-    kernel.tracer_mut().flush_sinks();
+    {
+        let _flush = agave_telemetry::Span::enter_labeled("sink flush", program.label());
+        kernel.tracer_mut().flush_sinks();
+    }
     let mut summary = kernel.tracer().summarize(program.label());
     let directory = kernel.tracer().name_directory();
     summary.wall_time_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);

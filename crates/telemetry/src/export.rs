@@ -1,0 +1,287 @@
+//! Capturing and serializing a telemetry snapshot.
+//!
+//! One [`TelemetrySnapshot`] carries everything a run collected: the
+//! aggregated metrics and the completed span log. Three serializations:
+//!
+//! * [`TelemetrySnapshot::to_json`] — the native schema (versioned),
+//!   consumed by `agave stats`. It also embeds a `traceEvents` array,
+//!   so the *same file* loads directly in `chrome://tracing` / Perfetto
+//!   (both ignore unknown top-level keys).
+//! * [`TelemetrySnapshot::to_chrome_json`] — just the trace-event
+//!   object, for tooling that wants nothing else.
+//! * [`TelemetrySnapshot::to_prometheus`] — text exposition format
+//!   (`--telemetry-format prom`), for scraping long runs.
+
+use crate::jsonw::{array, Obj};
+use crate::metrics::{Histogram, MetricsSnapshot};
+use crate::span::SpanRecord;
+use std::io;
+use std::path::Path;
+
+/// The native telemetry JSON schema version (`schema_version` field).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Everything one process collected: metrics plus spans.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    /// Aggregated counters, gauges, and histograms.
+    pub metrics: MetricsSnapshot,
+    /// Completed spans, in completion order.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// Captures the current process-wide telemetry state, draining the span
+/// log (so back-to-back captures don't duplicate spans).
+pub fn capture() -> TelemetrySnapshot {
+    TelemetrySnapshot {
+        metrics: crate::metrics::scrape(),
+        spans: crate::span::take_spans(),
+    }
+}
+
+/// An output serialization for `--telemetry-format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryFormat {
+    /// The native schema (default), Perfetto-loadable.
+    Json,
+    /// A bare Chrome trace-event object.
+    Chrome,
+    /// Prometheus text exposition.
+    Prom,
+}
+
+impl TelemetryFormat {
+    /// Parses a `--telemetry-format` value.
+    pub fn parse(s: &str) -> Option<TelemetryFormat> {
+        match s {
+            "json" => Some(TelemetryFormat::Json),
+            "chrome" | "trace-event" => Some(TelemetryFormat::Chrome),
+            "prom" | "prometheus" => Some(TelemetryFormat::Prom),
+            _ => None,
+        }
+    }
+}
+
+fn span_json(s: &SpanRecord) -> String {
+    Obj::new()
+        .u64("id", s.id)
+        .u64("parent", s.parent)
+        .str("name", s.name)
+        .str("label", &s.label)
+        .u64("start_ns", s.start_ns)
+        .u64("end_ns", s.end_ns)
+        .u64("thread", s.thread as u64)
+        .u64("refs", s.refs)
+        .u64("order", s.order)
+        .finish()
+}
+
+/// One complete ("ph":"X") trace event per span. Timestamps are
+/// microseconds per the trace-event spec; we keep nanosecond precision
+/// in the fraction.
+fn trace_event_json(s: &SpanRecord) -> String {
+    let display = if s.label.is_empty() {
+        s.name.to_string()
+    } else {
+        format!("{} {}", s.name, s.label)
+    };
+    let args = Obj::new()
+        .u64("refs", s.refs)
+        .u64("order", s.order)
+        .u64("span_id", s.id)
+        .u64("parent", s.parent)
+        .finish();
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"agave\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{}}}",
+        crate::jsonw::escape(&display),
+        s.thread,
+        s.start_ns as f64 / 1e3,
+        s.wall_ns() as f64 / 1e3,
+        args,
+    )
+}
+
+fn histogram_json(h: &crate::metrics::HistogramData) -> String {
+    let buckets = array(h.buckets.iter().map(|(i, c)| format!("[{},{}]", i, c)));
+    Obj::new()
+        .str("name", &h.name)
+        .u64("count", h.count)
+        .u64("sum", h.sum)
+        .raw("buckets", &buckets)
+        .finish()
+}
+
+impl TelemetrySnapshot {
+    /// Serializes to the native schema (see module docs). Deterministic
+    /// key order; spans in completion order.
+    pub fn to_json(&self) -> String {
+        let counters = self
+            .metrics
+            .counters
+            .iter()
+            .fold(Obj::new(), |o, (name, v)| o.u64(name, *v))
+            .finish();
+        let gauges = self
+            .metrics
+            .gauges
+            .iter()
+            .fold(Obj::new(), |o, (name, v)| o.u64(name, *v))
+            .finish();
+        let histograms = array(self.metrics.histograms.iter().map(histogram_json));
+        let spans = array(self.spans.iter().map(span_json));
+        let events = array(self.spans.iter().map(trace_event_json));
+        Obj::new()
+            .u64("schema_version", SCHEMA_VERSION)
+            .str("tool", "agave-telemetry")
+            .raw("counters", &counters)
+            .raw("gauges", &gauges)
+            .raw("histograms", &histograms)
+            .raw("spans", &spans)
+            .raw("traceEvents", &events)
+            .finish()
+    }
+
+    /// Serializes only the Chrome trace-event object.
+    pub fn to_chrome_json(&self) -> String {
+        Obj::new()
+            .raw(
+                "traceEvents",
+                &array(self.spans.iter().map(trace_event_json)),
+            )
+            .str("displayTimeUnit", "ms")
+            .finish()
+    }
+
+    /// Serializes to Prometheus text exposition format. Metric names
+    /// are prefixed `agave_` with dots mapped to underscores;
+    /// histograms expose cumulative `_bucket{le=…}` series plus `_sum`
+    /// and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        fn prom_name(name: &str) -> String {
+            let mapped: String = name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            format!("agave_{mapped}")
+        }
+        let mut out = String::new();
+        for (name, v) in &self.metrics.counters {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &self.metrics.gauges {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for h in &self.metrics.histograms {
+            let n = prom_name(&h.name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cumulative = 0u64;
+            for &(i, c) in &h.buckets {
+                cumulative += c;
+                out.push_str(&format!(
+                    "{n}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    Histogram::bucket_hi(i as usize)
+                ));
+            }
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
+
+    /// Serializes in the given format.
+    pub fn serialize(&self, format: TelemetryFormat) -> String {
+        match format {
+            TelemetryFormat::Json => self.to_json(),
+            TelemetryFormat::Chrome => self.to_chrome_json(),
+            TelemetryFormat::Prom => self.to_prometheus(),
+        }
+    }
+
+    /// Writes the serialized snapshot to `path`.
+    pub fn write(&self, path: &Path, format: TelemetryFormat) -> io::Result<()> {
+        std::fs::write(path, self.serialize(format))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    fn sample_span() -> SpanRecord {
+        SpanRecord {
+            id: 3,
+            parent: 1,
+            name: "run",
+            label: "demo.workload".to_string(),
+            start_ns: 1_500,
+            end_ns: 2_500_000,
+            thread: 2,
+            refs: 123_456,
+            order: 7,
+        }
+    }
+
+    #[test]
+    fn native_json_carries_schema_spans_and_trace_events() {
+        let snap = TelemetrySnapshot {
+            metrics: MetricsSnapshot::default(),
+            spans: vec![sample_span()],
+        };
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"schema_version\":1,"));
+        assert!(json.contains("\"spans\":[{\"id\":3,\"parent\":1,\"name\":\"run\""));
+        assert!(json.contains("\"traceEvents\":[{\"name\":\"run demo.workload\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.500"));
+    }
+
+    #[test]
+    fn captured_spans_round_trip_through_the_parser() {
+        let _guard = crate::TEST_GUARD.lock().unwrap();
+        crate::set_enabled(true);
+        crate::span::take_spans();
+        {
+            let mut s = Span::enter_labeled("run", "roundtrip");
+            s.set_refs(99);
+            s.set_order(4);
+        }
+        crate::set_enabled(false);
+        let snap = capture();
+        let parsed = crate::parse::parse(&snap.to_json()).expect("self-emitted JSON must parse");
+        let spans = parsed.get("spans").and_then(|v| v.as_array()).unwrap();
+        let run = spans
+            .iter()
+            .find(|s| s.get("label").and_then(|l| l.as_str()) == Some("roundtrip"))
+            .expect("span present");
+        assert_eq!(run.get("refs").and_then(|v| v.as_u64()), Some(99));
+        assert_eq!(run.get("order").and_then(|v| v.as_u64()), Some(4));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_wellformed() {
+        let snap = TelemetrySnapshot {
+            metrics: MetricsSnapshot {
+                counters: vec![("trace.sink_batches".into(), 12)],
+                gauges: vec![("suite.jobs".into(), 4)],
+                histograms: vec![crate::metrics::HistogramData {
+                    name: "trace.batch_blocks".into(),
+                    count: 3,
+                    sum: 10,
+                    buckets: vec![(2, 2), (3, 1)],
+                }],
+            },
+            spans: Vec::new(),
+        };
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE agave_trace_sink_batches counter"));
+        assert!(prom.contains("agave_trace_sink_batches 12"));
+        assert!(prom.contains("agave_suite_jobs 4"));
+        assert!(prom.contains("agave_trace_batch_blocks_bucket{le=\"3\"} 2"));
+        assert!(prom.contains("agave_trace_batch_blocks_bucket{le=\"7\"} 3"));
+        assert!(prom.contains("agave_trace_batch_blocks_bucket{le=\"+Inf\"} 3"));
+        assert!(prom.contains("agave_trace_batch_blocks_count 3"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Human-facing rendering helpers: durations, rates, and the CLI
+//! timing table.
+//!
+//! The suite's timing table used to be ad-hoc `format!` calls in
+//! `bin/agave.rs` and `agave_core::SuiteResults`; centralizing it here
+//! gives every surface (CLI, `agave stats`, heartbeats) one notion of
+//! "how do we print a wall time / a throughput" — including the guard
+//! against sub-microsecond wall times, which previously printed absurd
+//! refs/s figures for trivial workloads.
+
+/// Wall times below this are too coarse-grained to divide by: a
+/// `refs/s` computed from a sub-microsecond measurement is clock noise,
+/// not a throughput.
+pub const MIN_RATE_WINDOW_NS: u64 = 1_000;
+
+/// `refs / wall` as refs-per-second, or `None` when the window is below
+/// [`MIN_RATE_WINDOW_NS`] (the caller renders "n/a" or 0).
+pub fn refs_per_sec(refs: u64, wall_ns: u64) -> Option<f64> {
+    if wall_ns < MIN_RATE_WINDOW_NS {
+        None
+    } else {
+        Some(refs as f64 * 1e9 / wall_ns as f64)
+    }
+}
+
+/// Renders a nanosecond duration at a human scale: `387 ns`, `12.4 µs`,
+/// `80.1 ms`, `2.35 s`.
+pub fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns} ns"),
+        1_000..=999_999 => format!("{:.1} µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1} ms", ns as f64 / 1e6),
+        _ => format!("{:.2} s", ns as f64 / 1e9),
+    }
+}
+
+/// Renders a count with an SI suffix: `831`, `47.1k`, `1.95M`, `3.2G`.
+pub fn fmt_count(n: u64) -> String {
+    let v = n as f64;
+    if v < 1e3 {
+        format!("{n}")
+    } else if v < 1e6 {
+        format!("{:.1}k", v / 1e3)
+    } else if v < 1e9 {
+        format!("{:.2}M", v / 1e6)
+    } else {
+        format!("{:.2}G", v / 1e9)
+    }
+}
+
+/// Renders a refs-per-second rate (already computed), e.g. `4.5e8/s`.
+pub fn fmt_rate(rate: Option<f64>) -> String {
+    match rate {
+        Some(r) => format!("{r:.3e}/s"),
+        None => "n/a".to_string(),
+    }
+}
+
+/// The per-workload host-timing table: label, wall ms, refs/s, plus a
+/// totals row. One renderer for `agave run`, `agave suite`, and
+/// `agave stats`.
+#[derive(Debug, Clone, Default)]
+pub struct TimingTable {
+    rows: Vec<(String, u64, u64)>,
+}
+
+impl TimingTable {
+    /// An empty table.
+    pub fn new() -> TimingTable {
+        TimingTable::default()
+    }
+
+    /// Appends one row: a label, its wall time, and its charged refs.
+    pub fn row(&mut self, label: &str, wall_ns: u64, refs: u64) {
+        self.rows.push((label.to_string(), wall_ns, refs));
+    }
+
+    /// Renders the table. Rates from sub-microsecond windows print as 0
+    /// (the historical column stays numeric for easy parsing).
+    pub fn render(&self, title: &str, totals_label: &str) -> String {
+        let mut out = format!("{title}\n");
+        out.push_str(&format!(
+            "{:<22} {:>12} {:>14}\n",
+            "benchmark", "wall ms", "refs/sec"
+        ));
+        let mut total_ns: u64 = 0;
+        let mut total_refs: u64 = 0;
+        for (label, wall_ns, refs) in &self.rows {
+            total_ns += wall_ns;
+            total_refs += refs;
+            out.push_str(&format!(
+                "{:<22} {:>12.2} {:>14.3e}\n",
+                label,
+                *wall_ns as f64 / 1e6,
+                refs_per_sec(*refs, *wall_ns).unwrap_or(0.0),
+            ));
+        }
+        out.push_str(&format!(
+            "{:<22} {:>12.2} {:>14.3e}  (sum of per-run wall times)\n",
+            totals_label,
+            total_ns as f64 / 1e6,
+            refs_per_sec(total_refs, total_ns).unwrap_or(0.0),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_microsecond_windows_never_produce_a_rate() {
+        assert_eq!(refs_per_sec(1_000_000, 0), None);
+        assert_eq!(refs_per_sec(1_000_000, 999), None);
+        let r = refs_per_sec(1_000_000, 1_000).unwrap();
+        assert!((r - 1e12).abs() < 1.0);
+        assert_eq!(refs_per_sec(5, 1_000_000_000), Some(5.0));
+    }
+
+    #[test]
+    fn durations_render_at_each_scale() {
+        assert_eq!(fmt_ns(17), "17 ns");
+        assert_eq!(fmt_ns(12_400), "12.4 µs");
+        assert_eq!(fmt_ns(80_100_000), "80.1 ms");
+        assert_eq!(fmt_ns(2_350_000_000), "2.35 s");
+    }
+
+    #[test]
+    fn counts_render_with_si_suffixes() {
+        assert_eq!(fmt_count(831), "831");
+        assert_eq!(fmt_count(47_100), "47.1k");
+        assert_eq!(fmt_count(1_950_000), "1.95M");
+        assert_eq!(fmt_count(3_200_000_000), "3.20G");
+    }
+
+    #[test]
+    fn timing_table_guards_absurd_rates_and_sums_totals() {
+        let mut t = TimingTable::new();
+        t.row("fast.trivial", 120, 1_000_000); // sub-µs: rate must be 0
+        t.row("real.workload", 2_000_000, 4_000_000);
+        let s = t.render("Per-workload host timing", "suite total");
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "Per-workload host timing");
+        assert!(lines[2].contains("fast.trivial"));
+        assert!(
+            lines[2].contains("0.000e0"),
+            "sub-µs wall must render a zero rate, got: {}",
+            lines[2]
+        );
+        assert!(lines[3].contains("2.000e9"), "line: {}", lines[3]);
+        assert!(lines[4].starts_with("suite total"));
+        assert!(lines[4].contains("(sum of per-run wall times)"));
+    }
+}

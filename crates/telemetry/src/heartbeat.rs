@@ -1,0 +1,196 @@
+//! Live progress heartbeats for parallel suite/record runs.
+//!
+//! A `--jobs 16` suite run used to emit nothing between "running 25
+//! workloads…" and the final table. A [`Heartbeat`] spawns one ticker
+//! thread that prints a status line to stderr roughly once a second:
+//! items done, per-worker current workload, cumulative refs, refs/s,
+//! and an ETA extrapolated from completed items. Workers call
+//! [`Heartbeat::begin_item`] / [`Heartbeat::finish_item`]; both are a
+//! handful of atomic ops / one small mutex touch per *workload*, far
+//! off any hot path.
+//!
+//! Heartbeats are telemetry: when [`crate::enabled`] is false,
+//! [`Heartbeat::start`] returns an inert handle (no thread, no output),
+//! so plain runs' stderr is unchanged.
+
+use crate::format::{fmt_count, fmt_rate, refs_per_sec};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+struct Shared {
+    phase: &'static str,
+    total: usize,
+    done: AtomicUsize,
+    refs: AtomicU64,
+    stop: AtomicBool,
+    started: Instant,
+    /// worker thread ordinal → label of the item it is running.
+    active: Mutex<BTreeMap<usize, String>>,
+}
+
+impl Shared {
+    fn status_line(&self) -> String {
+        let done = self.done.load(Ordering::Relaxed);
+        let refs = self.refs.load(Ordering::Relaxed);
+        let elapsed_ns = self.started.elapsed().as_nanos() as u64;
+        let active = self.active.lock().expect("heartbeat state poisoned");
+        let running: Vec<&str> = active.values().map(String::as_str).collect();
+        let eta = if done > 0 && done < self.total {
+            let per_item_ns = elapsed_ns / done as u64;
+            let remaining = (self.total - done) as u64 * per_item_ns;
+            format!(" · ETA {}", crate::format::fmt_ns(remaining))
+        } else {
+            String::new()
+        };
+        format!(
+            "[agave] {}: {}/{} done · running [{}] · {} refs · {}{}",
+            self.phase,
+            done,
+            self.total,
+            running.join(", "),
+            fmt_count(refs),
+            fmt_rate(refs_per_sec(refs, elapsed_ns)),
+            eta,
+        )
+    }
+}
+
+/// A progress reporter for one parallel phase. See the module docs.
+pub struct Heartbeat {
+    shared: Option<Arc<Shared>>,
+    ticker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    /// Starts a heartbeat for `total` items under the given phase name,
+    /// printing to stderr about once per second. Inert when telemetry
+    /// is disabled.
+    pub fn start(phase: &'static str, total: usize) -> Heartbeat {
+        if !crate::enabled() {
+            return Heartbeat {
+                shared: None,
+                ticker: None,
+            };
+        }
+        let shared = Arc::new(Shared {
+            phase,
+            total,
+            done: AtomicUsize::new(0),
+            refs: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            started: Instant::now(),
+            active: Mutex::new(BTreeMap::new()),
+        });
+        let for_ticker = Arc::clone(&shared);
+        let ticker = std::thread::Builder::new()
+            .name("agave-heartbeat".into())
+            .spawn(move || loop {
+                // Wake frequently so shutdown is prompt, print once a second.
+                for _ in 0..10 {
+                    std::thread::sleep(Duration::from_millis(100));
+                    if for_ticker.stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                }
+                eprintln!("{}", for_ticker.status_line());
+            })
+            .expect("spawn heartbeat ticker");
+        Heartbeat {
+            shared: Some(shared),
+            ticker: Some(ticker),
+        }
+    }
+
+    /// Marks this worker thread as running `label`.
+    pub fn begin_item(&self, label: &str) {
+        if let Some(shared) = &self.shared {
+            shared
+                .active
+                .lock()
+                .expect("heartbeat state poisoned")
+                .insert(crate::thread_ordinal(), label.to_string());
+        }
+    }
+
+    /// Marks this worker thread's current item finished, crediting the
+    /// references it charged.
+    pub fn finish_item(&self, refs: u64) {
+        if let Some(shared) = &self.shared {
+            shared
+                .active
+                .lock()
+                .expect("heartbeat state poisoned")
+                .remove(&crate::thread_ordinal());
+            shared.done.fetch_add(1, Ordering::Relaxed);
+            shared.refs.fetch_add(refs, Ordering::Relaxed);
+        }
+    }
+
+    /// Current cumulative charged references (0 when inert).
+    pub fn refs(&self) -> u64 {
+        self.shared
+            .as_ref()
+            .map_or(0, |s| s.refs.load(Ordering::Relaxed))
+    }
+
+    /// Stops the ticker and prints one final status line.
+    pub fn finish(mut self) {
+        self.shutdown(true);
+    }
+
+    fn shutdown(&mut self, final_line: bool) {
+        if let Some(shared) = self.shared.take() {
+            shared.stop.store(true, Ordering::Relaxed);
+            if let Some(ticker) = self.ticker.take() {
+                ticker.join().expect("heartbeat ticker panicked");
+            }
+            if final_line {
+                eprintln!("{}", shared.status_line());
+            }
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.shutdown(false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_heartbeat_is_inert() {
+        // Relies on the default-disabled state; harmless if another
+        // serialized test enabled telemetry first — start() just spawns
+        // and joins a short-lived ticker in that case.
+        let hb = Heartbeat::start("test", 3);
+        hb.begin_item("a");
+        hb.finish_item(100);
+        if !crate::enabled() {
+            assert_eq!(hb.refs(), 0);
+        }
+        drop(hb);
+    }
+
+    #[test]
+    fn enabled_heartbeat_tracks_progress() {
+        let _guard = crate::TEST_GUARD.lock().unwrap();
+        crate::set_enabled(true);
+        let hb = Heartbeat::start("test", 2);
+        hb.begin_item("one");
+        hb.finish_item(500);
+        hb.begin_item("two");
+        hb.finish_item(250);
+        assert_eq!(hb.refs(), 750);
+        let line = hb.shared.as_ref().unwrap().status_line();
+        assert!(line.contains("2/2 done"), "line: {line}");
+        assert!(line.contains("750 refs"), "line: {line}");
+        drop(hb);
+        crate::set_enabled(false);
+    }
+}

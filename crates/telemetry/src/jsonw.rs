@@ -1,0 +1,106 @@
+//! A minimal JSON writer, private to this crate.
+//!
+//! `agave-telemetry` sits below `agave-trace` in the dependency graph,
+//! so it cannot reuse `agave_trace::json`; this is the same hand-rolled
+//! approach in ~60 lines. Write-only, deterministic key order (callers
+//! append fields explicitly).
+
+use std::fmt::Write;
+
+/// Escapes a string for embedding in JSON (quotes not included).
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An in-progress JSON object.
+pub(crate) struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    pub(crate) fn new() -> Obj {
+        Obj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        let _ = write!(self.buf, "\"{}\":", escape(key));
+    }
+
+    pub(crate) fn str(mut self, key: &str, value: &str) -> Obj {
+        self.key(key);
+        let _ = write!(self.buf, "\"{}\"", escape(value));
+        self
+    }
+
+    pub(crate) fn u64(mut self, key: &str, value: u64) -> Obj {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Appends pre-serialized JSON (an array or nested object).
+    pub(crate) fn raw(mut self, key: &str, value: &str) -> Obj {
+        self.key(key);
+        self.buf.push_str(value);
+        self
+    }
+
+    pub(crate) fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Joins pre-serialized JSON values into an array.
+pub(crate) fn array(items: impl IntoIterator<Item = String>) -> String {
+    let mut buf = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&item);
+    }
+    buf.push(']');
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_escape_and_nest() {
+        let inner = Obj::new().u64("n", 7).finish();
+        let out = Obj::new()
+            .str("name", "a\"b\\c\nd")
+            .raw("inner", &inner)
+            .raw("arr", &array(["1".to_string(), "2".to_string()]))
+            .finish();
+        assert_eq!(
+            out,
+            "{\"name\":\"a\\\"b\\\\c\\nd\",\"inner\":{\"n\":7},\"arr\":[1,2]}"
+        );
+    }
+}

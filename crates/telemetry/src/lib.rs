@@ -1,0 +1,155 @@
+//! **agave-telemetry** — self-profiling for the simulator that profiles
+//! Android.
+//!
+//! The suite's whole premise is that you cannot understand a software
+//! stack you cannot observe; this crate applies the same standard to the
+//! reproduction itself. It provides, with zero external dependencies:
+//!
+//! * a [metrics](crate::metrics) registry — lock-free per-thread-sharded
+//!   [`Counter`]s, [`Gauge`]s, and log2-bucketed [`Histogram`]s,
+//!   aggregated only on [`scrape`];
+//! * phase-scoped [`Span`]s (boot, per-workload run, sink flush,
+//!   hierarchy walk, record encode, replay decode) carrying wall time
+//!   and reference counts, exportable as a span tree and as Chrome
+//!   trace-event JSON (loadable in `chrome://tracing` / Perfetto);
+//! * live stderr [`Heartbeat`]s for parallel suite/record runs
+//!   (per-worker current workload, refs/s, ETA);
+//! * the rendering helpers behind `agave stats` and the CLI timing
+//!   table.
+//!
+//! # The disabled path costs one branch
+//!
+//! Everything is gated behind a single process-global relaxed
+//! [`AtomicBool`](std::sync::atomic::AtomicBool). Instrumented sites
+//! call [`enabled`] — one relaxed load — and skip all work when it
+//! returns `false`. Instrumentation is placed only at *batch* and
+//! *phase* granularity (a sink batch is 1024 reference blocks; a span is
+//! a whole boot or run), never per reference, so the disabled-path
+//! overhead is a branch per thousands of simulated references. The
+//! `telemetry_overhead` bench in `agave-bench` asserts the implied
+//! overhead stays under 2%.
+//!
+//! Telemetry output never touches analysis output: metrics and spans are
+//! written to a separate file (`--telemetry out.json`) or stderr, so
+//! `RunSummary`/`CacheReport` JSON stays byte-identical whether
+//! telemetry is on or off.
+//!
+//! # Example
+//!
+//! ```
+//! use agave_telemetry as telemetry;
+//!
+//! telemetry::set_enabled(true);
+//! {
+//!     let mut span = telemetry::Span::enter_labeled("run", "demo.workload");
+//!     telemetry::metrics::counter("demo.batches").add(3);
+//!     span.set_refs(1_000_000);
+//! }
+//! let snapshot = telemetry::capture();
+//! assert_eq!(snapshot.spans.len(), 1);
+//! telemetry::set_enabled(false);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod format;
+pub mod heartbeat;
+mod jsonw;
+pub mod metrics;
+pub mod parse;
+pub mod span;
+pub mod stats;
+
+pub use export::{capture, TelemetryFormat, TelemetrySnapshot};
+pub use heartbeat::Heartbeat;
+pub use metrics::{scrape, Counter, Gauge, Histogram, HistogramData, MetricsSnapshot};
+pub use span::{set_thread_parent, take_spans, Span, SpanRecord, ThreadParent};
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The process-global telemetry gate.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns telemetry collection on or off for the whole process.
+///
+/// Enabling also pins the wall-clock epoch (all span timestamps are
+/// nanoseconds since the first enable), so spans from different threads
+/// share one timeline.
+pub fn set_enabled(on: bool) {
+    if on {
+        epoch();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether telemetry is collecting. One relaxed load — this is the
+/// entire cost an instrumented site pays when telemetry is off.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The shared timeline origin (pinned on first use).
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the telemetry epoch.
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+static NEXT_ORDINAL: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static ORDINAL: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// This thread's small dense ordinal (0, 1, 2, … in first-use order).
+///
+/// Used to pick a metrics shard and to label spans/heartbeats with a
+/// stable worker id; unrelated to the OS thread id.
+pub fn thread_ordinal() -> usize {
+    ORDINAL.with(|cell| {
+        let current = cell.get();
+        if current != usize::MAX {
+            return current;
+        }
+        let assigned = NEXT_ORDINAL.fetch_add(1, Ordering::Relaxed);
+        cell.set(assigned);
+        assigned
+    })
+}
+
+/// Serializes unit tests that toggle the process-global enable flag or
+/// drain the span log, so `cargo test`'s threaded runner can't
+/// interleave them.
+#[cfg(test)]
+pub(crate) static TEST_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_ordinals_are_stable_and_distinct() {
+        let mine = thread_ordinal();
+        assert_eq!(mine, thread_ordinal(), "ordinal must be sticky");
+        let other = std::thread::spawn(thread_ordinal).join().unwrap();
+        assert_ne!(mine, other, "each thread gets its own ordinal");
+    }
+
+    #[test]
+    fn now_ns_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,423 @@
+//! The metrics registry: sharded counters, gauges, and log2 histograms.
+//!
+//! All metric handles are `&'static` — created once, leaked, and cached
+//! by call sites (typically in a `OnceLock`), so the steady-state cost
+//! of an update is an index into a padded shard array and one relaxed
+//! `fetch_add`. No lock is taken anywhere on the update path; the
+//! registry's `Mutex` guards only name→handle resolution and
+//! [`scrape`].
+//!
+//! # Sharding
+//!
+//! Each counter/histogram owns [`SHARDS`] cache-line-padded atomic
+//! cells; a thread updates the cell indexed by
+//! [`crate::thread_ordinal`]` % SHARDS`, so parallel suite workers
+//! almost never contend on a line. [`scrape`] sums the shards.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of padded shards per counter/histogram. A power of two so the
+/// shard pick is a mask, comfortably above typical `--jobs` values.
+pub const SHARDS: usize = 16;
+
+/// Number of histogram buckets: bucket 0 holds zero values, bucket
+/// `i ≥ 1` holds values in `[2^(i-1), 2^i - 1]`, up to bucket 64.
+pub const BUCKETS: usize = 65;
+
+/// One cache line's worth of atomic counter, padded so shards never
+/// false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedCell(AtomicU64);
+
+/// A monotonically increasing, per-thread-sharded counter.
+pub struct Counter {
+    shards: [PaddedCell; SHARDS],
+}
+
+impl Counter {
+    fn new() -> Self {
+        Counter {
+            shards: Default::default(),
+        }
+    }
+
+    /// Adds `v` to this thread's shard (relaxed; lock-free).
+    #[inline]
+    pub fn add(&self, v: u64) {
+        let shard = crate::thread_ordinal() & (SHARDS - 1);
+        self.shards[shard].0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The summed value across shards (scrape-time only).
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A last-write-wins instantaneous value (worker counts, config knobs).
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Reads the gauge.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.set(0);
+    }
+}
+
+/// One histogram shard: 65 log2 buckets plus count/sum, padded to its
+/// own cache lines.
+#[repr(align(64))]
+struct HistShard {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistShard {
+    fn default() -> Self {
+        HistShard {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log2-bucketed, per-thread-sharded histogram of `u64` samples.
+pub struct Histogram {
+    shards: [HistShard; SHARDS],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            shards: Default::default(),
+        }
+    }
+
+    /// The bucket index for a value: 0 for 0, else `64 - leading_zeros`
+    /// (so bucket `i ≥ 1` covers `[2^(i-1), 2^i - 1]`).
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive lower bound of bucket `i`.
+    pub fn bucket_lo(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// The inclusive upper bound of bucket `i`.
+    pub fn bucket_hi(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// Records one sample into this thread's shard (relaxed; lock-free).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let shard = &self.shards[crate::thread_ordinal() & (SHARDS - 1)];
+        shard.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Aggregates the shards into a plain-data snapshot.
+    pub fn data(&self, name: &str) -> HistogramData {
+        let mut buckets = [0u64; BUCKETS];
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        for shard in &self.shards {
+            for (acc, b) in buckets.iter_mut().zip(&shard.buckets) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+            count += shard.count.load(Ordering::Relaxed);
+            sum += shard.sum.load(Ordering::Relaxed);
+        }
+        HistogramData {
+            name: name.to_string(),
+            count,
+            sum,
+            buckets: buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c != 0)
+                .map(|(i, c)| (i as u8, *c))
+                .collect(),
+        }
+    }
+
+    fn reset(&self) {
+        for shard in &self.shards {
+            for b in &shard.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            shard.count.store(0, Ordering::Relaxed);
+            shard.sum.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// An aggregated histogram: total count, total sum, and the non-empty
+/// `(bucket index, count)` pairs in index order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramData {
+    /// The registered metric name.
+    pub name: String,
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Non-empty buckets as `(index, count)`, ascending by index.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramData {
+    /// The mean sample value (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`): the
+    /// upper edge of the bucket containing that rank.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(i, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return Histogram::bucket_hi(i as usize);
+            }
+        }
+        Histogram::bucket_hi(self.buckets.last().map_or(0, |&(i, _)| i as usize))
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Resolves (registering on first use) the counter named `name`.
+///
+/// Call sites on warm paths should cache the returned handle in a
+/// `OnceLock` rather than re-resolving per update.
+pub fn counter(name: &'static str) -> &'static Counter {
+    registry()
+        .counters
+        .lock()
+        .expect("metrics registry poisoned")
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Counter::new())))
+}
+
+/// Resolves (registering on first use) the gauge named `name`.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    registry()
+        .gauges
+        .lock()
+        .expect("metrics registry poisoned")
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Gauge::new())))
+}
+
+/// Resolves (registering on first use) the histogram named `name`.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    registry()
+        .histograms
+        .lock()
+        .expect("metrics registry poisoned")
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Histogram::new())))
+}
+
+/// A point-in-time aggregation of every registered metric, sorted by
+/// name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, summed value)` for every registered counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every registered gauge.
+    pub gauges: Vec<(String, u64)>,
+    /// Aggregated data for every registered histogram.
+    pub histograms: Vec<HistogramData>,
+}
+
+/// Aggregates every registered metric. Scrape-time only — never on the
+/// hot path.
+pub fn scrape() -> MetricsSnapshot {
+    let reg = registry();
+    let counters = reg
+        .counters
+        .lock()
+        .expect("metrics registry poisoned")
+        .iter()
+        .map(|(name, c)| (name.to_string(), c.value()))
+        .collect();
+    let gauges = reg
+        .gauges
+        .lock()
+        .expect("metrics registry poisoned")
+        .iter()
+        .map(|(name, g)| (name.to_string(), g.value()))
+        .collect();
+    let histograms = reg
+        .histograms
+        .lock()
+        .expect("metrics registry poisoned")
+        .iter()
+        .map(|(name, h)| h.data(name))
+        .collect();
+    MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
+/// Zeroes every registered metric (tests and back-to-back CLI runs).
+pub fn reset_metrics() {
+    let reg = registry();
+    for c in reg
+        .counters
+        .lock()
+        .expect("metrics registry poisoned")
+        .values()
+    {
+        c.reset();
+    }
+    for g in reg
+        .gauges
+        .lock()
+        .expect("metrics registry poisoned")
+        .values()
+    {
+        g.reset();
+    }
+    for h in reg
+        .histograms
+        .lock()
+        .expect("metrics registry poisoned")
+        .values()
+    {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        for i in 1..=64usize {
+            let lo = Histogram::bucket_lo(i);
+            assert_eq!(Histogram::bucket_of(lo), i, "lower edge of bucket {i}");
+            let hi = Histogram::bucket_hi(i);
+            assert_eq!(Histogram::bucket_of(hi), i, "upper edge of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = counter("test.metrics.counter_sums");
+        c.reset();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        c.add(2);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 8000);
+    }
+
+    #[test]
+    fn histogram_aggregates_count_sum_and_quantiles() {
+        let h = histogram("test.metrics.hist_agg");
+        h.reset();
+        for v in [0u64, 1, 1, 5, 5, 5, 1000] {
+            h.record(v);
+        }
+        let data = h.data("test.metrics.hist_agg");
+        assert_eq!(data.count, 7);
+        assert_eq!(data.sum, 1017);
+        assert!((data.mean() - 1017.0 / 7.0).abs() < 1e-9);
+        // Median falls in the [4,7] bucket; p100 upper bound covers 1000.
+        assert_eq!(data.quantile(0.5), 7);
+        assert!(data.quantile(1.0) >= 1000);
+    }
+
+    #[test]
+    fn registry_hands_back_the_same_leaked_handle() {
+        let a = counter("test.metrics.same_handle") as *const Counter;
+        let b = counter("test.metrics.same_handle") as *const Counter;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,224 @@
+//! Phase-scoped spans: RAII timers that form a per-run tree.
+//!
+//! A [`Span`] measures one phase — a boot, a workload run, a sink
+//! flush, a replay decode. Spans nest via a thread-local current-parent
+//! cell: entering a span makes it the parent of any span entered on the
+//! same thread until it drops. Parallel workers are stitched under a
+//! coordinator's span with [`set_thread_parent`], so a `--jobs 16`
+//! suite run still produces one tree.
+//!
+//! Completed spans land in a process-global log (one `Mutex` push per
+//! span — spans are phase-granular, so this is nowhere near a hot
+//! path). [`take_spans`] drains the log for export.
+//!
+//! When telemetry is disabled ([`crate::enabled`] is false) every
+//! constructor returns an inert span: no clock read, no allocation, no
+//! lock.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A completed span, as exported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique nonzero id.
+    pub id: u64,
+    /// Parent span id (0 = root).
+    pub parent: u64,
+    /// The phase name ("boot", "run", "sink flush", …).
+    pub name: &'static str,
+    /// Free-form qualifier (workload label, trace file, …); may be empty.
+    pub label: String,
+    /// Start, nanoseconds since the telemetry epoch.
+    pub start_ns: u64,
+    /// End, nanoseconds since the telemetry epoch.
+    pub end_ns: u64,
+    /// The entering thread's [`crate::thread_ordinal`].
+    pub thread: usize,
+    /// References charged during the span (0 if not applicable).
+    pub refs: u64,
+    /// Explicit sibling sort key (workload index), so tree order is
+    /// deterministic under work stealing. 0 if unset.
+    pub order: u64,
+}
+
+impl SpanRecord {
+    /// The span's wall time in nanoseconds.
+    pub fn wall_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static SPAN_LOG: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// The id of the innermost live span on this thread (0 = none).
+    static CURRENT_PARENT: Cell<u64> = const { Cell::new(0) };
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    label: String,
+    start_ns: u64,
+    refs: u64,
+    order: u64,
+}
+
+/// An RAII phase timer. Construct with [`Span::enter`]; the span closes
+/// (and is appended to the global log) when dropped, on the thread that
+/// entered it.
+pub struct Span(Option<ActiveSpan>);
+
+impl Span {
+    /// Enters a span named `name` under the thread's current parent.
+    /// Inert (free) when telemetry is disabled.
+    pub fn enter(name: &'static str) -> Span {
+        Span::enter_labeled(name, "")
+    }
+
+    /// Enters a span with a free-form qualifier label.
+    pub fn enter_labeled(name: &'static str, label: &str) -> Span {
+        if !crate::enabled() {
+            return Span(None);
+        }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = CURRENT_PARENT.with(|c| c.replace(id));
+        Span(Some(ActiveSpan {
+            id,
+            parent,
+            name,
+            label: label.to_string(),
+            start_ns: crate::now_ns(),
+            refs: 0,
+            order: 0,
+        }))
+    }
+
+    /// Attaches a charged-reference count to the span.
+    pub fn set_refs(&mut self, refs: u64) {
+        if let Some(a) = &mut self.0 {
+            a.refs = refs;
+        }
+    }
+
+    /// Sets the deterministic sibling sort key (e.g. workload index).
+    pub fn set_order(&mut self, order: u64) {
+        if let Some(a) = &mut self.0 {
+            a.order = order;
+        }
+    }
+
+    /// The span's id, for parenting other threads under it (0 if inert).
+    pub fn id(&self) -> u64 {
+        self.0.as_ref().map_or(0, |a| a.id)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(a) = self.0.take() {
+            CURRENT_PARENT.with(|c| c.set(a.parent));
+            let record = SpanRecord {
+                id: a.id,
+                parent: a.parent,
+                name: a.name,
+                label: a.label,
+                start_ns: a.start_ns,
+                end_ns: crate::now_ns(),
+                thread: crate::thread_ordinal(),
+                refs: a.refs,
+                order: a.order,
+            };
+            SPAN_LOG.lock().expect("span log poisoned").push(record);
+        }
+    }
+}
+
+/// RAII guard restoring a thread's previous parent span on drop. See
+/// [`set_thread_parent`].
+pub struct ThreadParent {
+    prev: u64,
+}
+
+/// Makes `parent` the base parent for spans entered on *this* thread —
+/// the bridge that nests parallel workers' spans under a coordinator's
+/// span. Returns a guard restoring the previous parent on drop.
+pub fn set_thread_parent(parent: u64) -> ThreadParent {
+    let prev = CURRENT_PARENT.with(|c| c.replace(parent));
+    ThreadParent { prev }
+}
+
+impl Drop for ThreadParent {
+    fn drop(&mut self) {
+        CURRENT_PARENT.with(|c| c.set(self.prev));
+    }
+}
+
+/// Drains the completed-span log (in completion order).
+pub fn take_spans() -> Vec<SpanRecord> {
+    std::mem::take(&mut *SPAN_LOG.lock().expect("span log poisoned"))
+}
+
+/// Copies the completed-span log without draining it.
+pub fn snapshot_spans() -> Vec<SpanRecord> {
+    SPAN_LOG.lock().expect("span log poisoned").clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::TEST_GUARD;
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _guard = TEST_GUARD.lock().unwrap();
+        crate::set_enabled(false);
+        let before = snapshot_spans().len();
+        {
+            let mut s = Span::enter("noop");
+            assert_eq!(s.id(), 0);
+            s.set_refs(42);
+        }
+        assert_eq!(snapshot_spans().len(), before);
+    }
+
+    #[test]
+    fn spans_nest_on_one_thread_and_across_threads() {
+        let _guard = TEST_GUARD.lock().unwrap();
+        crate::set_enabled(true);
+        take_spans();
+        let outer_id;
+        {
+            let outer = Span::enter("outer");
+            outer_id = outer.id();
+            {
+                let inner = Span::enter_labeled("inner", "x");
+                assert_ne!(inner.id(), outer.id());
+            }
+            // A worker thread stitched under the outer span.
+            let outer_for_worker = outer.id();
+            std::thread::spawn(move || {
+                let _parent = set_thread_parent(outer_for_worker);
+                let _child = Span::enter("worker-child");
+            })
+            .join()
+            .unwrap();
+        }
+        crate::set_enabled(false);
+        let spans = take_spans();
+        assert_eq!(spans.len(), 3);
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        let child = spans.iter().find(|s| s.name == "worker-child").unwrap();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(inner.parent, outer_id);
+        assert_eq!(child.parent, outer_id);
+        assert_eq!(outer.id, outer_id);
+        assert_eq!(inner.label, "x");
+        assert!(outer.wall_ns() >= inner.wall_ns());
+    }
+}

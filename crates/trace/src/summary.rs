@@ -122,7 +122,11 @@ impl RunSummary {
     /// Simulation throughput: charged references per host second, or 0.0
     /// when no wall time was recorded.
     pub fn refs_per_sec(&self) -> f64 {
-        if self.wall_time_ns == 0 {
+        // Sub-microsecond wall times are clock noise, not a measurement
+        // window: dividing by them printed absurd throughputs for
+        // trivial workloads. Same guard as
+        // `agave_telemetry::format::refs_per_sec`.
+        if self.wall_time_ns < 1_000 {
             return 0.0;
         }
         self.total_refs() as f64 * 1e9 / self.wall_time_ns as f64

@@ -285,9 +285,53 @@ impl Tracer {
         if self.batch.is_empty() {
             return;
         }
+        // The telemetry gate is checked once per *batch* (1024 blocks),
+        // never per charge, so the disabled path pays one relaxed load
+        // per thousands of references.
+        if agave_telemetry::enabled() {
+            self.flush_sinks_instrumented();
+            return;
+        }
         for sink in &self.sinks.0 {
             sink.borrow_mut().on_batch(&self.batch);
         }
+        self.batch.clear();
+    }
+
+    /// The telemetry-enabled flush path: times the delivery and feeds
+    /// the `trace.*` sink-batch metrics. Metric handles are resolved
+    /// once and cached in `OnceLock`s, so the steady-state cost is a
+    /// clock read and a few relaxed atomics per batch.
+    #[cold]
+    fn flush_sinks_instrumented(&mut self) {
+        use agave_telemetry::metrics::{Counter, Histogram};
+        use std::sync::OnceLock;
+        static BATCHES: OnceLock<&'static Counter> = OnceLock::new();
+        static BLOCKS: OnceLock<&'static Counter> = OnceLock::new();
+        static DELIVERY_NS: OnceLock<&'static Counter> = OnceLock::new();
+        static BATCH_BLOCKS: OnceLock<&'static Histogram> = OnceLock::new();
+        static BATCH_NS: OnceLock<&'static Histogram> = OnceLock::new();
+        let start = std::time::Instant::now();
+        for sink in &self.sinks.0 {
+            sink.borrow_mut().on_batch(&self.batch);
+        }
+        let ns = start.elapsed().as_nanos() as u64;
+        let blocks = self.batch.len() as u64;
+        BATCHES
+            .get_or_init(|| agave_telemetry::metrics::counter("trace.sink_batches"))
+            .incr();
+        BLOCKS
+            .get_or_init(|| agave_telemetry::metrics::counter("trace.sink_blocks"))
+            .add(blocks);
+        DELIVERY_NS
+            .get_or_init(|| agave_telemetry::metrics::counter("trace.sink_delivery_ns"))
+            .add(ns);
+        BATCH_BLOCKS
+            .get_or_init(|| agave_telemetry::metrics::histogram("trace.batch_blocks"))
+            .record(blocks);
+        BATCH_NS
+            .get_or_init(|| agave_telemetry::metrics::histogram("trace.batch_delivery_ns"))
+            .record(ns);
         self.batch.clear();
     }
 
