@@ -9,8 +9,10 @@
 //! agave cache --fig5 [--preset P] [--jobs N]   # all 25 workloads, one row each
 //! agave record <label> [-o F]           # capture the reference stream to .agtrace
 //! agave record --all [--dir D] [--jobs N]      # record the whole suite
-//! agave replay <F> [--cache P|--summary]       # re-run analyses off a trace file
+//! agave replay <F> [--cache P|--summary|--validate]  # re-run analyses off a trace file
 //! agave stats <telemetry.json>          # span tree + metric tables from a capture
+//! agave serve [--addr A] [--jobs N]     # multi-tenant replay/analysis daemon
+//! agave client <upload|list|analyze|ping|shutdown> …  # talk to a daemon
 //! ```
 //!
 //! `--jobs N` fans the mutually independent workloads out across N
@@ -27,10 +29,11 @@
 //! stderr.
 
 use agave_core::{
-    all_workloads, engine, experiments_markdown, record, run_workload_with_cache, Experiments,
+    all_workloads, cli, engine, experiments_markdown, record, run_workload_with_cache, Experiments,
     Fig5Cache, HierarchyGeometry, RunSummary, SuiteConfig, Workload,
 };
-use std::path::Path;
+use agave_serve::{Analysis, Client, ServeConfig, Server};
+use std::path::{Path, PathBuf};
 
 fn usage() -> ! {
     eprintln!(
@@ -41,8 +44,12 @@ fn usage() -> ! {
          agave cache --fig5 [--preset NAME] [--quick] [--json] [--jobs N]\n  \
          agave record <workload> [-o FILE] [--quick]\n  \
          agave record --all [--dir DIR] [--quick] [--jobs N]\n  \
-         agave replay <file.agtrace> [--summary] [--cache PRESET] [--json] [--top N]\n  \
-         agave stats <telemetry.json>\n\
+         agave replay <file.agtrace> [--summary] [--cache PRESET] [--validate] [--json] [--top N]\n  \
+         agave stats <telemetry.json>\n  \
+         agave serve [--addr HOST:PORT] [--jobs N] [--queue N] [--spool DIR]\n  \
+         agave client upload <name> <file.agtrace> [--addr A]\n  \
+         agave client analyze <name> <summary|cache PRESET|sketch> [--addr A]\n  \
+         agave client list|ping|shutdown [--addr A]\n\
          presets: {}\n\
          --jobs N: run workloads on N threads (0 = one per CPU; default 1)\n\
          --telemetry FILE: capture spans+metrics to FILE (any verb that runs workloads)\n\
@@ -236,7 +243,11 @@ fn cmd_suite(args: &[String]) -> i32 {
             .get(pos + 1)
             .map(String::as_str)
             .unwrap_or_else(|| usage());
-        std::fs::write(path, experiments.results().to_json()).expect("write json");
+        cli::or_fail(
+            "suite",
+            Path::new(path),
+            std::fs::write(path, experiments.results().to_json()),
+        );
         eprintln!("wrote {path}");
     }
     if args.iter().any(|a| a == "--markdown") {
@@ -363,11 +374,11 @@ fn cmd_record(args: &[String]) {
             workloads.len(),
             dir.display()
         );
-        let rows =
-            record::record_suite(&workloads, &config, dir, jobs(args)).unwrap_or_else(|err| {
-                eprintln!("record: {err}");
-                std::process::exit(1);
-            });
+        let rows = cli::or_fail(
+            "record",
+            dir,
+            record::record_suite(&workloads, &config, dir, jobs(args)),
+        );
         let mut failures = 0;
         for (workload, result) in rows {
             match result {
@@ -407,20 +418,19 @@ fn cmd_record(args: &[String]) {
         .or_else(|| flag_value(args, "--output"))
         .unwrap_or(&default_out);
     eprintln!("recording {label} ({note}) to {out}…");
-    match record::record_workload(workload, &config, Path::new(out)) {
-        Ok(stats) => println!(
-            "{out}: {} records ({} words) in {} chunks · {} bytes · {:.2} bytes/record",
-            stats.records,
-            stats.words,
-            stats.chunks,
-            stats.file_bytes,
-            stats.bytes_per_record()
-        ),
-        Err(err) => {
-            eprintln!("record: {err}");
-            std::process::exit(1);
-        }
-    }
+    let stats = cli::or_fail(
+        "record",
+        Path::new(out),
+        record::record_workload(workload, &config, Path::new(out)),
+    );
+    println!(
+        "{out}: {} records ({} words) in {} chunks · {} bytes · {:.2} bytes/record",
+        stats.records,
+        stats.words,
+        stats.chunks,
+        stats.file_bytes,
+        stats.bytes_per_record()
+    );
 }
 
 fn cmd_replay(args: &[String]) {
@@ -438,6 +448,22 @@ fn cmd_replay(args: &[String]) {
     .map(Path::new)
     .unwrap_or_else(|| usage());
     let json = args.iter().any(|a| a == "--json");
+    if args.iter().any(|a| a == "--validate") {
+        let outcome = cli::or_fail(
+            "replay",
+            path,
+            agave_replay::TraceReader::open(path).and_then(agave_replay::TraceReader::validate),
+        );
+        println!(
+            "{}: ok — {} ({} record chunks checksum-verified; footer promises {} records, {} words)",
+            path.display(),
+            outcome.label,
+            outcome.record_chunks,
+            outcome.records,
+            outcome.words
+        );
+        return;
+    }
     let preset = flag_value(args, "--cache").or_else(|| flag_value(args, "--preset"));
     if let Some(preset) = preset {
         let geometry = HierarchyGeometry::preset(preset).unwrap_or_else(|| {
@@ -451,49 +477,135 @@ fn cmd_replay(args: &[String]) {
             .and_then(|n| n.parse().ok())
             .unwrap_or(12);
         eprintln!("replaying {} through {preset}…", path.display());
-        match record::replay_trace_cache(path, geometry) {
-            Ok(report) if json => println!("{}", report.to_json()),
-            Ok(report) => println!("{}", report.render(top)),
-            Err(err) => {
-                eprintln!("replay: {err}");
-                std::process::exit(1);
-            }
+        let report = cli::or_fail("replay", path, record::replay_trace_cache(path, geometry));
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            println!("{}", report.render(top));
         }
         return;
     }
     // Default (and `--summary`): rebuild the recorded run's summary.
-    match record::replay_trace_summary(path) {
-        Ok(summary) if json => println!("{}", summary.to_json()),
-        Ok(summary) => {
-            println!(
-                "{} (replayed from {}): {} instr + {} data references",
-                summary.benchmark,
-                path.display(),
-                summary.total_instr,
-                summary.total_data
-            );
-            print_breakdowns(&summary);
-        }
-        Err(err) => {
-            eprintln!("replay: {err}");
-            std::process::exit(1);
-        }
+    let summary = cli::or_fail("replay", path, record::replay_trace_summary(path));
+    if json {
+        println!("{}", summary.to_json());
+    } else {
+        println!(
+            "{} (replayed from {}): {} instr + {} data references",
+            summary.benchmark,
+            path.display(),
+            summary.total_instr,
+            summary.total_data
+        );
+        print_breakdowns(&summary);
     }
 }
 
 /// Renders a telemetry capture (`agave stats <telemetry.json>`).
 fn cmd_stats(args: &[String]) {
-    let path = bare_arg(args, &[]).unwrap_or_else(|| usage());
-    let doc = std::fs::read_to_string(path).unwrap_or_else(|err| {
-        eprintln!("stats: {path}: {err}");
-        std::process::exit(1);
-    });
-    match agave_telemetry::stats::render_str(&doc) {
-        Ok(text) => print!("{text}"),
-        Err(err) => {
-            eprintln!("stats: {path}: {err}");
-            std::process::exit(1);
+    let path = bare_arg(args, &[])
+        .map(Path::new)
+        .unwrap_or_else(|| usage());
+    let doc = cli::or_fail("stats", path, std::fs::read_to_string(path));
+    let text = cli::or_fail("stats", path, agave_telemetry::stats::render_str(&doc));
+    print!("{text}");
+}
+
+/// Runs the replay/analysis daemon (`agave serve`).
+fn cmd_serve(args: &[String]) {
+    let mut config = ServeConfig {
+        addr: flag_value(args, "--addr")
+            .unwrap_or("127.0.0.1:4950")
+            .to_owned(),
+        spool: flag_value(args, "--spool").map(PathBuf::from),
+        ..ServeConfig::default()
+    };
+    if let Some(jobs) = flag_value(args, "--jobs") {
+        config.jobs = jobs.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(cap) = flag_value(args, "--queue") {
+        config.queue_cap = cap.parse().unwrap_or_else(|_| usage());
+    }
+    let server = cli::or_fail_bare("serve", Server::bind(config.clone()));
+    eprintln!(
+        "agave-serve listening on {} ({} worker{}, queue {}; send `agave client shutdown` to stop)",
+        server.local_addr(),
+        engine::effective_jobs(config.jobs),
+        if engine::effective_jobs(config.jobs) == 1 {
+            ""
+        } else {
+            "s"
+        },
+        config.queue_cap,
+    );
+    let stats = server.run();
+    eprintln!(
+        "agave-serve: {} connections · {} uploads ({} bytes) · {} analyses · {} rejected · {} errors",
+        stats.connections,
+        stats.uploads,
+        stats.bytes_ingested,
+        stats.analyses,
+        stats.rejects,
+        stats.errors,
+    );
+}
+
+/// Talks to a running daemon (`agave client <subverb> …`).
+fn cmd_client(args: &[String]) {
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:4950");
+    let client = Client::new(addr);
+    let value_flags = ["--addr"];
+    let positional: Vec<&str> = {
+        let taken: Vec<usize> = args
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| value_flags.contains(&a.as_str()))
+            .map(|(i, _)| i + 1)
+            .collect();
+        args.iter()
+            .enumerate()
+            .filter(|(i, a)| !a.starts_with('-') && !taken.contains(i))
+            .map(|(_, a)| a.as_str())
+            .collect()
+    };
+    match positional.as_slice() {
+        ["ping"] => {
+            cli::or_fail_bare("client", client.ping());
+            println!("pong from {addr}");
         }
+        ["shutdown"] => {
+            cli::or_fail_bare("client", client.shutdown());
+            println!("server at {addr} shutting down");
+        }
+        ["list"] => {
+            let sessions = cli::or_fail_bare("client", client.list());
+            print!("{}", agave_serve::render_sessions(&sessions));
+        }
+        ["upload", name, file] => {
+            let path = Path::new(file);
+            let ack = cli::or_fail("client", path, client.upload(name, path));
+            println!(
+                "uploaded {} as {:?}: {} bytes · {} records · {} words · {} chunks ({})",
+                path.display(),
+                ack.name,
+                ack.file_bytes,
+                ack.records,
+                ack.words,
+                ack.chunks,
+                ack.label
+            );
+        }
+        ["analyze", name, rest @ ..] => {
+            let analysis = match rest {
+                ["summary"] | [] => Analysis::Summary,
+                ["cache", preset] => Analysis::Cache((*preset).to_owned()),
+                ["sketch"] => Analysis::Sketch,
+                _ => usage(),
+            };
+            let json = cli::or_fail_bare("client", client.analyze(name, &analysis));
+            println!("{json}");
+        }
+        _ => usage(),
     }
 }
 
@@ -529,6 +641,14 @@ fn main() {
         }
         Some("stats") => {
             cmd_stats(&args[1..]);
+            0
+        }
+        Some("serve") => {
+            cmd_serve(&args[1..]);
+            0
+        }
+        Some("client") => {
+            cmd_client(&args[1..]);
             0
         }
         _ => usage(),

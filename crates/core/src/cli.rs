@@ -1,0 +1,80 @@
+//! Shared error reporting for the `agave` binary.
+//!
+//! Every operational failure (missing trace file, corrupt input,
+//! unreachable server, …) exits through [`fail`]: a one-line
+//! diagnostic on stderr — `agave <verb>: <context>: <cause>` — and
+//! exit code [`EXIT_FAILURE`]. No panics, no backtraces, and the same
+//! shape whether the path was missing, unreadable, or malformed.
+//! Usage errors (bad flags) exit with [`EXIT_USAGE`] via the binary's
+//! `usage()` instead.
+
+use std::fmt;
+use std::path::Path;
+
+/// Exit code for operational failures (bad input, I/O, server errors).
+pub const EXIT_FAILURE: i32 = 1;
+/// Exit code for usage errors (unknown verbs, malformed flags).
+pub const EXIT_USAGE: i32 = 2;
+
+/// Formats the one-line diagnostic: `agave <verb>: [<path>: ]<cause>`.
+pub fn diagnostic(verb: &str, path: Option<&Path>, cause: &dyn fmt::Display) -> String {
+    match path {
+        Some(p) => format!("agave {verb}: {}: {cause}", p.display()),
+        None => format!("agave {verb}: {cause}"),
+    }
+}
+
+/// Prints the diagnostic and exits with [`EXIT_FAILURE`].
+pub fn fail(verb: &str, path: Option<&Path>, cause: &dyn fmt::Display) -> ! {
+    eprintln!("{}", diagnostic(verb, path, cause));
+    std::process::exit(EXIT_FAILURE);
+}
+
+/// Unwraps `result`, exiting through [`fail`] with the path attached
+/// on error — the standard way a verb touches a user-supplied file.
+pub fn or_fail<T, E: fmt::Display>(verb: &str, path: &Path, result: Result<T, E>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(err) => fail(verb, Some(path), &err),
+    }
+}
+
+/// Unwraps `result`, exiting through [`fail`] without a path (for
+/// failures not tied to a file, e.g. a refused connection).
+pub fn or_fail_bare<T, E: fmt::Display>(verb: &str, result: Result<T, E>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(err) => fail(verb, None, &err),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostics_are_one_line_and_carry_the_path() {
+        let d = diagnostic(
+            "replay",
+            Some(Path::new("missing.agtrace")),
+            &"No such file or directory (os error 2)",
+        );
+        assert_eq!(
+            d,
+            "agave replay: missing.agtrace: No such file or directory (os error 2)"
+        );
+        assert!(!d.contains('\n'));
+        assert_eq!(
+            diagnostic("client", None, &"connection refused"),
+            "agave client: connection refused"
+        );
+    }
+
+    #[test]
+    fn or_fail_passes_ok_values_through() {
+        let v: u32 = or_fail("stats", Path::new("x"), Ok::<_, String>(7));
+        assert_eq!(v, 7);
+        let v: u32 = or_fail_bare("client", Ok::<_, String>(9));
+        assert_eq!(v, 9);
+    }
+}

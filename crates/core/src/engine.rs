@@ -36,8 +36,11 @@ use crate::suite::Workload;
 use agave_apps::{execute_app_traced, RunConfig};
 use agave_spec::{execute_spec_traced, SpecConfig};
 use agave_trace::{CounterSnapshot, NameDirectory, RunSummary, SharedSink};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+// The fan-out primitive moved to the base crate (`agave_trace::par`) so
+// layers below `agave-core` — notably the `agave-serve` worker pool —
+// can share it; these re-exports keep the historical `engine::` paths.
+pub use agave_trace::par::{effective_jobs, parallel_map};
 
 /// Sizing knobs for engine runs: how big each Agave application run and
 /// each SPEC problem is.
@@ -231,55 +234,6 @@ pub fn run_suite_parallel(
     drop(suite_span);
     heartbeat.finish();
     outcomes
-}
-
-/// Resolves a `--jobs`-style request: 0 means one per available CPU.
-pub fn effective_jobs(jobs: usize) -> usize {
-    if jobs == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        jobs
-    }
-}
-
-/// The engine's fan-out primitive: computes `f(0..count)` on up to
-/// `jobs` scoped threads and returns the results in index order.
-///
-/// Work distribution is a shared atomic cursor (work stealing by index):
-/// idle workers claim the next index, so a slow item never stalls the
-/// rest of the queue behind a static partition. A panic in any worker
-/// propagates to the caller once all threads have been joined.
-pub fn parallel_map<T, F>(count: usize, jobs: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let jobs = effective_jobs(jobs).min(count.max(1));
-    if jobs <= 1 {
-        return (0..count).map(f).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
-                }
-                let result = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker skipped a claimed index")
-        })
-        .collect()
 }
 
 /// A configured engine: the object form of this module's free functions,

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod cli;
 pub mod engine;
 mod experiments;
 mod profiles;

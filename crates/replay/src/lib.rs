@@ -43,7 +43,7 @@ mod rebuild;
 mod writer;
 
 pub use format::TraceError;
-pub use reader::{ReplayOutcome, TraceReader};
+pub use reader::{ReplayOutcome, TraceReader, ValidateOutcome};
 pub use rebuild::SummaryAccumulator;
 pub use writer::{TraceStats, TraceWriter};
 
@@ -128,6 +128,41 @@ mod tests {
                 "cut at {cut}: expected Corrupt, got {err}"
             );
         }
+    }
+
+    #[test]
+    fn validate_walks_a_good_trace_without_decoding() {
+        let (bytes, live) = record_synthetic_bytes();
+        let reader = TraceReader::new(Cursor::new(&bytes)).unwrap();
+        let outcome = reader.validate().unwrap();
+        assert_eq!(outcome.label, "synthetic");
+        assert!(outcome.record_chunks > 0);
+        assert_eq!(outcome.bytes, bytes.len() as u64);
+        assert!(outcome.records > 0, "footer totals must surface");
+        // The stream excludes the 500 boot-baseline words charged before
+        // the recorder attached.
+        assert_eq!(outcome.words, live.total_instr + live.total_data - 500);
+    }
+
+    #[test]
+    fn validate_rejects_flipped_bytes_and_truncation() {
+        let (bytes, _) = record_synthetic_bytes();
+        // Flip one payload byte somewhere in the body.
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        let err = TraceReader::new(Cursor::new(&flipped))
+            .unwrap()
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt { .. }), "got {err}");
+        // Truncate before the footer.
+        let cut = &bytes[..bytes.len() - 9];
+        let err = TraceReader::new(Cursor::new(cut))
+            .unwrap()
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt { .. }), "got {err}");
     }
 
     #[test]

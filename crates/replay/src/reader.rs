@@ -35,6 +35,24 @@ pub struct ReplayOutcome {
     pub words: u64,
 }
 
+/// What a [`TraceReader::validate`] walk establishes about a trace:
+/// header parsed, every chunk checksum verified, footer present and
+/// structurally sound — without decoding or delivering any record.
+#[derive(Debug, Clone)]
+pub struct ValidateOutcome {
+    /// The recorded workload's label, from the header.
+    pub label: String,
+    /// Number of record chunks whose checksums verified.
+    pub record_chunks: u64,
+    /// Total bytes walked (header through footer).
+    pub bytes: u64,
+    /// Record count promised by the footer (not cross-checked — see
+    /// [`TraceReader::validate`]).
+    pub records: u64,
+    /// Word count promised by the footer.
+    pub words: u64,
+}
+
 /// A streaming `.agtrace` decoder.
 #[derive(Debug)]
 pub struct TraceReader<R: Read> {
@@ -163,6 +181,56 @@ impl<R: Read> TraceReader<R> {
                         baseline: footer.baseline,
                         records,
                         words,
+                    });
+                }
+                other => {
+                    return Err(TraceError::corrupt(
+                        chunk_start,
+                        format!("unknown chunk tag 0x{other:02x}"),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Walks the whole trace verifying structure without delivering a
+    /// single record: every chunk checksum is recomputed, the directory
+    /// footer must be present, parseable, and last. No sink sees the
+    /// stream and no record is decoded, so validation is bounded by I/O
+    /// plus one checksum pass — the cheap admission check `agave-serve`
+    /// runs on every upload before a session is created.
+    ///
+    /// Returns the footer-promised totals. Cross-checking those totals
+    /// against the body requires decoding every record, which is
+    /// [`TraceReader::replay`]'s job; a record-level inconsistency that a
+    /// checksum cannot catch is still caught at analysis time.
+    pub fn validate(mut self) -> Result<ValidateOutcome, TraceError> {
+        let mut record_chunks: u64 = 0;
+        loop {
+            let chunk_start = self.offset;
+            let (tag, payload) = self.read_chunk()?.ok_or_else(|| {
+                TraceError::corrupt(
+                    self.offset,
+                    "trace ends before the directory footer (truncated?)",
+                )
+            })?;
+            match tag {
+                TAG_RECORDS => record_chunks += 1,
+                TAG_DIRECTORY => {
+                    let footer = parse_footer(&payload, chunk_start)?;
+                    let mut trailing = [0u8; 1];
+                    if self.input.read(&mut trailing)? != 0 {
+                        return Err(TraceError::corrupt(
+                            self.offset,
+                            "trailing data after the directory footer",
+                        ));
+                    }
+                    return Ok(ValidateOutcome {
+                        label: self.label,
+                        record_chunks,
+                        bytes: self.offset,
+                        records: footer.total_records,
+                        words: footer.total_words,
                     });
                 }
                 other => {

@@ -1,0 +1,242 @@
+//! The client side of the wire protocol.
+//!
+//! Each call opens one connection, sends one request frame, and reads
+//! one response frame — mirroring the server's one-request-per-
+//! connection discipline. Uploads stream the trace file through
+//! `io::copy`'s fixed buffer, so client memory stays bounded no matter
+//! the trace size.
+//!
+//! The `*_once` methods surface [`Response::Retry`] verbatim (tests and
+//! the load bench want to *see* backpressure); the plain methods loop
+//! on RETRY, sleeping the server-suggested back-off, up to a retry
+//! budget.
+
+use crate::protocol::{
+    decode_response, decode_session, decode_sessions, encode_analyze, encode_list, encode_ping,
+    encode_shutdown, encode_upload_header, read_frame, write_frame, Analysis, Response,
+    SessionInfo, WireError, MAX_CONTROL_FRAME,
+};
+use std::fmt;
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// Everything a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not reach or speak to the server.
+    Wire(WireError),
+    /// The server answered with an ERR frame.
+    Server(String),
+    /// The server kept answering RETRY past the retry budget.
+    Saturated {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The server's last RETRY message.
+        message: String,
+    },
+    /// A local file problem (e.g. the trace to upload is unreadable).
+    Local(io::Error),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Saturated { attempts, message } => {
+                write!(f, "server saturated after {attempts} attempts: {message}")
+            }
+            ClientError::Local(e) => write!(f, "local i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+/// A client handle: just the server address; every request dials fresh.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    /// RETRY responses tolerated before [`ClientError::Saturated`].
+    pub max_retries: u32,
+}
+
+impl Client {
+    /// A client for the daemon at `addr` (e.g. `"127.0.0.1:4950"`).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            max_retries: 20,
+        }
+    }
+
+    fn connect(&self) -> Result<TcpStream, ClientError> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(120)))?;
+        Ok(stream)
+    }
+
+    /// One full exchange for an in-memory request payload.
+    fn roundtrip(&self, payload: &[u8]) -> Result<Response, ClientError> {
+        let mut stream = self.connect()?;
+        write_frame(&mut stream, payload)?;
+        let frame = read_frame(&mut stream, MAX_CONTROL_FRAME)?;
+        Ok(decode_response(&frame)?)
+    }
+
+    /// Runs `attempt` until it stops answering RETRY, sleeping the
+    /// server-suggested back-off between tries.
+    fn with_retry(
+        &self,
+        mut attempt: impl FnMut() -> Result<Response, ClientError>,
+    ) -> Result<Vec<u8>, ClientError> {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match attempt()? {
+                Response::Ok(body) => return Ok(body),
+                Response::Err(message) => return Err(ClientError::Server(message)),
+                Response::Retry { after_ms, message } => {
+                    if attempts > self.max_retries {
+                        return Err(ClientError::Saturated { attempts, message });
+                    }
+                    std::thread::sleep(Duration::from_millis(u64::from(after_ms)));
+                }
+            }
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> Result<(), ClientError> {
+        self.with_retry(|| self.roundtrip(&encode_ping()))
+            .map(|_| ())
+    }
+
+    /// Asks the daemon to shut down cleanly.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        self.with_retry(|| self.roundtrip(&encode_shutdown()))
+            .map(|_| ())
+    }
+
+    /// Lists stored sessions, sorted by name.
+    pub fn list(&self) -> Result<Vec<SessionInfo>, ClientError> {
+        let body = self.with_retry(|| self.roundtrip(&encode_list()))?;
+        Ok(decode_sessions(&body)?)
+    }
+
+    /// Uploads the `.agtrace` at `path` as session `name`, retrying on
+    /// backpressure. Returns the server's acknowledgment.
+    pub fn upload(&self, name: &str, path: &Path) -> Result<SessionInfo, ClientError> {
+        let body = self.with_retry(|| self.upload_once(name, path))?;
+        Ok(decode_session(&body)?)
+    }
+
+    /// One upload attempt; RETRY comes back verbatim.
+    ///
+    /// A server shedding load answers RETRY *and closes* while the
+    /// client may still be streaming trace bytes, so the client can hit
+    /// a broken pipe before it ever reads the frame. A connection
+    /// dropped mid-upload is therefore reported as a RETRY, not an
+    /// error — bounded by the usual retry budget.
+    pub fn upload_once(&self, name: &str, path: &Path) -> Result<Response, ClientError> {
+        let mut file = std::fs::File::open(path).map_err(ClientError::Local)?;
+        let file_len = file.metadata().map_err(ClientError::Local)?.len();
+        let header = encode_upload_header(name);
+        let frame_len = header.len() as u64 + file_len;
+        if frame_len > u64::from(u32::MAX) {
+            return Err(ClientError::Local(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("trace too large for one frame ({file_len} bytes)"),
+            )));
+        }
+        let mut stream = self.connect()?;
+        let attempt = (|| -> Result<Response, ClientError> {
+            stream.write_all(&(frame_len as u32).to_le_bytes())?;
+            stream.write_all(&header)?;
+            let copied = io::copy(&mut file, &mut stream)?;
+            if copied != file_len {
+                return Err(ClientError::Local(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("trace shrank mid-upload ({copied} of {file_len} bytes)"),
+                )));
+            }
+            stream.flush()?;
+            let frame = read_frame(&mut stream, MAX_CONTROL_FRAME)?;
+            Ok(decode_response(&frame)?)
+        })();
+        match attempt {
+            Err(ClientError::Wire(WireError::Io(e))) if dropped_mid_stream(&e) => {
+                Ok(Response::Retry {
+                    after_ms: 20,
+                    message: format!("connection dropped mid-upload ({e}); server shedding load"),
+                })
+            }
+            other => other,
+        }
+    }
+
+    /// Runs `analysis` against stored session `name`, retrying on
+    /// backpressure. Returns the server-rendered JSON text.
+    pub fn analyze(&self, name: &str, analysis: &Analysis) -> Result<String, ClientError> {
+        let body = self.with_retry(|| self.analyze_once(name, analysis))?;
+        String::from_utf8(body)
+            .map_err(|_| ClientError::Wire(WireError::Malformed("analysis not UTF-8".into())))
+    }
+
+    /// One analyze attempt; RETRY comes back verbatim.
+    pub fn analyze_once(&self, name: &str, analysis: &Analysis) -> Result<Response, ClientError> {
+        self.roundtrip(&encode_analyze(name, analysis))
+    }
+
+    /// Reads the raw response to an arbitrary prebuilt payload (the
+    /// load bench uses this to measure rejects without retry logic).
+    pub fn raw(&self, payload: &[u8]) -> Result<Response, ClientError> {
+        self.roundtrip(payload)
+    }
+}
+
+/// Whether an I/O failure means the peer hung up mid-stream (the
+/// load-shedding signature) rather than a local fault.
+fn dropped_mid_stream(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::UnexpectedEof
+    )
+}
+
+/// Renders a session table the way `agave client list` prints it.
+pub fn render_sessions(sessions: &[SessionInfo]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24} {:>12} {:>12} {:>10} {:>8}  label\n",
+        "session", "bytes", "words", "records", "chunks"
+    ));
+    for s in sessions {
+        out.push_str(&format!(
+            "{:<24} {:>12} {:>12} {:>10} {:>8}  {}\n",
+            s.name, s.file_bytes, s.words, s.records, s.chunks, s.label
+        ));
+    }
+    if sessions.is_empty() {
+        out.push_str("(no sessions stored)\n");
+    }
+    out
+}

@@ -1,0 +1,482 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! One connection carries exactly one request frame and one response
+//! frame (connect → request → response → close). Keeping the exchange
+//! single-shot means a worker never parks on a half-idle connection, so
+//! `--jobs N` worker threads bound the server's concurrency exactly.
+//!
+//! ```text
+//! frame     u32 LE payload length · payload
+//! request   verb byte · verb-specific body
+//!   UPLOAD  0x01 · varint name len · name · raw .agtrace bytes
+//!   LIST    0x02
+//!   ANALYZE 0x03 · varint name len · name · kind byte
+//!                  kind 0 = summary, 1 = cache (+ varint preset), 2 = sketch
+//!   PING    0x04
+//!   SHUT    0x05
+//! response  status byte · body
+//!   OK      0x00 · verb-specific body (JSON text, session table, …)
+//!   ERR     0x01 · UTF-8 message
+//!   RETRY   0x02 · u32 LE retry-after ms · UTF-8 message
+//! ```
+//!
+//! Varints are the same LEB128 encoding the `.agtrace` body uses
+//! (`agave_replay::codec`). An UPLOAD frame's trailing trace bytes are
+//! *streamed* on both ends — the client copies the file through a fixed
+//! buffer and the server spools to disk the same way — so neither side
+//! ever materializes a whole trace in memory.
+
+use agave_replay::codec::{get_varint, put_varint};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Request verb: upload a trace (name + raw bytes follow).
+pub const V_UPLOAD: u8 = 0x01;
+/// Request verb: list stored sessions.
+pub const V_LIST: u8 = 0x02;
+/// Request verb: run an analysis against a stored session.
+pub const V_ANALYZE: u8 = 0x03;
+/// Request verb: liveness probe.
+pub const V_PING: u8 = 0x04;
+/// Request verb: clean shutdown.
+pub const V_SHUTDOWN: u8 = 0x05;
+
+/// Response status: success; body is verb-specific.
+pub const S_OK: u8 = 0x00;
+/// Response status: request failed; body is a UTF-8 message.
+pub const S_ERR: u8 = 0x01;
+/// Response status: server is saturated; retry after the given delay.
+pub const S_RETRY: u8 = 0x02;
+
+/// Largest frame either side will buffer in memory. Upload frames may
+/// exceed this on the wire — both ends stream their trace bytes — but
+/// any frame *parsed in memory* (requests sans trace body, responses)
+/// must fit.
+pub const MAX_CONTROL_FRAME: u64 = 64 << 20;
+
+/// Everything that can go wrong speaking the protocol.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// The peer sent bytes that do not parse as a frame or message.
+    Malformed(String),
+    /// The peer promised a control frame beyond [`MAX_CONTROL_FRAME`].
+    TooLarge(u64),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            WireError::TooLarge(n) => {
+                write!(
+                    f,
+                    "frame of {n} bytes exceeds the {MAX_CONTROL_FRAME}-byte cap"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+fn malformed(what: impl Into<String>) -> WireError {
+    WireError::Malformed(what.into())
+}
+
+/// An analysis a client can request against a stored session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Analysis {
+    /// Rebuild the recorded run's `RunSummary` (JSON).
+    Summary,
+    /// Replay through a named `HierarchyGeometry` preset (JSON report).
+    Cache(String),
+    /// Bounded-memory streaming sketch: heavy-hitter regions +
+    /// inter-reference delta quantiles (JSON report).
+    Sketch,
+}
+
+impl Analysis {
+    /// The kind byte on the wire.
+    fn kind(&self) -> u8 {
+        match self {
+            Analysis::Summary => 0,
+            Analysis::Cache(_) => 1,
+            Analysis::Sketch => 2,
+        }
+    }
+}
+
+impl fmt::Display for Analysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Analysis::Summary => write!(f, "summary"),
+            Analysis::Cache(preset) => write!(f, "cache:{preset}"),
+            Analysis::Sketch => write!(f, "sketch"),
+        }
+    }
+}
+
+/// One stored trace session, as listed by the server and acknowledged
+/// after an upload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// The client-chosen session name (upload key).
+    pub name: String,
+    /// The recorded workload's label, from the trace header.
+    pub label: String,
+    /// Trace size on disk in bytes.
+    pub file_bytes: u64,
+    /// Record count promised by the trace footer.
+    pub records: u64,
+    /// Word count promised by the trace footer.
+    pub words: u64,
+    /// Number of checksum-verified record chunks.
+    pub chunks: u64,
+}
+
+/// A parsed response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Success; body is verb-specific.
+    Ok(Vec<u8>),
+    /// Failure with a human-readable reason.
+    Err(String),
+    /// Backpressure: the ingest queue is full; retry after `after_ms`.
+    Retry {
+        /// Suggested client back-off in milliseconds.
+        after_ms: u32,
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// Writes one frame (length prefix + payload).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one whole frame into memory; rejects frames over `cap` bytes.
+pub fn read_frame<R: Read>(r: &mut R, cap: u64) -> Result<Vec<u8>, WireError> {
+    let len = read_frame_len(r)?;
+    if u64::from(len) > cap {
+        return Err(WireError::TooLarge(u64::from(len)));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Reads just the 4-byte length prefix (the server does this before
+/// deciding whether to stream or buffer the payload).
+pub fn read_frame_len<R: Read>(r: &mut R) -> Result<u32, WireError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    Ok(u32::from_le_bytes(len))
+}
+
+/// Reads one varint byte-by-byte from a stream, counting consumed bytes.
+pub fn read_varint_stream<R: Read>(r: &mut R, consumed: &mut u64) -> Result<u64, WireError> {
+    let mut v: u64 = 0;
+    for shift in 0..10u32 {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        *consumed += 1;
+        let byte = byte[0];
+        if shift == 9 && byte > 0x01 {
+            return Err(malformed("overlong varint"));
+        }
+        v |= u64::from(byte & 0x7f) << (7 * shift);
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(malformed("overlong varint"))
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(buf: &[u8], pos: &mut usize, what: &str) -> Result<String, WireError> {
+    let len = get_varint(buf, pos).ok_or_else(|| malformed(format!("{what} length")))? as usize;
+    let bytes = buf
+        .get(*pos..*pos + len)
+        .ok_or_else(|| malformed(format!("{what} bytes")))?;
+    *pos += len;
+    String::from_utf8(bytes.to_vec()).map_err(|_| malformed(format!("{what} is not UTF-8")))
+}
+
+/// Longest session name the server accepts.
+pub const MAX_NAME: usize = 256;
+
+/// The UPLOAD frame's in-memory prefix: verb byte + session name. The
+/// caller appends (client) or streams (server) the trace bytes after it.
+pub fn encode_upload_header(name: &str) -> Vec<u8> {
+    let mut out = vec![V_UPLOAD];
+    put_str(&mut out, name);
+    out
+}
+
+/// Encodes a LIST request payload.
+pub fn encode_list() -> Vec<u8> {
+    vec![V_LIST]
+}
+
+/// Encodes a PING request payload.
+pub fn encode_ping() -> Vec<u8> {
+    vec![V_PING]
+}
+
+/// Encodes a SHUTDOWN request payload.
+pub fn encode_shutdown() -> Vec<u8> {
+    vec![V_SHUTDOWN]
+}
+
+/// Encodes an ANALYZE request payload.
+pub fn encode_analyze(name: &str, analysis: &Analysis) -> Vec<u8> {
+    let mut out = vec![V_ANALYZE];
+    put_str(&mut out, name);
+    out.push(analysis.kind());
+    if let Analysis::Cache(preset) = analysis {
+        put_str(&mut out, preset);
+    }
+    out
+}
+
+/// Parses an ANALYZE request body (everything after the verb byte).
+pub fn decode_analyze(body: &[u8]) -> Result<(String, Analysis), WireError> {
+    let mut pos = 0;
+    let name = get_str(body, &mut pos, "session name")?;
+    let kind = *body.get(pos).ok_or_else(|| malformed("analysis kind"))?;
+    pos += 1;
+    let analysis = match kind {
+        0 => Analysis::Summary,
+        1 => Analysis::Cache(get_str(body, &mut pos, "preset name")?),
+        2 => Analysis::Sketch,
+        other => return Err(malformed(format!("unknown analysis kind {other}"))),
+    };
+    if pos != body.len() {
+        return Err(malformed("trailing bytes in analyze request"));
+    }
+    Ok((name, analysis))
+}
+
+fn put_session(out: &mut Vec<u8>, s: &SessionInfo) {
+    put_str(out, &s.name);
+    put_str(out, &s.label);
+    put_varint(out, s.file_bytes);
+    put_varint(out, s.records);
+    put_varint(out, s.words);
+    put_varint(out, s.chunks);
+}
+
+fn get_session(buf: &[u8], pos: &mut usize) -> Result<SessionInfo, WireError> {
+    let name = get_str(buf, pos, "session name")?;
+    let label = get_str(buf, pos, "session label")?;
+    let mut uint = |what: &str| -> Result<u64, WireError> {
+        get_varint(buf, pos).ok_or_else(|| malformed(format!("session {what}")))
+    };
+    Ok(SessionInfo {
+        file_bytes: uint("file bytes")?,
+        records: uint("records")?,
+        words: uint("words")?,
+        chunks: uint("chunks")?,
+        name,
+        label,
+    })
+}
+
+/// Encodes one session (an UPLOAD acknowledgment body).
+pub fn encode_session(s: &SessionInfo) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_session(&mut out, s);
+    out
+}
+
+/// Decodes an UPLOAD acknowledgment body.
+pub fn decode_session(body: &[u8]) -> Result<SessionInfo, WireError> {
+    let mut pos = 0;
+    let s = get_session(body, &mut pos)?;
+    if pos != body.len() {
+        return Err(malformed("trailing bytes in session"));
+    }
+    Ok(s)
+}
+
+/// Encodes a LIST response body.
+pub fn encode_sessions(sessions: &[SessionInfo]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, sessions.len() as u64);
+    for s in sessions {
+        put_session(&mut out, s);
+    }
+    out
+}
+
+/// Decodes a LIST response body.
+pub fn decode_sessions(body: &[u8]) -> Result<Vec<SessionInfo>, WireError> {
+    let mut pos = 0;
+    let count = get_varint(body, &mut pos).ok_or_else(|| malformed("session count"))?;
+    if count > body.len() as u64 {
+        return Err(malformed("implausible session count"));
+    }
+    let mut sessions = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        sessions.push(get_session(body, &mut pos)?);
+    }
+    if pos != body.len() {
+        return Err(malformed("trailing bytes in session list"));
+    }
+    Ok(sessions)
+}
+
+/// Encodes a response frame payload.
+pub fn encode_response(r: &Response) -> Vec<u8> {
+    match r {
+        Response::Ok(body) => {
+            let mut out = vec![S_OK];
+            out.extend_from_slice(body);
+            out
+        }
+        Response::Err(message) => {
+            let mut out = vec![S_ERR];
+            out.extend_from_slice(message.as_bytes());
+            out
+        }
+        Response::Retry { after_ms, message } => {
+            let mut out = vec![S_RETRY];
+            out.extend_from_slice(&after_ms.to_le_bytes());
+            out.extend_from_slice(message.as_bytes());
+            out
+        }
+    }
+}
+
+/// Decodes a response frame payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let (&status, body) = payload
+        .split_first()
+        .ok_or_else(|| malformed("empty response"))?;
+    match status {
+        S_OK => Ok(Response::Ok(body.to_vec())),
+        S_ERR => Ok(Response::Err(
+            String::from_utf8(body.to_vec()).map_err(|_| malformed("error text not UTF-8"))?,
+        )),
+        S_RETRY => {
+            if body.len() < 4 {
+                return Err(malformed("retry body too short"));
+            }
+            let after_ms = u32::from_le_bytes(body[..4].try_into().expect("4 bytes"));
+            let message = String::from_utf8(body[4..].to_vec())
+                .map_err(|_| malformed("retry text not UTF-8"))?;
+            Ok(Response::Retry { after_ms, message })
+        }
+        other => Err(malformed(format!("unknown response status 0x{other:02x}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_session(i: u64) -> SessionInfo {
+        SessionInfo {
+            name: format!("client-{i}"),
+            label: "gallery.mp4.view".to_owned(),
+            file_bytes: 1000 + i,
+            records: 500 * i,
+            words: 9000 + i,
+            chunks: i,
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello frames").unwrap();
+        let mut r = &wire[..];
+        assert_eq!(
+            read_frame(&mut r, MAX_CONTROL_FRAME).unwrap(),
+            b"hello frames"
+        );
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn oversized_control_frames_are_rejected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[0u8; 100]).unwrap();
+        let err = read_frame(&mut &wire[..], 50).unwrap_err();
+        assert!(matches!(err, WireError::TooLarge(100)));
+    }
+
+    #[test]
+    fn analyze_requests_round_trip() {
+        for analysis in [
+            Analysis::Summary,
+            Analysis::Cache("cortex-a9".to_owned()),
+            Analysis::Sketch,
+        ] {
+            let payload = encode_analyze("my-session", &analysis);
+            assert_eq!(payload[0], V_ANALYZE);
+            let (name, parsed) = decode_analyze(&payload[1..]).unwrap();
+            assert_eq!(name, "my-session");
+            assert_eq!(parsed, analysis);
+        }
+    }
+
+    #[test]
+    fn session_lists_round_trip() {
+        let sessions: Vec<SessionInfo> = (0..5).map(sample_session).collect();
+        let body = encode_sessions(&sessions);
+        assert_eq!(decode_sessions(&body).unwrap(), sessions);
+        assert_eq!(decode_sessions(&encode_sessions(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for response in [
+            Response::Ok(b"{\"x\":1}".to_vec()),
+            Response::Err("no such session".to_owned()),
+            Response::Retry {
+                after_ms: 75,
+                message: "queue full".to_owned(),
+            },
+        ] {
+            let payload = encode_response(&response);
+            assert_eq!(decode_response(&payload).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn upload_header_parses_back() {
+        let header = encode_upload_header("trace-a");
+        assert_eq!(header[0], V_UPLOAD);
+        let mut r = &header[1..];
+        let mut consumed = 0;
+        let len = read_varint_stream(&mut r, &mut consumed).unwrap();
+        assert_eq!(len, 7);
+        assert_eq!(r, b"trace-a");
+    }
+
+    #[test]
+    fn corrupt_bodies_are_malformed_not_panics() {
+        assert!(decode_analyze(&[0xff, 0xff, 0xff]).is_err());
+        assert!(decode_sessions(&[9, 1]).is_err());
+        assert!(decode_response(&[]).is_err());
+        assert!(decode_response(&[S_RETRY, 1, 2]).is_err());
+        assert!(decode_session(&[0x05, b'a']).is_err());
+    }
+}

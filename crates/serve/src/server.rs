@@ -1,0 +1,488 @@
+//! The daemon: a bounded-queue TCP accept loop feeding a
+//! `parallel_map` worker pool.
+//!
+//! # Threading and backpressure
+//!
+//! One acceptor thread owns the listener. Accepted connections go into a
+//! bounded queue; `jobs` workers (spawned through the same work-stealing
+//! [`parallel_map`](agave_trace::par::parallel_map) that runs the
+//! parallel suite) pop and handle one request each. When the queue is
+//! full the acceptor *immediately* answers `RETRY` with a suggested
+//! back-off and closes — explicit rejection, never unbounded buffering,
+//! so a flood of clients costs the server one small write per excess
+//! connection instead of memory.
+//!
+//! # Bounded ingest memory
+//!
+//! Uploads are streamed from the socket to the spool file through
+//! `io::copy`'s fixed buffer, then validated with
+//! [`TraceReader::validate`] (a checksum walk that decodes nothing).
+//! Analyses replay from disk through the same chunked `SINK_BATCH`
+//! delivery path as local replay. Server memory is therefore
+//! `O(jobs × copy-buffer + queue length + sketch capacity)` regardless
+//! of trace size — the `serve_load` bench uploads and sketches a trace
+//! far larger than those bounds to prove it.
+
+use crate::protocol::{
+    decode_analyze, encode_response, encode_session, encode_sessions, read_frame_len,
+    read_varint_stream, write_frame, Analysis, Response, SessionInfo, WireError, MAX_CONTROL_FRAME,
+    MAX_NAME, V_ANALYZE, V_LIST, V_PING, V_SHUTDOWN, V_UPLOAD,
+};
+use crate::sketch::SketchSink;
+use crate::store::{SessionMeta, TraceStore};
+use agave_cache::{HierarchyGeometry, MemoryHierarchy};
+use agave_replay::{replay_summary, TraceReader};
+use agave_trace::par::{effective_jobs, parallel_map};
+use agave_trace::SharedSink;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// How the daemon binds, scales, and pushes back.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `"127.0.0.1:4950"` (`:0` for an ephemeral
+    /// port — read it back with [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads handling requests (0 = one per CPU).
+    pub jobs: usize,
+    /// Accepted-connection queue capacity; beyond it clients get RETRY.
+    pub queue_cap: usize,
+    /// Back-off suggested to rejected clients, in milliseconds.
+    pub retry_after_ms: u32,
+    /// Spool directory for uploaded traces (`None` = a fresh temp dir,
+    /// removed on shutdown).
+    pub spool: Option<PathBuf>,
+    /// Artificial per-request handling delay. Zero in production; tests
+    /// and the load bench raise it to force the queue to fill
+    /// deterministically.
+    pub handle_delay_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:4950".to_owned(),
+            jobs: 0,
+            queue_cap: 64,
+            retry_after_ms: 50,
+            spool: None,
+            handle_delay_ms: 0,
+        }
+    }
+}
+
+/// Counters the daemon keeps unconditionally (unlike the telemetry
+/// registry, which is gated) and reports when [`Server::run`] returns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections accepted (including rejected ones).
+    pub connections: u64,
+    /// Successful uploads.
+    pub uploads: u64,
+    /// Successful analyses.
+    pub analyses: u64,
+    /// Connections answered with RETRY because the queue was full.
+    pub rejects: u64,
+    /// Requests that failed (bad frames, unknown sessions, corrupt
+    /// uploads, I/O errors mid-request).
+    pub errors: u64,
+    /// Raw trace bytes spooled to disk.
+    pub bytes_ingested: u64,
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    connections: AtomicU64,
+    uploads: AtomicU64,
+    analyses: AtomicU64,
+    rejects: AtomicU64,
+    errors: AtomicU64,
+    bytes_ingested: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            uploads: self.uploads.load(Ordering::Relaxed),
+            analyses: self.analyses.load(Ordering::Relaxed),
+            rejects: self.rejects.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            bytes_ingested: self.bytes_ingested.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The bounded accepted-connection queue.
+struct ConnQueue {
+    state: Mutex<(VecDeque<TcpStream>, bool)>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> Self {
+        ConnQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues `s`, or returns it when the queue is full (the caller
+    /// rejects). Returns the depth after the push.
+    fn push(&self, s: TcpStream) -> Result<usize, TcpStream> {
+        let mut state = self.state.lock().expect("conn queue poisoned");
+        if state.0.len() >= self.cap {
+            return Err(s);
+        }
+        state.0.push_back(s);
+        let depth = state.0.len();
+        self.cv.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks for the next connection; `None` once closed and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().expect("conn queue poisoned");
+        loop {
+            if let Some(s) = state.0.pop_front() {
+                return Some(s);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self.cv.wait(state).expect("conn queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("conn queue poisoned").1 = true;
+        self.cv.notify_all();
+    }
+}
+
+/// The multi-tenant replay/analysis daemon.
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+    store: TraceStore,
+    queue: ConnQueue,
+    shutdown: AtomicBool,
+    stats: AtomicStats,
+}
+
+impl Server {
+    /// Binds the listener and opens the spool; does not serve yet.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let store = TraceStore::new(config.spool.clone())?;
+        let queue = ConnQueue::new(config.queue_cap);
+        Ok(Server {
+            listener,
+            config,
+            store,
+            queue,
+            shutdown: AtomicBool::new(false),
+            stats: AtomicStats::default(),
+        })
+    }
+
+    /// The bound address (resolves `:0` ephemeral-port binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("listener has an address")
+    }
+
+    /// Serves until a client sends SHUTDOWN, then drains the queue and
+    /// returns the run's [`ServeStats`]. Workers fan out through
+    /// [`parallel_map`]; the acceptor runs beside them.
+    pub fn run(&self) -> ServeStats {
+        let jobs = effective_jobs(self.config.jobs);
+        std::thread::scope(|scope| {
+            let acceptor = scope.spawn(|| self.accept_loop());
+            parallel_map(jobs, jobs, |_| self.worker_loop());
+            acceptor.join().expect("acceptor panicked");
+        });
+        self.stats.snapshot()
+    }
+
+    fn accept_loop(&self) {
+        loop {
+            let conn = match self.listener.accept() {
+                Ok((s, _)) => s,
+                Err(_) => {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    continue;
+                }
+            };
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            self.stats.connections.fetch_add(1, Ordering::Relaxed);
+            if agave_telemetry::enabled() {
+                agave_telemetry::metrics::counter("serve.connections").incr();
+            }
+            match self.queue.push(conn) {
+                Ok(depth) => {
+                    if agave_telemetry::enabled() {
+                        agave_telemetry::metrics::histogram("serve.queue_depth")
+                            .record(depth as u64);
+                    }
+                }
+                Err(conn) => self.reject(conn),
+            }
+        }
+        self.queue.close();
+    }
+
+    /// Answers a connection the queue has no room for: one RETRY frame,
+    /// then close. The write gets a short timeout so a stalled client
+    /// cannot wedge the acceptor.
+    fn reject(&self, conn: TcpStream) {
+        self.stats.rejects.fetch_add(1, Ordering::Relaxed);
+        if agave_telemetry::enabled() {
+            agave_telemetry::metrics::counter("serve.rejects").incr();
+        }
+        conn.set_write_timeout(Some(Duration::from_secs(1))).ok();
+        let mut conn = conn;
+        let response = Response::Retry {
+            after_ms: self.config.retry_after_ms,
+            message: format!("ingest queue full ({} waiting)", self.config.queue_cap),
+        };
+        write_frame(&mut conn, &encode_response(&response)).ok();
+    }
+
+    fn worker_loop(&self) {
+        while let Some(conn) = self.queue.pop() {
+            if self.config.handle_delay_ms > 0 {
+                std::thread::sleep(Duration::from_millis(self.config.handle_delay_ms));
+            }
+            if let Err(err) = self.handle(conn) {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                if agave_telemetry::enabled() {
+                    agave_telemetry::metrics::counter("serve.request_errors").incr();
+                }
+                // A failed request is the client's problem (they got an
+                // ERR frame when the socket allowed one); keep serving.
+                let _ = err;
+            }
+        }
+    }
+
+    /// Handles one connection: one request frame, one response frame.
+    fn handle(&self, conn: TcpStream) -> Result<(), WireError> {
+        conn.set_read_timeout(Some(Duration::from_secs(60)))?;
+        conn.set_write_timeout(Some(Duration::from_secs(60)))?;
+        let mut reader = BufReader::new(conn.try_clone()?);
+        let mut writer = conn;
+        let frame_len = u64::from(read_frame_len(&mut reader)?);
+        if frame_len == 0 {
+            return self.respond(&mut writer, Response::Err("empty request".into()));
+        }
+        let mut verb = [0u8; 1];
+        reader.read_exact(&mut verb)?;
+        let body_len = frame_len - 1;
+        match verb[0] {
+            V_UPLOAD => {
+                let response = self.handle_upload(&mut reader, body_len);
+                self.respond(&mut writer, response)
+            }
+            V_PING => {
+                drain(&mut reader, body_len)?;
+                self.respond(&mut writer, Response::Ok(b"pong".to_vec()))
+            }
+            V_LIST => {
+                drain(&mut reader, body_len)?;
+                let body = encode_sessions(&self.store.list());
+                self.respond(&mut writer, Response::Ok(body))
+            }
+            V_ANALYZE => {
+                if body_len > MAX_CONTROL_FRAME {
+                    return self.respond(&mut writer, Response::Err("request too large".into()));
+                }
+                let mut body = vec![0u8; body_len as usize];
+                reader.read_exact(&mut body)?;
+                let response = match decode_analyze(&body) {
+                    Ok((name, analysis)) => self.handle_analyze(&name, &analysis),
+                    Err(err) => Response::Err(format!("bad analyze request: {err}")),
+                };
+                self.respond(&mut writer, response)
+            }
+            V_SHUTDOWN => {
+                drain(&mut reader, body_len)?;
+                self.respond(&mut writer, Response::Ok(Vec::new()))?;
+                self.shutdown.store(true, Ordering::SeqCst);
+                // Wake the acceptor out of its blocking accept.
+                TcpStream::connect(self.local_addr()).ok();
+                Ok(())
+            }
+            other => self.respond(
+                &mut writer,
+                Response::Err(format!("unknown verb 0x{other:02x}")),
+            ),
+        }
+    }
+
+    fn respond(&self, writer: &mut TcpStream, response: Response) -> Result<(), WireError> {
+        if matches!(response, Response::Err(_)) {
+            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        write_frame(writer, &encode_response(&response))?;
+        Ok(())
+    }
+
+    /// Streams an upload to the spool, validates it, registers the
+    /// session. The trace bytes never exist in memory as a whole.
+    fn handle_upload<R: Read>(&self, reader: &mut R, body_len: u64) -> Response {
+        let mut consumed = 0u64;
+        let name_len = match read_varint_stream(reader, &mut consumed) {
+            Ok(v) => v,
+            Err(err) => return Response::Err(format!("bad upload header: {err}")),
+        };
+        if name_len == 0 || name_len > MAX_NAME as u64 || name_len + consumed > body_len {
+            return Response::Err("bad upload header: implausible name length".into());
+        }
+        let mut name = vec![0u8; name_len as usize];
+        if reader.read_exact(&mut name).is_err() {
+            return Response::Err("bad upload header: truncated name".into());
+        }
+        consumed += name_len;
+        let name = match String::from_utf8(name) {
+            Ok(n) => n,
+            Err(_) => return Response::Err("bad upload header: name is not UTF-8".into()),
+        };
+        let trace_len = body_len - consumed;
+        if trace_len == 0 {
+            return Response::Err("empty upload".into());
+        }
+        let mut span = agave_telemetry::Span::enter_labeled("serve upload", &name);
+        let path = self.store.spool_file(&name);
+        match self.spool_and_validate(reader, trace_len, &path) {
+            Ok(outcome) => {
+                let info = SessionInfo {
+                    name: name.clone(),
+                    label: outcome.label,
+                    file_bytes: trace_len,
+                    records: outcome.records,
+                    words: outcome.words,
+                    chunks: outcome.record_chunks,
+                };
+                span.set_refs(outcome.words);
+                self.store.insert(SessionMeta {
+                    info: info.clone(),
+                    path,
+                });
+                self.stats.uploads.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes_ingested
+                    .fetch_add(trace_len, Ordering::Relaxed);
+                if agave_telemetry::enabled() {
+                    agave_telemetry::metrics::counter("serve.uploads").incr();
+                    agave_telemetry::metrics::counter("serve.bytes_ingested").add(trace_len);
+                    agave_telemetry::metrics::gauge("serve.active_sessions")
+                        .set(self.store.len() as u64);
+                }
+                Response::Ok(encode_session(&info))
+            }
+            Err(err) => {
+                std::fs::remove_file(&path).ok();
+                Response::Err(format!("upload rejected: {err}"))
+            }
+        }
+    }
+
+    /// Copies exactly `trace_len` bytes to `path` (fixed-size buffer),
+    /// then runs the checksum-walk validation.
+    fn spool_and_validate<R: Read>(
+        &self,
+        reader: &mut R,
+        trace_len: u64,
+        path: &Path,
+    ) -> Result<agave_replay::ValidateOutcome, String> {
+        let file = std::fs::File::create(path).map_err(|e| format!("spool: {e}"))?;
+        let mut out = BufWriter::new(file);
+        let mut limited = reader.take(trace_len);
+        let copied = io::copy(&mut limited, &mut out).map_err(|e| format!("spool: {e}"))?;
+        out.flush().map_err(|e| format!("spool: {e}"))?;
+        if copied != trace_len {
+            return Err(format!(
+                "connection closed after {copied} of {trace_len} bytes"
+            ));
+        }
+        TraceReader::open(path)
+            .and_then(TraceReader::validate)
+            .map_err(|e| e.to_string())
+    }
+
+    fn handle_analyze(&self, name: &str, analysis: &Analysis) -> Response {
+        let Some(session) = self.store.get(name) else {
+            return Response::Err(format!("unknown session {name:?}; upload it first"));
+        };
+        let mut span = agave_telemetry::Span::enter_labeled("serve analyze", name);
+        match analyze_trace(&session.path, analysis) {
+            Ok(json) => {
+                span.set_refs(session.info.words);
+                self.stats.analyses.fetch_add(1, Ordering::Relaxed);
+                if agave_telemetry::enabled() {
+                    agave_telemetry::metrics::counter("serve.analyses").incr();
+                }
+                Response::Ok(json.into_bytes())
+            }
+            Err(err) => Response::Err(format!("analyze {name:?} ({analysis}): {err}")),
+        }
+    }
+}
+
+/// Reads and discards `len` request-body bytes (verbs with no body
+/// still must consume their frame before the response goes out).
+fn drain<R: Read>(reader: &mut R, len: u64) -> Result<(), WireError> {
+    io::copy(&mut reader.take(len), &mut io::sink())?;
+    Ok(())
+}
+
+/// Runs one analysis against an on-disk trace and renders the JSON the
+/// server ships back. Shared by the server and by tests/benches that
+/// check byte-identity against local replay.
+///
+/// Every analysis is a single streaming pass: the reader delivers
+/// chunk-sized batches to the session's sink exactly as the live
+/// `SINK_BATCH` path does, so memory stays bounded no matter the trace
+/// size.
+pub fn analyze_trace(path: &Path, analysis: &Analysis) -> Result<String, String> {
+    match analysis {
+        Analysis::Summary => replay_summary(path)
+            .map(|s| s.to_json())
+            .map_err(|e| e.to_string()),
+        Analysis::Cache(preset) => {
+            let geometry = HierarchyGeometry::preset(preset)
+                .ok_or_else(|| format!("unknown preset {preset:?}"))?;
+            let reader = TraceReader::open(path).map_err(|e| e.to_string())?;
+            let hierarchy = Rc::new(RefCell::new(MemoryHierarchy::new(geometry)));
+            let outcome = reader
+                .replay(&[hierarchy.clone() as SharedSink])
+                .map_err(|e| e.to_string())?;
+            let report = hierarchy
+                .borrow()
+                .report(&outcome.label, &outcome.directory);
+            Ok(report.to_json())
+        }
+        Analysis::Sketch => {
+            let reader = TraceReader::open(path).map_err(|e| e.to_string())?;
+            let sink = Rc::new(RefCell::new(SketchSink::new(SketchSink::DEFAULT_CAPACITY)));
+            let outcome = reader
+                .replay(&[sink.clone() as SharedSink])
+                .map_err(|e| e.to_string())?;
+            let report = sink.borrow().report(&outcome.label, &outcome.directory);
+            Ok(report.to_json())
+        }
+    }
+}

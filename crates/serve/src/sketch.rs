@@ -1,0 +1,495 @@
+//! Bounded-memory streaming aggregation: heavy-hitter regions and
+//! approximate inter-reference delta quantiles.
+//!
+//! A replayed trace can be arbitrarily larger than the server's RAM; the
+//! sketches here summarize it in one streaming pass with memory that
+//! depends only on their configured capacity, never on the stream:
+//!
+//! * [`SpaceSaving`] — the Metwally et al. *space-saving* algorithm over
+//!   region ids, weighted by words. With capacity `k` and total stream
+//!   weight `W`, every estimate `est` satisfies
+//!   `est - err <= true <= est`, the per-entry error bound `err` is
+//!   tracked exactly, and any key whose true weight exceeds `W / k` is
+//!   guaranteed to be present. Memory: `k` entries, period.
+//! * [`Log2Quantiles`] — a 65-bucket power-of-two histogram of the
+//!   absolute address deltas between consecutive references (the
+//!   stream's jumpiness). A reported quantile is the upper edge of the
+//!   bucket holding that rank, so it is an upper bound on the true
+//!   sample and within 2× of it (one log2 bucket). Memory: 65 counters.
+//!
+//! [`SketchSink`] is a [`ReferenceSink`], so it rides the same batched
+//! `SINK_BATCH` delivery path as every other analysis and can be
+//! attached to a live run or a [`agave_replay::TraceReader`] replay
+//! unchanged. The error bounds above are asserted by the unit tests
+//! below and by the `serve_load` bench against exact counts.
+
+use agave_telemetry::metrics::Histogram;
+use agave_trace::json;
+use agave_trace::{NameDirectory, Reference, ReferenceSink};
+use std::collections::HashMap;
+
+/// One tracked key in a [`SpaceSaving`] sketch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeavyEntry {
+    /// The tracked key (a region id's raw index).
+    pub key: u32,
+    /// Estimated total weight (an upper bound on the true weight).
+    pub count: u64,
+    /// Maximum overestimation: `count - err <= true weight <= count`.
+    pub err: u64,
+}
+
+/// The space-saving heavy-hitter sketch over `u32` keys.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    entries: Vec<HeavyEntry>,
+    index: HashMap<u32, usize>,
+    total: u64,
+}
+
+impl SpaceSaving {
+    /// A sketch tracking at most `capacity` keys (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "space-saving needs at least one counter");
+        SpaceSaving {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+            total: 0,
+        }
+    }
+
+    /// Offers `weight` observations of `key`.
+    pub fn offer(&mut self, key: u32, weight: u64) {
+        self.total += weight;
+        if let Some(&i) = self.index.get(&key) {
+            self.entries[i].count += weight;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.index.insert(key, self.entries.len());
+            self.entries.push(HeavyEntry {
+                key,
+                count: weight,
+                err: 0,
+            });
+            return;
+        }
+        // Evict the minimum-count entry (first one on ties — the scan is
+        // deterministic for a given stream) and inherit its count as the
+        // newcomer's error bound.
+        let mut min = 0;
+        for (i, e) in self.entries.iter().enumerate().skip(1) {
+            if e.count < self.entries[min].count {
+                min = i;
+            }
+        }
+        let evicted = self.entries[min];
+        self.index.remove(&evicted.key);
+        self.index.insert(key, min);
+        self.entries[min] = HeavyEntry {
+            key,
+            count: evicted.count + weight,
+            err: evicted.count,
+        };
+    }
+
+    /// Total weight offered so far.
+    pub fn total_weight(&self) -> u64 {
+        self.total
+    }
+
+    /// The configured capacity `k`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The worst-case overestimation any entry can carry: `W / k`.
+    pub fn error_bound(&self) -> u64 {
+        self.total / self.capacity as u64
+    }
+
+    /// Tracked entries, sorted by estimated count descending (key
+    /// ascending on ties, so output is stable).
+    pub fn ranked(&self) -> Vec<HeavyEntry> {
+        let mut out = self.entries.clone();
+        out.sort_by(|a, b| b.count.cmp(&a.count).then(a.key.cmp(&b.key)));
+        out
+    }
+}
+
+/// A 65-bucket power-of-two histogram with rank queries.
+///
+/// Bucket boundaries are shared with the telemetry registry's
+/// [`Histogram`] (bucket 0 holds zeros; bucket `i >= 1` holds
+/// `[2^(i-1), 2^i - 1]`), so sketch output and telemetry output bucket
+/// values identically.
+#[derive(Debug, Clone)]
+pub struct Log2Quantiles {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Log2Quantiles {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Quantiles {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        Log2Quantiles {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Histogram::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample value (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper edge of the bucket
+    /// containing that rank — an upper bound on the true order
+    /// statistic, within one power of two of it.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        let mut last = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            last = i;
+            if seen >= rank {
+                return Histogram::bucket_hi(i);
+            }
+        }
+        Histogram::bucket_hi(last)
+    }
+}
+
+/// A [`ReferenceSink`] feeding both sketches from the classified stream.
+pub struct SketchSink {
+    regions: SpaceSaving,
+    deltas: Log2Quantiles,
+    prev_addr: Option<u64>,
+    records: u64,
+    words: u64,
+}
+
+impl SketchSink {
+    /// Heavy-hitter capacity used by the server's `sketch` analysis.
+    pub const DEFAULT_CAPACITY: usize = 32;
+
+    /// A sink tracking at most `capacity` heavy-hitter regions.
+    pub fn new(capacity: usize) -> Self {
+        SketchSink {
+            regions: SpaceSaving::new(capacity),
+            deltas: Log2Quantiles::new(),
+            prev_addr: None,
+            records: 0,
+            words: 0,
+        }
+    }
+
+    /// Distills the sketches into a serializable report, resolving
+    /// region ids through `directory`.
+    pub fn report(&self, label: &str, directory: &NameDirectory) -> SketchReport {
+        let heavy = self
+            .regions
+            .ranked()
+            .into_iter()
+            .map(|e| HeavyRegion {
+                region: directory
+                    .region(agave_trace::NameId::from_raw(e.key))
+                    .to_owned(),
+                words: e.count,
+                err: e.err,
+            })
+            .collect();
+        SketchReport {
+            label: label.to_owned(),
+            records: self.records,
+            words: self.words,
+            capacity: self.regions.capacity() as u64,
+            error_bound: self.regions.error_bound(),
+            heavy,
+            delta_count: self.deltas.count(),
+            delta_mean: self.deltas.mean(),
+            delta_p50: self.deltas.quantile(0.50),
+            delta_p90: self.deltas.quantile(0.90),
+            delta_p99: self.deltas.quantile(0.99),
+            delta_max: self.deltas.quantile(1.0),
+        }
+    }
+
+    /// Read access for tests: the underlying heavy-hitter sketch.
+    pub fn regions(&self) -> &SpaceSaving {
+        &self.regions
+    }
+}
+
+impl ReferenceSink for SketchSink {
+    fn on_reference(&mut self, r: &Reference) {
+        self.records += 1;
+        self.words += r.words;
+        self.regions.offer(r.region.index() as u32, r.words);
+        if let Some(prev) = self.prev_addr {
+            self.deltas.record(r.addr.abs_diff(prev));
+        }
+        self.prev_addr = Some(r.addr);
+    }
+}
+
+/// One heavy-hitter row in a [`SketchReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeavyRegion {
+    /// Resolved region name.
+    pub region: String,
+    /// Estimated words charged to the region (upper bound).
+    pub words: u64,
+    /// Maximum overestimation for this row.
+    pub err: u64,
+}
+
+/// The `sketch` analysis output: top regions by estimated words plus
+/// inter-reference address-delta quantiles, all from O(capacity) memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchReport {
+    /// The recorded workload's label.
+    pub label: String,
+    /// Reference blocks observed.
+    pub records: u64,
+    /// Words observed (exact — totals are plain counters).
+    pub words: u64,
+    /// Heavy-hitter capacity `k`.
+    pub capacity: u64,
+    /// Documented worst-case overestimation: `words / k`.
+    pub error_bound: u64,
+    /// Regions ranked by estimated words, descending.
+    pub heavy: Vec<HeavyRegion>,
+    /// Number of recorded address deltas (records − 1).
+    pub delta_count: u64,
+    /// Mean absolute address delta.
+    pub delta_mean: f64,
+    /// Median absolute address delta (bucket upper edge).
+    pub delta_p50: u64,
+    /// 90th-percentile absolute address delta (bucket upper edge).
+    pub delta_p90: u64,
+    /// 99th-percentile absolute address delta (bucket upper edge).
+    pub delta_p99: u64,
+    /// Largest observed delta's bucket upper edge.
+    pub delta_max: u64,
+}
+
+impl SketchReport {
+    /// Deterministic JSON rendering (the server's wire format for the
+    /// `sketch` analysis).
+    pub fn to_json(&self) -> String {
+        let heavy = json::array(self.heavy.iter().map(|h| {
+            let mut o = json::Object::new();
+            o.field_str("region", &h.region)
+                .field_u64("words", h.words)
+                .field_u64("err", h.err);
+            o.finish()
+        }));
+        let mut o = json::Object::new();
+        o.field_str("label", &self.label)
+            .field_u64("records", self.records)
+            .field_u64("words", self.words)
+            .field_u64("capacity", self.capacity)
+            .field_u64("error_bound", self.error_bound)
+            .field_raw("heavy_regions", &heavy)
+            .field_u64("delta_count", self.delta_count)
+            .field_f64("delta_mean", self.delta_mean)
+            .field_u64("delta_p50", self.delta_p50)
+            .field_u64("delta_p90", self.delta_p90)
+            .field_u64("delta_p99", self.delta_p99)
+            .field_u64("delta_max", self.delta_max);
+        o.finish()
+    }
+
+    /// Human-readable rendering for the CLI.
+    pub fn render(&self, top: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "sketch of {} — {} records, {} words (heavy-hitter capacity {}, max overcount {})\n",
+            self.label, self.records, self.words, self.capacity, self.error_bound
+        ));
+        out.push_str("-- regions by estimated words:\n");
+        for h in self.heavy.iter().take(top) {
+            out.push_str(&format!(
+                "  {:>14} (±{:>10})  {}\n",
+                h.words, h.err, h.region
+            ));
+        }
+        out.push_str(&format!(
+            "-- |addr delta| quantiles: p50 {} · p90 {} · p99 {} · max {} (mean {:.1})\n",
+            self.delta_p50, self.delta_p90, self.delta_p99, self.delta_max, self.delta_mean
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agave_trace::XorShift64;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn space_saving_bounds_hold_on_a_skewed_stream() {
+        // Zipf-ish synthetic stream over 200 keys, sketch capacity 16.
+        let mut rng = XorShift64::new(0xa6a7e);
+        let mut sketch = SpaceSaving::new(16);
+        let mut exact: BTreeMap<u32, u64> = BTreeMap::new();
+        for _ in 0..200_000 {
+            // Skew: low keys drawn far more often.
+            let key = (rng.below(200) * rng.below(200) / 200) as u32;
+            let weight = 1 + rng.below(7);
+            sketch.offer(key, weight);
+            *exact.entry(key).or_default() += weight;
+        }
+        let total: u64 = exact.values().sum();
+        assert_eq!(sketch.total_weight(), total);
+        let bound = sketch.error_bound();
+        for e in sketch.ranked() {
+            let truth = exact.get(&e.key).copied().unwrap_or(0);
+            assert!(e.count >= truth, "estimate must upper-bound truth");
+            assert!(
+                e.count - e.err <= truth,
+                "key {}: est {} err {} truth {truth}",
+                e.key,
+                e.count,
+                e.err
+            );
+            assert!(e.err <= bound, "per-entry error beyond W/k");
+        }
+        // Completeness: every key heavier than W/k must be tracked.
+        let tracked: Vec<u32> = sketch.ranked().iter().map(|e| e.key).collect();
+        for (&key, &w) in &exact {
+            if w > bound {
+                assert!(tracked.contains(&key), "heavy key {key} (w={w}) missing");
+            }
+        }
+    }
+
+    #[test]
+    fn space_saving_is_exact_under_capacity() {
+        let mut sketch = SpaceSaving::new(8);
+        for (key, w) in [(1u32, 50u64), (2, 30), (1, 25), (3, 5)] {
+            sketch.offer(key, w);
+        }
+        let ranked = sketch.ranked();
+        assert_eq!(
+            ranked[0],
+            HeavyEntry {
+                key: 1,
+                count: 75,
+                err: 0
+            }
+        );
+        assert_eq!(
+            ranked[1],
+            HeavyEntry {
+                key: 2,
+                count: 30,
+                err: 0
+            }
+        );
+        assert_eq!(
+            ranked[2],
+            HeavyEntry {
+                key: 3,
+                count: 5,
+                err: 0
+            }
+        );
+    }
+
+    #[test]
+    fn quantile_sketch_brackets_true_order_statistics() {
+        let mut rng = XorShift64::new(7);
+        let mut q = Log2Quantiles::new();
+        let mut samples = Vec::new();
+        for _ in 0..10_000 {
+            let v = rng.below(1 << 20);
+            q.record(v);
+            samples.push(v);
+        }
+        samples.sort_unstable();
+        for (frac, name) in [(0.5, "p50"), (0.9, "p90"), (0.99, "p99")] {
+            let rank = ((frac * samples.len() as f64).ceil() as usize).max(1) - 1;
+            let truth = samples[rank];
+            let est = q.quantile(frac);
+            assert!(est >= truth, "{name}: est {est} below truth {truth}");
+            assert!(
+                est <= truth.max(1) * 2,
+                "{name}: est {est} beyond 2x truth {truth}"
+            );
+        }
+        assert!(q.quantile(1.0) >= *samples.last().unwrap());
+        assert_eq!(Log2Quantiles::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn sketch_sink_memory_is_capacity_bound_and_report_is_deterministic() {
+        use agave_trace::{RefKind, SharedSink, Tracer};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        fn run() -> (SketchReport, usize) {
+            let sink = Rc::new(RefCell::new(SketchSink::new(4)));
+            let mut t = Tracer::new();
+            t.add_sink(sink.clone() as SharedSink);
+            let pid = t.register_process("p");
+            let tid = t.register_thread(pid, "t");
+            // 40 regions through a capacity-4 sketch.
+            let regions: Vec<_> = (0..40)
+                .map(|i| t.intern_region(&format!("lib{i:02}.so")))
+                .collect();
+            for round in 0..50u64 {
+                for (i, &r) in regions.iter().enumerate() {
+                    t.charge(pid, tid, r, RefKind::DataRead, 1 + (i as u64 * round) % 13);
+                }
+            }
+            t.flush_sinks();
+            let dir = t.name_directory();
+            let tracked = sink.borrow().regions().ranked().len();
+            let report = sink.borrow().report("synthetic", &dir);
+            (report, tracked)
+        }
+        let (a, tracked) = run();
+        let (b, _) = run();
+        assert_eq!(a, b, "sketch must be deterministic");
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(tracked <= 4, "memory exceeded capacity");
+        assert_eq!(a.heavy.len(), 4);
+        assert!(a.delta_count == a.records - 1);
+        assert!(a.render(4).contains("regions by estimated words"));
+    }
+}

@@ -37,6 +37,7 @@ mod figure;
 mod intern;
 pub mod json;
 mod kind;
+pub mod par;
 mod rng;
 mod sink;
 mod summary;
