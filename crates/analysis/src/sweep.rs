@@ -1,0 +1,551 @@
+//! Design-space sweeps: one trace decode fanned out to N cache
+//! hierarchies — the Figure-5 sensitivity surface (miss rate vs. size ×
+//! associativity × line size) without re-decoding, let alone
+//! re-simulating, per cell.
+//!
+//! The paper's headline figure is a cache design-space exploration, but
+//! reproducing even one cell used to cost a full replay. Every grid
+//! cell consumes the *same* decoded stream, so the sweep amortizes
+//! everything that doesn't depend on a cell's private L1/L2 state:
+//! [`FanoutSink`] rides the standard batched sink path, decodes once,
+//! runs the walk's shared front half (line splitting, TLB simulation,
+//! stat-row bookkeeping — see [`agave_cache::PlanBuilder`]) once per
+//! line-size group, and hands each cell only its private probe replay
+//! ([`MemoryHierarchy::apply_plan`]), sharding the cells across
+//! [`parallel_map`] workers.
+//!
+//! # Determinism
+//!
+//! Output is independent of `--jobs`: parallelism is *across cells*,
+//! never within one. Each hierarchy is touched by at most one worker
+//! per batch (a `Mutex` per cell makes that explicit), processes the
+//! batches in stream order because `on_batch` calls are serial, and
+//! never observes another cell's state. Results are merged in grid
+//! order (size-major, then associativity, then line). Every cell's
+//! report is additionally byte-identical to a standalone
+//! `agave replay --cache <cell-name>` run: the cell's canonical name
+//! round-trips through [`HierarchyGeometry::by_name`] to the identical
+//! geometry, and a hierarchy only ever sees the stream, which is the
+//! same stream. `tests/sweep_determinism.rs` asserts all of this.
+
+use agave_cache::{
+    format_size, BatchPlan, CacheReport, HierarchyGeometry, Level, MemoryHierarchy, PlanBuilder,
+};
+use agave_replay::TraceReader;
+use agave_trace::json;
+use agave_trace::par::{effective_jobs, parallel_map};
+use agave_trace::{NameDirectory, Reference, ReferenceSink};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// The axes of a sweep: every combination of L1 capacity ×
+/// associativity × line size becomes one grid cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridSpec {
+    /// L1 capacities in bytes (the `size=` axis).
+    pub sizes: Vec<u64>,
+    /// Associativities (the `assoc=` axis).
+    pub assocs: Vec<u32>,
+    /// Line sizes in bytes (the `line=` axis).
+    pub lines: Vec<u32>,
+}
+
+impl GridSpec {
+    /// Parses `size=16k,32k,64k:assoc=2,4,8:line=32,64` — three
+    /// `:`-separated axes, each a comma list, each key exactly once.
+    pub fn parse(grid: &str) -> Result<Self, String> {
+        let mut sizes: Option<Vec<u64>> = None;
+        let mut assocs: Option<Vec<u64>> = None;
+        let mut lines: Option<Vec<u64>> = None;
+        for axis in grid.split(':') {
+            let (key, values) = axis
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=v1,v2,..., got {axis:?}"))?;
+            let slot = match key {
+                "size" => &mut sizes,
+                "assoc" => &mut assocs,
+                "line" => &mut lines,
+                other => {
+                    return Err(format!(
+                        "unknown grid axis {other:?} (want size, assoc, line)"
+                    ))
+                }
+            };
+            if slot.is_some() {
+                return Err(format!("duplicate grid axis {key:?}"));
+            }
+            let parsed: Vec<u64> = values
+                .split(',')
+                .map(|v| agave_cache::parse_size(v).ok_or_else(|| format!("bad {key} value {v:?}")))
+                .collect::<Result<_, _>>()?;
+            if parsed.is_empty() {
+                return Err(format!("empty {key} axis"));
+            }
+            *slot = Some(parsed);
+        }
+        let (Some(sizes), Some(assocs), Some(lines)) = (sizes, assocs, lines) else {
+            return Err("grid needs all of size=, assoc=, line= axes".to_owned());
+        };
+        let narrow = |vs: Vec<u64>, what: &str| -> Result<Vec<u32>, String> {
+            vs.into_iter()
+                .map(|v| u32::try_from(v).map_err(|_| format!("{what} too large ({v})")))
+                .collect()
+        };
+        Ok(GridSpec {
+            sizes,
+            assocs: narrow(assocs, "assoc")?,
+            lines: narrow(lines, "line")?,
+        })
+    }
+
+    /// Number of cells (`|size| × |assoc| × |line|`).
+    pub fn len(&self) -> usize {
+        self.sizes.len() * self.assocs.len() * self.lines.len()
+    }
+
+    /// True when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The canonical spelling of the grid (sizes rendered `16k`-style).
+    pub fn canonical(&self) -> String {
+        let join_u64 = |vs: &[u64]| {
+            vs.iter()
+                .map(|&v| format_size(v))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let join_u32 = |vs: &[u32]| vs.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
+        format!(
+            "size={}:assoc={}:line={}",
+            join_u64(&self.sizes),
+            join_u32(&self.assocs),
+            join_u32(&self.lines)
+        )
+    }
+
+    /// Every cell's geometry in grid order (size-major, then
+    /// associativity, then line). Fails on the first invalid
+    /// combination, naming it.
+    pub fn cells(&self) -> Result<Vec<HierarchyGeometry>, String> {
+        let mut out = Vec::with_capacity(self.len());
+        for &size in &self.sizes {
+            for &assoc in &self.assocs {
+                for &line in &self.lines {
+                    out.push(HierarchyGeometry::with_l1(size, assoc, line).map_err(|e| {
+                        format!(
+                            "cell size={},assoc={assoc},line={line}: {e}",
+                            format_size(size)
+                        )
+                    })?);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl std::fmt::Display for GridSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+/// A [`ReferenceSink`] that feeds every decoded batch to N private
+/// hierarchies, sharded across up to `jobs` workers.
+///
+/// Beyond sharing the decode, the fan-out shares the walk's front half:
+/// cells are grouped by [`HierarchyGeometry::plan_signature`] (line
+/// sizes + TLB shapes — for an L1 sweep grid, one group per line size),
+/// and each group's [`PlanBuilder`] runs line splitting, TLB simulation
+/// and stat-row bookkeeping exactly once per batch. Cells then replay
+/// only their private L1/L2 probes via
+/// [`MemoryHierarchy::apply_plan`], which `crates/cache`'s
+/// `apply_plan_matches_direct_walk_for_shared_signature` property test
+/// pins byte-identical to the direct walk.
+///
+/// Each cell sits behind its own `Mutex` — uncontended, because
+/// [`parallel_map`] gives each index to exactly one worker — so the
+/// fan-out closure stays `Fn` while each hierarchy is mutated serially.
+pub struct FanoutSink {
+    cells: Vec<Mutex<MemoryHierarchy>>,
+    /// One shared walk per plan signature, with the member `cells`
+    /// index mapping in `group_of`.
+    planners: Vec<PlanBuilder>,
+    group_of: Vec<usize>,
+    jobs: usize,
+}
+
+impl FanoutSink {
+    /// A fan-out over fresh hierarchies of the given geometries.
+    pub fn new(geometries: &[HierarchyGeometry], jobs: usize) -> Self {
+        let mut planners = Vec::new();
+        let mut signatures = Vec::new();
+        let group_of = geometries
+            .iter()
+            .map(|g| {
+                let sig = g.plan_signature();
+                signatures
+                    .iter()
+                    .position(|&s| s == sig)
+                    .unwrap_or_else(|| {
+                        signatures.push(sig);
+                        planners.push(PlanBuilder::new(*g));
+                        planners.len() - 1
+                    })
+            })
+            .collect();
+        FanoutSink {
+            cells: geometries
+                .iter()
+                .map(|&g| Mutex::new(MemoryHierarchy::new(g)))
+                .collect(),
+            planners,
+            group_of,
+            jobs,
+        }
+    }
+
+    /// Per-cell reports, in construction (grid) order.
+    pub fn reports(&self, label: &str, directory: &NameDirectory) -> Vec<CacheReport> {
+        self.cells
+            .iter()
+            .map(|cell| {
+                cell.lock()
+                    .expect("sweep cell poisoned")
+                    .report(label, directory)
+            })
+            .collect()
+    }
+}
+
+impl ReferenceSink for FanoutSink {
+    fn on_reference(&mut self, r: &Reference) {
+        self.on_batch(std::slice::from_ref(r));
+    }
+
+    fn on_batch(&mut self, batch: &[Reference]) {
+        if agave_telemetry::enabled() {
+            agave_telemetry::metrics::counter("sweep.batches").incr();
+        }
+        let plans: Vec<&BatchPlan> = self
+            .planners
+            .iter_mut()
+            .map(|planner| planner.plan(batch))
+            .collect();
+        let cells = &self.cells;
+        let group_of = &self.group_of;
+        parallel_map(cells.len(), self.jobs, |i| {
+            let mut hierarchy = cells[i].lock().expect("sweep cell poisoned");
+            hierarchy.apply_plan(plans[group_of[i]]);
+        });
+    }
+}
+
+/// One cell of a finished sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// L1 capacity in bytes.
+    pub size: u64,
+    /// L1 associativity.
+    pub assoc: u32,
+    /// L1 line size in bytes.
+    pub line: u32,
+    /// The cell's full report — byte-identical to a standalone
+    /// `agave replay --cache <name>` of the same trace.
+    pub report: CacheReport,
+}
+
+impl SweepCell {
+    /// The cell's canonical geometry name
+    /// (`size=16k,assoc=2,line=32`) — resolvable via
+    /// [`HierarchyGeometry::by_name`].
+    pub fn name(&self) -> &str {
+        &self.report.preset
+    }
+
+    fn to_json(&self) -> String {
+        let mut o = json::Object::new();
+        o.field_str("name", self.name())
+            .field_str("size", &format_size(self.size))
+            .field_u64("assoc", u64::from(self.assoc))
+            .field_u64("line", u64::from(self.line))
+            .field_raw("report", &self.report.to_json());
+        o.finish()
+    }
+}
+
+/// A finished design-space sweep: one report per grid cell, plus the
+/// per-region / per-process sensitivity the cells imply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// The recorded workload's label.
+    pub label: String,
+    /// Canonical grid spec.
+    pub grid: String,
+    /// Reference blocks replayed (once — shared by every cell).
+    pub records: u64,
+    /// Words those blocks span.
+    pub words: u64,
+    /// Cells in grid order.
+    pub cells: Vec<SweepCell>,
+}
+
+/// How one row's L1 miss rate moves across the grid: its best and
+/// worst cells.
+struct Sensitivity<'a> {
+    name: &'a str,
+    min_rate: f64,
+    min_cell: &'a str,
+    max_rate: f64,
+    max_cell: &'a str,
+}
+
+impl SweepReport {
+    /// Combined L1 (I+D) miss rate of a report row named `name`, if the
+    /// cell saw traffic for it.
+    fn row_l1_rate(report: &CacheReport, processes: bool, name: &str) -> Option<f64> {
+        let rows = if processes {
+            &report.processes
+        } else {
+            &report.regions
+        };
+        let row = rows.iter().find(|r| r.name == name)?;
+        let (i, d) = (row.level(Level::L1i), row.level(Level::L1d));
+        let accesses = i.accesses() + d.accesses();
+        if accesses == 0 {
+            return None;
+        }
+        Some((i.misses + d.misses) as f64 / accesses as f64)
+    }
+
+    /// Min/max L1 miss rate across cells for the top `top` rows of the
+    /// first cell (regions or processes).
+    fn sensitivities(&self, processes: bool, top: usize) -> Vec<Sensitivity<'_>> {
+        let Some(first) = self.cells.first() else {
+            return Vec::new();
+        };
+        let rows = if processes {
+            &first.report.processes
+        } else {
+            &first.report.regions
+        };
+        rows.iter()
+            .take(top)
+            .filter_map(|row| {
+                let mut min: Option<(f64, &str)> = None;
+                let mut max: Option<(f64, &str)> = None;
+                for cell in &self.cells {
+                    let rate = Self::row_l1_rate(&cell.report, processes, &row.name)?;
+                    if min.is_none_or(|(m, _)| rate < m) {
+                        min = Some((rate, cell.name()));
+                    }
+                    if max.is_none_or(|(m, _)| rate > m) {
+                        max = Some((rate, cell.name()));
+                    }
+                }
+                let (min, max) = (min?, max?);
+                Some(Sensitivity {
+                    name: &row.name,
+                    min_rate: min.0,
+                    min_cell: min.1,
+                    max_rate: max.0,
+                    max_cell: max.1,
+                })
+            })
+            .collect()
+    }
+
+    /// The Fig-5-style text rendering: one row per cell, then the
+    /// per-region and per-process L1 sensitivity tables.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Design-space sweep of {} — {} cells over {} ({} records, {} words decoded once)\n",
+            self.label,
+            self.cells.len(),
+            self.grid,
+            self.records,
+            self.words
+        );
+        out.push_str(&format!(
+            "{:>8} {:>6} {:>5} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+            "size", "assoc", "line", "L1I%", "L1D%", "L2%", "ITLB%", "DTLB%"
+        ));
+        for cell in &self.cells {
+            let pct = |level: Level| cell.report.total(level).miss_rate() * 100.0;
+            out.push_str(&format!(
+                "{:>8} {:>6} {:>5} {:>7.3}% {:>7.3}% {:>7.3}% {:>7.3}% {:>7.3}%\n",
+                format_size(cell.size),
+                cell.assoc,
+                cell.line,
+                pct(Level::L1i),
+                pct(Level::L1d),
+                pct(Level::L2),
+                pct(Level::Itlb),
+                pct(Level::Dtlb),
+            ));
+        }
+        for (processes, title) in [(false, "region"), (true, "process")] {
+            let rows = self.sensitivities(processes, 8);
+            if rows.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("-- L1 miss-rate sensitivity by {title}:\n"));
+            for s in rows {
+                out.push_str(&format!(
+                    "  {:<28} {:>7.3}% @ {:<28} {:>7.3}% @ {}\n",
+                    s.name,
+                    s.min_rate * 100.0,
+                    s.min_cell,
+                    s.max_rate * 100.0,
+                    s.max_cell,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Deterministic JSON: grid metadata plus every cell's full report
+    /// (each `report` value byte-identical to that cell's standalone
+    /// `agave replay --cache <name> --json` output).
+    pub fn to_json(&self) -> String {
+        let mut o = json::Object::new();
+        o.field_str("label", &self.label)
+            .field_str("grid", &self.grid)
+            .field_u64("records", self.records)
+            .field_u64("words", self.words)
+            .field_raw(
+                "cells",
+                &json::array(self.cells.iter().map(SweepCell::to_json)),
+            );
+        o.finish()
+    }
+}
+
+/// Runs the sweep: decodes the trace at `path` once and replays it
+/// through one hierarchy per grid cell, fanning batches across up to
+/// `jobs` workers (0 = one per CPU; output is identical for any
+/// `jobs`).
+pub fn sweep_path(path: &Path, grid: &GridSpec, jobs: usize) -> Result<SweepReport, String> {
+    let geometries = grid.cells()?;
+    if geometries.is_empty() {
+        return Err("empty grid".to_owned());
+    }
+    let mut span = agave_telemetry::Span::enter_labeled("trace sweep", &path.display().to_string());
+    if agave_telemetry::enabled() {
+        agave_telemetry::metrics::gauge("sweep.cells").set(geometries.len() as u64);
+        agave_telemetry::metrics::gauge("sweep.jobs").set(effective_jobs(jobs) as u64);
+    }
+    let reader = TraceReader::open(path).map_err(|e| e.to_string())?;
+    let fanout = std::rc::Rc::new(std::cell::RefCell::new(FanoutSink::new(&geometries, jobs)));
+    let outcome = reader
+        .replay(&[fanout.clone() as agave_trace::SharedSink])
+        .map_err(|e| e.to_string())?;
+    span.set_refs(outcome.words);
+    let reports = fanout.borrow().reports(&outcome.label, &outcome.directory);
+    let mut cells = Vec::with_capacity(reports.len());
+    let mut reports = reports.into_iter();
+    for &size in &grid.sizes {
+        for &assoc in &grid.assocs {
+            for &line in &grid.lines {
+                cells.push(SweepCell {
+                    size,
+                    assoc,
+                    line,
+                    report: reports.next().expect("one report per cell"),
+                });
+            }
+        }
+    }
+    Ok(SweepReport {
+        label: outcome.label,
+        grid: grid.canonical(),
+        records: outcome.records,
+        words: outcome.words,
+        cells,
+    })
+}
+
+/// One cell of the grid replayed standalone — what `agave replay
+/// --cache <cell>` computes; the sweep's per-cell byte-identity anchor.
+pub fn sweep_cell_standalone(path: &Path, name: &str) -> Result<CacheReport, String> {
+    let geometry = HierarchyGeometry::by_name(name).map_err(|e| e.to_string())?;
+    crate::replay_cache(path, geometry).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixture;
+
+    #[test]
+    fn grid_parses_and_canonicalizes() {
+        let grid = GridSpec::parse("size=16k,32k:assoc=2,4:line=32,64").unwrap();
+        assert_eq!(grid.sizes, vec![16 * 1024, 32 * 1024]);
+        assert_eq!(grid.assocs, vec![2, 4]);
+        assert_eq!(grid.lines, vec![32, 64]);
+        assert_eq!(grid.len(), 8);
+        assert_eq!(grid.canonical(), "size=16k,32k:assoc=2,4:line=32,64");
+        // Non-canonical spellings canonicalize.
+        let same = GridSpec::parse("line=32,64:size=16384,32768:assoc=2,4").unwrap();
+        assert_eq!(same.canonical(), grid.canonical());
+    }
+
+    #[test]
+    fn grid_rejects_malformed_specs() {
+        for bad in [
+            "size=16k:assoc=2",                  // missing axis
+            "size=16k:assoc=2:line=32:size=32k", // duplicate axis
+            "size=16k:assoc=2:line=32:zap=1",    // unknown axis
+            "size=16q:assoc=2:line=32",          // bad number
+            "size=:assoc=2:line=32",             // empty axis
+            "sizes",                             // no key=value
+        ] {
+            assert!(GridSpec::parse(bad).is_err(), "{bad} should be rejected");
+        }
+        // Parse succeeds but the cell is geometrically invalid.
+        let grid = GridSpec::parse("size=24k:assoc=2:line=32").unwrap();
+        let err = grid.cells().unwrap_err();
+        assert!(err.contains("size=24k,assoc=2,line=32"), "{err}");
+    }
+
+    #[test]
+    fn cells_are_grid_ordered_and_named_canonically() {
+        let grid = GridSpec::parse("size=16k,32k:assoc=2:line=32,64").unwrap();
+        let names: Vec<&str> = grid.cells().unwrap().iter().map(|g| g.name).collect();
+        assert_eq!(
+            names,
+            [
+                "size=16k,assoc=2,line=32",
+                "size=16k,assoc=2,line=64",
+                "size=32k,assoc=2,line=32",
+                "size=32k,assoc=2,line=64",
+            ]
+        );
+    }
+
+    #[test]
+    fn sweep_cells_match_standalone_replays_for_any_jobs() {
+        let path = fixture::record("sweep-unit");
+        let grid = GridSpec::parse("size=1k,2k:assoc=2:line=16").unwrap();
+        let serial = sweep_path(&path, &grid, 1).unwrap();
+        let parallel = sweep_path(&path, &grid, 4).unwrap();
+        assert_eq!(serial, parallel, "sweep output must be jobs-independent");
+        assert_eq!(serial.to_json(), parallel.to_json());
+        assert_eq!(serial.cells.len(), 2);
+        for cell in &serial.cells {
+            let standalone = sweep_cell_standalone(&path, cell.name()).unwrap();
+            assert_eq!(cell.report, standalone);
+            assert_eq!(cell.report.to_json(), standalone.to_json());
+            assert!(
+                serial.to_json().contains(&standalone.to_json()),
+                "sweep JSON must embed the standalone cell report verbatim"
+            );
+        }
+        let text = serial.render();
+        assert!(text.contains("Design-space sweep"), "{text}");
+        assert!(text.contains("sensitivity by region"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,6 +1,20 @@
-//! Cache and TLB geometries, and the named hierarchy presets.
+//! Cache and TLB geometries, the named hierarchy presets, and the one
+//! place geometry names resolve: [`HierarchyGeometry::by_name`].
+//!
+//! Every layer that accepts a geometry on its surface — `agave cache
+//! --preset`, `agave replay --cache`, the served `ANALYZE`/`SWEEP`
+//! verbs, `agave sweep` grid cells — funnels through `by_name`, so the
+//! accepted grammar and the unknown-name diagnostics live here and
+//! nowhere else. Besides the built-in presets, `by_name` accepts *L1
+//! cell specs* of the form `size=16k,assoc=2,line=32`: a cortex-a9
+//! hierarchy with both L1 sides replaced by the requested capacity,
+//! associativity, and line size — the coordinate system of a design-
+//! space sweep, where every grid cell must also be reproducible as a
+//! standalone replay.
 
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 
 /// Geometry of one set-associative cache level.
 ///
@@ -170,6 +184,108 @@ impl HierarchyGeometry {
         }
     }
 
+    /// Resolves any geometry name the suite accepts: a built-in preset
+    /// (`cortex-a9`, `tiny`) or an L1 cell spec
+    /// (`size=<cap>,assoc=<ways>,line=<bytes>`, e.g.
+    /// `size=16k,assoc=2,line=32`). This is the single lookup every
+    /// CLI flag and wire verb resolves through; the error carries the
+    /// full list of valid names and the spec grammar.
+    pub fn by_name(name: &str) -> Result<Self, GeometryError> {
+        if let Some(preset) = Self::preset(name) {
+            return Ok(preset);
+        }
+        if name.contains('=') {
+            return Self::parse_l1_spec(name);
+        }
+        Err(GeometryError::unknown(name))
+    }
+
+    /// A cortex-a9 hierarchy with both L1 sides replaced by an
+    /// `l1_bytes`-capacity, `assoc`-way cache with `line_bytes` lines —
+    /// one cell of a design-space sweep. The L2 and TLBs stay at the
+    /// cortex-a9 base so cells differ only along the swept axes.
+    ///
+    /// The cell's canonical name (`size=16k,assoc=2,line=32`) round-
+    /// trips through [`HierarchyGeometry::by_name`], which is what lets
+    /// a sweep cell be re-run standalone with byte-identical reports.
+    pub fn with_l1(l1_bytes: u64, assoc: u32, line_bytes: u32) -> Result<Self, GeometryError> {
+        let bad = |what: String| Err(GeometryError::BadSpec(what));
+        if !(assoc as u64).is_power_of_two() || !(line_bytes as u64).is_power_of_two() {
+            return bad(format!(
+                "assoc ({assoc}) and line ({line_bytes}) must be powers of two"
+            ));
+        }
+        let way_bytes = u64::from(assoc) * u64::from(line_bytes);
+        if l1_bytes == 0 || !l1_bytes.is_multiple_of(way_bytes) {
+            return bad(format!(
+                "size ({l1_bytes}) must be a multiple of assoc*line ({way_bytes})"
+            ));
+        }
+        let sets = l1_bytes / way_bytes;
+        if !sets.is_power_of_two() || sets > u64::from(u32::MAX) {
+            return bad(format!(
+                "size/(assoc*line) must be a power-of-two set count, got {sets}"
+            ));
+        }
+        let l1 = CacheGeometry {
+            sets: sets as u32,
+            ways: assoc,
+            line_bytes,
+        };
+        let base = Self::cortex_a9();
+        Ok(HierarchyGeometry {
+            name: intern_name(&format!(
+                "size={},assoc={assoc},line={line_bytes}",
+                format_size(l1_bytes)
+            )),
+            l1i: l1,
+            l1d: l1,
+            ..base
+        })
+    }
+
+    /// Parses an L1 cell spec (`size=16k,assoc=2,line=32`; keys in any
+    /// order, each exactly once).
+    fn parse_l1_spec(spec: &str) -> Result<Self, GeometryError> {
+        let mut size = None;
+        let mut assoc = None;
+        let mut line = None;
+        for part in spec.split(',') {
+            let (key, value) = part.split_once('=').ok_or_else(|| {
+                GeometryError::BadSpec(format!("expected key=value, got {part:?}"))
+            })?;
+            let slot = match key {
+                "size" => &mut size,
+                "assoc" => &mut assoc,
+                "line" => &mut line,
+                other => {
+                    return Err(GeometryError::BadSpec(format!(
+                        "unknown key {other:?} (want size, assoc, line)"
+                    )))
+                }
+            };
+            if slot.is_some() {
+                return Err(GeometryError::BadSpec(format!("duplicate key {key:?}")));
+            }
+            *slot = Some(
+                parse_size(value)
+                    .ok_or_else(|| GeometryError::BadSpec(format!("bad {key} value {value:?}")))?,
+            );
+        }
+        match (size, assoc, line) {
+            (Some(size), Some(assoc), Some(line)) => {
+                let narrow = |v: u64, what: &str| {
+                    u32::try_from(v)
+                        .map_err(|_| GeometryError::BadSpec(format!("{what} too large ({v})")))
+                };
+                Self::with_l1(size, narrow(assoc, "assoc")?, narrow(line, "line")?)
+            }
+            _ => Err(GeometryError::BadSpec(
+                "spec needs all of size=, assoc=, line=".to_owned(),
+            )),
+        }
+    }
+
     /// Panics unless every level's geometry is well-formed.
     pub fn validate(&self) {
         self.l1i.validate();
@@ -178,6 +294,105 @@ impl HierarchyGeometry {
         assert!(self.itlb.page_bytes.is_power_of_two());
         assert!(self.dtlb.page_bytes.is_power_of_two());
     }
+
+    /// The parts of the geometry a shared [`crate::BatchPlan`] walk
+    /// depends on: line sizes (L1s and L2) and TLB shapes. Hierarchies
+    /// with equal signatures — e.g. sweep cells differing only in L1
+    /// capacity and associativity — walk the reference stream
+    /// identically outside their private L1/L2 probes, so one
+    /// [`crate::PlanBuilder`] can front all of them.
+    pub fn plan_signature(&self) -> (u32, u32, u32, TlbGeometry, TlbGeometry) {
+        (
+            self.l1i.line_bytes,
+            self.l1d.line_bytes,
+            self.l2.line_bytes,
+            self.itlb,
+            self.dtlb,
+        )
+    }
+}
+
+/// Why a geometry name failed to resolve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// The name is neither a preset nor an L1 cell spec.
+    Unknown {
+        /// The rejected name.
+        name: String,
+    },
+    /// The name looked like a cell spec but did not parse or validate.
+    BadSpec(String),
+}
+
+impl GeometryError {
+    fn unknown(name: &str) -> Self {
+        GeometryError::Unknown {
+            name: name.to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::Unknown { name } => write!(
+                f,
+                "unknown geometry {name:?}; valid: {} or an L1 spec like size=16k,assoc=2,line=32",
+                HierarchyGeometry::PRESET_NAMES.join(", ")
+            ),
+            GeometryError::BadSpec(what) => write!(
+                f,
+                "bad geometry spec: {what} (format: size=16k,assoc=2,line=32)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+/// Parses `"16k"`, `"1m"`, or a plain byte count.
+pub fn parse_size(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, scale) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 1024),
+        b'm' | b'M' => (&s[..s.len() - 1], 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits.parse::<u64>().ok()?.checked_mul(scale)
+}
+
+/// Renders a byte count the way cell names spell it (`16k` when it
+/// divides evenly, raw bytes otherwise) — the inverse of [`parse_size`]
+/// on canonical names.
+pub fn format_size(bytes: u64) -> String {
+    if bytes > 0 && bytes.is_multiple_of(1024 * 1024) {
+        format!("{}m", bytes / (1024 * 1024))
+    } else if bytes > 0 && bytes.is_multiple_of(1024) {
+        format!("{}k", bytes / 1024)
+    } else {
+        bytes.to_string()
+    }
+}
+
+/// Leak-once interning for dynamic geometry names.
+///
+/// [`HierarchyGeometry`] is `Copy` with a `&'static str` name — the
+/// right shape for the hot path, where geometries are passed by value
+/// everywhere. Sweep cells need *computed* names, so each distinct cell
+/// name is leaked exactly once and reused forever after; a long-running
+/// server resolving the same grids repeatedly does not grow.
+fn intern_name(name: &str) -> &'static str {
+    static NAMES: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let mut map = NAMES
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .expect("geometry name table poisoned");
+    if let Some(&interned) = map.get(name) {
+        return interned;
+    }
+    let interned: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    map.insert(name.to_owned(), interned);
+    interned
 }
 
 #[cfg(test)]
@@ -209,6 +424,73 @@ mod tests {
             assert_eq!(g.name, name);
         }
         assert!(HierarchyGeometry::preset("nope").is_none());
+    }
+
+    #[test]
+    fn by_name_resolves_presets_and_cell_specs() {
+        assert_eq!(
+            HierarchyGeometry::by_name("cortex-a9").unwrap(),
+            HierarchyGeometry::cortex_a9()
+        );
+        let cell = HierarchyGeometry::by_name("size=16k,assoc=2,line=32").unwrap();
+        cell.validate();
+        assert_eq!(cell.name, "size=16k,assoc=2,line=32");
+        assert_eq!(cell.l1i.capacity_bytes(), 16 * 1024);
+        assert_eq!(cell.l1i.ways, 2);
+        assert_eq!(cell.l1i.line_bytes, 32);
+        assert_eq!(cell.l1i, cell.l1d);
+        // Only the L1s move; the rest stays at the cortex-a9 base.
+        let base = HierarchyGeometry::cortex_a9();
+        assert_eq!(cell.l2, base.l2);
+        assert_eq!(cell.itlb, base.itlb);
+        assert_eq!(cell.dtlb, base.dtlb);
+    }
+
+    #[test]
+    fn cell_names_round_trip_and_intern_once() {
+        let a = HierarchyGeometry::with_l1(64 * 1024, 4, 64).unwrap();
+        assert_eq!(a.name, "size=64k,assoc=4,line=64");
+        let b = HierarchyGeometry::by_name(a.name).unwrap();
+        assert_eq!(a, b);
+        // Same spec spelled differently canonicalizes to one interned str.
+        let c = HierarchyGeometry::by_name("line=64,size=65536,assoc=4").unwrap();
+        assert!(std::ptr::eq(a.name, c.name));
+    }
+
+    #[test]
+    fn by_name_rejects_with_useful_messages() {
+        let err = HierarchyGeometry::by_name("nope").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("cortex-a9") && msg.contains("tiny"), "{msg}");
+        assert!(msg.contains("size=16k,assoc=2,line=32"), "{msg}");
+        for bad in [
+            "size=16k",                       // missing keys
+            "size=16k,assoc=2,line=32,zap=1", // unknown key
+            "size=16k,assoc=2,assoc=2",       // duplicate key
+            "size=16q,assoc=2,line=32",       // bad number
+            "size=16k,assoc=3,line=32",       // non-power-of-two assoc
+            "size=17k,assoc=2,line=32",       // size not multiple of way
+            "size=24k,assoc=2,line=32",       // non-power-of-two sets
+        ] {
+            assert!(
+                matches!(
+                    HierarchyGeometry::by_name(bad),
+                    Err(GeometryError::BadSpec(_))
+                ),
+                "{bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn size_formatting_round_trips() {
+        for (text, bytes) in [("16k", 16 * 1024), ("2m", 2 * 1024 * 1024), ("100", 100)] {
+            assert_eq!(parse_size(text), Some(bytes));
+            assert_eq!(format_size(bytes), text);
+        }
+        assert_eq!(parse_size(""), None);
+        assert_eq!(parse_size("k"), None);
+        assert_eq!(parse_size("-4k"), None);
     }
 
     #[test]

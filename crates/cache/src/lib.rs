@@ -40,7 +40,9 @@ mod hierarchy;
 mod model;
 mod report;
 
-pub use geometry::{CacheGeometry, HierarchyGeometry, TlbGeometry};
-pub use hierarchy::{Level, MemoryHierarchy};
+pub use geometry::{
+    format_size, parse_size, CacheGeometry, GeometryError, HierarchyGeometry, TlbGeometry,
+};
+pub use hierarchy::{BatchPlan, Level, MemoryHierarchy, PlanBuilder};
 pub use model::SetAssocCache;
 pub use report::{CacheReport, LevelStats, RegionRow};

@@ -9,11 +9,19 @@
 //! agave cache --fig5 [--preset P] [--jobs N]   # all 25 workloads, one row each
 //! agave record <label> [-o F]           # capture the reference stream to .agtrace
 //! agave record --all [--dir D] [--jobs N]      # record the whole suite
-//! agave replay <F> [--cache P|--summary|--validate]  # re-run analyses off a trace file
+//! agave replay <F> [--cache G|--summary|--validate]  # re-run analyses off a trace file
+//! agave sweep <F> --grid size=16k,32k:assoc=2,4:line=32,64 [--jobs N]  # design-space sweep
 //! agave stats <telemetry.json>          # span tree + metric tables from a capture
 //! agave serve [--addr A] [--jobs N]     # multi-tenant replay/analysis daemon
-//! agave client <upload|list|analyze|ping|shutdown> …  # talk to a daemon
+//! agave client <upload|list|analyze|sweep|ping|shutdown> …  # talk to a daemon
 //! ```
+//!
+//! Geometry names (`--preset`, `--cache`, sweep cells) resolve through
+//! `HierarchyGeometry::by_name`: a built-in preset (`cortex-a9`,
+//! `tiny`) or an L1 cell spec like `size=16k,assoc=2,line=32`.
+//! `agave sweep` decodes a recorded trace *once* and fans every chunk
+//! out to one hierarchy per grid cell — each cell byte-identical to a
+//! standalone `agave replay --cache <cell>` of the same trace.
 //!
 //! `--jobs N` fans the mutually independent workloads out across N
 //! threads (`--jobs 0` = one per CPU). Figures, tables, and JSON are
@@ -44,13 +52,15 @@ fn usage() -> ! {
          agave cache --fig5 [--preset NAME] [--quick] [--json] [--jobs N]\n  \
          agave record <workload> [-o FILE] [--quick]\n  \
          agave record --all [--dir DIR] [--quick] [--jobs N]\n  \
-         agave replay <file.agtrace> [--summary] [--cache PRESET] [--validate] [--json] [--top N]\n  \
+         agave replay <file.agtrace> [--summary] [--cache GEOMETRY] [--validate] [--json] [--top N]\n  \
+         agave sweep <file.agtrace> --grid size=16k,32k:assoc=2,4:line=32,64 [--jobs N] [--json]\n  \
          agave stats <telemetry.json>\n  \
          agave serve [--addr HOST:PORT] [--jobs N] [--queue N] [--spool DIR]\n  \
          agave client upload <name> <file.agtrace> [--addr A]\n  \
-         agave client analyze <name> <summary|cache PRESET|sketch> [--addr A]\n  \
+         agave client analyze <name> <summary|cache GEOMETRY|sketch> [--addr A]\n  \
+         agave client sweep <name> <grid> [--addr A]\n  \
          agave client list|ping|shutdown [--addr A]\n\
-         presets: {}\n\
+         geometries: {} — or an L1 cell spec size=16k,assoc=2,line=32\n\
          --jobs N: run workloads on N threads (0 = one per CPU; default 1)\n\
          --telemetry FILE: capture spans+metrics to FILE (any verb that runs workloads)\n\
          --telemetry-format json|chrome|prom (default json)",
@@ -278,11 +288,8 @@ fn cmd_cache(args: &[String]) {
                 .unwrap_or_else(|| usage())
         })
         .unwrap_or("cortex-a9");
-    let geometry = HierarchyGeometry::preset(preset).unwrap_or_else(|| {
-        eprintln!(
-            "unknown preset {preset:?}; available: {}",
-            HierarchyGeometry::PRESET_NAMES.join(", ")
-        );
+    let geometry = HierarchyGeometry::by_name(preset).unwrap_or_else(|err| {
+        eprintln!("agave cache: {err}");
         std::process::exit(2);
     });
     let json = args.iter().any(|a| a == "--json");
@@ -466,11 +473,8 @@ fn cmd_replay(args: &[String]) {
     }
     let preset = flag_value(args, "--cache").or_else(|| flag_value(args, "--preset"));
     if let Some(preset) = preset {
-        let geometry = HierarchyGeometry::preset(preset).unwrap_or_else(|| {
-            eprintln!(
-                "unknown preset {preset:?}; available: {}",
-                HierarchyGeometry::PRESET_NAMES.join(", ")
-            );
+        let geometry = HierarchyGeometry::by_name(preset).unwrap_or_else(|err| {
+            eprintln!("agave replay: {err}");
             std::process::exit(2);
         });
         let top = flag_value(args, "--top")
@@ -498,6 +502,45 @@ fn cmd_replay(args: &[String]) {
             summary.total_data
         );
         print_breakdowns(&summary);
+    }
+}
+
+/// Runs a design-space sweep off a recorded trace (`agave sweep`):
+/// one decode, one hierarchy per grid cell, batches fanned across
+/// `--jobs` workers. Output is identical for any job count.
+fn cmd_sweep(args: &[String]) {
+    let path = bare_arg(
+        args,
+        &["--grid", "--jobs", "--telemetry", "--telemetry-format"],
+    )
+    .map(Path::new)
+    .unwrap_or_else(|| usage());
+    let grid_arg = flag_value(args, "--grid").unwrap_or("size=16k,32k,64k:assoc=2,4,8:line=32,64");
+    let grid = agave_analysis::GridSpec::parse(grid_arg).unwrap_or_else(|err| {
+        eprintln!("agave sweep: {err}");
+        std::process::exit(2);
+    });
+    let jobs = jobs(args);
+    eprintln!(
+        "sweeping {} through {} cells ({}; {} thread{})…",
+        path.display(),
+        grid.len(),
+        grid.canonical(),
+        engine::effective_jobs(jobs),
+        if engine::effective_jobs(jobs) == 1 {
+            ""
+        } else {
+            "s"
+        }
+    );
+    let report = agave_analysis::sweep_path(path, &grid, jobs).unwrap_or_else(|err| {
+        eprintln!("agave sweep: {}: {err}", path.display());
+        std::process::exit(1);
+    });
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
     }
 }
 
@@ -605,6 +648,10 @@ fn cmd_client(args: &[String]) {
             let json = cli::or_fail_bare("client", client.analyze(name, &analysis));
             println!("{json}");
         }
+        ["sweep", name, grid] => {
+            let json = cli::or_fail_bare("client", client.sweep(name, grid));
+            println!("{json}");
+        }
         _ => usage(),
     }
 }
@@ -637,6 +684,10 @@ fn main() {
         }
         Some("replay") => {
             cmd_replay(&args[1..]);
+            0
+        }
+        Some("sweep") => {
+            cmd_sweep(&args[1..]);
             0
         }
         Some("stats") => {

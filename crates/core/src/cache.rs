@@ -12,18 +12,20 @@
 
 use crate::engine;
 use crate::suite::{all_workloads, SuiteConfig, Workload};
-use agave_cache::{CacheReport, HierarchyGeometry, Level, LevelStats, MemoryHierarchy};
+use agave_analysis::{AnalysisPass, CachePass};
+use agave_cache::{CacheReport, HierarchyGeometry, Level, LevelStats};
 use agave_trace::json;
-use std::cell::RefCell;
-use std::rc::Rc;
 
-/// Runs one workload with a [`MemoryHierarchy`] attached to its reference
+/// Runs one workload with a cache analysis attached to its reference
 /// stream (via [`engine::run_observed`]) and returns the full per-region
 /// cache report.
 ///
-/// Each call boots a fresh simulated system, so reports are deterministic
-/// and independent — including across threads, which is what
-/// [`Fig5Cache::run_jobs`] exploits.
+/// The sink/finish pair is the analysis registry's shared
+/// [`CachePass`] — the same one replay and the serve daemon use — so
+/// the live report stays byte-identical to a replayed one by
+/// construction. Each call boots a fresh simulated system, so reports
+/// are deterministic and independent — including across threads, which
+/// is what [`Fig5Cache::run_jobs`] exploits.
 pub fn run_workload_with_cache(
     workload: Workload,
     config: &SuiteConfig,
@@ -33,11 +35,9 @@ pub fn run_workload_with_cache(
     // the span covers run + walk; per-batch walk time is broken out by
     // the `cache.*` metrics the hierarchy records.
     let mut span = agave_telemetry::Span::enter_labeled("hierarchy walk", workload.label());
-    let hierarchy = Rc::new(RefCell::new(MemoryHierarchy::new(geometry)));
-    let outcome = engine::run_observed(workload, config, vec![hierarchy.clone()]);
-    let report = hierarchy
-        .borrow()
-        .report(workload.label(), &outcome.directory);
+    let pass = CachePass::new(geometry);
+    let outcome = engine::run_observed(workload, config, vec![pass.sink()]);
+    let report = pass.report(workload.label(), &outcome.directory);
     span.set_refs(outcome.summary.total_refs());
     report
 }

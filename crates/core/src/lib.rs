@@ -64,6 +64,7 @@ pub use suite::{
 };
 
 // The user-facing surface of the lower layers.
+pub use agave_analysis::{analyze_path, sweep_path, GridSpec, SweepCell, SweepReport};
 pub use agave_apps::{all_apps, AppId, RunConfig};
 pub use agave_cache::{CacheReport, HierarchyGeometry, Level, LevelStats, MemoryHierarchy};
 pub use agave_spec::{spec_programs, SpecConfig, SpecProgram};

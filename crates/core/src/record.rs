@@ -10,7 +10,7 @@
 
 use crate::engine::{self, EngineConfig};
 use crate::suite::Workload;
-use agave_cache::{CacheReport, HierarchyGeometry, MemoryHierarchy};
+use agave_cache::{CacheReport, HierarchyGeometry};
 use agave_replay::{SummaryAccumulator, TraceError, TraceReader, TraceStats, TraceWriter};
 use agave_trace::{RunSummary, SharedSink};
 use std::cell::RefCell;
@@ -85,26 +85,17 @@ pub fn replay_trace_summary(path: &Path) -> Result<RunSummary, TraceError> {
     agave_replay::replay_summary(path)
 }
 
-/// Replays `path` through a fresh [`MemoryHierarchy`] of `geometry` and
-/// returns the same [`CacheReport`] a live
-/// [`crate::run_workload_with_cache`] of the recorded workload yields —
-/// without re-simulating the workload.
+/// Replays `path` through a fresh hierarchy of `geometry` and returns
+/// the same [`CacheReport`] a live [`crate::run_workload_with_cache`]
+/// of the recorded workload yields — without re-simulating the
+/// workload. Delegates to the analysis registry's shared pass
+/// ([`agave_analysis::replay_cache`]), the one implementation the CLI,
+/// the serve daemon, and sweeps all resolve through.
 pub fn replay_trace_cache(
     path: &Path,
     geometry: HierarchyGeometry,
 ) -> Result<CacheReport, TraceError> {
-    // Covers decode + walk; the nested "replay decode" span (opened by
-    // the reader) and the per-batch `cache.*` metrics split the two.
-    let mut span =
-        agave_telemetry::Span::enter_labeled("hierarchy walk", &path.display().to_string());
-    let reader = TraceReader::open(path)?;
-    let hierarchy = Rc::new(RefCell::new(MemoryHierarchy::new(geometry)));
-    let outcome = reader.replay(&[hierarchy.clone() as SharedSink])?;
-    let report = hierarchy
-        .borrow()
-        .report(&outcome.label, &outcome.directory);
-    span.set_refs(outcome.words);
-    Ok(report)
+    agave_analysis::replay_cache(path, geometry)
 }
 
 /// Replays `path` into caller-provided sinks (any [`SharedSink`]s) and

@@ -13,8 +13,8 @@
 
 use crate::protocol::{
     decode_response, decode_session, decode_sessions, encode_analyze, encode_list, encode_ping,
-    encode_shutdown, encode_upload_header, read_frame, write_frame, Analysis, Response,
-    SessionInfo, WireError, MAX_CONTROL_FRAME,
+    encode_shutdown, encode_sweep, encode_upload_header, read_frame, write_frame, Analysis,
+    Response, SessionInfo, WireError, MAX_CONTROL_FRAME,
 };
 use std::fmt;
 use std::io::{self, Write};
@@ -201,6 +201,20 @@ impl Client {
     /// One analyze attempt; RETRY comes back verbatim.
     pub fn analyze_once(&self, name: &str, analysis: &Analysis) -> Result<Response, ClientError> {
         self.roundtrip(&encode_analyze(name, analysis))
+    }
+
+    /// Runs a design-space sweep (`size=..:assoc=..:line=..` grid)
+    /// against stored session `name`, retrying on backpressure.
+    /// Returns the server-rendered sweep JSON.
+    pub fn sweep(&self, name: &str, grid: &str) -> Result<String, ClientError> {
+        let body = self.with_retry(|| self.sweep_once(name, grid))?;
+        String::from_utf8(body)
+            .map_err(|_| ClientError::Wire(WireError::Malformed("sweep not UTF-8".into())))
+    }
+
+    /// One sweep attempt; RETRY comes back verbatim.
+    pub fn sweep_once(&self, name: &str, grid: &str) -> Result<Response, ClientError> {
+        self.roundtrip(&encode_sweep(name, grid))
     }
 
     /// Reads the raw response to an arbitrary prebuilt payload (the

@@ -31,8 +31,12 @@
 pub mod client;
 pub mod protocol;
 pub mod server;
-pub mod sketch;
 pub mod store;
+
+/// The streaming sketches now live in the analysis registry crate
+/// (`agave-analysis`); re-exported here so existing `agave_serve::sketch`
+/// paths keep working.
+pub use agave_analysis::sketch;
 
 pub use client::{render_sessions, Client, ClientError};
 pub use protocol::{Analysis, Response, SessionInfo, WireError};
@@ -113,7 +117,19 @@ mod tests {
             let sketch = client.analyze("sess-a", &Analysis::Sketch).unwrap();
             assert!(sketch.contains("\"heavy_regions\""), "got {sketch}");
 
+            let grid_spec = "size=1k,2k:assoc=2:line=16";
+            let swept = client.sweep("sess-a", grid_spec).unwrap();
+            let grid = agave_analysis::GridSpec::parse(grid_spec).unwrap();
+            let local = agave_analysis::sweep_path(&trace, &grid, 2).unwrap();
+            assert_eq!(
+                swept,
+                local.to_json(),
+                "served sweep must equal local sweep for any jobs"
+            );
+
             let err = client.analyze("missing", &Analysis::Summary).unwrap_err();
+            assert!(matches!(err, ClientError::Server(_)), "got {err}");
+            let err = client.sweep("sess-a", "size=bogus").unwrap_err();
             assert!(matches!(err, ClientError::Server(_)), "got {err}");
 
             client.shutdown().unwrap();

@@ -14,6 +14,7 @@
 //!                  kind 0 = summary, 1 = cache (+ varint preset), 2 = sketch
 //!   PING    0x04
 //!   SHUT    0x05
+//!   SWEEP   0x06 · varint name len · name · varint grid len · grid
 //! response  status byte · body
 //!   OK      0x00 · verb-specific body (JSON text, session table, …)
 //!   ERR     0x01 · UTF-8 message
@@ -40,6 +41,8 @@ pub const V_ANALYZE: u8 = 0x03;
 pub const V_PING: u8 = 0x04;
 /// Request verb: clean shutdown.
 pub const V_SHUTDOWN: u8 = 0x05;
+/// Request verb: run a design-space sweep against a stored session.
+pub const V_SWEEP: u8 = 0x06;
 
 /// Response status: success; body is verb-specific.
 pub const S_OK: u8 = 0x00;
@@ -273,6 +276,26 @@ pub fn decode_analyze(body: &[u8]) -> Result<(String, Analysis), WireError> {
     Ok((name, analysis))
 }
 
+/// Encodes a SWEEP request payload (session name + grid spec, e.g.
+/// `size=16k,32k:assoc=2,4:line=32,64`).
+pub fn encode_sweep(name: &str, grid: &str) -> Vec<u8> {
+    let mut out = vec![V_SWEEP];
+    put_str(&mut out, name);
+    put_str(&mut out, grid);
+    out
+}
+
+/// Parses a SWEEP request body (everything after the verb byte).
+pub fn decode_sweep(body: &[u8]) -> Result<(String, String), WireError> {
+    let mut pos = 0;
+    let name = get_str(body, &mut pos, "session name")?;
+    let grid = get_str(body, &mut pos, "grid spec")?;
+    if pos != body.len() {
+        return Err(malformed("trailing bytes in sweep request"));
+    }
+    Ok((name, grid))
+}
+
 fn put_session(out: &mut Vec<u8>, s: &SessionInfo) {
     put_str(out, &s.name);
     put_str(out, &s.label);
@@ -435,6 +458,16 @@ mod tests {
             assert_eq!(name, "my-session");
             assert_eq!(parsed, analysis);
         }
+    }
+
+    #[test]
+    fn sweep_requests_round_trip() {
+        let payload = encode_sweep("my-session", "size=16k,32k:assoc=2:line=32");
+        assert_eq!(payload[0], V_SWEEP);
+        let (name, grid) = decode_sweep(&payload[1..]).unwrap();
+        assert_eq!(name, "my-session");
+        assert_eq!(grid, "size=16k,32k:assoc=2:line=32");
+        assert!(decode_sweep(&payload).is_err(), "verb byte left in body");
     }
 
     #[test]

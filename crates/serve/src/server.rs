@@ -24,22 +24,18 @@
 //! far larger than those bounds to prove it.
 
 use crate::protocol::{
-    decode_analyze, encode_response, encode_session, encode_sessions, read_frame_len,
+    decode_analyze, decode_sweep, encode_response, encode_session, encode_sessions, read_frame_len,
     read_varint_stream, write_frame, Analysis, Response, SessionInfo, WireError, MAX_CONTROL_FRAME,
-    MAX_NAME, V_ANALYZE, V_LIST, V_PING, V_SHUTDOWN, V_UPLOAD,
+    MAX_NAME, V_ANALYZE, V_LIST, V_PING, V_SHUTDOWN, V_SWEEP, V_UPLOAD,
 };
-use crate::sketch::SketchSink;
 use crate::store::{SessionMeta, TraceStore};
-use agave_cache::{HierarchyGeometry, MemoryHierarchy};
-use agave_replay::{replay_summary, TraceReader};
+use agave_analysis::GridSpec;
+use agave_replay::TraceReader;
 use agave_trace::par::{effective_jobs, parallel_map};
-use agave_trace::SharedSink;
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
@@ -317,6 +313,18 @@ impl Server {
                 };
                 self.respond(&mut writer, response)
             }
+            V_SWEEP => {
+                if body_len > MAX_CONTROL_FRAME {
+                    return self.respond(&mut writer, Response::Err("request too large".into()));
+                }
+                let mut body = vec![0u8; body_len as usize];
+                reader.read_exact(&mut body)?;
+                let response = match decode_sweep(&body) {
+                    Ok((name, grid)) => self.handle_sweep(&name, &grid),
+                    Err(err) => Response::Err(format!("bad sweep request: {err}")),
+                };
+                self.respond(&mut writer, response)
+            }
             V_SHUTDOWN => {
                 drain(&mut reader, body_len)?;
                 self.respond(&mut writer, Response::Ok(Vec::new()))?;
@@ -440,6 +448,31 @@ impl Server {
             Err(err) => Response::Err(format!("analyze {name:?} ({analysis}): {err}")),
         }
     }
+
+    /// Runs a design-space sweep against a stored session. The sweep
+    /// fans out within one worker with `jobs = 1` — server concurrency
+    /// comes from serving many requests, not from one request hogging
+    /// every core — and the output is identical for any job count, so
+    /// the served JSON equals a local `agave sweep --json`.
+    fn handle_sweep(&self, name: &str, grid: &str) -> Response {
+        let Some(session) = self.store.get(name) else {
+            return Response::Err(format!("unknown session {name:?}; upload it first"));
+        };
+        let mut span = agave_telemetry::Span::enter_labeled("serve sweep", name);
+        let result =
+            GridSpec::parse(grid).and_then(|g| agave_analysis::sweep_path(&session.path, &g, 1));
+        match result {
+            Ok(report) => {
+                span.set_refs(session.info.words);
+                self.stats.analyses.fetch_add(1, Ordering::Relaxed);
+                if agave_telemetry::enabled() {
+                    agave_telemetry::metrics::counter("serve.sweeps").incr();
+                }
+                Response::Ok(report.to_json().into_bytes())
+            }
+            Err(err) => Response::Err(format!("sweep {name:?} ({grid}): {err}")),
+        }
+    }
 }
 
 /// Reads and discards `len` request-body bytes (verbs with no body
@@ -453,36 +486,11 @@ fn drain<R: Read>(reader: &mut R, len: u64) -> Result<(), WireError> {
 /// server ships back. Shared by the server and by tests/benches that
 /// check byte-identity against local replay.
 ///
-/// Every analysis is a single streaming pass: the reader delivers
-/// chunk-sized batches to the session's sink exactly as the live
-/// `SINK_BATCH` path does, so memory stays bounded no matter the trace
-/// size.
+/// The wire [`Analysis`]'s `Display` form *is* its registry spec
+/// (`summary`, `cache:<geometry>`, `sketch`), so this is a one-line
+/// delegate into [`agave_analysis::analyze_path`] — the same entry
+/// point `agave replay` resolves through, which is what makes served
+/// responses byte-identical to local replay by construction.
 pub fn analyze_trace(path: &Path, analysis: &Analysis) -> Result<String, String> {
-    match analysis {
-        Analysis::Summary => replay_summary(path)
-            .map(|s| s.to_json())
-            .map_err(|e| e.to_string()),
-        Analysis::Cache(preset) => {
-            let geometry = HierarchyGeometry::preset(preset)
-                .ok_or_else(|| format!("unknown preset {preset:?}"))?;
-            let reader = TraceReader::open(path).map_err(|e| e.to_string())?;
-            let hierarchy = Rc::new(RefCell::new(MemoryHierarchy::new(geometry)));
-            let outcome = reader
-                .replay(&[hierarchy.clone() as SharedSink])
-                .map_err(|e| e.to_string())?;
-            let report = hierarchy
-                .borrow()
-                .report(&outcome.label, &outcome.directory);
-            Ok(report.to_json())
-        }
-        Analysis::Sketch => {
-            let reader = TraceReader::open(path).map_err(|e| e.to_string())?;
-            let sink = Rc::new(RefCell::new(SketchSink::new(SketchSink::DEFAULT_CAPACITY)));
-            let outcome = reader
-                .replay(&[sink.clone() as SharedSink])
-                .map_err(|e| e.to_string())?;
-            let report = sink.borrow().report(&outcome.label, &outcome.directory);
-            Ok(report.to_json())
-        }
-    }
+    agave_analysis::analyze_path(path, &analysis.to_string())
 }
