@@ -35,7 +35,7 @@ pub use sketch::{HeavyEntry, HeavyRegion, Log2Quantiles, SketchReport, SketchSin
 pub use sweep::{sweep_path, FanoutSink, GridSpec, SweepCell, SweepReport};
 
 use agave_cache::{CacheReport, HierarchyGeometry, MemoryHierarchy};
-use agave_replay::{ReplayOutcome, SummaryAccumulator, TraceError, TraceReader};
+use agave_replay::{ReplayOutcome, SummaryAccumulator, TraceBuffer, TraceError};
 use agave_trace::{NameDirectory, RunSummary, SharedSink};
 use std::cell::RefCell;
 use std::path::Path;
@@ -256,34 +256,41 @@ pub fn resolve(spec: &str) -> Result<Box<dyn AnalysisPass>, String> {
         .build(arg)
 }
 
-/// Replays `path` through `pass` and renders its canonical JSON —
-/// one streaming decode, batches delivered exactly as the live
-/// `SINK_BATCH` path delivers them, memory bounded by the pass.
-pub fn run_pass(path: &Path, pass: &dyn AnalysisPass) -> Result<String, TraceError> {
+/// Replays `path` through `pass` and renders its canonical JSON — one
+/// buffered read, chunks decoded on up to `jobs` workers (0 = one per
+/// CPU, 1 = serial), batches delivered exactly as the live `SINK_BATCH`
+/// path delivers them. Output is byte-identical for every `jobs`.
+pub fn run_pass(path: &Path, pass: &dyn AnalysisPass, jobs: usize) -> Result<String, TraceError> {
     let mut span =
         agave_telemetry::Span::enter_labeled(pass.span_name(), &path.display().to_string());
-    let reader = TraceReader::open(path)?;
-    let outcome = reader.replay(&[pass.sink()])?;
+    let buf = TraceBuffer::open(path)?;
+    let outcome = buf.replay(&[pass.sink()], jobs)?;
     span.set_refs(outcome.words);
     Ok(pass.finish_json(&outcome))
 }
 
 /// Spec + trace path → canonical analysis JSON. The single entry point
 /// the `agave replay` CLI and the serve `ANALYZE` verb both call.
-pub fn analyze_path(path: &Path, spec: &str) -> Result<String, String> {
+/// `jobs` is the decode worker count; the JSON is identical for all
+/// values.
+pub fn analyze_path(path: &Path, spec: &str, jobs: usize) -> Result<String, String> {
     let pass = resolve(spec)?;
-    run_pass(path, pass.as_ref()).map_err(|e| e.to_string())
+    run_pass(path, pass.as_ref(), jobs).map_err(|e| e.to_string())
 }
 
 /// Replays `path` through a fresh hierarchy of `geometry` and returns
 /// the typed [`CacheReport`] — byte-identical (as JSON) to the live
 /// run's report and to [`analyze_path`] with `cache:<geometry.name>`.
-pub fn replay_cache(path: &Path, geometry: HierarchyGeometry) -> Result<CacheReport, TraceError> {
+pub fn replay_cache(
+    path: &Path,
+    geometry: HierarchyGeometry,
+    jobs: usize,
+) -> Result<CacheReport, TraceError> {
     let mut span =
         agave_telemetry::Span::enter_labeled("hierarchy walk", &path.display().to_string());
     let pass = CachePass::new(geometry);
-    let reader = TraceReader::open(path)?;
-    let outcome = reader.replay(&[pass.sink()])?;
+    let buf = TraceBuffer::open(path)?;
+    let outcome = buf.replay(&[pass.sink()], jobs)?;
     span.set_refs(outcome.words);
     Ok(pass.finish(&outcome))
 }
@@ -367,31 +374,47 @@ mod tests {
     #[test]
     fn analyze_path_matches_the_typed_helpers() {
         let path = fixture::record("registry");
-        let summary = analyze_path(&path, "summary").unwrap();
+        let summary = analyze_path(&path, "summary", 1).unwrap();
         assert_eq!(
             summary,
-            agave_replay::replay_summary(&path).unwrap().to_json()
+            agave_replay::replay_summary(&path, 1).unwrap().to_json()
         );
-        let cache = analyze_path(&path, "cache:tiny").unwrap();
-        let typed = replay_cache(&path, HierarchyGeometry::tiny()).unwrap();
+        let cache = analyze_path(&path, "cache:tiny", 1).unwrap();
+        let typed = replay_cache(&path, HierarchyGeometry::tiny(), 1).unwrap();
         assert_eq!(cache, typed.to_json());
         assert!(cache.contains(r#""preset":"tiny""#));
-        let sketch = analyze_path(&path, "sketch").unwrap();
+        let sketch = analyze_path(&path, "sketch", 1).unwrap();
         assert!(sketch.contains("\"heavy_regions\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn analyze_path_is_jobs_independent() {
+        let path = fixture::record("jobs-indep");
+        for spec in ["summary", "cache:tiny", "sketch"] {
+            let serial = analyze_path(&path, spec, 1).unwrap();
+            for jobs in [2, 8, 0] {
+                assert_eq!(
+                    analyze_path(&path, spec, jobs).unwrap(),
+                    serial,
+                    "{spec} with jobs={jobs} must match serial output"
+                );
+            }
+        }
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn cache_cells_resolve_to_standalone_reports() {
         let path = fixture::record("cell");
-        let via_spec = analyze_path(&path, "cache:size=1k,assoc=2,line=16").unwrap();
+        let via_spec = analyze_path(&path, "cache:size=1k,assoc=2,line=16", 1).unwrap();
         assert!(via_spec.contains(r#""preset":"size=1k,assoc=2,line=16""#));
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn missing_trace_is_a_clean_error() {
-        let err = analyze_path(Path::new("/nonexistent/never.agtrace"), "summary").unwrap_err();
+        let err = analyze_path(Path::new("/nonexistent/never.agtrace"), "summary", 1).unwrap_err();
         assert!(!err.is_empty());
     }
 }

@@ -31,7 +31,7 @@
 use agave_cache::{
     format_size, BatchPlan, CacheReport, HierarchyGeometry, Level, MemoryHierarchy, PlanBuilder,
 };
-use agave_replay::TraceReader;
+use agave_replay::TraceBuffer;
 use agave_trace::json;
 use agave_trace::par::{effective_jobs, parallel_map};
 use agave_trace::{NameDirectory, Reference, ReferenceSink};
@@ -424,9 +424,9 @@ impl SweepReport {
 }
 
 /// Runs the sweep: decodes the trace at `path` once and replays it
-/// through one hierarchy per grid cell, fanning batches across up to
-/// `jobs` workers (0 = one per CPU; output is identical for any
-/// `jobs`).
+/// through one hierarchy per grid cell. `jobs` bounds both halves of
+/// the pipeline — the chunk decode workers and the per-batch cell
+/// fan-out (0 = one per CPU; output is identical for any `jobs`).
 pub fn sweep_path(path: &Path, grid: &GridSpec, jobs: usize) -> Result<SweepReport, String> {
     let geometries = grid.cells()?;
     if geometries.is_empty() {
@@ -437,10 +437,10 @@ pub fn sweep_path(path: &Path, grid: &GridSpec, jobs: usize) -> Result<SweepRepo
         agave_telemetry::metrics::gauge("sweep.cells").set(geometries.len() as u64);
         agave_telemetry::metrics::gauge("sweep.jobs").set(effective_jobs(jobs) as u64);
     }
-    let reader = TraceReader::open(path).map_err(|e| e.to_string())?;
+    let buf = TraceBuffer::open(path).map_err(|e| e.to_string())?;
     let fanout = std::rc::Rc::new(std::cell::RefCell::new(FanoutSink::new(&geometries, jobs)));
-    let outcome = reader
-        .replay(&[fanout.clone() as agave_trace::SharedSink])
+    let outcome = buf
+        .replay(&[fanout.clone() as agave_trace::SharedSink], jobs)
         .map_err(|e| e.to_string())?;
     span.set_refs(outcome.words);
     let reports = fanout.borrow().reports(&outcome.label, &outcome.directory);
@@ -471,7 +471,7 @@ pub fn sweep_path(path: &Path, grid: &GridSpec, jobs: usize) -> Result<SweepRepo
 /// --cache <cell>` computes; the sweep's per-cell byte-identity anchor.
 pub fn sweep_cell_standalone(path: &Path, name: &str) -> Result<CacheReport, String> {
     let geometry = HierarchyGeometry::by_name(name).map_err(|e| e.to_string())?;
-    crate::replay_cache(path, geometry).map_err(|e| e.to_string())
+    crate::replay_cache(path, geometry, 1).map_err(|e| e.to_string())
 }
 
 #[cfg(test)]

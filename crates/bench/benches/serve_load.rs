@@ -48,7 +48,7 @@ fn main() {
         &trace,
     )
     .expect("record");
-    let expected = record::replay_trace_summary(&trace)
+    let expected = record::replay_trace_summary(&trace, 1)
         .expect("local replay")
         .to_json();
 
@@ -269,10 +269,10 @@ fn sketch_bounds(group: &mut Group, report: &mut HotpathReport, dir: &Path) {
     });
 
     // Byte identity: the served sketch is exactly the local one.
-    let reader = agave_replay::TraceReader::open(&path).expect("open");
+    let buf = agave_replay::TraceBuffer::open(&path).expect("open");
     let sink = Rc::new(RefCell::new(SketchSink::new(SketchSink::DEFAULT_CAPACITY)));
-    let outcome = reader
-        .replay(&[sink.clone() as SharedSink])
+    let outcome = buf
+        .replay(&[sink.clone() as SharedSink], 0)
         .expect("replay");
     let local = sink.borrow().report(&outcome.label, &outcome.directory);
     assert_eq!(served, local.to_json(), "served sketch diverged from local");

@@ -47,7 +47,7 @@ fn main() {
     let sequential = group.bench("64 sequential replay --cache runs", 3, || {
         cells
             .iter()
-            .map(|&g| record::replay_trace_cache(&path, g).expect("replay"))
+            .map(|&g| record::replay_trace_cache(&path, g, 1).expect("replay"))
             .collect::<Vec<_>>()
     });
     let serial_fanout = group.bench("sweep: decode once, jobs=1", 3, || {
@@ -86,6 +86,7 @@ fn main() {
     let standalone = record::replay_trace_cache(
         &path,
         HierarchyGeometry::by_name(sweep.cells[0].name()).expect("cell names resolve"),
+        1,
     )
     .expect("replay");
     assert_eq!(sweep.cells[0].report, standalone);

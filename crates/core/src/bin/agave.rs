@@ -7,9 +7,9 @@
 //! agave claims [--quick] [--jobs N]     # just the claim checklist
 //! agave cache <label> [--preset P]      # per-region cache/TLB breakdown
 //! agave cache --fig5 [--preset P] [--jobs N]   # all 25 workloads, one row each
-//! agave record <label> [-o F]           # capture the reference stream to .agtrace
+//! agave record <label> [-o F] [--chunk-records N]  # capture the reference stream to .agtrace
 //! agave record --all [--dir D] [--jobs N]      # record the whole suite
-//! agave replay <F> [--cache G|--summary|--validate]  # re-run analyses off a trace file
+//! agave replay <F> [--cache G|--summary|--validate] [--jobs N]  # re-run analyses off a trace file
 //! agave sweep <F> --grid size=16k,32k:assoc=2,4:line=32,64 [--jobs N]  # design-space sweep
 //! agave stats <telemetry.json>          # span tree + metric tables from a capture
 //! agave serve [--addr A] [--jobs N]     # multi-tenant replay/analysis daemon
@@ -50,18 +50,19 @@ fn usage() -> ! {
          agave claims [--quick] [--jobs N]\n  \
          agave cache <workload> [--preset NAME] [--quick] [--json] [--top N]\n  \
          agave cache --fig5 [--preset NAME] [--quick] [--json] [--jobs N]\n  \
-         agave record <workload> [-o FILE] [--quick]\n  \
-         agave record --all [--dir DIR] [--quick] [--jobs N]\n  \
-         agave replay <file.agtrace> [--summary] [--cache GEOMETRY] [--validate] [--json] [--top N]\n  \
+         agave record <workload> [-o FILE] [--quick] [--chunk-records N]\n  \
+         agave record --all [--dir DIR] [--quick] [--jobs N] [--chunk-records N]\n  \
+         agave replay <file.agtrace> [--summary] [--cache GEOMETRY] [--validate] [--json] [--top N] [--jobs N]\n  \
          agave sweep <file.agtrace> --grid size=16k,32k:assoc=2,4:line=32,64 [--jobs N] [--json]\n  \
          agave stats <telemetry.json>\n  \
-         agave serve [--addr HOST:PORT] [--jobs N] [--queue N] [--spool DIR]\n  \
+         agave serve [--addr HOST:PORT] [--jobs N] [--decode-jobs N] [--queue N] [--spool DIR]\n  \
          agave client upload <name> <file.agtrace> [--addr A]\n  \
          agave client analyze <name> <summary|cache GEOMETRY|sketch> [--addr A]\n  \
          agave client sweep <name> <grid> [--addr A]\n  \
          agave client list|ping|shutdown [--addr A]\n\
          geometries: {} — or an L1 cell spec size=16k,assoc=2,line=32\n\
-         --jobs N: run workloads on N threads (0 = one per CPU; default 1)\n\
+         --jobs N: run workloads (or decode chunks, on replay verbs) on N threads (0 = one per CPU; default 1)\n\
+         --chunk-records N: records per trace chunk (default 4096; chunks are the unit of parallel decode)\n\
          --telemetry FILE: capture spans+metrics to FILE (any verb that runs workloads)\n\
          --telemetry-format json|chrome|prom (default json)",
         agave_core::HierarchyGeometry::PRESET_NAMES.join(", ")
@@ -371,6 +372,18 @@ fn print_claims(experiments: &Experiments) -> bool {
     passed == claims.len()
 }
 
+/// Parses `--chunk-records N` (default [`agave_replay::format::CHUNK_RECORDS`]).
+fn chunk_records(args: &[String]) -> usize {
+    flag_value(args, "--chunk-records")
+        .map(|n| {
+            n.parse()
+                .ok()
+                .filter(|&c| c >= 1)
+                .unwrap_or_else(|| usage())
+        })
+        .unwrap_or(agave_replay::format::CHUNK_RECORDS)
+}
+
 fn cmd_record(args: &[String]) {
     let (config, note) = config(args);
     if args.iter().any(|a| a == "--all") {
@@ -384,7 +397,7 @@ fn cmd_record(args: &[String]) {
         let rows = cli::or_fail(
             "record",
             dir,
-            record::record_suite(&workloads, &config, dir, jobs(args)),
+            record::record_suite(&workloads, &config, dir, jobs(args), chunk_records(args)),
         );
         let mut failures = 0;
         for (workload, result) in rows {
@@ -414,6 +427,7 @@ fn cmd_record(args: &[String]) {
             "--output",
             "--dir",
             "--jobs",
+            "--chunk-records",
             "--telemetry",
             "--telemetry-format",
         ],
@@ -428,7 +442,7 @@ fn cmd_record(args: &[String]) {
     let stats = cli::or_fail(
         "record",
         Path::new(out),
-        record::record_workload(workload, &config, Path::new(out)),
+        record::record_workload_chunked(workload, &config, Path::new(out), chunk_records(args)),
     );
     println!(
         "{out}: {} records ({} words) in {} chunks · {} bytes · {:.2} bytes/record",
@@ -455,11 +469,12 @@ fn cmd_replay(args: &[String]) {
     .map(Path::new)
     .unwrap_or_else(|| usage());
     let json = args.iter().any(|a| a == "--json");
+    let jobs = jobs(args);
     if args.iter().any(|a| a == "--validate") {
         let outcome = cli::or_fail(
             "replay",
             path,
-            agave_replay::TraceReader::open(path).and_then(agave_replay::TraceReader::validate),
+            agave_replay::TraceBuffer::open(path).and_then(|buf| buf.validate(jobs)),
         );
         println!(
             "{}: ok — {} ({} record chunks checksum-verified; footer promises {} records, {} words)",
@@ -481,7 +496,11 @@ fn cmd_replay(args: &[String]) {
             .and_then(|n| n.parse().ok())
             .unwrap_or(12);
         eprintln!("replaying {} through {preset}…", path.display());
-        let report = cli::or_fail("replay", path, record::replay_trace_cache(path, geometry));
+        let report = cli::or_fail(
+            "replay",
+            path,
+            record::replay_trace_cache(path, geometry, jobs),
+        );
         if json {
             println!("{}", report.to_json());
         } else {
@@ -490,7 +509,7 @@ fn cmd_replay(args: &[String]) {
         return;
     }
     // Default (and `--summary`): rebuild the recorded run's summary.
-    let summary = cli::or_fail("replay", path, record::replay_trace_summary(path));
+    let summary = cli::or_fail("replay", path, record::replay_trace_summary(path, jobs));
     if json {
         println!("{}", summary.to_json());
     } else {
@@ -568,6 +587,9 @@ fn cmd_serve(args: &[String]) {
     }
     if let Some(cap) = flag_value(args, "--queue") {
         config.queue_cap = cap.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(decode_jobs) = flag_value(args, "--decode-jobs") {
+        config.decode_jobs = decode_jobs.parse().unwrap_or_else(|_| usage());
     }
     let server = cli::or_fail_bare("serve", Server::bind(config.clone()));
     eprintln!(

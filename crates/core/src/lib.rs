@@ -57,7 +57,9 @@ pub use cache::{run_workload_with_cache, Fig5Cache, Fig5Row};
 pub use engine::{EngineConfig, WorkloadEngine, WorkloadOutcome};
 pub use experiments::{ClaimReport, Experiments};
 pub use profiles::{library_profiles, render_library_profiles, LibraryProfile};
-pub use record::{record_workload, replay_trace_cache, replay_trace_summary, trace_path};
+pub use record::{
+    record_workload, record_workload_chunked, replay_trace_cache, replay_trace_summary, trace_path,
+};
 pub use report::{experiments_markdown, write_artifacts};
 pub use suite::{
     all_workloads, run_suite, run_suite_jobs, run_workload, SuiteConfig, SuiteResults, Workload,

@@ -11,7 +11,7 @@
 use crate::engine::{self, EngineConfig};
 use crate::suite::Workload;
 use agave_cache::{CacheReport, HierarchyGeometry};
-use agave_replay::{SummaryAccumulator, TraceError, TraceReader, TraceStats, TraceWriter};
+use agave_replay::{SummaryAccumulator, TraceBuffer, TraceError, TraceStats, TraceWriter};
 use agave_trace::{RunSummary, SharedSink};
 use std::cell::RefCell;
 use std::path::{Path, PathBuf};
@@ -26,8 +26,24 @@ pub fn record_workload(
     config: &EngineConfig,
     path: &Path,
 ) -> Result<TraceStats, TraceError> {
+    record_workload_chunked(workload, config, path, agave_replay::format::CHUNK_RECORDS)
+}
+
+/// [`record_workload`] with an explicit chunk size — the `agave record
+/// --chunk-records N` path. Chunks are the unit of parallel decode and
+/// corruption containment; the default is right for almost everyone.
+pub fn record_workload_chunked(
+    workload: Workload,
+    config: &EngineConfig,
+    path: &Path,
+    chunk_records: usize,
+) -> Result<TraceStats, TraceError> {
     let mut span = agave_telemetry::Span::enter_labeled("record encode", workload.label());
-    let writer = Rc::new(RefCell::new(TraceWriter::create(path, workload.label())?));
+    let writer = Rc::new(RefCell::new(TraceWriter::create_chunked(
+        path,
+        workload.label(),
+        chunk_records,
+    )?));
     let (outcome, baseline) =
         engine::run_traced(workload, config, vec![writer.clone() as SharedSink]);
     let stats = writer.borrow_mut().finish(&outcome.directory, &baseline)?;
@@ -44,7 +60,8 @@ pub fn trace_path(dir: &Path, workload: Workload) -> PathBuf {
 /// Records every workload in `workloads` into `dir` (created if
 /// missing), fanning out across up to `jobs` threads — each worker
 /// simulates private worlds and writes its own files, so recordings are
-/// deterministic for any `jobs`.
+/// deterministic for any `jobs`. `chunk_records` is the per-trace chunk
+/// size (see [`record_workload_chunked`]).
 ///
 /// Returns one `(workload, result)` row per input, in input order.
 #[allow(clippy::type_complexity)]
@@ -53,6 +70,7 @@ pub fn record_suite(
     config: &EngineConfig,
     dir: &Path,
     jobs: usize,
+    chunk_records: usize,
 ) -> Result<Vec<(Workload, Result<TraceStats, TraceError>)>, TraceError> {
     std::fs::create_dir_all(dir)?;
     // Same telemetry coordinator shape as `engine::run_suite_parallel`:
@@ -68,7 +86,8 @@ pub fn record_suite(
         let _stitch = agave_telemetry::set_thread_parent(suite_id);
         let workload = workloads[i];
         heartbeat.begin_item(workload.label());
-        let result = record_workload(workload, config, &trace_path(dir, workload));
+        let result =
+            record_workload_chunked(workload, config, &trace_path(dir, workload), chunk_records);
         heartbeat.finish_item(result.as_ref().map_or(0, |s| s.words));
         (workload, result)
     });
@@ -80,9 +99,10 @@ pub fn record_suite(
 }
 
 /// Replays `path` and rebuilds the recorded run's [`RunSummary`] —
-/// byte-identical (as JSON) to the live run's.
-pub fn replay_trace_summary(path: &Path) -> Result<RunSummary, TraceError> {
-    agave_replay::replay_summary(path)
+/// byte-identical (as JSON) to the live run's, for any decode `jobs`
+/// (0 = one per CPU, 1 = serial).
+pub fn replay_trace_summary(path: &Path, jobs: usize) -> Result<RunSummary, TraceError> {
+    agave_replay::replay_summary(path, jobs)
 }
 
 /// Replays `path` through a fresh hierarchy of `geometry` and returns
@@ -94,8 +114,9 @@ pub fn replay_trace_summary(path: &Path) -> Result<RunSummary, TraceError> {
 pub fn replay_trace_cache(
     path: &Path,
     geometry: HierarchyGeometry,
+    jobs: usize,
 ) -> Result<CacheReport, TraceError> {
-    agave_analysis::replay_cache(path, geometry)
+    agave_analysis::replay_cache(path, geometry, jobs)
 }
 
 /// Replays `path` into caller-provided sinks (any [`SharedSink`]s) and
@@ -103,12 +124,13 @@ pub fn replay_trace_cache(
 pub fn replay_trace_observed(
     path: &Path,
     sinks: Vec<SharedSink>,
+    jobs: usize,
 ) -> Result<(RunSummary, agave_replay::ReplayOutcome), TraceError> {
-    let reader = TraceReader::open(path)?;
+    let buf = TraceBuffer::open(path)?;
     let acc = Rc::new(RefCell::new(SummaryAccumulator::new()));
     let mut all = sinks;
     all.push(acc.clone() as SharedSink);
-    let outcome = reader.replay(&all)?;
+    let outcome = buf.replay(&all, jobs)?;
     let summary = acc.borrow().build(&outcome);
     Ok((summary, outcome))
 }
@@ -133,15 +155,38 @@ mod tests {
         assert!(stats.records > 0);
         assert!(stats.bytes_per_record() > 0.0);
         let live = engine::run(workload, &config).summary;
-        let replayed = replay_trace_summary(&path).unwrap();
+        let replayed = replay_trace_summary(&path, 1).unwrap();
         assert_eq!(replayed, live);
         assert_eq!(replayed.to_json(), live.to_json());
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
+    fn custom_chunk_sizes_replay_byte_identically() {
+        let config = EngineConfig::quick();
+        let workload = Workload::Spec(SpecProgram::Specrand);
+        let default_path = temp_file("chunk-default.agtrace");
+        record_workload(workload, &config, &default_path).unwrap();
+        let expected = replay_trace_summary(&default_path, 1).unwrap().to_json();
+        for chunk_records in [64usize, 512, 100_000] {
+            let path = temp_file(&format!("chunk-{chunk_records}.agtrace"));
+            let stats = record_workload_chunked(workload, &config, &path, chunk_records).unwrap();
+            assert!(stats.records > 0);
+            for jobs in [1, 8] {
+                let replayed = replay_trace_summary(&path, jobs).unwrap().to_json();
+                assert_eq!(
+                    replayed, expected,
+                    "chunk_records={chunk_records} jobs={jobs}"
+                );
+            }
+            std::fs::remove_file(&path).ok();
+        }
+        std::fs::remove_file(&default_path).ok();
+    }
+
+    #[test]
     fn replay_of_missing_file_is_an_io_error() {
-        let err = replay_trace_summary(Path::new("/nonexistent/never.agtrace")).unwrap_err();
+        let err = replay_trace_summary(Path::new("/nonexistent/never.agtrace"), 1).unwrap_err();
         assert!(matches!(err, TraceError::Io(_)));
     }
 }

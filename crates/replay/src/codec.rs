@@ -30,16 +30,79 @@ const F_ONE_WORD: u8 = 0b0001_0000;
 
 /// Appends `v` to `out` as an LEB128 varint (7 bits per byte, high bit =
 /// continuation). At most 10 bytes.
+///
+/// The single-byte case (the overwhelming majority of field values in a
+/// real stream: small deltas, small word counts, small ids) is one
+/// capacity check and one store; longer values are assembled in a stack
+/// buffer and appended with one `extend_from_slice` instead of a
+/// capacity check per byte.
+#[inline]
 pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    if v < 0x80 {
+        out.push(v as u8);
+        return;
+    }
+    let mut buf = [0u8; 10];
+    let mut n = 0;
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
-            out.push(byte);
-            return;
+            buf[n] = byte;
+            n += 1;
+            break;
         }
-        out.push(byte | 0x80);
+        buf[n] = byte | 0x80;
+        n += 1;
     }
+    out.extend_from_slice(&buf[..n]);
+}
+
+/// Reads one LEB128 varint like [`get_varint`], but requires the caller
+/// to guarantee `*pos + 10 <= buf.len()`. The guarantee is hoisted into
+/// one fixed-size array view so the unrolled byte reads compile without
+/// per-byte bounds checks, and the (dominant) single-byte case is one
+/// load and one test.
+///
+/// Accepts and rejects exactly the same byte strings as [`get_varint`];
+/// the property tests in `tests/prop.rs` pin the two against each other.
+#[inline(always)]
+fn fast_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let p = *pos;
+    let w: &[u8; 10] = buf[p..p + 10].try_into().expect("caller hoisted bounds");
+    let b0 = w[0];
+    if b0 & 0x80 == 0 {
+        *pos = p + 1;
+        return Some(u64::from(b0));
+    }
+    let mut v = u64::from(b0 & 0x7f);
+    macro_rules! continuation_byte {
+        ($k:literal) => {{
+            let b = w[$k];
+            v |= u64::from(b & 0x7f) << (7 * $k);
+            if b & 0x80 == 0 {
+                *pos = p + $k + 1;
+                return Some(v);
+            }
+        }};
+    }
+    continuation_byte!(1);
+    continuation_byte!(2);
+    continuation_byte!(3);
+    continuation_byte!(4);
+    continuation_byte!(5);
+    continuation_byte!(6);
+    continuation_byte!(7);
+    continuation_byte!(8);
+    // The 10th byte may only carry the final bit of a u64, and a valid
+    // varint never has a continuation bit here.
+    let b = w[9];
+    if b > 0x01 {
+        return None;
+    }
+    v |= u64::from(b) << 63;
+    *pos = p + 10;
+    Some(v)
 }
 
 /// Reads one LEB128 varint from `buf` starting at `*pos`, advancing
@@ -306,6 +369,157 @@ impl CoderState {
             words,
         })
     }
+
+    /// [`CoderState::decode`] with the flag tests replaced by one table
+    /// load and the varint reads unrolled. The caller must guarantee at
+    /// least [`MAX_RECORD_BYTES`] bytes remain at `*pos`; near the end
+    /// of a chunk the scalar path takes over.
+    #[inline(always)]
+    fn decode_fast(&mut self, buf: &[u8], pos: &mut usize) -> Option<Reference> {
+        let header = buf[*pos];
+        *pos += 1;
+        let op = HEADER_OPS[usize::from(header & HEADER_OP_MASK)];
+        let kind = op.kind?;
+        if !op.same_key {
+            let pid = u32::try_from(fast_varint(buf, pos)?).ok()?;
+            let tid = u32::try_from(fast_varint(buf, pos)?).ok()?;
+            let region = u32::try_from(fast_varint(buf, pos)?).ok()?;
+            self.switch_key(pid, tid, region);
+        }
+        let addr = if op.cont_addr {
+            self.end
+        } else {
+            self.addr
+                .wrapping_add(unzigzag(fast_varint(buf, pos)?) as u64)
+        };
+        let words = if op.one_word {
+            1
+        } else {
+            fast_varint(buf, pos)?
+        };
+        self.addr = addr;
+        self.end = addr.wrapping_add(words.wrapping_mul(4));
+        Some(Reference {
+            pid: Pid::from_raw(self.pid),
+            tid: Tid::from_raw(self.tid),
+            region: NameId::from_raw(self.region),
+            kind,
+            addr,
+            words,
+        })
+    }
+}
+
+/// Worst-case encoded size of one record: a header byte plus five
+/// varints (pid, tid, region, addr delta, words), each at most 10 bytes
+/// *as read* — the id varints reject values above `u32::MAX` only after
+/// the bytes are consumed, so a malformed stream can legally present ten
+/// bytes per field. When at least this much input remains, the fast
+/// decoder can skip every per-byte bounds check.
+const MAX_RECORD_BYTES: usize = 1 + 5 * 10;
+
+/// Decoded form of a record header byte: the kind (`None` for the
+/// reserved kind pattern `0b11`) and the three flags, precomputed for
+/// all 32 meaningful bit patterns so the hot loop dispatches with a
+/// single table load instead of four tests. Bits 5–7 are ignored, as in
+/// the scalar decoder.
+#[derive(Clone, Copy)]
+struct HeaderOp {
+    kind: Option<RefKind>,
+    same_key: bool,
+    cont_addr: bool,
+    one_word: bool,
+}
+
+/// The header bits [`HEADER_OPS`] is indexed by: kind plus three flags.
+const HEADER_OP_MASK: u8 = KIND_MASK | F_SAME_KEY | F_CONT_ADDR | F_ONE_WORD;
+
+const HEADER_OPS: [HeaderOp; 32] = {
+    let mut ops = [HeaderOp {
+        kind: None,
+        same_key: false,
+        cont_addr: false,
+        one_word: false,
+    }; 32];
+    let mut h = 0usize;
+    while h < 32 {
+        let byte = h as u8;
+        ops[h] = HeaderOp {
+            kind: match byte & KIND_MASK {
+                0 => Some(RefKind::InstrFetch),
+                1 => Some(RefKind::DataRead),
+                2 => Some(RefKind::DataWrite),
+                _ => None,
+            },
+            same_key: byte & F_SAME_KEY != 0,
+            cont_addr: byte & F_CONT_ADDR != 0,
+            one_word: byte & F_ONE_WORD != 0,
+        };
+        h += 1;
+    }
+    ops
+};
+
+/// Per-chunk totals gathered during [`decode_records`], in the same
+/// single pass as the decode itself.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeTotals {
+    /// Sum of `words` across the decoded records (wrapping — an
+    /// adversarial chunk can encode astronomically large word counts,
+    /// and the decoder must stay panic-free; the footer-totals check
+    /// still catches any mismatch).
+    pub words: u64,
+    /// Highest thread id observed (0 when the chunk is empty).
+    pub max_tid: u64,
+    /// Highest region id observed (0 when the chunk is empty).
+    pub max_region: u64,
+}
+
+/// Decodes exactly `count` records from `payload` starting at `*pos`,
+/// appending them to `out` and advancing `*pos`. Returns `None` on any
+/// truncated or malformed record, leaving `out` with whatever prefix
+/// decoded cleanly (callers treat the whole chunk as corrupt).
+///
+/// While [`MAX_RECORD_BYTES`] of input remain the branchless fast path
+/// runs; the scalar [`CoderState::decode`] handles the chunk tail. Both
+/// paths accept exactly the same byte strings (pinned by the property
+/// tests), so the split is invisible to callers.
+///
+/// The id maxima are recovered from the coder's stream table at the end
+/// rather than compared per record: tid/region only change at a key
+/// switch, and the table's extra initial `(0, 0, 0)` entry can never
+/// raise a maximum.
+pub fn decode_records(
+    payload: &[u8],
+    pos: &mut usize,
+    count: u64,
+    out: &mut Vec<Reference>,
+) -> Option<DecodeTotals> {
+    // Every record costs at least one byte, so a valid count never
+    // exceeds the remaining payload; this also keeps the reserve sane.
+    let remaining = payload.len().saturating_sub(*pos);
+    if count > remaining as u64 {
+        return None;
+    }
+    out.reserve(count as usize);
+    let mut coder = CoderState::new();
+    let mut totals = DecodeTotals::default();
+    for _ in 0..count {
+        let r = if *pos + MAX_RECORD_BYTES <= payload.len() {
+            coder.decode_fast(payload, pos)?
+        } else {
+            coder.decode(payload, pos)?
+        };
+        totals.words = totals.words.wrapping_add(r.words);
+        out.push(r);
+    }
+    totals.max_tid = u64::from(coder.tid);
+    totals.max_region = u64::from(coder.region);
+    for &(_, tid, region) in coder.streams.keys() {
+        totals.max_tid = totals.max_tid.max(u64::from(tid));
+        totals.max_region = totals.max_region.max(u64::from(region));
+    }
+    Some(totals)
 }
 
 #[cfg(test)]

@@ -42,6 +42,17 @@ pub const TAG_DIRECTORY: u8 = 0x02;
 /// blast radius of a corrupt byte.
 pub const CHUNK_RECORDS: usize = 4096;
 
+/// Upper bound on `--chunk-records`: chunks are the unit of parallel
+/// decode and of corruption containment, so arbitrarily huge chunks are
+/// disallowed. With the worst-case record size this also keeps every
+/// legal chunk under [`MAX_CHUNK_BYTES`].
+pub const MAX_CHUNK_RECORDS: usize = 1 << 20;
+
+/// Readers reject any chunk whose declared payload length exceeds this
+/// (shared by the streaming and buffered read paths): a corrupt length
+/// varint must not drive a multi-gigabyte allocation.
+pub const MAX_CHUNK_BYTES: u64 = 64 << 20;
+
 /// Everything that can go wrong opening, reading, or writing a trace.
 #[derive(Debug)]
 pub enum TraceError {

@@ -24,24 +24,34 @@
 //! the boot-baseline counter snapshot (charges from before the recorder
 //! attached, which the stream by definition cannot carry).
 //!
+//! Two read paths share one decoder: [`TraceReader`] streams from any
+//! `io::Read` (bounded memory, used for smoke checks and pipes), while
+//! [`TraceBuffer`] slurps the file once and decodes whole chunks in
+//! parallel — chunks carry independent checksums and self-contained
+//! delta state, so they are the natural unit of fan-out. Both deliver
+//! byte-identical output; `TraceBuffer` is what the analysis verbs use.
+//!
 //! ```no_run
-//! use agave_replay::{replay_summary, TraceReader};
+//! use agave_replay::{replay_summary, TraceBuffer, TraceReader};
 //! use std::path::Path;
 //!
-//! // Rebuild the recorded run's summary without re-simulating it.
-//! let summary = replay_summary(Path::new("gallery.agtrace")).unwrap();
+//! // Rebuild the recorded run's summary without re-simulating it
+//! // (decoding on up to 8 worker threads).
+//! let summary = replay_summary(Path::new("gallery.agtrace"), 8).unwrap();
 //! println!("{}", summary.to_json());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod buffer;
 pub mod codec;
 pub mod format;
 mod reader;
 mod rebuild;
 mod writer;
 
+pub use buffer::TraceBuffer;
 pub use format::TraceError;
 pub use reader::{ReplayOutcome, TraceReader, ValidateOutcome};
 pub use rebuild::SummaryAccumulator;
@@ -53,11 +63,12 @@ use std::path::Path;
 use std::rc::Rc;
 
 /// Opens `path` and rebuilds the recorded run's [`RunSummary`] —
-/// byte-identical (as JSON) to the one the live run produced.
-pub fn replay_summary(path: &Path) -> Result<RunSummary, TraceError> {
-    let reader = TraceReader::open(path)?;
+/// byte-identical (as JSON) to the one the live run produced, for any
+/// `jobs` (decode worker count; 0 = one per CPU, 1 = serial).
+pub fn replay_summary(path: &Path, jobs: usize) -> Result<RunSummary, TraceError> {
+    let buf = TraceBuffer::open(path)?;
     let acc = Rc::new(RefCell::new(SummaryAccumulator::new()));
-    let outcome = reader.replay(&[acc.clone() as SharedSink])?;
+    let outcome = buf.replay(&[acc.clone() as SharedSink], jobs)?;
     let summary = acc.borrow().build(&outcome);
     Ok(summary)
 }
@@ -70,8 +81,8 @@ mod tests {
 
     /// Records a small synthetic world (boot traffic before the sink
     /// attaches, a charge mix after) and returns the trace bytes plus
-    /// the live summary for comparison.
-    fn record_synthetic_bytes() -> (Vec<u8>, RunSummary) {
+    /// the live summary for comparison. Shared with the `buffer` tests.
+    pub(crate) fn record_synthetic_bytes() -> (Vec<u8>, RunSummary) {
         let mut t = Tracer::new();
         let boot_pid = t.register_process("system_server");
         let boot_tid = t.register_thread(boot_pid, "Binder-1");

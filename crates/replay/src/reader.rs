@@ -8,8 +8,8 @@
 //! accumulators, and the summary rebuilder all consume a replayed file
 //! exactly as they consume a live run.
 
-use crate::codec::{get_varint, Checksum, CoderState};
-use crate::format::{TraceError, MAGIC, TAG_DIRECTORY, TAG_RECORDS, VERSION};
+use crate::codec::{decode_records, get_varint, Checksum, DecodeTotals};
+use crate::format::{TraceError, MAGIC, MAX_CHUNK_BYTES, TAG_DIRECTORY, TAG_RECORDS, VERSION};
 use agave_trace::{
     CounterSnapshot, NameDirectory, NameId, Pid, Reference, SharedSink, SnapshotEntry,
     ThreadRecord, Tid,
@@ -253,9 +253,9 @@ impl<R: Read> TraceReader<R> {
             _ => self.offset += 1,
         }
         let len = read_varint(&mut self.input, &mut self.offset, "chunk length")?;
-        // A chunk is at most CHUNK_RECORDS maximally sized records or
-        // the directory; anything beyond a generous bound is damage.
-        if len > (64 << 20) {
+        // A chunk is at most MAX_CHUNK_RECORDS maximally sized records
+        // or the directory; anything beyond a generous bound is damage.
+        if len > MAX_CHUNK_BYTES {
             return Err(TraceError::corrupt(self.offset, "implausible chunk length"));
         }
         let mut payload = vec![0u8; len as usize];
@@ -278,8 +278,9 @@ impl<R: Read> TraceReader<R> {
 }
 
 /// Telemetry accounting for one decoded-and-delivered records chunk;
-/// only reached when telemetry is enabled.
-fn chunk_metrics(start: std::time::Instant, chunk_records: u64, chunk_bytes: u64) {
+/// only reached when telemetry is enabled. Shared with the buffered
+/// read path so both report under the same metric names.
+pub(crate) fn chunk_metrics(start: std::time::Instant, chunk_records: u64, chunk_bytes: u64) {
     use agave_telemetry::metrics::{Counter, Histogram};
     use std::sync::OnceLock;
     static DECODE_NS: OnceLock<&'static Counter> = OnceLock::new();
@@ -305,21 +306,13 @@ fn chunk_metrics(start: std::time::Instant, chunk_records: u64, chunk_bytes: u64
         .record(ns);
 }
 
-/// Stream-total bookkeeping gathered while decoding a chunk (one pass —
-/// the validation against the footer rides along with the decode loop).
-#[derive(Default)]
-struct ChunkTotals {
-    words: u64,
-    max_tid: u64,
-    max_region: u64,
-}
-
-/// Decodes a records-chunk payload into `out`.
-fn decode_record_chunk(
+/// Decodes a records-chunk payload into `out`, via the branchless
+/// [`decode_records`] fast path shared with the buffered reader.
+pub(crate) fn decode_record_chunk(
     payload: &[u8],
     chunk_start: u64,
     out: &mut Vec<Reference>,
-) -> Result<ChunkTotals, TraceError> {
+) -> Result<DecodeTotals, TraceError> {
     let corrupt = |what: &str| TraceError::corrupt(chunk_start, what.to_owned());
     let mut pos = 0;
     let count = get_varint(payload, &mut pos).ok_or_else(|| corrupt("bad record count"))?;
@@ -328,33 +321,23 @@ fn decode_record_chunk(
     if count > payload.len() as u64 {
         return Err(corrupt("record count exceeds chunk size"));
     }
-    let mut coder = CoderState::new();
-    let mut totals = ChunkTotals::default();
-    out.reserve(count as usize);
-    for _ in 0..count {
-        let r = coder
-            .decode(payload, &mut pos)
-            .ok_or_else(|| corrupt("malformed record"))?;
-        totals.words += r.words;
-        totals.max_tid = totals.max_tid.max(u64::from(r.tid.as_u32()));
-        totals.max_region = totals.max_region.max(r.region.index() as u64);
-        out.push(r);
-    }
+    let totals =
+        decode_records(payload, &mut pos, count, out).ok_or_else(|| corrupt("malformed record"))?;
     if pos != payload.len() {
         return Err(corrupt("record chunk has leftover bytes"));
     }
     Ok(totals)
 }
 
-struct Footer {
-    directory: NameDirectory,
-    baseline: CounterSnapshot,
-    total_records: u64,
-    total_words: u64,
+pub(crate) struct Footer {
+    pub(crate) directory: NameDirectory,
+    pub(crate) baseline: CounterSnapshot,
+    pub(crate) total_records: u64,
+    pub(crate) total_words: u64,
 }
 
 /// Parses the directory footer payload.
-fn parse_footer(payload: &[u8], chunk_start: u64) -> Result<Footer, TraceError> {
+pub(crate) fn parse_footer(payload: &[u8], chunk_start: u64) -> Result<Footer, TraceError> {
     let corrupt = |what: &str| TraceError::corrupt(chunk_start, format!("footer: {what}"));
     let mut pos = 0;
     let uint = |pos: &mut usize, what: &str| get_varint(payload, pos).ok_or_else(|| corrupt(what));

@@ -13,7 +13,9 @@
 //! tables, the boot-baseline counter snapshot, and whole-file totals).
 
 use crate::codec::{put_varint, Checksum, CoderState};
-use crate::format::{TraceError, CHUNK_RECORDS, MAGIC, TAG_DIRECTORY, TAG_RECORDS, VERSION};
+use crate::format::{
+    TraceError, CHUNK_RECORDS, MAGIC, MAX_CHUNK_RECORDS, TAG_DIRECTORY, TAG_RECORDS, VERSION,
+};
 use agave_trace::{CounterSnapshot, NameDirectory, Reference, ReferenceSink};
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -49,6 +51,12 @@ pub struct TraceWriter<W: Write> {
     /// Delta-coded bytes of the chunk being assembled.
     body: Vec<u8>,
     chunk_records: u64,
+    /// Records per sealed chunk ([`CHUNK_RECORDS`] unless configured).
+    chunk_capacity: usize,
+    /// Reusable frame buffer: each sealed chunk is assembled here and
+    /// written with a single `write_all`, so the steady state allocates
+    /// nothing per chunk.
+    frame: Vec<u8>,
     coder: CoderState,
     records: u64,
     words: u64,
@@ -63,12 +71,38 @@ impl TraceWriter<BufWriter<File>> {
     pub fn create(path: &Path, label: &str) -> Result<Self, TraceError> {
         TraceWriter::new(BufWriter::new(File::create(path)?), label)
     }
+
+    /// [`TraceWriter::create`] with an explicit chunk size (see
+    /// [`TraceWriter::with_chunk_records`]).
+    pub fn create_chunked(
+        path: &Path,
+        label: &str,
+        chunk_records: usize,
+    ) -> Result<Self, TraceError> {
+        TraceWriter::with_chunk_records(BufWriter::new(File::create(path)?), label, chunk_records)
+    }
 }
 
 impl<W: Write> TraceWriter<W> {
     /// Wraps `out` and immediately writes the header for `label` (the
-    /// workload the trace captures).
-    pub fn new(mut out: W, label: &str) -> Result<Self, TraceError> {
+    /// workload the trace captures). Chunks seal at the default
+    /// [`CHUNK_RECORDS`].
+    pub fn new(out: W, label: &str) -> Result<Self, TraceError> {
+        TraceWriter::with_chunk_records(out, label, CHUNK_RECORDS)
+    }
+
+    /// Like [`TraceWriter::new`], but seals a chunk every
+    /// `chunk_records` records (clamped to `1..=`[`MAX_CHUNK_RECORDS`]).
+    /// Chunks are the unit of parallel decode and of corruption
+    /// containment, so this is the recording-time knob for that trade:
+    /// smaller chunks parallelize and contain damage better, larger
+    /// chunks amortize framing and delta-coder warmup.
+    pub fn with_chunk_records(
+        mut out: W,
+        label: &str,
+        chunk_records: usize,
+    ) -> Result<Self, TraceError> {
+        let chunk_capacity = chunk_records.clamp(1, MAX_CHUNK_RECORDS);
         let mut header = Vec::with_capacity(16 + label.len());
         header.extend_from_slice(&MAGIC);
         header.extend_from_slice(&VERSION.to_le_bytes());
@@ -77,8 +111,10 @@ impl<W: Write> TraceWriter<W> {
         out.write_all(&header)?;
         Ok(TraceWriter {
             out,
-            body: Vec::with_capacity(CHUNK_RECORDS * 4),
+            body: Vec::with_capacity(chunk_capacity.min(CHUNK_RECORDS * 2) * 4),
             chunk_records: 0,
+            chunk_capacity,
+            frame: Vec::new(),
             coder: CoderState::new(),
             records: 0,
             words: 0,
@@ -99,7 +135,7 @@ impl<W: Write> TraceWriter<W> {
         self.chunk_records += 1;
         self.records += 1;
         self.words += r.words;
-        if self.chunk_records as usize >= CHUNK_RECORDS {
+        if self.chunk_records as usize >= self.chunk_capacity {
             if let Err(e) = self.seal_chunk() {
                 self.error = Some(e);
             }
@@ -112,7 +148,7 @@ impl<W: Write> TraceWriter<W> {
         if self.chunk_records == 0 {
             return Ok(());
         }
-        let mut count = Vec::new();
+        let mut count = Vec::with_capacity(10);
         put_varint(&mut count, self.chunk_records);
         let body = std::mem::take(&mut self.body);
         let sealed = self.write_chunk_parts(TAG_RECORDS, &[&count, &body]);
@@ -125,21 +161,23 @@ impl<W: Write> TraceWriter<W> {
         Ok(())
     }
 
-    /// Frames `parts` (concatenated) as one chunk under `tag`.
+    /// Frames `parts` (concatenated) as one chunk under `tag`, assembled
+    /// in the reusable frame buffer and written with one `write_all`.
     fn write_chunk_parts(&mut self, tag: u8, parts: &[&[u8]]) -> Result<(), TraceError> {
         let payload_len: usize = parts.iter().map(|p| p.len()).sum();
-        let mut frame = Vec::with_capacity(payload_len + 16);
-        frame.push(tag);
-        put_varint(&mut frame, payload_len as u64);
+        self.frame.clear();
+        self.frame.reserve(payload_len + 16);
+        self.frame.push(tag);
+        put_varint(&mut self.frame, payload_len as u64);
         let mut check = Checksum::new();
         check.update(&[tag]);
         for part in parts {
-            frame.extend_from_slice(part);
+            self.frame.extend_from_slice(part);
             check.update(part);
         }
-        frame.extend_from_slice(&check.finish().to_le_bytes());
-        self.out.write_all(&frame)?;
-        self.file_bytes += frame.len() as u64;
+        self.frame.extend_from_slice(&check.finish().to_le_bytes());
+        self.out.write_all(&self.frame)?;
+        self.file_bytes += self.frame.len() as u64;
         Ok(())
     }
 

@@ -7,7 +7,7 @@
 //! regression in varint, zigzag, or record delta coding fails loudly and
 //! reproducibly: every assertion carries the seed that produced it.
 
-use agave_replay::codec::{get_varint, put_varint, unzigzag, zigzag, CoderState};
+use agave_replay::codec::{decode_records, get_varint, put_varint, unzigzag, zigzag, CoderState};
 use agave_trace::{NameId, Pid, RefKind, Reference, Tid};
 
 /// The classic xorshift64 generator — deterministic, seedable, and more
@@ -184,6 +184,94 @@ fn record_coding_round_trips_randomized_streams() {
             );
         }
         assert_eq!(pos, buf.len(), "seed {seed}: trailing bytes after decode");
+    }
+}
+
+/// Scalar reference decode: `count` records via the old byte-at-a-time
+/// [`CoderState::decode`] path, with totals gathered per record — the
+/// semantics the branchless [`decode_records`] path must reproduce.
+#[allow(clippy::type_complexity)]
+fn scalar_decode(payload: &[u8], count: usize) -> Option<(Vec<Reference>, usize, u64, u64, u64)> {
+    let mut dec = CoderState::new();
+    let mut pos = 0;
+    let mut out = Vec::new();
+    let (mut words, mut max_tid, mut max_region) = (0u64, 0u64, 0u64);
+    for _ in 0..count {
+        let r = dec.decode(payload, &mut pos)?;
+        words = words.wrapping_add(r.words);
+        max_tid = max_tid.max(u64::from(r.tid.as_u32()));
+        max_region = max_region.max(r.region.index() as u64);
+        out.push(r);
+    }
+    Some((out, pos, words, max_tid, max_region))
+}
+
+#[test]
+fn branchless_decoder_matches_scalar_on_random_streams() {
+    for seed in 1..=25u64 {
+        let mut rng = XorShift64::new(0x5eed_3000 + seed);
+        let refs = random_stream(&mut rng, 2_000);
+        let mut buf = Vec::new();
+        let mut enc = CoderState::new();
+        for r in &refs {
+            enc.encode(r, &mut buf);
+        }
+        let (scalar, scalar_pos, words, max_tid, max_region) =
+            scalar_decode(&buf, refs.len()).expect("valid stream must decode");
+        let mut fast = Vec::new();
+        let mut fast_pos = 0;
+        let totals = decode_records(&buf, &mut fast_pos, refs.len() as u64, &mut fast)
+            .expect("valid stream must decode on the fast path");
+        assert_eq!(fast, scalar, "seed {seed}: records diverge");
+        assert_eq!(fast, refs, "seed {seed}: decode does not round-trip");
+        assert_eq!(fast_pos, scalar_pos, "seed {seed}: consumed bytes diverge");
+        assert_eq!(totals.words, words, "seed {seed}");
+        assert_eq!(totals.max_tid, max_tid, "seed {seed}");
+        assert_eq!(totals.max_region, max_region, "seed {seed}");
+    }
+}
+
+#[test]
+fn branchless_decoder_rejects_exactly_what_scalar_rejects() {
+    // Random single-byte corruption and truncation: the two decoders
+    // must agree on accept/reject for every mutated payload (accepted
+    // payloads must also yield identical records — corruption the codec
+    // cannot detect must at least be deterministic).
+    for seed in 1..=10u64 {
+        let mut rng = XorShift64::new(0x5eed_4000 + seed);
+        let refs = random_stream(&mut rng, 256);
+        let mut buf = Vec::new();
+        let mut enc = CoderState::new();
+        for r in &refs {
+            enc.encode(r, &mut buf);
+        }
+        for _ in 0..200 {
+            let mut mutated = buf.clone();
+            if rng.chance(50) {
+                let i = (rng.next() as usize) % mutated.len();
+                mutated[i] ^= (rng.next() % 255 + 1) as u8;
+            } else {
+                mutated.truncate((rng.next() as usize) % mutated.len());
+            }
+            let scalar = scalar_decode(&mutated, refs.len());
+            let mut fast = Vec::new();
+            let mut fast_pos = 0;
+            let totals = decode_records(&mutated, &mut fast_pos, refs.len() as u64, &mut fast);
+            match (&scalar, &totals) {
+                (None, None) => {}
+                (Some((records, pos, words, _, _)), Some(t)) => {
+                    assert_eq!(&fast, records, "seed {seed}: accepted records diverge");
+                    assert_eq!(fast_pos, *pos, "seed {seed}: consumed bytes diverge");
+                    assert_eq!(t.words, *words, "seed {seed}: word totals diverge");
+                }
+                _ => panic!(
+                    "seed {seed}: decoders disagree on accept/reject \
+                     (scalar={}, fast={})",
+                    scalar.is_some(),
+                    totals.is_some()
+                ),
+            }
+        }
     }
 }
 

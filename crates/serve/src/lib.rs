@@ -40,7 +40,7 @@ pub use agave_analysis::sketch;
 
 pub use client::{render_sessions, Client, ClientError};
 pub use protocol::{Analysis, Response, SessionInfo, WireError};
-pub use server::{analyze_trace, ServeConfig, ServeStats, Server};
+pub use server::{analyze_trace, analyze_trace_jobs, ServeConfig, ServeStats, Server};
 pub use sketch::{SketchReport, SketchSink};
 pub use store::{SessionMeta, TraceStore};
 
@@ -111,7 +111,7 @@ mod tests {
             assert_eq!(listed, vec![ack]);
 
             let remote = client.analyze("sess-a", &Analysis::Summary).unwrap();
-            let local = agave_replay::replay_summary(&trace).unwrap().to_json();
+            let local = agave_replay::replay_summary(&trace, 1).unwrap().to_json();
             assert_eq!(remote, local, "served summary must be byte-identical");
 
             let sketch = client.analyze("sess-a", &Analysis::Sketch).unwrap();

@@ -16,12 +16,14 @@
 //!
 //! Uploads are streamed from the socket to the spool file through
 //! `io::copy`'s fixed buffer, then validated with
-//! [`TraceReader::validate`] (a checksum walk that decodes nothing).
-//! Analyses replay from disk through the same chunked `SINK_BATCH`
-//! delivery path as local replay. Server memory is therefore
+//! [`TraceBuffer::validate`] (a checksum walk that decodes nothing,
+//! fanned out across `decode_jobs` workers). Analyses replay from disk
+//! through the same chunked `SINK_BATCH` delivery path as local
+//! replay. Steady-state server memory is
 //! `O(jobs × copy-buffer + queue length + sketch capacity)` regardless
-//! of trace size — the `serve_load` bench uploads and sketches a trace
-//! far larger than those bounds to prove it.
+//! of trace size (validation briefly holds one trace in memory) — the
+//! `serve_load` bench uploads and sketches a trace far larger than the
+//! steady-state bounds to prove it.
 
 use crate::protocol::{
     decode_analyze, decode_sweep, encode_response, encode_session, encode_sessions, read_frame_len,
@@ -30,7 +32,7 @@ use crate::protocol::{
 };
 use crate::store::{SessionMeta, TraceStore};
 use agave_analysis::GridSpec;
-use agave_replay::TraceReader;
+use agave_replay::TraceBuffer;
 use agave_trace::par::{effective_jobs, parallel_map};
 use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -59,6 +61,11 @@ pub struct ServeConfig {
     /// and the load bench raise it to force the queue to fill
     /// deterministically.
     pub handle_delay_ms: u64,
+    /// Decode threads *within* one ANALYZE/SWEEP/upload-validate request
+    /// (0 = one per CPU). Defaults to 1: server concurrency normally
+    /// comes from serving many requests, not one request hogging every
+    /// core. Raise it for single-tenant servers fronting huge traces.
+    pub decode_jobs: usize,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +77,7 @@ impl Default for ServeConfig {
             retry_after_ms: 50,
             spool: None,
             handle_delay_ms: 0,
+            decode_jobs: 1,
         }
     }
 }
@@ -426,8 +434,8 @@ impl Server {
                 "connection closed after {copied} of {trace_len} bytes"
             ));
         }
-        TraceReader::open(path)
-            .and_then(TraceReader::validate)
+        TraceBuffer::open(path)
+            .and_then(|buf| buf.validate(self.config.decode_jobs))
             .map_err(|e| e.to_string())
     }
 
@@ -436,7 +444,7 @@ impl Server {
             return Response::Err(format!("unknown session {name:?}; upload it first"));
         };
         let mut span = agave_telemetry::Span::enter_labeled("serve analyze", name);
-        match analyze_trace(&session.path, analysis) {
+        match analyze_trace_jobs(&session.path, analysis, self.config.decode_jobs) {
             Ok(json) => {
                 span.set_refs(session.info.words);
                 self.stats.analyses.fetch_add(1, Ordering::Relaxed);
@@ -450,17 +458,18 @@ impl Server {
     }
 
     /// Runs a design-space sweep against a stored session. The sweep
-    /// fans out within one worker with `jobs = 1` — server concurrency
-    /// comes from serving many requests, not from one request hogging
-    /// every core — and the output is identical for any job count, so
-    /// the served JSON equals a local `agave sweep --json`.
+    /// fans out within one worker with `jobs = decode_jobs` (default 1
+    /// — server concurrency comes from serving many requests, not from
+    /// one request hogging every core) and the output is identical for
+    /// any job count, so the served JSON equals a local
+    /// `agave sweep --json`.
     fn handle_sweep(&self, name: &str, grid: &str) -> Response {
         let Some(session) = self.store.get(name) else {
             return Response::Err(format!("unknown session {name:?}; upload it first"));
         };
         let mut span = agave_telemetry::Span::enter_labeled("serve sweep", name);
-        let result =
-            GridSpec::parse(grid).and_then(|g| agave_analysis::sweep_path(&session.path, &g, 1));
+        let result = GridSpec::parse(grid)
+            .and_then(|g| agave_analysis::sweep_path(&session.path, &g, self.config.decode_jobs));
         match result {
             Ok(report) => {
                 span.set_refs(session.info.words);
@@ -492,5 +501,12 @@ fn drain<R: Read>(reader: &mut R, len: u64) -> Result<(), WireError> {
 /// point `agave replay` resolves through, which is what makes served
 /// responses byte-identical to local replay by construction.
 pub fn analyze_trace(path: &Path, analysis: &Analysis) -> Result<String, String> {
-    agave_analysis::analyze_path(path, &analysis.to_string())
+    analyze_trace_jobs(path, analysis, 1)
+}
+
+/// [`analyze_trace`] with an explicit decode-thread count (the server
+/// passes its configured `decode_jobs`). Output is identical for any
+/// `jobs` — the parallel reader merges chunks in order.
+pub fn analyze_trace_jobs(path: &Path, analysis: &Analysis, jobs: usize) -> Result<String, String> {
+    agave_analysis::analyze_path(path, &analysis.to_string(), jobs)
 }

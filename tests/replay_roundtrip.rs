@@ -39,26 +39,35 @@ fn assert_round_trip(workload: Workload, name: &str) -> Vec<u8> {
     );
 
     // Summary path: identical struct (wall time excluded by PartialEq)
-    // and identical serialized JSON.
+    // and identical serialized JSON — for every decode job count, since
+    // the parallel reader must merge chunks back into program order.
     let live = engine::run(workload, &config).summary;
-    let replayed = record::replay_trace_summary(&path).expect("replay summary");
-    assert_eq!(replayed, live, "{name}: replayed summary diverges");
-    assert_eq!(
-        replayed.to_json(),
-        live.to_json(),
-        "{name}: summary JSON is not byte-identical"
-    );
+    for jobs in [1, 2, 8] {
+        let replayed = record::replay_trace_summary(&path, jobs).expect("replay summary");
+        assert_eq!(
+            replayed, live,
+            "{name}: replayed summary diverges (jobs={jobs})"
+        );
+        assert_eq!(
+            replayed.to_json(),
+            live.to_json(),
+            "{name}: summary JSON is not byte-identical (jobs={jobs})"
+        );
+    }
 
     // Cache path: the recorded stream drives a fresh hierarchy to the
     // same report the live run produces, without re-simulating.
     let geometry = HierarchyGeometry::cortex_a9();
     let live_cache = run_workload_with_cache(workload, &config, geometry);
-    let replayed_cache = record::replay_trace_cache(&path, geometry).expect("replay cache");
-    assert_eq!(
-        replayed_cache.to_json(),
-        live_cache.to_json(),
-        "{name}: cache report JSON is not byte-identical"
-    );
+    for jobs in [1, 8] {
+        let replayed_cache =
+            record::replay_trace_cache(&path, geometry, jobs).expect("replay cache");
+        assert_eq!(
+            replayed_cache.to_json(),
+            live_cache.to_json(),
+            "{name}: cache report JSON is not byte-identical (jobs={jobs})"
+        );
+    }
 
     let bytes = std::fs::read(&path).expect("read trace back");
     std::fs::remove_file(&path).ok();
@@ -88,15 +97,26 @@ fn corrupted_chunk_is_reported_not_misread() {
     corrupt[mid] ^= 0x40;
     let path = temp_trace("corrupt");
     std::fs::write(&path, &corrupt).unwrap();
-    let err = record::replay_trace_summary(&path).expect_err("corruption must be detected");
+    let err = record::replay_trace_summary(&path, 1).expect_err("corruption must be detected");
     match &err {
         TraceError::Corrupt { what, .. } => {
             assert!(!what.is_empty(), "corruption error must say what broke")
         }
         other => panic!("expected TraceError::Corrupt, got {other:?}"),
     }
-    // The message is user-facing: it should render without panicking.
+    // The message is user-facing: it should render without panicking,
+    // and a parallel decode must report the *same* error (first failing
+    // chunk in file order), not whichever worker lost the race.
     assert!(!err.to_string().is_empty());
+    for jobs in [2, 8] {
+        let parallel = record::replay_trace_summary(&path, jobs)
+            .expect_err("corruption must be detected at any job count");
+        assert_eq!(
+            parallel.to_string(),
+            err.to_string(),
+            "jobs={jobs}: corruption error must be deterministic"
+        );
+    }
     std::fs::remove_file(&path).ok();
 }
 
@@ -106,10 +126,17 @@ fn truncated_file_is_reported_not_misread() {
     for cut in [bytes.len() / 3, bytes.len() - 3] {
         let path = temp_trace(&format!("trunc-{cut}"));
         std::fs::write(&path, &bytes[..cut]).unwrap();
-        let err = record::replay_trace_summary(&path).expect_err("truncation must be detected");
+        let err = record::replay_trace_summary(&path, 1).expect_err("truncation must be detected");
         assert!(
             matches!(err, TraceError::Corrupt { .. }),
             "cut at {cut}: expected Corrupt, got {err:?}"
+        );
+        let parallel = record::replay_trace_summary(&path, 8)
+            .expect_err("truncation must be detected in parallel too");
+        assert_eq!(
+            parallel.to_string(),
+            err.to_string(),
+            "cut at {cut}: truncation error must be deterministic across jobs"
         );
         std::fs::remove_file(&path).ok();
     }
@@ -119,7 +146,7 @@ fn truncated_file_is_reported_not_misread() {
 fn non_trace_file_is_rejected_on_open() {
     let path = temp_trace("not-a-trace");
     std::fs::write(&path, b"definitely not an agtrace file").unwrap();
-    let err = record::replay_trace_summary(&path).expect_err("bad magic must be rejected");
+    let err = record::replay_trace_summary(&path, 1).expect_err("bad magic must be rejected");
     assert!(
         matches!(err, TraceError::NotATrace),
         "expected NotATrace, got {err:?}"

@@ -61,7 +61,7 @@ fn concurrent_multi_tenant_analyses_are_byte_identical_to_local_replay() {
 
                     // Served summary vs local replay of the same file.
                     let served = client.analyze(label, &Analysis::Summary).unwrap();
-                    let local = record::replay_trace_summary(&path).unwrap().to_json();
+                    let local = record::replay_trace_summary(&path, 1).unwrap().to_json();
                     assert_eq!(served, local, "{label}: served summary diverged");
 
                     // Served cache report vs local replay through the
@@ -70,7 +70,7 @@ fn concurrent_multi_tenant_analyses_are_byte_identical_to_local_replay() {
                         .analyze(label, &Analysis::Cache("tiny".to_owned()))
                         .unwrap();
                     let geometry = HierarchyGeometry::preset("tiny").unwrap();
-                    let local = record::replay_trace_cache(&path, geometry)
+                    let local = record::replay_trace_cache(&path, geometry, 1)
                         .unwrap()
                         .to_json();
                     assert_eq!(served, local, "{label}: served cache report diverged");

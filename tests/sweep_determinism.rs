@@ -42,7 +42,7 @@ fn every_sweep_cell_matches_a_standalone_replay() {
         // --cache <name> --json` would print.
         let geometry = HierarchyGeometry::by_name(cell.name())
             .unwrap_or_else(|e| panic!("cell name must round-trip: {e}"));
-        let standalone = record::replay_trace_cache(&path, geometry).unwrap();
+        let standalone = record::replay_trace_cache(&path, geometry, 1).unwrap();
         assert_eq!(
             cell.report,
             standalone,
