@@ -70,8 +70,5 @@ fn main() {
         sim.rate(blocks) / 1e6,
         cache.rate(blocks) / 1e6
     );
-    match report.write() {
-        Ok(path) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write hotpath report: {e}"),
-    }
+    report.write_or_warn();
 }

@@ -22,11 +22,10 @@
 //! Bytes-per-reference — the format's < 8 B/ref compression budget — is
 //! enforced by `tests/replay_roundtrip.rs`.
 
-use agave_bench::{Group, HotpathReport};
+use agave_bench::{fingerprint, Group, HotpathReport};
 use agave_cache::HierarchyGeometry;
 use agave_core::{engine, record, AppId, SuiteConfig, Workload};
 use agave_replay::{TraceBuffer, TraceWriter};
-use agave_trace::par::effective_jobs;
 use agave_trace::{Reference, ReferenceSink, SharedSink};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -55,13 +54,13 @@ fn main() {
 
     let mut group = Group::new("replay_throughput");
     let mut report = HotpathReport::named("replay");
-    let cpus = effective_jobs(0);
+    let cpus = fingerprint().cpus;
 
     let rec = group.bench("record gallery.mp4.view (quick)", 5, || {
         record::record_workload(workload, &config, &path).expect("record")
     });
     let stats = record::record_workload(workload, &config, &path).expect("record");
-    let record_mb_s = stats.file_bytes as f64 / 1e6 / rec.best.as_secs_f64();
+    let record_mb_s = stats.file_bytes as f64 / 1e6 / rec.best().as_secs_f64();
     println!(
         "trace: {} records · {} bytes · {:.2} bytes/record · recorded at {:.1} MB/s e2e",
         stats.records,
@@ -94,7 +93,7 @@ fn main() {
         w.finish(&outcome.directory, &outcome.baseline)
             .expect("finish")
     };
-    let encode_mb_s = enc_stats.file_bytes as f64 / 1e6 / enc.best.as_secs_f64();
+    let encode_mb_s = enc_stats.file_bytes as f64 / 1e6 / enc.best().as_secs_f64();
     println!("encode: {encode_mb_s:.1} MB/s (codec only)");
 
     let live = group.bench("live run (summary only)", 5, || {
@@ -112,10 +111,10 @@ fn main() {
         record::replay_trace_cache(&path, HierarchyGeometry::cortex_a9(), 1).expect("replay cache")
     });
 
-    let decode_mb_s = stats.file_bytes as f64 / 1e6 / replay.best.as_secs_f64();
-    let decode_mb_s_par = stats.file_bytes as f64 / 1e6 / replay_par.best.as_secs_f64();
-    let speedup = live.best.as_secs_f64() / replay.best.as_secs_f64();
-    let speedup_par = live.best.as_secs_f64() / replay_par.best.as_secs_f64();
+    let decode_mb_s = stats.file_bytes as f64 / 1e6 / replay.best().as_secs_f64();
+    let decode_mb_s_par = stats.file_bytes as f64 / 1e6 / replay_par.best().as_secs_f64();
+    let speedup = live.best().as_secs_f64() / replay.best().as_secs_f64();
+    let speedup_par = live.best().as_secs_f64() / replay_par.best().as_secs_f64();
     println!(
         "rates: decode {:.1} MB/s serial, {:.1} MB/s on {cpus} jobs · replay {:.1} Mrefs/s (summary), {:.1} Mrefs/s (cache)",
         decode_mb_s,
@@ -162,9 +161,6 @@ fn main() {
         .field_f64("replay_vs_live_speedup_parallel", speedup_par);
     report.push_raw(extra.finish());
 
-    match report.write() {
-        Ok(path) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write replay report: {e}"),
-    }
+    report.write_or_warn();
     std::fs::remove_file(&path).ok();
 }

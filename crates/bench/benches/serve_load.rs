@@ -57,8 +57,8 @@ fn main() {
     backpressure(&mut report, &trace);
     sketch_bounds(&mut group, &mut report, &dir);
 
-    let path = report.write().expect("write bench json");
-    println!("\nwrote {path}");
+    println!();
+    report.write_or_warn();
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -111,7 +111,7 @@ fn analyze_fanout(
     assert_eq!(stats.errors, 0, "no request may fail under analyze load");
     println!(
         "analyze fan-out: {:.0} requests/s · {:.1} Mrefs/s served · {} rejects absorbed",
-        total as f64 / sample.best.as_secs_f64(),
+        total as f64 / sample.best().as_secs_f64(),
         sample.rate(total * records) / 1e6,
         stats.rejects
     );
@@ -119,9 +119,12 @@ fn analyze_fanout(
     obj.field_str("path", "analyze_fanout")
         .field_u64("clients", ANALYZE_CLIENTS as u64)
         .field_u64("requests", total)
-        .field_u64("best_ns", sample.best.as_nanos() as u64)
-        .field_u64("mean_ns", sample.mean.as_nanos() as u64)
-        .field_f64("requests_per_sec", total as f64 / sample.best.as_secs_f64())
+        .field_u64("best_ns", sample.best().as_nanos() as u64)
+        .field_u64("mean_ns", sample.mean().as_nanos() as u64)
+        .field_f64(
+            "requests_per_sec",
+            total as f64 / sample.best().as_secs_f64(),
+        )
         .field_u64("rejects", stats.rejects);
     report.push_raw(obj.finish());
 }

@@ -37,7 +37,7 @@ fn main() {
     } else {
         (EngineConfig::quick(), "quick", 2)
     };
-    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cpus = agave_bench::fingerprint().cpus;
     println!("\n-- bench group: suite_parallel ({sizing} sizing, {cpus} CPUs)");
 
     let (serial_json, serial) = best_of(samples, || suite_json(&config, 1));

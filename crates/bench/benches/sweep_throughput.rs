@@ -16,8 +16,7 @@
 //! e.g. CI runners); on narrower hosts the measured ratios are still
 //! reported in `BENCH_sweep.json`, and the sweep must always win.
 
-use agave_bench::{Group, HotpathReport};
-use agave_core::engine::effective_jobs;
+use agave_bench::{fingerprint, Group, HotpathReport};
 use agave_core::{record, sweep_path, AppId, GridSpec, HierarchyGeometry, SuiteConfig, Workload};
 
 const GRID: &str = "size=4k,8k,16k,32k:assoc=2,4,8,16:line=16,32,64,128";
@@ -31,7 +30,7 @@ fn main() {
     let grid = GridSpec::parse(GRID).expect("grid");
     let cells = grid.cells().expect("cells");
     assert_eq!(cells.len(), 64);
-    let jobs = effective_jobs(0);
+    let jobs = fingerprint().cpus;
     println!(
         "trace: {} · {} records · grid {} ({} cells) · {} CPUs",
         workload.label(),
@@ -58,8 +57,8 @@ fn main() {
     });
 
     let cell_refs = stats.records * cells.len() as u64;
-    let speedup = sequential.best.as_secs_f64() / fanout.best.as_secs_f64();
-    let serial_amortization = sequential.best.as_secs_f64() / serial_fanout.best.as_secs_f64();
+    let speedup = sequential.best().as_secs_f64() / fanout.best().as_secs_f64();
+    let serial_amortization = sequential.best().as_secs_f64() / serial_fanout.best().as_secs_f64();
     println!(
         "rates: sweep {:.1} Mcell-recs/s · {speedup:.2}x vs sequential ({serial_amortization:.2}x at jobs=1)",
         fanout.rate(cell_refs) / 1e6,
@@ -91,10 +90,7 @@ fn main() {
     .expect("replay");
     assert_eq!(sweep.cells[0].report, standalone);
 
-    match report.write() {
-        Ok(path) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write sweep report: {e}"),
-    }
+    report.write_or_warn();
     std::fs::remove_file(&path).ok();
 
     assert!(

@@ -104,7 +104,7 @@ fn main() {
     report.record("run_disabled", blocks, &disabled);
 
     let per_gate_ns = calibrate_gate_ns();
-    let run_ns = disabled.best.as_nanos() as f64;
+    let run_ns = disabled.best().as_nanos() as f64;
     let overhead_pct = gates as f64 * per_gate_ns / run_ns * 100.0;
     println!(
         "disabled gate cost: {gates} gates x {per_gate_ns:.2} ns / {:.2} ms run = {overhead_pct:.4}%",
@@ -133,14 +133,11 @@ fn main() {
     row.field_str("path", "disabled_gate_overhead")
         .field_u64("gates", gates)
         .field_f64("per_gate_ns", per_gate_ns)
-        .field_u64("run_best_ns", disabled.best.as_nanos() as u64)
+        .field_u64("run_best_ns", disabled.best().as_nanos() as u64)
         .field_f64("overhead_pct", overhead_pct);
     report.push_raw(row.finish());
 
-    match report.write() {
-        Ok(path) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write telemetry report: {e}"),
-    }
+    report.write_or_warn();
 
     assert_eq!(
         json_off, json_on,

@@ -22,9 +22,19 @@
 #![forbid(unsafe_code)]
 
 use agave_core::{Experiments, SuiteConfig};
-use std::hint::black_box;
+use agave_registry::harness;
 use std::sync::OnceLock;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+/// The host fingerprint shared by every bench target: CPU count, OS,
+/// arch, and build profile, probed once. Benches that gate on
+/// parallel speedups read `fingerprint().cpus` instead of re-probing
+/// `available_parallelism` themselves, so the gate condition and the
+/// recorded environment can never disagree.
+pub fn fingerprint() -> &'static agave_registry::HostFingerprint {
+    static CELL: OnceLock<agave_registry::HostFingerprint> = OnceLock::new();
+    CELL.get_or_init(agave_registry::HostFingerprint::detect)
+}
 
 /// One shared quick-suite run reused by all figure benches in a process.
 pub fn shared_experiments() -> &'static Experiments {
@@ -71,7 +81,9 @@ pub fn figure_bench(
 /// A minimal fixed-sample timing harness.
 ///
 /// Each call to [`Group::bench`] runs the closure once for warmup, then
-/// `samples` timed iterations, and prints the best and mean wall time —
+/// `samples` timed iterations through the registry's shared timing loop
+/// ([`agave_registry::harness::time_trials`] — the same one `agave
+/// bench run` uses), and prints the best, median, and MAD wall time —
 /// enough to catch engine-level performance regressions without an
 /// external bench framework.
 #[derive(Debug)]
@@ -90,30 +102,19 @@ impl Group {
 
     /// Times `f` over `samples` iterations, prints one summary line, and
     /// returns the measurement for machine-readable reporting.
-    pub fn bench<R>(&mut self, label: &str, samples: u32, mut f: impl FnMut() -> R) -> Sample {
-        assert!(samples > 0, "need at least one sample");
-        black_box(f()); // warmup
-        let mut times = Vec::with_capacity(samples as usize);
-        for _ in 0..samples {
-            let started = Instant::now();
-            black_box(f());
-            times.push(started.elapsed());
-        }
-        times.sort();
-        let best = times[0];
-        let mean = times.iter().sum::<Duration>() / samples;
+    pub fn bench<R>(&mut self, label: &str, samples: u32, f: impl FnMut() -> R) -> Sample {
+        let stats = harness::time_trials(1, samples, f);
         println!(
-            "{:<56} best {:>12?}  mean {:>12?}  ({} samples)",
+            "{:<56} best {:>12?}  median {:>12?} ±{:?}  ({} samples)",
             format!("{}/{label}", self.name),
-            best,
-            mean,
-            samples
+            stats.best,
+            stats.median,
+            stats.mad,
+            stats.samples
         );
         Sample {
             label: label.to_owned(),
-            best,
-            mean,
-            samples,
+            stats,
         }
     }
 }
@@ -123,19 +124,30 @@ impl Group {
 pub struct Sample {
     /// The bench line's label.
     pub label: String,
-    /// Fastest sample.
-    pub best: Duration,
-    /// Mean over all samples.
-    pub mean: Duration,
-    /// Number of timed samples.
-    pub samples: u32,
+    /// Robust summary of the timed samples (best / mean / median / MAD).
+    pub stats: harness::TrialStats,
 }
 
 impl Sample {
+    /// Fastest sample.
+    pub fn best(&self) -> Duration {
+        self.stats.best
+    }
+
+    /// Mean over all samples.
+    pub fn mean(&self) -> Duration {
+        self.stats.mean
+    }
+
+    /// Median sample.
+    pub fn median(&self) -> Duration {
+        self.stats.median
+    }
+
     /// Events-per-second implied by the best sample for `events` events
     /// per iteration.
     pub fn rate(&self, events: u64) -> f64 {
-        events as f64 / self.best.as_secs_f64()
+        events as f64 / self.stats.best.as_secs_f64()
     }
 }
 
@@ -193,21 +205,26 @@ impl HotpathReport {
         let mut obj = agave_trace::json::Object::new();
         obj.field_str("path", path)
             .field_u64("references", refs)
-            .field_u64("best_ns", sample.best.as_nanos() as u64)
-            .field_u64("mean_ns", sample.mean.as_nanos() as u64)
+            .field_u64("best_ns", sample.stats.best.as_nanos() as u64)
+            .field_u64("mean_ns", sample.stats.mean.as_nanos() as u64)
+            .field_u64("median_ns", sample.stats.median.as_nanos() as u64)
+            .field_u64("mad_ns", sample.stats.mad.as_nanos() as u64)
             .field_f64("refs_per_sec", sample.rate(refs));
         self.lines.push(obj.finish());
     }
 
-    /// Renders the report as a JSON document.
+    /// Renders the report as a JSON document. The envelope (schema
+    /// version, time, commit, host fingerprint) is stamped by
+    /// [`agave_registry::record::stamp`] — the same envelope
+    /// `bench_history.jsonl` records carry, so standalone bench reports
+    /// and `agave bench run` output stay schema-identical.
     pub fn to_json(&self) -> String {
         let mut obj = agave_trace::json::Object::new();
-        obj.field_u64("schema_version", BENCH_SCHEMA_VERSION)
-            .field_str("suite", &self.suite)
-            .field_raw(
-                "paths",
-                &agave_trace::json::array(self.lines.iter().cloned()),
-            );
+        agave_registry::record::stamp(&mut obj, BENCH_SCHEMA_VERSION);
+        obj.field_str("suite", &self.suite).field_raw(
+            "paths",
+            &agave_trace::json::array(self.lines.iter().cloned()),
+        );
         obj.finish()
     }
 
@@ -215,6 +232,16 @@ impl HotpathReport {
     /// written.
     pub fn write(&self) -> std::io::Result<String> {
         write_bench_json(&self.suite, &self.to_json())
+    }
+
+    /// Writes the report, printing the path on success and a warning on
+    /// failure — the shared tail of every standalone bench target (a
+    /// bench run is still useful even when the report can't land).
+    pub fn write_or_warn(&self) {
+        match self.write() {
+            Ok(path) => println!("wrote {path}"),
+            Err(err) => eprintln!("could not write {} report: {err}", self.suite),
+        }
     }
 }
 

@@ -14,6 +14,7 @@
 //! agave stats <telemetry.json>          # span tree + metric tables from a capture
 //! agave serve [--addr A] [--jobs N]     # multi-tenant replay/analysis daemon
 //! agave client <upload|list|analyze|sweep|ping|shutdown> …  # talk to a daemon
+//! agave bench list|run|history|check    # durable benchmark registry + regression gate
 //! ```
 //!
 //! Geometry names (`--preset`, `--cache`, sweep cells) resolve through
@@ -59,7 +60,11 @@ fn usage() -> ! {
          agave client upload <name> <file.agtrace> [--addr A]\n  \
          agave client analyze <name> <summary|cache GEOMETRY|sketch> [--addr A]\n  \
          agave client sweep <name> <grid> [--addr A]\n  \
-         agave client list|ping|shutdown [--addr A]\n\
+         agave client list|ping|shutdown [--addr A]\n  \
+         agave bench list\n  \
+         agave bench run [CASE] [--quick] [--trials N] [--warmup N] [--history FILE]\n  \
+         agave bench history [CASE] [--last N] [--history FILE]\n  \
+         agave bench check [--window K] [--mad-factor X] [--min-pct P] [--history FILE]\n\
          geometries: {} — or an L1 cell spec size=16k,assoc=2,line=32\n\
          --jobs N: run workloads (or decode chunks, on replay verbs) on N threads (0 = one per CPU; default 1)\n\
          --chunk-records N: records per trace chunk (default 4096; chunks are the unit of parallel decode)\n\
@@ -678,6 +683,142 @@ fn cmd_client(args: &[String]) {
     }
 }
 
+/// The benchmark registry front end (`agave bench <subverb> …`):
+/// enumerate cases, run + append to the history, render trends, and
+/// gate the latest run against its trailing baseline.
+fn cmd_bench(args: &[String]) -> i32 {
+    use agave_core::benchcases;
+    use agave_registry::{aggregate, trend, BenchRecord, History, NoisePolicy, RunOpts, Tier};
+
+    let sub = args.first().map(String::as_str).unwrap_or_else(|| usage());
+    let rest = &args[1..];
+    let history_path = benchcases::history_path(flag_value(rest, "--history"));
+    let policy = {
+        let mut policy = NoisePolicy::default();
+        let parse = |flag: &str| -> Option<f64> {
+            flag_value(rest, flag).map(|v| v.parse().unwrap_or_else(|_| usage()))
+        };
+        if let Some(window) = parse("--window") {
+            policy.window = window as usize;
+        }
+        if let Some(mad_factor) = parse("--mad-factor") {
+            policy.mad_factor = mad_factor;
+        }
+        if let Some(min_pct) = parse("--min-pct") {
+            policy.min_pct = min_pct;
+        }
+        policy
+    };
+    let value_flags = [
+        "--history",
+        "--trials",
+        "--warmup",
+        "--last",
+        "--window",
+        "--mad-factor",
+        "--min-pct",
+    ];
+    match sub {
+        "list" => {
+            println!("registered bench cases ({}):", benchcases::registry().len());
+            for case in benchcases::registry() {
+                println!("  {:<20} {}", case.name(), case.description());
+                for tier in [Tier::Quick, Tier::Full] {
+                    let params: Vec<String> = case
+                        .params(tier)
+                        .into_iter()
+                        .map(|(k, v)| format!("{k}={v}"))
+                        .collect();
+                    println!("    {:<5} {}", tier.name(), params.join(" "));
+                }
+            }
+            0
+        }
+        "run" => {
+            let tier = if rest.iter().any(|a| a == "--quick") {
+                Tier::Quick
+            } else {
+                Tier::Full
+            };
+            let mut opts = RunOpts::for_tier(tier);
+            if let Some(trials) = flag_value(rest, "--trials") {
+                opts.trials = trials
+                    .parse()
+                    .ok()
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            if let Some(warmup) = flag_value(rest, "--warmup") {
+                opts.warmup = warmup.parse().ok().unwrap_or_else(|| usage());
+            }
+            let cases = match bare_arg(rest, &value_flags) {
+                Some(name) => vec![benchcases::find_case(name).unwrap_or_else(|| {
+                    eprintln!("unknown bench case {name:?}; try `agave bench list`");
+                    std::process::exit(2);
+                })],
+                None => benchcases::registry(),
+            };
+            for case in &cases {
+                eprintln!(
+                    "bench {} ({}, {} trials + {} warmup)…",
+                    case.name(),
+                    tier.name(),
+                    opts.trials,
+                    opts.warmup
+                );
+                let measurements = cli::or_fail_bare("bench", case.run(&opts));
+                let metrics = aggregate(&measurements);
+                let record = BenchRecord::stamped(case.name(), tier, case.params(tier), metrics);
+                cli::or_fail(
+                    "bench",
+                    &history_path,
+                    History::append(&history_path, &record),
+                );
+                for stat in &record.metrics {
+                    println!(
+                        "  {:<28} {:>12.3} {:<7} (MAD {:.3} over {} trials)",
+                        stat.name, stat.median, stat.unit, stat.mad, stat.trials
+                    );
+                }
+            }
+            eprintln!(
+                "appended {} record(s) to {}",
+                cases.len(),
+                history_path.display()
+            );
+            0
+        }
+        "history" => {
+            let history = cli::or_fail("bench", &history_path, History::load(&history_path));
+            let case = bare_arg(rest, &value_flags);
+            let last = flag_value(rest, "--last")
+                .map(|n| {
+                    n.parse()
+                        .ok()
+                        .filter(|&n| n >= 2)
+                        .unwrap_or_else(|| usage())
+                })
+                .unwrap_or(12);
+            print!("{}", trend::render(&history, case, last, &policy));
+            0
+        }
+        "check" => {
+            let history = cli::or_fail("bench", &history_path, History::load(&history_path));
+            let report = history.check(&policy);
+            print!("{}", report.render());
+            if report.failed() {
+                for line in report.regressions() {
+                    eprintln!("{}", cli::diagnostic("bench", None, &line.render()));
+                }
+                cli::EXIT_FAILURE
+            } else {
+                0
+            }
+        }
+        _ => usage(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Parse --telemetry before dispatch so the enable flag is set before
@@ -724,6 +865,7 @@ fn main() {
             cmd_client(&args[1..]);
             0
         }
+        Some("bench") => cmd_bench(&args[1..]),
         _ => usage(),
     };
     telemetry.finish();

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod benchcases;
 mod cache;
 pub mod cli;
 pub mod engine;

@@ -1,0 +1,193 @@
+//! Benchmark cases: the unit the registry runs and records.
+//!
+//! A [`BenchCase`] is one benchmark as data — a stable name, a
+//! parameter map (everything that would make two runs incomparable if
+//! it differed), and a `run` that produces raw per-trial
+//! [`Measurement`]s under an explicit [`RunOpts`] budget. The registry
+//! aggregates those trials per metric ([`aggregate`]) into the
+//! median + MAD statistics a [`crate::BenchRecord`] carries; cases
+//! never do their own statistics.
+
+use crate::harness;
+use std::collections::BTreeMap;
+
+/// How large a case's workload should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Seconds-scale sizing for CI and local iteration.
+    Quick,
+    /// The full sizing behind the headline numbers.
+    Full,
+}
+
+impl Tier {
+    /// The tier's name as recorded in history (`quick` / `full`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Quick => "quick",
+            Tier::Full => "full",
+        }
+    }
+}
+
+/// Which direction of change is an improvement for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Throughput-like: larger is better (MB/s, refs/s, req/s).
+    HigherIsBetter,
+    /// Cost-like: smaller is better (overhead %, bytes/record).
+    LowerIsBetter,
+}
+
+impl Direction {
+    /// The direction's name as recorded in history (`higher`/`lower`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Direction::HigherIsBetter => "higher",
+            Direction::LowerIsBetter => "lower",
+        }
+    }
+
+    /// Parses the recorded name back.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "higher" => Ok(Direction::HigherIsBetter),
+            "lower" => Ok(Direction::LowerIsBetter),
+            other => Err(format!("unknown direction {other:?} (higher|lower)")),
+        }
+    }
+}
+
+/// One raw observation: one metric's value from one trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Metric name, stable across runs (`decode_mb_per_sec`, …).
+    pub metric: String,
+    /// Unit label for rendering (`MB/s`, `refs/s`, `%`, …).
+    pub unit: String,
+    /// Which direction is an improvement.
+    pub better: Direction,
+    /// The observed value.
+    pub value: f64,
+}
+
+impl Measurement {
+    /// Convenience constructor.
+    pub fn new(metric: &str, unit: &str, better: Direction, value: f64) -> Self {
+        Measurement {
+            metric: metric.to_owned(),
+            unit: unit.to_owned(),
+            better,
+            value,
+        }
+    }
+}
+
+/// The execution budget handed to [`BenchCase::run`].
+#[derive(Debug, Clone, Copy)]
+pub struct RunOpts {
+    /// Workload sizing.
+    pub tier: Tier,
+    /// Timed trials per metric (median + MAD are taken over these).
+    pub trials: u32,
+    /// Untimed warmup iterations before the trials.
+    pub warmup: u32,
+}
+
+impl RunOpts {
+    /// The default budget for a tier: 3 trials (1 warmup) at quick,
+    /// 5 trials (2 warmup) at full.
+    pub fn for_tier(tier: Tier) -> Self {
+        match tier {
+            Tier::Quick => RunOpts {
+                tier,
+                trials: 3,
+                warmup: 1,
+            },
+            Tier::Full => RunOpts {
+                tier,
+                trials: 5,
+                warmup: 2,
+            },
+        }
+    }
+}
+
+/// One registered benchmark.
+pub trait BenchCase {
+    /// Stable case name (`replay_codec`, `hierarchy_walk`, …).
+    fn name(&self) -> &str;
+
+    /// One-line description for `agave bench list`.
+    fn description(&self) -> &str;
+
+    /// The parameters that define comparability at this tier
+    /// (workload label, sizing, grid, client counts, …). Two records
+    /// whose params differ never baseline each other.
+    fn params(&self, tier: Tier) -> BTreeMap<String, String>;
+
+    /// Executes the case: `opts.warmup` untimed then `opts.trials`
+    /// timed rounds, returning every trial's raw measurements.
+    fn run(&self, opts: &RunOpts) -> Result<Vec<Measurement>, String>;
+}
+
+/// Groups raw per-trial measurements by metric (first-appearance
+/// order) and summarizes each as median + MAD.
+pub fn aggregate(measurements: &[Measurement]) -> Vec<crate::MetricStat> {
+    let mut order: Vec<&str> = Vec::new();
+    for m in measurements {
+        if !order.contains(&m.metric.as_str()) {
+            order.push(&m.metric);
+        }
+    }
+    order
+        .into_iter()
+        .map(|name| {
+            let group: Vec<&Measurement> =
+                measurements.iter().filter(|m| m.metric == name).collect();
+            let values: Vec<f64> = group.iter().map(|m| m.value).collect();
+            let med = harness::median(&values);
+            crate::MetricStat {
+                name: name.to_owned(),
+                unit: group[0].unit.clone(),
+                better: group[0].better,
+                median: med,
+                mad: harness::mad(&values, med),
+                trials: values.len() as u32,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_groups_by_metric_in_first_seen_order() {
+        let ms = vec![
+            Measurement::new("a", "MB/s", Direction::HigherIsBetter, 10.0),
+            Measurement::new("b", "%", Direction::LowerIsBetter, 1.0),
+            Measurement::new("a", "MB/s", Direction::HigherIsBetter, 12.0),
+            Measurement::new("a", "MB/s", Direction::HigherIsBetter, 11.0),
+            Measurement::new("b", "%", Direction::LowerIsBetter, 3.0),
+        ];
+        let stats = aggregate(&ms);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].name, "a");
+        assert_eq!(stats[0].median, 11.0);
+        assert_eq!(stats[0].mad, 1.0);
+        assert_eq!(stats[0].trials, 3);
+        assert_eq!(stats[1].name, "b");
+        assert_eq!(stats[1].median, 2.0);
+        assert_eq!(stats[1].trials, 2);
+    }
+
+    #[test]
+    fn direction_round_trips() {
+        for d in [Direction::HigherIsBetter, Direction::LowerIsBetter] {
+            assert_eq!(Direction::parse(d.name()).unwrap(), d);
+        }
+        assert!(Direction::parse("sideways").is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Host environment metadata: the fingerprint stamped on every record.
+//!
+//! Runs are only comparable when they ran on comparable hardware, so
+//! every [`crate::BenchRecord`] carries a [`HostFingerprint`] and the
+//! regression gate groups records by it: a 64-core CI runner never
+//! baselines a 1-core laptop. This module is also the single place the
+//! workspace probes the host — bench targets that used to call
+//! `available_parallelism` ad hoc read [`HostFingerprint::detect`]
+//! instead.
+
+use agave_telemetry::parse::Value;
+use agave_trace::json;
+
+/// The environment a benchmark ran in: everything that makes two runs
+/// comparable (or not).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostFingerprint {
+    /// Logical CPU count (`available_parallelism`; 1 if unknown).
+    pub cpus: usize,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Build profile of the measuring binary: `release` or `debug`.
+    pub profile: String,
+}
+
+impl HostFingerprint {
+    /// Probes the current host. This is the workspace's one CPU-count
+    /// probe: benches that gate on core count read `.cpus` from here.
+    pub fn detect() -> Self {
+        HostFingerprint {
+            cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            os: std::env::consts::OS.to_owned(),
+            arch: std::env::consts::ARCH.to_owned(),
+            profile: if cfg!(debug_assertions) {
+                "debug".to_owned()
+            } else {
+                "release".to_owned()
+            },
+        }
+    }
+
+    /// One-line canonical form, used as part of the baseline group key
+    /// and in diagnostics: `linux/x86_64/8cpu/release`.
+    pub fn canonical(&self) -> String {
+        format!(
+            "{}/{}/{}cpu/{}",
+            self.os, self.arch, self.cpus, self.profile
+        )
+    }
+
+    /// Renders the fingerprint as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = json::Object::new();
+        obj.field_usize("cpus", self.cpus)
+            .field_str("os", &self.os)
+            .field_str("arch", &self.arch)
+            .field_str("profile", &self.profile);
+        obj.finish()
+    }
+
+    /// Parses the fingerprint back from a record's `host` object.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("host missing {k:?}"));
+        Ok(HostFingerprint {
+            cpus: field("cpus")?.as_u64().ok_or("host.cpus is not a number")? as usize,
+            os: field("os")?
+                .as_str()
+                .ok_or("host.os is not a string")?
+                .to_owned(),
+            arch: field("arch")?
+                .as_str()
+                .ok_or("host.arch is not a string")?
+                .to_owned(),
+            profile: field("profile")?
+                .as_str()
+                .ok_or("host.profile is not a string")?
+                .to_owned(),
+        })
+    }
+}
+
+/// The commit hash stamped on records: `AGAVE_COMMIT` if set (CI can
+/// pin it), else `git rev-parse --short=12 HEAD`, else `"unknown"` —
+/// benchmarks still record outside a work tree.
+pub fn commit_hash() -> String {
+    if let Ok(c) = std::env::var("AGAVE_COMMIT") {
+        let c = c.trim().to_owned();
+        if !c.is_empty() {
+            return c;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_round_trips_through_json() {
+        let fp = HostFingerprint::detect();
+        assert!(fp.cpus >= 1);
+        let parsed = agave_telemetry::parse::parse(&fp.to_json()).unwrap();
+        assert_eq!(HostFingerprint::from_value(&parsed).unwrap(), fp);
+    }
+
+    #[test]
+    fn canonical_is_one_line() {
+        let fp = HostFingerprint {
+            cpus: 8,
+            os: "linux".into(),
+            arch: "x86_64".into(),
+            profile: "release".into(),
+        };
+        assert_eq!(fp.canonical(), "linux/x86_64/8cpu/release");
+    }
+
+    #[test]
+    fn commit_hash_is_nonempty() {
+        assert!(!commit_hash().is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! The shared warmup + trials timing loop and its robust statistics.
+//!
+//! Every timing site in the workspace — the standalone bench targets'
+//! `Group::bench` and the registry cases' `run` — funnels through
+//! [`time_trials`] / [`TrialStats::from_durations`], so "what is a
+//! trial" and "how is noise summarized" have exactly one definition:
+//! **median** (robust central value; one preempted trial cannot shift
+//! it) and **MAD** (median absolute deviation; the spread estimate the
+//! regression gate's noise band is built from).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Robust summary of one bench line's timed trials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialStats {
+    /// Fastest trial.
+    pub best: Duration,
+    /// Arithmetic mean over all trials.
+    pub mean: Duration,
+    /// Median trial (the value records report).
+    pub median: Duration,
+    /// Median absolute deviation of the trials.
+    pub mad: Duration,
+    /// Number of timed trials.
+    pub samples: u32,
+}
+
+impl TrialStats {
+    /// Summarizes a non-empty set of timed trials.
+    pub fn from_durations(times: &[Duration]) -> Self {
+        assert!(!times.is_empty(), "need at least one trial");
+        let mut sorted = times.to_vec();
+        sorted.sort();
+        let ns: Vec<f64> = sorted.iter().map(|d| d.as_nanos() as f64).collect();
+        let med = median_sorted(&ns);
+        TrialStats {
+            best: sorted[0],
+            mean: sorted.iter().sum::<Duration>() / sorted.len() as u32,
+            median: Duration::from_nanos(med as u64),
+            mad: Duration::from_nanos(mad(&ns, med) as u64),
+            samples: times.len() as u32,
+        }
+    }
+}
+
+/// Runs `f` `warmup` untimed times, then `trials` timed times, and
+/// returns every trial's duration — the primitive for cases that
+/// derive a per-trial metric (MB/s, req/s) from each timing.
+pub fn trial_times<R>(warmup: u32, trials: u32, mut f: impl FnMut() -> R) -> Vec<Duration> {
+    assert!(trials > 0, "need at least one trial");
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut times = Vec::with_capacity(trials as usize);
+    for _ in 0..trials {
+        let started = Instant::now();
+        black_box(f());
+        times.push(started.elapsed());
+    }
+    times
+}
+
+/// Runs `f` `warmup` untimed times, then `trials` timed times, and
+/// summarizes. The single definition of the timing loop.
+pub fn time_trials<R>(warmup: u32, trials: u32, f: impl FnMut() -> R) -> TrialStats {
+    TrialStats::from_durations(&trial_times(warmup, trials, f))
+}
+
+/// Median of a slice (sorts a copy; even lengths average the middle
+/// pair). Empty input returns 0.
+pub fn median(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    median_sorted(&sorted)
+}
+
+fn median_sorted(sorted: &[f64]) -> f64 {
+    match sorted.len() {
+        0 => 0.0,
+        n if n % 2 == 1 => sorted[n / 2],
+        n => (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0,
+    }
+}
+
+/// Median absolute deviation around `center`.
+pub fn mad(values: &[f64], center: f64) -> f64 {
+    let deviations: Vec<f64> = values.iter().map(|v| (v - center).abs()).collect();
+    median(&deviations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn mad_is_robust_to_one_outlier() {
+        let values = [100.0, 101.0, 99.0, 100.0, 500.0];
+        let med = median(&values);
+        assert_eq!(med, 100.0);
+        assert_eq!(mad(&values, med), 1.0);
+    }
+
+    #[test]
+    fn trial_stats_summarize() {
+        let times = [
+            Duration::from_nanos(100),
+            Duration::from_nanos(300),
+            Duration::from_nanos(200),
+        ];
+        let stats = TrialStats::from_durations(&times);
+        assert_eq!(stats.best, Duration::from_nanos(100));
+        assert_eq!(stats.median, Duration::from_nanos(200));
+        assert_eq!(stats.mean, Duration::from_nanos(200));
+        assert_eq!(stats.mad, Duration::from_nanos(100));
+        assert_eq!(stats.samples, 3);
+    }
+
+    #[test]
+    fn time_trials_counts_samples() {
+        let mut calls = 0u32;
+        let stats = time_trials(2, 5, || calls += 1);
+        assert_eq!(calls, 7);
+        assert_eq!(stats.samples, 5);
+    }
+}

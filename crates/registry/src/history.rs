@@ -1,0 +1,528 @@
+//! The append-only history file and the regression gate over it.
+//!
+//! `bench_history.jsonl` is one [`BenchRecord`] per line, append-only:
+//! [`History::append`] opens the file in append mode and writes one
+//! line, so concurrent benches and months of runs accumulate without
+//! rewriting anything. [`History::load`] parses the whole file,
+//! enforcing the schema contract: a malformed line or a line written
+//! by a **newer** schema version is a hard error (gate with tooling at
+//! least as new as the data), while **older**-version lines are kept
+//! aside — counted and reported, never silently folded into baselines.
+//!
+//! [`History::check`] is the teeth. Records group by
+//! [`BenchRecord::group_key`] (case + tier + params + host
+//! fingerprint); within each group the latest record is the
+//! observation and the up-to-K records before it are the baseline.
+//! Each observed metric is compared to the median of the baseline
+//! medians, with a noise band of
+//! `max(mad_factor × MAD(baseline medians),
+//!      mad_factor × median(baseline trial MADs),
+//!      min_pct × |baseline|)`
+//! — statistical drift detection over the series, not an eyeballed
+//! pair of numbers. Only movement in the metric's *bad* direction
+//! beyond the band fails; improvements and short histories (no
+//! baseline yet) pass with a note.
+
+use crate::case::Direction;
+use crate::harness;
+use crate::record::{BenchRecord, REGISTRY_SCHEMA_VERSION};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The regression gate's noise-band configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NoisePolicy {
+    /// Baseline window: how many trailing records (per group) form the
+    /// baseline. Default 5.
+    pub window: usize,
+    /// Multiplier on the MAD terms of the band. Default 3.0.
+    pub mad_factor: f64,
+    /// Relative floor of the band (fraction of the baseline). Default
+    /// 0.05 — a metric must move at least 5% to count at all.
+    pub min_pct: f64,
+}
+
+impl Default for NoisePolicy {
+    fn default() -> Self {
+        NoisePolicy {
+            window: 5,
+            mad_factor: 3.0,
+            min_pct: 0.05,
+        }
+    }
+}
+
+/// A loaded history: the parseable current-schema records plus a count
+/// of older-schema lines that were set aside.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// The file the history came from (for diagnostics).
+    pub path: PathBuf,
+    /// Current-schema records, in file (append) order.
+    pub records: Vec<BenchRecord>,
+    /// `(line_number, schema_version)` of records written under an
+    /// older schema: excluded from baselines, surfaced in reports.
+    pub outdated: Vec<(usize, u64)>,
+}
+
+impl History {
+    /// Loads `path`. A missing file is an empty history (first run);
+    /// a malformed line or a newer-schema line is an error naming the
+    /// line number.
+    pub fn load(path: &Path) -> Result<History, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(History {
+                    path: path.to_owned(),
+                    ..History::default()
+                })
+            }
+            Err(err) => return Err(format!("{}: {err}", path.display())),
+        };
+        let mut history = History {
+            path: path.to_owned(),
+            ..History::default()
+        };
+        for (idx, line) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record = BenchRecord::parse(line)
+                .map_err(|err| format!("{}:{lineno}: {err}", path.display()))?;
+            match record.schema_version {
+                v if v == REGISTRY_SCHEMA_VERSION => history.records.push(record),
+                v if v < REGISTRY_SCHEMA_VERSION => history.outdated.push((lineno, v)),
+                v => {
+                    return Err(format!(
+                        "{}:{lineno}: record schema_version {v} is newer than this \
+                         binary's {REGISTRY_SCHEMA_VERSION}; upgrade agave before gating",
+                        path.display()
+                    ))
+                }
+            }
+        }
+        Ok(history)
+    }
+
+    /// Appends one record as one line (creates the file if missing).
+    pub fn append(path: &Path, record: &BenchRecord) -> std::io::Result<()> {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(file, "{}", record.to_json())
+    }
+
+    /// The distinct group keys in append order of first appearance.
+    pub fn groups(&self) -> Vec<String> {
+        let mut keys: Vec<String> = Vec::new();
+        for rec in &self.records {
+            let key = rec.group_key();
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+        keys
+    }
+
+    /// Records of one group, in append order.
+    pub fn group(&self, key: &str) -> Vec<&BenchRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.group_key() == key)
+            .collect()
+    }
+
+    /// Runs the regression gate over every group's latest record.
+    pub fn check(&self, policy: &NoisePolicy) -> CheckReport {
+        let mut lines = Vec::new();
+        for key in self.groups() {
+            let group = self.group(&key);
+            let (latest, baseline_records) = group.split_last().expect("group is non-empty");
+            for stat in &latest.metrics {
+                lines.push(check_metric(latest, stat, baseline_records, policy));
+            }
+        }
+        CheckReport {
+            lines,
+            outdated: self.outdated.len(),
+            policy: *policy,
+        }
+    }
+}
+
+fn check_metric(
+    latest: &BenchRecord,
+    stat: &crate::MetricStat,
+    prior: &[&BenchRecord],
+    policy: &NoisePolicy,
+) -> CheckLine {
+    let window: Vec<&crate::MetricStat> = prior
+        .iter()
+        .rev()
+        .take(policy.window)
+        .filter_map(|r| r.metric(&stat.name))
+        .collect();
+    let mut line = CheckLine {
+        case: latest.case.clone(),
+        metric: stat.name.clone(),
+        unit: stat.unit.clone(),
+        group: latest.group_key(),
+        status: CheckStatus::NoBaseline,
+        observed: stat.median,
+        baseline: 0.0,
+        band: 0.0,
+        delta_pct: 0.0,
+        window: window.len(),
+    };
+    if window.is_empty() {
+        return line;
+    }
+    let medians: Vec<f64> = window.iter().map(|m| m.median).collect();
+    let trial_mads: Vec<f64> = window.iter().map(|m| m.mad).collect();
+    let baseline = harness::median(&medians);
+    let spread = harness::mad(&medians, baseline);
+    let trial_noise = harness::median(&trial_mads);
+    let band = (policy.mad_factor * spread)
+        .max(policy.mad_factor * trial_noise)
+        .max(policy.min_pct * baseline.abs());
+    let delta = stat.median - baseline;
+    line.baseline = baseline;
+    line.band = band;
+    line.delta_pct = if baseline != 0.0 {
+        delta / baseline.abs() * 100.0
+    } else {
+        0.0
+    };
+    let worse = match stat.better {
+        Direction::HigherIsBetter => delta < -band,
+        Direction::LowerIsBetter => delta > band,
+    };
+    let improved = match stat.better {
+        Direction::HigherIsBetter => delta > band,
+        Direction::LowerIsBetter => delta < -band,
+    };
+    line.status = if worse {
+        CheckStatus::Regressed
+    } else if improved {
+        CheckStatus::Improved
+    } else {
+        CheckStatus::Ok
+    };
+    line
+}
+
+/// One gated metric's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckStatus {
+    /// Within the noise band of the baseline.
+    Ok,
+    /// Beyond the band in the good direction.
+    Improved,
+    /// Beyond the band in the bad direction — fails the gate.
+    Regressed,
+    /// No prior record in the group: nothing to compare against yet.
+    NoBaseline,
+}
+
+/// One metric's comparison against its trailing baseline.
+#[derive(Debug, Clone)]
+pub struct CheckLine {
+    /// Case name.
+    pub case: String,
+    /// Metric name.
+    pub metric: String,
+    /// Unit label.
+    pub unit: String,
+    /// Full group key (params + host) behind the comparison.
+    pub group: String,
+    /// The verdict.
+    pub status: CheckStatus,
+    /// Latest record's median.
+    pub observed: f64,
+    /// Median of the trailing-window medians (0 when no baseline).
+    pub baseline: f64,
+    /// Allowed deviation before the verdict flips.
+    pub band: f64,
+    /// Observed change vs baseline, percent.
+    pub delta_pct: f64,
+    /// How many prior records formed the baseline.
+    pub window: usize,
+}
+
+impl CheckLine {
+    /// One-line rendering: verdict, case.metric, baseline, band,
+    /// observed.
+    pub fn render(&self) -> String {
+        let tag = match self.status {
+            CheckStatus::Ok => "ok",
+            CheckStatus::Improved => "ok+",
+            CheckStatus::Regressed => "FAIL",
+            CheckStatus::NoBaseline => "new",
+        };
+        match self.status {
+            CheckStatus::NoBaseline => format!(
+                "[{tag:<4}] {:<40} {:>12.3} {:<7} no baseline yet ({})",
+                format!("{}.{}", self.case, self.metric),
+                self.observed,
+                self.unit,
+                self.group
+            ),
+            _ => format!(
+                "[{tag:<4}] {:<40} baseline {:.3} ±{:.3} {} (n={}), observed {:.3} ({:+.1}%)",
+                format!("{}.{}", self.case, self.metric),
+                self.baseline,
+                self.band,
+                self.unit,
+                self.window,
+                self.observed,
+                self.delta_pct
+            ),
+        }
+    }
+}
+
+/// The gate's full verdict.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// One line per gated metric.
+    pub lines: Vec<CheckLine>,
+    /// Older-schema records that were excluded from baselines.
+    pub outdated: usize,
+    /// The policy the check ran under.
+    pub policy: NoisePolicy,
+}
+
+impl CheckReport {
+    /// True when any metric regressed — the CLI exits nonzero on this.
+    pub fn failed(&self) -> bool {
+        self.lines
+            .iter()
+            .any(|l| l.status == CheckStatus::Regressed)
+    }
+
+    /// The regressed lines only.
+    pub fn regressions(&self) -> Vec<&CheckLine> {
+        self.lines
+            .iter()
+            .filter(|l| l.status == CheckStatus::Regressed)
+            .collect()
+    }
+
+    /// Renders the whole verdict, regressions last so they sit next to
+    /// the exit status in CI logs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in self
+            .lines
+            .iter()
+            .filter(|l| l.status != CheckStatus::Regressed)
+        {
+            let _ = writeln!(out, "{}", line.render());
+        }
+        for line in self.regressions() {
+            let _ = writeln!(out, "{}", line.render());
+        }
+        if self.outdated > 0 {
+            let _ = writeln!(
+                out,
+                "note: {} older-schema record(s) excluded from baselines",
+                self.outdated
+            );
+        }
+        let regressed = self.regressions().len();
+        let _ = writeln!(
+            out,
+            "{} metric(s) checked · {} regressed (window {}, band max({}×MAD, {:.0}%))",
+            self.lines.len(),
+            regressed,
+            self.policy.window,
+            self.policy.mad_factor,
+            self.policy.min_pct * 100.0
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::REGISTRY_SCHEMA_VERSION;
+    use crate::{Direction, HostFingerprint, MetricStat};
+    use std::collections::BTreeMap;
+
+    fn record(case: &str, value: f64, mad: f64, time: u64) -> BenchRecord {
+        BenchRecord {
+            schema_version: REGISTRY_SCHEMA_VERSION,
+            case: case.into(),
+            tier: "quick".into(),
+            unix_time: time,
+            commit: "testcommit".into(),
+            host: HostFingerprint {
+                cpus: 4,
+                os: "linux".into(),
+                arch: "x86_64".into(),
+                profile: "release".into(),
+            },
+            params: BTreeMap::from([("workload".into(), "w".into())]),
+            metrics: vec![MetricStat {
+                name: "mb_per_sec".into(),
+                unit: "MB/s".into(),
+                better: Direction::HigherIsBetter,
+                median: value,
+                mad,
+                trials: 5,
+            }],
+        }
+    }
+
+    fn history_of(records: Vec<BenchRecord>) -> History {
+        History {
+            path: PathBuf::from("test"),
+            records,
+            outdated: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn stable_series_passes() {
+        let records: Vec<_> = [100.0, 101.0, 99.5, 100.5, 100.0, 99.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| record("c", v, 0.5, i as u64))
+            .collect();
+        let report = history_of(records).check(&NoisePolicy::default());
+        assert!(!report.failed());
+        assert_eq!(report.lines.len(), 1);
+        assert_eq!(report.lines[0].status, CheckStatus::Ok);
+    }
+
+    #[test]
+    fn planted_twenty_percent_slowdown_fails() {
+        let mut records: Vec<_> = [100.0, 101.0, 99.5, 100.5, 100.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| record("c", v, 0.5, i as u64))
+            .collect();
+        records.push(record("c", 80.0, 0.5, 9));
+        let report = history_of(records).check(&NoisePolicy::default());
+        assert!(report.failed());
+        let line = &report.regressions()[0];
+        assert_eq!(line.status, CheckStatus::Regressed);
+        assert!(line.delta_pct < -15.0);
+        let rendered = line.render();
+        assert!(!rendered.contains('\n'));
+        assert!(rendered.contains("c.mb_per_sec"));
+    }
+
+    #[test]
+    fn improvement_beyond_band_passes() {
+        let mut records: Vec<_> = (0..5).map(|i| record("c", 100.0, 0.5, i)).collect();
+        records.push(record("c", 130.0, 0.5, 9));
+        let report = history_of(records).check(&NoisePolicy::default());
+        assert!(!report.failed());
+        assert_eq!(report.lines[0].status, CheckStatus::Improved);
+    }
+
+    #[test]
+    fn lower_is_better_flips_direction() {
+        let mk = |v, t| {
+            let mut r = record("overhead", v, 0.01, t);
+            r.metrics[0].better = Direction::LowerIsBetter;
+            r
+        };
+        let rising =
+            history_of(vec![mk(1.0, 0), mk(1.0, 1), mk(1.4, 2)]).check(&NoisePolicy::default());
+        assert!(rising.failed());
+        let falling =
+            history_of(vec![mk(1.0, 0), mk(1.0, 1), mk(0.6, 2)]).check(&NoisePolicy::default());
+        assert!(!falling.failed());
+    }
+
+    #[test]
+    fn short_history_reports_no_baseline() {
+        let report = history_of(vec![record("c", 100.0, 0.5, 0)]).check(&NoisePolicy::default());
+        assert!(!report.failed());
+        assert_eq!(report.lines[0].status, CheckStatus::NoBaseline);
+        assert!(report.lines[0].render().contains("no baseline"));
+        let empty = history_of(Vec::new()).check(&NoisePolicy::default());
+        assert!(!empty.failed());
+        assert!(empty.lines.is_empty());
+    }
+
+    #[test]
+    fn different_hosts_never_gate_each_other() {
+        let mut fast = record("c", 100.0, 0.5, 0);
+        fast.host.cpus = 64;
+        // A slow observation from a different host has no 64-cpu
+        // baseline, so it is "new", not a regression.
+        let records = vec![fast.clone(), fast, record("c", 50.0, 0.5, 1)];
+        let report = history_of(records).check(&NoisePolicy::default());
+        assert!(!report.failed());
+    }
+
+    #[test]
+    fn trial_noise_widens_the_band() {
+        // Baseline at 100 with within-run MAD 10: a drop to 75 is
+        // within 3×10, so it must pass; with MAD 0.5 it must fail.
+        let noisy: Vec<_> = (0..5)
+            .map(|i| record("c", 100.0, 10.0, i))
+            .chain([record("c", 75.0, 10.0, 9)])
+            .collect();
+        assert!(!history_of(noisy).check(&NoisePolicy::default()).failed());
+        let tight: Vec<_> = (0..5)
+            .map(|i| record("c", 100.0, 0.5, i))
+            .chain([record("c", 75.0, 0.5, 9)])
+            .collect();
+        assert!(history_of(tight).check(&NoisePolicy::default()).failed());
+    }
+
+    #[test]
+    fn append_and_load_round_trip() {
+        let path = std::env::temp_dir().join(format!(
+            "agave-registry-history-{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        let empty = History::load(&path).unwrap();
+        assert!(empty.records.is_empty());
+        History::append(&path, &record("c", 100.0, 0.5, 0)).unwrap();
+        History::append(&path, &record("c", 99.0, 0.5, 1)).unwrap();
+        let loaded = History::load(&path).unwrap();
+        assert_eq!(loaded.records.len(), 2);
+        assert_eq!(loaded.records[1].metrics[0].median, 99.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn newer_schema_is_an_error_older_is_set_aside() {
+        let path = std::env::temp_dir().join(format!(
+            "agave-registry-schema-{}.jsonl",
+            std::process::id()
+        ));
+        let mut old = record("c", 100.0, 0.5, 0);
+        old.schema_version = 0;
+        std::fs::write(
+            &path,
+            format!(
+                "{}\n{}\n",
+                old.to_json(),
+                record("c", 101.0, 0.5, 1).to_json()
+            ),
+        )
+        .unwrap();
+        let loaded = History::load(&path).unwrap();
+        assert_eq!(loaded.records.len(), 1);
+        assert_eq!(loaded.outdated, vec![(1, 0)]);
+
+        let mut newer = record("c", 100.0, 0.5, 2);
+        newer.schema_version = REGISTRY_SCHEMA_VERSION + 1;
+        std::fs::write(&path, format!("{}\n", newer.to_json())).unwrap();
+        let err = History::load(&path).unwrap_err();
+        assert!(err.contains("newer"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

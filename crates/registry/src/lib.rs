@@ -1,0 +1,53 @@
+//! The durable benchmark registry: cases, history, and regression gates.
+//!
+//! Every prior performance claim in this workspace ("2× hierarchy
+//! throughput", "≥3× parallel replay") lived in ad-hoc `BENCH_*.json`
+//! snapshots: one run, no history, no environment discipline, and a
+//! handful of hard-coded asserts as the only enforcement. This crate is
+//! the missing bookkeeping layer that turns those claims into
+//! contracts:
+//!
+//! * [`BenchCase`] — one benchmark as a first-class object: a name,
+//!   a parameter map, and a `run` that produces per-trial
+//!   [`Measurement`]s under an explicit warmup/trial budget.
+//! * [`BenchRecord`] — one run's durable result: `schema_version`,
+//!   commit hash, [`HostFingerprint`] (CPU count, OS, arch, build
+//!   profile), parameters, and per-metric **median + MAD** over the
+//!   trials. Records append to `bench_history.jsonl`, one JSON object
+//!   per line, and parse back losslessly.
+//! * [`History`] — the append-only log plus the analytics over it:
+//!   trend tables ([`trend`]) and the regression gate
+//!   ([`History::check`]), which compares each group's latest record
+//!   against the **trailing-K baseline** of records with the *same*
+//!   case, parameters, tier, and host fingerprint — runs from
+//!   different machines or configurations never gate each other.
+//!
+//! The noise band follows the longitudinal-drift methodology (median +
+//! MAD over a series, not an eyeballed pair of numbers): a metric
+//! regresses only when it lands outside
+//! `max(3 × MAD(baseline medians), 3 × median(baseline MADs),
+//! 5% × baseline)` *in the bad direction* — improvements never fail,
+//! and within-run trial noise (the record's own MAD) widens the band
+//! so a naturally jittery metric does not flap.
+//!
+//! The concrete cases wrapping the suite's bench targets live in
+//! `agave-core` (`benchcases`), and `agave bench list|run|history|check`
+//! drives them; this crate stays dependency-light (trace JSON writer,
+//! telemetry JSON reader) so anything in the workspace can record to
+//! the same history.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case;
+pub mod fingerprint;
+pub mod harness;
+pub mod history;
+pub mod record;
+pub mod trend;
+
+pub use case::{aggregate, BenchCase, Direction, Measurement, RunOpts, Tier};
+pub use fingerprint::{commit_hash, HostFingerprint};
+pub use harness::{mad, median, time_trials, trial_times, TrialStats};
+pub use history::{CheckLine, CheckReport, CheckStatus, History, NoisePolicy};
+pub use record::{BenchRecord, MetricStat, REGISTRY_SCHEMA_VERSION};

@@ -1,0 +1,296 @@
+//! The durable result record and its JSONL codec.
+//!
+//! One [`BenchRecord`] is one case execution, stamped with everything
+//! needed to compare it honestly against a run taken months later:
+//! `schema_version`, wall-clock time, commit hash, host fingerprint,
+//! the case's parameter map, and per-metric median + MAD over the
+//! trials. Records serialize as single JSON lines (append-only
+//! `bench_history.jsonl`) and parse back through the same
+//! `agave_telemetry::parse` reader `agave stats` uses.
+//!
+//! The standalone `BENCH_*.json` bench reports share this module's
+//! [`stamp`] so their envelopes (schema version, time, commit, host)
+//! are schema-identical to history records.
+
+use crate::case::Direction;
+use crate::fingerprint::{commit_hash, HostFingerprint};
+use crate::Tier;
+use agave_telemetry::parse::{self, Value};
+use agave_trace::json;
+use std::collections::BTreeMap;
+
+/// The `bench_history.jsonl` record schema version, bumped when field
+/// meanings change. [`crate::History`] refuses histories written by a
+/// *newer* schema and excludes older-version records from baselines.
+pub const REGISTRY_SCHEMA_VERSION: u64 = 1;
+
+/// Seconds since the Unix epoch (0 if the clock is before it).
+pub fn unix_time() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Stamps the shared record envelope — `schema_version`, `unix_time`,
+/// `commit`, `host` — onto a JSON object under construction. Both
+/// history records and the standalone `BENCH_*.json` reports go
+/// through here, so the two stay schema-identical.
+pub fn stamp(obj: &mut json::Object, schema_version: u64) {
+    obj.field_u64("schema_version", schema_version)
+        .field_u64("unix_time", unix_time())
+        .field_str("commit", &commit_hash())
+        .field_raw("host", &HostFingerprint::detect().to_json());
+}
+
+/// One metric's summary over a record's trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricStat {
+    /// Metric name, stable across runs.
+    pub name: String,
+    /// Unit label for rendering.
+    pub unit: String,
+    /// Which direction is an improvement.
+    pub better: Direction,
+    /// Median over the trials (the gated value).
+    pub median: f64,
+    /// Median absolute deviation over the trials.
+    pub mad: f64,
+    /// Number of trials behind the summary.
+    pub trials: u32,
+}
+
+impl MetricStat {
+    fn to_json(&self) -> String {
+        let mut obj = json::Object::new();
+        obj.field_str("name", &self.name)
+            .field_str("unit", &self.unit)
+            .field_str("better", self.better.name())
+            .field_f64("median", self.median)
+            .field_f64("mad", self.mad)
+            .field_u64("trials", self.trials as u64);
+        obj.finish()
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let str_field = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("metric missing string {k:?}"))
+        };
+        let num_field = |k: &str| -> Result<f64, String> {
+            v.get(k)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("metric missing number {k:?}"))
+        };
+        Ok(MetricStat {
+            name: str_field("name")?,
+            unit: str_field("unit")?,
+            better: Direction::parse(&str_field("better")?)?,
+            median: num_field("median")?,
+            mad: num_field("mad")?,
+            trials: num_field("trials")? as u32,
+        })
+    }
+}
+
+/// One case execution in the append-only history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Schema version the record was written under.
+    pub schema_version: u64,
+    /// Case name.
+    pub case: String,
+    /// Workload tier (`quick` / `full`).
+    pub tier: String,
+    /// Seconds since the Unix epoch at record time.
+    pub unix_time: u64,
+    /// Commit hash of the measured tree.
+    pub commit: String,
+    /// Environment the run happened in.
+    pub host: HostFingerprint,
+    /// The case's comparability parameters.
+    pub params: BTreeMap<String, String>,
+    /// Per-metric median + MAD summaries.
+    pub metrics: Vec<MetricStat>,
+}
+
+impl BenchRecord {
+    /// Builds a record for the current host, commit, and time.
+    pub fn stamped(
+        case: &str,
+        tier: Tier,
+        params: BTreeMap<String, String>,
+        metrics: Vec<MetricStat>,
+    ) -> Self {
+        BenchRecord {
+            schema_version: REGISTRY_SCHEMA_VERSION,
+            case: case.to_owned(),
+            tier: tier.name().to_owned(),
+            unix_time: unix_time(),
+            commit: commit_hash(),
+            host: HostFingerprint::detect(),
+            params,
+            metrics,
+        }
+    }
+
+    /// The baseline group key: records only gate each other when case,
+    /// tier, parameters, and host fingerprint all match.
+    pub fn group_key(&self) -> String {
+        let params: Vec<String> = self
+            .params
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        format!(
+            "{} [{}] {{{}}} @ {}",
+            self.case,
+            self.tier,
+            params.join(","),
+            self.host.canonical()
+        )
+    }
+
+    /// Renders the record as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut params = json::Object::new();
+        for (k, v) in &self.params {
+            params.field_str(k, v);
+        }
+        let mut obj = json::Object::new();
+        obj.field_u64("schema_version", self.schema_version)
+            .field_str("case", &self.case)
+            .field_str("tier", &self.tier)
+            .field_u64("unix_time", self.unix_time)
+            .field_str("commit", &self.commit)
+            .field_raw("host", &self.host.to_json())
+            .field_raw("params", &params.finish())
+            .field_raw(
+                "metrics",
+                &json::array(self.metrics.iter().map(MetricStat::to_json)),
+            );
+        obj.finish()
+    }
+
+    /// Parses one history line.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let v = parse::parse(line)?;
+        let str_field = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("record missing string {k:?}"))
+        };
+        let schema_version = v
+            .get("schema_version")
+            .and_then(Value::as_u64)
+            .ok_or("record missing schema_version")?;
+        let mut params = BTreeMap::new();
+        if let Some(obj) = v.get("params").and_then(Value::as_object) {
+            for (k, pv) in obj {
+                params.insert(
+                    k.clone(),
+                    pv.as_str()
+                        .ok_or_else(|| format!("param {k:?} is not a string"))?
+                        .to_owned(),
+                );
+            }
+        }
+        let metrics = v
+            .get("metrics")
+            .and_then(Value::as_array)
+            .ok_or("record missing metrics array")?
+            .iter()
+            .map(MetricStat::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchRecord {
+            schema_version,
+            case: str_field("case")?,
+            tier: str_field("tier")?,
+            unix_time: v
+                .get("unix_time")
+                .and_then(Value::as_u64)
+                .ok_or("record missing unix_time")?,
+            commit: str_field("commit")?,
+            host: HostFingerprint::from_value(v.get("host").ok_or("record missing host object")?)?,
+            params,
+            metrics,
+        })
+    }
+
+    /// The record's stat for `metric`, if it carries one.
+    pub fn metric(&self, metric: &str) -> Option<&MetricStat> {
+        self.metrics.iter().find(|m| m.name == metric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchRecord {
+        BenchRecord {
+            schema_version: REGISTRY_SCHEMA_VERSION,
+            case: "replay_codec".into(),
+            tier: "quick".into(),
+            unix_time: 1_754_600_000,
+            commit: "abc123def456".into(),
+            host: HostFingerprint {
+                cpus: 8,
+                os: "linux".into(),
+                arch: "x86_64".into(),
+                profile: "release".into(),
+            },
+            params: BTreeMap::from([
+                ("workload".into(), "gallery.mp4.view".into()),
+                ("sizing".into(), "quick".into()),
+            ]),
+            metrics: vec![MetricStat {
+                name: "decode_mb_per_sec".into(),
+                unit: "MB/s".into(),
+                better: Direction::HigherIsBetter,
+                median: 138.25,
+                mad: 1.5,
+                trials: 5,
+            }],
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_jsonl() {
+        let rec = sample();
+        let line = rec.to_json();
+        assert!(!line.contains('\n'));
+        assert_eq!(BenchRecord::parse(&line).unwrap(), rec);
+    }
+
+    #[test]
+    fn group_key_separates_hosts_and_params() {
+        let a = sample();
+        let mut b = sample();
+        b.host.cpus = 64;
+        let mut c = sample();
+        c.params.insert("sizing".into(), "reference".into());
+        assert_ne!(a.group_key(), b.group_key());
+        assert_ne!(a.group_key(), c.group_key());
+        assert_eq!(a.group_key(), sample().group_key());
+    }
+
+    #[test]
+    fn stamped_fills_environment() {
+        let rec = BenchRecord::stamped("x", Tier::Quick, BTreeMap::new(), Vec::new());
+        assert_eq!(rec.schema_version, REGISTRY_SCHEMA_VERSION);
+        assert_eq!(rec.tier, "quick");
+        assert!(!rec.commit.is_empty());
+        assert!(rec.host.cpus >= 1);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(BenchRecord::parse("not json").is_err());
+        assert!(BenchRecord::parse("{}").is_err());
+        assert!(BenchRecord::parse(r#"{"schema_version":1}"#).is_err());
+    }
+}

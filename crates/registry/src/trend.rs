@@ -1,0 +1,122 @@
+//! Trend rendering: per-metric history tables with sparklines.
+//!
+//! `agave bench history` renders one row per (group, metric): the last
+//! few medians as a unicode sparkline (normalized min→max within the
+//! row), the latest value, and its delta against the trailing-K median
+//! — the same baseline the gate uses, so the table *is* the gate's
+//! view of the data.
+
+use crate::harness;
+use crate::history::{History, NoisePolicy};
+use std::fmt::Write as _;
+
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` (oldest→newest) as a sparkline, normalized to the
+/// slice's own min..max; a flat series renders mid-height.
+pub fn sparkline(values: &[f64]) -> String {
+    let (min, max) = values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    values
+        .iter()
+        .map(|&v| {
+            if max > min {
+                let idx = ((v - min) / (max - min) * (SPARKS.len() - 1) as f64).round() as usize;
+                SPARKS[idx.min(SPARKS.len() - 1)]
+            } else {
+                SPARKS[SPARKS.len() / 2]
+            }
+        })
+        .collect()
+}
+
+/// Renders the trend table for every group (optionally filtered to one
+/// case), showing at most `last` trailing records per row.
+pub fn render(history: &History, case: Option<&str>, last: usize, policy: &NoisePolicy) -> String {
+    let mut out = String::new();
+    let mut rows = 0usize;
+    for key in history.groups() {
+        let group = history.group(&key);
+        if let Some(case) = case {
+            if group[0].case != case {
+                continue;
+            }
+        }
+        let _ = writeln!(out, "{key}");
+        let metric_names: Vec<&str> = group
+            .last()
+            .map(|r| r.metrics.iter().map(|m| m.name.as_str()).collect())
+            .unwrap_or_default();
+        for name in metric_names {
+            let series: Vec<&crate::MetricStat> =
+                group.iter().filter_map(|r| r.metric(name)).collect();
+            let medians: Vec<f64> = series.iter().map(|m| m.median).collect();
+            let tail: Vec<f64> = medians
+                .iter()
+                .copied()
+                .skip(medians.len().saturating_sub(last))
+                .collect();
+            let latest = *medians.last().expect("metric series is non-empty");
+            let unit = &series.last().expect("non-empty").unit;
+            let delta = match medians.len() {
+                0 | 1 => "   (no baseline)".to_owned(),
+                n => {
+                    let prior = &medians[n.saturating_sub(policy.window + 1)..n - 1];
+                    let baseline = harness::median(prior);
+                    if baseline != 0.0 {
+                        format!(
+                            "{:+7.1}% vs trailing-{} median {:.3}",
+                            (latest - baseline) / baseline.abs() * 100.0,
+                            prior.len(),
+                            baseline
+                        )
+                    } else {
+                        "   (zero baseline)".to_owned()
+                    }
+                }
+            };
+            let _ = writeln!(
+                out,
+                "  {:<28} {:<10} {:>12.3} {:<7} {delta}",
+                name,
+                sparkline(&tail),
+                latest,
+                unit
+            );
+            rows += 1;
+        }
+    }
+    if rows == 0 {
+        let _ = writeln!(
+            out,
+            "no records{} in {}",
+            case.map(|c| format!(" for case {c:?}")).unwrap_or_default(),
+            history.path.display()
+        );
+    }
+    if !history.outdated.is_empty() {
+        let _ = writeln!(
+            out,
+            "note: {} older-schema record(s) not shown",
+            history.outdated.len()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_normalizes_and_handles_flat() {
+        let s = sparkline(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[5.0, 5.0]), "▅▅");
+    }
+}

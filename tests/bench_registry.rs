@@ -1,0 +1,221 @@
+//! Integration tests for the benchmark registry: history durability,
+//! schema-version enforcement, and the regression gate's behavior on
+//! synthetic histories (planted slowdowns must fail, noise must not).
+
+use agave_registry::{
+    BenchRecord, CheckStatus, Direction, History, HostFingerprint, MetricStat, NoisePolicy, Tier,
+    REGISTRY_SCHEMA_VERSION,
+};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// A fully specified record for a fixed fake host, so tests are
+/// independent of the machine they run on.
+fn record(case: &str, value: f64, mad: f64, time: u64) -> BenchRecord {
+    BenchRecord {
+        schema_version: REGISTRY_SCHEMA_VERSION,
+        case: case.into(),
+        tier: "quick".into(),
+        unix_time: time,
+        commit: "cafef00dcafe".into(),
+        host: HostFingerprint {
+            cpus: 8,
+            os: "linux".into(),
+            arch: "x86_64".into(),
+            profile: "release".into(),
+        },
+        params: BTreeMap::from([
+            ("workload".into(), "gallery.mp4.view".into()),
+            ("sizing".into(), "quick".into()),
+        ]),
+        metrics: vec![MetricStat {
+            name: "decode_mb_per_sec".into(),
+            unit: "MB/s".into(),
+            better: Direction::HigherIsBetter,
+            median: value,
+            mad,
+            trials: 3,
+        }],
+    }
+}
+
+fn temp_history(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "agave-bench-registry-{tag}-{}.jsonl",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn history_append_and_parse_round_trip() {
+    let path = temp_history("roundtrip");
+    std::fs::remove_file(&path).ok();
+
+    // A missing file is an empty history, not an error (first run).
+    let empty = History::load(&path).expect("missing file loads as empty");
+    assert!(empty.records.is_empty());
+    assert!(empty.outdated.is_empty());
+
+    let first = record("replay_codec", 140.0, 2.0, 100);
+    let second = record("replay_codec", 142.5, 1.5, 200);
+    History::append(&path, &first).expect("append");
+    History::append(&path, &second).expect("append");
+
+    let loaded = History::load(&path).expect("load");
+    assert_eq!(loaded.records, vec![first, second]);
+    assert_eq!(loaded.groups().len(), 1, "same case+params+host = 1 group");
+
+    // A stamped record (real host, real commit) round-trips too.
+    let stamped = BenchRecord::stamped(
+        "hierarchy_walk",
+        Tier::Quick,
+        BTreeMap::from([("preset".into(), "cortex-a9".into())]),
+        vec![MetricStat {
+            name: "refs_per_sec".into(),
+            unit: "refs/s".into(),
+            better: Direction::HigherIsBetter,
+            median: 4.0e6,
+            mad: 1.0e5,
+            trials: 3,
+        }],
+    );
+    History::append(&path, &stamped).expect("append stamped");
+    let reloaded = History::load(&path).expect("reload");
+    assert_eq!(reloaded.records.len(), 3);
+    assert_eq!(reloaded.records[2], stamped);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn mixed_schema_versions_are_enforced() {
+    let path = temp_history("schema");
+
+    // Older-version lines are set aside — counted, never baselined.
+    let mut old = record("replay_codec", 100.0, 1.0, 50);
+    old.schema_version = 0;
+    let current = record("replay_codec", 140.0, 1.0, 100);
+    std::fs::write(&path, format!("{}\n{}\n", old.to_json(), current.to_json())).expect("write");
+    let loaded = History::load(&path).expect("mixed history loads");
+    assert_eq!(loaded.records.len(), 1);
+    assert_eq!(loaded.outdated, vec![(1, 0)]);
+    let report = loaded.check(&NoisePolicy::default());
+    assert!(!report.failed(), "one current record has no baseline");
+    assert!(
+        report.render().contains("older-schema"),
+        "set-aside records must be surfaced:\n{}",
+        report.render()
+    );
+
+    // Newer-version lines are a hard error: never gate with a binary
+    // older than the data.
+    let mut newer = record("replay_codec", 100.0, 1.0, 150);
+    newer.schema_version = REGISTRY_SCHEMA_VERSION + 1;
+    std::fs::write(&path, format!("{}\n", newer.to_json())).expect("write");
+    let err = History::load(&path).expect_err("newer schema must refuse to load");
+    assert!(err.contains("newer"), "{err}");
+    assert!(err.contains(":1:"), "error names the line: {err}");
+
+    // Malformed lines are a hard error naming the line number.
+    std::fs::write(&path, "{\"schema_version\": true}\n").expect("write");
+    assert!(History::load(&path).is_err());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn planted_twenty_percent_slowdown_fails_check() {
+    let mut records: Vec<BenchRecord> = [100.0, 101.0, 99.5, 100.5, 100.0]
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| record("replay_codec", v, 0.5, i as u64))
+        .collect();
+    records.push(record("replay_codec", 80.0, 0.5, 10));
+    let history = History {
+        path: PathBuf::from("synthetic"),
+        records,
+        outdated: Vec::new(),
+    };
+    let report = history.check(&NoisePolicy::default());
+    assert!(report.failed(), "20% slowdown must trip the gate");
+    let line = report.regressions()[0];
+    assert_eq!(line.status, CheckStatus::Regressed);
+    let rendered = line.render();
+    // One-line diagnostic naming case, metric, baseline, observed.
+    assert!(!rendered.contains('\n'));
+    assert!(rendered.contains("replay_codec.decode_mb_per_sec"));
+    assert!(rendered.contains("baseline 100"));
+    assert!(rendered.contains("observed 80"));
+}
+
+#[test]
+fn stable_history_within_noise_passes() {
+    let records: Vec<BenchRecord> = [100.0, 101.0, 99.5, 100.5, 100.0, 99.2]
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| record("replay_codec", v, 0.8, i as u64))
+        .collect();
+    let history = History {
+        path: PathBuf::from("synthetic"),
+        records,
+        outdated: Vec::new(),
+    };
+    let report = history.check(&NoisePolicy::default());
+    assert!(!report.failed());
+    assert!(report
+        .lines
+        .iter()
+        .all(|l| l.status == CheckStatus::Ok || l.status == CheckStatus::Improved));
+}
+
+#[test]
+fn short_history_passes_with_no_baseline_note() {
+    // Empty history: nothing to check, and no panic.
+    let empty = History::default();
+    let report = empty.check(&NoisePolicy::default());
+    assert!(!report.failed());
+    assert!(report.lines.is_empty());
+
+    // A single record has no baseline: the check passes with a note,
+    // it does not crash or fail.
+    let history = History {
+        path: PathBuf::from("synthetic"),
+        records: vec![record("replay_codec", 140.0, 2.0, 0)],
+        outdated: Vec::new(),
+    };
+    let report = history.check(&NoisePolicy::default());
+    assert!(!report.failed());
+    assert_eq!(report.lines.len(), 1);
+    assert_eq!(report.lines[0].status, CheckStatus::NoBaseline);
+    assert!(report.lines[0].render().contains("no baseline"));
+}
+
+#[test]
+fn committed_seed_history_parses_and_passes() {
+    // The fixture CI seeds its bench_history.jsonl from. Its host
+    // fingerprint is deliberately fake (arch "seed64"), so real runs
+    // appended after it form their own baseline groups and are never
+    // gated against seed numbers.
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/data/bench_history_seed.jsonl");
+    let history = History::load(&path).expect("seed fixture parses");
+    assert!(
+        history.records.len() >= 6,
+        "seed should carry a few records per case"
+    );
+    assert_eq!(
+        history.outdated.len(),
+        1,
+        "seed carries one older-schema line to exercise the set-aside path"
+    );
+    for rec in &history.records {
+        assert_eq!(
+            rec.host.arch, "seed64",
+            "seed host must never match a real one"
+        );
+    }
+    let report = history.check(&NoisePolicy::default());
+    assert!(
+        !report.failed(),
+        "the committed seed must pass its own gate:\n{}",
+        report.render()
+    );
+}
