@@ -17,6 +17,9 @@
 //!   totals is uploaded and sketched; the served report must match the
 //!   local sketch byte-for-byte and every estimate must respect the
 //!   documented space-saving error bounds.
+//! * `stats_overhead` — serial ping batches against servers with
+//!   request tracing on vs off; the measured per-request tracing cost
+//!   must stay under the telemetry-overhead budget (2%).
 
 use agave_bench::{Group, HotpathReport};
 use agave_core::{record, AppId, SuiteConfig, Workload};
@@ -56,6 +59,7 @@ fn main() {
     upload_fanout(&mut report, &trace);
     backpressure(&mut report, &trace);
     sketch_bounds(&mut group, &mut report, &dir);
+    stats_overhead(&mut report);
 
     println!();
     report.write_or_warn();
@@ -307,6 +311,63 @@ fn sketch_bounds(group: &mut Group, report: &mut HotpathReport, dir: &Path) {
         bound
     );
     report.record("sketch_synthetic", local.records, &sample);
+}
+
+const OVERHEAD_PINGS: usize = 500;
+const OVERHEAD_TRIALS: usize = 7;
+const OVERHEAD_BUDGET_PCT: f64 = 2.0;
+
+/// Per-request tracing cost: serial ping batches against a traced and
+/// an untraced server. Ping is the cheapest verb, so tracing cost is
+/// largest relative to it — this is an upper bound for real verbs.
+/// Best-of across trials because scheduling noise only adds time.
+fn stats_overhead(report: &mut HotpathReport) {
+    let ping_batch = |tracing: bool| -> f64 {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            jobs: 1,
+            trace_requests: tracing,
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let addr = server.local_addr().to_string();
+        std::thread::scope(|scope| {
+            let daemon = scope.spawn(|| server.run());
+            let client = Client::new(addr.clone());
+            client.ping().expect("warmup ping");
+            let mut best = f64::INFINITY;
+            for _ in 0..OVERHEAD_TRIALS {
+                let started = Instant::now();
+                for _ in 0..OVERHEAD_PINGS {
+                    client.ping().expect("ping");
+                }
+                best = best.min(started.elapsed().as_secs_f64());
+            }
+            client.shutdown().expect("shutdown");
+            daemon.join().expect("daemon");
+            best
+        })
+    };
+    let traced = ping_batch(true);
+    let untraced = ping_batch(false);
+    let overhead_pct = (traced - untraced) / untraced * 100.0;
+    println!(
+        "serve_load/stats_overhead: {OVERHEAD_PINGS} pings · traced {:.3} ms vs untraced {:.3} ms · {overhead_pct:+.2}% overhead",
+        traced * 1e3,
+        untraced * 1e3,
+    );
+    assert!(
+        overhead_pct < OVERHEAD_BUDGET_PCT,
+        "per-request tracing overhead {overhead_pct:.2}% exceeds the {OVERHEAD_BUDGET_PCT}% budget"
+    );
+    let mut obj = json::Object::new();
+    obj.field_str("path", "stats_overhead")
+        .field_u64("pings", OVERHEAD_PINGS as u64)
+        .field_u64("traced_best_ns", (traced * 1e9) as u64)
+        .field_u64("untraced_best_ns", (untraced * 1e9) as u64)
+        .field_f64("overhead_pct", overhead_pct)
+        .field_f64("budget_pct", OVERHEAD_BUDGET_PCT);
+    report.push_raw(obj.finish());
 }
 
 /// A skewed synthetic trace (160 regions, ~400k records) plus its exact

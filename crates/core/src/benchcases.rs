@@ -331,6 +331,10 @@ struct ServeRoundtrip;
 
 const SERVE_CLIENTS: usize = 8;
 const SERVE_REQUESTS_EACH: usize = 2;
+/// Serial pings per trial of the tracing-overhead measurement. Ping is
+/// the lightest verb, so per-request tracing cost is largest relative
+/// to it — the measured overhead is an upper bound for real verbs.
+const STATS_OVERHEAD_PINGS: usize = 200;
 
 impl BenchCase for ServeRoundtrip {
     fn name(&self) -> &str {
@@ -338,7 +342,7 @@ impl BenchCase for ServeRoundtrip {
     }
 
     fn description(&self) -> &str {
-        "serve analyze req/s and upload MB/s (8 clients, loopback)"
+        "serve analyze req/s, upload MB/s, request-tracing overhead % (loopback)"
     }
 
     fn params(&self, tier: Tier) -> BTreeMap<String, String> {
@@ -409,6 +413,47 @@ impl BenchCase for ServeRoundtrip {
             Client::new(addr.clone()).shutdown().expect("shutdown");
             daemon.join().expect("daemon");
         });
+
+        // Per-request tracing overhead: best-of serial ping batches
+        // with request tracing on vs off. Best-of (not median) because
+        // scheduling noise only ever adds time; the minima are the
+        // cleanest estimate of the intrinsic cost difference.
+        let ping_batch = |tracing: bool| -> Result<f64, String> {
+            let server = trace_err(
+                "bind",
+                Server::bind(ServeConfig {
+                    addr: "127.0.0.1:0".to_owned(),
+                    jobs: 1,
+                    trace_requests: tracing,
+                    ..ServeConfig::default()
+                }),
+            )?;
+            let addr = server.local_addr().to_string();
+            let mut best = f64::INFINITY;
+            std::thread::scope(|scope| {
+                let daemon = scope.spawn(|| server.run());
+                let client = Client::new(addr.clone());
+                for t in harness::trial_times(opts.warmup, opts.trials, || {
+                    for _ in 0..STATS_OVERHEAD_PINGS {
+                        client.ping().expect("ping");
+                    }
+                }) {
+                    best = best.min(t.as_secs_f64());
+                }
+                client.shutdown().expect("shutdown");
+                daemon.join().expect("daemon");
+            });
+            Ok(best)
+        };
+        let traced = ping_batch(true)?;
+        let untraced = ping_batch(false)?;
+        out.push(Measurement::new(
+            "stats_overhead_pct",
+            "%",
+            Direction::LowerIsBetter,
+            (traced - untraced) / untraced * 100.0,
+        ));
+
         std::fs::remove_file(&path).ok();
         Ok(out)
     }

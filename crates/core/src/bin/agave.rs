@@ -13,7 +13,8 @@
 //! agave sweep <F> --grid size=16k,32k:assoc=2,4:line=32,64 [--jobs N]  # design-space sweep
 //! agave stats <telemetry.json>          # span tree + metric tables from a capture
 //! agave serve [--addr A] [--jobs N]     # multi-tenant replay/analysis daemon
-//! agave client <upload|list|analyze|sweep|ping|shutdown> …  # talk to a daemon
+//! agave client <upload|list|analyze|sweep|ping|stats|shutdown> …  # talk to a daemon
+//! agave top <addr> [--interval MS]      # live daemon dashboard (polls STATS)
 //! agave bench list|run|history|check    # durable benchmark registry + regression gate
 //! ```
 //!
@@ -56,15 +57,17 @@ fn usage() -> ! {
          agave replay <file.agtrace> [--summary] [--cache GEOMETRY] [--validate] [--json] [--top N] [--jobs N]\n  \
          agave sweep <file.agtrace> --grid size=16k,32k:assoc=2,4:line=32,64 [--jobs N] [--json]\n  \
          agave stats <telemetry.json>\n  \
-         agave serve [--addr HOST:PORT] [--jobs N] [--decode-jobs N] [--queue N] [--spool DIR]\n  \
+         agave serve [--addr HOST:PORT] [--jobs N] [--decode-jobs N] [--queue N] [--spool DIR] [--flight-capacity N] [--slow-ms T]\n  \
          agave client upload <name> <file.agtrace> [--addr A]\n  \
          agave client analyze <name> <summary|cache GEOMETRY|sketch> [--addr A]\n  \
          agave client sweep <name> <grid> [--addr A]\n  \
+         agave client stats [--format json|prom] [--recent N] [--errors|--slow] [--addr A]\n  \
          agave client list|ping|shutdown [--addr A]\n  \
+         agave top <addr> [--interval MS] [--count N] [--recent N]\n  \
          agave bench list\n  \
          agave bench run [CASE] [--quick] [--trials N] [--warmup N] [--history FILE]\n  \
          agave bench history [CASE] [--last N] [--history FILE]\n  \
-         agave bench check [--window K] [--mad-factor X] [--min-pct P] [--history FILE]\n\
+         agave bench check [--json] [--window K] [--mad-factor X] [--min-pct P] [--history FILE]\n\
          geometries: {} — or an L1 cell spec size=16k,assoc=2,line=32\n\
          --jobs N: run workloads (or decode chunks, on replay verbs) on N threads (0 = one per CPU; default 1)\n\
          --chunk-records N: records per trace chunk (default 4096; chunks are the unit of parallel decode)\n\
@@ -596,6 +599,16 @@ fn cmd_serve(args: &[String]) {
     if let Some(decode_jobs) = flag_value(args, "--decode-jobs") {
         config.decode_jobs = decode_jobs.parse().unwrap_or_else(|_| usage());
     }
+    if let Some(cap) = flag_value(args, "--flight-capacity") {
+        config.flight_capacity = cap
+            .parse()
+            .ok()
+            .filter(|&c| c >= 1)
+            .unwrap_or_else(|| usage());
+    }
+    if let Some(slow) = flag_value(args, "--slow-ms") {
+        config.slow_ms = slow.parse().unwrap_or_else(|_| usage());
+    }
     let server = cli::or_fail_bare("serve", Server::bind(config.clone()));
     eprintln!(
         "agave-serve listening on {} ({} worker{}, queue {}; send `agave client shutdown` to stop)",
@@ -620,11 +633,35 @@ fn cmd_serve(args: &[String]) {
     );
 }
 
+/// Parses `STATS` request options shared by `agave client stats` and
+/// `agave top`: format, flight-recorder window size, and filter.
+fn stats_options(args: &[String]) -> (agave_serve::StatsFormat, u64, agave_serve::RecentFilter) {
+    let format = match flag_value(args, "--format") {
+        None | Some("json") => agave_serve::StatsFormat::Json,
+        Some("prom") => agave_serve::StatsFormat::Prom,
+        Some(other) => {
+            eprintln!("unknown stats format {other:?}; use json or prom");
+            std::process::exit(2);
+        }
+    };
+    let recent = flag_value(args, "--recent")
+        .map(|n| n.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(0);
+    let filter = if args.iter().any(|a| a == "--errors") {
+        agave_serve::RecentFilter::Errors
+    } else if args.iter().any(|a| a == "--slow") {
+        agave_serve::RecentFilter::Slow
+    } else {
+        agave_serve::RecentFilter::All
+    };
+    (format, recent, filter)
+}
+
 /// Talks to a running daemon (`agave client <subverb> …`).
 fn cmd_client(args: &[String]) {
     let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:4950");
     let client = Client::new(addr);
-    let value_flags = ["--addr"];
+    let value_flags = ["--addr", "--format", "--recent"];
     let positional: Vec<&str> = {
         let taken: Vec<usize> = args
             .iter()
@@ -679,7 +716,62 @@ fn cmd_client(args: &[String]) {
             let json = cli::or_fail_bare("client", client.sweep(name, grid));
             println!("{json}");
         }
+        ["stats"] => {
+            let (format, recent, filter) = stats_options(args);
+            let body = cli::or_fail_bare("client", client.stats(format, recent, filter));
+            print!("{body}");
+            if !body.ends_with('\n') {
+                println!();
+            }
+        }
         _ => usage(),
+    }
+}
+
+/// A polling dashboard over a live daemon (`agave top <addr>`).
+fn cmd_top(args: &[String]) {
+    let addr = bare_arg(args, &["--interval", "--count", "--recent"]).unwrap_or("127.0.0.1:4950");
+    let interval_ms: u64 = flag_value(args, "--interval")
+        .map(|n| n.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(1000);
+    let count: u64 = flag_value(args, "--count")
+        .map(|n| n.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(0);
+    let recent: u64 = flag_value(args, "--recent")
+        .map(|n| n.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(8);
+    let client = Client::new(addr);
+    let mut prev: Option<(agave_serve::StatsSample, std::time::Instant)> = None;
+    let mut polls = 0u64;
+    loop {
+        let body = cli::or_fail_bare(
+            "top",
+            client.stats(
+                agave_serve::StatsFormat::Json,
+                recent,
+                agave_serve::RecentFilter::Notable,
+            ),
+        );
+        let now = std::time::Instant::now();
+        let sample = agave_serve::StatsSample::parse(&body).unwrap_or_else(|err| {
+            eprintln!("agave top: bad STATS response: {err}");
+            std::process::exit(1);
+        });
+        let (prev_sample, elapsed) = match &prev {
+            Some((s, at)) => (Some(s), now.duration_since(*at).as_secs_f64()),
+            None => (None, 0.0),
+        };
+        print!(
+            "{}",
+            agave_serve::render_dashboard(addr, prev_sample, &sample, elapsed)
+        );
+        println!("---");
+        prev = Some((sample, now));
+        polls += 1;
+        if count != 0 && polls >= count {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
     }
 }
 
@@ -805,7 +897,11 @@ fn cmd_bench(args: &[String]) -> i32 {
         "check" => {
             let history = cli::or_fail("bench", &history_path, History::load(&history_path));
             let report = history.check(&policy);
-            print!("{}", report.render());
+            if rest.iter().any(|a| a == "--json") {
+                print!("{}", report.to_json_lines());
+            } else {
+                print!("{}", report.render());
+            }
             if report.failed() {
                 for line in report.regressions() {
                     eprintln!("{}", cli::diagnostic("bench", None, &line.render()));
@@ -863,6 +959,10 @@ fn main() {
         }
         Some("client") => {
             cmd_client(&args[1..]);
+            0
+        }
+        Some("top") => {
+            cmd_top(&args[1..]);
             0
         }
         Some("bench") => cmd_bench(&args[1..]),

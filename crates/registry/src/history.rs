@@ -253,7 +253,36 @@ pub struct CheckLine {
     pub window: usize,
 }
 
+impl CheckStatus {
+    /// Stable machine-readable verdict name (`bench check --json`).
+    pub fn verdict(self) -> &'static str {
+        match self {
+            CheckStatus::Ok => "ok",
+            CheckStatus::Improved => "improved",
+            CheckStatus::Regressed => "regressed",
+            CheckStatus::NoBaseline => "no_baseline",
+        }
+    }
+}
+
 impl CheckLine {
+    /// One gated metric as one JSON object (`bench check --json`
+    /// emits one per line).
+    pub fn to_json(&self) -> String {
+        let mut obj = agave_trace::json::Object::new();
+        obj.field_str("case", &self.case)
+            .field_str("metric", &self.metric)
+            .field_str("unit", &self.unit)
+            .field_str("group", &self.group)
+            .field_str("verdict", self.status.verdict())
+            .field_f64("baseline", self.baseline)
+            .field_f64("band", self.band)
+            .field_f64("observed", self.observed)
+            .field_f64("delta_pct", self.delta_pct)
+            .field_u64("window", self.window as u64);
+        obj.finish()
+    }
+
     /// One-line rendering: verdict, case.metric, baseline, band,
     /// observed.
     pub fn render(&self) -> String {
@@ -310,6 +339,25 @@ impl CheckReport {
             .iter()
             .filter(|l| l.status == CheckStatus::Regressed)
             .collect()
+    }
+
+    /// JSON-lines rendering: one object per gated metric, in the same
+    /// order as [`CheckReport::render`] (regressions last). Verdicts
+    /// and exit semantics are identical to the text gate — `--json`
+    /// only changes the serialization.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for line in self
+            .lines
+            .iter()
+            .filter(|l| l.status != CheckStatus::Regressed)
+        {
+            let _ = writeln!(out, "{}", line.to_json());
+        }
+        for line in self.regressions() {
+            let _ = writeln!(out, "{}", line.to_json());
+        }
+        out
     }
 
     /// Renders the whole verdict, regressions last so they sit next to
@@ -478,6 +526,35 @@ mod tests {
             .chain([record("c", 75.0, 0.5, 9)])
             .collect();
         assert!(history_of(tight).check(&NoisePolicy::default()).failed());
+    }
+
+    #[test]
+    fn json_lines_carry_verdicts_and_put_regressions_last() {
+        let mut records: Vec<_> = [100.0, 101.0, 99.5, 100.5, 100.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| record("c", v, 0.5, i as u64))
+            .collect();
+        records.push(record("c", 80.0, 0.5, 9));
+        records.push(record("fresh", 10.0, 0.1, 10));
+        let report = history_of(records).check(&NoisePolicy::default());
+        let json = report.to_json_lines();
+        let lines: Vec<&str> = json.lines().collect();
+        assert_eq!(lines.len(), report.lines.len());
+        // Every line is one standalone JSON object with the gate fields.
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            for key in ["\"case\":", "\"metric\":", "\"verdict\":", "\"observed\":"] {
+                assert!(line.contains(key), "{line} missing {key}");
+            }
+        }
+        assert!(lines[0].contains("\"verdict\":\"no_baseline\""), "{json}");
+        assert!(
+            lines.last().unwrap().contains("\"verdict\":\"regressed\""),
+            "regressions must come last: {json}"
+        );
+        assert!(json.contains("\"baseline\":"), "{json}");
+        assert!(json.contains("\"window\":5"), "{json}");
     }
 
     #[test]

@@ -11,16 +11,29 @@
 //! on RETRY, sleeping the server-suggested back-off, up to a retry
 //! budget.
 
+use crate::flight::RecentFilter;
 use crate::protocol::{
     decode_response, decode_session, decode_sessions, encode_analyze, encode_list, encode_ping,
-    encode_shutdown, encode_sweep, encode_upload_header, read_frame, write_frame, Analysis,
-    Response, SessionInfo, WireError, MAX_CONTROL_FRAME,
+    encode_request, encode_shutdown, encode_stats, encode_sweep, encode_upload_header, read_frame,
+    write_frame, Analysis, RequestMeta, Response, SessionInfo, StatsFormat, WireError,
+    MAX_CONTROL_FRAME,
 };
 use std::fmt;
 use std::io::{self, Write};
 use std::net::TcpStream;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Process-wide monotonic request-id source: every wire request this
+/// process sends — across all [`Client`] handles and retries — gets a
+/// distinct id, so server-side flight records are unambiguous.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Claims the next request id (monotonic, nonzero, process-wide).
+pub fn next_request_id() -> u64 {
+    NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Everything a client call can fail with.
 #[derive(Debug)]
@@ -73,6 +86,9 @@ pub struct Client {
     addr: String,
     /// RETRY responses tolerated before [`ClientError::Saturated`].
     pub max_retries: u32,
+    /// Origin tag stamped into every request's [`RequestMeta`].
+    /// Defaults to `agave/<pid>`.
+    pub origin: String,
 }
 
 impl Client {
@@ -81,6 +97,24 @@ impl Client {
         Client {
             addr: addr.into(),
             max_retries: 20,
+            origin: format!("agave/{}", std::process::id()),
+        }
+    }
+
+    /// A client with an explicit origin tag (shows up in server spans
+    /// and `STATS --recent` records).
+    pub fn with_origin(addr: impl Into<String>, origin: impl Into<String>) -> Client {
+        let mut client = Client::new(addr);
+        client.origin = origin.into();
+        client
+    }
+
+    /// Fresh meta for one wire request. Each retry attempt is a new
+    /// request on the wire, so each gets its own id.
+    fn meta(&self) -> RequestMeta {
+        RequestMeta {
+            id: next_request_id(),
+            origin: self.origin.clone(),
         }
     }
 
@@ -91,16 +125,21 @@ impl Client {
         Ok(stream)
     }
 
-    /// One full exchange for an in-memory request payload.
-    fn roundtrip(&self, payload: &[u8]) -> Result<Response, ClientError> {
+    /// One full exchange for an in-memory verb payload (meta prepended
+    /// here).
+    fn roundtrip(&self, verb_payload: &[u8]) -> Result<Response, ClientError> {
         let mut stream = self.connect()?;
-        write_frame(&mut stream, payload)?;
+        write_frame(&mut stream, &encode_request(&self.meta(), verb_payload))?;
         let frame = read_frame(&mut stream, MAX_CONTROL_FRAME)?;
         Ok(decode_response(&frame)?)
     }
 
     /// Runs `attempt` until it stops answering RETRY, sleeping the
-    /// server-suggested back-off between tries.
+    /// server-suggested back-off between tries. Transient connect-level
+    /// failures (refused, reset, ephemeral-port exhaustion — routine on
+    /// a loopback being hammered by a parallel test suite or a busy
+    /// host) count as backpressure and retry against the same budget;
+    /// only persistent wire failures surface as errors.
     fn with_retry(
         &self,
         mut attempt: impl FnMut() -> Result<Response, ClientError>,
@@ -108,7 +147,19 @@ impl Client {
         let mut attempts = 0u32;
         loop {
             attempts += 1;
-            match attempt()? {
+            let response = match attempt() {
+                Ok(response) => response,
+                Err(ClientError::Wire(WireError::Io(e)))
+                    if transient_connect(&e) && attempts <= self.max_retries =>
+                {
+                    Response::Retry {
+                        after_ms: 10 * attempts,
+                        message: format!("transient connect failure: {e}"),
+                    }
+                }
+                Err(other) => return Err(other),
+            };
+            match response {
                 Response::Ok(body) => return Ok(body),
                 Response::Err(message) => return Err(ClientError::Server(message)),
                 Response::Retry { after_ms, message } => {
@@ -156,7 +207,7 @@ impl Client {
     pub fn upload_once(&self, name: &str, path: &Path) -> Result<Response, ClientError> {
         let mut file = std::fs::File::open(path).map_err(ClientError::Local)?;
         let file_len = file.metadata().map_err(ClientError::Local)?.len();
-        let header = encode_upload_header(name);
+        let header = encode_request(&self.meta(), &encode_upload_header(name));
         let frame_len = header.len() as u64 + file_len;
         if frame_len > u64::from(u32::MAX) {
             return Err(ClientError::Local(io::Error::new(
@@ -217,11 +268,42 @@ impl Client {
         self.roundtrip(&encode_sweep(name, grid))
     }
 
-    /// Reads the raw response to an arbitrary prebuilt payload (the
-    /// load bench uses this to measure rejects without retry logic).
-    pub fn raw(&self, payload: &[u8]) -> Result<Response, ClientError> {
-        self.roundtrip(payload)
+    /// Scrapes the daemon's live telemetry. Returns the rendered text:
+    /// the native JSON schema (with a `recent` flight-recorder array
+    /// appended) or Prometheus exposition. `recent` bounds the
+    /// flight-recorder window; `filter` narrows it to errors/slow
+    /// requests.
+    pub fn stats(
+        &self,
+        format: StatsFormat,
+        recent: u64,
+        filter: RecentFilter,
+    ) -> Result<String, ClientError> {
+        let body = self.with_retry(|| self.roundtrip(&encode_stats(format, recent, filter)))?;
+        String::from_utf8(body)
+            .map_err(|_| ClientError::Wire(WireError::Malformed("stats not UTF-8".into())))
     }
+
+    /// Reads the raw response to an arbitrary prebuilt verb payload
+    /// (the load bench uses this to measure rejects without retry
+    /// logic). Meta is prepended like every other request.
+    pub fn raw(&self, verb_payload: &[u8]) -> Result<Response, ClientError> {
+        self.roundtrip(verb_payload)
+    }
+}
+
+/// Whether an I/O failure is a transient connect-level fault worth
+/// retrying: the listener's backlog overflowed (refused/reset) or the
+/// client side ran out of ephemeral ports (`EADDRNOTAVAIL`). Both
+/// clear in milliseconds on a live host.
+fn transient_connect(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::AddrNotAvailable
+    )
 }
 
 /// Whether an I/O failure means the peer hung up mid-stream (the

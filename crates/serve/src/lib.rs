@@ -29,20 +29,24 @@
 //! tests assert equality byte-for-byte.
 
 pub mod client;
+pub mod flight;
 pub mod protocol;
 pub mod server;
 pub mod store;
+pub mod top;
 
 /// The streaming sketches now live in the analysis registry crate
 /// (`agave-analysis`); re-exported here so existing `agave_serve::sketch`
 /// paths keep working.
 pub use agave_analysis::sketch;
 
-pub use client::{render_sessions, Client, ClientError};
-pub use protocol::{Analysis, Response, SessionInfo, WireError};
+pub use client::{next_request_id, render_sessions, Client, ClientError};
+pub use flight::{FlightRecorder, RecentFilter, RequestRecord};
+pub use protocol::{Analysis, RequestMeta, Response, SessionInfo, StatsFormat, WireError};
 pub use server::{analyze_trace, analyze_trace_jobs, ServeConfig, ServeStats, Server};
 pub use sketch::{SketchReport, SketchSink};
 pub use store::{SessionMeta, TraceStore};
+pub use top::{render_dashboard, RecentEntry, StatsSample};
 
 #[cfg(test)]
 mod tests {

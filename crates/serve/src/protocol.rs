@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! frame     u32 LE payload length · payload
-//! request   verb byte · verb-specific body
+//! request   meta · verb byte · verb-specific body
+//!   meta    varint request id · varint origin len · origin
 //!   UPLOAD  0x01 · varint name len · name · raw .agtrace bytes
 //!   LIST    0x02
 //!   ANALYZE 0x03 · varint name len · name · kind byte
@@ -15,11 +16,19 @@
 //!   PING    0x04
 //!   SHUT    0x05
 //!   SWEEP   0x06 · varint name len · name · varint grid len · grid
+//!   STATS   0x07 · format byte (0 json, 1 prom) · varint recent N ·
+//!                  filter byte (0 all, 1 errors, 2 slow, 3 notable)
 //! response  status byte · body
 //!   OK      0x00 · verb-specific body (JSON text, session table, …)
 //!   ERR     0x01 · UTF-8 message
 //!   RETRY   0x02 · u32 LE retry-after ms · UTF-8 message
 //! ```
+//!
+//! Every request opens with a client-stamped [`RequestMeta`] — a
+//! monotonic request id plus an origin tag — *before* the verb byte, so
+//! the server can attribute each request in spans and the flight
+//! recorder. The `encode_*` helpers below produce the verb-onward
+//! bytes; [`encode_request`] prepends the meta.
 //!
 //! Varints are the same LEB128 encoding the `.agtrace` body uses
 //! (`agave_replay::codec`). An UPLOAD frame's trailing trace bytes are
@@ -43,6 +52,23 @@ pub const V_PING: u8 = 0x04;
 pub const V_SHUTDOWN: u8 = 0x05;
 /// Request verb: run a design-space sweep against a stored session.
 pub const V_SWEEP: u8 = 0x06;
+/// Request verb: scrape live telemetry and the flight recorder.
+pub const V_STATS: u8 = 0x07;
+
+/// The display name of a request verb (for spans, histograms, and the
+/// flight recorder).
+pub fn verb_name(verb: u8) -> &'static str {
+    match verb {
+        V_UPLOAD => "upload",
+        V_LIST => "list",
+        V_ANALYZE => "analyze",
+        V_PING => "ping",
+        V_SHUTDOWN => "shutdown",
+        V_SWEEP => "sweep",
+        V_STATS => "stats",
+        _ => "unknown",
+    }
+}
 
 /// Response status: success; body is verb-specific.
 pub const S_OK: u8 = 0x00;
@@ -223,6 +249,112 @@ fn get_str(buf: &[u8], pos: &mut usize, what: &str) -> Result<String, WireError>
 
 /// Longest session name the server accepts.
 pub const MAX_NAME: usize = 256;
+
+/// Client-stamped per-request metadata: a monotonic request id plus an
+/// origin tag (e.g. `agave/12345`), prefixed to every request frame
+/// before the verb byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestMeta {
+    /// Monotonic per-client-process request id (nonzero).
+    pub id: u64,
+    /// Free-form origin tag identifying the client (≤ [`MAX_NAME`]).
+    pub origin: String,
+}
+
+/// Encodes request meta (the bytes before the verb byte).
+pub fn encode_meta(meta: &RequestMeta) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, meta.id);
+    put_str(&mut out, &meta.origin);
+    out
+}
+
+/// Builds a full request payload: meta, then the verb-onward bytes one
+/// of the `encode_*` helpers produced.
+pub fn encode_request(meta: &RequestMeta, verb_payload: &[u8]) -> Vec<u8> {
+    let mut out = encode_meta(meta);
+    out.extend_from_slice(verb_payload);
+    out
+}
+
+/// Reads request meta byte-by-byte from a stream, counting consumed
+/// bytes (the server does this before deciding how to read the body).
+pub fn read_meta_stream<R: Read>(r: &mut R, consumed: &mut u64) -> Result<RequestMeta, WireError> {
+    let id = read_varint_stream(r, consumed)?;
+    let origin_len = read_varint_stream(r, consumed)?;
+    if origin_len > MAX_NAME as u64 {
+        return Err(malformed("implausible origin length"));
+    }
+    let mut origin = vec![0u8; origin_len as usize];
+    r.read_exact(&mut origin)?;
+    *consumed += origin_len;
+    let origin = String::from_utf8(origin).map_err(|_| malformed("origin is not UTF-8"))?;
+    Ok(RequestMeta { id, origin })
+}
+
+/// The serialization a STATS request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// The native telemetry JSON schema, with a `recent` array appended.
+    Json,
+    /// Prometheus text exposition (no flight-recorder window).
+    Prom,
+}
+
+impl StatsFormat {
+    /// The format byte on the wire.
+    pub fn code(self) -> u8 {
+        match self {
+            StatsFormat::Json => 0,
+            StatsFormat::Prom => 1,
+        }
+    }
+
+    /// Parses a wire format byte.
+    pub fn from_code(code: u8) -> Option<StatsFormat> {
+        match code {
+            0 => Some(StatsFormat::Json),
+            1 => Some(StatsFormat::Prom),
+            _ => None,
+        }
+    }
+}
+
+/// Encodes a STATS request payload (verb onward).
+pub fn encode_stats(
+    format: StatsFormat,
+    recent: u64,
+    filter: crate::flight::RecentFilter,
+) -> Vec<u8> {
+    let mut out = vec![V_STATS, format.code()];
+    put_varint(&mut out, recent);
+    out.push(filter.code());
+    out
+}
+
+/// Parses a STATS request body (everything after the verb byte).
+pub fn decode_stats(
+    body: &[u8],
+) -> Result<(StatsFormat, u64, crate::flight::RecentFilter), WireError> {
+    let mut pos = 0;
+    let format = body
+        .first()
+        .copied()
+        .and_then(StatsFormat::from_code)
+        .ok_or_else(|| malformed("stats format byte"))?;
+    pos += 1;
+    let recent = get_varint(body, &mut pos).ok_or_else(|| malformed("stats recent count"))?;
+    let filter = body
+        .get(pos)
+        .copied()
+        .and_then(crate::flight::RecentFilter::from_code)
+        .ok_or_else(|| malformed("stats filter byte"))?;
+    pos += 1;
+    if pos != body.len() {
+        return Err(malformed("trailing bytes in stats request"));
+    }
+    Ok((format, recent, filter))
+}
 
 /// The UPLOAD frame's in-memory prefix: verb byte + session name. The
 /// caller appends (client) or streams (server) the trace bytes after it.
@@ -511,5 +643,58 @@ mod tests {
         assert!(decode_response(&[]).is_err());
         assert!(decode_response(&[S_RETRY, 1, 2]).is_err());
         assert!(decode_session(&[0x05, b'a']).is_err());
+        assert!(decode_stats(&[]).is_err());
+        assert!(decode_stats(&[7, 0, 0]).is_err(), "unknown format byte");
+        assert!(decode_stats(&[0, 0, 9]).is_err(), "unknown filter byte");
+        assert!(decode_stats(&[0, 0, 0, 0]).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn request_meta_round_trips_through_a_stream() {
+        let meta = RequestMeta {
+            id: 300, // needs two varint bytes
+            origin: "agave/4242".to_string(),
+        };
+        let payload = encode_request(&meta, &encode_ping());
+        let mut r = &payload[..];
+        let mut consumed = 0;
+        let parsed = read_meta_stream(&mut r, &mut consumed).unwrap();
+        assert_eq!(parsed, meta);
+        assert_eq!(consumed, (payload.len() - 1) as u64);
+        assert_eq!(r, [V_PING], "verb byte follows the meta");
+    }
+
+    #[test]
+    fn oversized_origins_are_rejected() {
+        let meta = RequestMeta {
+            id: 1,
+            origin: "x".repeat(MAX_NAME + 1),
+        };
+        let bytes = encode_meta(&meta);
+        let mut consumed = 0;
+        assert!(read_meta_stream(&mut &bytes[..], &mut consumed).is_err());
+    }
+
+    #[test]
+    fn stats_requests_round_trip() {
+        use crate::flight::RecentFilter;
+        for (format, recent, filter) in [
+            (StatsFormat::Json, 0, RecentFilter::All),
+            (StatsFormat::Json, 1024, RecentFilter::Slow),
+            (StatsFormat::Prom, 7, RecentFilter::Errors),
+            (StatsFormat::Json, 3, RecentFilter::Notable),
+        ] {
+            let payload = encode_stats(format, recent, filter);
+            assert_eq!(payload[0], V_STATS);
+            let parsed = decode_stats(&payload[1..]).unwrap();
+            assert_eq!(parsed, (format, recent, filter));
+        }
+    }
+
+    #[test]
+    fn verb_names_are_stable() {
+        assert_eq!(verb_name(V_UPLOAD), "upload");
+        assert_eq!(verb_name(V_STATS), "stats");
+        assert_eq!(verb_name(0xEE), "unknown");
     }
 }

@@ -25,22 +25,26 @@
 //! `serve_load` bench uploads and sketches a trace far larger than the
 //! steady-state bounds to prove it.
 
+use crate::flight::{FlightRecorder, RequestRecord};
 use crate::protocol::{
-    decode_analyze, decode_sweep, encode_response, encode_session, encode_sessions, read_frame_len,
-    read_varint_stream, write_frame, Analysis, Response, SessionInfo, WireError, MAX_CONTROL_FRAME,
-    MAX_NAME, V_ANALYZE, V_LIST, V_PING, V_SHUTDOWN, V_SWEEP, V_UPLOAD,
+    decode_analyze, decode_stats, decode_sweep, encode_response, encode_session, encode_sessions,
+    read_frame_len, read_meta_stream, read_varint_stream, verb_name, write_frame, Analysis,
+    RequestMeta, Response, SessionInfo, StatsFormat, WireError, MAX_CONTROL_FRAME, MAX_NAME,
+    V_ANALYZE, V_LIST, V_PING, V_SHUTDOWN, V_STATS, V_SWEEP, V_UPLOAD,
 };
 use crate::store::{SessionMeta, TraceStore};
 use agave_analysis::GridSpec;
 use agave_replay::TraceBuffer;
+use agave_telemetry::metrics::{counter, gauge, histogram, Histogram};
+use agave_telemetry::TelemetrySnapshot;
 use agave_trace::par::{effective_jobs, parallel_map};
 use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// How the daemon binds, scales, and pushes back.
 #[derive(Debug, Clone)]
@@ -66,6 +70,16 @@ pub struct ServeConfig {
     /// comes from serving many requests, not one request hogging every
     /// core. Raise it for single-tenant servers fronting huge traces.
     pub decode_jobs: usize,
+    /// Flight-recorder capacity: how many recent request records the
+    /// main ring keeps (`--flight-capacity`).
+    pub flight_capacity: usize,
+    /// Requests handled slower than this are marked slow and retained
+    /// preferentially in the flight recorder (`--slow-ms`).
+    pub slow_ms: u64,
+    /// Per-request tracing: registry metrics, spans, and the flight
+    /// recorder. On by default; the serve_load bench turns it off to
+    /// measure the overhead.
+    pub trace_requests: bool,
 }
 
 impl Default for ServeConfig {
@@ -78,12 +92,15 @@ impl Default for ServeConfig {
             spool: None,
             handle_delay_ms: 0,
             decode_jobs: 1,
+            flight_capacity: 1024,
+            slow_ms: 100,
+            trace_requests: true,
         }
     }
 }
 
-/// Counters the daemon keeps unconditionally (unlike the telemetry
-/// registry, which is gated) and reports when [`Server::run`] returns.
+/// Counters the daemon keeps unconditionally — even with
+/// `trace_requests` off — and reports when [`Server::run`] returns.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Connections accepted (including rejected ones).
@@ -124,9 +141,17 @@ impl AtomicStats {
     }
 }
 
+/// One accepted connection waiting for a worker, stamped with its
+/// enqueue time and the depth it saw (for queue-wait telemetry).
+struct QueueEntry {
+    conn: TcpStream,
+    depth: usize,
+    enqueued: Instant,
+}
+
 /// The bounded accepted-connection queue.
 struct ConnQueue {
-    state: Mutex<(VecDeque<TcpStream>, bool)>,
+    state: Mutex<(VecDeque<QueueEntry>, bool)>,
     cv: Condvar,
     cap: usize,
 }
@@ -147,14 +172,18 @@ impl ConnQueue {
         if state.0.len() >= self.cap {
             return Err(s);
         }
-        state.0.push_back(s);
-        let depth = state.0.len();
+        let depth = state.0.len() + 1;
+        state.0.push_back(QueueEntry {
+            conn: s,
+            depth,
+            enqueued: Instant::now(),
+        });
         self.cv.notify_one();
         Ok(depth)
     }
 
     /// Blocks for the next connection; `None` once closed and drained.
-    fn pop(&self) -> Option<TcpStream> {
+    fn pop(&self) -> Option<QueueEntry> {
         let mut state = self.state.lock().expect("conn queue poisoned");
         loop {
             if let Some(s) = state.0.pop_front() {
@@ -165,6 +194,11 @@ impl ConnQueue {
             }
             state = self.cv.wait(state).expect("conn queue poisoned");
         }
+    }
+
+    /// Current depth (heartbeat/gauge reads; racy by nature, fine).
+    fn len(&self) -> usize {
+        self.state.lock().expect("conn queue poisoned").0.len()
     }
 
     fn close(&self) {
@@ -178,9 +212,11 @@ pub struct Server {
     listener: TcpListener,
     config: ServeConfig,
     store: TraceStore,
-    queue: ConnQueue,
+    queue: Arc<ConnQueue>,
     shutdown: AtomicBool,
-    stats: AtomicStats,
+    accept_done: AtomicBool,
+    stats: Arc<AtomicStats>,
+    flight: FlightRecorder,
 }
 
 impl Server {
@@ -188,14 +224,20 @@ impl Server {
     pub fn bind(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let store = TraceStore::new(config.spool.clone())?;
-        let queue = ConnQueue::new(config.queue_cap);
+        let queue = Arc::new(ConnQueue::new(config.queue_cap));
+        let flight = FlightRecorder::new(
+            config.flight_capacity,
+            config.slow_ms.saturating_mul(1_000_000),
+        );
         Ok(Server {
             listener,
             config,
             store,
             queue,
             shutdown: AtomicBool::new(false),
-            stats: AtomicStats::default(),
+            accept_done: AtomicBool::new(false),
+            stats: Arc::new(AtomicStats::default()),
+            flight,
         })
     }
 
@@ -206,14 +248,35 @@ impl Server {
 
     /// Serves until a client sends SHUTDOWN, then drains the queue and
     /// returns the run's [`ServeStats`]. Workers fan out through
-    /// [`parallel_map`]; the acceptor runs beside them.
+    /// [`parallel_map`]; the acceptor runs beside them. With telemetry
+    /// enabled a once-a-second heartbeat line on stderr shows the
+    /// daemon is alive (connections, rejects, errors, queue depth).
     pub fn run(&self) -> ServeStats {
         let jobs = effective_jobs(self.config.jobs);
+        let ticker = agave_telemetry::Ticker::start({
+            let stats = Arc::clone(&self.stats);
+            let queue = Arc::clone(&self.queue);
+            let started = Instant::now();
+            move || {
+                let s = stats.snapshot();
+                format!(
+                    "[agave-serve] up {} · {} conns · {} uploads · {} analyses · {} rejected · {} errors · queue {}",
+                    agave_telemetry::format::fmt_ns(started.elapsed().as_nanos() as u64),
+                    s.connections,
+                    s.uploads,
+                    s.analyses,
+                    s.rejects,
+                    s.errors,
+                    queue.len(),
+                )
+            }
+        });
         std::thread::scope(|scope| {
             let acceptor = scope.spawn(|| self.accept_loop());
             parallel_map(jobs, jobs, |_| self.worker_loop());
             acceptor.join().expect("acceptor panicked");
         });
+        ticker.finish();
         self.stats.snapshot()
     }
 
@@ -232,20 +295,32 @@ impl Server {
                 break;
             }
             self.stats.connections.fetch_add(1, Ordering::Relaxed);
-            if agave_telemetry::enabled() {
-                agave_telemetry::metrics::counter("serve.connections").incr();
-            }
-            match self.queue.push(conn) {
-                Ok(depth) => {
-                    if agave_telemetry::enabled() {
-                        agave_telemetry::metrics::histogram("serve.queue_depth")
-                            .record(depth as u64);
-                    }
-                }
-                Err(conn) => self.reject(conn),
+            // Registry metrics for accepted requests are recorded by the
+            // worker once the verb is known, so STATS scrapes can stay
+            // invisible to the registry (byte-stable idle snapshots).
+            if let Err(conn) = self.queue.push(conn) {
+                self.reject(conn);
             }
         }
+        self.accept_done.store(true, Ordering::SeqCst);
         self.queue.close();
+    }
+
+    /// Pops the acceptor out of its blocking `accept` after the
+    /// shutdown flag is up. A single fire-and-forget connect is not
+    /// enough: under heavy loopback churn (the test suite, a saturated
+    /// host) the connect can transiently fail with `EADDRNOTAVAIL` and
+    /// the wake is lost, leaving the acceptor parked in `accept`
+    /// forever. So keep knocking until the acceptor confirms it exited.
+    fn wake_acceptor(&self) {
+        let addr = self.local_addr();
+        while !self.accept_done.load(Ordering::SeqCst) {
+            TcpStream::connect_timeout(&addr, Duration::from_millis(250)).ok();
+            if self.accept_done.load(Ordering::SeqCst) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
     }
 
     /// Answers a connection the queue has no room for: one RETRY frame,
@@ -253,8 +328,8 @@ impl Server {
     /// cannot wedge the acceptor.
     fn reject(&self, conn: TcpStream) {
         self.stats.rejects.fetch_add(1, Ordering::Relaxed);
-        if agave_telemetry::enabled() {
-            agave_telemetry::metrics::counter("serve.rejects").incr();
+        if self.config.trace_requests {
+            counter("serve.rejects").incr();
         }
         conn.set_write_timeout(Some(Duration::from_secs(1))).ok();
         let mut conn = conn;
@@ -266,14 +341,14 @@ impl Server {
     }
 
     fn worker_loop(&self) {
-        while let Some(conn) = self.queue.pop() {
+        while let Some(entry) = self.queue.pop() {
             if self.config.handle_delay_ms > 0 {
                 std::thread::sleep(Duration::from_millis(self.config.handle_delay_ms));
             }
-            if let Err(err) = self.handle(conn) {
+            if let Err(err) = self.handle(entry) {
                 self.stats.errors.fetch_add(1, Ordering::Relaxed);
-                if agave_telemetry::enabled() {
-                    agave_telemetry::metrics::counter("serve.request_errors").incr();
+                if self.config.trace_requests {
+                    counter("serve.request_errors").incr();
                 }
                 // A failed request is the client's problem (they got an
                 // ERR frame when the socket allowed one); keep serving.
@@ -283,7 +358,15 @@ impl Server {
     }
 
     /// Handles one connection: one request frame, one response frame.
-    fn handle(&self, conn: TcpStream) -> Result<(), WireError> {
+    /// Non-STATS requests get full request-scoped tracing: a
+    /// `serve request` span with a `queue wait` child, per-verb latency
+    /// and queue histograms, and a flight-recorder entry. STATS requests
+    /// bypass all of it so an idle daemon's snapshot is byte-stable
+    /// across scrapes.
+    fn handle(&self, entry: QueueEntry) -> Result<(), WireError> {
+        let queue_ns = entry.enqueued.elapsed().as_nanos() as u64;
+        let depth = entry.depth;
+        let conn = entry.conn;
         conn.set_read_timeout(Some(Duration::from_secs(60)))?;
         conn.set_write_timeout(Some(Duration::from_secs(60)))?;
         let mut reader = BufReader::new(conn.try_clone()?);
@@ -292,60 +375,202 @@ impl Server {
         if frame_len == 0 {
             return self.respond(&mut writer, Response::Err("empty request".into()));
         }
+        let mut consumed = 0u64;
+        let meta = match read_meta_stream(&mut reader, &mut consumed) {
+            Ok(meta) => meta,
+            Err(err @ WireError::Io(_)) => return Err(err),
+            Err(err) => {
+                return self.respond(
+                    &mut writer,
+                    Response::Err(format!("bad request meta: {err}")),
+                )
+            }
+        };
+        if consumed >= frame_len {
+            return self.respond(&mut writer, Response::Err("truncated request".into()));
+        }
         let mut verb = [0u8; 1];
         reader.read_exact(&mut verb)?;
-        let body_len = frame_len - 1;
-        match verb[0] {
-            V_UPLOAD => {
-                let response = self.handle_upload(&mut reader, body_len);
-                self.respond(&mut writer, response)
+        let verb = verb[0];
+        consumed += 1;
+        let body_len = frame_len - consumed;
+
+        if verb == V_STATS {
+            // Deliberately invisible to registry metrics, spans, and
+            // the flight recorder: a scrape must observe the daemon, not
+            // perturb it, so two idle scrapes return identical bytes.
+            if body_len > 64 {
+                return self.respond(&mut writer, Response::Err("stats request too large".into()));
             }
+            let mut body = vec![0u8; body_len as usize];
+            reader.read_exact(&mut body)?;
+            let response = self.handle_stats(&body);
+            return self.respond(&mut writer, response);
+        }
+
+        let tracing = self.config.trace_requests;
+        let handle_started = Instant::now();
+        let req_span = if tracing {
+            let span = agave_telemetry::Span::enter_labeled("serve request", verb_name(verb));
+            if span.id() != 0 {
+                let popped_ns = agave_telemetry::now_ns();
+                agave_telemetry::record_closed(
+                    "queue wait",
+                    verb_name(verb),
+                    popped_ns.saturating_sub(queue_ns),
+                    popped_ns,
+                    span.id(),
+                    0,
+                );
+            }
+            Some(span)
+        } else {
+            None
+        };
+
+        let mut tenant = String::new();
+        let mut bytes = 0u64;
+        let mut is_shutdown = false;
+        let response = match verb {
+            V_UPLOAD => self.handle_upload(&mut reader, body_len, &mut tenant, &mut bytes),
             V_PING => {
                 drain(&mut reader, body_len)?;
-                self.respond(&mut writer, Response::Ok(b"pong".to_vec()))
+                Response::Ok(b"pong".to_vec())
             }
             V_LIST => {
                 drain(&mut reader, body_len)?;
-                let body = encode_sessions(&self.store.list());
-                self.respond(&mut writer, Response::Ok(body))
+                Response::Ok(encode_sessions(&self.store.list()))
             }
             V_ANALYZE => {
                 if body_len > MAX_CONTROL_FRAME {
-                    return self.respond(&mut writer, Response::Err("request too large".into()));
+                    Response::Err("request too large".into())
+                } else {
+                    let mut body = vec![0u8; body_len as usize];
+                    reader.read_exact(&mut body)?;
+                    match decode_analyze(&body) {
+                        Ok((name, analysis)) => {
+                            tenant = name.clone();
+                            self.handle_analyze(&name, &analysis)
+                        }
+                        Err(err) => Response::Err(format!("bad analyze request: {err}")),
+                    }
                 }
-                let mut body = vec![0u8; body_len as usize];
-                reader.read_exact(&mut body)?;
-                let response = match decode_analyze(&body) {
-                    Ok((name, analysis)) => self.handle_analyze(&name, &analysis),
-                    Err(err) => Response::Err(format!("bad analyze request: {err}")),
-                };
-                self.respond(&mut writer, response)
             }
             V_SWEEP => {
                 if body_len > MAX_CONTROL_FRAME {
-                    return self.respond(&mut writer, Response::Err("request too large".into()));
+                    Response::Err("request too large".into())
+                } else {
+                    let mut body = vec![0u8; body_len as usize];
+                    reader.read_exact(&mut body)?;
+                    match decode_sweep(&body) {
+                        Ok((name, grid)) => {
+                            tenant = name.clone();
+                            self.handle_sweep(&name, &grid)
+                        }
+                        Err(err) => Response::Err(format!("bad sweep request: {err}")),
+                    }
                 }
-                let mut body = vec![0u8; body_len as usize];
-                reader.read_exact(&mut body)?;
-                let response = match decode_sweep(&body) {
-                    Ok((name, grid)) => self.handle_sweep(&name, &grid),
-                    Err(err) => Response::Err(format!("bad sweep request: {err}")),
-                };
-                self.respond(&mut writer, response)
             }
             V_SHUTDOWN => {
                 drain(&mut reader, body_len)?;
-                self.respond(&mut writer, Response::Ok(Vec::new()))?;
-                self.shutdown.store(true, Ordering::SeqCst);
-                // Wake the acceptor out of its blocking accept.
-                TcpStream::connect(self.local_addr()).ok();
-                Ok(())
+                is_shutdown = true;
+                Response::Ok(Vec::new())
             }
-            other => self.respond(
-                &mut writer,
-                Response::Err(format!("unknown verb 0x{other:02x}")),
-            ),
+            other => Response::Err(format!("unknown verb 0x{other:02x}")),
+        };
+        if verb != V_UPLOAD {
+            if let Response::Ok(body) = &response {
+                bytes = body.len() as u64;
+            }
         }
+        let outcome = match &response {
+            Response::Ok(_) => "ok",
+            Response::Err(_) => "error",
+            Response::Retry { .. } => "retry",
+        };
+        // Record *before* the response bytes go out: once a client sees
+        // the reply it may immediately scrape STATS (possibly through a
+        // different worker), and the contract is that every acknowledged
+        // request is already visible in the counters, histograms, and
+        // flight window. The handle phase therefore excludes the final
+        // response write; a failed write still bumps the error counters
+        // via the worker loop, but the client never saw that reply, so
+        // no observer can catch the record out of order.
+        if tracing {
+            let handle_ns = handle_started.elapsed().as_nanos() as u64;
+            self.record_request(
+                &meta, verb, tenant, outcome, bytes, queue_ns, handle_ns, depth,
+            );
+        }
+        let result = self.respond(&mut writer, response);
+        drop(req_span);
+        result?;
+        if is_shutdown {
+            self.shutdown.store(true, Ordering::SeqCst);
+            self.wake_acceptor();
+        }
+        Ok(())
+    }
+
+    /// Feeds one handled (non-STATS) request into the registry and the
+    /// flight recorder. Registry updates are *not* gated on the global
+    /// telemetry switch: they are a handful of relaxed atomics per
+    /// request (nowhere near the simulation hot path), and they are
+    /// what makes a plain `agave serve` scrapeable via STATS.
+    #[allow(clippy::too_many_arguments)]
+    fn record_request(
+        &self,
+        meta: &RequestMeta,
+        verb: u8,
+        tenant: String,
+        outcome: &'static str,
+        bytes: u64,
+        queue_ns: u64,
+        handle_ns: u64,
+        depth: usize,
+    ) {
+        counter("serve.requests").incr();
+        latency_histogram(verb).record(handle_ns / 1_000);
+        histogram("serve.queue_wait").record(queue_ns / 1_000);
+        histogram("serve.queue_depth").record(depth as u64);
+        gauge("serve.queue").set(self.queue.len() as u64);
+        self.flight.push(RequestRecord {
+            seq: 0,
+            id: meta.id,
+            origin: meta.origin.clone(),
+            verb: verb_name(verb),
+            tenant,
+            outcome,
+            bytes,
+            queue_ns,
+            handle_ns,
+            slow: false,
+        });
+    }
+
+    /// Answers a STATS request: a live snapshot of the registry
+    /// (non-destructive — counters keep accumulating) plus, for JSON,
+    /// the requested flight-recorder window under a `recent` key.
+    /// Span logs are deliberately excluded: a soaking daemon's span log
+    /// grows without bound and belongs to the exit capture, while the
+    /// flight recorder carries the bounded per-request detail.
+    fn handle_stats(&self, body: &[u8]) -> Response {
+        let (format, recent, filter) = match decode_stats(body) {
+            Ok(parsed) => parsed,
+            Err(err) => return Response::Err(format!("bad stats request: {err}")),
+        };
+        let snapshot = TelemetrySnapshot {
+            metrics: agave_telemetry::scrape(),
+            spans: Vec::new(),
+        };
+        let text = match format {
+            StatsFormat::Json => {
+                let recent_json = self.flight.recent_json(recent as usize, filter);
+                snapshot.to_json_with(&[("recent", recent_json)])
+            }
+            StatsFormat::Prom => snapshot.to_prometheus(),
+        };
+        Response::Ok(text.into_bytes())
     }
 
     fn respond(&self, writer: &mut TcpStream, response: Response) -> Result<(), WireError> {
@@ -358,7 +583,15 @@ impl Server {
 
     /// Streams an upload to the spool, validates it, registers the
     /// session. The trace bytes never exist in memory as a whole.
-    fn handle_upload<R: Read>(&self, reader: &mut R, body_len: u64) -> Response {
+    /// Fills `tenant` with the session name and `bytes` with the
+    /// ingested trace bytes (flight-recorder attribution).
+    fn handle_upload<R: Read>(
+        &self,
+        reader: &mut R,
+        body_len: u64,
+        tenant: &mut String,
+        bytes: &mut u64,
+    ) -> Response {
         let mut consumed = 0u64;
         let name_len = match read_varint_stream(reader, &mut consumed) {
             Ok(v) => v,
@@ -376,6 +609,7 @@ impl Server {
             Ok(n) => n,
             Err(_) => return Response::Err("bad upload header: name is not UTF-8".into()),
         };
+        *tenant = name.clone();
         let trace_len = body_len - consumed;
         if trace_len == 0 {
             return Response::Err("empty upload".into());
@@ -401,11 +635,11 @@ impl Server {
                 self.stats
                     .bytes_ingested
                     .fetch_add(trace_len, Ordering::Relaxed);
-                if agave_telemetry::enabled() {
-                    agave_telemetry::metrics::counter("serve.uploads").incr();
-                    agave_telemetry::metrics::counter("serve.bytes_ingested").add(trace_len);
-                    agave_telemetry::metrics::gauge("serve.active_sessions")
-                        .set(self.store.len() as u64);
+                *bytes = trace_len;
+                if self.config.trace_requests {
+                    counter("serve.uploads").incr();
+                    counter("serve.bytes_ingested").add(trace_len);
+                    gauge("serve.active_sessions").set(self.store.len() as u64);
                 }
                 Response::Ok(encode_session(&info))
             }
@@ -448,8 +682,8 @@ impl Server {
             Ok(json) => {
                 span.set_refs(session.info.words);
                 self.stats.analyses.fetch_add(1, Ordering::Relaxed);
-                if agave_telemetry::enabled() {
-                    agave_telemetry::metrics::counter("serve.analyses").incr();
+                if self.config.trace_requests {
+                    counter("serve.analyses").incr();
                 }
                 Response::Ok(json.into_bytes())
             }
@@ -474,13 +708,28 @@ impl Server {
             Ok(report) => {
                 span.set_refs(session.info.words);
                 self.stats.analyses.fetch_add(1, Ordering::Relaxed);
-                if agave_telemetry::enabled() {
-                    agave_telemetry::metrics::counter("serve.sweeps").incr();
+                if self.config.trace_requests {
+                    counter("serve.sweeps").incr();
                 }
                 Response::Ok(report.to_json().into_bytes())
             }
             Err(err) => Response::Err(format!("sweep {name:?} ({grid}): {err}")),
         }
+    }
+}
+
+/// The per-verb handle-time histogram (values in microseconds). The
+/// registry keys metrics by `&'static str`, so each verb maps to its
+/// own literal name.
+fn latency_histogram(verb: u8) -> &'static Histogram {
+    match verb {
+        V_UPLOAD => histogram("serve.latency.upload"),
+        V_LIST => histogram("serve.latency.list"),
+        V_ANALYZE => histogram("serve.latency.analyze"),
+        V_PING => histogram("serve.latency.ping"),
+        V_SHUTDOWN => histogram("serve.latency.shutdown"),
+        V_SWEEP => histogram("serve.latency.sweep"),
+        _ => histogram("serve.latency.unknown"),
     }
 }
 

@@ -39,6 +39,16 @@ pub fn capture() -> TelemetrySnapshot {
     }
 }
 
+/// Captures the current telemetry state *without* draining the span log
+/// — for live scrapes of a running process (e.g. the serve `STATS`
+/// verb), where the process-exit [`capture`] must still see every span.
+pub fn capture_live() -> TelemetrySnapshot {
+    TelemetrySnapshot {
+        metrics: crate::metrics::scrape(),
+        spans: crate::span::snapshot_spans(),
+    }
+}
+
 /// An output serialization for `--telemetry-format`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TelemetryFormat {
@@ -115,6 +125,16 @@ impl TelemetrySnapshot {
     /// Serializes to the native schema (see module docs). Deterministic
     /// key order; spans in completion order.
     pub fn to_json(&self) -> String {
+        self.to_json_with(&[])
+    }
+
+    /// Like [`to_json`](Self::to_json), but appends extra top-level
+    /// `(key, raw JSON value)` pairs after the standard fields. The
+    /// `agave stats` parser and Perfetto both ignore unknown top-level
+    /// keys, so embedders (e.g. the serve `STATS` response, which adds
+    /// a `recent` flight-recorder array) stay loadable everywhere the
+    /// plain schema is.
+    pub fn to_json_with(&self, extras: &[(&str, String)]) -> String {
         let counters = self
             .metrics
             .counters
@@ -130,15 +150,18 @@ impl TelemetrySnapshot {
         let histograms = array(self.metrics.histograms.iter().map(histogram_json));
         let spans = array(self.spans.iter().map(span_json));
         let events = array(self.spans.iter().map(trace_event_json));
-        Obj::new()
+        let mut obj = Obj::new()
             .u64("schema_version", SCHEMA_VERSION)
             .str("tool", "agave-telemetry")
             .raw("counters", &counters)
             .raw("gauges", &gauges)
             .raw("histograms", &histograms)
             .raw("spans", &spans)
-            .raw("traceEvents", &events)
-            .finish()
+            .raw("traceEvents", &events);
+        for (key, value) in extras {
+            obj = obj.raw(key, value);
+        }
+        obj.finish()
     }
 
     /// Serializes only the Chrome trace-event object.
@@ -258,6 +281,33 @@ mod tests {
             .expect("span present");
         assert_eq!(run.get("refs").and_then(|v| v.as_u64()), Some(99));
         assert_eq!(run.get("order").and_then(|v| v.as_u64()), Some(4));
+    }
+
+    #[test]
+    fn extra_top_level_keys_append_and_still_parse() {
+        let snap = TelemetrySnapshot::default();
+        let json = snap.to_json_with(&[("recent", "[{\"id\":7}]".to_string())]);
+        assert!(json.ends_with(",\"recent\":[{\"id\":7}]}"), "json: {json}");
+        let parsed = crate::parse::parse(&json).expect("extras JSON must parse");
+        let recent = parsed.get("recent").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(recent[0].get("id").and_then(|v| v.as_u64()), Some(7));
+        // No extras → byte-identical to the plain serialization.
+        assert_eq!(snap.to_json_with(&[]), snap.to_json());
+    }
+
+    #[test]
+    fn capture_live_does_not_drain_the_span_log() {
+        let _guard = crate::TEST_GUARD.lock().unwrap();
+        crate::set_enabled(true);
+        crate::span::take_spans();
+        drop(Span::enter("live"));
+        crate::set_enabled(false);
+        let first = capture_live();
+        let second = capture_live();
+        assert_eq!(first.spans.len(), 1);
+        assert_eq!(second.spans.len(), 1);
+        assert_eq!(capture().spans.len(), 1); // capture() drains…
+        assert_eq!(capture_live().spans.len(), 0); // …so now it's empty.
     }
 
     #[test]

@@ -159,6 +159,76 @@ impl Drop for Heartbeat {
     }
 }
 
+/// A generic once-a-second stderr ticker driven by a caller-supplied
+/// status closure — the same cadence and shutdown discipline as
+/// [`Heartbeat`], for phases that aren't item-counted (e.g. the serve
+/// accept loop, whose line reports connections/rejects/queue depth).
+/// Inert when telemetry is disabled.
+pub struct Ticker {
+    stop: Option<Arc<AtomicBool>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Ticker {
+    /// Starts a ticker printing `line()` to stderr about once a second.
+    /// Inert (no thread, no output) when telemetry is disabled.
+    pub fn start<F>(line: F) -> Ticker
+    where
+        F: Fn() -> String + Send + 'static,
+    {
+        if !crate::enabled() {
+            return Ticker {
+                stop: None,
+                handle: None,
+            };
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let for_ticker = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("agave-ticker".into())
+            .spawn(move || loop {
+                // Wake frequently so shutdown is prompt, print once a second.
+                for _ in 0..10 {
+                    std::thread::sleep(Duration::from_millis(100));
+                    if for_ticker.load(Ordering::Relaxed) {
+                        return;
+                    }
+                }
+                eprintln!("{}", line());
+            })
+            .expect("spawn ticker");
+        Ticker {
+            stop: Some(stop),
+            handle: Some(handle),
+        }
+    }
+
+    /// True when a ticker thread is actually running.
+    pub fn is_live(&self) -> bool {
+        self.handle.is_some()
+    }
+
+    /// Stops the ticker thread (also happens on drop).
+    pub fn finish(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(stop) = self.stop.take() {
+            stop.store(true, Ordering::Relaxed);
+            if let Some(handle) = self.handle.take() {
+                handle.join().expect("ticker panicked");
+            }
+        }
+    }
+}
+
+impl Drop for Ticker {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +245,20 @@ mod tests {
             assert_eq!(hb.refs(), 0);
         }
         drop(hb);
+    }
+
+    #[test]
+    fn ticker_is_inert_when_disabled_and_joins_when_enabled() {
+        let _guard = crate::TEST_GUARD.lock().unwrap();
+        crate::set_enabled(false);
+        let inert = Ticker::start(|| "never printed".to_string());
+        assert!(!inert.is_live());
+        inert.finish();
+        crate::set_enabled(true);
+        let live = Ticker::start(|| "status".to_string());
+        assert!(live.is_live());
+        live.finish(); // must not hang
+        crate::set_enabled(false);
     }
 
     #[test]

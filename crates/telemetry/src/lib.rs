@@ -62,10 +62,10 @@ pub mod parse;
 pub mod span;
 pub mod stats;
 
-pub use export::{capture, TelemetryFormat, TelemetrySnapshot};
-pub use heartbeat::Heartbeat;
+pub use export::{capture, capture_live, TelemetryFormat, TelemetrySnapshot};
+pub use heartbeat::{Heartbeat, Ticker};
 pub use metrics::{scrape, Counter, Gauge, Histogram, HistogramData, MetricsSnapshot};
-pub use span::{set_thread_parent, take_spans, Span, SpanRecord, ThreadParent};
+pub use span::{record_closed, set_thread_parent, take_spans, Span, SpanRecord, ThreadParent};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};

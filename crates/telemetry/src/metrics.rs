@@ -241,6 +241,30 @@ impl HistogramData {
         }
         Histogram::bucket_hi(self.buckets.last().map_or(0, |&(i, _)| i as usize))
     }
+
+    /// A linearly interpolated estimate of the `q`-quantile: the rank's
+    /// position *within* its log2 bucket is mapped linearly onto the
+    /// bucket's `[lo, hi]` value range. Because bucket `i ≥ 1` spans
+    /// `[2^(i-1), 2^i - 1]`, the estimate is off by at most one bucket
+    /// width, i.e. a factor of 2 in the worst case — tight enough for
+    /// dashboard p50/p99 from live scrapes.
+    pub fn quantile_interp(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut seen = 0u64;
+        for &(i, c) in &self.buckets {
+            if (seen + c) as f64 >= rank {
+                let lo = Histogram::bucket_lo(i as usize) as f64;
+                let hi = Histogram::bucket_hi(i as usize) as f64;
+                let into = (rank - seen as f64) / c as f64;
+                return lo + (hi - lo) * into.clamp(0.0, 1.0);
+            }
+            seen += c;
+        }
+        Histogram::bucket_hi(self.buckets.last().map_or(0, |&(i, _)| i as usize)) as f64
+    }
 }
 
 #[derive(Default)]
@@ -412,6 +436,34 @@ mod tests {
         // Median falls in the [4,7] bucket; p100 upper bound covers 1000.
         assert_eq!(data.quantile(0.5), 7);
         assert!(data.quantile(1.0) >= 1000);
+    }
+
+    #[test]
+    fn interpolated_quantile_stays_within_the_rank_bucket() {
+        let h = histogram("test.metrics.hist_interp");
+        h.reset();
+        for v in [0u64, 1, 1, 5, 5, 5, 1000] {
+            h.record(v);
+        }
+        let data = h.data("test.metrics.hist_interp");
+        assert_eq!(data.quantile_interp(0.0), 0.0);
+        // The median rank lands in the [4,7] bucket; the interpolated
+        // value must stay inside it.
+        let p50 = data.quantile_interp(0.5);
+        assert!((4.0..=7.0).contains(&p50), "p50 = {p50}");
+        // The top rank lands in the bucket holding 1000.
+        let p100 = data.quantile_interp(1.0);
+        assert!((512.0..=1023.0).contains(&p100), "p100 = {p100}");
+        // Interpolation is monotone in q.
+        assert!(data.quantile_interp(0.99) <= p100);
+        // Empty histogram → 0.
+        let empty = HistogramData {
+            name: "e".into(),
+            count: 0,
+            sum: 0,
+            buckets: Vec::new(),
+        };
+        assert_eq!(empty.quantile_interp(0.5), 0.0);
     }
 
     #[test]

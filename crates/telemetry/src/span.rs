@@ -158,6 +158,38 @@ impl Drop for ThreadParent {
     }
 }
 
+/// Appends an already-completed span with explicit timestamps — for
+/// phases whose start predates the thread that closes them (e.g. a
+/// request's queue wait, which begins in the acceptor but is recorded
+/// by the worker). Returns the new span's id, or 0 when telemetry is
+/// disabled.
+pub fn record_closed(
+    name: &'static str,
+    label: &str,
+    start_ns: u64,
+    end_ns: u64,
+    parent: u64,
+    refs: u64,
+) -> u64 {
+    if !crate::enabled() {
+        return 0;
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let record = SpanRecord {
+        id,
+        parent,
+        name,
+        label: label.to_string(),
+        start_ns,
+        end_ns,
+        thread: crate::thread_ordinal(),
+        refs,
+        order: 0,
+    };
+    SPAN_LOG.lock().expect("span log poisoned").push(record);
+    id
+}
+
 /// Drains the completed-span log (in completion order).
 pub fn take_spans() -> Vec<SpanRecord> {
     std::mem::take(&mut *SPAN_LOG.lock().expect("span log poisoned"))
@@ -185,6 +217,28 @@ mod tests {
             s.set_refs(42);
         }
         assert_eq!(snapshot_spans().len(), before);
+    }
+
+    #[test]
+    fn record_closed_lands_in_the_log_with_explicit_bounds() {
+        let _guard = TEST_GUARD.lock().unwrap();
+        crate::set_enabled(false);
+        assert_eq!(record_closed("queue wait", "x", 1, 2, 0, 0), 0);
+        crate::set_enabled(true);
+        take_spans();
+        let parent = Span::enter("serve request");
+        let id = record_closed("queue wait", "upload", 100, 350, parent.id(), 7);
+        assert_ne!(id, 0);
+        drop(parent);
+        crate::set_enabled(false);
+        let spans = take_spans();
+        let wait = spans.iter().find(|s| s.name == "queue wait").unwrap();
+        assert_eq!(wait.start_ns, 100);
+        assert_eq!(wait.end_ns, 350);
+        assert_eq!(wait.wall_ns(), 250);
+        assert_eq!(wait.refs, 7);
+        let req = spans.iter().find(|s| s.name == "serve request").unwrap();
+        assert_eq!(wait.parent, req.id);
     }
 
     #[test]
